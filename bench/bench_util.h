@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benchmarks.
+ *
+ * Every binary regenerates one data figure of the paper: each
+ * benchmark row is one point of the figure, with the figure's values
+ * exposed as benchmark counters. Monte-Carlo depth is tuned for a
+ * complete run in minutes; set CYCLONE_SHOTS to override the per-point
+ * shot count and CYCLONE_FULL=1 to enable the full code list and
+ * denser sweeps used for EXPERIMENTS.md.
+ */
+
+#ifndef CYCLONE_BENCH_BENCH_UTIL_H
+#define CYCLONE_BENCH_BENCH_UTIL_H
+
+#include <cstdlib>
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "core/cyclone.h"
+
+namespace cyclone {
+namespace bench {
+
+/** Per-point Monte-Carlo shots (CYCLONE_SHOTS overrides). */
+inline size_t
+shots(size_t fallback)
+{
+    if (const char* env = std::getenv("CYCLONE_SHOTS")) {
+        const long long v = std::atoll(env);
+        if (v > 0)
+            return static_cast<size_t>(v);
+    }
+    return fallback;
+}
+
+/** Whether the full (slow) sweep was requested. */
+inline bool
+fullMode()
+{
+    const char* env = std::getenv("CYCLONE_FULL");
+    return env != nullptr && env[0] == '1';
+}
+
+/** Compile one round under an architecture with default options. */
+inline CompileResult
+compileArch(const CssCode& code, const SyndromeSchedule& schedule,
+            Architecture arch)
+{
+    CodesignConfig config;
+    config.architecture = arch;
+    return compileCodesign(code, schedule, config);
+}
+
+/**
+ * Run a latency-coupled memory experiment and attach LER counters to
+ * a benchmark state.
+ */
+inline MemoryExperimentResult
+runPoint(const CssCode& code, const SyndromeSchedule& schedule,
+         double p, double latency_us, size_t n_shots,
+         uint64_t seed = 0xc0de)
+{
+    MemoryExperimentConfig exp;
+    exp.physicalError = p;
+    exp.roundLatencyUs = latency_us;
+    exp.shots = n_shots;
+    exp.seed = seed;
+    // Min-sum BP is ~5x faster than product-sum and, with the OSD
+    // order-lambda sweep, decodes the catalog's qLDPC codes with the
+    // same single-fault accuracy (see tests + EXPERIMENTS.md).
+    exp.bp.variant = BpOptions::Variant::MinSum;
+    return runZMemoryExperiment(code, schedule, exp);
+}
+
+/** Attach the standard LER counters to a state. */
+inline void
+setLerCounters(benchmark::State& state,
+               const MemoryExperimentResult& r)
+{
+    state.counters["LER"] = r.logicalErrorRate.rate;
+    state.counters["LER_err"] = wilsonHalfWidth(
+        r.logicalErrorRate.successes, r.logicalErrorRate.trials);
+    state.counters["shots"] =
+        static_cast<double>(r.logicalErrorRate.trials);
+    state.counters["rounds"] = static_cast<double>(r.rounds);
+}
+
+} // namespace bench
+} // namespace cyclone
+
+#endif // CYCLONE_BENCH_BENCH_UTIL_H

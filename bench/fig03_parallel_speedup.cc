@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 3: speedup of the maximally parallel schedule over the fully
+ * serial schedule, for every HGP and BB code in the paper.
+ *
+ * HGP codes use the interleaved (edge-colored) schedule; BB codes are
+ * not edge colorable and use X-then-Z, exactly as in Section III-A.
+ * Counters: serial_ms, parallel_ms, speedup, depth, gates.
+ */
+
+#include "bench_util.h"
+
+using namespace cyclone;
+
+namespace {
+
+void
+runCode(benchmark::State& state, const std::string& name, bool hgp)
+{
+    CssCode code = catalog::byName(name);
+    SyndromeSchedule schedule = hgp ? makeInterleavedSchedule(code)
+                                    : makeXThenZSchedule(code);
+    for (auto _ : state) {
+        IdealLatency lat = idealLatencies(code, schedule);
+        state.counters["serial_ms"] = lat.serialUs / 1000.0;
+        state.counters["parallel_ms"] = lat.parallelUs / 1000.0;
+        state.counters["speedup"] = lat.speedup;
+        state.counters["depth"] = static_cast<double>(lat.depth);
+        state.counters["gates"] = static_cast<double>(lat.gates);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    for (const char* name : {"hgp225", "hgp400", "hgp625"}) {
+        benchmark::RegisterBenchmark(
+            (std::string("fig03/hgp/") + name).c_str(),
+            [name](benchmark::State& s) { runCode(s, name, true); })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    }
+    for (const char* name : {"bb72", "bb90", "bb108", "bb144",
+                             "bb288"}) {
+        benchmark::RegisterBenchmark(
+            (std::string("fig03/bb/") + name).c_str(),
+            [name](benchmark::State& s) { runCode(s, name, false); })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 5: logical error rate improvement from speeding up the
+ * baseline on HGP codes at a fixed physical error rate p = 5e-4.
+ *
+ * Each point divides the compiled baseline round latency by a speedup
+ * factor and reruns the latency-coupled memory experiment; a 2x depth
+ * reduction should already cut LER by roughly an order of magnitude
+ * (Section II-C2). Counters: LER, LER_err, latency_ms.
+ */
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace cyclone;
+using namespace cyclone::bench;
+
+namespace {
+
+void
+runPointAtSpeedup(benchmark::State& state, const std::string& name,
+                  double speedup)
+{
+    static std::map<std::string, double> latency_cache;
+    CssCode code = catalog::byName(name);
+    SyndromeSchedule schedule = makeXThenZSchedule(code);
+    if (!latency_cache.count(name)) {
+        latency_cache[name] =
+            compileArch(code, schedule, Architecture::BaselineGrid)
+                .execTimeUs;
+    }
+    const double latency = latency_cache[name] / speedup;
+    const double p = 5e-4;
+    for (auto _ : state) {
+        auto result = runPoint(code, schedule, p, latency,
+                               shots(200));
+        setLerCounters(state, result);
+        state.counters["latency_ms"] = latency / 1000.0;
+        state.counters["speedup"] = speedup;
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::vector<std::string> codes{"hgp225"};
+    if (fullMode()) {
+        codes.push_back("hgp400");
+        codes.push_back("hgp625");
+    }
+    const std::vector<double> speedups = fullMode()
+        ? std::vector<double>{1.0, 1.25, 1.5, 2.0, 3.0, 4.0}
+        : std::vector<double>{1.0, 2.0, 4.0};
+    for (const auto& name : codes) {
+        for (double s : speedups) {
+            benchmark::RegisterBenchmark(
+            ("fig05/" + name + "/speedup:" +
+                    std::to_string(s).substr(0, 4)).c_str(),
+                [name, s](benchmark::State& st) {
+                    runPointAtSpeedup(st, name, s);
+                })
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 6: the software x hardware confusion matrix on [[225,9,6]].
+ *
+ * Rows: software policy (static interaction-DAG EJF vs dynamic
+ * timeslices); columns: topology (grid vs circle). Only the
+ * coordinated dynamic-on-circle corner — Cyclone — is fast; static on
+ * a circle is disastrous. Counters: exec_ms, trap_roadblocks,
+ * junction_roadblocks.
+ */
+
+#include "bench_util.h"
+
+using namespace cyclone;
+using namespace cyclone::bench;
+
+namespace {
+
+void
+runCell(benchmark::State& state, Architecture arch)
+{
+    CssCode code = catalog::hgp225();
+    SyndromeSchedule schedule = makeXThenZSchedule(code);
+    for (auto _ : state) {
+        CompileResult r = compileArch(code, schedule, arch);
+        state.counters["exec_ms"] = r.execTimeUs / 1000.0;
+        state.counters["trap_roadblocks"] =
+            static_cast<double>(r.trapRoadblocks);
+        state.counters["junction_roadblocks"] =
+            static_cast<double>(r.junctionRoadblocks);
+        state.counters["rebalances"] =
+            static_cast<double>(r.rebalances);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    benchmark::RegisterBenchmark(
+            "fig06/static_grid(baseline)", [](benchmark::State& s) {
+            runCell(s, Architecture::BaselineGrid);
+        })->Iterations(1)->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+            "fig06/dynamic_grid", [](benchmark::State& s) {
+            runCell(s, Architecture::DynamicGrid);
+        })->Iterations(1)->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+            "fig06/static_circle", [](benchmark::State& s) {
+            runCell(s, Architecture::RingEjf);
+        })->Iterations(1)->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+            "fig06/dynamic_circle(cyclone)", [](benchmark::State& s) {
+            runCell(s, Architecture::Cyclone);
+        })->Iterations(1)->Unit(benchmark::kMillisecond);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Figure 9: sensitivity of the mesh junction network to junction
+ * crossing time, on [[225,9,6]] at p = 5e-4.
+ *
+ * The crossing time is reduced by r% (Durations::junctionScale); the
+ * paper finds the mesh becomes temporally competitive with the
+ * baseline grid around a 70% reduction. Counters: exec_ms, LER,
+ * LER_err (LER points only on the reduced sweep to bound runtime).
+ */
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace cyclone;
+using namespace cyclone::bench;
+
+namespace {
+
+CompileResult
+compileMeshAt(const CssCode& code, const SyndromeSchedule& schedule,
+              double reduction_percent)
+{
+    EjfOptions options;
+    options.durations.junctionScale = 1.0 - reduction_percent / 100.0;
+    return compileMeshJunction(code, schedule, options);
+}
+
+void
+runExecPoint(benchmark::State& state, double reduction)
+{
+    CssCode code = catalog::hgp225();
+    SyndromeSchedule schedule = makeXThenZSchedule(code);
+    for (auto _ : state) {
+        CompileResult mesh = compileMeshAt(code, schedule, reduction);
+        CompileResult base =
+            compileArch(code, schedule, Architecture::BaselineGrid);
+        state.counters["mesh_exec_ms"] = mesh.execTimeUs / 1000.0;
+        state.counters["baseline_exec_ms"] = base.execTimeUs / 1000.0;
+        state.counters["reduction_pct"] = reduction;
+        state.counters["junction_roadblocks"] =
+            static_cast<double>(mesh.junctionRoadblocks);
+    }
+}
+
+void
+runLerPoint(benchmark::State& state, double reduction)
+{
+    CssCode code = catalog::hgp225();
+    SyndromeSchedule schedule = makeXThenZSchedule(code);
+    CompileResult mesh = compileMeshAt(code, schedule, reduction);
+    for (auto _ : state) {
+        auto result = runPoint(code, schedule, 5e-4, mesh.execTimeUs,
+                               shots(150));
+        setLerCounters(state, result);
+        state.counters["exec_ms"] = mesh.execTimeUs / 1000.0;
+        state.counters["reduction_pct"] = reduction;
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const std::vector<double> reductions = fullMode()
+        ? std::vector<double>{0, 10, 20, 30, 40, 50, 60, 70, 80, 90}
+        : std::vector<double>{0, 30, 50, 70, 90};
+    for (double r : reductions) {
+        benchmark::RegisterBenchmark(
+            ("fig09/exec/reduce:" + std::to_string(int(r)) + "%").c_str(),
+            [r](benchmark::State& s) { runExecPoint(s, r); })
+            ->Iterations(1)->Unit(benchmark::kMillisecond);
+    }
+    for (double r : {50.0, 90.0}) {
+        benchmark::RegisterBenchmark(
+            ("fig09/ler/reduce:" + std::to_string(int(r)) + "%").c_str(),
+            [r](benchmark::State& s) { runLerPoint(s, r); })
+            ->Iterations(1)->Unit(benchmark::kMillisecond);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Figure 13: sensitivity to trap/ion arrangements on [[225,9,6]] at
+ * p = 1e-4, over "tight" Cyclone configurations (capacity =
+ * ceil(225/x) + ceil(216/x)).
+ *
+ * Counters: exec_ms, analytic_ms, capacity for the full trap-count
+ * sweep; LER for three representative configurations (dense, the
+ * paper's optimum at 64 traps, and the base form).
+ */
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace cyclone;
+using namespace cyclone::bench;
+
+namespace {
+
+void
+runExecPoint(benchmark::State& state, size_t traps)
+{
+    CssCode code = catalog::hgp225();
+    for (auto _ : state) {
+        auto points = sweepCycloneTrapCounts(code, {traps});
+        state.counters["exec_ms"] = points[0].execTimeUs / 1000.0;
+        state.counters["analytic_ms"] = points[0].analyticUs / 1000.0;
+        state.counters["capacity"] =
+            static_cast<double>(points[0].capacity);
+    }
+}
+
+void
+runLerPoint(benchmark::State& state, size_t traps)
+{
+    CssCode code = catalog::hgp225();
+    SyndromeSchedule schedule = makeXThenZSchedule(code);
+    auto points = sweepCycloneTrapCounts(code, {traps});
+    for (auto _ : state) {
+        auto result = runPoint(code, schedule, 1e-4,
+                               points[0].execTimeUs, shots(150));
+        setLerCounters(state, result);
+        state.counters["exec_ms"] = points[0].execTimeUs / 1000.0;
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const std::vector<size_t> sweep = fullMode()
+        ? std::vector<size_t>{1, 3, 5, 9, 15, 25, 45, 64, 75, 90, 108}
+        : std::vector<size_t>{1, 9, 25, 45, 64, 75, 108};
+    for (size_t x : sweep) {
+        benchmark::RegisterBenchmark(
+            ("fig13/exec/traps:" + std::to_string(x)).c_str(),
+            [x](benchmark::State& s) { runExecPoint(s, x); })
+            ->Iterations(1)->Unit(benchmark::kMillisecond);
+    }
+    for (size_t x : {size_t(3), size_t(9), size_t(64), size_t(108)}) {
+        benchmark::RegisterBenchmark(
+            ("fig13/ler/traps:" + std::to_string(x)).c_str(),
+            [x](benchmark::State& s) { runLerPoint(s, x); })
+            ->Iterations(1)->Unit(benchmark::kMillisecond);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

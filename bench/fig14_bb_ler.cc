@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Figure 14: logical error rates of Cyclone (C) vs the baseline grid
+ * (B) on bivariate bicycle codes.
+ *
+ * Each point compiles one round under the architecture, couples the
+ * latency into the noise model, and Monte-Carlo decodes. Default
+ * codes: [[72,12,6]] and one [[144,12,12]] point; CYCLONE_FULL=1
+ * runs all five BB codes over the dense p sweep.
+ * Counters: LER, LER_err, latency_ms.
+ */
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace cyclone;
+using namespace cyclone::bench;
+
+namespace {
+
+double
+cachedLatency(const std::string& name, Architecture arch)
+{
+    static std::map<std::string, double> cache;
+    const std::string key =
+        name + "/" + architectureName(arch);
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+    CssCode code = catalog::byName(name);
+    SyndromeSchedule schedule = makeXThenZSchedule(code);
+    const double latency =
+        compileArch(code, schedule, arch).execTimeUs;
+    cache[key] = latency;
+    return latency;
+}
+
+void
+runLer(benchmark::State& state, const std::string& name,
+       Architecture arch, double p, size_t n_shots)
+{
+    CssCode code = catalog::byName(name);
+    SyndromeSchedule schedule = makeXThenZSchedule(code);
+    const double latency = cachedLatency(name, arch);
+    for (auto _ : state) {
+        auto result = runPoint(code, schedule, p, latency, n_shots);
+        setLerCounters(state, result);
+        state.counters["latency_ms"] = latency / 1000.0;
+        state.counters["p"] = p;
+    }
+}
+
+void
+registerCode(const std::string& name, const std::vector<double>& ps,
+             size_t n_shots)
+{
+    for (Architecture arch :
+         {Architecture::Cyclone, Architecture::BaselineGrid}) {
+        const char tag = arch == Architecture::Cyclone ? 'C' : 'B';
+        for (double p : ps) {
+            char label[96];
+            std::snprintf(label, sizeof label, "fig14/%s/%c/p:%.1e",
+                          name.c_str(), tag, p);
+            benchmark::RegisterBenchmark(
+                label,
+                [name, arch, p, n_shots](benchmark::State& s) {
+                    runLer(s, name, arch, p, n_shots);
+                })
+                ->Iterations(1)->Unit(benchmark::kMillisecond);
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (fullMode()) {
+        for (const char* name :
+             {"bb72", "bb90", "bb108", "bb144", "bb288"}) {
+            registerCode(name, {5e-4, 1e-3, 2e-3, 4e-3}, shots(400));
+        }
+    } else {
+        registerCode("bb72", {1e-3, 2e-3, 4e-3}, shots(600));
+        registerCode("bb144", {2e-3}, shots(120));
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

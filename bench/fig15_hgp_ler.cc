@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Figure 15: logical error rates of Cyclone (C) vs the baseline grid
+ * (B) on hypergraph product codes.
+ *
+ * Default code: [[225,9,6]]; CYCLONE_FULL=1 adds [[400,16,6]] and
+ * [[625,25,8]] over a denser p sweep. Counters: LER, LER_err,
+ * latency_ms, p.
+ */
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace cyclone;
+using namespace cyclone::bench;
+
+namespace {
+
+double
+cachedLatency(const std::string& name, Architecture arch)
+{
+    static std::map<std::string, double> cache;
+    const std::string key = name + "/" + architectureName(arch);
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+    CssCode code = catalog::byName(name);
+    SyndromeSchedule schedule = makeXThenZSchedule(code);
+    const double latency =
+        compileArch(code, schedule, arch).execTimeUs;
+    cache[key] = latency;
+    return latency;
+}
+
+void
+runLer(benchmark::State& state, const std::string& name,
+       Architecture arch, double p, size_t n_shots)
+{
+    CssCode code = catalog::byName(name);
+    SyndromeSchedule schedule = makeXThenZSchedule(code);
+    const double latency = cachedLatency(name, arch);
+    for (auto _ : state) {
+        auto result = runPoint(code, schedule, p, latency, n_shots);
+        setLerCounters(state, result);
+        state.counters["latency_ms"] = latency / 1000.0;
+        state.counters["p"] = p;
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::vector<std::string> codes{"hgp225"};
+    std::vector<double> ps{5e-4, 1e-3, 2e-3};
+    size_t n_shots = shots(250);
+    if (fullMode()) {
+        codes = {"hgp225", "hgp400", "hgp625"};
+        ps = {2e-4, 5e-4, 1e-3, 2e-3};
+        n_shots = shots(400);
+    }
+    for (const auto& name : codes) {
+        for (Architecture arch :
+             {Architecture::Cyclone, Architecture::BaselineGrid}) {
+            const char tag =
+                arch == Architecture::Cyclone ? 'C' : 'B';
+            for (double p : ps) {
+                char label[96];
+                std::snprintf(label, sizeof label,
+                              "fig15/%s/%c/p:%.1e", name.c_str(), tag,
+                              p);
+                benchmark::RegisterBenchmark(
+                    label,
+                    [name, arch, p, n_shots](benchmark::State& s) {
+                        runLer(s, name, arch, p, n_shots);
+                    })
+                    ->Iterations(1)->Unit(benchmark::kMillisecond);
+            }
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

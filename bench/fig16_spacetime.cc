@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 16: spacetime cost (traps x execution time x ancilla count)
+ * of the baseline grid relative to Cyclone, for every code.
+ *
+ * Counters: baseline_st, cyclone_st, ratio (the paper reports up to
+ * ~20x overall improvement).
+ */
+
+#include <string>
+
+#include "bench_util.h"
+
+using namespace cyclone;
+using namespace cyclone::bench;
+
+namespace {
+
+void
+runCode(benchmark::State& state, const std::string& name)
+{
+    CssCode code = catalog::byName(name);
+    SyndromeSchedule schedule = makeXThenZSchedule(code);
+    for (auto _ : state) {
+        CompileResult bl =
+            compileArch(code, schedule, Architecture::BaselineGrid);
+        CompileResult cy =
+            compileArch(code, schedule, Architecture::Cyclone);
+        state.counters["baseline_st"] = bl.spacetimeCost();
+        state.counters["cyclone_st"] = cy.spacetimeCost();
+        state.counters["ratio"] =
+            bl.spacetimeCost() / cy.spacetimeCost();
+        state.counters["exec_ratio"] = bl.execTimeUs / cy.execTimeUs;
+        state.counters["trap_ratio"] =
+            static_cast<double>(bl.numTraps) / cy.numTraps;
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    for (const std::string& name : catalog::names()) {
+        benchmark::RegisterBenchmark(
+            ("fig16/" + name).c_str(),
+            [name](benchmark::State& s) { runCode(s, name); })
+            ->Iterations(1)->Unit(benchmark::kMillisecond);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Figure 18: sensitivity to uniform reduction of gate and shuttling
+ * times by r% on [[225,9,6]] at p = 1e-4.
+ *
+ * As operations speed up, decoherence stops dominating and the
+ * baseline-vs-Cyclone LER gap narrows toward the code's intrinsic
+ * error floor. Counters: exec_ms for both architectures (all points),
+ * LER at selected points.
+ */
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace cyclone;
+using namespace cyclone::bench;
+
+namespace {
+
+double
+compileAt(const CssCode& code, const SyndromeSchedule& schedule,
+          Architecture arch, double reduction_pct)
+{
+    CodesignConfig config;
+    config.architecture = arch;
+    config.ejf.durations.scale = 1.0 - reduction_pct / 100.0;
+    config.cyclone.durations.scale = 1.0 - reduction_pct / 100.0;
+    return compileCodesign(code, schedule, config).execTimeUs;
+}
+
+void
+runExec(benchmark::State& state, double reduction)
+{
+    CssCode code = catalog::hgp225();
+    SyndromeSchedule schedule = makeXThenZSchedule(code);
+    for (auto _ : state) {
+        state.counters["baseline_ms"] =
+            compileAt(code, schedule, Architecture::BaselineGrid,
+                      reduction) / 1000.0;
+        state.counters["cyclone_ms"] =
+            compileAt(code, schedule, Architecture::Cyclone,
+                      reduction) / 1000.0;
+        state.counters["reduction_pct"] = reduction;
+    }
+}
+
+void
+runLer(benchmark::State& state, Architecture arch, double reduction)
+{
+    CssCode code = catalog::hgp225();
+    SyndromeSchedule schedule = makeXThenZSchedule(code);
+    const double latency =
+        compileAt(code, schedule, arch, reduction);
+    for (auto _ : state) {
+        auto result = runPoint(code, schedule, 1e-4, latency,
+                               shots(150));
+        setLerCounters(state, result);
+        state.counters["exec_ms"] = latency / 1000.0;
+        state.counters["reduction_pct"] = reduction;
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const std::vector<double> reductions = fullMode()
+        ? std::vector<double>{0, 10, 25, 40, 50, 65, 75, 90}
+        : std::vector<double>{0, 25, 50, 75};
+    for (double r : reductions) {
+        benchmark::RegisterBenchmark(
+            ("fig18/exec/reduce:" + std::to_string(int(r)) + "%").c_str(),
+            [r](benchmark::State& s) { runExec(s, r); })
+            ->Iterations(1)->Unit(benchmark::kMillisecond);
+    }
+    for (double r : {0.0, 50.0}) {
+        for (Architecture arch :
+             {Architecture::Cyclone, Architecture::BaselineGrid}) {
+            const char tag =
+                arch == Architecture::Cyclone ? 'C' : 'B';
+            benchmark::RegisterBenchmark(
+            (std::string("fig18/ler/") + tag + "/reduce:" +
+                    std::to_string(int(r)) + "%").c_str(),
+                [arch, r](benchmark::State& s) { runLer(s, arch, r); })
+                ->Iterations(1)->Unit(benchmark::kMillisecond);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 19: raw execution times of the alternate grid, the baseline
+ * grid, and Cyclone across HGP and BB codes.
+ *
+ * Counters: exec_ms per architecture plus the speedups over the
+ * baseline. The expected ordering is cyclone < alternate < baseline.
+ */
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace cyclone;
+using namespace cyclone::bench;
+
+namespace {
+
+void
+runCode(benchmark::State& state, const std::string& name)
+{
+    CssCode code = catalog::byName(name);
+    SyndromeSchedule schedule = makeXThenZSchedule(code);
+    for (auto _ : state) {
+        const double baseline =
+            compileArch(code, schedule, Architecture::BaselineGrid)
+                .execTimeUs;
+        const double alternate =
+            compileArch(code, schedule, Architecture::AlternateGrid)
+                .execTimeUs;
+        const double cyc =
+            compileArch(code, schedule, Architecture::Cyclone)
+                .execTimeUs;
+        state.counters["baseline_ms"] = baseline / 1000.0;
+        state.counters["alternate_ms"] = alternate / 1000.0;
+        state.counters["cyclone_ms"] = cyc / 1000.0;
+        state.counters["alt_speedup"] = baseline / alternate;
+        state.counters["cyclone_speedup"] = baseline / cyc;
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::vector<std::string> codes{"hgp225", "bb72", "bb144"};
+    if (fullMode())
+        codes = catalog::names();
+    for (const auto& name : codes) {
+        benchmark::RegisterBenchmark(
+            ("fig19/" + name).c_str(),
+            [name](benchmark::State& s) { runCode(s, name); })
+            ->Iterations(1)->Unit(benchmark::kMillisecond);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

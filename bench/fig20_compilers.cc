@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Figure 20: total and unrolled (component-wise serialized) execution
+ * times for the three baseline compilers on [[225,9,6]], plus the
+ * realized % parallelization (actual / serialized; lower = more
+ * parallel), with Cyclone for reference.
+ *
+ * Counters: exec_ms, serial_gate_ms, serial_shuttle_ms,
+ * serial_junction_ms, serial_swap_ms, serial_measure_ms,
+ * parallel_pct.
+ */
+
+#include <functional>
+#include <string>
+
+#include "bench_util.h"
+
+using namespace cyclone;
+using namespace cyclone::bench;
+
+namespace {
+
+void
+report(benchmark::State& state, const CompileResult& r)
+{
+    state.counters["exec_ms"] = r.execTimeUs / 1000.0;
+    state.counters["serial_gate_ms"] = r.serialized.gateUs / 1000.0;
+    state.counters["serial_shuttle_ms"] =
+        r.serialized.shuttleUs / 1000.0;
+    state.counters["serial_junction_ms"] =
+        r.serialized.junctionUs / 1000.0;
+    state.counters["serial_swap_ms"] = r.serialized.swapUs / 1000.0;
+    state.counters["serial_measure_ms"] =
+        r.serialized.measureUs / 1000.0;
+    state.counters["parallel_pct"] = 100.0 * r.parallelFraction();
+}
+
+void
+runCompiler(benchmark::State& state, int which)
+{
+    CssCode code = catalog::hgp225();
+    SyndromeSchedule schedule = makeXThenZSchedule(code);
+    const size_t side = 15;
+    Topology grid = buildBaselineGrid(side, side, 5);
+    for (auto _ : state) {
+        CompileResult r;
+        switch (which) {
+          case 0:
+            r = compileEjf(code, schedule, grid, {});
+            break;
+          case 1:
+            r = compileBaseline2(code, schedule, grid, {});
+            break;
+          case 2:
+            r = compileBaseline3(code, schedule, grid, {});
+            break;
+          default:
+            r = compileCyclone(code);
+            break;
+        }
+        report(state, r);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const char* names[] = {"baseline1-ejf", "baseline2-muzzle",
+                           "baseline3-moveless", "cyclone"};
+    for (int i = 0; i < 4; ++i) {
+        benchmark::RegisterBenchmark(
+            (std::string("fig20/") + names[i]).c_str(),
+            [i](benchmark::State& s) { runCompiler(s, i); })
+            ->Iterations(1)->Unit(benchmark::kMillisecond);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 21: IonSwap vs GateSwap sensitivity on [[225,9,6]] for the
+ * baseline grid and for Cyclone.
+ *
+ * IonSwap scales with the ion's distance from the chain end, so the
+ * baseline (which mostly exits through the port it entered) prefers
+ * it, while Cyclone's fixed-direction rotation crosses the whole
+ * chain every step and prefers the constant-cost GateSwap. Counters:
+ * exec_ms, swap_ops, serial_swap_ms.
+ */
+
+#include <string>
+
+#include "bench_util.h"
+
+using namespace cyclone;
+using namespace cyclone::bench;
+
+namespace {
+
+void
+runCell(benchmark::State& state, Architecture arch, SwapKind swap)
+{
+    CssCode code = catalog::hgp225();
+    SyndromeSchedule schedule = makeXThenZSchedule(code);
+    CodesignConfig config;
+    config.architecture = arch;
+    config.ejf.swap = swap;
+    config.cyclone.swap = swap;
+    for (auto _ : state) {
+        CompileResult r = compileCodesign(code, schedule, config);
+        state.counters["exec_ms"] = r.execTimeUs / 1000.0;
+        state.counters["swap_ops"] = static_cast<double>(r.swapOps);
+        state.counters["serial_swap_ms"] =
+            r.serialized.swapUs / 1000.0;
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    struct Cell
+    {
+        const char* label;
+        Architecture arch;
+        SwapKind swap;
+    };
+    const Cell cells[] = {
+        {"fig21/baseline/GateSwap", Architecture::BaselineGrid,
+         SwapKind::GateSwap},
+        {"fig21/baseline/IonSwap", Architecture::BaselineGrid,
+         SwapKind::IonSwap},
+        {"fig21/cyclone/GateSwap", Architecture::Cyclone,
+         SwapKind::GateSwap},
+        {"fig21/cyclone/IonSwap", Architecture::Cyclone,
+         SwapKind::IonSwap},
+    };
+    for (const Cell& c : cells) {
+        benchmark::RegisterBenchmark(
+            c.label, [c](benchmark::State& s) {
+                runCell(s, c.arch, c.swap);
+            })->Iterations(1)->Unit(benchmark::kMillisecond);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

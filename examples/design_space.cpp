@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Design-space exploration (the Fig. 13 study): sweep Cyclone ring
+ * sizes with tight trap capacities for a code and report execution
+ * time per round, the closed-form bound, and the spacetime cost.
+ *
+ * Run: ./design_space [code-name] (default hgp225)
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/cyclone.h"
+
+using namespace cyclone;
+
+int
+main(int argc, char** argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "hgp225";
+    CssCode code = catalog::byName(name);
+    std::printf("Design space for %s (n = %zu, m = %zu)\n\n",
+                code.name().c_str(), code.numQubits(),
+                code.numStabs());
+
+    const size_t base = std::max(code.numXStabs(), code.numZStabs());
+    std::vector<size_t> trap_counts{1, 3, 9, 15, 25, 45, 64, 75};
+    if (base > trap_counts.back())
+        trap_counts.push_back(base);
+
+    auto points = sweepCycloneTrapCounts(code, trap_counts);
+    std::printf("%6s %9s %14s %14s %16s\n", "traps", "capacity",
+                "exec (ms)", "bound (ms)", "spacetime");
+    for (const auto& p : points) {
+        std::printf("%6zu %9zu %14.2f %14.2f %16.3e\n", p.traps,
+                    p.capacity, p.execTimeUs / 1000.0,
+                    p.analyticUs / 1000.0, p.spacetime);
+    }
+    const auto& best = bestDesignPoint(points);
+    std::printf("\nFastest configuration: %zu traps at capacity %zu "
+                "(%.2f ms per round)\n",
+                best.traps, best.capacity, best.execTimeUs / 1000.0);
+
+    // Compare against the baseline grid for context.
+    SyndromeSchedule schedule = makeXThenZSchedule(code);
+    CodesignConfig cfg;
+    cfg.architecture = Architecture::BaselineGrid;
+    CompileResult baseline = compileCodesign(code, schedule, cfg);
+    std::printf("Baseline grid reference: %.2f ms per round\n",
+                baseline.execTimeUs / 1000.0);
+    return 0;
+}

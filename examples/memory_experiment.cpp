@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Hardware-aware memory experiment: sweep the physical error rate for
+ * one code under a chosen architecture and print the logical error
+ * rate curve with Wilson error bars (the raw material of the paper's
+ * Figs. 14-15).
+ *
+ * Run: ./memory_experiment [code-name] [cyclone|baseline] [shots]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/cyclone.h"
+
+using namespace cyclone;
+
+int
+main(int argc, char** argv)
+{
+    const std::string name = argc > 1 ? argv[1] : "bb72";
+    const std::string arch = argc > 2 ? argv[2] : "cyclone";
+    const size_t shots = argc > 3
+        ? static_cast<size_t>(std::atoll(argv[3])) : 400;
+
+    CssCode code = catalog::byName(name);
+    SyndromeSchedule schedule = makeXThenZSchedule(code);
+
+    CodesignConfig config;
+    config.architecture = arch == "baseline"
+        ? Architecture::BaselineGrid : Architecture::Cyclone;
+    CompileResult compiled = compileCodesign(code, schedule, config);
+    std::printf("%s on %s: round latency %.2f ms\n",
+                code.name().c_str(), architectureName(
+                    config.architecture),
+                compiled.execTimeUs / 1000.0);
+
+    std::printf("%10s %12s %12s %10s %12s\n", "p", "LER", "+-",
+                "perRound", "BP-conv");
+    for (double p : {2e-4, 5e-4, 1e-3, 2e-3}) {
+        MemoryExperimentConfig exp;
+        exp.physicalError = p;
+        exp.shots = shots;
+        exp.roundLatencyUs = compiled.execTimeUs;
+        exp.seed = 1234;
+        auto result = runZMemoryExperiment(code, schedule, exp);
+        const double conv = result.decoder.decodes > 0
+            ? static_cast<double>(result.decoder.bpConverged) /
+                result.decoder.decodes
+            : 0.0;
+        std::printf("%10.1e %12.5f %12.5f %10.5f %11.0f%%\n", p,
+                    result.logicalErrorRate.rate,
+                    wilsonHalfWidth(result.logicalErrorRate.successes,
+                                    result.logicalErrorRate.trials),
+                    result.perRoundErrorRate, 100.0 * conv);
+    }
+    return 0;
+}

@@ -1,0 +1,179 @@
+#include "circuit/circuit.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace cyclone {
+
+Circuit::Circuit(size_t num_qubits)
+    : numQubits_(num_qubits)
+{
+    CYCLONE_ASSERT(num_qubits > 0, "circuit needs at least one qubit");
+}
+
+void
+Circuit::resetZ(uint32_t q)
+{
+    CYCLONE_ASSERT(q < numQubits_, "resetZ target out of range");
+    ops_.push_back({OpKind::ResetZ, {q}, {}});
+}
+
+void
+Circuit::resetX(uint32_t q)
+{
+    CYCLONE_ASSERT(q < numQubits_, "resetX target out of range");
+    ops_.push_back({OpKind::ResetX, {q}, {}});
+}
+
+size_t
+Circuit::measureZ(uint32_t q)
+{
+    CYCLONE_ASSERT(q < numQubits_, "measureZ target out of range");
+    ops_.push_back({OpKind::MeasureZ, {q}, {}});
+    return numMeasurements_++;
+}
+
+size_t
+Circuit::measureX(uint32_t q)
+{
+    CYCLONE_ASSERT(q < numQubits_, "measureX target out of range");
+    ops_.push_back({OpKind::MeasureX, {q}, {}});
+    return numMeasurements_++;
+}
+
+void
+Circuit::cx(uint32_t control, uint32_t target)
+{
+    CYCLONE_ASSERT(control < numQubits_ && target < numQubits_,
+                   "cx target out of range");
+    CYCLONE_ASSERT(control != target, "cx control equals target");
+    ops_.push_back({OpKind::Cx, {control, target}, {}});
+}
+
+void
+Circuit::xError(uint32_t q, double p)
+{
+    if (p <= 0.0)
+        return;
+    ops_.push_back({OpKind::XError, {q}, {p, 0.0, 0.0}});
+}
+
+void
+Circuit::zError(uint32_t q, double p)
+{
+    if (p <= 0.0)
+        return;
+    ops_.push_back({OpKind::ZError, {q}, {p, 0.0, 0.0}});
+}
+
+void
+Circuit::depolarize1(uint32_t q, double p)
+{
+    if (p <= 0.0)
+        return;
+    ops_.push_back({OpKind::Depolarize1, {q}, {p, 0.0, 0.0}});
+}
+
+void
+Circuit::depolarize2(uint32_t a, uint32_t b, double p)
+{
+    if (p <= 0.0)
+        return;
+    CYCLONE_ASSERT(a != b, "depolarize2 on identical qubits");
+    ops_.push_back({OpKind::Depolarize2, {a, b}, {p, 0.0, 0.0}});
+}
+
+void
+Circuit::pauli1(uint32_t q, double px, double py, double pz)
+{
+    if (px <= 0.0 && py <= 0.0 && pz <= 0.0)
+        return;
+    ops_.push_back({OpKind::Pauli1, {q}, {px, py, pz}});
+}
+
+size_t
+Circuit::addDetector(std::vector<uint32_t> measurement_indices)
+{
+    for (uint32_t m : measurement_indices) {
+        CYCLONE_ASSERT(m < numMeasurements_,
+                       "detector references future measurement " << m);
+    }
+    ops_.push_back({OpKind::Detector, std::move(measurement_indices), {}});
+    return numDetectors_++;
+}
+
+void
+Circuit::addObservable(size_t id,
+                       std::vector<uint32_t> measurement_indices)
+{
+    CYCLONE_ASSERT(id < 64, "observable id " << id << " exceeds 63");
+    for (uint32_t m : measurement_indices) {
+        CYCLONE_ASSERT(m < numMeasurements_,
+                       "observable references future measurement " << m);
+    }
+    Op op{OpKind::Observable, std::move(measurement_indices), {}};
+    op.params[0] = static_cast<double>(id);
+    ops_.push_back(std::move(op));
+    numObservables_ = std::max(numObservables_, id + 1);
+}
+
+size_t
+Circuit::numNoiseSites() const
+{
+    size_t count = 0;
+    for (const Op& op : ops_) {
+        switch (op.kind) {
+          case OpKind::XError:
+          case OpKind::ZError:
+          case OpKind::Depolarize1:
+          case OpKind::Depolarize2:
+          case OpKind::Pauli1:
+            ++count;
+            break;
+          default:
+            break;
+        }
+    }
+    return count;
+}
+
+std::string
+Circuit::toString() const
+{
+    std::ostringstream os;
+    for (const Op& op : ops_) {
+        switch (op.kind) {
+          case OpKind::ResetZ: os << "R"; break;
+          case OpKind::ResetX: os << "RX"; break;
+          case OpKind::MeasureZ: os << "M"; break;
+          case OpKind::MeasureX: os << "MX"; break;
+          case OpKind::Cx: os << "CX"; break;
+          case OpKind::XError: os << "X_ERROR(" << op.params[0] << ")";
+            break;
+          case OpKind::ZError: os << "Z_ERROR(" << op.params[0] << ")";
+            break;
+          case OpKind::Depolarize1:
+            os << "DEPOLARIZE1(" << op.params[0] << ")";
+            break;
+          case OpKind::Depolarize2:
+            os << "DEPOLARIZE2(" << op.params[0] << ")";
+            break;
+          case OpKind::Pauli1:
+            os << "PAULI_CHANNEL_1(" << op.params[0] << ","
+               << op.params[1] << "," << op.params[2] << ")";
+            break;
+          case OpKind::Detector: os << "DETECTOR"; break;
+          case OpKind::Observable:
+            os << "OBSERVABLE_INCLUDE(" << op.params[0] << ")";
+            break;
+        }
+        for (uint32_t t : op.targets)
+            os << " " << t;
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace cyclone

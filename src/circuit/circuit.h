@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Stabilizer circuit intermediate representation for CSS syndrome
+ * extraction experiments.
+ *
+ * The IR supports exactly the operations a CSS memory experiment needs:
+ * Z/X-basis resets and measurements, CX, and Pauli error channels, plus
+ * DETECTOR / OBSERVABLE annotations referencing absolute measurement
+ * indices. This is the subset of Stim's language required by the paper,
+ * implemented natively so Pauli-frame simulation and detector error
+ * model extraction are exact.
+ */
+
+#ifndef CYCLONE_CIRCUIT_CIRCUIT_H
+#define CYCLONE_CIRCUIT_CIRCUIT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cyclone {
+
+/** Circuit operation kinds. */
+enum class OpKind : uint8_t
+{
+    ResetZ,       ///< Reset qubit(s) to |0>.
+    ResetX,       ///< Reset qubit(s) to |+>.
+    MeasureZ,     ///< Z-basis measurement (flipped by X frame).
+    MeasureX,     ///< X-basis measurement (flipped by Z frame).
+    Cx,           ///< CNOT; targets come in (control, target) pairs.
+    XError,       ///< X flip with probability p on each target.
+    ZError,       ///< Z flip with probability p on each target.
+    Depolarize1,  ///< Uniform single-qubit depolarizing, strength p.
+    Depolarize2,  ///< Two-qubit depolarizing on (a, b) pairs, strength p.
+    Pauli1,       ///< Biased Pauli channel with (px, py, pz).
+    Detector,     ///< Parity of measurement records (targets = indices).
+    Observable,   ///< Logical observable; params[0] = observable id.
+};
+
+/** One circuit operation. */
+struct Op
+{
+    OpKind kind;
+    /** Qubit indices, or measurement-record indices for annotations. */
+    std::vector<uint32_t> targets;
+    /** Channel probabilities: p in params[0]; Pauli1 uses all three. */
+    double params[3] = {0.0, 0.0, 0.0};
+};
+
+/**
+ * A flat list of operations acting on a fixed-size qubit register.
+ *
+ * Builder methods keep running counts of measurements, detectors and
+ * observables so callers can reference records as they are created.
+ */
+class Circuit
+{
+  public:
+    /** Create a circuit over `num_qubits` qubits. */
+    explicit Circuit(size_t num_qubits);
+
+    size_t numQubits() const { return numQubits_; }
+    size_t numMeasurements() const { return numMeasurements_; }
+    size_t numDetectors() const { return numDetectors_; }
+    size_t numObservables() const { return numObservables_; }
+    const std::vector<Op>& ops() const { return ops_; }
+
+    /** Append a Z-basis reset. */
+    void resetZ(uint32_t q);
+    /** Append an X-basis reset. */
+    void resetX(uint32_t q);
+
+    /** Append a Z-basis measurement; returns its record index. */
+    size_t measureZ(uint32_t q);
+    /** Append an X-basis measurement; returns its record index. */
+    size_t measureX(uint32_t q);
+
+    /** Append a CNOT with the given control and target. */
+    void cx(uint32_t control, uint32_t target);
+
+    /** Append an X error channel of strength p. */
+    void xError(uint32_t q, double p);
+    /** Append a Z error channel of strength p. */
+    void zError(uint32_t q, double p);
+    /** Append single-qubit depolarizing of strength p. */
+    void depolarize1(uint32_t q, double p);
+    /** Append two-qubit depolarizing of strength p on (a, b). */
+    void depolarize2(uint32_t a, uint32_t b, double p);
+    /** Append a biased Pauli channel with probabilities (px, py, pz). */
+    void pauli1(uint32_t q, double px, double py, double pz);
+
+    /**
+     * Append a detector over the given measurement-record indices;
+     * returns the detector index.
+     */
+    size_t addDetector(std::vector<uint32_t> measurement_indices);
+
+    /**
+     * Append (or extend) a logical observable over measurement-record
+     * indices; `id` must be < 64 (observables are stored as bit masks).
+     */
+    void addObservable(size_t id,
+                       std::vector<uint32_t> measurement_indices);
+
+    /** Count of error-channel operations (noise sites). */
+    size_t numNoiseSites() const;
+
+    /** Multi-line human-readable dump (Stim-flavored text). */
+    std::string toString() const;
+
+  private:
+    size_t numQubits_;
+    size_t numMeasurements_ = 0;
+    size_t numDetectors_ = 0;
+    size_t numObservables_ = 0;
+    std::vector<Op> ops_;
+};
+
+} // namespace cyclone
+
+#endif // CYCLONE_CIRCUIT_CIRCUIT_H

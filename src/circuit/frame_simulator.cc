@@ -1,0 +1,206 @@
+#include "circuit/frame_simulator.h"
+
+#include "common/logging.h"
+
+namespace cyclone {
+
+FrameSimulator::FrameSimulator(const Circuit& circuit)
+    : circuit_(circuit)
+{}
+
+namespace {
+
+/** Single-shot frame state. */
+struct Frame
+{
+    explicit Frame(size_t qubits)
+        : x(qubits), z(qubits)
+    {}
+
+    BitVec x;
+    BitVec z;
+};
+
+} // namespace
+
+DetectorSamples
+FrameSimulator::sample(size_t shots, Rng& rng) const
+{
+    DetectorSamples out;
+    out.numDetectors = circuit_.numDetectors();
+    out.numObservables = circuit_.numObservables();
+    out.detectors.reserve(shots);
+    out.observables.reserve(shots);
+
+    for (size_t shot = 0; shot < shots; ++shot) {
+        Frame frame(circuit_.numQubits());
+        BitVec meas_flips(circuit_.numMeasurements());
+        BitVec dets(circuit_.numDetectors());
+        uint64_t obs = 0;
+        size_t meas_index = 0;
+        size_t det_index = 0;
+
+        for (const Op& op : circuit_.ops()) {
+            switch (op.kind) {
+              case OpKind::ResetZ:
+              case OpKind::ResetX:
+                for (uint32_t q : op.targets) {
+                    frame.x.set(q, false);
+                    frame.z.set(q, false);
+                }
+                break;
+              case OpKind::MeasureZ:
+                meas_flips.set(meas_index++, frame.x.get(op.targets[0]));
+                break;
+              case OpKind::MeasureX:
+                meas_flips.set(meas_index++, frame.z.get(op.targets[0]));
+                break;
+              case OpKind::Cx: {
+                const uint32_t c = op.targets[0];
+                const uint32_t t = op.targets[1];
+                if (frame.x.get(c))
+                    frame.x.flip(t);
+                if (frame.z.get(t))
+                    frame.z.flip(c);
+                break;
+              }
+              case OpKind::XError:
+                if (rng.bernoulli(op.params[0]))
+                    frame.x.flip(op.targets[0]);
+                break;
+              case OpKind::ZError:
+                if (rng.bernoulli(op.params[0]))
+                    frame.z.flip(op.targets[0]);
+                break;
+              case OpKind::Depolarize1:
+                if (rng.bernoulli(op.params[0])) {
+                    // Uniform over X, Y, Z.
+                    switch (rng.below(3)) {
+                      case 0: frame.x.flip(op.targets[0]); break;
+                      case 1: frame.x.flip(op.targets[0]);
+                              frame.z.flip(op.targets[0]); break;
+                      default: frame.z.flip(op.targets[0]); break;
+                    }
+                }
+                break;
+              case OpKind::Depolarize2:
+                if (rng.bernoulli(op.params[0])) {
+                    // Uniform over the 15 nontrivial two-qubit Paulis.
+                    uint64_t pauli = 1 + rng.below(15);
+                    const uint32_t a = op.targets[0];
+                    const uint32_t b = op.targets[1];
+                    // Bits: 0 = Xa, 1 = Za, 2 = Xb, 3 = Zb.
+                    if (pauli & 1) frame.x.flip(a);
+                    if (pauli & 2) frame.z.flip(a);
+                    if (pauli & 4) frame.x.flip(b);
+                    if (pauli & 8) frame.z.flip(b);
+                }
+                break;
+              case OpKind::Pauli1: {
+                const double u = rng.uniform();
+                const double px = op.params[0];
+                const double py = op.params[1];
+                const double pz = op.params[2];
+                if (u < px) {
+                    frame.x.flip(op.targets[0]);
+                } else if (u < px + py) {
+                    frame.x.flip(op.targets[0]);
+                    frame.z.flip(op.targets[0]);
+                } else if (u < px + py + pz) {
+                    frame.z.flip(op.targets[0]);
+                }
+                break;
+              }
+              case OpKind::Detector: {
+                bool parity = false;
+                for (uint32_t m : op.targets)
+                    parity ^= meas_flips.get(m);
+                dets.set(det_index++, parity);
+                break;
+              }
+              case OpKind::Observable: {
+                bool parity = false;
+                for (uint32_t m : op.targets)
+                    parity ^= meas_flips.get(m);
+                if (parity)
+                    obs ^= uint64_t(1) << static_cast<uint64_t>(
+                        op.params[0]);
+                break;
+              }
+            }
+        }
+        out.detectors.push_back(std::move(dets));
+        out.observables.push_back(obs);
+    }
+    return out;
+}
+
+void
+FrameSimulator::propagateFault(size_t op_index, uint32_t qubit,
+                               bool x_part, bool z_part,
+                               BitVec& detector_flips,
+                               uint64_t& observable_mask) const
+{
+    Frame frame(circuit_.numQubits());
+    BitVec meas_flips(circuit_.numMeasurements());
+    detector_flips = BitVec(circuit_.numDetectors());
+    observable_mask = 0;
+    size_t meas_index = 0;
+    size_t det_index = 0;
+    bool injected = false;
+
+    for (size_t i = 0; i < circuit_.ops().size(); ++i) {
+        if (i == op_index && !injected) {
+            if (x_part)
+                frame.x.flip(qubit);
+            if (z_part)
+                frame.z.flip(qubit);
+            injected = true;
+        }
+        const Op& op = circuit_.ops()[i];
+        switch (op.kind) {
+          case OpKind::ResetZ:
+          case OpKind::ResetX:
+            for (uint32_t q : op.targets) {
+                frame.x.set(q, false);
+                frame.z.set(q, false);
+            }
+            break;
+          case OpKind::MeasureZ:
+            meas_flips.set(meas_index++, frame.x.get(op.targets[0]));
+            break;
+          case OpKind::MeasureX:
+            meas_flips.set(meas_index++, frame.z.get(op.targets[0]));
+            break;
+          case OpKind::Cx: {
+            const uint32_t c = op.targets[0];
+            const uint32_t t = op.targets[1];
+            if (frame.x.get(c))
+                frame.x.flip(t);
+            if (frame.z.get(t))
+                frame.z.flip(c);
+            break;
+          }
+          case OpKind::Detector: {
+            bool parity = false;
+            for (uint32_t m : op.targets)
+                parity ^= meas_flips.get(m);
+            detector_flips.set(det_index++, parity);
+            break;
+          }
+          case OpKind::Observable: {
+            bool parity = false;
+            for (uint32_t m : op.targets)
+                parity ^= meas_flips.get(m);
+            if (parity)
+                observable_mask ^= uint64_t(1)
+                    << static_cast<uint64_t>(op.params[0]);
+            break;
+          }
+          default:
+            break; // Noise channels contribute nothing deterministically.
+        }
+    }
+}
+
+} // namespace cyclone

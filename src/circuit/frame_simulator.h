@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Monte-Carlo Pauli-frame simulator.
+ *
+ * Tracks, per shot, the X and Z Pauli frame (deviation from the
+ * noiseless reference execution) through the circuit and records which
+ * measurement outcomes flip. Because every detector and observable in
+ * the memory circuits built by this library is deterministic in the
+ * noiseless case, detector values equal the parity of measurement
+ * flips. Used for validation of the detector-error-model path and as
+ * an alternative sampling backend.
+ */
+
+#ifndef CYCLONE_CIRCUIT_FRAME_SIMULATOR_H
+#define CYCLONE_CIRCUIT_FRAME_SIMULATOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "common/bitvec.h"
+#include "common/rng.h"
+
+namespace cyclone {
+
+/** Result of sampling a circuit's detectors and observables. */
+struct DetectorSamples
+{
+    size_t numDetectors = 0;
+    size_t numObservables = 0;
+    /** One BitVec of detector values per shot. */
+    std::vector<BitVec> detectors;
+    /** One observable-flip mask per shot (bit i = observable i). */
+    std::vector<uint64_t> observables;
+};
+
+/** Pauli-frame sampler for CSS circuits. */
+class FrameSimulator
+{
+  public:
+    explicit FrameSimulator(const Circuit& circuit);
+
+    /** Sample `shots` executions, consuming randomness from `rng`. */
+    DetectorSamples sample(size_t shots, Rng& rng) const;
+
+    /**
+     * Propagate a single deterministic Pauli fault injected before
+     * operation `op_index` and return the detector/observable flips it
+     * causes. `x_part` / `z_part` select the Pauli (X, Z or Y = both).
+     * Used by tests to validate the DEM builder.
+     */
+    void propagateFault(size_t op_index, uint32_t qubit, bool x_part,
+                        bool z_part, BitVec& detector_flips,
+                        uint64_t& observable_mask) const;
+
+  private:
+    const Circuit& circuit_;
+};
+
+} // namespace cyclone
+
+#endif // CYCLONE_CIRCUIT_FRAME_SIMULATOR_H

@@ -1,0 +1,198 @@
+#include "circuit/memory_circuit.h"
+
+#include <vector>
+
+#include "common/logging.h"
+
+namespace cyclone {
+
+namespace {
+
+/**
+ * Shared builder for both memory bases.
+ *
+ * For Z memory the Z stabilizers are deterministic from round one and
+ * the final readout is transversal M with logical-Z observables; for
+ * X memory the roles are mirrored. The per-round phase order is
+ * always X rotation then Z rotation (Cyclone's execution order).
+ */
+Circuit
+buildMemoryCircuit(const CssCode& code, const SyndromeSchedule& schedule,
+                   const MemoryCircuitOptions& options, bool z_basis)
+{
+    const size_t n = code.numQubits();
+    const size_t mx = code.numXStabs();
+    const size_t mz = code.numZStabs();
+    const size_t rounds = options.rounds > 0
+        ? options.rounds
+        : (code.nominalDistance() > 0 ? code.nominalDistance() : 3);
+    const NoiseModel& noise = options.noise;
+
+    CYCLONE_ASSERT(schedule.isValidFor(code),
+                   "schedule does not match code " << code.name());
+
+    auto x_anc = [&](size_t i) { return static_cast<uint32_t>(n + i); };
+    auto z_anc = [&](size_t i) {
+        return static_cast<uint32_t>(n + mx + i);
+    };
+
+    Circuit circuit(n + mx + mz);
+
+    // Project the schedule onto per-kind slice lists once.
+    std::vector<std::vector<ScheduledGate>> x_slices, z_slices;
+    for (const auto& slice : schedule.slices()) {
+        std::vector<ScheduledGate> xs, zs;
+        for (const ScheduledGate& g : slice) {
+            (g.kind == StabKind::X ? xs : zs).push_back(g);
+        }
+        if (!xs.empty())
+            x_slices.push_back(std::move(xs));
+        if (!zs.empty())
+            z_slices.push_back(std::move(zs));
+    }
+
+    // Data preparation in the memory basis.
+    for (size_t q = 0; q < n; ++q) {
+        const auto qu = static_cast<uint32_t>(q);
+        if (z_basis) {
+            circuit.resetZ(qu);
+            circuit.xError(qu, noise.pPrep());
+        } else {
+            circuit.resetX(qu);
+            circuit.zError(qu, noise.pPrep());
+        }
+    }
+
+    // Latest ancilla measurement per stabilizer, per kind.
+    std::vector<size_t> last_x_meas(mx, SIZE_MAX);
+    std::vector<size_t> last_z_meas(mz, SIZE_MAX);
+
+    for (size_t round = 0; round < rounds; ++round) {
+        // ---- X rotation: prepare, entangle, measure X ancillas. ----
+        for (size_t i = 0; i < mx; ++i) {
+            circuit.resetX(x_anc(i));
+            circuit.zError(x_anc(i), noise.pPrep());
+        }
+        for (const auto& slice : x_slices) {
+            for (const ScheduledGate& g : slice) {
+                const uint32_t anc = x_anc(g.stabIndex);
+                const uint32_t dat = static_cast<uint32_t>(g.data);
+                circuit.cx(anc, dat);
+                circuit.depolarize2(anc, dat, noise.p2());
+            }
+        }
+        std::vector<size_t> x_meas(mx);
+        for (size_t i = 0; i < mx; ++i) {
+            circuit.zError(x_anc(i), noise.pMeas());
+            x_meas[i] = circuit.measureX(x_anc(i));
+        }
+
+        // ---- Z rotation: prepare, entangle, measure Z ancillas. ----
+        for (size_t i = 0; i < mz; ++i) {
+            circuit.resetZ(z_anc(i));
+            circuit.xError(z_anc(i), noise.pPrep());
+        }
+        for (const auto& slice : z_slices) {
+            for (const ScheduledGate& g : slice) {
+                const uint32_t anc = z_anc(g.stabIndex);
+                const uint32_t dat = static_cast<uint32_t>(g.data);
+                circuit.cx(dat, anc);
+                circuit.depolarize2(dat, anc, noise.p2());
+            }
+        }
+        std::vector<size_t> z_meas(mz);
+        for (size_t i = 0; i < mz; ++i) {
+            circuit.xError(z_anc(i), noise.pMeas());
+            z_meas[i] = circuit.measureZ(z_anc(i));
+        }
+
+        // ---- Idle decoherence on data for the round's latency. ----
+        if (noise.idle.total() > 0.0) {
+            for (size_t q = 0; q < n; ++q) {
+                circuit.pauli1(static_cast<uint32_t>(q), noise.idle.px,
+                               noise.idle.py, noise.idle.pz);
+            }
+        }
+
+        // ---- Detectors. ----
+        // The memory-basis stabilizers are deterministic from round
+        // one; the dual kind only compares consecutive rounds.
+        for (size_t i = 0; i < mz; ++i) {
+            if (z_basis || last_z_meas[i] != SIZE_MAX) {
+                std::vector<uint32_t> refs{
+                    static_cast<uint32_t>(z_meas[i])};
+                if (last_z_meas[i] != SIZE_MAX)
+                    refs.push_back(
+                        static_cast<uint32_t>(last_z_meas[i]));
+                circuit.addDetector(std::move(refs));
+            }
+            last_z_meas[i] = z_meas[i];
+        }
+        for (size_t i = 0; i < mx; ++i) {
+            if (!z_basis || last_x_meas[i] != SIZE_MAX) {
+                std::vector<uint32_t> refs{
+                    static_cast<uint32_t>(x_meas[i])};
+                if (last_x_meas[i] != SIZE_MAX)
+                    refs.push_back(
+                        static_cast<uint32_t>(last_x_meas[i]));
+                circuit.addDetector(std::move(refs));
+            }
+            last_x_meas[i] = x_meas[i];
+        }
+    }
+
+    // ---- Final transversal data readout in the memory basis. ----
+    std::vector<size_t> data_meas(n);
+    for (size_t q = 0; q < n; ++q) {
+        const auto qu = static_cast<uint32_t>(q);
+        if (z_basis) {
+            circuit.xError(qu, noise.pMeas());
+            data_meas[q] = circuit.measureZ(qu);
+        } else {
+            circuit.zError(qu, noise.pMeas());
+            data_meas[q] = circuit.measureX(qu);
+        }
+    }
+
+    // Memory-basis stabilizers recomputed from data must match their
+    // last ancilla measurement.
+    const SparseGF2& closing = z_basis ? code.hz() : code.hx();
+    const std::vector<size_t>& closing_meas =
+        z_basis ? last_z_meas : last_x_meas;
+    for (size_t i = 0; i < closing.rows(); ++i) {
+        std::vector<uint32_t> refs{
+            static_cast<uint32_t>(closing_meas[i])};
+        for (size_t q : closing.rowSupport(i))
+            refs.push_back(static_cast<uint32_t>(data_meas[q]));
+        circuit.addDetector(std::move(refs));
+    }
+
+    // Logical observables of the memory basis.
+    const auto& logicals = z_basis ? code.logicalZ() : code.logicalX();
+    for (size_t j = 0; j < logicals.size(); ++j) {
+        std::vector<uint32_t> refs;
+        for (size_t q : logicals[j].onesPositions())
+            refs.push_back(static_cast<uint32_t>(data_meas[q]));
+        circuit.addObservable(j, std::move(refs));
+    }
+
+    return circuit;
+}
+
+} // namespace
+
+Circuit
+buildZMemoryCircuit(const CssCode& code, const SyndromeSchedule& schedule,
+                    const MemoryCircuitOptions& options)
+{
+    return buildMemoryCircuit(code, schedule, options, true);
+}
+
+Circuit
+buildXMemoryCircuit(const CssCode& code, const SyndromeSchedule& schedule,
+                    const MemoryCircuitOptions& options)
+{
+    return buildMemoryCircuit(code, schedule, options, false);
+}
+
+} // namespace cyclone

@@ -1,0 +1,233 @@
+#include "circuit/tableau_simulator.h"
+
+#include "common/logging.h"
+
+namespace cyclone {
+
+TableauSimulator::TableauSimulator(size_t num_qubits, Rng& rng)
+    : n_(num_qubits), rng_(&rng), phase_(2 * num_qubits)
+{
+    CYCLONE_ASSERT(n_ > 0, "tableau needs at least one qubit");
+    xs_.assign(2 * n_, BitVec(n_));
+    zs_.assign(2 * n_, BitVec(n_));
+    for (size_t i = 0; i < n_; ++i) {
+        xs_[i].set(i, true);        // destabilizer i = X_i
+        zs_[n_ + i].set(i, true);   // stabilizer i = Z_i
+    }
+}
+
+void
+TableauSimulator::h(size_t q)
+{
+    for (size_t row = 0; row < 2 * n_; ++row) {
+        const bool x = xs_[row].get(q);
+        const bool z = zs_[row].get(q);
+        if (x && z)
+            phase_.flip(row);
+        xs_[row].set(q, z);
+        zs_[row].set(q, x);
+    }
+}
+
+void
+TableauSimulator::cx(size_t control, size_t target)
+{
+    for (size_t row = 0; row < 2 * n_; ++row) {
+        const bool xc = xs_[row].get(control);
+        const bool zc = zs_[row].get(control);
+        const bool xt = xs_[row].get(target);
+        const bool zt = zs_[row].get(target);
+        if (xc && zt && (xt == zc))
+            phase_.flip(row);
+        xs_[row].set(target, xt ^ xc);
+        zs_[row].set(control, zc ^ zt);
+    }
+}
+
+void
+TableauSimulator::x(size_t q)
+{
+    // X_q anticommutes with rows containing Z_q.
+    for (size_t row = 0; row < 2 * n_; ++row) {
+        if (zs_[row].get(q))
+            phase_.flip(row);
+    }
+}
+
+void
+TableauSimulator::z(size_t q)
+{
+    for (size_t row = 0; row < 2 * n_; ++row) {
+        if (xs_[row].get(q))
+            phase_.flip(row);
+    }
+}
+
+void
+TableauSimulator::rowsum(size_t h_row, size_t i_row)
+{
+    // Multiply row h by row i, tracking the phase exponent mod 4.
+    int exponent = (phase_.get(h_row) ? 2 : 0) +
+                   (phase_.get(i_row) ? 2 : 0);
+    for (size_t q = 0; q < n_; ++q) {
+        const int x1 = xs_[i_row].get(q), z1 = zs_[i_row].get(q);
+        const int x2 = xs_[h_row].get(q), z2 = zs_[h_row].get(q);
+        // Aaronson-Gottesman g-function.
+        if (x1 == 1 && z1 == 0) {
+            exponent += z2 * (2 * x2 - 1);
+        } else if (x1 == 0 && z1 == 1) {
+            exponent += x2 * (1 - 2 * z2);
+        } else if (x1 == 1 && z1 == 1) {
+            exponent += z2 - x2;
+        }
+    }
+    exponent = ((exponent % 4) + 4) % 4;
+    CYCLONE_ASSERT(exponent == 0 || exponent == 2,
+                   "rowsum produced imaginary phase");
+    phase_.set(h_row, exponent == 2);
+    xs_[h_row] ^= xs_[i_row];
+    zs_[h_row] ^= zs_[i_row];
+}
+
+bool
+TableauSimulator::isZMeasurementDeterministic(size_t q) const
+{
+    for (size_t p = n_; p < 2 * n_; ++p) {
+        if (xs_[p].get(q))
+            return false;
+    }
+    return true;
+}
+
+bool
+TableauSimulator::measureZ(size_t q)
+{
+    // Find a stabilizer anticommuting with Z_q.
+    size_t pivot = 2 * n_;
+    for (size_t p = n_; p < 2 * n_; ++p) {
+        if (xs_[p].get(q)) {
+            pivot = p;
+            break;
+        }
+    }
+    if (pivot < 2 * n_) {
+        // Random outcome.
+        for (size_t i = 0; i < 2 * n_; ++i) {
+            if (i != pivot && xs_[i].get(q))
+                rowsum(i, pivot);
+        }
+        // Destabilizer slot takes the old stabilizer row.
+        xs_[pivot - n_] = xs_[pivot];
+        zs_[pivot - n_] = zs_[pivot];
+        phase_.set(pivot - n_, phase_.get(pivot));
+        // New stabilizer = +-Z_q with a random sign.
+        const bool outcome = rng_->bernoulli(0.5);
+        xs_[pivot].clear();
+        zs_[pivot].clear();
+        zs_[pivot].set(q, true);
+        phase_.set(pivot, outcome);
+        return outcome;
+    }
+    // Deterministic outcome: accumulate into a scratch row. Append a
+    // temporary row pair to reuse rowsum.
+    xs_.push_back(BitVec(n_));
+    zs_.push_back(BitVec(n_));
+    phase_.resize(2 * n_ + 1);
+    const size_t scratch = 2 * n_;
+    for (size_t i = 0; i < n_; ++i) {
+        if (xs_[i].get(q))
+            rowsum(scratch, i + n_);
+    }
+    const bool outcome = phase_.get(scratch);
+    xs_.pop_back();
+    zs_.pop_back();
+    phase_.resize(2 * n_);
+    return outcome;
+}
+
+bool
+TableauSimulator::measureX(size_t q)
+{
+    h(q);
+    const bool outcome = measureZ(q);
+    h(q);
+    return outcome;
+}
+
+void
+TableauSimulator::resetZ(size_t q)
+{
+    if (measureZ(q))
+        x(q);
+}
+
+void
+TableauSimulator::resetX(size_t q)
+{
+    resetZ(q);
+    h(q);
+}
+
+StabilizerCircuitCheck
+verifyStabilizerCircuit(const Circuit& circuit, size_t shots,
+                        uint64_t seed)
+{
+    StabilizerCircuitCheck check;
+    Rng rng(seed);
+    for (size_t shot = 0; shot < shots; ++shot) {
+        TableauSimulator sim(circuit.numQubits(), rng);
+        BitVec outcomes(circuit.numMeasurements());
+        size_t meas_index = 0;
+        for (const Op& op : circuit.ops()) {
+            switch (op.kind) {
+              case OpKind::ResetZ:
+                for (uint32_t q : op.targets)
+                    sim.resetZ(q);
+                break;
+              case OpKind::ResetX:
+                for (uint32_t q : op.targets)
+                    sim.resetX(q);
+                break;
+              case OpKind::Cx:
+                sim.cx(op.targets[0], op.targets[1]);
+                break;
+              case OpKind::MeasureZ:
+                outcomes.set(meas_index++,
+                             sim.measureZ(op.targets[0]));
+                break;
+              case OpKind::MeasureX:
+                outcomes.set(meas_index++,
+                             sim.measureX(op.targets[0]));
+                break;
+              case OpKind::Detector: {
+                bool parity = false;
+                for (uint32_t m : op.targets)
+                    parity ^= outcomes.get(m);
+                if (parity)
+                    check.detectorsDeterministic = false;
+                break;
+              }
+              case OpKind::Observable: {
+                bool parity = false;
+                for (uint32_t m : op.targets)
+                    parity ^= outcomes.get(m);
+                if (parity)
+                    check.observablesDeterministic = false;
+                break;
+              }
+              default:
+                // Noise channels must be absent in verification mode.
+                CYCLONE_ASSERT(op.params[0] <= 0.0 &&
+                               op.params[1] <= 0.0 &&
+                               op.params[2] <= 0.0,
+                               "verifyStabilizerCircuit requires a "
+                               "noiseless circuit");
+                break;
+            }
+        }
+        ++check.shotsChecked;
+    }
+    return check;
+}
+
+} // namespace cyclone

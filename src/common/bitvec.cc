@@ -1,0 +1,127 @@
+#include "common/bitvec.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace cyclone {
+
+bool
+BitVec::isZero() const
+{
+    for (uint64_t w : words_) {
+        if (w)
+            return false;
+    }
+    return true;
+}
+
+BitVec&
+BitVec::operator^=(const BitVec& other)
+{
+    CYCLONE_ASSERT(bits_ == other.bits_, "BitVec length mismatch in xor: "
+                   << bits_ << " vs " << other.bits_);
+    for (size_t i = 0; i < words_.size(); ++i)
+        words_[i] ^= other.words_[i];
+    return *this;
+}
+
+BitVec&
+BitVec::operator&=(const BitVec& other)
+{
+    CYCLONE_ASSERT(bits_ == other.bits_, "BitVec length mismatch in and: "
+                   << bits_ << " vs " << other.bits_);
+    for (size_t i = 0; i < words_.size(); ++i)
+        words_[i] &= other.words_[i];
+    return *this;
+}
+
+bool
+BitVec::operator==(const BitVec& other) const
+{
+    return bits_ == other.bits_ && words_ == other.words_;
+}
+
+size_t
+BitVec::popcount() const
+{
+    size_t total = 0;
+    for (uint64_t w : words_)
+        total += static_cast<size_t>(std::popcount(w));
+    return total;
+}
+
+bool
+BitVec::dotParity(const BitVec& other) const
+{
+    CYCLONE_ASSERT(bits_ == other.bits_, "BitVec length mismatch in dot: "
+                   << bits_ << " vs " << other.bits_);
+    uint64_t acc = 0;
+    for (size_t i = 0; i < words_.size(); ++i)
+        acc ^= words_[i] & other.words_[i];
+    return std::popcount(acc) & 1;
+}
+
+void
+BitVec::clear()
+{
+    for (uint64_t& w : words_)
+        w = 0;
+}
+
+void
+BitVec::resize(size_t bits)
+{
+    bits_ = bits;
+    words_.resize((bits + 63) / 64, 0);
+    // Mask off any stale bits beyond the new length.
+    if (bits & 63)
+        words_.back() &= (uint64_t(1) << (bits & 63)) - 1;
+}
+
+std::vector<size_t>
+BitVec::onesPositions() const
+{
+    std::vector<size_t> out;
+    for (size_t wi = 0; wi < words_.size(); ++wi) {
+        uint64_t w = words_[wi];
+        while (w) {
+            int b = std::countr_zero(w);
+            out.push_back(wi * 64 + static_cast<size_t>(b));
+            w &= w - 1;
+        }
+    }
+    return out;
+}
+
+std::string
+BitVec::toString() const
+{
+    std::string s(bits_, '0');
+    for (size_t i = 0; i < bits_; ++i) {
+        if (get(i))
+            s[i] = '1';
+    }
+    return s;
+}
+
+uint64_t
+BitVec::hash() const
+{
+    uint64_t h = 0xcbf29ce484222325ull ^ bits_;
+    for (uint64_t w : words_) {
+        h ^= w;
+        h *= 0x100000001b3ull;
+        h ^= h >> 29;
+    }
+    return h;
+}
+
+BitVec
+operator^(BitVec lhs, const BitVec& rhs)
+{
+    lhs ^= rhs;
+    return lhs;
+}
+
+} // namespace cyclone

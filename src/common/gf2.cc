@@ -1,0 +1,348 @@
+#include "common/gf2.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cyclone {
+
+GF2Matrix::GF2Matrix(size_t rows, size_t cols)
+    : cols_(cols), rows_(rows, BitVec(cols))
+{}
+
+GF2Matrix
+GF2Matrix::identity(size_t n)
+{
+    GF2Matrix m(n, n);
+    for (size_t i = 0; i < n; ++i)
+        m.set(i, i, true);
+    return m;
+}
+
+GF2Matrix
+GF2Matrix::fromRows(const std::vector<std::vector<int>>& rows, size_t cols)
+{
+    GF2Matrix m(rows.size(), cols);
+    for (size_t r = 0; r < rows.size(); ++r) {
+        CYCLONE_ASSERT(rows[r].size() == cols,
+                       "fromRows: row " << r << " has " << rows[r].size()
+                       << " entries, expected " << cols);
+        for (size_t c = 0; c < cols; ++c)
+            m.set(r, c, rows[r][c] & 1);
+    }
+    return m;
+}
+
+void
+GF2Matrix::appendRow(const BitVec& row)
+{
+    CYCLONE_ASSERT(row.size() == cols_, "appendRow: length " << row.size()
+                   << " != cols " << cols_);
+    rows_.push_back(row);
+}
+
+GF2Matrix
+GF2Matrix::transposed() const
+{
+    GF2Matrix t(cols_, rows());
+    for (size_t r = 0; r < rows(); ++r) {
+        for (size_t c : rows_[r].onesPositions())
+            t.set(c, r, true);
+    }
+    return t;
+}
+
+GF2Matrix
+GF2Matrix::multiply(const GF2Matrix& other) const
+{
+    CYCLONE_ASSERT(cols_ == other.rows(), "multiply: " << cols_
+                   << " cols vs " << other.rows() << " rows");
+    GF2Matrix out(rows(), other.cols());
+    for (size_t r = 0; r < rows(); ++r) {
+        for (size_t c : rows_[r].onesPositions())
+            out.rows_[r] ^= other.rows_[c];
+    }
+    return out;
+}
+
+BitVec
+GF2Matrix::multiply(const BitVec& vec) const
+{
+    CYCLONE_ASSERT(cols_ == vec.size(), "multiply: " << cols_
+                   << " cols vs vector length " << vec.size());
+    BitVec out(rows());
+    for (size_t r = 0; r < rows(); ++r)
+        out.set(r, rows_[r].dotParity(vec));
+    return out;
+}
+
+GF2Matrix
+GF2Matrix::kron(const GF2Matrix& other) const
+{
+    GF2Matrix out(rows() * other.rows(), cols_ * other.cols());
+    for (size_t r = 0; r < rows(); ++r) {
+        for (size_t c : rows_[r].onesPositions()) {
+            for (size_t r2 = 0; r2 < other.rows(); ++r2) {
+                for (size_t c2 : other.rows_[r2].onesPositions()) {
+                    out.set(r * other.rows() + r2,
+                            c * other.cols() + c2, true);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+GF2Matrix
+GF2Matrix::hstack(const GF2Matrix& other) const
+{
+    CYCLONE_ASSERT(rows() == other.rows(), "hstack: row count mismatch "
+                   << rows() << " vs " << other.rows());
+    GF2Matrix out(rows(), cols_ + other.cols());
+    for (size_t r = 0; r < rows(); ++r) {
+        for (size_t c : rows_[r].onesPositions())
+            out.set(r, c, true);
+        for (size_t c : other.rows_[r].onesPositions())
+            out.set(r, cols_ + c, true);
+    }
+    return out;
+}
+
+GF2Matrix
+GF2Matrix::vstack(const GF2Matrix& other) const
+{
+    CYCLONE_ASSERT(cols_ == other.cols_, "vstack: col count mismatch "
+                   << cols_ << " vs " << other.cols_);
+    GF2Matrix out = *this;
+    for (size_t r = 0; r < other.rows(); ++r)
+        out.rows_.push_back(other.rows_[r]);
+    return out;
+}
+
+size_t
+GF2Matrix::rank() const
+{
+    GF2Matrix copy = *this;
+    return copy.rowReduce().size();
+}
+
+std::vector<size_t>
+GF2Matrix::rowReduce()
+{
+    std::vector<size_t> pivots;
+    size_t pivot_row = 0;
+    for (size_t col = 0; col < cols_ && pivot_row < rows(); ++col) {
+        // Find a row at or below pivot_row with a 1 in this column.
+        size_t sel = rows();
+        for (size_t r = pivot_row; r < rows(); ++r) {
+            if (rows_[r].get(col)) {
+                sel = r;
+                break;
+            }
+        }
+        if (sel == rows())
+            continue;
+        std::swap(rows_[pivot_row], rows_[sel]);
+        // Eliminate this column from every other row.
+        for (size_t r = 0; r < rows(); ++r) {
+            if (r != pivot_row && rows_[r].get(col))
+                rows_[r] ^= rows_[pivot_row];
+        }
+        pivots.push_back(col);
+        ++pivot_row;
+    }
+    return pivots;
+}
+
+std::vector<BitVec>
+GF2Matrix::nullspaceBasis() const
+{
+    GF2Matrix reduced = *this;
+    std::vector<size_t> pivots = reduced.rowReduce();
+
+    std::vector<bool> is_pivot(cols_, false);
+    for (size_t c : pivots)
+        is_pivot[c] = true;
+
+    std::vector<BitVec> basis;
+    for (size_t free_col = 0; free_col < cols_; ++free_col) {
+        if (is_pivot[free_col])
+            continue;
+        BitVec v(cols_);
+        v.set(free_col, true);
+        // Back-substitute: pivot variable p takes the value of the
+        // free column's entry in the pivot's row.
+        for (size_t i = 0; i < pivots.size(); ++i) {
+            if (reduced.rows_[i].get(free_col))
+                v.set(pivots[i], true);
+        }
+        basis.push_back(std::move(v));
+    }
+    return basis;
+}
+
+bool
+GF2Matrix::solve(const BitVec& b, BitVec& x) const
+{
+    CYCLONE_ASSERT(b.size() == rows(), "solve: rhs length " << b.size()
+                   << " != rows " << rows());
+    // Row reduce the augmented matrix [A | b].
+    GF2Matrix aug(rows(), cols_ + 1);
+    for (size_t r = 0; r < rows(); ++r) {
+        for (size_t c : rows_[r].onesPositions())
+            aug.set(r, c, true);
+        aug.set(r, cols_, b.get(r));
+    }
+    std::vector<size_t> pivots;
+    size_t pivot_row = 0;
+    for (size_t col = 0; col < cols_ && pivot_row < rows(); ++col) {
+        size_t sel = rows();
+        for (size_t r = pivot_row; r < rows(); ++r) {
+            if (aug.get(r, col)) {
+                sel = r;
+                break;
+            }
+        }
+        if (sel == rows())
+            continue;
+        std::swap(aug.rows_[pivot_row], aug.rows_[sel]);
+        for (size_t r = 0; r < rows(); ++r) {
+            if (r != pivot_row && aug.get(r, col))
+                aug.rows_[r] ^= aug.rows_[pivot_row];
+        }
+        pivots.push_back(col);
+        ++pivot_row;
+    }
+    // Inconsistent if a zero row has rhs 1.
+    for (size_t r = pivot_row; r < rows(); ++r) {
+        if (aug.get(r, cols_))
+            return false;
+    }
+    x = BitVec(cols_);
+    for (size_t i = 0; i < pivots.size(); ++i)
+        x.set(pivots[i], aug.get(i, cols_));
+    return true;
+}
+
+bool
+GF2Matrix::isZero() const
+{
+    for (const BitVec& r : rows_) {
+        if (!r.isZero())
+            return false;
+    }
+    return true;
+}
+
+bool
+GF2Matrix::operator==(const GF2Matrix& other) const
+{
+    return cols_ == other.cols_ && rows_ == other.rows_;
+}
+
+SparseGF2
+GF2Matrix::toSparse() const
+{
+    SparseGF2 s(rows(), cols_);
+    for (size_t r = 0; r < rows(); ++r)
+        s.setRowSupport(r, rows_[r].onesPositions());
+    return s;
+}
+
+SparseGF2::SparseGF2(size_t rows, size_t cols)
+    : cols_(cols), rowSupports_(rows)
+{}
+
+void
+SparseGF2::setRowSupport(size_t r, std::vector<size_t> support)
+{
+    std::sort(support.begin(), support.end());
+    support.erase(std::unique(support.begin(), support.end()),
+                  support.end());
+    if (!support.empty()) {
+        CYCLONE_ASSERT(support.back() < cols_, "setRowSupport: index "
+                       << support.back() << " >= cols " << cols_);
+    }
+    rowSupports_[r] = std::move(support);
+}
+
+size_t
+SparseGF2::nnz() const
+{
+    size_t total = 0;
+    for (const auto& s : rowSupports_)
+        total += s.size();
+    return total;
+}
+
+size_t
+SparseGF2::maxRowWeight() const
+{
+    size_t w = 0;
+    for (const auto& s : rowSupports_)
+        w = std::max(w, s.size());
+    return w;
+}
+
+size_t
+SparseGF2::maxColWeight() const
+{
+    std::vector<size_t> weights(cols_, 0);
+    for (const auto& s : rowSupports_) {
+        for (size_t c : s)
+            ++weights[c];
+    }
+    size_t w = 0;
+    for (size_t x : weights)
+        w = std::max(w, x);
+    return w;
+}
+
+std::vector<std::vector<size_t>>
+SparseGF2::colSupports() const
+{
+    std::vector<std::vector<size_t>> cols(cols_);
+    for (size_t r = 0; r < rowSupports_.size(); ++r) {
+        for (size_t c : rowSupports_[r])
+            cols[c].push_back(r);
+    }
+    return cols;
+}
+
+GF2Matrix
+SparseGF2::toDense() const
+{
+    GF2Matrix m(rows(), cols_);
+    for (size_t r = 0; r < rows(); ++r) {
+        for (size_t c : rowSupports_[r])
+            m.set(r, c, true);
+    }
+    return m;
+}
+
+SparseGF2
+SparseGF2::transposed() const
+{
+    SparseGF2 t(cols_, rows());
+    auto cols = colSupports();
+    for (size_t c = 0; c < cols_; ++c)
+        t.setRowSupport(c, cols[c]);
+    return t;
+}
+
+BitVec
+SparseGF2::multiply(const BitVec& e) const
+{
+    CYCLONE_ASSERT(e.size() == cols_, "multiply: vector length "
+                   << e.size() << " != cols " << cols_);
+    BitVec s(rows());
+    for (size_t r = 0; r < rows(); ++r) {
+        bool parity = false;
+        for (size_t c : rowSupports_[r])
+            parity ^= e.get(c);
+        s.set(r, parity);
+    }
+    return s;
+}
+
+} // namespace cyclone

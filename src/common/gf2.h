@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Dense and sparse matrices over GF(2) with the linear algebra needed by
+ * the QEC layer: row reduction, rank, nullspace bases, Kronecker products,
+ * and block composition.
+ *
+ * Dense matrices are row-major vectors of BitVec and are used for rank /
+ * nullspace computations (codes in this repo have at most ~1300 columns).
+ * Sparse matrices store sorted column indices per row and are used for
+ * Tanner-graph traversal and decoder adjacency.
+ */
+
+#ifndef CYCLONE_COMMON_GF2_H
+#define CYCLONE_COMMON_GF2_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bitvec.h"
+
+namespace cyclone {
+
+class SparseGF2;
+
+/** Dense GF(2) matrix with bit-packed rows. */
+class GF2Matrix
+{
+  public:
+    GF2Matrix() = default;
+
+    /** Construct an all-zero matrix. */
+    GF2Matrix(size_t rows, size_t cols);
+
+    /** Identity matrix of size n. */
+    static GF2Matrix identity(size_t n);
+
+    /** Build from a list of rows given as 0/1 initializer rows. */
+    static GF2Matrix
+    fromRows(const std::vector<std::vector<int>>& rows, size_t cols);
+
+    size_t rows() const { return rows_.size(); }
+    size_t cols() const { return cols_; }
+
+    bool get(size_t r, size_t c) const { return rows_[r].get(c); }
+    void set(size_t r, size_t c, bool v) { rows_[r].set(c, v); }
+
+    const BitVec& row(size_t r) const { return rows_[r]; }
+    BitVec& row(size_t r) { return rows_[r]; }
+
+    /** Append a row (must have matching column count). */
+    void appendRow(const BitVec& row);
+
+    /** Matrix transpose. */
+    GF2Matrix transposed() const;
+
+    /** Matrix product over GF(2); cols() must equal other.rows(). */
+    GF2Matrix multiply(const GF2Matrix& other) const;
+
+    /** Matrix-vector product over GF(2). */
+    BitVec multiply(const BitVec& vec) const;
+
+    /** Kronecker (tensor) product. */
+    GF2Matrix kron(const GF2Matrix& other) const;
+
+    /** Horizontal concatenation [this | other]. */
+    GF2Matrix hstack(const GF2Matrix& other) const;
+
+    /** Vertical concatenation [this ; other]. */
+    GF2Matrix vstack(const GF2Matrix& other) const;
+
+    /** Rank via Gaussian elimination (does not modify this). */
+    size_t rank() const;
+
+    /**
+     * In-place row echelon form.
+     *
+     * @return column indices of the pivots, in pivot order.
+     */
+    std::vector<size_t> rowReduce();
+
+    /** Basis of the right nullspace {x : A x = 0}. */
+    std::vector<BitVec> nullspaceBasis() const;
+
+    /**
+     * Solve A x = b, returning true and one solution in x on success.
+     * Returns false if no solution exists.
+     */
+    bool solve(const BitVec& b, BitVec& x) const;
+
+    /** True iff every entry is zero. */
+    bool isZero() const;
+
+    bool operator==(const GF2Matrix& other) const;
+
+    /** Convert to a sparse representation. */
+    SparseGF2 toSparse() const;
+
+  private:
+    size_t cols_ = 0;
+    std::vector<BitVec> rows_;
+};
+
+/** Sparse GF(2) matrix: sorted column indices per row. */
+class SparseGF2
+{
+  public:
+    SparseGF2() = default;
+
+    /** Construct an empty matrix of the given shape. */
+    SparseGF2(size_t rows, size_t cols);
+
+    size_t rows() const { return rowSupports_.size(); }
+    size_t cols() const { return cols_; }
+
+    /** Sorted column indices of row r. */
+    const std::vector<size_t>& rowSupport(size_t r) const
+    {
+        return rowSupports_[r];
+    }
+
+    /** Set row r's support (indices are sorted and deduplicated). */
+    void setRowSupport(size_t r, std::vector<size_t> support);
+
+    /** Total number of nonzero entries. */
+    size_t nnz() const;
+
+    /** Maximum row weight. */
+    size_t maxRowWeight() const;
+
+    /** Maximum column weight. */
+    size_t maxColWeight() const;
+
+    /** Per-column supports (row indices touching each column). */
+    std::vector<std::vector<size_t>> colSupports() const;
+
+    /** Convert to a dense representation. */
+    GF2Matrix toDense() const;
+
+    /** Sparse transpose. */
+    SparseGF2 transposed() const;
+
+    /** Syndrome of a dense error vector: s = H e. */
+    BitVec multiply(const BitVec& e) const;
+
+  private:
+    size_t cols_ = 0;
+    std::vector<std::vector<size_t>> rowSupports_;
+};
+
+} // namespace cyclone
+
+#endif // CYCLONE_COMMON_GF2_H

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Error-reporting macros in the gem5 fatal/panic style.
+ *
+ * CYCLONE_FATAL is for conditions caused by the user (bad configuration,
+ * invalid arguments): it throws std::runtime_error so callers and tests can
+ * recover. CYCLONE_PANIC is for internal invariant violations (library
+ * bugs): it prints and aborts.
+ */
+
+#ifndef CYCLONE_COMMON_LOGGING_H
+#define CYCLONE_COMMON_LOGGING_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cyclone {
+
+/** Builds a formatted location-tagged message. */
+inline std::string
+detailMessage(const char* kind, const char* file, int line,
+              const std::string& what)
+{
+    std::ostringstream os;
+    os << kind << " (" << file << ":" << line << "): " << what;
+    return os.str();
+}
+
+} // namespace cyclone
+
+/** Report a user-caused error; throws std::runtime_error. */
+#define CYCLONE_FATAL(msg)                                                   \
+    do {                                                                     \
+        std::ostringstream cyclone_fatal_os_;                                \
+        cyclone_fatal_os_ << msg;                                            \
+        throw std::runtime_error(::cyclone::detailMessage(                   \
+            "fatal", __FILE__, __LINE__, cyclone_fatal_os_.str()));          \
+    } while (0)
+
+/** Report an internal invariant violation; aborts the process. */
+#define CYCLONE_PANIC(msg)                                                   \
+    do {                                                                     \
+        std::ostringstream cyclone_panic_os_;                                \
+        cyclone_panic_os_ << msg;                                            \
+        std::fprintf(stderr, "%s\n", ::cyclone::detailMessage(               \
+            "panic", __FILE__, __LINE__, cyclone_panic_os_.str()).c_str());  \
+        std::abort();                                                        \
+    } while (0)
+
+/** Check an invariant; panics with the condition text on failure. */
+#define CYCLONE_ASSERT(cond, msg)                                            \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            CYCLONE_PANIC("assertion '" #cond "' failed: " << msg);          \
+        }                                                                    \
+    } while (0)
+
+#endif // CYCLONE_COMMON_LOGGING_H

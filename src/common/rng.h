@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for simulations.
+ *
+ * All stochastic components of the library (noise sampling, code search,
+ * Monte-Carlo experiments) take an explicit Rng so results are reproducible
+ * from a seed. The generator is xoshiro256** which is fast, high quality,
+ * and trivially splittable for multithreaded sampling.
+ */
+
+#ifndef CYCLONE_COMMON_RNG_H
+#define CYCLONE_COMMON_RNG_H
+
+#include <cstdint>
+
+namespace cyclone {
+
+/** xoshiro256** pseudo-random generator with helper distributions. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed via splitmix64 expansion. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        uint64_t x = seed;
+        for (auto& word : state_) {
+            // splitmix64 step to decorrelate nearby seeds
+            x += 0x9e3779b97f4a7c15ull;
+            uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform integer in [0, bound) for bound > 0. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection method.
+        uint64_t x = next();
+        __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        auto lo = static_cast<uint64_t>(m);
+        if (lo < bound) {
+            uint64_t threshold = (0 - bound) % bound;
+            while (lo < threshold) {
+                x = next();
+                m = static_cast<__uint128_t>(x) * bound;
+                lo = static_cast<uint64_t>(m);
+            }
+        }
+        return static_cast<uint64_t>(m >> 64);
+    }
+
+    /** Bernoulli draw with success probability p. */
+    bool
+    bernoulli(double p)
+    {
+        return uniform() < p;
+    }
+
+    /**
+     * Number of trials to skip until the next Bernoulli(p) success.
+     *
+     * Used for fast sparse sampling: returns a geometric variate g >= 0
+     * such that trials [i, i+g) fail and trial i+g succeeds.
+     */
+    uint64_t
+    geometricSkip(double p);
+
+    /** Derive an independent generator (for per-thread streams). */
+    Rng
+    split()
+    {
+        return Rng(next() ^ 0xd1342543de82ef95ull);
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state_[4];
+};
+
+inline uint64_t
+Rng::geometricSkip(double p)
+{
+    if (p >= 1.0)
+        return 0;
+    if (p <= 0.0)
+        return ~0ull;
+    // Inverse-CDF sampling: floor(log(U) / log(1-p)).
+    double u = uniform();
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    double g = __builtin_log(u) / __builtin_log1p(-p);
+    if (g > 9.0e18)
+        return ~0ull;
+    return static_cast<uint64_t>(g);
+}
+
+} // namespace cyclone
+
+#endif // CYCLONE_COMMON_RNG_H

@@ -1,0 +1,34 @@
+#include "common/stats.h"
+
+#include <cmath>
+
+namespace cyclone {
+
+RateEstimate
+estimateRate(size_t successes, size_t trials)
+{
+    RateEstimate est;
+    est.trials = trials;
+    est.successes = successes;
+    if (trials == 0)
+        return est;
+    est.rate = static_cast<double>(successes) / trials;
+    est.stderr = std::sqrt(est.rate * (1.0 - est.rate) / trials);
+    return est;
+}
+
+double
+wilsonHalfWidth(size_t successes, size_t trials)
+{
+    if (trials == 0)
+        return 0.0;
+    const double z = 1.96;
+    const double n = static_cast<double>(trials);
+    const double p = static_cast<double>(successes) / n;
+    const double denom = 1.0 + z * z / n;
+    const double spread =
+        z * std::sqrt(p * (1.0 - p) / n + z * z / (4.0 * n * n));
+    return spread / denom;
+}
+
+} // namespace cyclone

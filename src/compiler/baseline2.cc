@@ -1,0 +1,20 @@
+#include "compiler/baseline2.h"
+
+#include <algorithm>
+
+namespace cyclone {
+
+CompileResult
+compileBaseline2(const CssCode& code, const SyndromeSchedule& schedule,
+                 const Topology& topology, EjfOptions options)
+{
+    options.selection = GateSelection::FewestShuttles;
+    // Shuttle batching needs candidates to choose among.
+    options.candidateWindow = std::max<size_t>(options.candidateWindow,
+                                               16);
+    if (options.name == "baseline-ejf")
+        options.name = "baseline2-muzzle";
+    return compileEjf(code, schedule, topology, options);
+}
+
+} // namespace cyclone

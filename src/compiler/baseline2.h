@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Baseline 2: shuttle-count-minimizing compiler, a simplified
+ * reimplementation of "Muzzle the Shuttle" [28] on the EJF engine.
+ * Gate selection prefers the candidate with the fewest route
+ * reservations (shuttle operations), breaking ties by finish time.
+ */
+
+#ifndef CYCLONE_COMPILER_BASELINE2_H
+#define CYCLONE_COMPILER_BASELINE2_H
+
+#include "compiler/baseline_ejf.h"
+
+namespace cyclone {
+
+/** Compile with the shuttle-minimizing selection policy. */
+CompileResult compileBaseline2(const CssCode& code,
+                               const SyndromeSchedule& schedule,
+                               const Topology& topology,
+                               EjfOptions options = {});
+
+} // namespace cyclone
+
+#endif // CYCLONE_COMPILER_BASELINE2_H

@@ -1,0 +1,20 @@
+#include "compiler/baseline3.h"
+
+#include <algorithm>
+
+namespace cyclone {
+
+CompileResult
+compileBaseline3(const CssCode& code, const SyndromeSchedule& schedule,
+                 const Topology& topology, EjfOptions options)
+{
+    options.selection = GateSelection::BatchLocality;
+    // Locality batching needs candidates to choose among.
+    options.candidateWindow = std::max<size_t>(options.candidateWindow,
+                                               16);
+    if (options.name == "baseline-ejf")
+        options.name = "baseline3-moveless";
+    return compileEjf(code, schedule, topology, options);
+}
+
+} // namespace cyclone

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Baseline 3: locality-first compiler, a simplified reimplementation
+ * of "MoveLess" [10] on the EJF engine. Gates executable at the
+ * ancilla's current trap are always preferred over gates that require
+ * shuttling, minimizing excess movement.
+ */
+
+#ifndef CYCLONE_COMPILER_BASELINE3_H
+#define CYCLONE_COMPILER_BASELINE3_H
+
+#include "compiler/baseline_ejf.h"
+
+namespace cyclone {
+
+/** Compile with the locality-first selection policy. */
+CompileResult compileBaseline3(const CssCode& code,
+                               const SyndromeSchedule& schedule,
+                               const Topology& topology,
+                               EjfOptions options = {});
+
+} // namespace cyclone
+
+#endif // CYCLONE_COMPILER_BASELINE3_H

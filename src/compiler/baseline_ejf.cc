@@ -1,0 +1,323 @@
+#include "compiler/baseline_ejf.h"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "common/logging.h"
+#include "compiler/mapping.h"
+#include "compiler/router.h"
+#include "qccd/machine.h"
+#include "qccd/timeline.h"
+
+namespace cyclone {
+
+namespace {
+
+/** One gate instance flattened from the schedule. */
+struct FlatGate
+{
+    StabKind kind;
+    size_t stabIndex;
+    size_t data;
+    size_t slice;
+    size_t globalStab; ///< X stabs first, then Z.
+};
+
+/** Nearest trap with free capacity, excluding `exclude`. */
+NodeId
+nearestTrapWithSpace(const Topology& topo, const Machine& machine,
+                     NodeId start, NodeId exclude)
+{
+    std::vector<bool> seen(topo.numNodes(), false);
+    std::deque<NodeId> frontier{start};
+    seen[start] = true;
+    while (!frontier.empty()) {
+        const NodeId cur = frontier.front();
+        frontier.pop_front();
+        for (const Neighbor& nb : topo.neighbors(cur)) {
+            if (seen[nb.node])
+                continue;
+            seen[nb.node] = true;
+            if (topo.isTrap(nb.node) && nb.node != exclude &&
+                machine.freeCapacity(nb.node) > 0) {
+                return nb.node;
+            }
+            frontier.push_back(nb.node);
+        }
+    }
+    CYCLONE_FATAL("no trap with free capacity found for rebalance");
+}
+
+/** A costed candidate plan for one gate. */
+struct GatePlan
+{
+    size_t gateIndex = 0;
+    RoutePlan route;
+    double gateStart = 0.0;
+    double gateDuration = 0.0;
+    double end = 0.0;
+    size_t routeHops = 0;
+    bool local = false;
+};
+
+} // namespace
+
+CompileResult
+compileEjf(const CssCode& code, const SyndromeSchedule& schedule,
+           const Topology& topology, const EjfOptions& options)
+{
+    const size_t mx = code.numXStabs();
+    const size_t mz = code.numZStabs();
+
+    Machine machine(topology);
+    Mapping mapping = greedyClusterMapping(code, topology, machine,
+                                           options.dataPerTrap);
+    SwapModel swap_model(options.swap, options.durations);
+    Router router(topology, options.durations, swap_model);
+    ResourceTimeline timeline(router.numResources());
+
+    // ---- Flatten schedule into a dependency DAG. ----
+    std::vector<FlatGate> gates;
+    for (size_t s = 0; s < schedule.slices().size(); ++s) {
+        for (const ScheduledGate& g : schedule.slices()[s]) {
+            const size_t global = g.kind == StabKind::X
+                ? g.stabIndex : mx + g.stabIndex;
+            gates.push_back({g.kind, g.stabIndex, g.data, s, global});
+        }
+    }
+    const size_t num_gates = gates.size();
+
+    std::vector<std::vector<size_t>> successors(num_gates);
+    std::vector<size_t> indegree(num_gates, 0);
+    {
+        std::vector<size_t> last_of_stab(mx + mz, SIZE_MAX);
+        std::vector<size_t> last_of_data(code.numQubits(), SIZE_MAX);
+        for (size_t g = 0; g < num_gates; ++g) {
+            const size_t ps = last_of_stab[gates[g].globalStab];
+            const size_t pd = last_of_data[gates[g].data];
+            if (ps != SIZE_MAX) {
+                successors[ps].push_back(g);
+                ++indegree[g];
+            }
+            if (pd != SIZE_MAX && pd != ps) {
+                successors[pd].push_back(g);
+                ++indegree[g];
+            }
+            last_of_stab[gates[g].globalStab] = g;
+            last_of_data[gates[g].data] = g;
+        }
+    }
+
+    std::vector<double> anc_avail(mx + mz, 0.0);
+    std::vector<double> dep_end(num_gates, 0.0);
+    std::vector<char> committed(num_gates, 0);
+
+    CompileResult result;
+    result.compilerName = options.name;
+    result.topologyName = topology.name();
+    result.numTraps = topology.numTraps();
+    result.numJunctions = topology.numJunctions();
+    result.numAncilla = mx + mz;
+
+    double barrier = 0.0;      // Start-of-slice barrier (dynamic mode).
+    double max_end = 0.0;
+
+    // Plans one gate against current state (no mutation).
+    auto plan_gate = [&](size_t g) {
+        GatePlan plan;
+        plan.gateIndex = g;
+        const FlatGate& fg = gates[g];
+        const IonId anc = mapping.ancillaIon[fg.globalStab];
+        const NodeId target = mapping.dataTrap[fg.data];
+        double earliest = std::max({anc_avail[fg.globalStab],
+                                    dep_end[g], barrier});
+        plan.local = machine.ion(anc).trap == target;
+        plan.route = router.planMove(timeline, machine, anc, target,
+                                     earliest,
+                                     options.conservativeRouting);
+        plan.routeHops = plan.route.reservations.size();
+        // The two-qubit gate occupies the destination trap.
+        const size_t chain_after = machine.chainLength(target) +
+            (plan.local ? 0 : 1);
+        plan.gateDuration =
+            options.durations.twoQubitGateUs(chain_after);
+        plan.gateStart = timeline.plan(target, plan.route.readyTime);
+        plan.end = plan.gateStart + plan.gateDuration;
+        return plan;
+    };
+
+    auto commit_reservations = [&](const RoutePlan& route) {
+        for (const Reservation& r : route.reservations) {
+            timeline.reserve(r.resource, r.start, r.duration);
+            max_end = std::max(max_end, r.start + r.duration);
+        }
+        result.serialized += route.breakdown;
+        result.trapRoadblocks += route.trapRoadblocks;
+        result.junctionRoadblocks += route.junctionRoadblocks;
+        result.shuttleOps += route.shuttleOps;
+        result.swapOps += route.swapOps;
+    };
+
+    // Evict an ion from `trap` to make room; returns eviction end time.
+    auto rebalance = [&](NodeId trap, double earliest) {
+        // Prefer evicting an ancilla; fall back to a data ion.
+        IonId victim = SIZE_MAX;
+        for (IonId ion : machine.chain(trap)) {
+            if (machine.ion(ion).role == IonRole::Ancilla) {
+                victim = ion;
+                break;
+            }
+        }
+        if (victim == SIZE_MAX)
+            victim = machine.chain(trap).front();
+        const NodeId dest =
+            nearestTrapWithSpace(topology, machine, trap, trap);
+        double start = earliest;
+        if (machine.ion(victim).role == IonRole::Ancilla)
+            start = std::max(start,
+                             anc_avail[machine.ion(victim).payload]);
+        RoutePlan move = router.planMove(timeline, machine, victim, dest,
+                                         start,
+                                         options.conservativeRouting);
+        commit_reservations(move);
+        if (machine.ion(victim).role == IonRole::Ancilla) {
+            anc_avail[machine.ion(victim).payload] = move.readyTime;
+            mapping.ancillaTrap[machine.ion(victim).payload] = dest;
+        } else {
+            mapping.dataTrap[machine.ion(victim).payload] = dest;
+        }
+        machine.relocate(victim, dest, move.mergeAtFront);
+        ++result.rebalances;
+        return move.readyTime;
+    };
+
+    // ---- Main scheduling loop. ----
+    std::vector<size_t> ready;
+    for (size_t g = 0; g < num_gates; ++g) {
+        if (indegree[g] == 0)
+            ready.push_back(g);
+    }
+    size_t remaining = num_gates;
+    size_t current_slice = 0;
+
+    while (remaining > 0) {
+        // Dynamic mode: only this slice's gates are eligible, and the
+        // slice boundary is a barrier.
+        std::vector<size_t> eligible;
+        eligible.reserve(ready.size());
+        for (size_t g : ready) {
+            if (!options.timesliceBarriers ||
+                gates[g].slice == current_slice) {
+                eligible.push_back(g);
+            }
+        }
+        if (eligible.empty()) {
+            CYCLONE_ASSERT(options.timesliceBarriers,
+                           "scheduler stalled with gates remaining");
+            // Advance the barrier to the next slice.
+            barrier = max_end;
+            ++current_slice;
+            continue;
+        }
+        std::sort(eligible.begin(), eligible.end(),
+                  [&](size_t a, size_t b) {
+                      if (dep_end[a] != dep_end[b])
+                          return dep_end[a] < dep_end[b];
+                      return a < b;
+                  });
+        const size_t window =
+            std::min(options.candidateWindow, eligible.size());
+
+        GatePlan best;
+        bool have_best = false;
+        for (size_t i = 0; i < window; ++i) {
+            GatePlan plan = plan_gate(eligible[i]);
+            bool better = false;
+            if (!have_best) {
+                better = true;
+            } else {
+                switch (options.selection) {
+                  case GateSelection::EarliestFinish:
+                    better = plan.end < best.end;
+                    break;
+                  case GateSelection::FewestShuttles: {
+                    // Weighted blend: mostly earliest-finish, but
+                    // each route reservation carries a penalty so
+                    // shuttle-frugal gates win near-ties.
+                    const double hop_penalty = 120.0;
+                    const double plan_score = plan.end +
+                        hop_penalty * static_cast<double>(
+                            plan.routeHops);
+                    const double best_score = best.end +
+                        hop_penalty * static_cast<double>(
+                            best.routeHops);
+                    better = plan_score < best_score;
+                    break;
+                  }
+                  case GateSelection::BatchLocality:
+                    better = (plan.local && !best.local) ||
+                        (plan.local == best.local &&
+                         plan.end < best.end);
+                    break;
+                }
+            }
+            if (better) {
+                best = std::move(plan);
+                have_best = true;
+            }
+        }
+        CYCLONE_ASSERT(have_best, "no candidate plan produced");
+
+        // Capacity check: make room before the ancilla merges.
+        const FlatGate& fg = gates[best.gateIndex];
+        const NodeId target = mapping.dataTrap[fg.data];
+        const IonId anc = mapping.ancillaIon[fg.globalStab];
+        if (machine.ion(anc).trap != target &&
+            machine.freeCapacity(target) == 0) {
+            rebalance(target,
+                      std::max({anc_avail[fg.globalStab],
+                                dep_end[best.gateIndex], barrier}));
+            best = plan_gate(best.gateIndex); // Replan after eviction.
+        }
+
+        // Commit route + gate.
+        commit_reservations(best.route);
+        if (machine.ion(anc).trap != target) {
+            machine.relocate(anc, target, best.route.mergeAtFront);
+            mapping.ancillaTrap[fg.globalStab] = target;
+        }
+        timeline.reserve(target, best.gateStart, best.gateDuration);
+        result.serialized.add(OpCategory::Gate, best.gateDuration);
+        max_end = std::max(max_end, best.end);
+        ++result.gateOps;
+        anc_avail[fg.globalStab] = best.end;
+
+        // Retire the gate.
+        committed[best.gateIndex] = 1;
+        --remaining;
+        ready.erase(std::remove(ready.begin(), ready.end(),
+                                best.gateIndex),
+                    ready.end());
+        for (size_t succ : successors[best.gateIndex]) {
+            dep_end[succ] = std::max(dep_end[succ], best.end);
+            if (--indegree[succ] == 0)
+                ready.push_back(succ);
+        }
+    }
+
+    // ---- Measure every ancilla in place. ----
+    for (size_t s = 0; s < mx + mz; ++s) {
+        const NodeId trap = machine.ion(mapping.ancillaIon[s]).trap;
+        const double start = timeline.plan(trap, anc_avail[s]);
+        timeline.reserve(trap, start, options.durations.measure());
+        result.serialized.add(OpCategory::Measure,
+                              options.durations.measure());
+        max_end = std::max(max_end, start + options.durations.measure());
+    }
+
+    result.execTimeUs = max_end;
+    return result;
+}
+
+} // namespace cyclone

@@ -1,0 +1,50 @@
+#include "compiler/compile_result.h"
+
+namespace cyclone {
+
+double
+TimeBreakdown::total() const
+{
+    return gateUs + shuttleUs + junctionUs + swapUs + measureUs + prepUs;
+}
+
+void
+TimeBreakdown::add(OpCategory category, double duration_us)
+{
+    switch (category) {
+      case OpCategory::Gate: gateUs += duration_us; break;
+      case OpCategory::Shuttle: shuttleUs += duration_us; break;
+      case OpCategory::Junction: junctionUs += duration_us; break;
+      case OpCategory::Swap: swapUs += duration_us; break;
+      case OpCategory::Measure: measureUs += duration_us; break;
+      case OpCategory::Prep: prepUs += duration_us; break;
+    }
+}
+
+TimeBreakdown&
+TimeBreakdown::operator+=(const TimeBreakdown& other)
+{
+    gateUs += other.gateUs;
+    shuttleUs += other.shuttleUs;
+    junctionUs += other.junctionUs;
+    swapUs += other.swapUs;
+    measureUs += other.measureUs;
+    prepUs += other.prepUs;
+    return *this;
+}
+
+double
+CompileResult::parallelFraction() const
+{
+    const double total = serialized.total();
+    return total > 0.0 ? execTimeUs / total : 1.0;
+}
+
+double
+CompileResult::spacetimeCost() const
+{
+    return static_cast<double>(numTraps) * execTimeUs *
+        static_cast<double>(numAncilla);
+}
+
+} // namespace cyclone

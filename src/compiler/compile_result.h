@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Output of compiling one syndrome-extraction round to a device.
+ *
+ * Execution time is the schedule makespan of one full round. The
+ * serialized breakdown sums each component's duration as if executed
+ * one after another (the "unrolled" times of Fig. 20); the ratio of
+ * makespan to serialized total is the paper's "% parallelization".
+ */
+
+#ifndef CYCLONE_COMPILER_COMPILE_RESULT_H
+#define CYCLONE_COMPILER_COMPILE_RESULT_H
+
+#include <cstddef>
+#include <string>
+
+namespace cyclone {
+
+/** Reservation categories, for component accounting. */
+enum class OpCategory
+{
+    Gate,
+    Shuttle,   ///< split / move / merge
+    Junction,  ///< junction crossings
+    Swap,      ///< intra-trap reordering
+    Measure,
+    Prep,
+};
+
+/** Per-category serialized durations in microseconds. */
+struct TimeBreakdown
+{
+    double gateUs = 0.0;
+    double shuttleUs = 0.0;
+    double junctionUs = 0.0;
+    double swapUs = 0.0;
+    double measureUs = 0.0;
+    double prepUs = 0.0;
+
+    /** Sum of all components. */
+    double total() const;
+
+    /** Add a duration to the category's bucket. */
+    void add(OpCategory category, double duration_us);
+
+    TimeBreakdown& operator+=(const TimeBreakdown& other);
+};
+
+/** Result of compiling one syndrome round. */
+struct CompileResult
+{
+    std::string compilerName;
+    std::string topologyName;
+
+    /** Makespan of one syndrome-extraction round, microseconds. */
+    double execTimeUs = 0.0;
+
+    /** Unrolled component times. */
+    TimeBreakdown serialized;
+
+    // Spatial accounting.
+    size_t numTraps = 0;
+    size_t numJunctions = 0;
+    size_t numAncilla = 0;
+
+    // Contention accounting.
+    size_t trapRoadblocks = 0;
+    size_t junctionRoadblocks = 0;
+    size_t rebalances = 0;
+
+    // Operation counts.
+    size_t gateOps = 0;
+    size_t shuttleOps = 0;
+    size_t swapOps = 0;
+
+    /**
+     * Realized parallelization: makespan / serialized total (lower is
+     * more parallel; 1.0 means fully serial).
+     */
+    double parallelFraction() const;
+
+    /**
+     * Spacetime cost of Fig. 16: traps x execution time x ancillas.
+     */
+    double spacetimeCost() const;
+};
+
+} // namespace cyclone
+
+#endif // CYCLONE_COMPILER_COMPILE_RESULT_H

@@ -1,0 +1,216 @@
+#include "compiler/cyclone_compiler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cyclone {
+
+namespace {
+
+/** Balanced block partition: element i of `count` over `bins`. */
+size_t
+blockOf(size_t i, size_t count, size_t bins)
+{
+    // Bin b holds elements [b*count/bins, (b+1)*count/bins).
+    return i * bins / count;
+}
+
+} // namespace
+
+CycloneCompileResult
+compileCyclone(const CssCode& code, const CycloneOptions& options)
+{
+    const size_t n = code.numQubits();
+    const size_t mx = code.numXStabs();
+    const size_t mz = code.numZStabs();
+    const size_t ancillas = std::max(mx, mz);
+    const size_t x = options.numTraps > 0 ? options.numTraps : ancillas;
+    CYCLONE_ASSERT(x >= 1, "ring needs at least one trap");
+
+    const Durations& dur = options.durations;
+    SwapModel swap_model(options.swap, dur);
+
+    // Partition data and ancillas over traps (balanced blocks).
+    std::vector<std::vector<size_t>> data_of_trap(x);
+    for (size_t q = 0; q < n; ++q)
+        data_of_trap[blockOf(q, n, x)].push_back(q);
+    std::vector<std::vector<size_t>> anc_of_group(x);
+    for (size_t a = 0; a < ancillas; ++a)
+        anc_of_group[blockOf(a, ancillas, x)].push_back(a);
+
+    size_t max_data = 0, max_anc = 0;
+    for (size_t t = 0; t < x; ++t) {
+        max_data = std::max(max_data, data_of_trap[t].size());
+        max_anc = std::max(max_anc, anc_of_group[t].size());
+    }
+    const size_t tight_capacity =
+        (n + x - 1) / x + (ancillas + x - 1) / x;
+    const size_t capacity =
+        options.capacity > 0 ? options.capacity : tight_capacity;
+    if (capacity < max_data + max_anc) {
+        CYCLONE_FATAL("cyclone capacity " << capacity
+                      << " below occupancy " << max_data + max_anc);
+    }
+
+    CycloneCompileResult result;
+    result.compilerName = options.gridEmbedded ? "cyclone-on-grid"
+                                               : "cyclone";
+    result.topologyName = options.gridEmbedded ? "grid-embedded-ring"
+        : (x > 1 ? "ring" : "single-trap");
+    result.ringTraps = x;
+    result.trapCapacity = capacity;
+    result.numTraps = x;
+    result.numJunctions = x > 1 ? x : 0;
+    result.numAncilla = ancillas;
+
+    // Per-hop shuttling time: split, move, L-junction (degree 2)
+    // cross, move, merge — all ancillas in lockstep.
+    double hop_us = dur.split() + dur.move() +
+        dur.junctionCrossUs(2) + dur.move() + dur.merge();
+    if (options.gridEmbedded && x > 1) {
+        // Fig. 11b: the long closing connection runs along one grid
+        // edge, crossing ~sqrt(x) L-shaped (degree-2) junctions;
+        // everyone stalls for that traversal each step to preserve
+        // symmetry.
+        size_t long_junctions = options.longLinkJunctions;
+        if (long_junctions == 0) {
+            size_t side = 1;
+            while (side * side < x)
+                ++side;
+            long_junctions = side;
+        }
+        result.numJunctions += long_junctions;
+        hop_us += static_cast<double>(long_junctions) *
+            (dur.junctionCrossUs(2) + dur.move());
+    }
+
+    double total = 0.0;
+
+    auto run_rotation = [&](StabKind kind) {
+        const SparseGF2& matrix =
+            kind == StabKind::X ? code.hx() : code.hz();
+        const size_t stabs = matrix.rows();
+        const size_t steps = x;
+        for (size_t step = 0; step < steps; ++step) {
+            double step_gate = 0.0;
+            double step_swap = 0.0;
+            for (size_t t = 0; t < x; ++t) {
+                // Group resident in trap t at this step.
+                const size_t g = (t + x - step % x) % x;
+                const auto& residents = anc_of_group[g];
+                const size_t chain =
+                    data_of_trap[t].size() + residents.size();
+                double trap_gate = 0.0;
+                size_t trap_gates = 0;
+                for (size_t a : residents) {
+                    if (a >= stabs)
+                        continue; // Idle ancilla this rotation.
+                    // Gates between stabilizer a and resident data.
+                    const auto& support = matrix.rowSupport(a);
+                    for (size_t q : data_of_trap[t]) {
+                        if (std::binary_search(support.begin(),
+                                               support.end(), q))
+                            ++trap_gates;
+                    }
+                }
+                trap_gate = static_cast<double>(trap_gates) *
+                    dur.twoQubitGateUs(chain);
+                result.gateOps += trap_gates;
+                result.serialized.add(OpCategory::Gate, trap_gate);
+                step_gate = std::max(step_gate, trap_gate);
+
+                if (x > 1) {
+                    // Every resident ancilla swaps to the travelling
+                    // edge; swaps within a trap are serial.
+                    double trap_swap = 0.0;
+                    for (size_t i = 0; i < residents.size(); ++i) {
+                        const double c = swap_model.costUs(
+                            chain > 0 ? chain - 1 : 0, chain);
+                        trap_swap += c;
+                        ++result.swapOps;
+                        result.serialized.add(OpCategory::Swap, c);
+                    }
+                    step_swap = std::max(step_swap, trap_swap);
+                }
+            }
+            double step_total = step_gate + step_swap;
+            if (x > 1) {
+                step_total += hop_us;
+                result.shuttleOps += 2 * ancillas; // split + merge
+                result.serialized.add(
+                    OpCategory::Shuttle,
+                    static_cast<double>(ancillas) *
+                        (dur.split() + 2.0 * dur.move() + dur.merge()));
+                result.serialized.add(
+                    OpCategory::Junction,
+                    static_cast<double>(ancillas) *
+                        dur.junctionCrossUs(2));
+            }
+            result.stepDurationsUs.push_back(step_total);
+            total += step_total;
+        }
+        // Measure (and re-prepare) every ancilla; traps in parallel,
+        // ions within a trap serially.
+        double measure_phase = 0.0;
+        for (size_t g = 0; g < x; ++g) {
+            const double t_us =
+                static_cast<double>(anc_of_group[g].size()) *
+                (dur.measure() + dur.prep());
+            measure_phase = std::max(measure_phase, t_us);
+        }
+        result.serialized.add(
+            OpCategory::Measure,
+            static_cast<double>(ancillas) * dur.measure());
+        result.serialized.add(
+            OpCategory::Prep,
+            static_cast<double>(ancillas) * dur.prep());
+        total += measure_phase;
+    };
+
+    run_rotation(StabKind::X);
+    run_rotation(StabKind::Z);
+
+    // Coverage invariant: every Tanner edge executed exactly once.
+    CYCLONE_ASSERT(result.gateOps == code.hx().nnz() + code.hz().nnz(),
+                   "cyclone rotation missed gates: " << result.gateOps
+                   << " vs " << code.hx().nnz() + code.hz().nnz());
+
+    result.execTimeUs = total;
+    return result;
+}
+
+double
+cycloneAnalyticWorstCaseUs(const CssCode& code,
+                           const CycloneOptions& options)
+{
+    const size_t n = code.numQubits();
+    const size_t ancillas = std::max(code.numXStabs(), code.numZStabs());
+    const size_t x = options.numTraps > 0 ? options.numTraps : ancillas;
+    const Durations& dur = options.durations;
+    SwapModel swap_model(options.swap, dur);
+
+    const size_t data_per_trap = (n + x - 1) / x;
+    const size_t anc_per_trap = (ancillas + x - 1) / x;
+    const size_t chain = data_per_trap + anc_per_trap;
+    const size_t w_max = std::max(code.maxXWeight(), code.maxZWeight());
+    const size_t gates_per_visit = std::min(w_max, data_per_trap);
+
+    const double s_us = x > 1
+        ? dur.split() + 2.0 * dur.move() + dur.junctionCrossUs(2) +
+          dur.merge()
+        : 0.0;
+    const double swap_us = x > 1
+        ? swap_model.costUs(chain > 0 ? chain - 1 : 0, chain)
+        : 0.0;
+    const double per_visit = swap_us +
+        dur.twoQubitGateUs(chain) * static_cast<double>(gates_per_visit);
+    const double measure_us = 2.0 *
+        static_cast<double>(anc_per_trap) *
+        (dur.measure() + dur.prep());
+    return 2.0 * static_cast<double>(x) *
+        (s_us + static_cast<double>(anc_per_trap) * per_visit) +
+        measure_us;
+}
+
+} // namespace cyclone

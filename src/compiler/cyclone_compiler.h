@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The Cyclone codesign compiler (Section IV).
+ *
+ * Hardware: a ring of x traps with one L junction between neighbors
+ * (x = max(|X|,|Z|) in the base form). Software: ancillas are assigned
+ * stabilizers dynamically (all X stabilizers in rotation one, all Z in
+ * rotation two) and move around the ring in lockstep. Each rotation
+ * step executes, inside every trap serially, the CX gates between
+ * resident ancillas and the resident data qubits of their stabilizer
+ * supports, then GateSwaps (or IonSwaps) every ancilla to the
+ * travelling edge and split/move/junction-cross/move/merges all
+ * ancillas simultaneously to the next trap. Two full rotations
+ * complete one syndrome round; roadblocks are zero by construction.
+ *
+ * The step length is the maximum over traps, so unbalanced partitions
+ * stall exactly as in Fig. 12. The compiler is constructive: it builds
+ * the actual step schedule and reports measured times, operation
+ * counts, and the per-step gate profile.
+ */
+
+#ifndef CYCLONE_COMPILER_CYCLONE_COMPILER_H
+#define CYCLONE_COMPILER_CYCLONE_COMPILER_H
+
+#include <vector>
+
+#include "compiler/compile_result.h"
+#include "qccd/durations.h"
+#include "qccd/swap_model.h"
+#include "qec/css_code.h"
+
+namespace cyclone {
+
+/** Cyclone configuration. */
+struct CycloneOptions
+{
+    Durations durations;
+    SwapKind swap = SwapKind::GateSwap;
+
+    /** Ring size; 0 selects the base form x = max(|X|, |Z|). */
+    size_t numTraps = 0;
+
+    /**
+     * Trap ion capacity; 0 selects the tight capacity
+     * ceil(n/x) + ceil(A/x) where A is the ancilla count.
+     */
+    size_t capacity = 0;
+
+    /**
+     * Fig. 11b variant: the loop is embedded in a slightly modified
+     * grid, whose closing connection is long. Symmetry forces every
+     * trap to stall each step while the ion on the long link crosses
+     * its extra junctions.
+     */
+    bool gridEmbedded = false;
+
+    /**
+     * Junctions on the long closing connection (0 = auto,
+     * 2 * ceil(sqrt(x)) degree-3 crossings).
+     */
+    size_t longLinkJunctions = 0;
+};
+
+/** Cyclone compilation result with the per-step profile. */
+struct CycloneCompileResult : CompileResult
+{
+    /** Ring size used. */
+    size_t ringTraps = 0;
+    /** Trap capacity used. */
+    size_t trapCapacity = 0;
+    /** Duration of each rotation step (2x entries). */
+    std::vector<double> stepDurationsUs;
+};
+
+/** Compile one syndrome round with the Cyclone codesign. */
+CycloneCompileResult compileCyclone(const CssCode& code,
+                                    const CycloneOptions& options = {});
+
+/**
+ * Closed-form worst-case round time, interpreting the paper's bound
+ * 2x * (s + ceil(A/x) * (t + g * gmax)) with A = ancilla count,
+ * s = split + 2 moves + L-junction cross + merge, t = one swap, and
+ * gmax = min(w_max, ceil(n/x)) gates per ancilla visit at the tight
+ * chain length.
+ */
+double cycloneAnalyticWorstCaseUs(const CssCode& code,
+                                  const CycloneOptions& options = {});
+
+} // namespace cyclone
+
+#endif // CYCLONE_COMPILER_CYCLONE_COMPILER_H

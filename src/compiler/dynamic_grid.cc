@@ -1,0 +1,18 @@
+#include "compiler/dynamic_grid.h"
+
+namespace cyclone {
+
+CompileResult
+compileDynamicGrid(const CssCode& code, const SyndromeSchedule& schedule,
+                   const Topology& topology, EjfOptions options)
+{
+    options.timesliceBarriers = true;
+    // The dynamic policy fires a whole timeslice at once with no
+    // lookahead — uncoordinated routing is the point of Fig. 4a.
+    options.candidateWindow = 1;
+    if (options.name == "baseline-ejf")
+        options.name = "dynamic-grid";
+    return compileEjf(code, schedule, topology, options);
+}
+
+} // namespace cyclone

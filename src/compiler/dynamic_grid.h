@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Dynamic-schedule grid compiler (Fig. 4a / Fig. 6 top-left).
+ *
+ * Applies the maximal-parallelism timeslice policy on a grid device:
+ * each schedule slice is a barrier and all its gates are routed
+ * concurrently. On grids this floods the shuttling network, and the
+ * resulting roadblocks make it *slower* than the static EJF baseline —
+ * the paper's motivation for codesign.
+ */
+
+#ifndef CYCLONE_COMPILER_DYNAMIC_GRID_H
+#define CYCLONE_COMPILER_DYNAMIC_GRID_H
+
+#include "compiler/baseline_ejf.h"
+
+namespace cyclone {
+
+/** Compile with timeslice barriers on an arbitrary topology. */
+CompileResult compileDynamicGrid(const CssCode& code,
+                                 const SyndromeSchedule& schedule,
+                                 const Topology& topology,
+                                 EjfOptions options = {});
+
+} // namespace cyclone
+
+#endif // CYCLONE_COMPILER_DYNAMIC_GRID_H

@@ -1,0 +1,58 @@
+#include "compiler/ideal.h"
+
+#include <set>
+#include <utility>
+
+namespace cyclone {
+
+IdealLatency
+idealLatencies(const CssCode& code,
+               const SyndromeSchedule& parallel_schedule,
+               const Durations& dur)
+{
+    IdealLatency out;
+    out.depth = parallel_schedule.depth();
+    out.gates = parallel_schedule.totalGates();
+
+    // One lockstep hop on the fully connected graph: split, move,
+    // cross one L junction, move, merge. Gates run at chain length 2
+    // (one data qubit per trap plus the visiting ancilla).
+    const double hop = dur.split() + 2.0 * dur.move() +
+        dur.junctionCrossUs(2) + dur.merge();
+    const double gate = dur.twoQubitGateUs(2);
+
+    const double measure_serial =
+        static_cast<double>(code.numStabs()) * dur.measure();
+
+    out.serialUs = static_cast<double>(out.gates) * (hop + gate) +
+        measure_serial;
+    out.parallelUs = static_cast<double>(out.depth) * (hop + gate) +
+        dur.measure();
+    out.speedup = out.parallelUs > 0.0 ? out.serialUs / out.parallelUs
+                                       : 0.0;
+    return out;
+}
+
+size_t
+pseudoOptEdgeCount(const CssCode& code)
+{
+    // Edges between consecutive support qubits of each stabilizer:
+    // the shuttling paths an ancilla needs to walk its support when
+    // every data qubit owns a trap.
+    std::set<std::pair<size_t, size_t>> edges;
+    auto add_row = [&](const std::vector<size_t>& support) {
+        for (size_t i = 0; i + 1 < support.size(); ++i) {
+            size_t a = support[i], b = support[i + 1];
+            if (a > b)
+                std::swap(a, b);
+            edges.insert({a, b});
+        }
+    };
+    for (size_t r = 0; r < code.numXStabs(); ++r)
+        add_row(code.hx().rowSupport(r));
+    for (size_t r = 0; r < code.numZStabs(); ++r)
+        add_row(code.hz().rowSupport(r));
+    return edges.size();
+}
+
+} // namespace cyclone

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Idealized latency bounds: OPT / Pseudo-OPT (Section III-B) and the
+ * fully serial reference.
+ *
+ * OPT models a fully connected shuttling graph with one data qubit per
+ * trap: every timeslice of a maximally parallel schedule costs one
+ * lockstep shuttle hop plus one two-qubit gate at minimal chain
+ * length; the serial reference executes every gate one after another
+ * with its own hop. The ratio is Fig. 3's speedup.
+ */
+
+#ifndef CYCLONE_COMPILER_IDEAL_H
+#define CYCLONE_COMPILER_IDEAL_H
+
+#include <cstddef>
+
+#include "qccd/durations.h"
+#include "qec/css_code.h"
+#include "qec/schedule.h"
+
+namespace cyclone {
+
+/** Idealized latency summary. */
+struct IdealLatency
+{
+    double serialUs = 0.0;    ///< Fully serial execution time.
+    double parallelUs = 0.0;  ///< Maximally parallel (OPT) time.
+    double speedup = 0.0;     ///< serial / parallel.
+    size_t depth = 0;         ///< Parallel schedule depth (slices).
+    size_t gates = 0;         ///< Total CX count.
+};
+
+/**
+ * Compute serial and maximally-parallel latencies for a code under a
+ * given parallel schedule (interleaved for edge-colorable codes,
+ * x-then-z otherwise).
+ */
+IdealLatency idealLatencies(const CssCode& code,
+                            const SyndromeSchedule& parallel_schedule,
+                            const Durations& durations = {});
+
+/**
+ * Number of distinct trap-to-trap shuttling paths Pseudo-OPT retains
+ * (edges between traps whose data qubits share a stabilizer); used
+ * for spatial-overhead reporting.
+ */
+size_t pseudoOptEdgeCount(const CssCode& code);
+
+} // namespace cyclone
+
+#endif // CYCLONE_COMPILER_IDEAL_H

@@ -1,0 +1,124 @@
+#include "compiler/mapping.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "common/logging.h"
+
+namespace cyclone {
+
+namespace {
+
+/** Nearest trap (hop count) with at least one free slot. */
+NodeId
+nearestTrapWithSpace(const Topology& topo, const Machine& machine,
+                     NodeId start)
+{
+    if (topo.isTrap(start) && machine.freeCapacity(start) > 0)
+        return start;
+    std::vector<bool> seen(topo.numNodes(), false);
+    std::deque<NodeId> frontier{start};
+    seen[start] = true;
+    while (!frontier.empty()) {
+        const NodeId cur = frontier.front();
+        frontier.pop_front();
+        for (const Neighbor& nb : topo.neighbors(cur)) {
+            if (seen[nb.node])
+                continue;
+            seen[nb.node] = true;
+            if (topo.isTrap(nb.node) &&
+                machine.freeCapacity(nb.node) > 0) {
+                return nb.node;
+            }
+            frontier.push_back(nb.node);
+        }
+    }
+    CYCLONE_FATAL("device out of trap capacity while mapping");
+}
+
+} // namespace
+
+Mapping
+greedyClusterMapping(const CssCode& code, const Topology& topology,
+                     Machine& machine, size_t data_per_trap)
+{
+    const size_t n = code.numQubits();
+    const size_t mx = code.numXStabs();
+    const size_t mz = code.numZStabs();
+    CYCLONE_ASSERT(data_per_trap >= 1, "data_per_trap must be >= 1");
+    if (topology.totalCapacity() < n + mx + mz) {
+        CYCLONE_FATAL("device capacity " << topology.totalCapacity()
+                      << " below ion count " << n + mx + mz);
+    }
+
+    Mapping map;
+    map.dataTrap.assign(n, SIZE_MAX);
+    map.dataIon.assign(n, SIZE_MAX);
+    map.ancillaTrap.assign(mx + mz, SIZE_MAX);
+    map.ancillaIon.assign(mx + mz, SIZE_MAX);
+
+    // ---- Data: walk stabilizer supports, clustering into traps. ----
+    const auto& traps = topology.traps();
+    size_t trap_cursor = 0;
+    size_t in_current = 0;
+    auto place_data = [&](size_t q) {
+        if (map.dataTrap[q] != SIZE_MAX)
+            return;
+        while (trap_cursor < traps.size() &&
+               (in_current >= data_per_trap ||
+                machine.freeCapacity(traps[trap_cursor]) == 0)) {
+            ++trap_cursor;
+            in_current = 0;
+        }
+        CYCLONE_ASSERT(trap_cursor < traps.size(),
+                       "ran out of traps placing data qubits");
+        const NodeId t = traps[trap_cursor];
+        map.dataTrap[q] = t;
+        map.dataIon[q] = machine.addDataIon(q, t);
+        ++in_current;
+    };
+    for (size_t r = 0; r < mx; ++r) {
+        for (size_t q : code.hx().rowSupport(r))
+            place_data(q);
+    }
+    for (size_t r = 0; r < mz; ++r) {
+        for (size_t q : code.hz().rowSupport(r))
+            place_data(q);
+    }
+    for (size_t q = 0; q < n; ++q)
+        place_data(q); // isolated qubits, if any
+
+    // ---- Ancillas: park near the bulk of their support. ----
+    auto place_ancilla = [&](size_t global, const auto& support) {
+        std::map<NodeId, size_t> votes;
+        for (size_t q : support)
+            ++votes[map.dataTrap[q]];
+        NodeId best = traps[0];
+        size_t best_votes = 0;
+        for (const auto& [t, v] : votes) {
+            if (v > best_votes && machine.freeCapacity(t) > 0) {
+                best = t;
+                best_votes = v;
+            }
+        }
+        NodeId target = best_votes > 0
+            ? best
+            : nearestTrapWithSpace(
+                  topology, machine,
+                  votes.empty() ? traps[0] : votes.begin()->first);
+        if (machine.freeCapacity(target) == 0)
+            target = nearestTrapWithSpace(topology, machine, target);
+        map.ancillaTrap[global] = target;
+        map.ancillaIon[global] =
+            machine.addAncillaIon(global, target);
+    };
+    for (size_t r = 0; r < mx; ++r)
+        place_ancilla(r, code.hx().rowSupport(r));
+    for (size_t r = 0; r < mz; ++r)
+        place_ancilla(mx + r, code.hz().rowSupport(r));
+
+    return map;
+}
+
+} // namespace cyclone

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Qubit-to-trap mapping for grid-style compilers.
+ *
+ * The baseline's greedy cluster mapping (Section II-B3) walks
+ * stabilizers and co-locates their support data qubits, then parks
+ * each stabilizer's ancilla in (or near) the trap holding most of its
+ * support.
+ */
+
+#ifndef CYCLONE_COMPILER_MAPPING_H
+#define CYCLONE_COMPILER_MAPPING_H
+
+#include <cstddef>
+#include <vector>
+
+#include "qccd/machine.h"
+#include "qccd/topology.h"
+#include "qec/css_code.h"
+
+namespace cyclone {
+
+/** Placement of data and ancilla ions. */
+struct Mapping
+{
+    /** Trap per data qubit. */
+    std::vector<NodeId> dataTrap;
+    /** Data ion id per data qubit. */
+    std::vector<IonId> dataIon;
+    /**
+     * Trap per stabilizer (global index: X stabilizers first, then Z).
+     */
+    std::vector<NodeId> ancillaTrap;
+    /** Ancilla ion id per global stabilizer index. */
+    std::vector<IonId> ancillaIon;
+};
+
+/**
+ * Greedy cluster mapping: place stabilizer supports contiguously,
+ * filling each trap with at most `data_per_trap` data qubits, then
+ * place ancillas near their supports. Populates `machine` with ions.
+ *
+ * @throws std::runtime_error if the device lacks capacity.
+ */
+Mapping greedyClusterMapping(const CssCode& code,
+                             const Topology& topology, Machine& machine,
+                             size_t data_per_trap);
+
+/** Global stabilizer index of an X stabilizer. */
+inline size_t
+globalStabIndex(const CssCode&, StabKind kind, size_t index,
+                size_t num_x_stabs)
+{
+    return kind == StabKind::X ? index : num_x_stabs + index;
+}
+
+} // namespace cyclone
+
+#endif // CYCLONE_COMPILER_MAPPING_H

@@ -1,0 +1,22 @@
+#include "compiler/mesh_junction.h"
+
+#include "qccd/topology_builders.h"
+
+namespace cyclone {
+
+CompileResult
+compileMeshJunction(const CssCode& code, const SyndromeSchedule& schedule,
+                    EjfOptions options)
+{
+    // One data qubit per trap; room for a visiting ancilla and one
+    // parked ancilla.
+    Topology mesh = buildJunctionMesh(code.numQubits(), 3);
+    options.dataPerTrap = 1;
+    options.conservativeRouting = true;
+    options.timesliceBarriers = true;
+    if (options.name == "baseline-ejf")
+        options.name = "mesh-junction";
+    return compileEjf(code, schedule, mesh, options);
+}
+
+} // namespace cyclone

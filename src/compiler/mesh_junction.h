@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Mesh junction network compiler (Section III-C, Figs. 8-9).
+ *
+ * One data qubit per perimeter trap of a dense junction mesh; ancillas
+ * route through the mesh with conservative full-path reservation
+ * (junction-junction collisions cannot be resolved mid-flight, so the
+ * compiler holds every junction on the path for the traversal). All
+ * trap roadblocks become junction roadblocks; junction crossing time
+ * (scaled by Durations::junctionScale) dominates — the Fig. 9 sweep.
+ */
+
+#ifndef CYCLONE_COMPILER_MESH_JUNCTION_H
+#define CYCLONE_COMPILER_MESH_JUNCTION_H
+
+#include "compiler/baseline_ejf.h"
+
+namespace cyclone {
+
+/**
+ * Compile onto an auto-built junction mesh (one data qubit per trap).
+ * The `topology` the engine uses is built internally from the code
+ * size; options.durations.junctionScale controls the Fig. 9 sweep.
+ */
+CompileResult compileMeshJunction(const CssCode& code,
+                                  const SyndromeSchedule& schedule,
+                                  EjfOptions options = {});
+
+} // namespace cyclone
+
+#endif // CYCLONE_COMPILER_MESH_JUNCTION_H

@@ -1,0 +1,201 @@
+#include "compiler/router.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cyclone {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+} // namespace
+
+Router::Router(const Topology& topology, const Durations& durations,
+               const SwapModel& swap_model)
+    : topology_(&topology), durations_(&durations),
+      swapModel_(&swap_model)
+{}
+
+RoutePlan
+Router::planMove(const ResourceTimeline& timeline, const Machine& machine,
+                 IonId ion, NodeId to, double earliest,
+                 bool conservative) const
+{
+    RoutePlan plan;
+    const NodeId from = machine.ion(ion).trap;
+    CYCLONE_ASSERT(topology_->isTrap(from) && topology_->isTrap(to),
+                   "route endpoints must be traps");
+    if (from == to) {
+        plan.readyTime = earliest;
+        return plan;
+    }
+    const std::vector<NodeId> path = topology_->shortestPath(from, to);
+    CYCLONE_ASSERT(path.size() >= 2, "no route from " << from
+                   << " to " << to);
+
+    const Durations& dur = *durations_;
+    double t = earliest;
+
+    // Port geometry: the ion exits `from` toward path[1]; the chain
+    // front faces the trap's first topology port. Crossing the chain
+    // to reach the far port is what swaps pay for.
+    const bool exit_front =
+        !topology_->neighbors(from).empty() &&
+        topology_->neighbors(from)[0].node == path[1];
+    const NodeId before_to = path[path.size() - 2];
+    plan.mergeAtFront =
+        !topology_->neighbors(to).empty() &&
+        topology_->neighbors(to)[0].node == before_to;
+
+    // Swap the ion to the exit end of the chain if needed.
+    const size_t edge_distance = machine.distanceFromEnd(ion, exit_front);
+    const double swap_cost =
+        swapModel_->costUs(edge_distance, machine.chainLength(from));
+    if (swap_cost > 0.0) {
+        t = timeline.plan(from, t);
+        plan.reservations.push_back(
+            {from, t, swap_cost, OpCategory::Swap});
+        plan.breakdown.add(OpCategory::Swap, swap_cost);
+        t += swap_cost;
+        ++plan.swapOps;
+    }
+
+    // Split out of the source trap.
+    t = timeline.plan(from, t);
+    plan.reservations.push_back({from, t, dur.split(),
+                                 OpCategory::Shuttle});
+    plan.breakdown.add(OpCategory::Shuttle, dur.split());
+    t += dur.split();
+    ++plan.shuttleOps;
+
+    if (!conservative) {
+        // Incremental traversal: pay and reserve as we go.
+        for (size_t i = 1; i < path.size(); ++i) {
+            // Edge segment into path[i].
+            EdgeId edge_id = SIZE_MAX;
+            for (const Neighbor& nb : topology_->neighbors(path[i - 1])) {
+                if (nb.node == path[i]) {
+                    edge_id = nb.edge;
+                    break;
+                }
+            }
+            CYCLONE_ASSERT(edge_id != SIZE_MAX, "path edge missing");
+            const size_t edge_res = edgeResource(edge_id);
+            t = timeline.plan(edge_res, t);
+            plan.reservations.push_back({edge_res, t, dur.move(),
+                                         OpCategory::Shuttle});
+            plan.breakdown.add(OpCategory::Shuttle, dur.move());
+            t += dur.move();
+
+            if (i + 1 == path.size())
+                break; // Destination handled below.
+            const NodeId node = path[i];
+            const double at = timeline.plan(node, t);
+            if (topology_->isTrap(node)) {
+                // Passing through an occupied trap: merge in, split
+                // back out, possibly after waiting (trap roadblock).
+                if (at > t + kEps)
+                    ++plan.trapRoadblocks;
+                ++plan.trapTransits;
+                t = at;
+                const double transit = dur.merge() + dur.split();
+                plan.reservations.push_back({node, t, transit,
+                                             OpCategory::Shuttle});
+                plan.breakdown.add(OpCategory::Shuttle, transit);
+                t += transit;
+                plan.shuttleOps += 2;
+            } else {
+                if (at > t + kEps)
+                    ++plan.junctionRoadblocks;
+                t = at;
+                const double cross =
+                    dur.junctionCrossUs(topology_->degree(node));
+                plan.reservations.push_back({node, t, cross,
+                                             OpCategory::Junction});
+                plan.breakdown.add(OpCategory::Junction, cross);
+                t += cross;
+            }
+        }
+        // Merge into the destination trap.
+        t = timeline.plan(to, t);
+        plan.reservations.push_back({to, t, dur.merge(),
+                                     OpCategory::Shuttle});
+        plan.breakdown.add(OpCategory::Shuttle, dur.merge());
+        t += dur.merge();
+        ++plan.shuttleOps;
+        plan.readyTime = t;
+        return plan;
+    }
+
+    // Conservative traversal: compute the total transit duration, then
+    // hold every traversed resource for the full window. Breakdown
+    // components are counted once, not per held resource.
+    double transit = 0.0;
+    std::vector<std::pair<size_t, OpCategory>> held;
+    for (size_t i = 1; i < path.size(); ++i) {
+        EdgeId edge_id = SIZE_MAX;
+        for (const Neighbor& nb : topology_->neighbors(path[i - 1])) {
+            if (nb.node == path[i]) {
+                edge_id = nb.edge;
+                break;
+            }
+        }
+        CYCLONE_ASSERT(edge_id != SIZE_MAX, "path edge missing");
+        held.emplace_back(edgeResource(edge_id), OpCategory::Shuttle);
+        transit += dur.move();
+        plan.breakdown.add(OpCategory::Shuttle, dur.move());
+        if (i + 1 == path.size())
+            break;
+        const NodeId node = path[i];
+        if (topology_->isTrap(node)) {
+            held.emplace_back(node, OpCategory::Shuttle);
+            const double through = dur.merge() + dur.split();
+            transit += through;
+            plan.breakdown.add(OpCategory::Shuttle, through);
+            ++plan.trapTransits;
+            plan.shuttleOps += 2;
+        } else {
+            held.emplace_back(node, OpCategory::Junction);
+            const double cross =
+                dur.junctionCrossUs(topology_->degree(node));
+            transit += cross;
+            plan.breakdown.add(OpCategory::Junction, cross);
+        }
+    }
+    transit += dur.merge();
+    plan.breakdown.add(OpCategory::Shuttle, dur.merge());
+
+    // One conservative window: start when every traversed resource is
+    // free. Classify the delay source once per route: waits caused by
+    // traversed traps are trap roadblocks; waits on junctions or
+    // shared path segments are junction-network congestion.
+    double start = t;
+    double junction_free = t, trap_free = t;
+    for (const auto& [res, cat] : held) {
+        const double at = timeline.plan(res, t);
+        const bool is_trap_node =
+            res < topology_->numNodes() && topology_->isTrap(res);
+        if (is_trap_node)
+            trap_free = std::max(trap_free, at);
+        else
+            junction_free = std::max(junction_free, at);
+        start = std::max(start, at);
+        (void)cat;
+    }
+    if (junction_free > t + kEps)
+        ++plan.junctionRoadblocks;
+    if (trap_free > t + kEps)
+        ++plan.trapRoadblocks;
+    start = std::max(start, timeline.plan(to, start));
+    for (const auto& [res, cat] : held)
+        plan.reservations.push_back({res, start, transit, cat});
+    plan.reservations.push_back({to, start + transit - dur.merge(),
+                                 dur.merge(), OpCategory::Shuttle});
+    ++plan.shuttleOps;
+    plan.readyTime = start + transit;
+    return plan;
+}
+
+} // namespace cyclone

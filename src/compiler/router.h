@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Shuttling route planning against resource timelines.
+ *
+ * A route moves one ancilla ion from its trap to a destination trap:
+ * optional swap-out to the chain edge, split, then an alternation of
+ * edge moves and node traversals (junction crossings, or the expensive
+ * merge+split of passing *through* a trap), and a final merge. The
+ * planner never mutates timelines; the chosen plan's reservations are
+ * committed by the compiler engine.
+ *
+ * Waiting on a busy traversed trap is a trap roadblock; waiting on a
+ * busy junction is a junction roadblock (Section III of the paper).
+ */
+
+#ifndef CYCLONE_COMPILER_ROUTER_H
+#define CYCLONE_COMPILER_ROUTER_H
+
+#include <vector>
+
+#include "compiler/compile_result.h"
+#include "qccd/durations.h"
+#include "qccd/machine.h"
+#include "qccd/swap_model.h"
+#include "qccd/timeline.h"
+#include "qccd/topology.h"
+
+namespace cyclone {
+
+/** One planned reservation on a resource. */
+struct Reservation
+{
+    size_t resource;
+    double start;
+    double duration;
+    OpCategory category;
+};
+
+/** A fully costed route (or in-trap operation). */
+struct RoutePlan
+{
+    /** Time at which the ion is available at the destination. */
+    double readyTime = 0.0;
+    std::vector<Reservation> reservations;
+    /**
+     * Component durations of this route, counted once per physical
+     * action (conservative reservations hold many resources for the
+     * same transit; those holds are not double counted here).
+     */
+    TimeBreakdown breakdown;
+    size_t trapRoadblocks = 0;
+    size_t junctionRoadblocks = 0;
+    size_t trapTransits = 0;   ///< Through-trap passes (cost paid).
+    size_t shuttleOps = 0;
+    size_t swapOps = 0;
+    /**
+     * Chain end the ion occupies after merging at the destination:
+     * true = front (port-0) end. Pass to Machine::relocate.
+     */
+    bool mergeAtFront = false;
+};
+
+/** Route planner bound to one device and timing model. */
+class Router
+{
+  public:
+    Router(const Topology& topology, const Durations& durations,
+           const SwapModel& swap_model);
+
+    /** Total number of schedulable resources (nodes then edges). */
+    size_t numResources() const
+    {
+        return topology_->numNodes() + topology_->numEdges();
+    }
+
+    /** Resource index of an edge. */
+    size_t
+    edgeResource(EdgeId e) const
+    {
+        return topology_->numNodes() + e;
+    }
+
+    /**
+     * Plan moving `ion` from its current trap to `to`, starting no
+     * earlier than `earliest`.
+     *
+     * @param conservative if true, reserve every traversed resource
+     *        for the whole traversal window (the junction-mesh
+     *        compiler's conservative path scheduling)
+     */
+    RoutePlan planMove(const ResourceTimeline& timeline,
+                       const Machine& machine, IonId ion, NodeId to,
+                       double earliest, bool conservative = false) const;
+
+    const Topology& topology() const { return *topology_; }
+    const Durations& durations() const { return *durations_; }
+    const SwapModel& swapModel() const { return *swapModel_; }
+
+  private:
+    const Topology* topology_;
+    const Durations* durations_;
+    const SwapModel* swapModel_;
+};
+
+} // namespace cyclone
+
+#endif // CYCLONE_COMPILER_ROUTER_H

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Top-level codesign evaluation: pick a code, an architecture and a
+ * software policy; get back compiled latency, logical error rate, and
+ * spacetime cost. This is the API the paper's experiments are
+ * expressed in (see bench/ for one binary per figure).
+ */
+
+#ifndef CYCLONE_CORE_CODESIGN_H
+#define CYCLONE_CORE_CODESIGN_H
+
+#include <cstddef>
+#include <string>
+
+#include "compiler/baseline_ejf.h"
+#include "compiler/compile_result.h"
+#include "compiler/cyclone_compiler.h"
+#include "memory/memory_experiment.h"
+#include "qec/css_code.h"
+#include "qec/schedule.h"
+
+namespace cyclone {
+
+/** The hardware/software codesigns evaluated in the paper. */
+enum class Architecture
+{
+    BaselineGrid,   ///< l x l grid + static EJF (the paper's baseline).
+    AlternateGrid,  ///< Serpentine L-junction loop + static EJF.
+    DynamicGrid,    ///< l x l grid + dynamic timeslices (Fig. 4a).
+    RingEjf,        ///< Ring hardware + static EJF (Fig. 6, disastrous).
+    MeshJunction,   ///< Junction mesh + conservative dynamic routing.
+    Cyclone,        ///< Ring hardware + lockstep rotation (Section IV).
+};
+
+/** Human-readable architecture name. */
+const char* architectureName(Architecture arch);
+
+/** Codesign selection and tuning. */
+struct CodesignConfig
+{
+    Architecture architecture = Architecture::Cyclone;
+
+    /** Options for the grid-family compilers. */
+    EjfOptions ejf;
+
+    /** Options for the Cyclone compiler. */
+    CycloneOptions cyclone;
+
+    /** Trap capacity of grid devices (the paper uses 5). */
+    size_t gridCapacity = 5;
+};
+
+/**
+ * Compile one syndrome round of `code` under the chosen codesign.
+ * Builds the matching topology internally.
+ */
+CompileResult compileCodesign(const CssCode& code,
+                              const SyndromeSchedule& schedule,
+                              const CodesignConfig& config);
+
+/** Full hardware-aware evaluation of one codesign point. */
+struct CodesignEvaluation
+{
+    CompileResult compiled;
+    MemoryExperimentResult memory;
+    /** Fig. 16 metric: traps x exec time x ancillas. */
+    double spacetimeCost = 0.0;
+};
+
+/**
+ * Compile, couple the latency into the noise model, and run the
+ * memory experiment.
+ *
+ * @param code code under test
+ * @param schedule x-then-z schedule for both compilation and memory
+ * @param config codesign choice
+ * @param experiment Monte-Carlo parameters (roundLatencyUs is
+ *        overwritten with the compiled latency)
+ */
+CodesignEvaluation evaluateCodesign(const CssCode& code,
+                                    const SyndromeSchedule& schedule,
+                                    const CodesignConfig& config,
+                                    MemoryExperimentConfig experiment);
+
+} // namespace cyclone
+
+#endif // CYCLONE_CORE_CODESIGN_H

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Umbrella header: include the whole Cyclone library.
+ */
+
+#ifndef CYCLONE_CORE_CYCLONE_H
+#define CYCLONE_CORE_CYCLONE_H
+
+#include "circuit/circuit.h"
+#include "circuit/frame_simulator.h"
+#include "circuit/memory_circuit.h"
+#include "circuit/tableau_simulator.h"
+#include "common/bitvec.h"
+#include "common/gf2.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "compiler/baseline2.h"
+#include "compiler/baseline3.h"
+#include "compiler/baseline_ejf.h"
+#include "compiler/compile_result.h"
+#include "compiler/cyclone_compiler.h"
+#include "compiler/dynamic_grid.h"
+#include "compiler/ideal.h"
+#include "compiler/mesh_junction.h"
+#include "core/codesign.h"
+#include "core/explorer.h"
+#include "core/loops.h"
+#include "core/overhead.h"
+#include "decoder/bposd_decoder.h"
+#include "decoder/bp_decoder.h"
+#include "decoder/exhaustive_decoder.h"
+#include "decoder/osd.h"
+#include "dem/dem.h"
+#include "dem/dem_builder.h"
+#include "dem/dem_sampler.h"
+#include "memory/memory_experiment.h"
+#include "noise/noise_model.h"
+#include "noise/pauli_twirl.h"
+#include "qccd/durations.h"
+#include "qccd/machine.h"
+#include "qccd/swap_model.h"
+#include "qccd/timeline.h"
+#include "qccd/topology.h"
+#include "qccd/topology_builders.h"
+#include "qec/bb_code.h"
+#include "qec/classical_code.h"
+#include "qec/code_catalog.h"
+#include "qec/css_code.h"
+#include "qec/edge_coloring.h"
+#include "qec/hgp_code.h"
+#include "qec/schedule.h"
+#include "qec/tanner.h"
+
+#endif // CYCLONE_CORE_CYCLONE_H

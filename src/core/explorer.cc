@@ -1,0 +1,46 @@
+#include "core/explorer.h"
+
+#include "common/logging.h"
+
+namespace cyclone {
+
+std::vector<CycloneDesignPoint>
+sweepCycloneTrapCounts(const CssCode& code,
+                       const std::vector<size_t>& trap_counts,
+                       CycloneOptions options)
+{
+    std::vector<CycloneDesignPoint> out;
+    out.reserve(trap_counts.size());
+    const size_t n = code.numQubits();
+    const size_t m = code.numStabs();
+    for (size_t x : trap_counts) {
+        CYCLONE_ASSERT(x >= 1, "trap count must be positive");
+        CycloneOptions opts = options;
+        opts.numTraps = x;
+        // The paper's tight formula counts all m stabilizer ancillas.
+        opts.capacity = (n + x - 1) / x + (m + x - 1) / x;
+        CycloneCompileResult compiled = compileCyclone(code, opts);
+        CycloneDesignPoint point;
+        point.traps = x;
+        point.capacity = opts.capacity;
+        point.execTimeUs = compiled.execTimeUs;
+        point.analyticUs = cycloneAnalyticWorstCaseUs(code, opts);
+        point.spacetime = compiled.spacetimeCost();
+        out.push_back(point);
+    }
+    return out;
+}
+
+const CycloneDesignPoint&
+bestDesignPoint(const std::vector<CycloneDesignPoint>& points)
+{
+    CYCLONE_ASSERT(!points.empty(), "no design points");
+    const CycloneDesignPoint* best = &points.front();
+    for (const CycloneDesignPoint& p : points) {
+        if (p.execTimeUs < best->execTimeUs)
+            best = &p;
+    }
+    return *best;
+}
+
+} // namespace cyclone

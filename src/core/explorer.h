@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Design-space exploration helpers (Figs. 13 and 17).
+ *
+ * Cyclone is flexible in ring size: fewer, denser traps trade movement
+ * for serialization and slower gates. The explorer sweeps "tight"
+ * configurations (capacity = ceil(n/x) + ceil(m/x), the paper's
+ * formula) and reports execution time per round so callers can couple
+ * it into memory experiments.
+ */
+
+#ifndef CYCLONE_CORE_EXPLORER_H
+#define CYCLONE_CORE_EXPLORER_H
+
+#include <cstddef>
+#include <vector>
+
+#include "compiler/cyclone_compiler.h"
+#include "qec/css_code.h"
+
+namespace cyclone {
+
+/** One explored Cyclone configuration. */
+struct CycloneDesignPoint
+{
+    size_t traps = 0;
+    size_t capacity = 0;
+    double execTimeUs = 0.0;
+    double analyticUs = 0.0;
+    double spacetime = 0.0;
+};
+
+/**
+ * Sweep Cyclone ring sizes with tight capacities.
+ *
+ * @param code code under test
+ * @param trap_counts ring sizes to evaluate (1 = single dense trap)
+ * @param options base options; numTraps/capacity are overridden
+ */
+std::vector<CycloneDesignPoint>
+sweepCycloneTrapCounts(const CssCode& code,
+                       const std::vector<size_t>& trap_counts,
+                       CycloneOptions options = {});
+
+/** The point with the lowest execution time. */
+const CycloneDesignPoint&
+bestDesignPoint(const std::vector<CycloneDesignPoint>& points);
+
+} // namespace cyclone
+
+#endif // CYCLONE_CORE_EXPLORER_H

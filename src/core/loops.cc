@@ -1,0 +1,105 @@
+#include "core/loops.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cyclone {
+
+namespace {
+
+/** Support of a global stabilizer index (X stabs first, then Z). */
+const std::vector<size_t>&
+supportOf(const CssCode& code, size_t global)
+{
+    const size_t mx = code.numXStabs();
+    return global < mx ? code.hx().rowSupport(global)
+                       : code.hz().rowSupport(global - mx);
+}
+
+} // namespace
+
+LoopCutAnalysis
+analyzeLoopCut(const CssCode& code)
+{
+    const size_t m = code.numStabs();
+    const size_t n = code.numQubits();
+    LoopCutAnalysis cut;
+
+    // Greedy balanced assignment: stabilizers in descending weight,
+    // each placed in the loop already holding more of its data (ties
+    // and balance pressure push toward the smaller loop).
+    std::vector<size_t> order(m);
+    for (size_t i = 0; i < m; ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return supportOf(code, a).size() > supportOf(code, b).size();
+    });
+
+    // votes[q]: positive = loop A owns more of q's stabilizers.
+    std::vector<int> votes(n, 0);
+    for (size_t global : order) {
+        const auto& support = supportOf(code, global);
+        int affinity = 0;
+        for (size_t q : support)
+            affinity += votes[q] > 0 ? 1 : (votes[q] < 0 ? -1 : 0);
+        const bool balanced_a = cut.loopA.size() <= cut.loopB.size();
+        bool to_a;
+        if (affinity > 0) {
+            to_a = cut.loopA.size() < cut.loopB.size() + m / 10 + 1;
+        } else if (affinity < 0) {
+            to_a = cut.loopB.size() >= cut.loopA.size() + m / 10 + 1;
+        } else {
+            to_a = balanced_a;
+        }
+        auto& loop = to_a ? cut.loopA : cut.loopB;
+        loop.push_back(global);
+        for (size_t q : support)
+            votes[q] += to_a ? 1 : -1;
+    }
+
+    // Home each data qubit with the loop owning more of its checks.
+    std::vector<int> home(n, 0); // +1 = A, -1 = B
+    for (size_t q = 0; q < n; ++q) {
+        const bool in_a = votes[q] > 0 ||
+            (votes[q] == 0 && cut.dataInA <= cut.dataInB);
+        home[q] = in_a ? 1 : -1;
+        if (in_a)
+            ++cut.dataInA;
+        else
+            ++cut.dataInB;
+    }
+
+    // Crossing stabilizers span both homes.
+    for (size_t global = 0; global < m; ++global) {
+        bool touches_a = false, touches_b = false;
+        for (size_t q : supportOf(code, global)) {
+            (home[q] > 0 ? touches_a : touches_b) = true;
+        }
+        if (touches_a && touches_b)
+            ++cut.crossingStabs;
+    }
+    cut.crossingFraction = m > 0
+        ? static_cast<double>(cut.crossingStabs) / m : 0.0;
+    return cut;
+}
+
+TwoLoopEstimate
+estimateTwoLoopCyclone(const CssCode& code, const CycloneOptions& options)
+{
+    TwoLoopEstimate est;
+    est.cut = analyzeLoopCut(code);
+    CycloneCompileResult single = compileCyclone(code, options);
+    est.singleLoopUs = single.execTimeUs;
+
+    const double total = static_cast<double>(code.numStabs());
+    const double frac_a = est.cut.loopA.size() / total;
+    const double frac_b = est.cut.loopB.size() / total;
+    const double t_a = single.execTimeUs * frac_a;
+    const double t_b = single.execTimeUs * frac_b;
+    est.twoLoopUs = std::max(t_a, t_b) +
+        est.cut.crossingFraction * (t_a + t_b);
+    return est;
+}
+
+} // namespace cyclone

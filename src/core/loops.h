@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Independent / concurrent loop analysis (Section IV-C).
+ *
+ * Cyclone routes every ancilla around one global loop. Splitting the
+ * stabilizers across two concurrent loops would shorten each rotation
+ * — but only if the loops' stabilizers touch disjoint data. This
+ * module quantifies that: it bipartitions the stabilizers (greedy,
+ * balanced, overlap-minimizing), assigns each data qubit to the loop
+ * owning more of its stabilizers, and counts the *crossing*
+ * stabilizers whose support spans both data partitions. Each crossing
+ * ancilla must traverse both loops, negating the split's benefit.
+ *
+ * The paper's finding — "neither HGP nor BB codes permit such cuts due
+ * to their long-range and non-local connections" — is reproduced
+ * mechanically: catalog codes have large crossing fractions, so the
+ * two-loop estimate is slower than the single loop, while a
+ * block-diagonal (disjoint) code splits cleanly.
+ */
+
+#ifndef CYCLONE_CORE_LOOPS_H
+#define CYCLONE_CORE_LOOPS_H
+
+#include <cstddef>
+#include <vector>
+
+#include "compiler/cyclone_compiler.h"
+#include "qec/css_code.h"
+
+namespace cyclone {
+
+/** Result of bipartitioning a code's stabilizers into two loops. */
+struct LoopCutAnalysis
+{
+    /** Stabilizers assigned to each loop (global indices). */
+    std::vector<size_t> loopA;
+    std::vector<size_t> loopB;
+
+    /** Data qubits homed in each loop. */
+    size_t dataInA = 0;
+    size_t dataInB = 0;
+
+    /** Stabilizers whose support spans both data partitions. */
+    size_t crossingStabs = 0;
+
+    /** crossingStabs / total stabilizers. */
+    double crossingFraction = 0.0;
+};
+
+/**
+ * Greedy balanced bipartition of all stabilizers minimizing
+ * cross-loop data sharing.
+ */
+LoopCutAnalysis analyzeLoopCut(const CssCode& code);
+
+/** Single- vs two-loop Cyclone execution estimate. */
+struct TwoLoopEstimate
+{
+    double singleLoopUs = 0.0;
+    double twoLoopUs = 0.0;
+    LoopCutAnalysis cut;
+};
+
+/**
+ * Estimate a two-loop Cyclone execution time.
+ *
+ * Model: loops run concurrently, each a scaled-down Cyclone rotation
+ * (T_i = T_single * loop_i / total); every crossing ancilla must also
+ * traverse the other loop, adding crossingFraction * (T_A + T_B):
+ *
+ *   T_two = max(T_A, T_B) + crossingFraction * (T_A + T_B)
+ *
+ * For crossing-free codes this halves the time; for the paper's HGP
+ * and BB codes the crossing term dominates and the split loses.
+ */
+TwoLoopEstimate estimateTwoLoopCyclone(const CssCode& code,
+                                       const CycloneOptions& options = {});
+
+} // namespace cyclone
+
+#endif // CYCLONE_CORE_LOOPS_H

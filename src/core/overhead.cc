@@ -1,0 +1,30 @@
+#include "core/overhead.h"
+
+namespace cyclone {
+
+ControlOverhead
+gridControlOverhead(const CompileResult& compiled)
+{
+    ControlOverhead out;
+    out.design = compiled.compilerName;
+    out.traps = compiled.numTraps;
+    out.junctions = compiled.numJunctions;
+    out.ancillas = compiled.numAncilla;
+    out.dacChannels = compiled.numTraps;
+    return out;
+}
+
+ControlOverhead
+cycloneControlOverhead(const CompileResult& compiled,
+                       size_t broadcast_dacs)
+{
+    ControlOverhead out;
+    out.design = compiled.compilerName;
+    out.traps = compiled.numTraps;
+    out.junctions = compiled.numJunctions;
+    out.ancillas = compiled.numAncilla;
+    out.dacChannels = broadcast_dacs;
+    return out;
+}
+
+} // namespace cyclone

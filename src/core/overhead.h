@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Spatial and control overhead accounting (Sections II-B4 and IV).
+ *
+ * Grid QCCDs need one DAC per trap because every trap executes a
+ * distinct waveform sequence; Cyclone's lockstep symmetry lets one
+ * broadcast control signal (plus forwarding) drive every trap, so the
+ * DAC count is constant. Spacetime cost (Fig. 16) is
+ * traps x execution time x ancilla count.
+ */
+
+#ifndef CYCLONE_CORE_OVERHEAD_H
+#define CYCLONE_CORE_OVERHEAD_H
+
+#include <cstddef>
+#include <string>
+
+#include "compiler/compile_result.h"
+
+namespace cyclone {
+
+/** Wiring/control overhead summary for one codesign. */
+struct ControlOverhead
+{
+    std::string design;
+    size_t traps = 0;
+    size_t junctions = 0;
+    size_t ancillas = 0;
+    /** Digital-to-analog converter channels required. */
+    size_t dacChannels = 0;
+};
+
+/** Overhead of a grid-style design: one DAC per trap. */
+ControlOverhead gridControlOverhead(const CompileResult& compiled);
+
+/**
+ * Overhead of the Cyclone design: a constant number of broadcast DACs
+ * (default 1, per the paper's "one DAC with forwarding").
+ */
+ControlOverhead cycloneControlOverhead(const CompileResult& compiled,
+                                       size_t broadcast_dacs = 1);
+
+} // namespace cyclone
+
+#endif // CYCLONE_CORE_OVERHEAD_H

@@ -1,0 +1,199 @@
+#include "decoder/bp_decoder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cyclone {
+
+BpDecoder::BpDecoder(const DetectorErrorModel& dem, BpOptions options)
+    : options_(options), numChecks_(dem.numDetectors),
+      numVars_(dem.mechanisms.size())
+{
+    prior_.resize(numVars_);
+    std::vector<std::vector<uint32_t>> check_vars(numChecks_);
+
+    varOffset_.assign(numVars_ + 1, 0);
+    for (size_t v = 0; v < numVars_; ++v) {
+        const DemMechanism& m = dem.mechanisms[v];
+        double p = std::clamp(m.probability, 1e-14, 1.0 - 1e-14);
+        prior_[v] = std::log((1.0 - p) / p);
+        varOffset_[v + 1] = varOffset_[v] + m.detectors.size();
+        for (uint32_t d : m.detectors) {
+            CYCLONE_ASSERT(d < numChecks_, "mechanism detector "
+                           << d << " out of range");
+            check_vars[d].push_back(static_cast<uint32_t>(v));
+        }
+    }
+    const size_t num_edges = varOffset_.back();
+    varEdgeCheck_.resize(num_edges);
+    {
+        std::vector<size_t> cursor(numVars_, 0);
+        for (size_t v = 0; v < numVars_; ++v) {
+            const DemMechanism& m = dem.mechanisms[v];
+            for (size_t j = 0; j < m.detectors.size(); ++j)
+                varEdgeCheck_[varOffset_[v] + j] = m.detectors[j];
+        }
+    }
+
+    // Check-side CSR with a mapping back to var-CSR edge slots.
+    checkOffset_.assign(numChecks_ + 1, 0);
+    for (size_t c = 0; c < numChecks_; ++c)
+        checkOffset_[c + 1] = checkOffset_[c] + check_vars[c].size();
+    checkEdgeVar_.resize(num_edges);
+    varOrderOfCheckEdge_.resize(num_edges);
+    {
+        std::vector<size_t> var_cursor(numVars_, 0);
+        std::vector<size_t> check_cursor(numChecks_, 0);
+        for (size_t v = 0; v < numVars_; ++v) {
+            for (size_t e = varOffset_[v]; e < varOffset_[v + 1]; ++e) {
+                const uint32_t c = varEdgeCheck_[e];
+                const size_t slot = checkOffset_[c] + check_cursor[c]++;
+                checkEdgeVar_[slot] = static_cast<uint32_t>(v);
+                varOrderOfCheckEdge_[slot] = static_cast<uint32_t>(e);
+            }
+        }
+    }
+
+    msgVarToCheck_.assign(num_edges, 0.0);
+    msgCheckToVar_.assign(num_edges, 0.0);
+    posterior_.assign(numVars_, 0.0);
+    hard_.assign(numVars_, 0);
+}
+
+void
+BpDecoder::varToCheckUpdate()
+{
+    for (size_t v = 0; v < numVars_; ++v) {
+        double total = prior_[v];
+        for (size_t e = varOffset_[v]; e < varOffset_[v + 1]; ++e)
+            total += msgCheckToVar_[e];
+        posterior_[v] = total;
+        for (size_t e = varOffset_[v]; e < varOffset_[v + 1]; ++e) {
+            double msg = total - msgCheckToVar_[e];
+            msg = std::clamp(msg, -options_.clamp, options_.clamp);
+            msgVarToCheck_[e] = msg;
+        }
+    }
+}
+
+void
+BpDecoder::checkToVarUpdate(const BitVec& syndrome)
+{
+    const bool min_sum = options_.variant == BpOptions::Variant::MinSum;
+    for (size_t c = 0; c < numChecks_; ++c) {
+        const size_t begin = checkOffset_[c];
+        const size_t end = checkOffset_[c + 1];
+        const double syndrome_sign = syndrome.get(c) ? -1.0 : 1.0;
+        if (min_sum) {
+            // Track the two smallest magnitudes and the sign product.
+            double min1 = 1e300, min2 = 1e300;
+            size_t argmin = begin;
+            double sign_product = syndrome_sign;
+            for (size_t s = begin; s < end; ++s) {
+                const double m = msgVarToCheck_[varOrderOfCheckEdge_[s]];
+                const double mag = std::fabs(m);
+                if (m < 0.0)
+                    sign_product = -sign_product;
+                if (mag < min1) {
+                    min2 = min1;
+                    min1 = mag;
+                    argmin = s;
+                } else if (mag < min2) {
+                    min2 = mag;
+                }
+            }
+            for (size_t s = begin; s < end; ++s) {
+                const double m = msgVarToCheck_[varOrderOfCheckEdge_[s]];
+                const double mag = s == argmin ? min2 : min1;
+                double sign = sign_product * (m < 0.0 ? -1.0 : 1.0);
+                msgCheckToVar_[varOrderOfCheckEdge_[s]] =
+                    sign * options_.minSumScale * mag;
+            }
+        } else {
+            // Product-sum via the two-pass tanh-product trick: one
+            // running product, then one division and one log per edge
+            // (2 atanh(x) = log((1+x)/(1-x))).
+            double prod = 1.0;
+            int zero_count = 0;
+            size_t zero_slot = begin;
+            double sign_product = syndrome_sign;
+            if (tanhScratch_.size() < end - begin)
+                tanhScratch_.resize(end - begin);
+            for (size_t s = begin; s < end; ++s) {
+                const double m = msgVarToCheck_[varOrderOfCheckEdge_[s]];
+                if (m < 0.0)
+                    sign_product = -sign_product;
+                double t = std::tanh(std::fabs(m) / 2.0);
+                tanhScratch_[s - begin] = t;
+                if (t < 1e-12) {
+                    ++zero_count;
+                    zero_slot = s;
+                } else {
+                    prod *= t;
+                }
+            }
+            for (size_t s = begin; s < end; ++s) {
+                const double m = msgVarToCheck_[varOrderOfCheckEdge_[s]];
+                double out;
+                if (zero_count > 1 || (zero_count == 1 && s != zero_slot)) {
+                    out = 0.0;
+                } else {
+                    double t_other = prod;
+                    if (zero_count == 0) {
+                        t_other = prod /
+                            std::max(tanhScratch_[s - begin], 1e-12);
+                    }
+                    t_other = std::min(t_other, 1.0 - 1e-14);
+                    out = std::log((1.0 + t_other) / (1.0 - t_other));
+                }
+                const double sign =
+                    sign_product * (m < 0.0 ? -1.0 : 1.0);
+                msgCheckToVar_[varOrderOfCheckEdge_[s]] = std::clamp(
+                    sign * out, -options_.clamp, options_.clamp);
+            }
+        }
+    }
+}
+
+bool
+BpDecoder::hardDecisionMatches(const BitVec& syndrome)
+{
+    for (size_t v = 0; v < numVars_; ++v)
+        hard_[v] = posterior_[v] < 0.0 ? 1 : 0;
+    // Verify H e == syndrome.
+    for (size_t c = 0; c < numChecks_; ++c) {
+        bool parity = false;
+        for (size_t s = checkOffset_[c]; s < checkOffset_[c + 1]; ++s)
+            parity ^= hard_[checkEdgeVar_[s]] != 0;
+        if (parity != syndrome.get(c))
+            return false;
+    }
+    return true;
+}
+
+bool
+BpDecoder::decode(const BitVec& syndrome)
+{
+    CYCLONE_ASSERT(syndrome.size() == numChecks_,
+                   "syndrome length mismatch: " << syndrome.size()
+                   << " vs " << numChecks_);
+    std::fill(msgCheckToVar_.begin(), msgCheckToVar_.end(), 0.0);
+    for (size_t iter = 0; iter < options_.maxIterations; ++iter) {
+        varToCheckUpdate();
+        // Posterior from the previous half-iteration is already
+        // available; test convergence before the check update to catch
+        // the trivial all-zero syndrome in one pass.
+        if (hardDecisionMatches(syndrome)) {
+            lastIterations_ = iter;
+            return true;
+        }
+        checkToVarUpdate(syndrome);
+    }
+    varToCheckUpdate();
+    lastIterations_ = options_.maxIterations;
+    return hardDecisionMatches(syndrome);
+}
+
+} // namespace cyclone

@@ -1,0 +1,36 @@
+#include "decoder/bposd_decoder.h"
+
+namespace cyclone {
+
+BpOsdDecoder::BpOsdDecoder(const DetectorErrorModel& dem, BpOptions options)
+    : dem_(dem), bp_(dem, options), osd_(dem)
+{}
+
+uint64_t
+BpOsdDecoder::decode(const BitVec& syndrome)
+{
+    ++stats_.decodes;
+    const bool converged = bp_.decode(syndrome);
+
+    const std::vector<uint8_t>* errors = &bp_.hardDecision();
+    if (converged) {
+        ++stats_.bpConverged;
+    } else {
+        ++stats_.osdInvocations;
+        if (osd_.decode(syndrome, bp_.posteriorLlr(), errorScratch_)) {
+            errors = &errorScratch_;
+        } else {
+            // Syndrome outside the DEM column span; keep the BP guess.
+            ++stats_.osdFailures;
+        }
+    }
+
+    uint64_t obs = 0;
+    for (size_t v = 0; v < errors->size(); ++v) {
+        if ((*errors)[v])
+            obs ^= dem_.mechanisms[v].observables;
+    }
+    return obs;
+}
+
+} // namespace cyclone

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The production decoder: belief propagation with OSD-0 fallback.
+ *
+ * BP alone frequently fails to converge on qLDPC detector graphs
+ * (degenerate errors, trapping sets); whenever that happens the BP
+ * posteriors seed an OSD-0 solve, which always returns a valid
+ * correction. This mirrors the decoders the paper uses for both code
+ * families (BP-OSD for BB codes, the QuITS decoder for HGP codes).
+ */
+
+#ifndef CYCLONE_DECODER_BPOSD_DECODER_H
+#define CYCLONE_DECODER_BPOSD_DECODER_H
+
+#include <memory>
+
+#include "decoder/bp_decoder.h"
+#include "decoder/decoder.h"
+#include "decoder/osd.h"
+
+namespace cyclone {
+
+/** Aggregate decode statistics. */
+struct BpOsdStats
+{
+    size_t decodes = 0;
+    size_t bpConverged = 0;
+    size_t osdInvocations = 0;
+    size_t osdFailures = 0;
+};
+
+/** BP + OSD-0 decoder over a detector error model. */
+class BpOsdDecoder : public Decoder
+{
+  public:
+    /**
+     * @param dem detector error model; must outlive the decoder
+     * @param options BP configuration
+     */
+    explicit BpOsdDecoder(const DetectorErrorModel& dem,
+                          BpOptions options = {});
+
+    uint64_t decode(const BitVec& syndrome) override;
+
+    const BpOsdStats& stats() const { return stats_; }
+
+  private:
+    const DetectorErrorModel& dem_;
+    BpDecoder bp_;
+    OsdDecoder osd_;
+    BpOsdStats stats_;
+    std::vector<uint8_t> errorScratch_;
+};
+
+} // namespace cyclone
+
+#endif // CYCLONE_DECODER_BPOSD_DECODER_H

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Decoder interface: syndrome in, predicted observable flips out.
+ */
+
+#ifndef CYCLONE_DECODER_DECODER_H
+#define CYCLONE_DECODER_DECODER_H
+
+#include <cstdint>
+
+#include "common/bitvec.h"
+
+namespace cyclone {
+
+/** Abstract syndrome decoder over a fixed detector error model. */
+class Decoder
+{
+  public:
+    virtual ~Decoder() = default;
+
+    /**
+     * Decode one shot.
+     *
+     * @param syndrome detector outcomes (length = DEM detector count)
+     * @return predicted logical-observable flip mask
+     */
+    virtual uint64_t decode(const BitVec& syndrome) = 0;
+};
+
+} // namespace cyclone
+
+#endif // CYCLONE_DECODER_DECODER_H

@@ -1,0 +1,63 @@
+#include "decoder/exhaustive_decoder.h"
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace cyclone {
+
+ExhaustiveDecoder::ExhaustiveDecoder(const DetectorErrorModel& dem,
+                                     size_t max_weight)
+    : dem_(dem), maxWeight_(max_weight)
+{
+    CYCLONE_ASSERT(dem_.mechanisms.size() <= 64,
+                   "exhaustive decoder limited to 64 mechanisms");
+}
+
+uint64_t
+ExhaustiveDecoder::decode(const BitVec& syndrome)
+{
+    const size_t n = dem_.mechanisms.size();
+    double best_log_prob = -1e300;
+    uint64_t best_obs = 0;
+    lastMatched_ = false;
+
+    std::vector<size_t> stack;
+    BitVec trial(dem_.numDetectors);
+
+    auto evaluate = [&]() {
+        trial.clear();
+        uint64_t obs = 0;
+        double log_prob = 0.0;
+        for (size_t idx : stack) {
+            const DemMechanism& m = dem_.mechanisms[idx];
+            for (uint32_t d : m.detectors)
+                trial.flip(d);
+            obs ^= m.observables;
+            log_prob +=
+                std::log(m.probability / (1.0 - m.probability));
+        }
+        if (trial == syndrome && log_prob > best_log_prob) {
+            best_log_prob = log_prob;
+            best_obs = obs;
+            lastMatched_ = true;
+        }
+    };
+
+    std::function<void(size_t)> recurse = [&](size_t start) {
+        evaluate();
+        if (stack.size() >= maxWeight_)
+            return;
+        for (size_t i = start; i < n; ++i) {
+            stack.push_back(i);
+            recurse(i + 1);
+            stack.pop_back();
+        }
+    };
+    recurse(0);
+    return best_obs;
+}
+
+} // namespace cyclone

@@ -1,0 +1,178 @@
+#include "decoder/osd.h"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace cyclone {
+
+namespace {
+
+constexpr uint32_t kNoPivot = static_cast<uint32_t>(-1);
+
+int
+firstSetBit(const uint64_t* words, size_t count)
+{
+    for (size_t w = 0; w < count; ++w) {
+        if (words[w])
+            return static_cast<int>(w * 64 +
+                static_cast<size_t>(std::countr_zero(words[w])));
+    }
+    return -1;
+}
+
+} // namespace
+
+OsdDecoder::OsdDecoder(const DetectorErrorModel& dem, size_t order)
+    : dem_(dem), order_(order), words_((dem.numDetectors + 63) / 64)
+{
+    order_scratch_.resize(dem_.mechanisms.size());
+}
+
+bool
+OsdDecoder::decode(const BitVec& syndrome,
+                   const std::vector<double>& posterior_llr,
+                   std::vector<uint8_t>& errors)
+{
+    const size_t num_vars = dem_.mechanisms.size();
+    CYCLONE_ASSERT(posterior_llr.size() == num_vars,
+                   "posterior length mismatch");
+    errors.assign(num_vars, 0);
+
+    // Reliability order: most-likely-flipped (lowest LLR) first.
+    std::iota(order_scratch_.begin(), order_scratch_.end(), 0u);
+    std::sort(order_scratch_.begin(), order_scratch_.end(),
+              [&](uint32_t a, uint32_t b) {
+                  if (posterior_llr[a] != posterior_llr[b])
+                      return posterior_llr[a] < posterior_llr[b];
+                  return a < b;
+              });
+
+    // Pivot storage: dense column + augmentation over pivot slots.
+    const size_t max_pivots = dem_.numDetectors;
+    const size_t aug_words = (max_pivots + 63) / 64;
+    std::vector<std::vector<uint64_t>> pivot_vec;
+    std::vector<std::vector<uint64_t>> pivot_aug;
+    std::vector<uint32_t> pivot_var;
+    std::vector<uint32_t> pivot_by_row(dem_.numDetectors, kNoPivot);
+    pivot_vec.reserve(max_pivots);
+    pivot_aug.reserve(max_pivots);
+    pivot_var.reserve(max_pivots);
+
+    // Rejected (linearly dependent) columns kept for the order-lambda
+    // sweep: each stores the pivot combination reproducing it.
+    std::vector<uint32_t> reject_var;
+    std::vector<std::vector<uint64_t>> reject_aug;
+
+    colScratch_.assign(words_, 0);
+    augScratch_.assign(aug_words, 0);
+
+    const size_t stop_rank = rankKnown_ ? rank_ : max_pivots;
+    for (uint32_t v_idx : order_scratch_) {
+        if (pivot_vec.size() >= stop_rank &&
+            reject_var.size() >= order_) {
+            break;
+        }
+        // Densify the candidate column.
+        std::fill(colScratch_.begin(), colScratch_.end(), 0);
+        std::fill(augScratch_.begin(), augScratch_.end(), 0);
+        for (uint32_t d : dem_.mechanisms[v_idx].detectors)
+            colScratch_[d >> 6] |= uint64_t(1) << (d & 63);
+        // Reduce against existing pivots.
+        while (true) {
+            const int row = firstSetBit(colScratch_.data(), words_);
+            if (row < 0) {
+                // Linearly dependent: candidate for the sweep.
+                if (reject_var.size() < order_) {
+                    reject_var.push_back(v_idx);
+                    reject_aug.push_back(augScratch_);
+                }
+                break;
+            }
+            const uint32_t p = pivot_by_row[static_cast<size_t>(row)];
+            if (p == kNoPivot) {
+                const size_t slot = pivot_vec.size();
+                augScratch_[slot >> 6] |= uint64_t(1) << (slot & 63);
+                pivot_vec.push_back(colScratch_);
+                pivot_aug.push_back(augScratch_);
+                pivot_var.push_back(v_idx);
+                pivot_by_row[static_cast<size_t>(row)] =
+                    static_cast<uint32_t>(slot);
+                break;
+            }
+            for (size_t w = 0; w < words_; ++w)
+                colScratch_[w] ^= pivot_vec[p][w];
+            for (size_t w = 0; w < aug_words; ++w)
+                augScratch_[w] ^= pivot_aug[p][w];
+        }
+    }
+    if (!rankKnown_) {
+        rank_ = pivot_vec.size();
+        rankKnown_ = true;
+    }
+
+    // Reduce the syndrome through the pivot basis.
+    std::vector<uint64_t> residual(words_, 0);
+    for (size_t i = 0; i < syndrome.size(); ++i) {
+        if (syndrome.get(i))
+            residual[i >> 6] |= uint64_t(1) << (i & 63);
+    }
+    std::vector<uint64_t> base_aug(aug_words, 0);
+    while (true) {
+        const int row = firstSetBit(residual.data(), words_);
+        if (row < 0)
+            break;
+        const uint32_t p = pivot_by_row[static_cast<size_t>(row)];
+        if (p == kNoPivot)
+            return false; // Syndrome outside the column span.
+        for (size_t w = 0; w < words_; ++w)
+            residual[w] ^= pivot_vec[p][w];
+        for (size_t w = 0; w < aug_words; ++w)
+            base_aug[w] ^= pivot_aug[p][w];
+    }
+
+    // Score a pivot-combination (plus optional extra column) by total
+    // posterior LLR: lower = more probable.
+    auto score = [&](const std::vector<uint64_t>& aug,
+                     double extra) {
+        double total = extra;
+        for (size_t slot = 0; slot < pivot_var.size(); ++slot) {
+            if ((aug[slot >> 6] >> (slot & 63)) & 1)
+                total += posterior_llr[pivot_var[slot]];
+        }
+        return total;
+    };
+
+    // OSD-0 candidate.
+    double best_score = score(base_aug, 0.0);
+    std::vector<uint64_t> best_aug = base_aug;
+    uint32_t best_extra = kNoPivot;
+
+    // Order-lambda sweep: include one rejected column j, whose pivot
+    // combination is reject_aug[j]; the solution becomes
+    // base_aug ^ reject_aug[j] with column j flipped on.
+    std::vector<uint64_t> candidate(aug_words);
+    for (size_t r = 0; r < reject_var.size(); ++r) {
+        for (size_t w = 0; w < aug_words; ++w)
+            candidate[w] = base_aug[w] ^ reject_aug[r][w];
+        const double s =
+            score(candidate, posterior_llr[reject_var[r]]);
+        if (s < best_score) {
+            best_score = s;
+            best_aug = candidate;
+            best_extra = reject_var[r];
+        }
+    }
+
+    for (size_t slot = 0; slot < pivot_var.size(); ++slot) {
+        if ((best_aug[slot >> 6] >> (slot & 63)) & 1)
+            errors[pivot_var[slot]] = 1;
+    }
+    if (best_extra != kNoPivot)
+        errors[best_extra] = 1;
+    return true;
+}
+
+} // namespace cyclone

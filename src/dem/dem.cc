@@ -1,0 +1,25 @@
+#include "dem/dem.h"
+
+#include <algorithm>
+
+namespace cyclone {
+
+double
+DetectorErrorModel::expectedErrorsPerShot() const
+{
+    double total = 0.0;
+    for (const DemMechanism& m : mechanisms)
+        total += m.probability;
+    return total;
+}
+
+size_t
+DetectorErrorModel::maxMechanismDegree() const
+{
+    size_t deg = 0;
+    for (const DemMechanism& m : mechanisms)
+        deg = std::max(deg, m.detectors.size());
+    return deg;
+}
+
+} // namespace cyclone

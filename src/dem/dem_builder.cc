@@ -1,0 +1,323 @@
+#include "dem/dem_builder.h"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace cyclone {
+
+namespace {
+
+/** An elementary Pauli injection at one circuit position. */
+struct Injection
+{
+    size_t opIndex;   ///< Error op this injection belongs to.
+    uint32_t qubit;
+    bool zPart;       ///< false = X flip, true = Z flip.
+};
+
+/** Detector/observable signature of an injection or mechanism. */
+struct Signature
+{
+    std::vector<uint32_t> detectors; // sorted
+    uint64_t observables = 0;
+
+    bool
+    empty() const
+    {
+        return detectors.empty() && observables == 0;
+    }
+
+    uint64_t
+    hash() const
+    {
+        uint64_t h = 0xcbf29ce484222325ull;
+        for (uint32_t d : detectors) {
+            h ^= d;
+            h *= 0x100000001b3ull;
+        }
+        h ^= observables;
+        h *= 0x100000001b3ull;
+        h ^= h >> 29;
+        return h;
+    }
+
+    bool
+    operator==(const Signature& other) const
+    {
+        return observables == other.observables &&
+               detectors == other.detectors;
+    }
+};
+
+/** Symmetric difference of two sorted index vectors. */
+std::vector<uint32_t>
+symmetricDifference(const std::vector<uint32_t>& a,
+                    const std::vector<uint32_t>& b)
+{
+    std::vector<uint32_t> out;
+    out.reserve(a.size() + b.size());
+    size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+        if (a[i] < b[j]) {
+            out.push_back(a[i++]);
+        } else if (b[j] < a[i]) {
+            out.push_back(b[j++]);
+        } else {
+            ++i;
+            ++j;
+        }
+    }
+    out.insert(out.end(), a.begin() + i, a.end());
+    out.insert(out.end(), b.begin() + j, b.end());
+    return out;
+}
+
+Signature
+xorSignatures(const Signature& a, const Signature& b)
+{
+    Signature out;
+    out.detectors = symmetricDifference(a.detectors, b.detectors);
+    out.observables = a.observables ^ b.observables;
+    return out;
+}
+
+/** Number of elementary injections an error op contributes. */
+size_t
+injectionCount(const Op& op)
+{
+    switch (op.kind) {
+      case OpKind::XError:
+      case OpKind::ZError:
+        return 1;
+      case OpKind::Depolarize1:
+      case OpKind::Pauli1:
+        return 2;
+      case OpKind::Depolarize2:
+        return 4;
+      default:
+        return 0;
+    }
+}
+
+} // namespace
+
+DetectorErrorModel
+buildDetectorErrorModel(const Circuit& circuit)
+{
+    // ---- Enumerate elementary injections. ----
+    std::vector<Injection> injections;
+    std::vector<size_t> op_first_injection(circuit.ops().size(), SIZE_MAX);
+    for (size_t i = 0; i < circuit.ops().size(); ++i) {
+        const Op& op = circuit.ops()[i];
+        const size_t count = injectionCount(op);
+        if (count == 0)
+            continue;
+        op_first_injection[i] = injections.size();
+        switch (op.kind) {
+          case OpKind::XError:
+            injections.push_back({i, op.targets[0], false});
+            break;
+          case OpKind::ZError:
+            injections.push_back({i, op.targets[0], true});
+            break;
+          case OpKind::Depolarize1:
+          case OpKind::Pauli1:
+            injections.push_back({i, op.targets[0], false});
+            injections.push_back({i, op.targets[0], true});
+            break;
+          case OpKind::Depolarize2:
+            injections.push_back({i, op.targets[0], false});
+            injections.push_back({i, op.targets[0], true});
+            injections.push_back({i, op.targets[1], false});
+            injections.push_back({i, op.targets[1], true});
+            break;
+          default:
+            break;
+        }
+    }
+
+    // ---- Propagate injections in 64-lane waves. ----
+    std::vector<std::vector<uint32_t>> meas_flips(injections.size());
+    const size_t num_qubits = circuit.numQubits();
+    std::vector<uint64_t> x_frame(num_qubits), z_frame(num_qubits);
+
+    for (size_t wave = 0; wave < injections.size(); wave += 64) {
+        const size_t wave_end = std::min(wave + 64, injections.size());
+        std::fill(x_frame.begin(), x_frame.end(), 0);
+        std::fill(z_frame.begin(), z_frame.end(), 0);
+        size_t meas_index = 0;
+
+        for (size_t i = 0; i < circuit.ops().size(); ++i) {
+            const Op& op = circuit.ops()[i];
+            // Inject faults belonging to this op and wave.
+            const size_t first = op_first_injection[i];
+            if (first != SIZE_MAX) {
+                const size_t last = first + injectionCount(op);
+                for (size_t inj = std::max(first, wave);
+                     inj < std::min(last, wave_end); ++inj) {
+                    const Injection& in = injections[inj];
+                    const uint64_t bit = uint64_t(1) << (inj - wave);
+                    if (in.zPart)
+                        z_frame[in.qubit] |= bit;
+                    else
+                        x_frame[in.qubit] |= bit;
+                }
+            }
+            switch (op.kind) {
+              case OpKind::ResetZ:
+              case OpKind::ResetX:
+                for (uint32_t q : op.targets) {
+                    x_frame[q] = 0;
+                    z_frame[q] = 0;
+                }
+                break;
+              case OpKind::Cx: {
+                const uint32_t c = op.targets[0];
+                const uint32_t t = op.targets[1];
+                x_frame[t] ^= x_frame[c];
+                z_frame[c] ^= z_frame[t];
+                break;
+              }
+              case OpKind::MeasureZ:
+              case OpKind::MeasureX: {
+                const uint32_t q = op.targets[0];
+                uint64_t word = op.kind == OpKind::MeasureZ
+                    ? x_frame[q] : z_frame[q];
+                while (word) {
+                    const int lane = std::countr_zero(word);
+                    word &= word - 1;
+                    meas_flips[wave + static_cast<size_t>(lane)]
+                        .push_back(static_cast<uint32_t>(meas_index));
+                }
+                ++meas_index;
+                break;
+              }
+              default:
+                break;
+            }
+        }
+    }
+
+    // ---- Map measurements to detectors / observables. ----
+    std::vector<std::vector<uint32_t>> meas_to_dets(
+        circuit.numMeasurements());
+    std::vector<uint64_t> meas_to_obs(circuit.numMeasurements(), 0);
+    {
+        size_t det_index = 0;
+        for (const Op& op : circuit.ops()) {
+            if (op.kind == OpKind::Detector) {
+                for (uint32_t m : op.targets) {
+                    meas_to_dets[m].push_back(
+                        static_cast<uint32_t>(det_index));
+                }
+                ++det_index;
+            } else if (op.kind == OpKind::Observable) {
+                const auto id = static_cast<uint64_t>(op.params[0]);
+                for (uint32_t m : op.targets)
+                    meas_to_obs[m] ^= uint64_t(1) << id;
+            }
+        }
+    }
+
+    // ---- Per-injection signatures. ----
+    std::vector<Signature> inj_sig(injections.size());
+    for (size_t inj = 0; inj < injections.size(); ++inj) {
+        Signature& sig = inj_sig[inj];
+        std::vector<uint32_t> dets;
+        for (uint32_t m : meas_flips[inj]) {
+            dets.insert(dets.end(), meas_to_dets[m].begin(),
+                        meas_to_dets[m].end());
+            sig.observables ^= meas_to_obs[m];
+        }
+        std::sort(dets.begin(), dets.end());
+        // Keep indices with odd multiplicity.
+        for (size_t i = 0; i < dets.size();) {
+            size_t j = i;
+            while (j < dets.size() && dets[j] == dets[i])
+                ++j;
+            if ((j - i) & 1)
+                sig.detectors.push_back(dets[i]);
+            i = j;
+        }
+    }
+
+    // ---- Synthesize mechanisms and merge identical signatures. ----
+    DetectorErrorModel dem;
+    dem.numDetectors = circuit.numDetectors();
+    dem.numObservables = circuit.numObservables();
+
+    std::unordered_map<uint64_t, std::vector<size_t>> sig_index;
+    auto add_mechanism = [&](const Signature& sig, double p) {
+        if (p <= 0.0 || sig.empty())
+            return;
+        const uint64_t h = sig.hash();
+        auto& bucket = sig_index[h];
+        for (size_t idx : bucket) {
+            DemMechanism& m = dem.mechanisms[idx];
+            if (m.observables == sig.observables &&
+                m.detectors == sig.detectors) {
+                // Independent-OR combination of the two events.
+                m.probability = m.probability * (1.0 - p) +
+                    p * (1.0 - m.probability);
+                return;
+            }
+        }
+        DemMechanism m;
+        m.probability = p;
+        m.detectors = sig.detectors;
+        m.observables = sig.observables;
+        bucket.push_back(dem.mechanisms.size());
+        dem.mechanisms.push_back(std::move(m));
+    };
+
+    for (size_t i = 0; i < circuit.ops().size(); ++i) {
+        const Op& op = circuit.ops()[i];
+        const size_t first = op_first_injection[i];
+        if (first == SIZE_MAX)
+            continue;
+        switch (op.kind) {
+          case OpKind::XError:
+          case OpKind::ZError:
+            add_mechanism(inj_sig[first], op.params[0]);
+            break;
+          case OpKind::Depolarize1: {
+            const double p = op.params[0] / 3.0;
+            add_mechanism(inj_sig[first], p);                    // X
+            add_mechanism(inj_sig[first + 1], p);                // Z
+            add_mechanism(
+                xorSignatures(inj_sig[first], inj_sig[first + 1]),
+                p);                                              // Y
+            break;
+          }
+          case OpKind::Pauli1: {
+            add_mechanism(inj_sig[first], op.params[0]);         // X
+            add_mechanism(
+                xorSignatures(inj_sig[first], inj_sig[first + 1]),
+                op.params[1]);                                   // Y
+            add_mechanism(inj_sig[first + 1], op.params[2]);     // Z
+            break;
+          }
+          case OpKind::Depolarize2: {
+            const double p = op.params[0] / 15.0;
+            // Bits of the combo index: Xa, Za, Xb, Zb.
+            for (unsigned combo = 1; combo < 16; ++combo) {
+                Signature sig;
+                for (unsigned bit = 0; bit < 4; ++bit) {
+                    if (combo & (1u << bit))
+                        sig = xorSignatures(sig, inj_sig[first + bit]);
+                }
+                add_mechanism(sig, p);
+            }
+            break;
+          }
+          default:
+            break;
+        }
+    }
+    return dem;
+}
+
+} // namespace cyclone

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Extracts a detector error model from a circuit.
+ *
+ * Every error channel is decomposed into elementary Pauli injections
+ * (an X or Z flip on one qubit at one circuit position). Injections
+ * are propagated through the remainder of the circuit in batches of 64
+ * (one bit lane per injection) to find which measurements each one
+ * flips; channel components (e.g. the 15 Paulis of DEPOLARIZE2) are
+ * then synthesized as XOR combinations of their injections'
+ * detector/observable signatures. Identical signatures are merged.
+ */
+
+#ifndef CYCLONE_DEM_DEM_BUILDER_H
+#define CYCLONE_DEM_DEM_BUILDER_H
+
+#include "circuit/circuit.h"
+#include "dem/dem.h"
+
+namespace cyclone {
+
+/** Build the detector error model of a noisy circuit. */
+DetectorErrorModel buildDetectorErrorModel(const Circuit& circuit);
+
+} // namespace cyclone
+
+#endif // CYCLONE_DEM_DEM_BUILDER_H

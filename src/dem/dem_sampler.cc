@@ -1,0 +1,27 @@
+#include "dem/dem_sampler.h"
+
+namespace cyclone {
+
+DemShots
+sampleDem(const DetectorErrorModel& dem, size_t shots, Rng& rng)
+{
+    DemShots out;
+    out.syndromes.assign(shots, BitVec(dem.numDetectors));
+    out.observables.assign(shots, 0);
+
+    for (const DemMechanism& m : dem.mechanisms) {
+        uint64_t shot = rng.geometricSkip(m.probability);
+        while (shot < shots) {
+            for (uint32_t d : m.detectors)
+                out.syndromes[shot].flip(d);
+            out.observables[shot] ^= m.observables;
+            const uint64_t skip = rng.geometricSkip(m.probability);
+            if (skip == ~0ull)
+                break;
+            shot += 1 + skip;
+        }
+    }
+    return out;
+}
+
+} // namespace cyclone

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Fast sampler of detector/observable outcomes from a DEM.
+ *
+ * Each mechanism fires independently with its probability; geometric
+ * skip sampling makes the cost proportional to the number of fired
+ * events rather than shots x mechanisms.
+ */
+
+#ifndef CYCLONE_DEM_DEM_SAMPLER_H
+#define CYCLONE_DEM_DEM_SAMPLER_H
+
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/rng.h"
+#include "dem/dem.h"
+
+namespace cyclone {
+
+/** A batch of sampled shots. */
+struct DemShots
+{
+    /** Detector outcomes, one BitVec per shot. */
+    std::vector<BitVec> syndromes;
+    /** Observable flip masks, one per shot. */
+    std::vector<uint64_t> observables;
+};
+
+/** Sample `shots` independent shots from the model. */
+DemShots sampleDem(const DetectorErrorModel& dem, size_t shots, Rng& rng);
+
+} // namespace cyclone
+
+#endif // CYCLONE_DEM_DEM_SAMPLER_H

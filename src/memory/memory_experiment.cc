@@ -1,0 +1,101 @@
+#include "memory/memory_experiment.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "circuit/memory_circuit.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "dem/dem_builder.h"
+#include "dem/dem_sampler.h"
+#include "noise/noise_model.h"
+
+namespace cyclone {
+
+MemoryExperimentResult
+runZMemoryExperiment(const CssCode& code, const SyndromeSchedule& schedule,
+                     const MemoryExperimentConfig& config)
+{
+    MemoryCircuitOptions opts;
+    opts.rounds = config.rounds;
+    opts.noise = config.roundLatencyUs > 0.0
+        ? NoiseModel::withLatency(config.physicalError,
+                                  config.roundLatencyUs)
+        : NoiseModel::uniform(config.physicalError);
+
+    const size_t rounds = opts.rounds > 0
+        ? opts.rounds
+        : (code.nominalDistance() > 0 ? code.nominalDistance() : 3);
+
+    Circuit circuit = config.xBasis
+        ? buildXMemoryCircuit(code, schedule, opts)
+        : buildZMemoryCircuit(code, schedule, opts);
+    DetectorErrorModel dem = buildDetectorErrorModel(circuit);
+
+    size_t num_threads = config.threads > 0
+        ? config.threads
+        : std::max<size_t>(1, std::thread::hardware_concurrency());
+    num_threads = std::min(num_threads, std::max<size_t>(1, config.shots));
+
+    std::atomic<size_t> failures{0};
+    std::vector<BpOsdStats> worker_stats(num_threads);
+
+    Rng seeder(config.seed);
+    std::vector<Rng> worker_rngs;
+    worker_rngs.reserve(num_threads);
+    for (size_t t = 0; t < num_threads; ++t)
+        worker_rngs.push_back(seeder.split());
+
+    auto worker = [&](size_t tid) {
+        const size_t base = config.shots / num_threads;
+        const size_t extra = tid < config.shots % num_threads ? 1 : 0;
+        const size_t my_shots = base + extra;
+        if (my_shots == 0)
+            return;
+        Rng rng = worker_rngs[tid];
+        DemShots shots = sampleDem(dem, my_shots, rng);
+        BpOsdDecoder decoder(dem, config.bp);
+        size_t my_failures = 0;
+        for (size_t s = 0; s < my_shots; ++s) {
+            const uint64_t predicted = decoder.decode(shots.syndromes[s]);
+            if (predicted != shots.observables[s])
+                ++my_failures;
+        }
+        failures += my_failures;
+        worker_stats[tid] = decoder.stats();
+    };
+
+    if (num_threads == 1) {
+        worker(0);
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(num_threads);
+        for (size_t t = 0; t < num_threads; ++t)
+            threads.emplace_back(worker, t);
+        for (auto& th : threads)
+            th.join();
+    }
+
+    MemoryExperimentResult result;
+    result.logicalErrorRate = estimateRate(failures.load(), config.shots);
+    result.rounds = rounds;
+    result.demDetectors = dem.numDetectors;
+    result.demMechanisms = dem.mechanisms.size();
+    const double ler = result.logicalErrorRate.rate;
+    result.perRoundErrorRate = rounds > 0
+        ? 1.0 - std::pow(1.0 - std::min(ler, 1.0 - 1e-12),
+                         1.0 / static_cast<double>(rounds))
+        : ler;
+    for (const BpOsdStats& s : worker_stats) {
+        result.decoder.decodes += s.decodes;
+        result.decoder.bpConverged += s.bpConverged;
+        result.decoder.osdInvocations += s.osdInvocations;
+        result.decoder.osdFailures += s.osdFailures;
+    }
+    return result;
+}
+
+} // namespace cyclone

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Monte-Carlo logical-error-rate estimation (Section V-B).
+ *
+ * Ties the whole stack together: build the noisy memory circuit for a
+ * code at a physical error rate and a compiled round latency, extract
+ * its detector error model, sample shots, decode with BP+OSD, and
+ * report the logical error rate with statistics. Sampling and decoding
+ * are spread across worker threads with independent RNG streams.
+ */
+
+#ifndef CYCLONE_MEMORY_MEMORY_EXPERIMENT_H
+#define CYCLONE_MEMORY_MEMORY_EXPERIMENT_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/stats.h"
+#include "decoder/bposd_decoder.h"
+#include "qec/css_code.h"
+#include "qec/schedule.h"
+
+namespace cyclone {
+
+/** Configuration of one memory experiment. */
+struct MemoryExperimentConfig
+{
+    /** Syndrome rounds (0 = use the code's nominal distance). */
+    size_t rounds = 0;
+
+    /** Monte-Carlo shots. */
+    size_t shots = 1000;
+
+    /** Physical error rate p of the base noise model. */
+    double physicalError = 1e-3;
+
+    /**
+     * Compiled latency of one syndrome round in microseconds; drives
+     * the idle Pauli-twirl channel. 0 disables idle decoherence.
+     */
+    double roundLatencyUs = 0.0;
+
+    /** BP configuration for the decoder. */
+    BpOptions bp;
+
+    /** Worker threads (0 = hardware concurrency). */
+    size_t threads = 0;
+
+    /** Base RNG seed; worker streams are derived from it. */
+    uint64_t seed = 0x5eed;
+
+    /**
+     * Memory basis: false = Z memory (default, as in the paper's
+     * experiments), true = X memory (the dual experiment).
+     */
+    bool xBasis = false;
+};
+
+/** Outcome of a memory experiment. */
+struct MemoryExperimentResult
+{
+    /** Per-shot logical failure rate (any observable mispredicted). */
+    RateEstimate logicalErrorRate;
+
+    /** Per-round failure rate: 1 - (1 - LER)^(1/rounds). */
+    double perRoundErrorRate = 0.0;
+
+    size_t rounds = 0;
+    size_t demDetectors = 0;
+    size_t demMechanisms = 0;
+
+    /** Aggregated decoder statistics across workers. */
+    BpOsdStats decoder;
+};
+
+/**
+ * Run a Z-basis memory experiment.
+ *
+ * @param code code under test
+ * @param schedule per-round CX schedule (typically x-then-z)
+ * @param config experiment parameters
+ */
+MemoryExperimentResult
+runZMemoryExperiment(const CssCode& code, const SyndromeSchedule& schedule,
+                     const MemoryExperimentConfig& config);
+
+} // namespace cyclone
+
+#endif // CYCLONE_MEMORY_MEMORY_EXPERIMENT_H

@@ -1,0 +1,23 @@
+#include "noise/noise_model.h"
+
+namespace cyclone {
+
+NoiseModel
+NoiseModel::uniform(double p)
+{
+    NoiseModel m;
+    m.physicalError = p;
+    return m;
+}
+
+NoiseModel
+NoiseModel::withLatency(double p, double round_latency_us)
+{
+    NoiseModel m;
+    m.physicalError = p;
+    const double t_coh = coherenceTimeSeconds(p);
+    m.idle = twirlDecoherence(round_latency_us, t_coh, t_coh);
+    return m;
+}
+
+} // namespace cyclone

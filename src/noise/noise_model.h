@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Hardware-aware noise parameters (Section II-C of the paper).
+ *
+ * The base model is standard circuit-level noise: depolarizing channels
+ * after every gate and flip errors around state preparation and
+ * measurement, all at the physical error rate p. Latency couples into
+ * the model through a per-round Pauli-twirl idle channel derived from
+ * the compiled execution time and the coherence times T1/T2.
+ */
+
+#ifndef CYCLONE_NOISE_NOISE_MODEL_H
+#define CYCLONE_NOISE_NOISE_MODEL_H
+
+#include <cstddef>
+
+#include "noise/pauli_twirl.h"
+
+namespace cyclone {
+
+/** Complete noise configuration for a memory experiment. */
+struct NoiseModel
+{
+    /** Physical error rate p of the base model. */
+    double physicalError = 1e-3;
+
+    /** Two-qubit gate depolarizing strength (defaults to p). */
+    double twoQubitError = 0.0;
+
+    /** State-preparation flip probability (defaults to p). */
+    double prepError = 0.0;
+
+    /** Measurement flip probability (defaults to p). */
+    double measError = 0.0;
+
+    /** Per-round idle Pauli-twirl channel (derived from latency). */
+    PauliTwirl idle;
+
+    /**
+     * Uniform circuit-level model at rate p with no idle channel.
+     * Gate/prep/measurement errors all equal p.
+     */
+    static NoiseModel uniform(double p);
+
+    /**
+     * Paper model: base rate p plus idle decoherence for a round
+     * latency of `round_latency_us` microseconds, with coherence times
+     * taken from the paper's log fit T1 = T2 = 0.01 / p seconds.
+     */
+    static NoiseModel withLatency(double p, double round_latency_us);
+
+    /** Effective two-qubit error (explicit value or fallback to p). */
+    double p2() const
+    {
+        return twoQubitError > 0.0 ? twoQubitError : physicalError;
+    }
+
+    /** Effective preparation error. */
+    double pPrep() const
+    {
+        return prepError > 0.0 ? prepError : physicalError;
+    }
+
+    /** Effective measurement error. */
+    double pMeas() const
+    {
+        return measError > 0.0 ? measError : physicalError;
+    }
+};
+
+} // namespace cyclone
+
+#endif // CYCLONE_NOISE_NOISE_MODEL_H

@@ -1,0 +1,36 @@
+#include "noise/pauli_twirl.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cyclone {
+
+PauliTwirl
+twirlDecoherence(double idle_time_us, double t1_s, double t2_s)
+{
+    CYCLONE_ASSERT(t1_s > 0.0 && t2_s > 0.0,
+                   "coherence times must be positive");
+    PauliTwirl out;
+    if (idle_time_us <= 0.0)
+        return out;
+    const double t_s = idle_time_us * 1e-6;
+    const double damp = 1.0 - std::exp(-t_s / t1_s);
+    const double deph = 1.0 - std::exp(-t_s / t2_s);
+    out.px = damp / 4.0;
+    out.py = damp / 4.0;
+    out.pz = std::max(0.0, deph / 2.0 - damp / 4.0);
+    return out;
+}
+
+double
+coherenceTimeSeconds(double physical_error)
+{
+    CYCLONE_ASSERT(physical_error > 0.0,
+                   "physical error rate must be positive");
+    // Log-linear fit through (1e-4, 100 s) and (1e-3, 10 s).
+    return 0.01 / physical_error;
+}
+
+} // namespace cyclone

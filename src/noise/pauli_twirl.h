@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Pauli-twirl approximation of idle decoherence (Geller & Zhou 2013,
+ * Tomita & Svore 2014), as used in Section II-C2 of the paper.
+ *
+ * Amplitude damping (T1) and dephasing (T2) over an idle window t are
+ * twirled into a stochastic Pauli channel:
+ *
+ *   px = py = (1 - exp(-t/T1)) / 4
+ *   pz = (1 - exp(-t/T2)) / 2 - (1 - exp(-t/T1)) / 4
+ *
+ * The paper parameterizes coherence time against the physical error
+ * rate with a log fit anchored at (p = 1e-4, T = 100 s) and
+ * (p = 1e-3, T = 10 s), i.e. T(p) = 0.01 / p seconds, applied to both
+ * T1 (T_a) and T2 (T_b).
+ */
+
+#ifndef CYCLONE_NOISE_PAULI_TWIRL_H
+#define CYCLONE_NOISE_PAULI_TWIRL_H
+
+namespace cyclone {
+
+/** A stochastic Pauli channel produced by twirling decoherence. */
+struct PauliTwirl
+{
+    double px = 0.0;
+    double py = 0.0;
+    double pz = 0.0;
+
+    /** Total error probability px + py + pz. */
+    double total() const { return px + py + pz; }
+};
+
+/**
+ * Twirl decoherence over an idle time into a Pauli channel.
+ *
+ * @param idle_time_us idle duration in microseconds
+ * @param t1_s decay time T1 in seconds
+ * @param t2_s dephasing time T2 in seconds
+ */
+PauliTwirl twirlDecoherence(double idle_time_us, double t1_s, double t2_s);
+
+/**
+ * The paper's coherence-time fit: T(p) = 0.01 / p seconds, anchored at
+ * (1e-4 -> 100 s) and (1e-3 -> 10 s).
+ */
+double coherenceTimeSeconds(double physical_error);
+
+} // namespace cyclone
+
+#endif // CYCLONE_NOISE_PAULI_TWIRL_H

@@ -1,0 +1,38 @@
+#include "qccd/durations.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cyclone {
+
+double
+GateTimeModel::twoQubitUs(size_t chain_length) const
+{
+    const double len = chain_length < 2 ? 2.0
+        : static_cast<double>(chain_length);
+    if (len <= kneeLength)
+        return baseUs;
+    return baseUs * std::pow(len / kneeLength, kneeExponent);
+}
+
+double
+Durations::junctionCrossUs(size_t degree) const
+{
+    double base;
+    if (degree <= 2)
+        base = junctionDeg2Us;
+    else if (degree == 3)
+        base = junctionDeg3Us;
+    else
+        base = junctionDeg4Us;
+    return base * scale * junctionScale;
+}
+
+double
+Durations::twoQubitGateUs(size_t chain_length) const
+{
+    return gate.twoQubitUs(chain_length) * scale;
+}
+
+} // namespace cyclone

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * QCCD operation timing model (Section II-B1 of the paper).
+ *
+ * Shuttling primitives: split 80 us, move 10 us, merge 80 us. Junction
+ * crossing depends on junction degree: 10 / 100 / 120 us for degrees
+ * 2 / 3 / 4. Two-qubit gate time grows with the chain length of the
+ * trap executing it, mildly below a knee (~15 ions) and steeply above
+ * it ("gate times scale very poorly after capacities greater than
+ * around 15", Section IV-A). All constants are tunable; `scale`
+ * uniformly shortens gate and shuttling times (the Fig. 18 sweep) and
+ * `junctionScale` shortens only junction crossings (the Fig. 9 sweep).
+ */
+
+#ifndef CYCLONE_QCCD_DURATIONS_H
+#define CYCLONE_QCCD_DURATIONS_H
+
+#include <cstddef>
+
+namespace cyclone {
+
+/**
+ * Chain-length-dependent two-qubit gate time model.
+ *
+ * Frequency-modulated gates keep a near-constant duration for short
+ * chains (the paper notes GateSwap cost "is constant for chain length
+ * 12 and under"), then degrade polynomially past the knee.
+ */
+struct GateTimeModel
+{
+    /** Two-qubit gate time below the knee, microseconds. */
+    double baseUs = 120.0;
+    /** Chain length beyond which gate times blow up. */
+    double kneeLength = 13.0;
+    /** Super-knee growth exponent: t = baseUs * (L/knee)^k. */
+    double kneeExponent = 2.0;
+
+    /** Two-qubit gate duration for a chain of `chain_length` ions. */
+    double twoQubitUs(size_t chain_length) const;
+};
+
+/** Complete set of QCCD operation durations. */
+struct Durations
+{
+    double splitUs = 80.0;
+    double moveUs = 10.0;
+    double mergeUs = 80.0;
+    double junctionDeg2Us = 10.0;
+    double junctionDeg3Us = 100.0;
+    double junctionDeg4Us = 120.0;
+    double oneQubitGateUs = 10.0;
+    double measureUs = 120.0;
+    double prepUs = 10.0;
+
+    GateTimeModel gate;
+
+    /** Uniform gate+shuttle reduction factor (1.0 = nominal). */
+    double scale = 1.0;
+    /** Additional junction-crossing reduction factor. */
+    double junctionScale = 1.0;
+
+    /** Junction crossing time for a junction of the given degree. */
+    double junctionCrossUs(size_t degree) const;
+
+    /** Scaled two-qubit gate time at a chain length. */
+    double twoQubitGateUs(size_t chain_length) const;
+
+    /** Scaled split time. */
+    double split() const { return splitUs * scale; }
+    /** Scaled move time (one edge segment). */
+    double move() const { return moveUs * scale; }
+    /** Scaled merge time. */
+    double merge() const { return mergeUs * scale; }
+    /** Scaled measurement time. */
+    double measure() const { return measureUs * scale; }
+    /** Scaled preparation time. */
+    double prep() const { return prepUs * scale; }
+};
+
+} // namespace cyclone
+
+#endif // CYCLONE_QCCD_DURATIONS_H

@@ -1,0 +1,91 @@
+#include "qccd/machine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cyclone {
+
+Machine::Machine(const Topology& topology)
+    : topology_(&topology), chains_(topology.numNodes())
+{}
+
+IonId
+Machine::addDataIon(size_t data_index, NodeId trap)
+{
+    CYCLONE_ASSERT(topology_->isTrap(trap), "ion placed on non-trap");
+    const IonId id = ions_.size();
+    ions_.push_back({IonRole::Data, data_index, trap});
+    chains_[trap].push_back(id);
+    return id;
+}
+
+IonId
+Machine::addAncillaIon(size_t stab_index, NodeId trap)
+{
+    CYCLONE_ASSERT(topology_->isTrap(trap), "ion placed on non-trap");
+    const IonId id = ions_.size();
+    ions_.push_back({IonRole::Ancilla, stab_index, trap});
+    chains_[trap].push_back(id);
+    return id;
+}
+
+const std::vector<IonId>&
+Machine::chain(NodeId trap) const
+{
+    return chains_[trap];
+}
+
+size_t
+Machine::chainLength(NodeId trap) const
+{
+    return chains_[trap].size();
+}
+
+size_t
+Machine::freeCapacity(NodeId trap) const
+{
+    const size_t cap = topology_->node(trap).capacity;
+    const size_t len = chains_[trap].size();
+    return cap > len ? cap - len : 0;
+}
+
+size_t
+Machine::distanceFromEdge(IonId id) const
+{
+    const NodeId trap = ions_[id].trap;
+    const auto& chain = chains_[trap];
+    const auto it = std::find(chain.begin(), chain.end(), id);
+    CYCLONE_ASSERT(it != chain.end(), "ion not found in its chain");
+    const size_t pos = static_cast<size_t>(it - chain.begin());
+    return std::min(pos, chain.size() - 1 - pos);
+}
+
+size_t
+Machine::distanceFromEnd(IonId id, bool front_end) const
+{
+    const NodeId trap = ions_[id].trap;
+    const auto& chain = chains_[trap];
+    const auto it = std::find(chain.begin(), chain.end(), id);
+    CYCLONE_ASSERT(it != chain.end(), "ion not found in its chain");
+    const size_t pos = static_cast<size_t>(it - chain.begin());
+    return front_end ? pos : chain.size() - 1 - pos;
+}
+
+void
+Machine::relocate(IonId id, NodeId to_trap, bool at_front)
+{
+    CYCLONE_ASSERT(topology_->isTrap(to_trap),
+                   "relocation target is not a trap");
+    const NodeId from = ions_[id].trap;
+    auto& src = chains_[from];
+    src.erase(std::remove(src.begin(), src.end(), id), src.end());
+    auto& dst = chains_[to_trap];
+    if (at_front)
+        dst.insert(dst.begin(), id);
+    else
+        dst.push_back(id);
+    ions_[id].trap = to_trap;
+}
+
+} // namespace cyclone

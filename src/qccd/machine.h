@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Mutable machine state: which ion sits where, in what chain order.
+ *
+ * Ions are either data qubits (pinned by the mapping) or stabilizer
+ * ancillas (the ions that shuttle). Chains are ordered; an ion's
+ * distance from the chain edge determines its swap-out cost.
+ */
+
+#ifndef CYCLONE_QCCD_MACHINE_H
+#define CYCLONE_QCCD_MACHINE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "qccd/topology.h"
+
+namespace cyclone {
+
+/** Ion identifier (index into the machine's ion table). */
+using IonId = size_t;
+
+/** Ion roles. */
+enum class IonRole { Data, Ancilla };
+
+/** One ion. */
+struct Ion
+{
+    IonRole role;
+    /** Data-qubit index or stabilizer index, by role. */
+    size_t payload;
+    /** Trap currently hosting this ion. */
+    NodeId trap;
+};
+
+/** Placement and chain-order state of all ions on a device. */
+class Machine
+{
+  public:
+    explicit Machine(const Topology& topology);
+
+    const Topology& topology() const { return *topology_; }
+
+    /** Create a data ion in `trap`; returns its id. */
+    IonId addDataIon(size_t data_index, NodeId trap);
+
+    /** Create an ancilla ion in `trap`; returns its id. */
+    IonId addAncillaIon(size_t stab_index, NodeId trap);
+
+    const Ion& ion(IonId id) const { return ions_[id]; }
+    size_t numIons() const { return ions_.size(); }
+
+    /**
+     * Ions resident in a trap, chain order. Index 0 is the "front"
+     * end, which by convention faces the trap's first topology port
+     * (its first adjacency entry).
+     */
+    const std::vector<IonId>& chain(NodeId trap) const;
+
+    /** Number of ions in a trap. */
+    size_t chainLength(NodeId trap) const;
+
+    /** Remaining capacity of a trap. */
+    size_t freeCapacity(NodeId trap) const;
+
+    /**
+     * Distance of an ion from the nearest chain end (0 = at an end).
+     */
+    size_t distanceFromEdge(IonId id) const;
+
+    /**
+     * Distance of an ion from a specific chain end (0 = at that end).
+     *
+     * @param front_end true for the front (port-0) end
+     */
+    size_t distanceFromEnd(IonId id, bool front_end) const;
+
+    /**
+     * Move an ion to another trap.
+     *
+     * @param at_front insert at the front (port-0) end when true,
+     *        at the back otherwise — the end facing the shuttling
+     *        path the ion arrived on
+     */
+    void relocate(IonId id, NodeId to_trap, bool at_front = false);
+
+  private:
+    const Topology* topology_;
+    std::vector<Ion> ions_;
+    std::vector<std::vector<IonId>> chains_;
+};
+
+} // namespace cyclone
+
+#endif // CYCLONE_QCCD_MACHINE_H

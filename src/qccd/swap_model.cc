@@ -1,0 +1,27 @@
+#include "qccd/swap_model.h"
+
+namespace cyclone {
+
+double
+SwapModel::costUs(size_t distance_from_edge, size_t chain_length) const
+{
+    if (distance_from_edge == 0)
+        return 0.0;
+    if (kind_ == SwapKind::GateSwap) {
+        // One GateSwap (3 CX gates) moves the ion to an arbitrary
+        // position; cost is position independent.
+        return 3.0 * durations_.twoQubitGateUs(chain_length);
+    }
+    // IonSwap: s*d + s*(d-1) + 42 us (paper, Section IV-D).
+    const double d = static_cast<double>(distance_from_edge);
+    return durations_.split() * d + durations_.split() * (d - 1.0) +
+        42.0 * durations_.scale;
+}
+
+const char*
+SwapModel::name() const
+{
+    return kind_ == SwapKind::GateSwap ? "GateSwap" : "IonSwap";
+}
+
+} // namespace cyclone

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Intra-trap ion reordering cost models (Section II-B1 / Fig. 21).
+ *
+ * GateSwap implements a swap as three CX gates, so its cost is three
+ * two-qubit gate times at the trap's chain length (constant in the
+ * ion's position for chains <= 12 per the paper). IonSwap physically
+ * rotates ions and scales with the interaction distance d_l from the
+ * chain end: s*d_l + s*(d_l - 1) + 42 us, where s is the split time.
+ */
+
+#ifndef CYCLONE_QCCD_SWAP_MODEL_H
+#define CYCLONE_QCCD_SWAP_MODEL_H
+
+#include <cstddef>
+
+#include "qccd/durations.h"
+
+namespace cyclone {
+
+/** Swap technique selector. */
+enum class SwapKind { GateSwap, IonSwap };
+
+/** Cost model for bringing an ion to a trap's travelling edge. */
+class SwapModel
+{
+  public:
+    SwapModel(SwapKind kind, const Durations& durations)
+        : kind_(kind), durations_(durations)
+    {}
+
+    SwapKind kind() const { return kind_; }
+
+    /**
+     * Cost of extracting an ion at distance `distance_from_edge` from
+     * the travelling edge of a chain of `chain_length` ions.
+     * A distance of 0 means the ion is already at the edge (free).
+     */
+    double costUs(size_t distance_from_edge, size_t chain_length) const;
+
+    /** Human-readable name ("GateSwap" / "IonSwap"). */
+    const char* name() const;
+
+  private:
+    SwapKind kind_;
+    const Durations& durations_;
+};
+
+} // namespace cyclone
+
+#endif // CYCLONE_QCCD_SWAP_MODEL_H

@@ -1,0 +1,37 @@
+#include "qccd/timeline.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cyclone {
+
+ResourceTimeline::ResourceTimeline(size_t resources)
+    : busyUntil_(resources, 0.0)
+{}
+
+void
+ResourceTimeline::reserve(size_t r, double start, double duration)
+{
+    CYCLONE_ASSERT(r < busyUntil_.size(), "resource out of range");
+    CYCLONE_ASSERT(start + 1e-9 >= busyUntil_[r],
+                   "reservation starts before resource is free");
+    busyUntil_[r] = start + duration;
+}
+
+double
+ResourceTimeline::makespan() const
+{
+    double m = 0.0;
+    for (double t : busyUntil_)
+        m = std::max(m, t);
+    return m;
+}
+
+void
+ResourceTimeline::reset()
+{
+    std::fill(busyUntil_.begin(), busyUntil_.end(), 0.0);
+}
+
+} // namespace cyclone

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Resource timelines for schedule construction.
+ *
+ * Every trap, junction and edge is a serially reusable resource with a
+ * `busyUntil` time. Compilers plan an operation by querying the
+ * earliest feasible start across the resources it touches, and commit
+ * by advancing those resources. Waiting caused by a busy resource is
+ * what the paper calls a roadblock; the timeline reports wait times so
+ * compilers can classify and count them.
+ */
+
+#ifndef CYCLONE_QCCD_TIMELINE_H
+#define CYCLONE_QCCD_TIMELINE_H
+
+#include <cstddef>
+#include <vector>
+
+namespace cyclone {
+
+/** Busy-until timeline over a set of resources. */
+class ResourceTimeline
+{
+  public:
+    explicit ResourceTimeline(size_t resources);
+
+    /** Earliest time resource r is free. */
+    double freeAt(size_t r) const { return busyUntil_[r]; }
+
+    /**
+     * Earliest start >= `earliest` on resource r (without committing).
+     */
+    double
+    plan(size_t r, double earliest) const
+    {
+        return busyUntil_[r] > earliest ? busyUntil_[r] : earliest;
+    }
+
+    /**
+     * Reserve resource r for [start, start + duration). `start` must
+     * be >= freeAt(r); commit order is the caller's responsibility.
+     */
+    void reserve(size_t r, double start, double duration);
+
+    /** Latest busy-until time across all resources. */
+    double makespan() const;
+
+    /** Reset all resources to free-at-zero. */
+    void reset();
+
+    size_t size() const { return busyUntil_.size(); }
+
+  private:
+    std::vector<double> busyUntil_;
+};
+
+} // namespace cyclone
+
+#endif // CYCLONE_QCCD_TIMELINE_H

@@ -1,0 +1,104 @@
+#include "qccd/topology.h"
+
+#include <deque>
+
+#include "common/logging.h"
+
+namespace cyclone {
+
+Topology::Topology(std::string name)
+    : name_(std::move(name))
+{}
+
+NodeId
+Topology::addTrap(size_t capacity)
+{
+    CYCLONE_ASSERT(capacity >= 1, "trap capacity must be >= 1");
+    const NodeId id = nodes_.size();
+    nodes_.push_back({NodeKind::Trap, capacity});
+    adjacency_.emplace_back();
+    traps_.push_back(id);
+    return id;
+}
+
+NodeId
+Topology::addJunction()
+{
+    const NodeId id = nodes_.size();
+    nodes_.push_back({NodeKind::Junction, 0});
+    adjacency_.emplace_back();
+    junctions_.push_back(id);
+    return id;
+}
+
+EdgeId
+Topology::addEdge(NodeId a, NodeId b)
+{
+    CYCLONE_ASSERT(a < nodes_.size() && b < nodes_.size(),
+                   "edge endpoint out of range");
+    CYCLONE_ASSERT(a != b, "self-loop edge");
+    const EdgeId id = edges_.size();
+    edges_.push_back({a, b});
+    adjacency_[a].push_back({b, id});
+    adjacency_[b].push_back({a, id});
+    return id;
+}
+
+size_t
+Topology::totalCapacity() const
+{
+    size_t total = 0;
+    for (NodeId t : traps_)
+        total += nodes_[t].capacity;
+    return total;
+}
+
+void
+Topology::validate() const
+{
+    for (NodeId id = 0; id < nodes_.size(); ++id) {
+        const size_t deg = adjacency_[id].size();
+        if (nodes_[id].kind == NodeKind::Trap && deg > 2) {
+            CYCLONE_FATAL("trap " << id << " in '" << name_
+                          << "' has degree " << deg << " (max 2)");
+        }
+        if (nodes_[id].kind == NodeKind::Junction && deg > 4) {
+            CYCLONE_FATAL("junction " << id << " in '" << name_
+                          << "' has degree " << deg << " (max 4)");
+        }
+    }
+}
+
+std::vector<NodeId>
+Topology::shortestPath(NodeId from, NodeId to) const
+{
+    CYCLONE_ASSERT(from < nodes_.size() && to < nodes_.size(),
+                   "path endpoint out of range");
+    if (from == to)
+        return {from};
+    std::vector<NodeId> parent(nodes_.size(), SIZE_MAX);
+    std::deque<NodeId> frontier{from};
+    parent[from] = from;
+    while (!frontier.empty()) {
+        const NodeId cur = frontier.front();
+        frontier.pop_front();
+        for (const Neighbor& nb : adjacency_[cur]) {
+            if (parent[nb.node] != SIZE_MAX)
+                continue;
+            parent[nb.node] = cur;
+            if (nb.node == to) {
+                std::vector<NodeId> path{to};
+                NodeId walk = to;
+                while (walk != from) {
+                    walk = parent[walk];
+                    path.push_back(walk);
+                }
+                return {path.rbegin(), path.rend()};
+            }
+            frontier.push_back(nb.node);
+        }
+    }
+    return {};
+}
+
+} // namespace cyclone

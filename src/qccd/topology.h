@@ -1,0 +1,121 @@
+/**
+ * @file
+ * QCCD device topology: traps and junctions connected by shuttling
+ * path segments.
+ *
+ * Hardware constraints from Section II-B3 are enforced by validate():
+ * traps connect to at most two shuttling paths, junctions to at most
+ * four. Routing uses breadth-first shortest paths; compilers decide
+ * what traversing each node costs (junction crossing vs. the expensive
+ * through-trap merge/split that creates trap roadblocks).
+ */
+
+#ifndef CYCLONE_QCCD_TOPOLOGY_H
+#define CYCLONE_QCCD_TOPOLOGY_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cyclone {
+
+/** Node identifier within a Topology. */
+using NodeId = size_t;
+/** Edge identifier within a Topology. */
+using EdgeId = size_t;
+
+/** Node kinds. */
+enum class NodeKind { Trap, Junction };
+
+/** One topology node. */
+struct TopoNode
+{
+    NodeKind kind;
+    /** Ion capacity (traps only). */
+    size_t capacity = 0;
+};
+
+/** One undirected shuttling segment. */
+struct TopoEdge
+{
+    NodeId a;
+    NodeId b;
+};
+
+/** Adjacency entry. */
+struct Neighbor
+{
+    NodeId node;
+    EdgeId edge;
+};
+
+/** An undirected graph of traps and junctions. */
+class Topology
+{
+  public:
+    explicit Topology(std::string name = "topology");
+
+    /** Add a trap with the given ion capacity; returns its id. */
+    NodeId addTrap(size_t capacity);
+
+    /** Add a junction; returns its id. */
+    NodeId addJunction();
+
+    /** Connect two nodes with a shuttling segment. */
+    EdgeId addEdge(NodeId a, NodeId b);
+
+    const std::string& name() const { return name_; }
+    size_t numNodes() const { return nodes_.size(); }
+    size_t numEdges() const { return edges_.size(); }
+
+    const TopoNode& node(NodeId id) const { return nodes_[id]; }
+    const TopoEdge& edge(EdgeId id) const { return edges_[id]; }
+    const std::vector<Neighbor>& neighbors(NodeId id) const
+    {
+        return adjacency_[id];
+    }
+
+    size_t degree(NodeId id) const { return adjacency_[id].size(); }
+
+    bool isTrap(NodeId id) const
+    {
+        return nodes_[id].kind == NodeKind::Trap;
+    }
+
+    /** All trap node ids, in creation order. */
+    const std::vector<NodeId>& traps() const { return traps_; }
+    /** All junction node ids, in creation order. */
+    const std::vector<NodeId>& junctions() const { return junctions_; }
+
+    size_t numTraps() const { return traps_.size(); }
+    size_t numJunctions() const { return junctions_.size(); }
+
+    /** Total trap capacity. */
+    size_t totalCapacity() const;
+
+    /**
+     * Enforce hardware degree limits: traps <= 2, junctions <= 4.
+     * Throws on violation.
+     */
+    void validate() const;
+
+    /**
+     * Breadth-first shortest path from `from` to `to` (inclusive of
+     * both endpoints). Prefers paths through fewer traps when the hop
+     * count ties is NOT guaranteed; compilers cost paths themselves.
+     * Returns an empty vector if unreachable.
+     */
+    std::vector<NodeId> shortestPath(NodeId from, NodeId to) const;
+
+  private:
+    std::string name_;
+    std::vector<TopoNode> nodes_;
+    std::vector<TopoEdge> edges_;
+    std::vector<std::vector<Neighbor>> adjacency_;
+    std::vector<NodeId> traps_;
+    std::vector<NodeId> junctions_;
+};
+
+} // namespace cyclone
+
+#endif // CYCLONE_QCCD_TOPOLOGY_H

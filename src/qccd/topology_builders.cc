@@ -1,0 +1,183 @@
+#include "qccd/topology_builders.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace cyclone {
+
+Topology
+buildBaselineGrid(size_t rows, size_t cols, size_t capacity)
+{
+    CYCLONE_ASSERT(rows >= 1 && cols >= 1, "grid dims must be positive");
+    std::ostringstream name;
+    name << "baseline-grid-" << rows << "x" << cols;
+    Topology topo(name.str());
+
+    // Traps, row major.
+    std::vector<std::vector<NodeId>> trap(rows, std::vector<NodeId>(cols));
+    for (size_t r = 0; r < rows; ++r) {
+        for (size_t c = 0; c < cols; ++c)
+            trap[r][c] = topo.addTrap(capacity);
+    }
+    // A junction between each horizontally adjacent pair, chained
+    // vertically into junction columns.
+    std::vector<std::vector<NodeId>> junc(
+        rows, std::vector<NodeId>(cols > 0 ? cols - 1 : 0));
+    for (size_t r = 0; r < rows; ++r) {
+        for (size_t c = 0; c + 1 < cols; ++c) {
+            junc[r][c] = topo.addJunction();
+            topo.addEdge(trap[r][c], junc[r][c]);
+            topo.addEdge(junc[r][c], trap[r][c + 1]);
+        }
+    }
+    for (size_t r = 0; r + 1 < rows; ++r) {
+        for (size_t c = 0; c + 1 < cols; ++c)
+            topo.addEdge(junc[r][c], junc[r + 1][c]);
+    }
+    topo.validate();
+    return topo;
+}
+
+Topology
+buildAlternateGrid(size_t rows, size_t cols, size_t capacity,
+                   size_t rung_stride)
+{
+    // Alternating horizontal/vertical corridor grid (Fig. 4c): each
+    // row is a corridor of carrier junctions, each carrying one trap
+    // (degree 3). Every `rung_stride`-th carrier gives up its trap
+    // slot for a vertical rung to the row below (degree 4). Transit
+    // never passes through a trap, so all contention is junction
+    // contention, and the rungs keep paths O(sqrt(n)).
+    CYCLONE_ASSERT(rows >= 1 && cols >= 1, "grid dims must be positive");
+    if (rung_stride == 0)
+        rung_stride = 4;
+    std::ostringstream name;
+    name << "alternate-grid-" << rows << "x" << cols;
+    Topology topo(name.str());
+
+    const size_t num_traps = rows * cols;
+    size_t placed = 0;
+    // Carriers per row: one per trap plus one per rung position.
+    std::vector<std::vector<NodeId>> carrier(rows);
+    std::vector<std::vector<bool>> is_rung(rows);
+    for (size_t r = 0; r < rows; ++r) {
+        size_t traps_in_row = std::min(cols, num_traps - placed);
+        size_t slot = 0;
+        size_t row_traps = 0;
+        while (row_traps < traps_in_row) {
+            const NodeId j = topo.addJunction();
+            const bool rung = rows > 1 &&
+                slot % (rung_stride + 1) == rung_stride;
+            carrier[r].push_back(j);
+            is_rung[r].push_back(rung);
+            if (!rung) {
+                const NodeId t = topo.addTrap(capacity);
+                topo.addEdge(t, j);
+                ++row_traps;
+                ++placed;
+            }
+            ++slot;
+        }
+        // Horizontal corridor.
+        for (size_t c = 0; c + 1 < carrier[r].size(); ++c)
+            topo.addEdge(carrier[r][c], carrier[r][c + 1]);
+    }
+    // Vertical rungs: connect rung carriers straight down. Rung
+    // columns align because every row uses the same stride pattern.
+    for (size_t r = 0; r + 1 < rows; ++r) {
+        const size_t limit =
+            std::min(carrier[r].size(), carrier[r + 1].size());
+        for (size_t c = 0; c < limit; ++c) {
+            if (is_rung[r][c] && is_rung[r + 1][c])
+                topo.addEdge(carrier[r][c], carrier[r + 1][c]);
+        }
+    }
+    // Close the serpentine: link row ends so a global loop exists
+    // (L corners, degree <= 3).
+    for (size_t r = 0; r + 1 < rows; ++r) {
+        if (r % 2 == 0) {
+            topo.addEdge(carrier[r].back(), carrier[r + 1].back());
+        } else {
+            topo.addEdge(carrier[r].front(), carrier[r + 1].front());
+        }
+    }
+    topo.validate();
+    return topo;
+}
+
+Topology
+buildRing(size_t num_traps, size_t capacity)
+{
+    CYCLONE_ASSERT(num_traps >= 1, "ring needs at least one trap");
+    std::ostringstream name;
+    name << "ring-" << num_traps;
+    Topology topo(name.str());
+
+    std::vector<NodeId> traps;
+    traps.reserve(num_traps);
+    for (size_t i = 0; i < num_traps; ++i)
+        traps.push_back(topo.addTrap(capacity));
+    if (num_traps == 1) {
+        topo.validate();
+        return topo;
+    }
+    for (size_t i = 0; i < num_traps; ++i) {
+        // One L junction between each pair of neighboring traps.
+        const NodeId junction = topo.addJunction();
+        topo.addEdge(traps[i], junction);
+        topo.addEdge(junction, traps[(i + 1) % num_traps]);
+    }
+    topo.validate();
+    return topo;
+}
+
+Topology
+buildJunctionMesh(size_t num_traps, size_t capacity)
+{
+    CYCLONE_ASSERT(num_traps >= 1, "mesh needs at least one trap");
+    // Mesh side: enough perimeter junctions for all traps.
+    size_t g = 2;
+    while (4 * (g - 1) < num_traps)
+        ++g;
+    std::ostringstream name;
+    name << "junction-mesh-" << g << "x" << g;
+    Topology topo(name.str());
+
+    std::vector<std::vector<NodeId>> junc(g, std::vector<NodeId>(g));
+    for (size_t r = 0; r < g; ++r) {
+        for (size_t c = 0; c < g; ++c)
+            junc[r][c] = topo.addJunction();
+    }
+    for (size_t r = 0; r < g; ++r) {
+        for (size_t c = 0; c < g; ++c) {
+            if (c + 1 < g)
+                topo.addEdge(junc[r][c], junc[r][c + 1]);
+            if (r + 1 < g)
+                topo.addEdge(junc[r][c], junc[r + 1][c]);
+        }
+    }
+    // Walk the perimeter clockwise attaching traps.
+    std::vector<NodeId> perimeter;
+    for (size_t c = 0; c < g; ++c)
+        perimeter.push_back(junc[0][c]);
+    for (size_t r = 1; r < g; ++r)
+        perimeter.push_back(junc[r][g - 1]);
+    if (g > 1) {
+        for (size_t c = g - 1; c-- > 0;)
+            perimeter.push_back(junc[g - 1][c]);
+        for (size_t r = g - 1; r-- > 1;)
+            perimeter.push_back(junc[r][0]);
+    }
+    CYCLONE_ASSERT(perimeter.size() >= num_traps,
+                   "perimeter too small: " << perimeter.size() << " < "
+                   << num_traps);
+    for (size_t i = 0; i < num_traps; ++i) {
+        const NodeId t = topo.addTrap(capacity);
+        topo.addEdge(t, perimeter[i]);
+    }
+    topo.validate();
+    return topo;
+}
+
+} // namespace cyclone

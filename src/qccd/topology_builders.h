@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The device topologies explored in the paper (Figs. 4, 8, 11).
+ *
+ *  - Baseline grid (Fig. 4b): an l x l grid of traps. Horizontally
+ *    adjacent traps are linked through a junction, and those junctions
+ *    also chain vertically, giving "additional columns of vertical
+ *    junctions between each trap". Horizontal transit beyond one hop
+ *    must pass through traps — the source of trap roadblocks.
+ *  - Alternate grid (Fig. 4c): rows of traps stitched into a global
+ *    serpentine loop with L-shaped (degree-2) junctions at row ends
+ *    plus periodic vertical rungs, after [3].
+ *  - Ring (Fig. 11a): the Cyclone hardware — traps in a cycle with one
+ *    L junction between neighbors.
+ *  - Junction mesh (Fig. 8): a g x g all-junction grid with traps
+ *    hanging off the perimeter; converts trap roadblocks into junction
+ *    roadblocks at quadratic junction cost.
+ */
+
+#ifndef CYCLONE_QCCD_TOPOLOGY_BUILDERS_H
+#define CYCLONE_QCCD_TOPOLOGY_BUILDERS_H
+
+#include <cstddef>
+
+#include "qccd/topology.h"
+
+namespace cyclone {
+
+/** Build the baseline l x l grid with vertical junction columns. */
+Topology buildBaselineGrid(size_t rows, size_t cols, size_t capacity);
+
+/**
+ * Build the alternate serpentine grid with L junctions and vertical
+ * rungs every `rung_stride` columns (0 disables rungs).
+ */
+Topology buildAlternateGrid(size_t rows, size_t cols, size_t capacity,
+                            size_t rung_stride = 4);
+
+/** Build the Cyclone ring of `num_traps` traps. */
+Topology buildRing(size_t num_traps, size_t capacity);
+
+/**
+ * Build the mesh junction network for `num_traps` perimeter traps.
+ * The mesh is g x g with g = ceil(num_traps / 4) + 1, so every trap
+ * attaches to a distinct perimeter junction.
+ */
+Topology buildJunctionMesh(size_t num_traps, size_t capacity);
+
+} // namespace cyclone
+
+#endif // CYCLONE_QCCD_TOPOLOGY_BUILDERS_H

@@ -1,0 +1,88 @@
+#include "qec/bb_code.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace cyclone {
+
+namespace {
+
+/**
+ * Dense l*m x l*m matrix of the group-algebra element given by the
+ * monomial list: entry (i, j) = 1 iff j = i shifted by some monomial.
+ *
+ * Row index encodes the group element (ix, iy) as ix * m + iy; the
+ * monomial x^a y^b maps it to ((ix + a) mod l, (iy + b) mod m).
+ */
+GF2Matrix
+polynomialMatrix(size_t l, size_t m, const std::vector<BbMonomial>& terms)
+{
+    const size_t dim = l * m;
+    GF2Matrix out(dim, dim);
+    for (size_t ix = 0; ix < l; ++ix) {
+        for (size_t iy = 0; iy < m; ++iy) {
+            size_t row = ix * m + iy;
+            for (const BbMonomial& t : terms) {
+                size_t jx = (ix + t.xExp) % l;
+                size_t jy = (iy + t.yExp) % m;
+                // Flip rather than set: repeated monomials cancel mod 2.
+                out.row(row).flip(jx * m + jy);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+polyToString(const std::vector<BbMonomial>& terms)
+{
+    std::ostringstream os;
+    bool first = true;
+    for (const BbMonomial& t : terms) {
+        if (!first)
+            os << "+";
+        first = false;
+        if (t.xExp == 0 && t.yExp == 0) {
+            os << "1";
+            continue;
+        }
+        if (t.xExp > 0) {
+            os << "x";
+            if (t.xExp > 1)
+                os << "^" << t.xExp;
+        }
+        if (t.yExp > 0) {
+            os << "y";
+            if (t.yExp > 1)
+                os << "^" << t.yExp;
+        }
+    }
+    return os.str();
+}
+
+} // namespace
+
+CssCode
+makeBbCode(size_t l, size_t m, const std::vector<BbMonomial>& a,
+           const std::vector<BbMonomial>& b, size_t nominal_distance,
+           std::string name)
+{
+    CYCLONE_ASSERT(l > 0 && m > 0, "BB code needs positive shift orders");
+    GF2Matrix ma = polynomialMatrix(l, m, a);
+    GF2Matrix mb = polynomialMatrix(l, m, b);
+
+    GF2Matrix hx = ma.hstack(mb);
+    GF2Matrix hz = mb.transposed().hstack(ma.transposed());
+
+    if (name.empty()) {
+        std::ostringstream os;
+        os << "BB(l=" << l << ",m=" << m << ",A=" << polyToString(a)
+           << ",B=" << polyToString(b) << ")";
+        name = os.str();
+    }
+    return CssCode(hx.toSparse(), hz.toSparse(), std::move(name),
+                   nominal_distance);
+}
+
+} // namespace cyclone

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Bivariate bicycle (BB) codes (Bravyi et al., Nature 627, 2024).
+ *
+ * A BB code on 2*l*m qubits is defined by two three-term polynomials
+ * A and B in commuting cyclic-shift variables x (order l) and y (order
+ * m):
+ *
+ *   Hx = [ A | B ],   Hz = [ B^T | A^T ]
+ *
+ * where A = sum of monomials x^a y^b given as exponent pairs. BB codes
+ * are not edge-colorable, so the scheduling layer measures all X then
+ * all Z stabilizers.
+ */
+
+#ifndef CYCLONE_QEC_BB_CODE_H
+#define CYCLONE_QEC_BB_CODE_H
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "qec/css_code.h"
+
+namespace cyclone {
+
+/** A monomial x^xExp * y^yExp of a bivariate polynomial. */
+struct BbMonomial
+{
+    size_t xExp = 0;
+    size_t yExp = 0;
+};
+
+/**
+ * Build a bivariate bicycle code from polynomial exponent lists.
+ *
+ * @param l order of the x cyclic shift
+ * @param m order of the y cyclic shift
+ * @param a monomials of polynomial A
+ * @param b monomials of polynomial B
+ * @param nominal_distance published distance (0 = unknown)
+ */
+CssCode makeBbCode(size_t l, size_t m, const std::vector<BbMonomial>& a,
+                   const std::vector<BbMonomial>& b,
+                   size_t nominal_distance = 0, std::string name = "");
+
+} // namespace cyclone
+
+#endif // CYCLONE_QEC_BB_CODE_H

@@ -1,0 +1,142 @@
+#include "qec/classical_code.h"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace cyclone {
+
+ClassicalCode::ClassicalCode(GF2Matrix h, std::string name)
+    : h_(std::move(h)), name_(std::move(name))
+{
+    CYCLONE_ASSERT(h_.cols() > 0, "empty parity-check matrix");
+    dimension_ = h_.cols() - h_.rank();
+}
+
+ClassicalCode
+ClassicalCode::repetition(size_t n)
+{
+    CYCLONE_ASSERT(n >= 2, "repetition code needs n >= 2");
+    GF2Matrix h(n - 1, n);
+    for (size_t i = 0; i + 1 < n; ++i) {
+        h.set(i, i, true);
+        h.set(i, i + 1, true);
+    }
+    std::ostringstream name;
+    name << "rep" << n;
+    return ClassicalCode(std::move(h), name.str());
+}
+
+ClassicalCode
+ClassicalCode::hamming(size_t r)
+{
+    CYCLONE_ASSERT(r >= 2 && r <= 16, "hamming: r out of range");
+    const size_t n = (size_t(1) << r) - 1;
+    GF2Matrix h(r, n);
+    for (size_t c = 0; c < n; ++c) {
+        size_t value = c + 1;
+        for (size_t bit = 0; bit < r; ++bit) {
+            if ((value >> bit) & 1)
+                h.set(bit, c, true);
+        }
+    }
+    std::ostringstream name;
+    name << "hamming" << r;
+    return ClassicalCode(std::move(h), name.str());
+}
+
+namespace {
+
+/**
+ * Draw a random parity-check matrix with every column of weight
+ * `col_weight` and row weights as balanced as possible.
+ *
+ * Construction: concatenate col_weight random permutations of a
+ * "row slot" multiset in which each row appears ceil(n*colW/m) or
+ * floor(n*colW/m) times, then reroll columns that end up with a
+ * repeated row (which would reduce the column weight).
+ */
+GF2Matrix
+drawRegularParityCheck(size_t m, size_t n, size_t col_weight, Rng& rng)
+{
+    GF2Matrix h(m, n);
+    for (size_t c = 0; c < n; ++c) {
+        // Choose col_weight distinct rows for this column.
+        std::vector<size_t> chosen;
+        size_t guard = 0;
+        while (chosen.size() < col_weight) {
+            size_t r = rng.below(m);
+            if (std::find(chosen.begin(), chosen.end(), r) == chosen.end())
+                chosen.push_back(r);
+            if (++guard > 1000)
+                break;
+        }
+        for (size_t r : chosen)
+            h.set(r, c, true);
+    }
+    return h;
+}
+
+} // namespace
+
+std::optional<ClassicalCode>
+ClassicalCode::searchLdpc(size_t n, size_t k, size_t d, size_t col_weight,
+                          uint64_t seed, size_t max_attempts)
+{
+    const size_t m = n - k;
+    Rng rng(seed);
+    for (size_t attempt = 0; attempt < max_attempts; ++attempt) {
+        GF2Matrix h = drawRegularParityCheck(m, n, col_weight, rng);
+        if (h.rank() != m)
+            continue;
+        std::ostringstream name;
+        name << "ldpc[" << n << "," << k << "," << d << "]";
+        ClassicalCode code(std::move(h), name.str());
+        if (code.dimension() != k)
+            continue;
+        if (code.distance() != d)
+            continue;
+        return code;
+    }
+    return std::nullopt;
+}
+
+size_t
+ClassicalCode::distance() const
+{
+    CYCLONE_ASSERT(dimension_ <= 24,
+                   "exact distance enumeration too large: k = "
+                   << dimension_);
+    std::vector<BitVec> basis = h_.nullspaceBasis();
+    CYCLONE_ASSERT(basis.size() == dimension_,
+                   "nullspace dimension mismatch");
+    if (basis.empty())
+        return length();
+
+    size_t best = length() + 1;
+    const size_t combos = size_t(1) << basis.size();
+    // Gray-code walk over all nonzero codewords.
+    BitVec word(length());
+    size_t prev_gray = 0;
+    for (size_t i = 1; i < combos; ++i) {
+        size_t gray = i ^ (i >> 1);
+        size_t changed = gray ^ prev_gray;
+        prev_gray = gray;
+        int bit = std::countr_zero(changed);
+        word ^= basis[static_cast<size_t>(bit)];
+        if (gray != 0)
+            best = std::min(best, word.popcount());
+    }
+    return best;
+}
+
+bool
+ClassicalCode::isCodeword(const BitVec& c) const
+{
+    return h_.multiply(c).isZero();
+}
+
+} // namespace cyclone

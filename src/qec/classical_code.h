@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Classical binary linear codes, used as seeds for hypergraph product
+ * constructions and as decoder test fixtures.
+ */
+
+#ifndef CYCLONE_QEC_CLASSICAL_CODE_H
+#define CYCLONE_QEC_CLASSICAL_CODE_H
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "common/gf2.h"
+#include "common/rng.h"
+
+namespace cyclone {
+
+/**
+ * A classical binary linear code described by a parity-check matrix.
+ *
+ * The code is C = ker H. Dimension k = n - rank(H). Distance is computed
+ * exactly when k is small (codeword enumeration) and is otherwise
+ * estimated as an upper bound.
+ */
+class ClassicalCode
+{
+  public:
+    /** Wrap a parity-check matrix. */
+    explicit ClassicalCode(GF2Matrix h, std::string name = "classical");
+
+    /** [n, 1, n] repetition code (full-circle checks, n-1 x n matrix). */
+    static ClassicalCode repetition(size_t n);
+
+    /** [2^r - 1, 2^r - 1 - r, 3] Hamming code. */
+    static ClassicalCode hamming(size_t r);
+
+    /**
+     * Search for a column-weight-`colWeight` LDPC code with the given
+     * length, dimension and minimum distance.
+     *
+     * The search draws random biregular-ish parity checks seeded from
+     * `seed` and accepts the first draw whose rank and exactly-computed
+     * distance match. Used to build the HGP seed codes: [12,3,6],
+     * [16,4,6] and [20,5,8].
+     *
+     * @return std::nullopt if no matching code is found within
+     *         `maxAttempts` draws.
+     */
+    static std::optional<ClassicalCode>
+    searchLdpc(size_t n, size_t k, size_t d, size_t col_weight,
+               uint64_t seed, size_t max_attempts = 4000);
+
+    const GF2Matrix& parityCheck() const { return h_; }
+    const std::string& name() const { return name_; }
+
+    /** Block length n. */
+    size_t length() const { return h_.cols(); }
+
+    /** Dimension k = n - rank(H). */
+    size_t dimension() const { return dimension_; }
+
+    /** Number of parity checks (rows of H, possibly redundant). */
+    size_t checks() const { return h_.rows(); }
+
+    /** True if H has full row rank. */
+    bool fullRank() const { return h_.rank() == h_.rows(); }
+
+    /**
+     * Exact minimum distance by enumerating all 2^k - 1 nonzero
+     * codewords. Only call when k <= 20 or so.
+     */
+    size_t distance() const;
+
+    /** Membership test: H c == 0. */
+    bool isCodeword(const BitVec& c) const;
+
+  private:
+    GF2Matrix h_;
+    std::string name_;
+    size_t dimension_ = 0;
+};
+
+} // namespace cyclone
+
+#endif // CYCLONE_QEC_CLASSICAL_CODE_H

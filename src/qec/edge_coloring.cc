@@ -1,0 +1,142 @@
+#include "qec/edge_coloring.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cyclone {
+
+namespace {
+
+constexpr size_t kNoEdge = static_cast<size_t>(-1);
+
+/** Per-vertex table: color -> incident edge with that color (or none). */
+class ColorTable
+{
+  public:
+    ColorTable(size_t vertices, size_t colors)
+        : table_(vertices, std::vector<size_t>(colors, kNoEdge))
+    {}
+
+    size_t edgeAt(size_t v, size_t color) const { return table_[v][color]; }
+    void assign(size_t v, size_t color, size_t e) { table_[v][color] = e; }
+    void release(size_t v, size_t color) { table_[v][color] = kNoEdge; }
+    bool isFree(size_t v, size_t color) const
+    {
+        return table_[v][color] == kNoEdge;
+    }
+
+    size_t
+    firstFree(size_t v) const
+    {
+        const auto& row = table_[v];
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (row[c] == kNoEdge)
+                return c;
+        }
+        CYCLONE_PANIC("no free color at vertex " << v
+                      << "; degree bound violated");
+    }
+
+  private:
+    std::vector<std::vector<size_t>> table_;
+};
+
+} // namespace
+
+std::vector<size_t>
+colorBipartiteEdges(size_t num_left, size_t num_right,
+                    const std::vector<std::pair<size_t, size_t>>& edges)
+{
+    // Compute the degree bound D (Koenig: D colors always suffice).
+    std::vector<size_t> deg_left(num_left, 0), deg_right(num_right, 0);
+    for (const auto& [u, v] : edges) {
+        CYCLONE_ASSERT(u < num_left && v < num_right,
+                       "edge endpoint out of range");
+        ++deg_left[u];
+        ++deg_right[v];
+    }
+    size_t max_degree = 1;
+    for (size_t d : deg_left)
+        max_degree = std::max(max_degree, d);
+    for (size_t d : deg_right)
+        max_degree = std::max(max_degree, d);
+
+    ColorTable left(num_left, max_degree);
+    ColorTable right(num_right, max_degree);
+    std::vector<size_t> colors(edges.size(), kNoEdge);
+
+    for (size_t e = 0; e < edges.size(); ++e) {
+        const size_t u = edges[e].first;
+        const size_t v = edges[e].second;
+        const size_t cu = left.firstFree(u);
+        const size_t cv = right.firstFree(v);
+        if (cu != cv && !right.isFree(v, cu)) {
+            // Make cu free at v by swapping colors cu and cv along the
+            // alternating path that starts at v with a cu-colored edge.
+            // In a bipartite graph this path can reach a left vertex
+            // only through a cu-colored edge, and u has none, so the
+            // path never touches u and cu stays free there.
+            std::vector<size_t> path;
+            size_t w = v;
+            bool w_on_right = true;
+            size_t want = cu;
+            while (true) {
+                const size_t cur = w_on_right ? right.edgeAt(w, want)
+                                              : left.edgeAt(w, want);
+                if (cur == kNoEdge)
+                    break;
+                path.push_back(cur);
+                const size_t far = w_on_right ? edges[cur].first
+                                              : edges[cur].second;
+                w = far;
+                w_on_right = !w_on_right;
+                want = want == cu ? cv : cu;
+            }
+            // Two-pass recolor: deregister every path edge, then
+            // re-register with swapped colors.
+            for (size_t cur : path) {
+                left.release(edges[cur].first, colors[cur]);
+                right.release(edges[cur].second, colors[cur]);
+            }
+            for (size_t cur : path) {
+                colors[cur] = colors[cur] == cu ? cv : cu;
+                left.assign(edges[cur].first, colors[cur], cur);
+                right.assign(edges[cur].second, colors[cur], cur);
+            }
+            CYCLONE_ASSERT(right.isFree(v, cu),
+                           "alternating-path recolor failed");
+        }
+        colors[e] = cu;
+        left.assign(u, cu, e);
+        right.assign(v, cu, e);
+    }
+    return colors;
+}
+
+bool
+isProperEdgeColoring(size_t num_left, size_t num_right,
+                     const std::vector<std::pair<size_t, size_t>>& edges,
+                     const std::vector<size_t>& colors)
+{
+    if (colors.size() != edges.size())
+        return false;
+    size_t max_color = 0;
+    for (size_t c : colors)
+        max_color = std::max(max_color, c);
+    std::vector<std::vector<bool>> seen_left(
+        num_left, std::vector<bool>(max_color + 1, false));
+    std::vector<std::vector<bool>> seen_right(
+        num_right, std::vector<bool>(max_color + 1, false));
+    for (size_t e = 0; e < edges.size(); ++e) {
+        const auto& [u, v] = edges[e];
+        const size_t c = colors[e];
+        if (seen_left[u][c] || seen_right[v][c])
+            return false;
+        seen_left[u][c] = true;
+        seen_right[v][c] = true;
+    }
+    return true;
+}
+
+} // namespace cyclone

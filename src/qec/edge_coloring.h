@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Proper edge coloring of bipartite multigraphs.
+ *
+ * By Koenig's theorem a bipartite graph of maximum degree D admits a
+ * proper edge coloring with exactly D colors. The constructive algorithm
+ * implemented here (alternating-path recoloring) achieves that bound and
+ * is what turns a Tanner graph into a set of fully parallel CX
+ * timeslices: each color class touches every stabilizer and every data
+ * qubit at most once.
+ */
+
+#ifndef CYCLONE_QEC_EDGE_COLORING_H
+#define CYCLONE_QEC_EDGE_COLORING_H
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace cyclone {
+
+/**
+ * Color the edges of a bipartite graph.
+ *
+ * @param num_left number of left-side vertices
+ * @param num_right number of right-side vertices
+ * @param edges pairs (left, right), one per edge; parallel edges allowed
+ * @return one color index per edge; the number of distinct colors equals
+ *         the maximum degree of the graph
+ */
+std::vector<size_t>
+colorBipartiteEdges(size_t num_left, size_t num_right,
+                    const std::vector<std::pair<size_t, size_t>>& edges);
+
+/**
+ * Verify that a coloring is proper: no two edges sharing a vertex have
+ * the same color. Exposed for tests and for validating schedules.
+ */
+bool
+isProperEdgeColoring(size_t num_left, size_t num_right,
+                     const std::vector<std::pair<size_t, size_t>>& edges,
+                     const std::vector<size_t>& colors);
+
+} // namespace cyclone
+
+#endif // CYCLONE_QEC_EDGE_COLORING_H

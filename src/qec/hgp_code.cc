@@ -1,0 +1,35 @@
+#include "qec/hgp_code.h"
+
+#include <sstream>
+
+namespace cyclone {
+
+CssCode
+makeHgpCode(const ClassicalCode& c1, const ClassicalCode& c2,
+            size_t nominal_distance)
+{
+    const GF2Matrix& h1 = c1.parityCheck();
+    const GF2Matrix& h2 = c2.parityCheck();
+    const size_t n1 = h1.cols();
+    const size_t m1 = h1.rows();
+    const size_t n2 = h2.cols();
+    const size_t m2 = h2.rows();
+
+    GF2Matrix hx = h1.kron(GF2Matrix::identity(n2))
+        .hstack(GF2Matrix::identity(m1).kron(h2.transposed()));
+    GF2Matrix hz = GF2Matrix::identity(n1).kron(h2)
+        .hstack(h1.transposed().kron(GF2Matrix::identity(m2)));
+
+    std::ostringstream name;
+    name << "HGP(" << c1.name() << "," << c2.name() << ")";
+    return CssCode(hx.toSparse(), hz.toSparse(), name.str(),
+                   nominal_distance);
+}
+
+CssCode
+makeHgpCode(const ClassicalCode& c, size_t nominal_distance)
+{
+    return makeHgpCode(c, c, nominal_distance);
+}
+
+} // namespace cyclone

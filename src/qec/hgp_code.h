@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Hypergraph product (HGP) code construction (Tillich-Zemor).
+ *
+ * Given classical parity checks H1 (m1 x n1) and H2 (m2 x n2), the HGP
+ * code has n = n1*n2 + m1*m2 data qubits and parity checks
+ *
+ *   Hx = [ H1 (x) I_n2  |  I_m1 (x) H2^T ]
+ *   Hz = [ I_n1 (x) H2  |  H1^T (x) I_m2 ]
+ *
+ * For full-rank seeds the parameters are [[n1*n2 + m1*m2, k1*k2, min d]].
+ * HGP codes are edge-colorable (Tremblay et al.), which the scheduling
+ * layer exploits for the maximal-parallelism bound.
+ */
+
+#ifndef CYCLONE_QEC_HGP_CODE_H
+#define CYCLONE_QEC_HGP_CODE_H
+
+#include "qec/classical_code.h"
+#include "qec/css_code.h"
+
+namespace cyclone {
+
+/** Build the hypergraph product of two classical codes. */
+CssCode makeHgpCode(const ClassicalCode& c1, const ClassicalCode& c2,
+                    size_t nominal_distance = 0);
+
+/** Symmetric product makeHgpCode(c, c). */
+CssCode makeHgpCode(const ClassicalCode& c, size_t nominal_distance = 0);
+
+} // namespace cyclone
+
+#endif // CYCLONE_QEC_HGP_CODE_H

@@ -1,0 +1,123 @@
+#include "qec/schedule.h"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "common/logging.h"
+#include "qec/edge_coloring.h"
+
+namespace cyclone {
+
+SyndromeSchedule::SyndromeSchedule(
+    std::string policy, std::vector<std::vector<ScheduledGate>> slices)
+    : policy_(std::move(policy)), slices_(std::move(slices))
+{}
+
+size_t
+SyndromeSchedule::totalGates() const
+{
+    size_t total = 0;
+    for (const auto& s : slices_)
+        total += s.size();
+    return total;
+}
+
+bool
+SyndromeSchedule::isValidFor(const CssCode& code) const
+{
+    // Every slice must be conflict-free.
+    for (const auto& slice : slices_) {
+        std::set<std::pair<int, size_t>> stabs_seen;
+        std::set<size_t> data_seen;
+        for (const ScheduledGate& g : slice) {
+            auto stab_key = std::make_pair(
+                g.kind == StabKind::X ? 0 : 1, g.stabIndex);
+            if (!stabs_seen.insert(stab_key).second)
+                return false;
+            if (!data_seen.insert(g.data).second)
+                return false;
+        }
+    }
+    // Every Tanner edge appears exactly once.
+    std::multiset<std::tuple<int, size_t, size_t>> scheduled;
+    for (const auto& slice : slices_) {
+        for (const ScheduledGate& g : slice) {
+            scheduled.insert(std::make_tuple(
+                g.kind == StabKind::X ? 0 : 1, g.stabIndex, g.data));
+        }
+    }
+    std::multiset<std::tuple<int, size_t, size_t>> expected;
+    for (size_t r = 0; r < code.numXStabs(); ++r) {
+        for (size_t q : code.hx().rowSupport(r))
+            expected.insert(std::make_tuple(0, r, q));
+    }
+    for (size_t r = 0; r < code.numZStabs(); ++r) {
+        for (size_t q : code.hz().rowSupport(r))
+            expected.insert(std::make_tuple(1, r, q));
+    }
+    return scheduled == expected;
+}
+
+SyndromeSchedule
+makeSerialSchedule(const CssCode& code)
+{
+    std::vector<std::vector<ScheduledGate>> slices;
+    for (size_t r = 0; r < code.numXStabs(); ++r) {
+        for (size_t q : code.hx().rowSupport(r))
+            slices.push_back({{StabKind::X, r, q}});
+    }
+    for (size_t r = 0; r < code.numZStabs(); ++r) {
+        for (size_t q : code.hz().rowSupport(r))
+            slices.push_back({{StabKind::Z, r, q}});
+    }
+    return SyndromeSchedule("serial", std::move(slices));
+}
+
+namespace {
+
+/** Edge-color one Tanner graph and bucket its edges into slices. */
+std::vector<std::vector<ScheduledGate>>
+colorToSlices(const TannerGraph& graph)
+{
+    std::vector<std::pair<size_t, size_t>> edges;
+    edges.reserve(graph.edges().size());
+    for (const TannerEdge& e : graph.edges())
+        edges.emplace_back(graph.stabVertex(e), e.data);
+
+    std::vector<size_t> colors = colorBipartiteEdges(
+        graph.numStabVertices(), graph.numDataVertices(), edges);
+
+    size_t num_colors = 0;
+    for (size_t c : colors)
+        num_colors = std::max(num_colors, c + 1);
+
+    std::vector<std::vector<ScheduledGate>> slices(num_colors);
+    for (size_t e = 0; e < colors.size(); ++e) {
+        const TannerEdge& te = graph.edges()[e];
+        slices[colors[e]].push_back({te.kind, te.stabIndex, te.data});
+    }
+    return slices;
+}
+
+} // namespace
+
+SyndromeSchedule
+makeXThenZSchedule(const CssCode& code)
+{
+    TannerGraph x_graph(code, true, false);
+    TannerGraph z_graph(code, false, true);
+    std::vector<std::vector<ScheduledGate>> slices = colorToSlices(x_graph);
+    for (auto& s : colorToSlices(z_graph))
+        slices.push_back(std::move(s));
+    return SyndromeSchedule("x-then-z", std::move(slices));
+}
+
+SyndromeSchedule
+makeInterleavedSchedule(const CssCode& code)
+{
+    TannerGraph graph(code, true, true);
+    return SyndromeSchedule("interleaved", colorToSlices(graph));
+}
+
+} // namespace cyclone

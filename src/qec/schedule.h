@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Hardware-agnostic syndrome-extraction schedules.
+ *
+ * A schedule partitions the Tanner edges (CX gates) of one syndrome
+ * round into ordered timeslices; within a slice, all gates are
+ * simultaneously executable: no stabilizer and no data qubit appears
+ * twice (Section III-A of the paper).
+ *
+ * Three policies are provided:
+ *  - serial: one gate per slice (the fully serialized reference);
+ *  - X-then-Z: all X stabilizers, edge colored, then all Z stabilizers
+ *    (the non-edge-colorable CSS policy; valid for every CSS code and
+ *    the policy Cyclone executes);
+ *  - interleaved: one coloring of the whole Tanner graph, mixing X and
+ *    Z gates (only meaningful for edge-colorable codes such as HGP;
+ *    used for the maximal-parallelism bound of Fig. 3).
+ */
+
+#ifndef CYCLONE_QEC_SCHEDULE_H
+#define CYCLONE_QEC_SCHEDULE_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "qec/css_code.h"
+#include "qec/tanner.h"
+
+namespace cyclone {
+
+/** One CX gate of a syndrome round. */
+struct ScheduledGate
+{
+    StabKind kind;      ///< Stabilizer type (fixes CX direction).
+    size_t stabIndex;   ///< Row within hx or hz.
+    size_t data;        ///< Data qubit.
+};
+
+/** An ordered list of fully parallel timeslices. */
+class SyndromeSchedule
+{
+  public:
+    SyndromeSchedule(std::string policy,
+                     std::vector<std::vector<ScheduledGate>> slices);
+
+    /** Policy name ("serial", "x-then-z", "interleaved"). */
+    const std::string& policy() const { return policy_; }
+
+    const std::vector<std::vector<ScheduledGate>>& slices() const
+    {
+        return slices_;
+    }
+
+    /** Number of timeslices (the schedule depth). */
+    size_t depth() const { return slices_.size(); }
+
+    /** Total number of CX gates across all slices. */
+    size_t totalGates() const;
+
+    /**
+     * Check slice validity against a code: every Tanner edge appears
+     * exactly once, and no stabilizer or data qubit repeats within a
+     * slice.
+     */
+    bool isValidFor(const CssCode& code) const;
+
+  private:
+    std::string policy_;
+    std::vector<std::vector<ScheduledGate>> slices_;
+};
+
+/** Fully serial schedule: one gate per slice, X gates then Z gates. */
+SyndromeSchedule makeSerialSchedule(const CssCode& code);
+
+/**
+ * X-then-Z schedule: X subgraph edge colored into w_max(X) slices,
+ * followed by the Z subgraph in w_max(Z)-ish slices (exactly the max
+ * degree of each subgraph, by Koenig's theorem).
+ */
+SyndromeSchedule makeXThenZSchedule(const CssCode& code);
+
+/** Interleaved schedule: a single coloring of the full Tanner graph. */
+SyndromeSchedule makeInterleavedSchedule(const CssCode& code);
+
+} // namespace cyclone
+
+#endif // CYCLONE_QEC_SCHEDULE_H

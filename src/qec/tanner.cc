@@ -1,0 +1,42 @@
+#include "qec/tanner.h"
+
+#include <algorithm>
+
+namespace cyclone {
+
+TannerGraph::TannerGraph(const CssCode& code, bool include_x,
+                         bool include_z)
+{
+    numX_ = include_x ? code.numXStabs() : 0;
+    size_t num_z = include_z ? code.numZStabs() : 0;
+    numStabVertices_ = numX_ + num_z;
+    numDataVertices_ = code.numQubits();
+
+    std::vector<size_t> stab_degree(numStabVertices_, 0);
+    std::vector<size_t> data_degree(numDataVertices_, 0);
+
+    if (include_x) {
+        for (size_t r = 0; r < code.numXStabs(); ++r) {
+            for (size_t q : code.hx().rowSupport(r)) {
+                edges_.push_back({StabKind::X, r, q});
+                ++stab_degree[r];
+                ++data_degree[q];
+            }
+        }
+    }
+    if (include_z) {
+        for (size_t r = 0; r < code.numZStabs(); ++r) {
+            for (size_t q : code.hz().rowSupport(r)) {
+                edges_.push_back({StabKind::Z, r, q});
+                ++stab_degree[numX_ + r];
+                ++data_degree[q];
+            }
+        }
+    }
+    for (size_t d : stab_degree)
+        maxDegree_ = std::max(maxDegree_, d);
+    for (size_t d : data_degree)
+        maxDegree_ = std::max(maxDegree_, d);
+}
+
+} // namespace cyclone

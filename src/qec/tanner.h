@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Tanner-graph view of a CSS code: a bipartite multigraph between
+ * stabilizers (both kinds) and data qubits. The edge list is the unit of
+ * scheduling — every edge is one CX gate of the syndrome extraction
+ * circuit.
+ */
+
+#ifndef CYCLONE_QEC_TANNER_H
+#define CYCLONE_QEC_TANNER_H
+
+#include <cstddef>
+#include <vector>
+
+#include "qec/css_code.h"
+
+namespace cyclone {
+
+/** One Tanner edge: stabilizer `stab` of kind `kind` touches `data`. */
+struct TannerEdge
+{
+    StabKind kind;      ///< X or Z stabilizer.
+    size_t stabIndex;   ///< Row index within hx or hz.
+    size_t data;        ///< Data qubit index.
+};
+
+/** Flattened Tanner graph of a CSS code. */
+class TannerGraph
+{
+  public:
+    /**
+     * Build from a code.
+     *
+     * @param include_x include X stabilizer edges
+     * @param include_z include Z stabilizer edges
+     */
+    explicit TannerGraph(const CssCode& code, bool include_x = true,
+                         bool include_z = true);
+
+    const std::vector<TannerEdge>& edges() const { return edges_; }
+
+    /** Number of stabilizer-side vertices (X count + Z count). */
+    size_t numStabVertices() const { return numStabVertices_; }
+
+    /** Number of data-side vertices. */
+    size_t numDataVertices() const { return numDataVertices_; }
+
+    /** Maximum vertex degree over both sides. */
+    size_t maxDegree() const { return maxDegree_; }
+
+    /**
+     * Stabilizer-side vertex id for an edge. X stabilizers come first,
+     * then Z stabilizers.
+     */
+    size_t stabVertex(const TannerEdge& e) const
+    {
+        return e.kind == StabKind::X ? e.stabIndex : numX_ + e.stabIndex;
+    }
+
+  private:
+    std::vector<TannerEdge> edges_;
+    size_t numX_ = 0;
+    size_t numStabVertices_ = 0;
+    size_t numDataVertices_ = 0;
+    size_t maxDegree_ = 0;
+};
+
+} // namespace cyclone
+
+#endif // CYCLONE_QEC_TANNER_H

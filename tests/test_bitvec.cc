@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Unit tests for the bit-packed GF(2) vector.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bitvec.h"
+#include "common/rng.h"
+
+namespace cyclone {
+namespace {
+
+TEST(BitVec, StartsAllZero)
+{
+    BitVec v(100);
+    EXPECT_EQ(v.size(), 100u);
+    EXPECT_TRUE(v.isZero());
+    EXPECT_EQ(v.popcount(), 0u);
+}
+
+TEST(BitVec, SetGetFlip)
+{
+    BitVec v(70);
+    v.set(0, true);
+    v.set(63, true);
+    v.set(64, true);
+    v.set(69, true);
+    EXPECT_TRUE(v.get(0));
+    EXPECT_TRUE(v.get(63));
+    EXPECT_TRUE(v.get(64));
+    EXPECT_TRUE(v.get(69));
+    EXPECT_FALSE(v.get(1));
+    EXPECT_EQ(v.popcount(), 4u);
+    v.flip(0);
+    EXPECT_FALSE(v.get(0));
+    v.flip(1);
+    EXPECT_TRUE(v.get(1));
+    EXPECT_EQ(v.popcount(), 4u);
+}
+
+TEST(BitVec, SetFalseClears)
+{
+    BitVec v(10);
+    v.set(5, true);
+    v.set(5, false);
+    EXPECT_FALSE(v.get(5));
+    EXPECT_TRUE(v.isZero());
+}
+
+TEST(BitVec, XorIsSelfInverse)
+{
+    Rng rng(7);
+    BitVec a(200), b(200);
+    for (size_t i = 0; i < 200; ++i) {
+        a.set(i, rng.bernoulli(0.5));
+        b.set(i, rng.bernoulli(0.5));
+    }
+    BitVec c = a;
+    c ^= b;
+    c ^= b;
+    EXPECT_EQ(c, a);
+}
+
+TEST(BitVec, XorMatchesOperator)
+{
+    BitVec a(65), b(65);
+    a.set(1, true);
+    a.set(64, true);
+    b.set(1, true);
+    b.set(2, true);
+    BitVec c = a ^ b;
+    EXPECT_FALSE(c.get(1));
+    EXPECT_TRUE(c.get(2));
+    EXPECT_TRUE(c.get(64));
+    EXPECT_EQ(c.popcount(), 2u);
+}
+
+TEST(BitVec, AndMasks)
+{
+    BitVec a(10), b(10);
+    a.set(3, true);
+    a.set(4, true);
+    b.set(4, true);
+    b.set(5, true);
+    a &= b;
+    EXPECT_EQ(a.popcount(), 1u);
+    EXPECT_TRUE(a.get(4));
+}
+
+TEST(BitVec, DotParity)
+{
+    BitVec a(130), b(130);
+    a.set(0, true);
+    a.set(128, true);
+    b.set(0, true);
+    EXPECT_TRUE(a.dotParity(b));
+    b.set(128, true);
+    EXPECT_FALSE(a.dotParity(b));
+}
+
+TEST(BitVec, OnesPositionsSorted)
+{
+    BitVec v(150);
+    v.set(149, true);
+    v.set(0, true);
+    v.set(64, true);
+    auto ones = v.onesPositions();
+    ASSERT_EQ(ones.size(), 3u);
+    EXPECT_EQ(ones[0], 0u);
+    EXPECT_EQ(ones[1], 64u);
+    EXPECT_EQ(ones[2], 149u);
+}
+
+TEST(BitVec, ResizeMasksStaleBits)
+{
+    BitVec v(10);
+    for (size_t i = 0; i < 10; ++i)
+        v.set(i, true);
+    v.resize(4);
+    EXPECT_EQ(v.size(), 4u);
+    EXPECT_EQ(v.popcount(), 4u);
+    v.resize(10);
+    // Bits 4..9 must have been cleared by the shrink.
+    EXPECT_EQ(v.popcount(), 4u);
+}
+
+TEST(BitVec, ClearKeepsLength)
+{
+    BitVec v(77);
+    v.set(3, true);
+    v.clear();
+    EXPECT_EQ(v.size(), 77u);
+    EXPECT_TRUE(v.isZero());
+}
+
+TEST(BitVec, EqualityAndHash)
+{
+    BitVec a(64), b(64);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.hash(), b.hash());
+    a.set(13, true);
+    EXPECT_NE(a, b);
+    EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(BitVec, HashDependsOnLength)
+{
+    BitVec a(64), b(65);
+    EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(BitVec, ToString)
+{
+    BitVec v(5);
+    v.set(1, true);
+    v.set(4, true);
+    EXPECT_EQ(v.toString(), "01001");
+}
+
+class BitVecSizes : public ::testing::TestWithParam<size_t>
+{};
+
+TEST_P(BitVecSizes, PopcountMatchesNaive)
+{
+    const size_t n = GetParam();
+    Rng rng(n * 977 + 3);
+    BitVec v(n);
+    size_t expected = 0;
+    for (size_t i = 0; i < n; ++i) {
+        const bool bit = rng.bernoulli(0.37);
+        v.set(i, bit);
+        expected += bit;
+    }
+    EXPECT_EQ(v.popcount(), expected);
+    EXPECT_EQ(v.onesPositions().size(), expected);
+}
+
+TEST_P(BitVecSizes, DotParityMatchesNaive)
+{
+    const size_t n = GetParam();
+    Rng rng(n * 31 + 5);
+    BitVec a(n), b(n);
+    bool expected = false;
+    for (size_t i = 0; i < n; ++i) {
+        const bool ba = rng.bernoulli(0.5);
+        const bool bb = rng.bernoulli(0.5);
+        a.set(i, ba);
+        b.set(i, bb);
+        expected ^= ba && bb;
+    }
+    EXPECT_EQ(a.dotParity(b), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BitVecSizes,
+                         ::testing::Values(1, 2, 63, 64, 65, 127, 128,
+                                           129, 500, 1024, 4097));
+
+} // namespace
+} // namespace cyclone

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Tests for the circuit IR and builder bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.h"
+
+namespace cyclone {
+namespace {
+
+TEST(Circuit, MeasurementIndicesSequential)
+{
+    Circuit c(3);
+    EXPECT_EQ(c.measureZ(0), 0u);
+    EXPECT_EQ(c.measureX(1), 1u);
+    EXPECT_EQ(c.measureZ(2), 2u);
+    EXPECT_EQ(c.numMeasurements(), 3u);
+}
+
+TEST(Circuit, DetectorAndObservableCounting)
+{
+    Circuit c(2);
+    c.measureZ(0);
+    c.measureZ(1);
+    EXPECT_EQ(c.addDetector({0}), 0u);
+    EXPECT_EQ(c.addDetector({0, 1}), 1u);
+    c.addObservable(0, {1});
+    c.addObservable(3, {0});
+    EXPECT_EQ(c.numDetectors(), 2u);
+    EXPECT_EQ(c.numObservables(), 4u); // ids 0..3
+}
+
+TEST(Circuit, ZeroProbabilityChannelsSkipped)
+{
+    Circuit c(2);
+    c.xError(0, 0.0);
+    c.zError(0, -1.0);
+    c.depolarize1(1, 0.0);
+    c.depolarize2(0, 1, 0.0);
+    c.pauli1(0, 0.0, 0.0, 0.0);
+    EXPECT_TRUE(c.ops().empty());
+    EXPECT_EQ(c.numNoiseSites(), 0u);
+}
+
+TEST(Circuit, NoiseSiteCounting)
+{
+    Circuit c(2);
+    c.cx(0, 1);
+    c.depolarize2(0, 1, 0.01);
+    c.xError(0, 0.001);
+    c.measureZ(0);
+    EXPECT_EQ(c.numNoiseSites(), 2u);
+}
+
+TEST(Circuit, OpOrderPreserved)
+{
+    Circuit c(2);
+    c.resetZ(0);
+    c.cx(0, 1);
+    c.measureZ(1);
+    ASSERT_EQ(c.ops().size(), 3u);
+    EXPECT_EQ(c.ops()[0].kind, OpKind::ResetZ);
+    EXPECT_EQ(c.ops()[1].kind, OpKind::Cx);
+    EXPECT_EQ(c.ops()[2].kind, OpKind::MeasureZ);
+    EXPECT_EQ(c.ops()[1].targets[0], 0u);
+    EXPECT_EQ(c.ops()[1].targets[1], 1u);
+}
+
+TEST(Circuit, Pauli1StoresAllProbabilities)
+{
+    Circuit c(1);
+    c.pauli1(0, 0.01, 0.02, 0.03);
+    ASSERT_EQ(c.ops().size(), 1u);
+    EXPECT_DOUBLE_EQ(c.ops()[0].params[0], 0.01);
+    EXPECT_DOUBLE_EQ(c.ops()[0].params[1], 0.02);
+    EXPECT_DOUBLE_EQ(c.ops()[0].params[2], 0.03);
+}
+
+TEST(Circuit, ToStringMentionsOps)
+{
+    Circuit c(2);
+    c.resetX(0);
+    c.cx(0, 1);
+    c.depolarize2(0, 1, 0.25);
+    c.measureX(0);
+    c.addDetector({0});
+    const std::string s = c.toString();
+    EXPECT_NE(s.find("RX"), std::string::npos);
+    EXPECT_NE(s.find("CX 0 1"), std::string::npos);
+    EXPECT_NE(s.find("DEPOLARIZE2(0.25)"), std::string::npos);
+    EXPECT_NE(s.find("DETECTOR"), std::string::npos);
+}
+
+TEST(CircuitDeath, RejectsOutOfRangeTargets)
+{
+    Circuit c(2);
+    EXPECT_DEATH(c.cx(0, 5), "out of range");
+}
+
+TEST(CircuitDeath, RejectsFutureMeasurementInDetector)
+{
+    Circuit c(2);
+    c.measureZ(0);
+    EXPECT_DEATH(c.addDetector({3}), "future measurement");
+}
+
+} // namespace
+} // namespace cyclone

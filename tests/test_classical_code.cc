@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for classical linear codes and the LDPC seed search.
+ */
+
+#include <gtest/gtest.h>
+
+#include "qec/classical_code.h"
+
+namespace cyclone {
+namespace {
+
+class RepetitionSweep : public ::testing::TestWithParam<size_t>
+{};
+
+TEST_P(RepetitionSweep, Parameters)
+{
+    const size_t n = GetParam();
+    ClassicalCode code = ClassicalCode::repetition(n);
+    EXPECT_EQ(code.length(), n);
+    EXPECT_EQ(code.dimension(), 1u);
+    EXPECT_EQ(code.checks(), n - 1);
+    EXPECT_TRUE(code.fullRank());
+    EXPECT_EQ(code.distance(), n);
+}
+
+TEST_P(RepetitionSweep, AllOnesIsCodeword)
+{
+    const size_t n = GetParam();
+    ClassicalCode code = ClassicalCode::repetition(n);
+    BitVec ones(n);
+    for (size_t i = 0; i < n; ++i)
+        ones.set(i, true);
+    EXPECT_TRUE(code.isCodeword(ones));
+    BitVec one_hot(n);
+    one_hot.set(0, true);
+    EXPECT_FALSE(code.isCodeword(one_hot));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RepetitionSweep,
+                         ::testing::Values(2, 3, 5, 8, 13, 21));
+
+TEST(Hamming, Parameters)
+{
+    ClassicalCode code = ClassicalCode::hamming(3);
+    EXPECT_EQ(code.length(), 7u);
+    EXPECT_EQ(code.dimension(), 4u);
+    EXPECT_EQ(code.distance(), 3u);
+    EXPECT_TRUE(code.fullRank());
+
+    ClassicalCode code4 = ClassicalCode::hamming(4);
+    EXPECT_EQ(code4.length(), 15u);
+    EXPECT_EQ(code4.dimension(), 11u);
+    EXPECT_EQ(code4.distance(), 3u);
+}
+
+struct SeedSpec
+{
+    size_t n, k, d, col_weight;
+};
+
+class SeedSearch : public ::testing::TestWithParam<SeedSpec>
+{};
+
+TEST_P(SeedSearch, FindsCodeWithExactParameters)
+{
+    const SeedSpec spec = GetParam();
+    auto code = ClassicalCode::searchLdpc(spec.n, spec.k, spec.d,
+                                          spec.col_weight, 1);
+    ASSERT_TRUE(code.has_value());
+    EXPECT_EQ(code->length(), spec.n);
+    EXPECT_EQ(code->dimension(), spec.k);
+    EXPECT_EQ(code->distance(), spec.d);
+    EXPECT_TRUE(code->fullRank());
+    // Column weight is exactly col_weight by construction.
+    const GF2Matrix& h = code->parityCheck();
+    GF2Matrix ht = h.transposed();
+    for (size_t c = 0; c < spec.n; ++c)
+        EXPECT_EQ(ht.row(c).popcount(), spec.col_weight);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperSeeds, SeedSearch,
+    ::testing::Values(SeedSpec{12, 3, 6, 3}, SeedSpec{16, 4, 6, 3},
+                      SeedSpec{20, 5, 8, 3}));
+
+TEST(SeedSearch, ImpossibleParametersReturnNullopt)
+{
+    // d > n - k + 1 violates the Singleton bound.
+    auto code = ClassicalCode::searchLdpc(8, 2, 8, 3, 1, 50);
+    EXPECT_FALSE(code.has_value());
+}
+
+TEST(SeedSearch, Deterministic)
+{
+    auto a = ClassicalCode::searchLdpc(12, 3, 6, 3, 1);
+    auto b = ClassicalCode::searchLdpc(12, 3, 6, 3, 1);
+    ASSERT_TRUE(a.has_value() && b.has_value());
+    EXPECT_EQ(a->parityCheck(), b->parityCheck());
+}
+
+TEST(ClassicalCode, DistanceOfHammingDual)
+{
+    // The [7,3] dual (simplex) code has all nonzero weights 4.
+    ClassicalCode hamming = ClassicalCode::hamming(3);
+    // Dual parity check = Hamming generator; build via nullspace.
+    GF2Matrix h = hamming.parityCheck();
+    auto basis = h.nullspaceBasis();
+    GF2Matrix g(0, 7);
+    for (const auto& v : basis)
+        g.appendRow(v);
+    ClassicalCode simplex(g, "simplex");
+    EXPECT_EQ(simplex.dimension(), 3u);
+    EXPECT_EQ(simplex.distance(), 4u);
+}
+
+} // namespace
+} // namespace cyclone

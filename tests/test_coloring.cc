@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Property tests for bipartite edge coloring (Koenig construction).
+ */
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "qec/edge_coloring.h"
+
+namespace cyclone {
+namespace {
+
+size_t
+maxDegree(size_t num_left, size_t num_right,
+          const std::vector<std::pair<size_t, size_t>>& edges)
+{
+    std::vector<size_t> dl(num_left, 0), dr(num_right, 0);
+    for (auto& [u, v] : edges) {
+        ++dl[u];
+        ++dr[v];
+    }
+    size_t d = 0;
+    for (size_t x : dl)
+        d = std::max(d, x);
+    for (size_t x : dr)
+        d = std::max(d, x);
+    return d;
+}
+
+TEST(EdgeColoring, EmptyGraph)
+{
+    auto colors = colorBipartiteEdges(3, 3, {});
+    EXPECT_TRUE(colors.empty());
+}
+
+TEST(EdgeColoring, SingleEdge)
+{
+    std::vector<std::pair<size_t, size_t>> edges{{0, 0}};
+    auto colors = colorBipartiteEdges(1, 1, edges);
+    ASSERT_EQ(colors.size(), 1u);
+    EXPECT_EQ(colors[0], 0u);
+}
+
+TEST(EdgeColoring, CompleteBipartiteUsesExactlyNColors)
+{
+    // K_{n,n} has max degree n and needs exactly n colors.
+    for (size_t n : {2, 3, 5, 8}) {
+        std::vector<std::pair<size_t, size_t>> edges;
+        for (size_t u = 0; u < n; ++u)
+            for (size_t v = 0; v < n; ++v)
+                edges.emplace_back(u, v);
+        auto colors = colorBipartiteEdges(n, n, edges);
+        EXPECT_TRUE(isProperEdgeColoring(n, n, edges, colors));
+        std::set<size_t> used(colors.begin(), colors.end());
+        EXPECT_EQ(used.size(), n);
+    }
+}
+
+TEST(EdgeColoring, ParallelEdgesSupported)
+{
+    // A multigraph with 3 parallel edges needs 3 colors.
+    std::vector<std::pair<size_t, size_t>> edges{{0, 0}, {0, 0}, {0, 0}};
+    auto colors = colorBipartiteEdges(1, 1, edges);
+    EXPECT_TRUE(isProperEdgeColoring(1, 1, edges, colors));
+    std::set<size_t> used(colors.begin(), colors.end());
+    EXPECT_EQ(used.size(), 3u);
+}
+
+TEST(EdgeColoring, DetectsImproperColoring)
+{
+    std::vector<std::pair<size_t, size_t>> edges{{0, 0}, {0, 1}};
+    std::vector<size_t> bad{0, 0}; // same color at vertex 0
+    EXPECT_FALSE(isProperEdgeColoring(2, 2, edges, bad));
+    std::vector<size_t> good{0, 1};
+    EXPECT_TRUE(isProperEdgeColoring(2, 2, edges, good));
+}
+
+class RandomGraphs
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, double,
+                                                 uint64_t>>
+{};
+
+TEST_P(RandomGraphs, ColorsWithMaxDegreeColors)
+{
+    auto [nl, nr, density, seed] = GetParam();
+    Rng rng(seed);
+    std::vector<std::pair<size_t, size_t>> edges;
+    for (size_t u = 0; u < nl; ++u) {
+        for (size_t v = 0; v < nr; ++v) {
+            if (rng.bernoulli(density))
+                edges.emplace_back(u, v);
+        }
+    }
+    if (edges.empty())
+        return;
+    auto colors = colorBipartiteEdges(nl, nr, edges);
+    EXPECT_TRUE(isProperEdgeColoring(nl, nr, edges, colors));
+    // Koenig's theorem: exactly max-degree colors suffice.
+    size_t num_colors = 0;
+    for (size_t c : colors)
+        num_colors = std::max(num_colors, c + 1);
+    EXPECT_LE(num_colors, maxDegree(nl, nr, edges));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomGraphs,
+    ::testing::Combine(::testing::Values(5, 17, 40),
+                       ::testing::Values(7, 23, 40),
+                       ::testing::Values(0.1, 0.4, 0.9),
+                       ::testing::Values(1u, 2u, 3u)));
+
+} // namespace
+} // namespace cyclone

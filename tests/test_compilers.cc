@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Tests for the EJF compiler family: schedule completeness, resource
+ * validity, and the contention relationships the paper reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/baseline2.h"
+#include "compiler/baseline3.h"
+#include "compiler/baseline_ejf.h"
+#include "compiler/dynamic_grid.h"
+#include "compiler/ideal.h"
+#include "compiler/mesh_junction.h"
+#include "qccd/topology_builders.h"
+#include "qec/classical_code.h"
+#include "qec/code_catalog.h"
+#include "qec/hgp_code.h"
+#include "qec/schedule.h"
+
+namespace cyclone {
+namespace {
+
+CssCode
+surface13()
+{
+    return makeHgpCode(ClassicalCode::repetition(3), 3);
+}
+
+TEST(Ejf, CompilesAllGates)
+{
+    CssCode code = surface13();
+    SyndromeSchedule sched = makeXThenZSchedule(code);
+    Topology grid = buildBaselineGrid(4, 4, 5);
+    CompileResult r = compileEjf(code, sched, grid, {});
+    EXPECT_EQ(r.gateOps, code.hx().nnz() + code.hz().nnz());
+    EXPECT_GT(r.execTimeUs, 0.0);
+    EXPECT_GE(r.serialized.total(), r.execTimeUs);
+    EXPECT_EQ(r.numTraps, 16u);
+    EXPECT_EQ(r.numAncilla, code.numStabs());
+}
+
+TEST(Ejf, SerializedBreakdownComponentsPositive)
+{
+    CssCode code = surface13();
+    SyndromeSchedule sched = makeXThenZSchedule(code);
+    Topology grid = buildBaselineGrid(4, 4, 5);
+    CompileResult r = compileEjf(code, sched, grid, {});
+    EXPECT_GT(r.serialized.gateUs, 0.0);
+    EXPECT_GT(r.serialized.shuttleUs, 0.0);
+    EXPECT_GT(r.serialized.measureUs, 0.0);
+    // Gate time: every CX at some chain length >= base gate time.
+    Durations dur;
+    EXPECT_GE(r.serialized.gateUs,
+              static_cast<double>(r.gateOps) * dur.gate.baseUs);
+}
+
+TEST(Ejf, ParallelFractionBounded)
+{
+    CssCode code = catalog::hgp225();
+    SyndromeSchedule sched = makeXThenZSchedule(code);
+    Topology grid = buildBaselineGrid(15, 15, 5);
+    CompileResult r = compileEjf(code, sched, grid, {});
+    EXPECT_GT(r.parallelFraction(), 0.0);
+    EXPECT_LE(r.parallelFraction(), 1.0);
+}
+
+TEST(Ejf, GridRoadblocksAppearOnBigCodes)
+{
+    // The paper's core observation: non-topological codes on grids
+    // hit trap roadblocks.
+    CssCode code = catalog::hgp225();
+    SyndromeSchedule sched = makeXThenZSchedule(code);
+    Topology grid = buildBaselineGrid(15, 15, 5);
+    CompileResult r = compileEjf(code, sched, grid, {});
+    EXPECT_GT(r.trapRoadblocks, 0u);
+}
+
+TEST(Ejf, WiderWindowNeverSlower)
+{
+    CssCode code = surface13();
+    SyndromeSchedule sched = makeXThenZSchedule(code);
+    Topology grid = buildBaselineGrid(4, 4, 5);
+    EjfOptions narrow;
+    narrow.candidateWindow = 1;
+    EjfOptions wide;
+    wide.candidateWindow = 16;
+    CompileResult rn = compileEjf(code, sched, grid, narrow);
+    CompileResult rw = compileEjf(code, sched, grid, wide);
+    // Lookahead helps (or at least does not hurt much).
+    EXPECT_LE(rw.execTimeUs, rn.execTimeUs * 1.10);
+}
+
+TEST(Ejf, ScaleReducesExecTime)
+{
+    CssCode code = surface13();
+    SyndromeSchedule sched = makeXThenZSchedule(code);
+    Topology grid = buildBaselineGrid(4, 4, 5);
+    EjfOptions fast;
+    fast.durations.scale = 0.5;
+    CompileResult nominal = compileEjf(code, sched, grid, {});
+    CompileResult scaled = compileEjf(code, sched, grid, fast);
+    EXPECT_LT(scaled.execTimeUs, nominal.execTimeUs);
+    EXPECT_NEAR(scaled.execTimeUs, nominal.execTimeUs * 0.5,
+                nominal.execTimeUs * 0.05);
+}
+
+TEST(DynamicGrid, SlowerThanStaticBaselineOnGrid)
+{
+    // Fig. 4a / Fig. 6: dynamic timeslices on a grid roadblock so
+    // badly they lose to the static EJF baseline.
+    CssCode code = catalog::hgp225();
+    SyndromeSchedule sched = makeXThenZSchedule(code);
+    Topology grid = buildBaselineGrid(15, 15, 5);
+    CompileResult stat = compileEjf(code, sched, grid, {});
+    CompileResult dyn = compileDynamicGrid(code, sched, grid, {});
+    EXPECT_GT(dyn.execTimeUs, stat.execTimeUs);
+    EXPECT_EQ(dyn.gateOps, stat.gateOps);
+}
+
+TEST(MeshJunction, ConvertsTrapToJunctionRoadblocks)
+{
+    CssCode code = surface13();
+    SyndromeSchedule sched = makeXThenZSchedule(code);
+    CompileResult r = compileMeshJunction(code, sched, {});
+    EXPECT_EQ(r.gateOps, code.hx().nnz() + code.hz().nnz());
+    EXPECT_GT(r.junctionRoadblocks, 0u);
+    // With one data per trap, through-trap transits are impossible.
+    EXPECT_EQ(r.trapRoadblocks, 0u);
+}
+
+TEST(MeshJunction, FasterJunctionsHelp)
+{
+    // Fig. 9 mechanics: scaling junction crossing down speeds the
+    // mesh design up substantially.
+    CssCode code = surface13();
+    SyndromeSchedule sched = makeXThenZSchedule(code);
+    EjfOptions nominal;
+    EjfOptions fast;
+    fast.durations.junctionScale = 0.1;
+    CompileResult slow = compileMeshJunction(code, sched, nominal);
+    CompileResult quick = compileMeshJunction(code, sched, fast);
+    EXPECT_LT(quick.execTimeUs, slow.execTimeUs * 0.7);
+}
+
+TEST(Baseline23, DifferentPoliciesDifferentSchedules)
+{
+    CssCode code = catalog::hgp225();
+    SyndromeSchedule sched = makeXThenZSchedule(code);
+    Topology grid = buildBaselineGrid(15, 15, 5);
+    CompileResult b1 = compileEjf(code, sched, grid, {});
+    CompileResult b2 = compileBaseline2(code, sched, grid, {});
+    CompileResult b3 = compileBaseline3(code, sched, grid, {});
+    EXPECT_EQ(b1.gateOps, b2.gateOps);
+    EXPECT_EQ(b1.gateOps, b3.gateOps);
+    // All complete; schedules differ in makespan or movement volume.
+    const bool differs = b1.execTimeUs != b2.execTimeUs ||
+        b2.execTimeUs != b3.execTimeUs ||
+        b1.shuttleOps != b2.shuttleOps ||
+        b2.shuttleOps != b3.shuttleOps;
+    EXPECT_TRUE(differs);
+    // The shuttle-minimizing and locality policies should not move
+    // more than plain EJF.
+    EXPECT_LE(b2.shuttleOps, b1.shuttleOps * 1.2);
+    EXPECT_LE(b3.shuttleOps, b1.shuttleOps * 1.2);
+}
+
+TEST(Ideal, SpeedupMatchesDepthRatio)
+{
+    CssCode code = catalog::hgp225();
+    SyndromeSchedule inter = makeInterleavedSchedule(code);
+    IdealLatency lat = idealLatencies(code, inter);
+    EXPECT_EQ(lat.gates, inter.totalGates());
+    EXPECT_EQ(lat.depth, inter.depth());
+    EXPECT_GT(lat.speedup, 10.0);
+    EXPECT_LT(lat.parallelUs, lat.serialUs);
+}
+
+TEST(Ideal, SpeedupGrowsWithCodeSize)
+{
+    // Fig. 3: the parallel/serial gap widens with code size.
+    IdealLatency small = idealLatencies(
+        catalog::bb72(), makeXThenZSchedule(catalog::bb72()));
+    IdealLatency large = idealLatencies(
+        catalog::bb288(), makeXThenZSchedule(catalog::bb288()));
+    EXPECT_GT(large.speedup, small.speedup);
+}
+
+TEST(Ideal, PseudoOptEdgeCount)
+{
+    CssCode code = surface13();
+    const size_t edges = pseudoOptEdgeCount(code);
+    EXPECT_GT(edges, 0u);
+    // No more edges than total support pairs.
+    size_t upper = 0;
+    for (size_t r = 0; r < code.numXStabs(); ++r)
+        upper += code.hx().rowSupport(r).size();
+    for (size_t r = 0; r < code.numZStabs(); ++r)
+        upper += code.hz().rowSupport(r).size();
+    EXPECT_LE(edges, upper);
+}
+
+TEST(Ejf, AlternateGridNeverPassesThroughTraps)
+{
+    // The alternate grid hangs every trap off the corridor, so all
+    // contention is junction contention.
+    CssCode code = catalog::hgp225();
+    SyndromeSchedule sched = makeXThenZSchedule(code);
+    Topology grid = buildAlternateGrid(15, 15, 5);
+    CompileResult r = compileEjf(code, sched, grid, {});
+    EXPECT_EQ(r.trapRoadblocks, 0u);
+    EXPECT_GT(r.junctionRoadblocks, 0u);
+}
+
+TEST(Ejf, SwapKindChangesBaselineSchedule)
+{
+    // Fig. 21 left half: the baseline prefers IonSwap.
+    CssCode code = catalog::hgp225();
+    SyndromeSchedule sched = makeXThenZSchedule(code);
+    Topology grid = buildBaselineGrid(15, 15, 5);
+    EjfOptions gate_swap;
+    gate_swap.swap = SwapKind::GateSwap;
+    EjfOptions ion_swap;
+    ion_swap.swap = SwapKind::IonSwap;
+    CompileResult g = compileEjf(code, sched, grid, gate_swap);
+    CompileResult i = compileEjf(code, sched, grid, ion_swap);
+    EXPECT_LT(i.serialized.swapUs, g.serialized.swapUs);
+    EXPECT_LE(i.execTimeUs, g.execTimeUs * 1.05);
+}
+
+TEST(Ejf, RingTopologyCausesHeavyTrapRoadblocks)
+{
+    // Fig. 6 bottom-left: static EJF on a circle is disastrous
+    // because every long route passes through traps.
+    CssCode code = surface13();
+    SyndromeSchedule sched = makeXThenZSchedule(code);
+    const size_t x = 12;
+    Topology ring = buildRing(x, 8);
+    EjfOptions opts;
+    opts.dataPerTrap = 2;
+    CompileResult r = compileEjf(code, sched, ring, opts);
+    EXPECT_GT(r.trapRoadblocks, 0u);
+    EXPECT_GT(r.trapRoadblocks + r.rebalances,
+              r.junctionRoadblocks);
+}
+
+} // namespace
+} // namespace cyclone

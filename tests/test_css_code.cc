@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests for the CSS code abstraction and logical operators.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "qec/classical_code.h"
+#include "qec/code_catalog.h"
+#include "qec/css_code.h"
+#include "qec/hgp_code.h"
+
+namespace cyclone {
+namespace {
+
+TEST(CssCode, RejectsNonCommutingMatrices)
+{
+    // Hx = [1 1 0], Hz = [1 0 0]: anticommute on qubit 0 only.
+    SparseGF2 hx(1, 3), hz(1, 3);
+    hx.setRowSupport(0, {0, 1});
+    hz.setRowSupport(0, {0});
+    EXPECT_THROW(CssCode(hx, hz, "bad"), std::runtime_error);
+}
+
+TEST(CssCode, AcceptsCommutingMatrices)
+{
+    SparseGF2 hx(1, 4), hz(1, 4);
+    hx.setRowSupport(0, {0, 1});
+    hz.setRowSupport(0, {0, 1});
+    CssCode code(hx, hz, "tiny");
+    EXPECT_EQ(code.numQubits(), 4u);
+    EXPECT_EQ(code.numLogical(), 2u);
+}
+
+class CatalogCodes : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(CatalogCodes, CssConditionAndParameters)
+{
+    CssCode code = catalog::byName(GetParam());
+    // CSS condition is checked by the constructor; reaching here means
+    // it held. Verify published [[n, k]].
+    if (GetParam() == "hgp225") {
+        EXPECT_EQ(code.numQubits(), 225u);
+        EXPECT_EQ(code.numLogical(), 9u);
+        EXPECT_EQ(code.nominalDistance(), 6u);
+    } else if (GetParam() == "hgp400") {
+        EXPECT_EQ(code.numQubits(), 400u);
+        EXPECT_EQ(code.numLogical(), 16u);
+    } else if (GetParam() == "hgp625") {
+        EXPECT_EQ(code.numQubits(), 625u);
+        EXPECT_EQ(code.numLogical(), 25u);
+        EXPECT_EQ(code.nominalDistance(), 8u);
+    } else if (GetParam() == "bb72") {
+        EXPECT_EQ(code.numQubits(), 72u);
+        EXPECT_EQ(code.numLogical(), 12u);
+    } else if (GetParam() == "bb90") {
+        EXPECT_EQ(code.numQubits(), 90u);
+        EXPECT_EQ(code.numLogical(), 8u);
+    } else if (GetParam() == "bb108") {
+        EXPECT_EQ(code.numQubits(), 108u);
+        EXPECT_EQ(code.numLogical(), 8u);
+    } else if (GetParam() == "bb144") {
+        EXPECT_EQ(code.numQubits(), 144u);
+        EXPECT_EQ(code.numLogical(), 12u);
+    } else if (GetParam() == "bb288") {
+        EXPECT_EQ(code.numQubits(), 288u);
+        EXPECT_EQ(code.numLogical(), 12u);
+    }
+}
+
+TEST_P(CatalogCodes, LogicalZProperties)
+{
+    CssCode code = catalog::byName(GetParam());
+    const auto& lz = code.logicalZ();
+    ASSERT_EQ(lz.size(), code.numLogical());
+    GF2Matrix hx = code.hx().toDense();
+    for (const BitVec& l : lz) {
+        // Commutes with all X stabilizers: in ker(Hx).
+        EXPECT_TRUE(hx.multiply(l).isZero());
+        EXPECT_FALSE(l.isZero());
+    }
+    // Independent of the Z stabilizer row space.
+    GF2Matrix hz = code.hz().toDense();
+    const size_t base_rank = hz.rank();
+    GF2Matrix stack = hz;
+    for (const BitVec& l : lz)
+        stack.appendRow(l);
+    EXPECT_EQ(stack.rank(), base_rank + lz.size());
+}
+
+TEST_P(CatalogCodes, LogicalXProperties)
+{
+    CssCode code = catalog::byName(GetParam());
+    const auto& lx = code.logicalX();
+    ASSERT_EQ(lx.size(), code.numLogical());
+    GF2Matrix hz = code.hz().toDense();
+    for (const BitVec& l : lx)
+        EXPECT_TRUE(hz.multiply(l).isZero());
+    GF2Matrix hx = code.hx().toDense();
+    const size_t base_rank = hx.rank();
+    GF2Matrix stack = hx;
+    for (const BitVec& l : lx)
+        stack.appendRow(l);
+    EXPECT_EQ(stack.rank(), base_rank + lx.size());
+}
+
+TEST_P(CatalogCodes, LogicalPairingNondegenerate)
+{
+    // The k x k anticommutation matrix Lx . Lz^T must be full rank:
+    // every logical X pairs with some logical Z.
+    CssCode code = catalog::byName(GetParam());
+    const auto& lx = code.logicalX();
+    const auto& lz = code.logicalZ();
+    GF2Matrix pairing(lx.size(), lz.size());
+    for (size_t i = 0; i < lx.size(); ++i) {
+        for (size_t j = 0; j < lz.size(); ++j)
+            pairing.set(i, j, lx[i].dotParity(lz[j]));
+    }
+    EXPECT_EQ(pairing.rank(), code.numLogical());
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, CatalogCodes,
+                         ::testing::Values("hgp225", "bb72", "bb90",
+                                           "bb108", "bb144"));
+
+TEST(CssCode, DistanceUpperBoundSurface)
+{
+    // HGP of rep(3) is the [[13, 1, 3]] surface code.
+    CssCode code = makeHgpCode(ClassicalCode::repetition(3), 3);
+    EXPECT_EQ(code.numQubits(), 13u);
+    EXPECT_EQ(code.numLogical(), 1u);
+    Rng rng(5);
+    const size_t ub = code.distanceUpperBound(300, rng);
+    EXPECT_GE(ub, 3u);
+    EXPECT_LE(ub, 13u);
+    // The search should find the true distance for this tiny code.
+    EXPECT_EQ(ub, 3u);
+}
+
+TEST(CssCode, ParameterString)
+{
+    CssCode code = makeHgpCode(ClassicalCode::repetition(3), 3);
+    EXPECT_EQ(code.parameterString(), "[[13,1,3]]");
+}
+
+TEST(Catalog, NamesRoundTrip)
+{
+    for (const std::string& name : catalog::names())
+        EXPECT_NO_THROW(catalog::byName(name));
+    EXPECT_THROW(catalog::byName("nope"), std::runtime_error);
+}
+
+TEST(Catalog, StabilizerWeightsBB)
+{
+    // BB codes have weight-6 stabilizers (|A| + |B| = 3 + 3).
+    for (const CssCode& code : catalog::allBbCodes()) {
+        EXPECT_EQ(code.maxXWeight(), 6u) << code.name();
+        EXPECT_EQ(code.maxZWeight(), 6u) << code.name();
+    }
+}
+
+TEST(Catalog, EqualStabilizerSplit)
+{
+    for (const std::string& name : catalog::names()) {
+        CssCode code = catalog::byName(name);
+        EXPECT_EQ(code.numXStabs(), code.numZStabs()) << name;
+        EXPECT_EQ(code.numStabs(),
+                  code.numXStabs() + code.numZStabs());
+    }
+}
+
+} // namespace
+} // namespace cyclone

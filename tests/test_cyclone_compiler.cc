@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests for the Cyclone compiler: the paper's structural guarantees
+ * (zero roadblocks, 2x steps, full coverage, bounded time) and the
+ * design-space behaviour of Section IV-A.
+ */
+
+#include <gtest/gtest.h>
+
+#include "compiler/cyclone_compiler.h"
+#include "core/explorer.h"
+#include "qec/classical_code.h"
+#include "qec/code_catalog.h"
+#include "qec/hgp_code.h"
+
+namespace cyclone {
+namespace {
+
+class CycloneOnCodes : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(CycloneOnCodes, ZeroRoadblocksAlways)
+{
+    CssCode code = catalog::byName(GetParam());
+    CycloneCompileResult r = compileCyclone(code);
+    EXPECT_EQ(r.trapRoadblocks, 0u);
+    EXPECT_EQ(r.junctionRoadblocks, 0u);
+    EXPECT_EQ(r.rebalances, 0u);
+}
+
+TEST_P(CycloneOnCodes, BaseFormStructure)
+{
+    CssCode code = catalog::byName(GetParam());
+    CycloneCompileResult r = compileCyclone(code);
+    const size_t expected =
+        std::max(code.numXStabs(), code.numZStabs());
+    EXPECT_EQ(r.ringTraps, expected);
+    EXPECT_EQ(r.numTraps, expected);
+    EXPECT_EQ(r.numJunctions, expected);
+    EXPECT_EQ(r.numAncilla, expected);
+    // Two rotations of x steps each.
+    EXPECT_EQ(r.stepDurationsUs.size(), 2 * expected);
+}
+
+TEST_P(CycloneOnCodes, FullGateCoverage)
+{
+    CssCode code = catalog::byName(GetParam());
+    CycloneCompileResult r = compileCyclone(code);
+    EXPECT_EQ(r.gateOps, code.hx().nnz() + code.hz().nnz());
+}
+
+TEST_P(CycloneOnCodes, AnalyticBoundHolds)
+{
+    CssCode code = catalog::byName(GetParam());
+    for (size_t x : {size_t(8), size_t(16), size_t(0)}) {
+        CycloneOptions opts;
+        opts.numTraps = x;
+        CycloneCompileResult r = compileCyclone(code, opts);
+        const double bound = cycloneAnalyticWorstCaseUs(code, opts);
+        EXPECT_LE(r.execTimeUs, bound * 1.0001)
+            << "x = " << x << " exec " << r.execTimeUs
+            << " bound " << bound;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, CycloneOnCodes,
+                         ::testing::Values("hgp225", "bb72", "bb90",
+                                           "bb144"));
+
+TEST(Cyclone, AncillaReuseHalvesAncillaCount)
+{
+    // Section IV: only max(|X|, |Z|) ancillas, not |X| + |Z|.
+    CssCode code = catalog::hgp225();
+    CycloneCompileResult r = compileCyclone(code);
+    EXPECT_EQ(r.numAncilla, code.numStabs() / 2);
+}
+
+TEST(Cyclone, StepTimesReflectStalls)
+{
+    // With unbalanced partitions some steps stall on the busiest
+    // trap (Fig. 12); step durations are not all equal.
+    CssCode code = catalog::hgp225();
+    CycloneOptions opts;
+    opts.numTraps = 10; // 225 data over 10 traps: uneven gates
+    CycloneCompileResult r = compileCyclone(code, opts);
+    double min_step = 1e300, max_step = 0.0;
+    for (double s : r.stepDurationsUs) {
+        min_step = std::min(min_step, s);
+        max_step = std::max(max_step, s);
+    }
+    EXPECT_GT(max_step, min_step);
+}
+
+TEST(Cyclone, SingleTrapHasNoShuttling)
+{
+    CssCode code = makeHgpCode(ClassicalCode::repetition(3), 3);
+    CycloneOptions opts;
+    opts.numTraps = 1;
+    CycloneCompileResult r = compileCyclone(code, opts);
+    EXPECT_EQ(r.shuttleOps, 0u);
+    EXPECT_EQ(r.swapOps, 0u);
+    EXPECT_EQ(r.numJunctions, 0u);
+    EXPECT_DOUBLE_EQ(r.serialized.shuttleUs, 0.0);
+    // Everything serializes in one huge chain: execution is the
+    // serialized gate+measure+prep time.
+    EXPECT_NEAR(r.execTimeUs, r.serialized.total(),
+                r.serialized.total() * 1e-9);
+}
+
+TEST(Cyclone, CapacityValidation)
+{
+    CssCode code = catalog::bb72();
+    CycloneOptions opts;
+    opts.numTraps = 6;
+    opts.capacity = 2; // far below occupancy
+    EXPECT_THROW(compileCyclone(code, opts), std::runtime_error);
+}
+
+TEST(Cyclone, ScaleActsLinearly)
+{
+    CssCode code = catalog::bb72();
+    CycloneOptions half;
+    half.durations.scale = 0.5;
+    CycloneCompileResult nominal = compileCyclone(code);
+    CycloneCompileResult scaled = compileCyclone(code, half);
+    EXPECT_NEAR(scaled.execTimeUs, nominal.execTimeUs * 0.5,
+                nominal.execTimeUs * 1e-6);
+}
+
+TEST(Cyclone, GateSwapBeatsIonSwapOnDenseTraps)
+{
+    // Fig. 21: Cyclone's fixed-direction rotation makes IonSwap pay
+    // the full chain crossing, so GateSwap wins.
+    CssCode code = catalog::hgp225();
+    CycloneOptions gate_swap;
+    gate_swap.swap = SwapKind::GateSwap;
+    CycloneOptions ion_swap;
+    ion_swap.swap = SwapKind::IonSwap;
+    CycloneCompileResult g = compileCyclone(code, gate_swap);
+    CycloneCompileResult i = compileCyclone(code, ion_swap);
+    EXPECT_LT(g.execTimeUs, i.execTimeUs);
+}
+
+TEST(Explorer, TightCapacityFormula)
+{
+    CssCode code = catalog::hgp225();
+    auto points = sweepCycloneTrapCounts(code, {9, 45, 64});
+    ASSERT_EQ(points.size(), 3u);
+    EXPECT_EQ(points[0].capacity, (225u + 8u) / 9u + 24u);
+    // x = 64: ceil(225/64) + ceil(216/64) = 4 + 4 = 8, the paper's
+    // "64 trap architecture with a capacity of 8 ions per trap".
+    EXPECT_EQ(points[2].traps, 64u);
+    EXPECT_EQ(points[2].capacity, 8u);
+}
+
+TEST(Explorer, DenseConfigsAreSlower)
+{
+    // Fig. 13 shape: very few traps (huge chains) are far slower
+    // than the mid/base range.
+    CssCode code = catalog::hgp225();
+    auto points = sweepCycloneTrapCounts(code, {1, 9, 64, 108});
+    EXPECT_GT(points[0].execTimeUs, 50.0 * points[2].execTimeUs);
+    EXPECT_GT(points[1].execTimeUs, points[2].execTimeUs);
+    const auto& best = bestDesignPoint(points);
+    EXPECT_GE(best.traps, 45u);
+}
+
+TEST(Explorer, AnalyticTracksConstructed)
+{
+    CssCode code = catalog::bb72();
+    auto points = sweepCycloneTrapCounts(code, {4, 12, 36});
+    for (const auto& p : points) {
+        EXPECT_GE(p.analyticUs, p.execTimeUs);
+        EXPECT_LT(p.analyticUs, p.execTimeUs * 20.0);
+    }
+}
+
+} // namespace
+} // namespace cyclone

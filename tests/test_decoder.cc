@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Tests for BP, OSD and the combined BP+OSD decoder.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "circuit/memory_circuit.h"
+#include "decoder/bposd_decoder.h"
+#include "decoder/exhaustive_decoder.h"
+#include "dem/dem_builder.h"
+#include "dem/dem_sampler.h"
+#include "qec/classical_code.h"
+#include "qec/hgp_code.h"
+#include "qec/schedule.h"
+
+namespace cyclone {
+namespace {
+
+/** Hand-built repetition-code DEM: chain of detectors. */
+DetectorErrorModel
+repetitionDem(size_t n, double p)
+{
+    // Data flips i: trigger detectors i-1 and i (boundary: one).
+    // Flip on the last qubit also flips the observable.
+    DetectorErrorModel dem;
+    dem.numDetectors = n - 1;
+    dem.numObservables = 1;
+    for (size_t i = 0; i < n; ++i) {
+        DemMechanism m;
+        m.probability = p;
+        if (i > 0)
+            m.detectors.push_back(static_cast<uint32_t>(i - 1));
+        if (i < n - 1)
+            m.detectors.push_back(static_cast<uint32_t>(i));
+        m.observables = i == n - 1 ? 1 : 0;
+        dem.mechanisms.push_back(std::move(m));
+    }
+    return dem;
+}
+
+DetectorErrorModel
+surface13Dem(double p, size_t rounds = 2)
+{
+    CssCode code = makeHgpCode(ClassicalCode::repetition(3), 3);
+    SyndromeSchedule sched = makeXThenZSchedule(code);
+    MemoryCircuitOptions opts;
+    opts.rounds = rounds;
+    opts.noise = NoiseModel::uniform(p);
+    Circuit circuit = buildZMemoryCircuit(code, sched, opts);
+    return buildDetectorErrorModel(circuit);
+}
+
+TEST(BpDecoder, TrivialSyndromeConvergesToZero)
+{
+    auto dem = repetitionDem(9, 0.05);
+    BpDecoder bp(dem);
+    BitVec syndrome(dem.numDetectors);
+    EXPECT_TRUE(bp.decode(syndrome));
+    for (uint8_t e : bp.hardDecision())
+        EXPECT_EQ(e, 0);
+    EXPECT_EQ(bp.lastIterations(), 0u);
+}
+
+TEST(BpDecoder, SingleFlipDecoded)
+{
+    auto dem = repetitionDem(9, 0.05);
+    BpDecoder bp(dem);
+    // Mechanism 3 fires: detectors 2 and 3.
+    BitVec syndrome(dem.numDetectors);
+    syndrome.set(2, true);
+    syndrome.set(3, true);
+    ASSERT_TRUE(bp.decode(syndrome));
+    const auto& hard = bp.hardDecision();
+    EXPECT_EQ(hard[3], 1);
+    size_t weight = 0;
+    for (uint8_t e : hard)
+        weight += e;
+    EXPECT_EQ(weight, 1u);
+}
+
+TEST(BpDecoder, BoundaryFlipDecoded)
+{
+    auto dem = repetitionDem(7, 0.02);
+    BpDecoder bp(dem);
+    BitVec syndrome(dem.numDetectors);
+    syndrome.set(0, true); // only mechanism 0 or a long chain explains
+    ASSERT_TRUE(bp.decode(syndrome));
+    EXPECT_EQ(bp.hardDecision()[0], 1);
+}
+
+TEST(BpDecoder, ProductSumVariantAlsoDecodes)
+{
+    auto dem = repetitionDem(9, 0.05);
+    BpOptions opts;
+    opts.variant = BpOptions::Variant::ProductSum;
+    BpDecoder bp(dem, opts);
+    BitVec syndrome(dem.numDetectors);
+    syndrome.set(4, true);
+    syndrome.set(5, true);
+    ASSERT_TRUE(bp.decode(syndrome));
+    EXPECT_EQ(bp.hardDecision()[5], 1);
+}
+
+TEST(OsdDecoder, SolvesEverySingleMechanismSyndrome)
+{
+    auto dem = surface13Dem(0.003);
+    OsdDecoder osd(dem);
+    // Uniform priors: pass prior LLRs as posteriors.
+    std::vector<double> llr(dem.mechanisms.size());
+    for (size_t v = 0; v < llr.size(); ++v) {
+        const double p = dem.mechanisms[v].probability;
+        llr[v] = std::log((1.0 - p) / p);
+    }
+    std::vector<uint8_t> errors;
+    for (size_t v = 0; v < dem.mechanisms.size(); v += 7) {
+        BitVec syndrome(dem.numDetectors);
+        for (uint32_t d : dem.mechanisms[v].detectors)
+            syndrome.flip(d);
+        ASSERT_TRUE(osd.decode(syndrome, llr, errors));
+        // Verify the correction reproduces the syndrome.
+        BitVec check(dem.numDetectors);
+        for (size_t e = 0; e < errors.size(); ++e) {
+            if (errors[e]) {
+                for (uint32_t d : dem.mechanisms[e].detectors)
+                    check.flip(d);
+            }
+        }
+        EXPECT_EQ(check, syndrome);
+    }
+    EXPECT_GT(osd.discoveredRank(), 0u);
+    EXPECT_LE(osd.discoveredRank(), dem.numDetectors);
+}
+
+TEST(BpOsd, CorrectsAllSingleMechanisms)
+{
+    // Distance-3 code, 2 rounds: every single fault must be decoded
+    // to the correct observable outcome.
+    auto dem = surface13Dem(0.003);
+    BpOsdDecoder decoder(dem);
+    size_t failures = 0;
+    for (size_t v = 0; v < dem.mechanisms.size(); ++v) {
+        BitVec syndrome(dem.numDetectors);
+        for (uint32_t d : dem.mechanisms[v].detectors)
+            syndrome.flip(d);
+        const uint64_t predicted = decoder.decode(syndrome);
+        if (predicted != dem.mechanisms[v].observables)
+            ++failures;
+    }
+    EXPECT_EQ(failures, 0u)
+        << failures << " of " << dem.mechanisms.size()
+        << " single faults misdecoded";
+}
+
+TEST(BpOsd, AgreesWithExhaustiveOnSmallModel)
+{
+    // A small hand model where ML decoding is enumerable.
+    DetectorErrorModel dem;
+    dem.numDetectors = 4;
+    dem.numObservables = 1;
+    dem.mechanisms.push_back({0.01, {0}, 0});
+    dem.mechanisms.push_back({0.01, {0, 1}, 1});
+    dem.mechanisms.push_back({0.02, {1, 2}, 0});
+    dem.mechanisms.push_back({0.01, {2, 3}, 1});
+    dem.mechanisms.push_back({0.015, {3}, 0});
+    dem.mechanisms.push_back({0.001, {0, 3}, 1});
+
+    BpOsdDecoder bposd(dem);
+    ExhaustiveDecoder exact(dem, 3);
+    Rng rng(23);
+    auto shots = sampleDem(dem, 300, rng);
+    size_t disagreements = 0;
+    for (size_t s = 0; s < shots.syndromes.size(); ++s) {
+        const uint64_t a = bposd.decode(shots.syndromes[s]);
+        const uint64_t b = exact.decode(shots.syndromes[s]);
+        if (a != b)
+            ++disagreements;
+    }
+    // BP+OSD is near-ML on such tiny models.
+    EXPECT_LE(disagreements, 6u);
+}
+
+TEST(BpOsd, StatsAreConsistent)
+{
+    auto dem = surface13Dem(0.01);
+    BpOsdDecoder decoder(dem);
+    Rng rng(31);
+    auto shots = sampleDem(dem, 100, rng);
+    for (const BitVec& s : shots.syndromes)
+        decoder.decode(s);
+    const BpOsdStats& st = decoder.stats();
+    EXPECT_EQ(st.decodes, 100u);
+    EXPECT_EQ(st.bpConverged + st.osdInvocations, 100u);
+    EXPECT_LE(st.osdFailures, st.osdInvocations);
+}
+
+TEST(Exhaustive, FindsExactMatch)
+{
+    DetectorErrorModel dem;
+    dem.numDetectors = 2;
+    dem.numObservables = 1;
+    dem.mechanisms.push_back({0.1, {0}, 1});
+    dem.mechanisms.push_back({0.1, {1}, 0});
+    ExhaustiveDecoder decoder(dem, 2);
+    BitVec syndrome(2);
+    syndrome.set(0, true);
+    EXPECT_EQ(decoder.decode(syndrome), 1u);
+    EXPECT_TRUE(decoder.lastDecodeMatched());
+    syndrome.set(1, true);
+    EXPECT_EQ(decoder.decode(syndrome), 1u);
+}
+
+} // namespace
+} // namespace cyclone

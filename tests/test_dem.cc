@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Tests for detector error model extraction and sampling.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "circuit/frame_simulator.h"
+#include "circuit/memory_circuit.h"
+#include "dem/dem_builder.h"
+#include "dem/dem_sampler.h"
+#include "qec/classical_code.h"
+#include "qec/hgp_code.h"
+#include "qec/schedule.h"
+
+namespace cyclone {
+namespace {
+
+CssCode
+surface13()
+{
+    return makeHgpCode(ClassicalCode::repetition(3), 3);
+}
+
+TEST(DemBuilder, SingleXErrorSingleMechanism)
+{
+    Circuit c(1);
+    c.xError(0, 0.125);
+    c.measureZ(0);
+    c.addDetector({0});
+    auto dem = buildDetectorErrorModel(c);
+    ASSERT_EQ(dem.mechanisms.size(), 1u);
+    EXPECT_DOUBLE_EQ(dem.mechanisms[0].probability, 0.125);
+    ASSERT_EQ(dem.mechanisms[0].detectors.size(), 1u);
+    EXPECT_EQ(dem.mechanisms[0].detectors[0], 0u);
+}
+
+TEST(DemBuilder, IdenticalMechanismsMerge)
+{
+    // Two X errors at the same spot merge with OR-combined
+    // probability p1 (1 - p2) + p2 (1 - p1).
+    Circuit c(1);
+    c.xError(0, 0.1);
+    c.xError(0, 0.2);
+    c.measureZ(0);
+    c.addDetector({0});
+    auto dem = buildDetectorErrorModel(c);
+    ASSERT_EQ(dem.mechanisms.size(), 1u);
+    EXPECT_NEAR(dem.mechanisms[0].probability,
+                0.1 * 0.8 + 0.2 * 0.9, 1e-12);
+}
+
+TEST(DemBuilder, InvisibleErrorsDropped)
+{
+    // A Z error before a Z measurement affects nothing.
+    Circuit c(1);
+    c.zError(0, 0.3);
+    c.measureZ(0);
+    c.addDetector({0});
+    auto dem = buildDetectorErrorModel(c);
+    EXPECT_TRUE(dem.mechanisms.empty());
+}
+
+TEST(DemBuilder, Depolarize1SplitsIntoVisibleComponents)
+{
+    // On a Z measurement, X and Y components are visible and have
+    // the same signature: they merge. Z is invisible.
+    Circuit c(1);
+    c.depolarize1(0, 0.3);
+    c.measureZ(0);
+    c.addDetector({0});
+    auto dem = buildDetectorErrorModel(c);
+    ASSERT_EQ(dem.mechanisms.size(), 1u);
+    const double p = 0.1; // each component
+    EXPECT_NEAR(dem.mechanisms[0].probability,
+                p * (1 - p) + p * (1 - p), 1e-12);
+}
+
+TEST(DemBuilder, ObservableTracking)
+{
+    Circuit c(2);
+    c.xError(0, 0.1);
+    c.measureZ(0);
+    c.measureZ(1);
+    c.addDetector({0});
+    c.addObservable(2, {0, 1});
+    auto dem = buildDetectorErrorModel(c);
+    ASSERT_EQ(dem.mechanisms.size(), 1u);
+    EXPECT_EQ(dem.mechanisms[0].observables, uint64_t(1) << 2);
+    EXPECT_EQ(dem.numObservables, 3u);
+}
+
+TEST(DemBuilder, MechanismSignaturesMatchFramePropagation)
+{
+    // Cross-validation: every XError/ZError mechanism's detector set
+    // must equal what single-fault frame propagation reports.
+    CssCode code = surface13();
+    SyndromeSchedule sched = makeXThenZSchedule(code);
+    // Probe circuit with preparation errors only: every noise site is
+    // a single X or Z flip whose signature we can check one by one.
+    MemoryCircuitOptions probe_opts;
+    probe_opts.rounds = 2;
+    probe_opts.noise = NoiseModel::uniform(0.0);
+    probe_opts.noise.prepError = 0.01;
+    Circuit probe = buildZMemoryCircuit(code, sched, probe_opts);
+
+    auto dem = buildDetectorErrorModel(probe);
+    FrameSimulator sim(probe);
+    // Every prep-error op: propagate its fault and find the matching
+    // mechanism (or confirm it is invisible).
+    size_t checked = 0;
+    for (size_t i = 0; i < probe.ops().size(); ++i) {
+        const Op& op = probe.ops()[i];
+        if (op.kind != OpKind::XError && op.kind != OpKind::ZError)
+            continue;
+        BitVec flips;
+        uint64_t obs = 0;
+        sim.propagateFault(i, op.targets[0],
+                           op.kind == OpKind::XError,
+                           op.kind == OpKind::ZError, flips, obs);
+        const auto positions = flips.onesPositions();
+        std::vector<uint32_t> dets(positions.begin(), positions.end());
+        if (dets.empty() && obs == 0)
+            continue; // invisible fault
+        bool found = false;
+        for (const DemMechanism& m : dem.mechanisms) {
+            if (m.observables == obs && m.detectors == dets) {
+                found = true;
+                break;
+            }
+        }
+        EXPECT_TRUE(found) << "op " << i << " signature missing";
+        ++checked;
+    }
+    EXPECT_GT(checked, 10u);
+}
+
+TEST(DemBuilder, ExpectedErrorsMatchesProbabilitySum)
+{
+    Circuit c(2);
+    c.xError(0, 0.1);
+    c.zError(1, 0.0); // skipped
+    c.measureZ(0);
+    c.measureZ(1);
+    c.addDetector({0});
+    c.addDetector({1});
+    auto dem = buildDetectorErrorModel(c);
+    EXPECT_NEAR(dem.expectedErrorsPerShot(), 0.1, 1e-12);
+}
+
+TEST(DemBuilder, Deterministic)
+{
+    CssCode code = surface13();
+    SyndromeSchedule sched = makeXThenZSchedule(code);
+    MemoryCircuitOptions opts;
+    opts.rounds = 2;
+    opts.noise = NoiseModel::uniform(0.01);
+    Circuit circuit = buildZMemoryCircuit(code, sched, opts);
+    auto a = buildDetectorErrorModel(circuit);
+    auto b = buildDetectorErrorModel(circuit);
+    ASSERT_EQ(a.mechanisms.size(), b.mechanisms.size());
+    EXPECT_NEAR(a.expectedErrorsPerShot(), b.expectedErrorsPerShot(),
+                1e-12);
+    for (size_t i = 0; i < a.mechanisms.size(); ++i) {
+        EXPECT_EQ(a.mechanisms[i].detectors,
+                  b.mechanisms[i].detectors);
+        EXPECT_EQ(a.mechanisms[i].observables,
+                  b.mechanisms[i].observables);
+    }
+}
+
+TEST(DemBuilder, LatencyChannelAddsMechanisms)
+{
+    CssCode code = surface13();
+    SyndromeSchedule sched = makeXThenZSchedule(code);
+    MemoryCircuitOptions quiet;
+    quiet.rounds = 2;
+    quiet.noise = NoiseModel::uniform(0.01);
+    MemoryCircuitOptions slow = quiet;
+    slow.noise = NoiseModel::withLatency(0.01, 200000.0);
+    auto dem_quiet =
+        buildDetectorErrorModel(buildZMemoryCircuit(code, sched, quiet));
+    auto dem_slow =
+        buildDetectorErrorModel(buildZMemoryCircuit(code, sched, slow));
+    EXPECT_GT(dem_slow.expectedErrorsPerShot(),
+              dem_quiet.expectedErrorsPerShot());
+}
+
+TEST(DemSampler, ZeroProbabilityNeverFires)
+{
+    DetectorErrorModel dem;
+    dem.numDetectors = 2;
+    dem.mechanisms.push_back({0.0, {0}, 0});
+    Rng rng(3);
+    auto shots = sampleDem(dem, 100, rng);
+    for (const BitVec& s : shots.syndromes)
+        EXPECT_TRUE(s.isZero());
+}
+
+TEST(DemSampler, CertainMechanismAlwaysFires)
+{
+    DetectorErrorModel dem;
+    dem.numDetectors = 2;
+    dem.numObservables = 1;
+    dem.mechanisms.push_back({1.0, {1}, 1});
+    Rng rng(3);
+    auto shots = sampleDem(dem, 50, rng);
+    for (size_t i = 0; i < 50; ++i) {
+        EXPECT_TRUE(shots.syndromes[i].get(1));
+        EXPECT_EQ(shots.observables[i], 1u);
+    }
+}
+
+TEST(DemSampler, FiringRateMatchesProbability)
+{
+    DetectorErrorModel dem;
+    dem.numDetectors = 1;
+    dem.mechanisms.push_back({0.3, {0}, 0});
+    Rng rng(5);
+    const size_t shots = 20000;
+    auto s = sampleDem(dem, shots, rng);
+    size_t fired = 0;
+    for (const BitVec& v : s.syndromes)
+        fired += v.get(0);
+    EXPECT_NEAR(static_cast<double>(fired) / shots, 0.3, 0.02);
+}
+
+TEST(DemSampler, MarginalsMatchFrameSimulator)
+{
+    // End-to-end: per-detector flip rates from the DEM sampler track
+    // the frame simulator on the same noisy circuit.
+    CssCode code = surface13();
+    SyndromeSchedule sched = makeXThenZSchedule(code);
+    MemoryCircuitOptions opts;
+    opts.rounds = 2;
+    opts.noise = NoiseModel::uniform(0.01);
+    Circuit circuit = buildZMemoryCircuit(code, sched, opts);
+
+    const size_t shots = 4000;
+    Rng rng_frame(7), rng_dem(9);
+    FrameSimulator sim(circuit);
+    auto frame_samples = sim.sample(shots, rng_frame);
+    auto dem = buildDetectorErrorModel(circuit);
+    auto dem_samples = sampleDem(dem, shots, rng_dem);
+
+    double total_frame = 0.0, total_dem = 0.0;
+    for (size_t s = 0; s < shots; ++s) {
+        total_frame += frame_samples.detectors[s].popcount();
+        total_dem += dem_samples.syndromes[s].popcount();
+    }
+    const double mean_frame = total_frame / shots;
+    const double mean_dem = total_dem / shots;
+    // Independent-mechanism decomposition differs from exact channel
+    // sampling at O(p^2); allow 10% plus statistical slack.
+    EXPECT_NEAR(mean_dem, mean_frame,
+                0.1 * mean_frame + 0.3);
+}
+
+} // namespace
+} // namespace cyclone

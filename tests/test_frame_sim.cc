@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests for Pauli-frame simulation and fault propagation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/frame_simulator.h"
+#include "circuit/memory_circuit.h"
+#include "qec/classical_code.h"
+#include "qec/code_catalog.h"
+#include "qec/hgp_code.h"
+#include "qec/schedule.h"
+
+namespace cyclone {
+namespace {
+
+CssCode
+surface13()
+{
+    return makeHgpCode(ClassicalCode::repetition(3), 3);
+}
+
+TEST(FrameSim, XErrorFlipsZMeasurement)
+{
+    Circuit c(1);
+    c.xError(0, 1.0); // deterministic flip
+    c.measureZ(0);
+    c.addDetector({0});
+    FrameSimulator sim(c);
+    Rng rng(1);
+    auto s = sim.sample(10, rng);
+    for (const BitVec& d : s.detectors)
+        EXPECT_TRUE(d.get(0));
+}
+
+TEST(FrameSim, ZErrorInvisibleToZMeasurement)
+{
+    Circuit c(1);
+    c.zError(0, 1.0);
+    c.measureZ(0);
+    c.addDetector({0});
+    FrameSimulator sim(c);
+    Rng rng(1);
+    auto s = sim.sample(10, rng);
+    for (const BitVec& d : s.detectors)
+        EXPECT_FALSE(d.get(0));
+}
+
+TEST(FrameSim, ZErrorFlipsXMeasurement)
+{
+    Circuit c(1);
+    c.resetX(0);
+    c.zError(0, 1.0);
+    c.measureX(0);
+    c.addDetector({0});
+    FrameSimulator sim(c);
+    Rng rng(1);
+    auto s = sim.sample(5, rng);
+    for (const BitVec& d : s.detectors)
+        EXPECT_TRUE(d.get(0));
+}
+
+TEST(FrameSim, CxPropagatesXForward)
+{
+    // X on control before CX flips both qubits' Z measurements.
+    Circuit c(2);
+    c.xError(0, 1.0);
+    c.cx(0, 1);
+    c.measureZ(0);
+    c.measureZ(1);
+    c.addDetector({0});
+    c.addDetector({1});
+    FrameSimulator sim(c);
+    Rng rng(1);
+    auto s = sim.sample(3, rng);
+    for (const BitVec& d : s.detectors) {
+        EXPECT_TRUE(d.get(0));
+        EXPECT_TRUE(d.get(1));
+    }
+}
+
+TEST(FrameSim, CxPropagatesZBackward)
+{
+    // Z on target before CX propagates to the control (visible via
+    // X-basis measurement on the control).
+    Circuit c(2);
+    c.resetX(0);
+    c.resetZ(1);
+    c.zError(1, 1.0);
+    c.cx(0, 1);
+    c.measureX(0);
+    c.addDetector({0});
+    FrameSimulator sim(c);
+    Rng rng(1);
+    auto s = sim.sample(3, rng);
+    for (const BitVec& d : s.detectors)
+        EXPECT_TRUE(d.get(0));
+}
+
+TEST(FrameSim, ResetClearsFrame)
+{
+    Circuit c(1);
+    c.xError(0, 1.0);
+    c.resetZ(0);
+    c.measureZ(0);
+    c.addDetector({0});
+    FrameSimulator sim(c);
+    Rng rng(1);
+    auto s = sim.sample(3, rng);
+    for (const BitVec& d : s.detectors)
+        EXPECT_FALSE(d.get(0));
+}
+
+TEST(FrameSim, ObservableParity)
+{
+    Circuit c(2);
+    c.xError(0, 1.0);
+    c.xError(1, 1.0);
+    c.measureZ(0);
+    c.measureZ(1);
+    c.addObservable(0, {0, 1}); // both flip: parity 0
+    c.addObservable(1, {0});    // single flip: parity 1
+    FrameSimulator sim(c);
+    Rng rng(1);
+    auto s = sim.sample(3, rng);
+    for (uint64_t obs : s.observables)
+        EXPECT_EQ(obs, 2u); // only observable 1 set
+}
+
+class NoiselessMemory : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(NoiselessMemory, AllDetectorsDeterministic)
+{
+    CssCode code = catalog::byName(GetParam());
+    SyndromeSchedule sched = makeXThenZSchedule(code);
+    MemoryCircuitOptions opts;
+    opts.rounds = 3;
+    opts.noise = NoiseModel::uniform(0.0);
+    Circuit circuit = buildZMemoryCircuit(code, sched, opts);
+    FrameSimulator sim(circuit);
+    Rng rng(11);
+    auto s = sim.sample(8, rng);
+    for (const BitVec& d : s.detectors)
+        EXPECT_TRUE(d.isZero());
+    for (uint64_t obs : s.observables)
+        EXPECT_EQ(obs, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, NoiselessMemory,
+                         ::testing::Values("hgp225", "bb72", "bb90"));
+
+TEST(FrameSim, PropagateFaultMatchesSampling)
+{
+    // Injecting a deterministic fault via propagateFault must match
+    // running the circuit with that single error at p = 1.
+    CssCode code = surface13();
+    SyndromeSchedule sched = makeXThenZSchedule(code);
+    MemoryCircuitOptions opts;
+    opts.rounds = 2;
+    opts.noise = NoiseModel::uniform(0.0);
+    Circuit clean = buildZMemoryCircuit(code, sched, opts);
+
+    // Find the first CX and inject an X fault on its target.
+    size_t cx_index = SIZE_MAX;
+    for (size_t i = 0; i < clean.ops().size(); ++i) {
+        if (clean.ops()[i].kind == OpKind::Cx) {
+            cx_index = i;
+            break;
+        }
+    }
+    ASSERT_NE(cx_index, SIZE_MAX);
+    const uint32_t victim = clean.ops()[cx_index].targets[1];
+
+    FrameSimulator sim(clean);
+    BitVec det_flips;
+    uint64_t obs_mask = 0;
+    sim.propagateFault(cx_index, victim, true, false, det_flips,
+                       obs_mask);
+    // A data X fault in round 1 must flip at least one detector
+    // (the code detects single faults).
+    EXPECT_GT(det_flips.popcount(), 0u);
+}
+
+TEST(FrameSim, MemoryCircuitDetectorCounts)
+{
+    CssCode code = surface13();
+    SyndromeSchedule sched = makeXThenZSchedule(code);
+    MemoryCircuitOptions opts;
+    opts.rounds = 4;
+    opts.noise = NoiseModel::uniform(0.0);
+    Circuit circuit = buildZMemoryCircuit(code, sched, opts);
+    const size_t mx = code.numXStabs();
+    const size_t mz = code.numZStabs();
+    // Z detectors: rounds + final; X detectors: rounds - 1.
+    EXPECT_EQ(circuit.numDetectors(),
+              mz * (4 + 1) + mx * (4 - 1));
+    EXPECT_EQ(circuit.numObservables(), code.numLogical());
+    // Measurements: per round mx + mz, plus final data readout.
+    EXPECT_EQ(circuit.numMeasurements(),
+              4 * (mx + mz) + code.numQubits());
+}
+
+} // namespace
+} // namespace cyclone

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Unit and property tests for GF(2) linear algebra.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/gf2.h"
+#include "common/rng.h"
+
+namespace cyclone {
+namespace {
+
+GF2Matrix
+randomMatrix(size_t rows, size_t cols, double density, uint64_t seed)
+{
+    Rng rng(seed);
+    GF2Matrix m(rows, cols);
+    for (size_t r = 0; r < rows; ++r) {
+        for (size_t c = 0; c < cols; ++c)
+            m.set(r, c, rng.bernoulli(density));
+    }
+    return m;
+}
+
+TEST(GF2Matrix, IdentityProperties)
+{
+    GF2Matrix id = GF2Matrix::identity(8);
+    EXPECT_EQ(id.rank(), 8u);
+    EXPECT_TRUE(id.nullspaceBasis().empty());
+    GF2Matrix a = randomMatrix(8, 8, 0.4, 3);
+    EXPECT_EQ(id.multiply(a), a);
+    EXPECT_EQ(a.multiply(id), a);
+}
+
+TEST(GF2Matrix, FromRows)
+{
+    GF2Matrix m = GF2Matrix::fromRows({{1, 0, 1}, {0, 1, 1}}, 3);
+    EXPECT_TRUE(m.get(0, 0));
+    EXPECT_FALSE(m.get(0, 1));
+    EXPECT_TRUE(m.get(1, 2));
+    EXPECT_EQ(m.rank(), 2u);
+}
+
+TEST(GF2Matrix, TransposeInvolution)
+{
+    GF2Matrix a = randomMatrix(7, 12, 0.3, 11);
+    EXPECT_EQ(a.transposed().transposed(), a);
+}
+
+TEST(GF2Matrix, TransposeSwapsIndices)
+{
+    GF2Matrix a = randomMatrix(5, 9, 0.4, 13);
+    GF2Matrix t = a.transposed();
+    for (size_t r = 0; r < 5; ++r) {
+        for (size_t c = 0; c < 9; ++c)
+            EXPECT_EQ(a.get(r, c), t.get(c, r));
+    }
+}
+
+TEST(GF2Matrix, MultiplyAssociative)
+{
+    GF2Matrix a = randomMatrix(4, 6, 0.5, 17);
+    GF2Matrix b = randomMatrix(6, 5, 0.5, 19);
+    GF2Matrix c = randomMatrix(5, 3, 0.5, 23);
+    EXPECT_EQ(a.multiply(b).multiply(c), a.multiply(b.multiply(c)));
+}
+
+TEST(GF2Matrix, MultiplyVectorMatchesMatrix)
+{
+    GF2Matrix a = randomMatrix(6, 9, 0.4, 29);
+    Rng rng(31);
+    BitVec x(9);
+    for (size_t i = 0; i < 9; ++i)
+        x.set(i, rng.bernoulli(0.5));
+    BitVec y = a.multiply(x);
+    for (size_t r = 0; r < 6; ++r)
+        EXPECT_EQ(y.get(r), a.row(r).dotParity(x));
+}
+
+TEST(GF2Matrix, KronDimensions)
+{
+    GF2Matrix a = randomMatrix(2, 3, 0.6, 37);
+    GF2Matrix b = randomMatrix(4, 5, 0.6, 41);
+    GF2Matrix k = a.kron(b);
+    EXPECT_EQ(k.rows(), 8u);
+    EXPECT_EQ(k.cols(), 15u);
+}
+
+TEST(GF2Matrix, KronMixedProduct)
+{
+    // (A kron B)(C kron D) == AC kron BD
+    GF2Matrix a = randomMatrix(2, 3, 0.5, 43);
+    GF2Matrix b = randomMatrix(2, 2, 0.5, 47);
+    GF2Matrix c = randomMatrix(3, 2, 0.5, 53);
+    GF2Matrix d = randomMatrix(2, 3, 0.5, 59);
+    GF2Matrix lhs = a.kron(b).multiply(c.kron(d));
+    GF2Matrix rhs = a.multiply(c).kron(b.multiply(d));
+    EXPECT_EQ(lhs, rhs);
+}
+
+TEST(GF2Matrix, KronWithIdentityEntries)
+{
+    GF2Matrix a = randomMatrix(3, 3, 0.5, 61);
+    GF2Matrix k = a.kron(GF2Matrix::identity(2));
+    for (size_t r = 0; r < 3; ++r) {
+        for (size_t c = 0; c < 3; ++c) {
+            EXPECT_EQ(k.get(2 * r, 2 * c), a.get(r, c));
+            EXPECT_EQ(k.get(2 * r + 1, 2 * c + 1), a.get(r, c));
+            EXPECT_FALSE(k.get(2 * r, 2 * c + 1));
+        }
+    }
+}
+
+TEST(GF2Matrix, HstackVstack)
+{
+    GF2Matrix a = randomMatrix(3, 4, 0.5, 67);
+    GF2Matrix b = randomMatrix(3, 2, 0.5, 71);
+    GF2Matrix h = a.hstack(b);
+    EXPECT_EQ(h.rows(), 3u);
+    EXPECT_EQ(h.cols(), 6u);
+    EXPECT_EQ(h.get(1, 4), b.get(1, 0));
+
+    GF2Matrix c = randomMatrix(2, 4, 0.5, 73);
+    GF2Matrix v = a.vstack(c);
+    EXPECT_EQ(v.rows(), 5u);
+    EXPECT_EQ(v.get(4, 2), c.get(1, 2));
+}
+
+TEST(GF2Matrix, RankBounds)
+{
+    GF2Matrix a = randomMatrix(6, 10, 0.5, 79);
+    EXPECT_LE(a.rank(), 6u);
+    GF2Matrix zero(4, 4);
+    EXPECT_EQ(zero.rank(), 0u);
+    EXPECT_TRUE(zero.isZero());
+}
+
+TEST(GF2Matrix, RankOfDuplicatedRows)
+{
+    GF2Matrix a(4, 5);
+    a.set(0, 1, true);
+    a.set(0, 3, true);
+    a.row(1) = a.row(0);
+    a.set(2, 0, true);
+    a.row(3) = a.row(0) ^ a.row(2);
+    EXPECT_EQ(a.rank(), 2u);
+}
+
+class NullspaceSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, uint64_t>>
+{};
+
+TEST_P(NullspaceSweep, BasisVectorsAreInKernel)
+{
+    auto [rows, cols, seed] = GetParam();
+    GF2Matrix a = randomMatrix(rows, cols, 0.45, seed);
+    auto basis = a.nullspaceBasis();
+    EXPECT_EQ(basis.size(), cols - a.rank());
+    for (const BitVec& v : basis) {
+        EXPECT_TRUE(a.multiply(v).isZero());
+        EXPECT_FALSE(v.isZero());
+    }
+    // Basis must be linearly independent: stacking it has full rank.
+    GF2Matrix stack(0, cols);
+    for (const BitVec& v : basis)
+        stack.appendRow(v);
+    EXPECT_EQ(stack.rank(), basis.size());
+}
+
+TEST_P(NullspaceSweep, SolveConsistentSystems)
+{
+    auto [rows, cols, seed] = GetParam();
+    GF2Matrix a = randomMatrix(rows, cols, 0.45, seed + 1000);
+    Rng rng(seed + 5);
+    BitVec x0(cols);
+    for (size_t i = 0; i < cols; ++i)
+        x0.set(i, rng.bernoulli(0.5));
+    BitVec b = a.multiply(x0);
+    BitVec x;
+    ASSERT_TRUE(a.solve(b, x));
+    EXPECT_EQ(a.multiply(x), b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NullspaceSweep,
+    ::testing::Values(std::make_tuple(4, 8, 1u),
+                      std::make_tuple(8, 8, 2u),
+                      std::make_tuple(12, 20, 3u),
+                      std::make_tuple(20, 12, 4u),
+                      std::make_tuple(30, 65, 5u),
+                      std::make_tuple(64, 64, 6u),
+                      std::make_tuple(65, 130, 7u)));
+
+TEST(GF2Matrix, SolveDetectsInconsistent)
+{
+    // x0 + x1 = 0, x0 + x1 = 1 is inconsistent.
+    GF2Matrix a = GF2Matrix::fromRows({{1, 1}, {1, 1}}, 2);
+    BitVec b(2);
+    b.set(1, true);
+    BitVec x;
+    EXPECT_FALSE(a.solve(b, x));
+}
+
+TEST(SparseGF2, DenseRoundTrip)
+{
+    GF2Matrix a = randomMatrix(9, 14, 0.3, 83);
+    EXPECT_EQ(a.toSparse().toDense(), a);
+}
+
+TEST(SparseGF2, MultiplyMatchesDense)
+{
+    GF2Matrix a = randomMatrix(11, 17, 0.3, 89);
+    SparseGF2 s = a.toSparse();
+    Rng rng(97);
+    BitVec x(17);
+    for (size_t i = 0; i < 17; ++i)
+        x.set(i, rng.bernoulli(0.5));
+    EXPECT_EQ(s.multiply(x), a.multiply(x));
+}
+
+TEST(SparseGF2, TransposeMatchesDense)
+{
+    GF2Matrix a = randomMatrix(6, 9, 0.4, 101);
+    EXPECT_EQ(a.toSparse().transposed().toDense(), a.transposed());
+}
+
+TEST(SparseGF2, WeightsAndSupports)
+{
+    SparseGF2 s(3, 6);
+    s.setRowSupport(0, {5, 1, 1, 3}); // dedup + sort
+    s.setRowSupport(1, {0});
+    EXPECT_EQ(s.rowSupport(0).size(), 3u);
+    EXPECT_EQ(s.rowSupport(0)[0], 1u);
+    EXPECT_EQ(s.nnz(), 4u);
+    EXPECT_EQ(s.maxRowWeight(), 3u);
+    EXPECT_EQ(s.maxColWeight(), 1u);
+    auto cols = s.colSupports();
+    EXPECT_EQ(cols[1].size(), 1u);
+    EXPECT_TRUE(cols[2].empty());
+}
+
+} // namespace
+} // namespace cyclone

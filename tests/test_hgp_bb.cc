@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Construction tests for hypergraph product and bivariate bicycle
+ * codes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "qec/bb_code.h"
+#include "qec/classical_code.h"
+#include "qec/hgp_code.h"
+
+namespace cyclone {
+namespace {
+
+class HgpRepetition : public ::testing::TestWithParam<size_t>
+{};
+
+TEST_P(HgpRepetition, SurfaceCodeParameters)
+{
+    // HGP of two distance-L repetition codes is the [[L^2 + (L-1)^2,
+    // 1, L]] (rotated-boundary) surface code.
+    const size_t len = GetParam();
+    CssCode code = makeHgpCode(ClassicalCode::repetition(len),
+                               static_cast<size_t>(len));
+    EXPECT_EQ(code.numQubits(), len * len + (len - 1) * (len - 1));
+    EXPECT_EQ(code.numLogical(), 1u);
+    EXPECT_EQ(code.numXStabs(), (len - 1) * len);
+    EXPECT_EQ(code.numZStabs(), len * (len - 1));
+    // Surface-code stabilizers have weight <= 4 when built from
+    // weight-2 checks.
+    EXPECT_LE(code.maxXWeight(), 4u);
+    EXPECT_LE(code.maxZWeight(), 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HgpRepetition,
+                         ::testing::Values(2, 3, 4, 5, 7));
+
+TEST(Hgp, HammingProductParameters)
+{
+    // HGP(Hamming(3)) = [[7*7 + 3*3, 16, 3]] = [[58, 16, 3]].
+    CssCode code = makeHgpCode(ClassicalCode::hamming(3), 3);
+    EXPECT_EQ(code.numQubits(), 58u);
+    EXPECT_EQ(code.numLogical(), 16u);
+}
+
+TEST(Hgp, AsymmetricProduct)
+{
+    // k = k1 * k2 for full-rank seeds.
+    ClassicalCode c1 = ClassicalCode::repetition(3); // k = 1
+    ClassicalCode c2 = ClassicalCode::hamming(3);    // k = 4
+    CssCode code = makeHgpCode(c1, c2);
+    EXPECT_EQ(code.numQubits(), 3u * 7u + 2u * 3u);
+    EXPECT_EQ(code.numLogical(), 4u);
+}
+
+TEST(Hgp, StabilizerWeightIsRowPlusColWeight)
+{
+    // X stabilizer weight = (row weight of H1) + (column weight of
+    // H2): for repetition codes that is 2 + <=2.
+    CssCode code = makeHgpCode(ClassicalCode::repetition(4), 4);
+    EXPECT_LE(code.maxXWeight(), 4u);
+    EXPECT_GE(code.maxXWeight(), 3u);
+}
+
+TEST(Bb, MinimalToric)
+{
+    // A = x + 1, B = y + 1 over l = m = 2 gives the [[8, 2, 2]]-ish
+    // toric-like code; verify n and CSS structure hold.
+    CssCode code = makeBbCode(2, 2, {{1, 0}, {0, 0}},
+                              {{0, 1}, {0, 0}}, 2);
+    EXPECT_EQ(code.numQubits(), 8u);
+    EXPECT_EQ(code.numXStabs(), 4u);
+    EXPECT_EQ(code.numZStabs(), 4u);
+}
+
+TEST(Bb, RepeatedMonomialsCancel)
+{
+    // A polynomial with a duplicated monomial cancels mod 2, leaving
+    // a weight-1 row from the remaining term.
+    CssCode code = makeBbCode(3, 3, {{1, 0}, {1, 0}, {0, 1}},
+                              {{0, 1}, {0, 1}, {1, 0}});
+    EXPECT_EQ(code.maxXWeight(), 2u);
+}
+
+TEST(Bb, NameGeneration)
+{
+    CssCode code = makeBbCode(6, 6, {{3, 0}, {0, 1}, {0, 2}},
+                              {{0, 3}, {1, 0}, {2, 0}});
+    EXPECT_NE(code.name().find("BB(l=6,m=6"), std::string::npos);
+    EXPECT_NE(code.name().find("x^3+y+y^2"), std::string::npos);
+}
+
+struct BbSpec
+{
+    size_t l, m;
+    std::vector<BbMonomial> a, b;
+    size_t n, k;
+};
+
+class BbPublished : public ::testing::TestWithParam<BbSpec>
+{};
+
+TEST_P(BbPublished, PublishedParameters)
+{
+    const BbSpec& spec = GetParam();
+    CssCode code = makeBbCode(spec.l, spec.m, spec.a, spec.b);
+    EXPECT_EQ(code.numQubits(), spec.n);
+    EXPECT_EQ(code.numLogical(), spec.k);
+    EXPECT_EQ(code.numXStabs(), spec.n / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Bravyi2024, BbPublished,
+    ::testing::Values(
+        BbSpec{6, 6, {{3, 0}, {0, 1}, {0, 2}},
+               {{0, 3}, {1, 0}, {2, 0}}, 72, 12},
+        BbSpec{15, 3, {{9, 0}, {0, 1}, {0, 2}},
+               {{0, 0}, {2, 0}, {7, 0}}, 90, 8},
+        BbSpec{9, 6, {{3, 0}, {0, 1}, {0, 2}},
+               {{0, 3}, {1, 0}, {2, 0}}, 108, 8},
+        BbSpec{12, 6, {{3, 0}, {0, 1}, {0, 2}},
+               {{0, 3}, {1, 0}, {2, 0}}, 144, 12},
+        BbSpec{12, 12, {{3, 0}, {0, 2}, {0, 7}},
+               {{0, 3}, {1, 0}, {2, 0}}, 288, 12}));
+
+class BbRandomPolynomials : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(BbRandomPolynomials, CssConditionAlwaysHolds)
+{
+    // Any polynomial pair yields commuting checks because A and B are
+    // elements of a commutative group algebra; the constructor throws
+    // if the CSS condition fails, so construction itself is the test.
+    Rng rng(GetParam());
+    const size_t l = 2 + rng.below(7);
+    const size_t m = 2 + rng.below(7);
+    const size_t terms = 1 + rng.below(4);
+    std::vector<BbMonomial> a, b;
+    for (size_t t = 0; t < terms; ++t) {
+        a.push_back({rng.below(l), rng.below(m)});
+        b.push_back({rng.below(l), rng.below(m)});
+    }
+    CssCode code = makeBbCode(l, m, a, b);
+    EXPECT_EQ(code.numQubits(), 2 * l * m);
+    EXPECT_EQ(code.numXStabs(), l * m);
+    EXPECT_LE(code.maxXWeight(), 2 * terms);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BbRandomPolynomials,
+                         ::testing::Range(uint64_t(1), uint64_t(25)));
+
+class HgpRandomSeeds : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(HgpRandomSeeds, ParameterFormulaHolds)
+{
+    // k = k1 * k2 for full-rank seeds; n = n1*n2 + m1*m2 always.
+    Rng rng(GetParam());
+    const size_t n1 = 6 + rng.below(6);
+    const size_t m1 = n1 - 2 - rng.below(2);
+    GF2Matrix h(m1, n1);
+    for (size_t r = 0; r < m1; ++r) {
+        for (size_t c = 0; c < n1; ++c)
+            h.set(r, c, rng.bernoulli(0.5));
+    }
+    if (h.rank() != m1)
+        GTEST_SKIP() << "seed draw not full rank";
+    ClassicalCode seed(h, "rand");
+    CssCode code = makeHgpCode(seed, seed);
+    EXPECT_EQ(code.numQubits(), n1 * n1 + m1 * m1);
+    EXPECT_EQ(code.numLogical(),
+              seed.dimension() * seed.dimension());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HgpRandomSeeds,
+                         ::testing::Range(uint64_t(1), uint64_t(20)));
+
+} // namespace
+} // namespace cyclone

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the Section IV-C loop-cut analysis: HGP and BB codes do
+ * not permit independent loops, while disjoint block codes do.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/loops.h"
+#include "qec/classical_code.h"
+#include "qec/code_catalog.h"
+#include "qec/hgp_code.h"
+
+namespace cyclone {
+namespace {
+
+/** Block-diagonal union of two copies of a code (disjoint blocks). */
+CssCode
+doubleCode(const CssCode& base)
+{
+    const size_t n = base.numQubits();
+    SparseGF2 hx(2 * base.numXStabs(), 2 * n);
+    SparseGF2 hz(2 * base.numZStabs(), 2 * n);
+    for (size_t r = 0; r < base.numXStabs(); ++r) {
+        hx.setRowSupport(r, base.hx().rowSupport(r));
+        std::vector<size_t> shifted;
+        for (size_t q : base.hx().rowSupport(r))
+            shifted.push_back(q + n);
+        hx.setRowSupport(base.numXStabs() + r, shifted);
+    }
+    for (size_t r = 0; r < base.numZStabs(); ++r) {
+        hz.setRowSupport(r, base.hz().rowSupport(r));
+        std::vector<size_t> shifted;
+        for (size_t q : base.hz().rowSupport(r))
+            shifted.push_back(q + n);
+        hz.setRowSupport(base.numZStabs() + r, shifted);
+    }
+    return CssCode(hx, hz, "double(" + base.name() + ")",
+                   base.nominalDistance());
+}
+
+TEST(LoopCut, PartitionIsCompleteAndBalanced)
+{
+    CssCode code = catalog::bb72();
+    LoopCutAnalysis cut = analyzeLoopCut(code);
+    EXPECT_EQ(cut.loopA.size() + cut.loopB.size(), code.numStabs());
+    // Balance within the greedy tolerance.
+    const size_t diff = cut.loopA.size() > cut.loopB.size()
+        ? cut.loopA.size() - cut.loopB.size()
+        : cut.loopB.size() - cut.loopA.size();
+    EXPECT_LE(diff, code.numStabs() / 4);
+    EXPECT_EQ(cut.dataInA + cut.dataInB, code.numQubits());
+}
+
+class LoopCutOnCodes : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(LoopCutOnCodes, NonTopologicalCodesDoNotCut)
+{
+    // Section IV-C: "neither HGP nor BB codes permit such cuts due to
+    // their long-range and non-local connections."
+    CssCode code = catalog::byName(GetParam());
+    LoopCutAnalysis cut = analyzeLoopCut(code);
+    EXPECT_GT(cut.crossingFraction, 0.2)
+        << code.name() << " unexpectedly separable";
+}
+
+TEST_P(LoopCutOnCodes, TwoLoopSplitLoses)
+{
+    CssCode code = catalog::byName(GetParam());
+    TwoLoopEstimate est = estimateTwoLoopCyclone(code);
+    EXPECT_GT(est.twoLoopUs, est.singleLoopUs)
+        << "two-loop split should not pay off for " << code.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, LoopCutOnCodes,
+                         ::testing::Values("hgp225", "bb72", "bb90",
+                                           "bb108", "bb144"));
+
+TEST(LoopCut, DisjointBlocksCutCleanly)
+{
+    CssCode base = makeHgpCode(ClassicalCode::repetition(3), 3);
+    CssCode blocks = doubleCode(base);
+    LoopCutAnalysis cut = analyzeLoopCut(blocks);
+    EXPECT_EQ(cut.crossingStabs, 0u);
+    EXPECT_DOUBLE_EQ(cut.crossingFraction, 0.0);
+
+    TwoLoopEstimate est = estimateTwoLoopCyclone(blocks);
+    EXPECT_LT(est.twoLoopUs, est.singleLoopUs);
+}
+
+TEST(LoopCut, DisjointPartitionSeparatesBlocks)
+{
+    CssCode base = makeHgpCode(ClassicalCode::repetition(3), 3);
+    CssCode blocks = doubleCode(base);
+    LoopCutAnalysis cut = analyzeLoopCut(blocks);
+    // Every stabilizer of one block must land in one loop.
+    const size_t per_block = base.numStabs();
+    auto block_of = [&](size_t global) {
+        // X stabs [0, mx) block 0, [mx, 2mx) block 1, then Z likewise.
+        const size_t mx2 = 2 * base.numXStabs();
+        if (global < mx2)
+            return global < base.numXStabs() ? 0 : 1;
+        return (global - mx2) < base.numZStabs() ? 0 : 1;
+    };
+    (void)per_block;
+    for (auto* loop : {&cut.loopA, &cut.loopB}) {
+        if (loop->empty())
+            continue;
+        const int first = block_of((*loop)[0]);
+        for (size_t g : *loop)
+            EXPECT_EQ(block_of(g), first);
+    }
+}
+
+} // namespace
+} // namespace cyclone

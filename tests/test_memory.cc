@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Integration tests for the Monte-Carlo memory experiment runner.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memory/memory_experiment.h"
+#include "qec/classical_code.h"
+#include "qec/code_catalog.h"
+#include "qec/hgp_code.h"
+#include "qec/schedule.h"
+
+namespace cyclone {
+namespace {
+
+CssCode
+surface13()
+{
+    return makeHgpCode(ClassicalCode::repetition(3), 3);
+}
+
+TEST(MemoryExperiment, NoNoiseNoFailures)
+{
+    CssCode code = surface13();
+    SyndromeSchedule sched = makeXThenZSchedule(code);
+    MemoryExperimentConfig cfg;
+    cfg.shots = 50;
+    cfg.physicalError = 0.0;
+    cfg.rounds = 3;
+    auto result = runZMemoryExperiment(code, sched, cfg);
+    EXPECT_EQ(result.logicalErrorRate.successes, 0u);
+    EXPECT_EQ(result.logicalErrorRate.trials, 50u);
+    EXPECT_EQ(result.decoder.decodes, 50u);
+}
+
+TEST(MemoryExperiment, LerIncreasesWithPhysicalError)
+{
+    CssCode code = surface13();
+    SyndromeSchedule sched = makeXThenZSchedule(code);
+    double previous = -1.0;
+    for (double p : {0.002, 0.02, 0.08}) {
+        MemoryExperimentConfig cfg;
+        cfg.shots = 600;
+        cfg.physicalError = p;
+        cfg.rounds = 3;
+        cfg.seed = 77;
+        auto result = runZMemoryExperiment(code, sched, cfg);
+        EXPECT_GE(result.logicalErrorRate.rate, previous)
+            << "LER not monotone at p = " << p;
+        previous = result.logicalErrorRate.rate;
+    }
+    EXPECT_GT(previous, 0.0);
+}
+
+TEST(MemoryExperiment, LatencyRaisesLer)
+{
+    CssCode code = surface13();
+    SyndromeSchedule sched = makeXThenZSchedule(code);
+    MemoryExperimentConfig fast;
+    fast.shots = 800;
+    fast.physicalError = 2e-3;
+    fast.rounds = 3;
+    fast.seed = 99;
+    MemoryExperimentConfig slow = fast;
+    slow.roundLatencyUs = 400000.0; // 0.4 s per round
+    auto fast_result = runZMemoryExperiment(code, sched, fast);
+    auto slow_result = runZMemoryExperiment(code, sched, slow);
+    EXPECT_GT(slow_result.logicalErrorRate.rate,
+              fast_result.logicalErrorRate.rate);
+}
+
+TEST(MemoryExperiment, DefaultsRoundsToDistance)
+{
+    CssCode code = surface13();
+    SyndromeSchedule sched = makeXThenZSchedule(code);
+    MemoryExperimentConfig cfg;
+    cfg.shots = 10;
+    cfg.physicalError = 1e-3;
+    auto result = runZMemoryExperiment(code, sched, cfg);
+    EXPECT_EQ(result.rounds, 3u);
+}
+
+TEST(MemoryExperiment, PerRoundRateBelowPerShot)
+{
+    CssCode code = surface13();
+    SyndromeSchedule sched = makeXThenZSchedule(code);
+    MemoryExperimentConfig cfg;
+    cfg.shots = 500;
+    cfg.physicalError = 0.03;
+    cfg.rounds = 4;
+    cfg.seed = 13;
+    auto result = runZMemoryExperiment(code, sched, cfg);
+    EXPECT_GT(result.logicalErrorRate.rate, 0.0);
+    EXPECT_LT(result.perRoundErrorRate,
+              result.logicalErrorRate.rate + 1e-12);
+}
+
+TEST(MemoryExperiment, DeterministicWithSeed)
+{
+    CssCode code = surface13();
+    SyndromeSchedule sched = makeXThenZSchedule(code);
+    MemoryExperimentConfig cfg;
+    cfg.shots = 200;
+    cfg.physicalError = 0.02;
+    cfg.rounds = 2;
+    cfg.seed = 4242;
+    cfg.threads = 2;
+    auto a = runZMemoryExperiment(code, sched, cfg);
+    auto b = runZMemoryExperiment(code, sched, cfg);
+    EXPECT_EQ(a.logicalErrorRate.successes,
+              b.logicalErrorRate.successes);
+}
+
+TEST(MemoryExperiment, SingleVsMultiThreadSameDem)
+{
+    CssCode code = surface13();
+    SyndromeSchedule sched = makeXThenZSchedule(code);
+    MemoryExperimentConfig cfg;
+    cfg.shots = 100;
+    cfg.physicalError = 0.01;
+    cfg.rounds = 2;
+    cfg.threads = 1;
+    auto single = runZMemoryExperiment(code, sched, cfg);
+    cfg.threads = 2;
+    auto multi = runZMemoryExperiment(code, sched, cfg);
+    EXPECT_EQ(single.demMechanisms, multi.demMechanisms);
+    EXPECT_EQ(single.demDetectors, multi.demDetectors);
+}
+
+TEST(MemoryExperiment, Bb72SubThresholdSanity)
+{
+    // At p = 5e-4 with no latency, [[72,12,6]] should have a low but
+    // measurable failure rate envelope; at p = 5e-3 it must be much
+    // worse.
+    CssCode code = catalog::bb72();
+    SyndromeSchedule sched = makeXThenZSchedule(code);
+    MemoryExperimentConfig low;
+    low.shots = 200;
+    low.physicalError = 5e-4;
+    low.seed = 5;
+    MemoryExperimentConfig high = low;
+    high.physicalError = 5e-3;
+    auto low_r = runZMemoryExperiment(code, sched, low);
+    auto high_r = runZMemoryExperiment(code, sched, high);
+    EXPECT_GT(high_r.logicalErrorRate.rate,
+              low_r.logicalErrorRate.rate);
+    EXPECT_GT(high_r.logicalErrorRate.rate, 0.05);
+    EXPECT_LT(low_r.logicalErrorRate.rate, 0.05);
+}
+
+} // namespace
+} // namespace cyclone

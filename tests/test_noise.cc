@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the Pauli-twirl decoherence model and noise assembly.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "noise/noise_model.h"
+#include "noise/pauli_twirl.h"
+
+namespace cyclone {
+namespace {
+
+TEST(PauliTwirl, ZeroTimeIsNoiseless)
+{
+    auto ch = twirlDecoherence(0.0, 10.0, 10.0);
+    EXPECT_EQ(ch.px, 0.0);
+    EXPECT_EQ(ch.py, 0.0);
+    EXPECT_EQ(ch.pz, 0.0);
+    EXPECT_EQ(ch.total(), 0.0);
+}
+
+TEST(PauliTwirl, InfiniteTimeFullyDepolarizes)
+{
+    // t >> T1, T2: px = py = 1/4, pz = 1/2 - 1/4 = 1/4.
+    auto ch = twirlDecoherence(1e12, 1.0, 1.0);
+    EXPECT_NEAR(ch.px, 0.25, 1e-9);
+    EXPECT_NEAR(ch.py, 0.25, 1e-9);
+    EXPECT_NEAR(ch.pz, 0.25, 1e-9);
+    EXPECT_NEAR(ch.total(), 0.75, 1e-9);
+}
+
+TEST(PauliTwirl, ShortTimeLinearization)
+{
+    // For t << T: px = py ~ t/(4 T1), pz ~ t/(2 T2) - t/(4 T1).
+    const double t_us = 1000.0; // 1 ms
+    const double t1 = 10.0, t2 = 5.0;
+    auto ch = twirlDecoherence(t_us, t1, t2);
+    const double t_s = 1e-3;
+    EXPECT_NEAR(ch.px, t_s / (4 * t1), 1e-7);
+    EXPECT_NEAR(ch.pz, t_s / (2 * t2) - t_s / (4 * t1), 1e-7);
+}
+
+TEST(PauliTwirl, MonotoneInIdleTime)
+{
+    double prev = -1.0;
+    for (double t : {1e2, 1e3, 1e4, 1e5, 1e6}) {
+        auto ch = twirlDecoherence(t, 20.0, 20.0);
+        EXPECT_GT(ch.total(), prev);
+        prev = ch.total();
+    }
+}
+
+TEST(PauliTwirl, PureT1StillDephases)
+{
+    // T2 = 2 T1 is the pure-damping limit: pz >= 0 enforced.
+    auto ch = twirlDecoherence(1e5, 1.0, 2.0);
+    EXPECT_GE(ch.pz, 0.0);
+}
+
+TEST(CoherenceFit, PaperAnchors)
+{
+    // p = 1e-4 -> 100 s; p = 1e-3 -> 10 s (Section II-C2).
+    EXPECT_NEAR(coherenceTimeSeconds(1e-4), 100.0, 1e-9);
+    EXPECT_NEAR(coherenceTimeSeconds(1e-3), 10.0, 1e-9);
+    EXPECT_NEAR(coherenceTimeSeconds(5e-4), 20.0, 1e-9);
+}
+
+TEST(CoherenceFit, MonotoneDecreasing)
+{
+    EXPECT_GT(coherenceTimeSeconds(1e-4), coherenceTimeSeconds(2e-4));
+}
+
+TEST(NoiseModel, UniformDefaults)
+{
+    auto m = NoiseModel::uniform(1e-3);
+    EXPECT_DOUBLE_EQ(m.p2(), 1e-3);
+    EXPECT_DOUBLE_EQ(m.pPrep(), 1e-3);
+    EXPECT_DOUBLE_EQ(m.pMeas(), 1e-3);
+    EXPECT_EQ(m.idle.total(), 0.0);
+}
+
+TEST(NoiseModel, ExplicitOverrides)
+{
+    NoiseModel m = NoiseModel::uniform(1e-3);
+    m.twoQubitError = 5e-3;
+    m.measError = 2e-3;
+    EXPECT_DOUBLE_EQ(m.p2(), 5e-3);
+    EXPECT_DOUBLE_EQ(m.pMeas(), 2e-3);
+    EXPECT_DOUBLE_EQ(m.pPrep(), 1e-3);
+}
+
+TEST(NoiseModel, LatencyCouplesIntoIdleChannel)
+{
+    auto quiet = NoiseModel::withLatency(1e-3, 1000.0);
+    auto slow = NoiseModel::withLatency(1e-3, 500000.0);
+    EXPECT_GT(slow.idle.total(), quiet.idle.total());
+    EXPECT_GT(quiet.idle.total(), 0.0);
+    // Halving execution time lowers idle error roughly linearly.
+    auto half = NoiseModel::withLatency(1e-3, 250000.0);
+    EXPECT_NEAR(half.idle.total() / slow.idle.total(), 0.5, 0.02);
+}
+
+TEST(NoiseModel, LatencyErrorDependsOnPhysicalRate)
+{
+    // Lower physical error implies longer coherence, so the same
+    // latency hurts less.
+    auto good = NoiseModel::withLatency(1e-4, 100000.0);
+    auto bad = NoiseModel::withLatency(1e-3, 100000.0);
+    EXPECT_LT(good.idle.total(), bad.idle.total());
+}
+
+} // namespace
+} // namespace cyclone

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for the RNG and statistics helpers.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace cyclone {
+namespace {
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1), b(2);
+    bool differ = false;
+    for (int i = 0; i < 10 && !differ; ++i)
+        differ = a.next() != b.next();
+    EXPECT_TRUE(differ);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng rng(13);
+    for (uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1000000007ull}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowCoversAllValues)
+{
+    Rng rng(17);
+    bool seen[5] = {};
+    for (int i = 0; i < 500; ++i)
+        seen[rng.below(5)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng rng(19);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng rng(23);
+    int hits = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.2);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.2, 0.01);
+}
+
+TEST(Rng, GeometricSkipEdgeCases)
+{
+    Rng rng(29);
+    EXPECT_EQ(rng.geometricSkip(1.0), 0u);
+    EXPECT_EQ(rng.geometricSkip(0.0), ~0ull);
+    EXPECT_EQ(rng.geometricSkip(-0.5), ~0ull);
+}
+
+TEST(Rng, GeometricSkipMean)
+{
+    // Mean of the geometric skip (failures before success) is
+    // (1 - p) / p.
+    Rng rng(31);
+    const double p = 0.05;
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.geometricSkip(p));
+    const double expected = (1.0 - p) / p;
+    EXPECT_NEAR(sum / n, expected, expected * 0.1);
+}
+
+TEST(Rng, SplitStreamsDiffer)
+{
+    Rng base(37);
+    Rng a = base.split();
+    Rng b = base.split();
+    bool differ = false;
+    for (int i = 0; i < 10 && !differ; ++i)
+        differ = a.next() != b.next();
+    EXPECT_TRUE(differ);
+}
+
+TEST(Stats, EstimateRateBasics)
+{
+    auto est = estimateRate(5, 100);
+    EXPECT_EQ(est.trials, 100u);
+    EXPECT_EQ(est.successes, 5u);
+    EXPECT_DOUBLE_EQ(est.rate, 0.05);
+    EXPECT_NEAR(est.stderr, std::sqrt(0.05 * 0.95 / 100.0), 1e-12);
+}
+
+TEST(Stats, EstimateRateZeroTrials)
+{
+    auto est = estimateRate(0, 0);
+    EXPECT_EQ(est.rate, 0.0);
+    EXPECT_EQ(est.stderr, 0.0);
+}
+
+TEST(Stats, WilsonHalfWidthSane)
+{
+    // Wider at small n, narrower at large n.
+    const double small_n = wilsonHalfWidth(1, 10);
+    const double large_n = wilsonHalfWidth(100, 1000);
+    EXPECT_GT(small_n, large_n);
+    EXPECT_GT(small_n, 0.0);
+    EXPECT_EQ(wilsonHalfWidth(0, 0), 0.0);
+    // Zero successes still give a nonzero upper bound.
+    EXPECT_GT(wilsonHalfWidth(0, 100), 0.0);
+}
+
+} // namespace
+} // namespace cyclone

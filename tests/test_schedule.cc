@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for syndrome-extraction schedules.
+ */
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "qec/classical_code.h"
+#include "qec/code_catalog.h"
+#include "qec/hgp_code.h"
+#include "qec/schedule.h"
+#include "qec/tanner.h"
+
+namespace cyclone {
+namespace {
+
+class ScheduleOnCodes : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(ScheduleOnCodes, SerialScheduleValid)
+{
+    CssCode code = catalog::byName(GetParam());
+    SyndromeSchedule sched = makeSerialSchedule(code);
+    EXPECT_TRUE(sched.isValidFor(code));
+    EXPECT_EQ(sched.depth(), sched.totalGates());
+    EXPECT_EQ(sched.totalGates(),
+              code.hx().nnz() + code.hz().nnz());
+    EXPECT_EQ(sched.policy(), "serial");
+}
+
+TEST_P(ScheduleOnCodes, XThenZScheduleValid)
+{
+    CssCode code = catalog::byName(GetParam());
+    SyndromeSchedule sched = makeXThenZSchedule(code);
+    EXPECT_TRUE(sched.isValidFor(code));
+    // Koenig bound: X phase needs max-degree(X subgraph) slices, Z
+    // phase likewise.
+    TannerGraph xg(code, true, false);
+    TannerGraph zg(code, false, true);
+    EXPECT_LE(sched.depth(), xg.maxDegree() + zg.maxDegree());
+    // Depth is at least the stabilizer weight of each phase.
+    EXPECT_GE(sched.depth(),
+              code.maxXWeight() + code.maxZWeight());
+}
+
+TEST_P(ScheduleOnCodes, InterleavedScheduleValidAndTighter)
+{
+    CssCode code = catalog::byName(GetParam());
+    SyndromeSchedule inter = makeInterleavedSchedule(code);
+    SyndromeSchedule xz = makeXThenZSchedule(code);
+    EXPECT_TRUE(inter.isValidFor(code));
+    EXPECT_LE(inter.depth(), xz.depth());
+    TannerGraph full(code, true, true);
+    EXPECT_LE(inter.depth(), full.maxDegree());
+}
+
+TEST_P(ScheduleOnCodes, SlicesAreConflictFree)
+{
+    CssCode code = catalog::byName(GetParam());
+    std::vector<SyndromeSchedule> schedules;
+    schedules.push_back(makeXThenZSchedule(code));
+    schedules.push_back(makeInterleavedSchedule(code));
+    for (const SyndromeSchedule& sched : schedules) {
+        for (const auto& slice : sched.slices()) {
+            std::set<size_t> data;
+            std::set<std::pair<int, size_t>> stabs;
+            for (const ScheduledGate& g : slice) {
+                EXPECT_TRUE(data.insert(g.data).second)
+                    << "data qubit repeated in slice";
+                EXPECT_TRUE(
+                    stabs.insert({g.kind == StabKind::X ? 0 : 1,
+                                  g.stabIndex})
+                        .second)
+                    << "stabilizer repeated in slice";
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, ScheduleOnCodes,
+                         ::testing::Values("hgp225", "bb72", "bb90",
+                                           "bb144"));
+
+TEST(Schedule, SurfaceCodeDepths)
+{
+    CssCode code = makeHgpCode(ClassicalCode::repetition(3), 3);
+    SyndromeSchedule xz = makeXThenZSchedule(code);
+    // Weight-4 stabilizers: at most 4 + 4 slices.
+    EXPECT_LE(xz.depth(), 8u);
+    EXPECT_TRUE(xz.isValidFor(code));
+}
+
+TEST(Schedule, HgpInterleavingBeatsXThenZ)
+{
+    // The motivating property: edge-colorable HGP codes interleave.
+    CssCode code = catalog::hgp225();
+    SyndromeSchedule inter = makeInterleavedSchedule(code);
+    SyndromeSchedule xz = makeXThenZSchedule(code);
+    EXPECT_LT(inter.depth(), xz.depth());
+}
+
+TEST(Schedule, ValidityCatchesMissingGate)
+{
+    CssCode code = makeHgpCode(ClassicalCode::repetition(2), 2);
+    SyndromeSchedule good = makeXThenZSchedule(code);
+    // Drop the last slice: no longer valid.
+    auto slices = good.slices();
+    slices.pop_back();
+    SyndromeSchedule bad("truncated", slices);
+    EXPECT_FALSE(bad.isValidFor(code));
+}
+
+TEST(Schedule, ValidityCatchesConflict)
+{
+    CssCode code = makeHgpCode(ClassicalCode::repetition(2), 2);
+    SyndromeSchedule good = makeSerialSchedule(code);
+    // Merge all gates into one slice: conflicts appear.
+    std::vector<ScheduledGate> merged;
+    for (const auto& slice : good.slices())
+        merged.insert(merged.end(), slice.begin(), slice.end());
+    SyndromeSchedule bad("merged", {merged});
+    EXPECT_FALSE(bad.isValidFor(code));
+}
+
+TEST(TannerGraph, EdgeCountsAndDegrees)
+{
+    CssCode code = catalog::bb72();
+    TannerGraph full(code, true, true);
+    EXPECT_EQ(full.edges().size(),
+              code.hx().nnz() + code.hz().nnz());
+    EXPECT_EQ(full.numStabVertices(), code.numStabs());
+    EXPECT_EQ(full.numDataVertices(), code.numQubits());
+    // BB stabilizers have weight 6; data qubits see 6 stabilizers
+    // (3 X + 3 Z each for BB codes).
+    EXPECT_EQ(full.maxDegree(), 6u);
+
+    TannerGraph xonly(code, true, false);
+    EXPECT_EQ(xonly.edges().size(), code.hx().nnz());
+    EXPECT_EQ(xonly.numStabVertices(), code.numXStabs());
+}
+
+} // namespace
+} // namespace cyclone

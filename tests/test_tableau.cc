@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the CHP tableau simulator and the determinism contract of
+ * the memory-circuit builder (detectors/observables must be constant
+ * across random measurement branches).
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/memory_circuit.h"
+#include "circuit/tableau_simulator.h"
+#include "qec/classical_code.h"
+#include "qec/code_catalog.h"
+#include "qec/hgp_code.h"
+#include "qec/schedule.h"
+
+namespace cyclone {
+namespace {
+
+TEST(Tableau, FreshQubitsMeasureZero)
+{
+    Rng rng(1);
+    TableauSimulator sim(4, rng);
+    for (size_t q = 0; q < 4; ++q) {
+        EXPECT_TRUE(sim.isZMeasurementDeterministic(q));
+        EXPECT_FALSE(sim.measureZ(q));
+    }
+}
+
+TEST(Tableau, XFlipsMeasurement)
+{
+    Rng rng(1);
+    TableauSimulator sim(2, rng);
+    sim.x(0);
+    EXPECT_TRUE(sim.measureZ(0));
+    EXPECT_FALSE(sim.measureZ(1));
+}
+
+TEST(Tableau, HadamardCreatesRandomness)
+{
+    Rng rng(7);
+    size_t ones = 0;
+    for (int trial = 0; trial < 64; ++trial) {
+        TableauSimulator sim(1, rng);
+        sim.h(0);
+        EXPECT_FALSE(sim.isZMeasurementDeterministic(0));
+        ones += sim.measureZ(0);
+        // After measurement the state collapses: repeating gives the
+        // same answer.
+        const bool again = sim.measureZ(0);
+        EXPECT_TRUE(sim.isZMeasurementDeterministic(0));
+        (void)again;
+    }
+    EXPECT_GT(ones, 16u);
+    EXPECT_LT(ones, 48u);
+}
+
+TEST(Tableau, PlusStateMeasuresXDeterministically)
+{
+    Rng rng(3);
+    TableauSimulator sim(1, rng);
+    sim.resetX(0);
+    EXPECT_FALSE(sim.measureX(0));
+    sim.z(0); // |+> -> |->
+    EXPECT_TRUE(sim.measureX(0));
+}
+
+TEST(Tableau, BellPairCorrelations)
+{
+    Rng rng(11);
+    for (int trial = 0; trial < 32; ++trial) {
+        TableauSimulator sim(2, rng);
+        sim.h(0);
+        sim.cx(0, 1);
+        const bool a = sim.measureZ(0);
+        const bool b = sim.measureZ(1);
+        EXPECT_EQ(a, b); // perfectly correlated in Z
+    }
+}
+
+TEST(Tableau, GhzParityDeterministic)
+{
+    // X X X stabilizes GHZ; measuring all three in X gives parity 0.
+    Rng rng(13);
+    for (int trial = 0; trial < 16; ++trial) {
+        TableauSimulator sim(3, rng);
+        sim.h(0);
+        sim.cx(0, 1);
+        sim.cx(1, 2);
+        bool parity = sim.measureX(0);
+        parity ^= sim.measureX(1);
+        parity ^= sim.measureX(2);
+        EXPECT_FALSE(parity);
+    }
+}
+
+TEST(Tableau, ResetAfterEntanglement)
+{
+    Rng rng(17);
+    TableauSimulator sim(2, rng);
+    sim.h(0);
+    sim.cx(0, 1);
+    sim.resetZ(0);
+    EXPECT_FALSE(sim.measureZ(0));
+}
+
+class MemoryCircuitDeterminism
+    : public ::testing::TestWithParam<std::string>
+{};
+
+TEST_P(MemoryCircuitDeterminism, ZMemoryDetectorsDeterministic)
+{
+    CssCode code = GetParam() == "surface13"
+        ? makeHgpCode(ClassicalCode::repetition(3), 3)
+        : catalog::byName(GetParam());
+    SyndromeSchedule sched = makeXThenZSchedule(code);
+    MemoryCircuitOptions opts;
+    opts.rounds = 2;
+    opts.noise = NoiseModel::uniform(0.0);
+    Circuit circuit = buildZMemoryCircuit(code, sched, opts);
+    auto check = verifyStabilizerCircuit(circuit, 4, 99);
+    EXPECT_TRUE(check.detectorsDeterministic);
+    EXPECT_TRUE(check.observablesDeterministic);
+    EXPECT_EQ(check.shotsChecked, 4u);
+}
+
+TEST_P(MemoryCircuitDeterminism, XMemoryDetectorsDeterministic)
+{
+    CssCode code = GetParam() == "surface13"
+        ? makeHgpCode(ClassicalCode::repetition(3), 3)
+        : catalog::byName(GetParam());
+    SyndromeSchedule sched = makeXThenZSchedule(code);
+    MemoryCircuitOptions opts;
+    opts.rounds = 2;
+    opts.noise = NoiseModel::uniform(0.0);
+    Circuit circuit = buildXMemoryCircuit(code, sched, opts);
+    auto check = verifyStabilizerCircuit(circuit, 4, 101);
+    EXPECT_TRUE(check.detectorsDeterministic);
+    EXPECT_TRUE(check.observablesDeterministic);
+}
+
+INSTANTIATE_TEST_SUITE_P(Codes, MemoryCircuitDeterminism,
+                         ::testing::Values("surface13", "bb72"));
+
+TEST(Tableau, CatchesNonDeterministicDetector)
+{
+    // A detector on a genuinely random measurement must be flagged.
+    Circuit circuit(1);
+    circuit.resetX(0);
+    circuit.measureZ(0); // random
+    circuit.addDetector({0});
+    auto check = verifyStabilizerCircuit(circuit, 16, 5);
+    EXPECT_FALSE(check.detectorsDeterministic);
+}
+
+TEST(Tableau, InterleavedScheduleAlsoDeterministic)
+{
+    // The phase-projected builder keeps determinism even when fed an
+    // interleaved (edge-colored) schedule.
+    CssCode code = makeHgpCode(ClassicalCode::repetition(3), 3);
+    SyndromeSchedule sched = makeInterleavedSchedule(code);
+    MemoryCircuitOptions opts;
+    opts.rounds = 2;
+    opts.noise = NoiseModel::uniform(0.0);
+    Circuit circuit = buildZMemoryCircuit(code, sched, opts);
+    auto check = verifyStabilizerCircuit(circuit, 6, 7);
+    EXPECT_TRUE(check.detectorsDeterministic);
+}
+
+} // namespace
+} // namespace cyclone

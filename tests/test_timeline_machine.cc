@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for resource timelines, machine state and swap models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "qccd/machine.h"
+#include "qccd/swap_model.h"
+#include "qccd/timeline.h"
+#include "qccd/topology_builders.h"
+
+namespace cyclone {
+namespace {
+
+TEST(Timeline, PlanAndReserve)
+{
+    ResourceTimeline tl(3);
+    EXPECT_DOUBLE_EQ(tl.plan(0, 5.0), 5.0);
+    tl.reserve(0, 5.0, 10.0);
+    EXPECT_DOUBLE_EQ(tl.freeAt(0), 15.0);
+    EXPECT_DOUBLE_EQ(tl.plan(0, 5.0), 15.0);
+    EXPECT_DOUBLE_EQ(tl.plan(0, 20.0), 20.0);
+    EXPECT_DOUBLE_EQ(tl.plan(1, 0.0), 0.0);
+}
+
+TEST(Timeline, MakespanAndReset)
+{
+    ResourceTimeline tl(2);
+    tl.reserve(0, 0.0, 7.0);
+    tl.reserve(1, 3.0, 9.0);
+    EXPECT_DOUBLE_EQ(tl.makespan(), 12.0);
+    tl.reset();
+    EXPECT_DOUBLE_EQ(tl.makespan(), 0.0);
+}
+
+TEST(TimelineDeath, RejectsOverlappingReservation)
+{
+    ResourceTimeline tl(1);
+    tl.reserve(0, 0.0, 10.0);
+    EXPECT_DEATH(tl.reserve(0, 5.0, 1.0), "before resource is free");
+}
+
+TEST(Machine, ChainOrderAndCapacity)
+{
+    Topology topo = buildRing(3, 4);
+    Machine m(topo);
+    NodeId t0 = topo.traps()[0];
+    IonId d0 = m.addDataIon(0, t0);
+    IonId d1 = m.addDataIon(1, t0);
+    IonId a0 = m.addAncillaIon(0, t0);
+    EXPECT_EQ(m.chainLength(t0), 3u);
+    EXPECT_EQ(m.freeCapacity(t0), 1u);
+    ASSERT_EQ(m.chain(t0).size(), 3u);
+    EXPECT_EQ(m.chain(t0)[0], d0);
+    EXPECT_EQ(m.chain(t0)[1], d1);
+    EXPECT_EQ(m.chain(t0)[2], a0);
+    EXPECT_EQ(m.ion(a0).role, IonRole::Ancilla);
+    EXPECT_EQ(m.ion(d1).payload, 1u);
+}
+
+TEST(Machine, DistanceFromEdges)
+{
+    Topology topo = buildRing(3, 8);
+    Machine m(topo);
+    NodeId t0 = topo.traps()[0];
+    IonId ions[5];
+    for (size_t i = 0; i < 5; ++i)
+        ions[i] = m.addDataIon(i, t0);
+    EXPECT_EQ(m.distanceFromEdge(ions[0]), 0u);
+    EXPECT_EQ(m.distanceFromEdge(ions[2]), 2u);
+    EXPECT_EQ(m.distanceFromEdge(ions[4]), 0u);
+    EXPECT_EQ(m.distanceFromEnd(ions[0], true), 0u);
+    EXPECT_EQ(m.distanceFromEnd(ions[0], false), 4u);
+    EXPECT_EQ(m.distanceFromEnd(ions[4], true), 4u);
+    EXPECT_EQ(m.distanceFromEnd(ions[4], false), 0u);
+}
+
+TEST(Machine, RelocateFrontAndBack)
+{
+    Topology topo = buildRing(3, 4);
+    Machine m(topo);
+    NodeId t0 = topo.traps()[0];
+    NodeId t1 = topo.traps()[1];
+    IonId d0 = m.addDataIon(0, t1);
+    IonId a0 = m.addAncillaIon(0, t0);
+    IonId a1 = m.addAncillaIon(1, t0);
+    m.relocate(a0, t1, false); // back
+    EXPECT_EQ(m.ion(a0).trap, t1);
+    EXPECT_EQ(m.chain(t1).back(), a0);
+    m.relocate(a1, t1, true); // front
+    EXPECT_EQ(m.chain(t1).front(), a1);
+    EXPECT_EQ(m.chain(t1)[1], d0);
+    EXPECT_EQ(m.chainLength(t0), 0u);
+    EXPECT_EQ(m.freeCapacity(t1), 1u);
+}
+
+TEST(SwapModel, GateSwapConstantInPosition)
+{
+    Durations dur;
+    SwapModel swap(SwapKind::GateSwap, dur);
+    const double c1 = swap.costUs(1, 6);
+    const double c4 = swap.costUs(4, 6);
+    EXPECT_DOUBLE_EQ(c1, c4);
+    EXPECT_DOUBLE_EQ(c1, 3.0 * dur.twoQubitGateUs(6));
+}
+
+TEST(SwapModel, GateSwapGrowsWithChainPastKnee)
+{
+    Durations dur;
+    SwapModel swap(SwapKind::GateSwap, dur);
+    EXPECT_GT(swap.costUs(1, 40), swap.costUs(1, 6));
+}
+
+TEST(SwapModel, IonSwapFormula)
+{
+    Durations dur;
+    SwapModel swap(SwapKind::IonSwap, dur);
+    // s*d + s*(d-1) + 42 with s = 80.
+    EXPECT_DOUBLE_EQ(swap.costUs(1, 6), 80.0 * 1 + 80.0 * 0 + 42.0);
+    EXPECT_DOUBLE_EQ(swap.costUs(3, 6), 80.0 * 3 + 80.0 * 2 + 42.0);
+}
+
+TEST(SwapModel, AtEdgeIsFree)
+{
+    Durations dur;
+    for (SwapKind kind : {SwapKind::GateSwap, SwapKind::IonSwap}) {
+        SwapModel swap(kind, dur);
+        EXPECT_DOUBLE_EQ(swap.costUs(0, 6), 0.0);
+    }
+}
+
+TEST(SwapModel, CrossoverMatchesPaperFig21)
+{
+    // Near the chain edge IonSwap is cheaper; deep in a chain it is
+    // costlier than a GateSwap — the paper's Fig. 21 tradeoff.
+    Durations dur;
+    SwapModel ion(SwapKind::IonSwap, dur);
+    SwapModel gate(SwapKind::GateSwap, dur);
+    EXPECT_LT(ion.costUs(1, 6), gate.costUs(1, 6));
+    EXPECT_GT(ion.costUs(4, 6), gate.costUs(4, 6));
+}
+
+TEST(SwapModel, Names)
+{
+    Durations dur;
+    EXPECT_STREQ(SwapModel(SwapKind::GateSwap, dur).name(), "GateSwap");
+    EXPECT_STREQ(SwapModel(SwapKind::IonSwap, dur).name(), "IonSwap");
+}
+
+} // namespace
+} // namespace cyclone

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests for device topologies and their builders.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "qccd/durations.h"
+#include "qccd/topology.h"
+#include "qccd/topology_builders.h"
+
+namespace cyclone {
+namespace {
+
+TEST(Topology, BasicConstruction)
+{
+    Topology t("test");
+    NodeId a = t.addTrap(5);
+    NodeId b = t.addTrap(5);
+    NodeId j = t.addJunction();
+    t.addEdge(a, j);
+    t.addEdge(j, b);
+    EXPECT_EQ(t.numTraps(), 2u);
+    EXPECT_EQ(t.numJunctions(), 1u);
+    EXPECT_EQ(t.numEdges(), 2u);
+    EXPECT_EQ(t.degree(j), 2u);
+    EXPECT_TRUE(t.isTrap(a));
+    EXPECT_FALSE(t.isTrap(j));
+    EXPECT_EQ(t.totalCapacity(), 10u);
+    EXPECT_NO_THROW(t.validate());
+}
+
+TEST(Topology, ValidateRejectsOverconnectedTrap)
+{
+    Topology t("bad");
+    NodeId a = t.addTrap(2);
+    for (int i = 0; i < 3; ++i) {
+        NodeId j = t.addJunction();
+        t.addEdge(a, j);
+    }
+    EXPECT_THROW(t.validate(), std::runtime_error);
+}
+
+TEST(Topology, ValidateRejectsOverconnectedJunction)
+{
+    Topology t("bad");
+    NodeId j = t.addJunction();
+    for (int i = 0; i < 5; ++i) {
+        NodeId a = t.addTrap(2);
+        t.addEdge(j, a);
+    }
+    EXPECT_THROW(t.validate(), std::runtime_error);
+}
+
+TEST(Topology, ShortestPathEndpointsInclusive)
+{
+    Topology t = buildRing(6, 4);
+    NodeId a = t.traps()[0];
+    NodeId b = t.traps()[3];
+    auto path = t.shortestPath(a, b);
+    ASSERT_GE(path.size(), 2u);
+    EXPECT_EQ(path.front(), a);
+    EXPECT_EQ(path.back(), b);
+    // Ring of 6: three trap-to-trap hops each crossing one junction;
+    // path = t0 j t1 j t2 j t3 = 7 nodes.
+    EXPECT_EQ(path.size(), 7u);
+}
+
+TEST(Topology, ShortestPathSelf)
+{
+    Topology t = buildRing(4, 2);
+    auto path = t.shortestPath(t.traps()[1], t.traps()[1]);
+    ASSERT_EQ(path.size(), 1u);
+}
+
+TEST(BaselineGrid, CountsAndDegrees)
+{
+    Topology t = buildBaselineGrid(4, 4, 5);
+    EXPECT_EQ(t.numTraps(), 16u);
+    EXPECT_EQ(t.numJunctions(), 4u * 3u);
+    // Horizontal: each junction joins 2 traps; vertical: junction
+    // columns chain.
+    for (NodeId trap : t.traps())
+        EXPECT_LE(t.degree(trap), 2u);
+    for (NodeId j : t.junctions())
+        EXPECT_LE(t.degree(j), 4u);
+}
+
+TEST(BaselineGrid, HorizontalTransitPassesThroughTraps)
+{
+    // The defining property behind trap roadblocks: moving several
+    // columns within one row must pass through intermediate traps.
+    Topology t = buildBaselineGrid(3, 5, 5);
+    NodeId from = t.traps()[0];      // row 0, col 0
+    NodeId to = t.traps()[4];        // row 0, col 4
+    auto path = t.shortestPath(from, to);
+    size_t traps_passed = 0;
+    for (size_t i = 1; i + 1 < path.size(); ++i)
+        traps_passed += t.isTrap(path[i]);
+    EXPECT_GE(traps_passed, 3u);
+}
+
+TEST(AlternateGrid, NoThroughTrapTransit)
+{
+    Topology t = buildAlternateGrid(4, 4, 5);
+    EXPECT_EQ(t.numTraps(), 16u);
+    // Every trap hangs off a corridor junction (degree 1), so no path
+    // between distinct traps passes through a third trap.
+    for (NodeId trap : t.traps())
+        EXPECT_EQ(t.degree(trap), 1u);
+    auto path = t.shortestPath(t.traps()[0], t.traps()[15]);
+    ASSERT_FALSE(path.empty());
+    for (size_t i = 1; i + 1 < path.size(); ++i)
+        EXPECT_FALSE(t.isTrap(path[i]));
+}
+
+TEST(AlternateGrid, RungsShortenPaths)
+{
+    Topology with_rungs = buildAlternateGrid(6, 6, 5, 3);
+    Topology no_rungs = buildAlternateGrid(6, 6, 5, 1000000);
+    NodeId a1 = with_rungs.traps()[0];
+    NodeId b1 = with_rungs.traps()[35];
+    NodeId a2 = no_rungs.traps()[0];
+    NodeId b2 = no_rungs.traps()[35];
+    EXPECT_LE(with_rungs.shortestPath(a1, b1).size(),
+              no_rungs.shortestPath(a2, b2).size());
+}
+
+TEST(Ring, StructureMatchesCyclone)
+{
+    Topology t = buildRing(10, 3);
+    EXPECT_EQ(t.numTraps(), 10u);
+    EXPECT_EQ(t.numJunctions(), 10u);
+    for (NodeId trap : t.traps())
+        EXPECT_EQ(t.degree(trap), 2u);
+    for (NodeId j : t.junctions())
+        EXPECT_EQ(t.degree(j), 2u); // L junctions
+}
+
+TEST(Ring, SingleTrapHasNoJunctions)
+{
+    Topology t = buildRing(1, 100);
+    EXPECT_EQ(t.numTraps(), 1u);
+    EXPECT_EQ(t.numJunctions(), 0u);
+}
+
+TEST(JunctionMesh, PerimeterTrapsAndDegrees)
+{
+    Topology t = buildJunctionMesh(20, 3);
+    EXPECT_EQ(t.numTraps(), 20u);
+    // Mesh side g satisfies 4 (g - 1) >= 20 -> g = 6.
+    EXPECT_EQ(t.numJunctions(), 36u);
+    for (NodeId trap : t.traps())
+        EXPECT_EQ(t.degree(trap), 1u);
+    for (NodeId j : t.junctions())
+        EXPECT_LE(t.degree(j), 4u);
+}
+
+TEST(JunctionMesh, TransitAvoidsTraps)
+{
+    Topology t = buildJunctionMesh(16, 3);
+    auto path = t.shortestPath(t.traps()[0], t.traps()[8]);
+    ASSERT_FALSE(path.empty());
+    for (size_t i = 1; i + 1 < path.size(); ++i)
+        EXPECT_FALSE(t.isTrap(path[i]));
+}
+
+TEST(Durations, JunctionCrossingByDegree)
+{
+    Durations d;
+    EXPECT_DOUBLE_EQ(d.junctionCrossUs(2), 10.0);
+    EXPECT_DOUBLE_EQ(d.junctionCrossUs(3), 100.0);
+    EXPECT_DOUBLE_EQ(d.junctionCrossUs(4), 120.0);
+}
+
+TEST(Durations, ScalesApplyUniformly)
+{
+    Durations d;
+    d.scale = 0.5;
+    EXPECT_DOUBLE_EQ(d.split(), 40.0);
+    EXPECT_DOUBLE_EQ(d.move(), 5.0);
+    EXPECT_DOUBLE_EQ(d.merge(), 40.0);
+    EXPECT_DOUBLE_EQ(d.junctionCrossUs(4), 60.0);
+    d.junctionScale = 0.1;
+    EXPECT_DOUBLE_EQ(d.junctionCrossUs(4), 6.0);
+    // Gate times scale too.
+    Durations nominal;
+    EXPECT_DOUBLE_EQ(d.twoQubitGateUs(4),
+                     0.5 * nominal.twoQubitGateUs(4));
+}
+
+TEST(GateTimeModel, ConstantBelowKneeGrowsAbove)
+{
+    GateTimeModel g;
+    EXPECT_DOUBLE_EQ(g.twoQubitUs(2), g.baseUs);
+    EXPECT_DOUBLE_EQ(g.twoQubitUs(12), g.baseUs);
+    EXPECT_GT(g.twoQubitUs(20), g.baseUs);
+    EXPECT_GT(g.twoQubitUs(50), g.twoQubitUs(20));
+    // Quadratic default: doubling the chain quadruples the excess.
+    EXPECT_NEAR(g.twoQubitUs(52) / g.twoQubitUs(26), 4.0, 1e-9);
+}
+
+} // namespace
+} // namespace cyclone
