@@ -13,8 +13,13 @@
 #ifndef CYCLONE_BENCH_BENCH_UTIL_H
 #define CYCLONE_BENCH_BENCH_UTIL_H
 
+#include <cstdio>
 #include <cstdlib>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 
 #include <benchmark/benchmark.h>
 
@@ -85,6 +90,124 @@ setLerCounters(benchmark::State& state,
     state.counters["shots"] =
         static_cast<double>(r.logicalErrorRate.trials);
     state.counters["rounds"] = static_cast<double>(r.rounds);
+}
+
+/** Campaign-task flavour of the standard LER counters. */
+inline void
+setLerCounters(benchmark::State& state, const TaskResult& r)
+{
+    state.counters["LER"] = r.logicalErrorRate.rate;
+    state.counters["LER_err"] = r.wilson;
+    state.counters["shots"] =
+        static_cast<double>(r.logicalErrorRate.trials);
+    state.counters["rounds"] = static_cast<double>(r.rounds);
+}
+
+/**
+ * Default stopping rule of the campaign-driven figures: the fallback
+ * (or CYCLONE_SHOTS) is the per-point cap, and a 10% relative-error
+ * target lets easy points stop at a wave boundary well before it.
+ */
+inline StoppingRule
+figureRule(size_t fallback)
+{
+    StoppingRule rule;
+    rule.chunkShots = 64;
+    rule.chunksPerWave = 2;
+    rule.maxShots = shots(fallback);
+    rule.targetRelErr = 0.1;
+    rule.minFailures = 8;
+    return rule;
+}
+
+/**
+ * One-line stderr summary of a figure campaign: realized shots vs the
+ * fixed budget the pre-campaign loops would have burned, plus cache
+ * activity.
+ */
+inline void
+reportCampaignSummary(const CampaignResult& result, size_t fixed_budget);
+
+/**
+ * A figure campaign that runs on first use, so --benchmark_list_tests
+ * and --help stay instant: benchmark rows are registered from the
+ * spec alone and the campaign executes once when the first selected
+ * row actually runs.
+ */
+class LazyCampaign
+{
+  public:
+    LazyCampaign(CampaignSpec spec, size_t fixed_budget)
+        : spec_(std::move(spec)), fixedBudget_(fixed_budget)
+    {}
+
+    const TaskResult&
+    task(size_t index)
+    {
+        std::call_once(once_, [&] {
+            result_ = runCampaign(spec_);
+            reportCampaignSummary(result_, fixedBudget_);
+        });
+        return result_.tasks[index];
+    }
+
+  private:
+    CampaignSpec spec_;
+    size_t fixedBudget_ = 0;
+    std::once_flag once_;
+    CampaignResult result_;
+};
+
+/**
+ * Register one benchmark row per campaign task. Each row reports the
+ * standard LER counters; `extra` adds figure-specific ones. Tasks
+ * that failed to build or sample surface as skipped-with-error rows
+ * instead of silent LER=0 points.
+ */
+inline void
+registerCampaignBenchmarks(
+    CampaignSpec spec, size_t fixed_budget,
+    std::function<void(benchmark::State&, const TaskResult&, size_t)>
+        extra = nullptr)
+{
+    auto campaign =
+        std::make_shared<LazyCampaign>(spec, fixed_budget);
+    for (size_t i = 0; i < spec.tasks.size(); ++i) {
+        benchmark::RegisterBenchmark(
+            spec.tasks[i].id.c_str(),
+            [campaign, extra, i](benchmark::State& state) {
+                const TaskResult& r = campaign->task(i);
+                if (!r.error.empty()) {
+                    state.SkipWithError(r.error.c_str());
+                    return;
+                }
+                for (auto _ : state) {
+                }
+                setLerCounters(state, r);
+                if (extra)
+                    extra(state, r, i);
+            })
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    }
+}
+
+inline void
+reportCampaignSummary(const CampaignResult& r, size_t fixed_budget)
+{
+    const size_t used = r.totalShots();
+    const double saved = fixed_budget > 0
+        ? 100.0 * (1.0 - static_cast<double>(used) /
+                       static_cast<double>(fixed_budget))
+        : 0.0;
+    std::fprintf(stderr,
+                 "[%s] %zu tasks, %zu shots (fixed budget %zu, saved "
+                 "%.0f%%), wall %.1fs, compile cache %zu hit / %zu "
+                 "miss, dem cache %zu hit / %zu miss\n",
+                 r.name.c_str(), r.tasks.size(), used, fixed_budget,
+                 saved, r.wallSeconds, r.cache.compileHits,
+                 r.cache.compileMisses, r.cache.demHits,
+                 r.cache.demMisses);
 }
 
 } // namespace bench

@@ -3,14 +3,16 @@
  * Figure 14: logical error rates of Cyclone (C) vs the baseline grid
  * (B) on bivariate bicycle codes.
  *
- * Each point compiles one round under the architecture, couples the
- * latency into the noise model, and Monte-Carlo decodes. Default
- * codes: [[72,12,6]] and one [[144,12,12]] point; CYCLONE_FULL=1
- * runs all five BB codes over the dense p sweep.
- * Counters: LER, LER_err, latency_ms.
+ * The whole figure is one campaign: per-architecture compiles are
+ * cached across the p sweep, every point samples on the shared
+ * work-stealing pool, and adaptive stopping trims shots from points
+ * whose confidence interval converges early. Default codes:
+ * [[72,12,6]] and one [[144,12,12]] point; CYCLONE_FULL=1 runs all
+ * five BB codes over the dense p sweep.
+ * Counters: LER, LER_err, latency_ms, p, shots.
  */
 
-#include <map>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -21,41 +23,10 @@ using namespace cyclone::bench;
 
 namespace {
 
-double
-cachedLatency(const std::string& name, Architecture arch)
-{
-    static std::map<std::string, double> cache;
-    const std::string key =
-        name + "/" + architectureName(arch);
-    auto it = cache.find(key);
-    if (it != cache.end())
-        return it->second;
-    CssCode code = catalog::byName(name);
-    SyndromeSchedule schedule = makeXThenZSchedule(code);
-    const double latency =
-        compileArch(code, schedule, arch).execTimeUs;
-    cache[key] = latency;
-    return latency;
-}
-
 void
-runLer(benchmark::State& state, const std::string& name,
-       Architecture arch, double p, size_t n_shots)
-{
-    CssCode code = catalog::byName(name);
-    SyndromeSchedule schedule = makeXThenZSchedule(code);
-    const double latency = cachedLatency(name, arch);
-    for (auto _ : state) {
-        auto result = runPoint(code, schedule, p, latency, n_shots);
-        setLerCounters(state, result);
-        state.counters["latency_ms"] = latency / 1000.0;
-        state.counters["p"] = p;
-    }
-}
-
-void
-registerCode(const std::string& name, const std::vector<double>& ps,
-             size_t n_shots)
+addCode(CampaignSpec& spec, size_t& fixed_budget,
+        const std::string& name, const std::vector<double>& ps,
+        size_t n_shots)
 {
     for (Architecture arch :
          {Architecture::Cyclone, Architecture::BaselineGrid}) {
@@ -64,12 +35,15 @@ registerCode(const std::string& name, const std::vector<double>& ps,
             char label[96];
             std::snprintf(label, sizeof label, "fig14/%s/%c/p:%.1e",
                           name.c_str(), tag, p);
-            benchmark::RegisterBenchmark(
-                label,
-                [name, arch, p, n_shots](benchmark::State& s) {
-                    runLer(s, name, arch, p, n_shots);
-                })
-                ->Iterations(1)->Unit(benchmark::kMillisecond);
+            TaskSpec task;
+            task.id = label;
+            task.codeName = name;
+            task.architecture = arch;
+            task.physicalError = p;
+            task.bp.variant = BpOptions::Variant::MinSum;
+            task.stop = figureRule(n_shots);
+            fixed_budget += task.stop.maxShots;
+            spec.tasks.push_back(std::move(task));
         }
     }
 }
@@ -79,15 +53,27 @@ registerCode(const std::string& name, const std::vector<double>& ps,
 int
 main(int argc, char** argv)
 {
+    CampaignSpec spec;
+    spec.name = "fig14";
+    spec.seed = 0xc0de;
+    size_t fixed_budget = 0;
     if (fullMode()) {
         for (const char* name :
              {"bb72", "bb90", "bb108", "bb144", "bb288"}) {
-            registerCode(name, {5e-4, 1e-3, 2e-3, 4e-3}, shots(400));
+            addCode(spec, fixed_budget, name, {5e-4, 1e-3, 2e-3, 4e-3},
+                    400);
         }
     } else {
-        registerCode("bb72", {1e-3, 2e-3, 4e-3}, shots(600));
-        registerCode("bb144", {2e-3}, shots(120));
+        addCode(spec, fixed_budget, "bb72", {1e-3, 2e-3, 4e-3}, 600);
+        addCode(spec, fixed_budget, "bb144", {2e-3}, 120);
     }
+
+    registerCampaignBenchmarks(
+        std::move(spec), fixed_budget,
+        [](benchmark::State& state, const TaskResult& r, size_t) {
+            state.counters["latency_ms"] = r.roundLatencyUs / 1000.0;
+            state.counters["p"] = r.physicalError;
+        });
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

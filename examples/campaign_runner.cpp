@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Campaign CLI: load a declarative spec, execute every task on one
+ * shared work-stealing pool with adaptive shot allocation, and emit
+ * the results as JSON (stdout or --json FILE) and optionally CSV.
+ *
+ * With --checkpoint FILE the runner resumes completed tasks from a
+ * previous interrupted run and re-saves the checkpoint after every
+ * finished task, so long sweeps survive preemption.
+ *
+ * Run: ./campaign_runner [spec-file] [--threads N] [--json FILE]
+ *      [--csv FILE] [--checkpoint FILE] [--quiet]
+ *
+ * Without a spec file a built-in demo campaign runs the paper's
+ * [[72,12,6]] BB code under Cyclone vs the baseline grid across three
+ * physical error rates (six tasks).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/cyclone.h"
+
+using namespace cyclone;
+
+namespace {
+
+const char* kDemoSpec = R"(# Built-in demo: fig14-style Cyclone-vs-baseline sweep on bb72.
+name = demo-bb72
+seed = 7
+
+[task]
+code = bb72
+arch = cyclone, baseline
+p = 1e-3, 2e-3, 4e-3
+chunk_shots = 128
+chunks_per_wave = 2
+max_shots = 800
+target_rel_err = 0.1
+bp = minsum
+)";
+
+void
+usage(const char* prog)
+{
+    std::fprintf(stderr,
+                 "usage: %s [spec-file] [--threads N] [--json FILE] "
+                 "[--csv FILE] [--checkpoint FILE] [--quiet]\n",
+                 prog);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string spec_path;
+    std::string json_path;
+    std::string csv_path;
+    std::string checkpoint_path;
+    size_t threads_override = 0;
+    bool has_threads_override = false;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--threads") {
+            threads_override =
+                static_cast<size_t>(std::atoll(next()));
+            has_threads_override = true;
+        } else if (arg == "--json") {
+            json_path = next();
+        } else if (arg == "--csv") {
+            csv_path = next();
+        } else if (arg == "--checkpoint") {
+            checkpoint_path = next();
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            usage(argv[0]);
+            return 2;
+        } else {
+            spec_path = arg;
+        }
+    }
+
+    CampaignSpec spec;
+    try {
+        spec = spec_path.empty() ? parseCampaignSpec(kDemoSpec)
+                                 : loadCampaignSpec(spec_path);
+    } catch (const std::exception& ex) {
+        std::fprintf(stderr, "error: %s\n", ex.what());
+        return 1;
+    }
+    if (has_threads_override)
+        spec.threads = threads_override;
+
+    CampaignCheckpoint checkpoint;
+    const CampaignCheckpoint* resume = nullptr;
+    if (!checkpoint_path.empty() &&
+        loadCheckpoint(checkpoint_path, checkpoint)) {
+        resume = &checkpoint;
+        if (!quiet)
+            std::fprintf(stderr, "resuming %zu tasks from %s\n",
+                         checkpoint.tasks.size(),
+                         checkpoint_path.c_str());
+    }
+
+    // Incremental checkpointing: re-save after every finished task.
+    CampaignResult partial;
+    auto on_task_done = [&](const TaskResult& t) {
+        if (!quiet)
+            std::fprintf(
+                stderr,
+                "  %-32s %s shots=%zu failures=%zu ler=%.3g%s\n",
+                t.id.c_str(),
+                t.error.empty() ? "done " : "FAIL ",
+                t.logicalErrorRate.trials,
+                t.logicalErrorRate.successes, t.logicalErrorRate.rate,
+                t.fromCheckpoint
+                    ? " (checkpoint)"
+                    : (t.stoppedEarly ? " (early stop)" : ""));
+        if (!checkpoint_path.empty()) {
+            partial.tasks.push_back(t);
+            saveCheckpoint(partial, checkpoint_path);
+        }
+    };
+
+    CampaignResult result;
+    try {
+        result = runCampaign(spec, resume, on_task_done);
+    } catch (const std::exception& ex) {
+        std::fprintf(stderr, "error: %s\n", ex.what());
+        return 1;
+    }
+
+    if (!quiet)
+        std::fprintf(stderr,
+                     "[%s] %zu tasks, %zu shots, wall %.1fs, compile "
+                     "cache %zu hit / %zu miss, dem cache %zu hit / "
+                     "%zu miss\n",
+                     result.name.c_str(), result.tasks.size(),
+                     result.totalShots(), result.wallSeconds,
+                     result.cache.compileHits,
+                     result.cache.compileMisses, result.cache.demHits,
+                     result.cache.demMisses);
+
+    const std::string json = campaignResultToJson(result);
+    if (json_path.empty()) {
+        std::fputs(json.c_str(), stdout);
+    } else if (!writeTextFile(json_path, json)) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     json_path.c_str());
+        return 1;
+    }
+    if (!csv_path.empty() &&
+        !writeTextFile(csv_path, campaignResultToCsv(result))) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     csv_path.c_str());
+        return 1;
+    }
+
+    int failures = 0;
+    for (const TaskResult& t : result.tasks)
+        if (!t.error.empty())
+            ++failures;
+    return failures > 0 ? 1 : 0;
+}

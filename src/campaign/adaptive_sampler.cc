@@ -1,0 +1,97 @@
+#include "campaign/adaptive_sampler.h"
+
+#include <algorithm>
+
+#include "campaign/content_hash.h"
+
+namespace cyclone {
+
+uint64_t
+chunkSeed(uint64_t taskSeed, size_t index)
+{
+    HashStream h;
+    h.absorb(taskSeed).absorb(uint64_t{index}).absorb(
+        uint64_t{0xc4a2b9d1u});
+    return h.digest();
+}
+
+ChunkOutcome
+runChunk(const DetectorErrorModel& dem, const ChunkPlan& plan,
+         BpOsdDecoder& decoder, DemShots& scratch)
+{
+    Rng rng(plan.seed);
+    sampleDemInto(dem, plan.shots, rng, scratch);
+    ChunkOutcome outcome;
+    outcome.shots = plan.shots;
+    for (size_t s = 0; s < plan.shots; ++s) {
+        const uint64_t predicted = decoder.decode(scratch.syndromes[s]);
+        if (predicted != scratch.observables[s])
+            ++outcome.failures;
+    }
+    return outcome;
+}
+
+AdaptiveSampler::AdaptiveSampler(StoppingRule rule, uint64_t taskSeed)
+    : rule_(rule), taskSeed_(taskSeed)
+{
+    if (rule_.chunkShots == 0)
+        rule_.chunkShots = 256;
+    if (rule_.chunksPerWave == 0)
+        rule_.chunksPerWave = 1;
+    if (rule_.maxShots == 0)
+        done_ = true;
+}
+
+std::vector<ChunkPlan>
+AdaptiveSampler::nextWave()
+{
+    std::vector<ChunkPlan> wave;
+    if (done_)
+        return wave;
+    for (size_t i = 0;
+         i < rule_.chunksPerWave && plannedShots_ < rule_.maxShots; ++i) {
+        ChunkPlan plan;
+        plan.index = nextChunk_++;
+        plan.shots = std::min(rule_.chunkShots,
+                              rule_.maxShots - plannedShots_);
+        plan.seed = chunkSeed(taskSeed_, plan.index);
+        plannedShots_ += plan.shots;
+        wave.push_back(plan);
+    }
+    return wave;
+}
+
+void
+AdaptiveSampler::absorb(const ChunkOutcome& outcome)
+{
+    shots_ += outcome.shots;
+    failures_ += outcome.failures;
+    if (shots_ == plannedShots_)
+        evaluateStop();
+}
+
+void
+AdaptiveSampler::evaluateStop()
+{
+    if (shots_ >= rule_.maxShots) {
+        done_ = true;
+        return;
+    }
+    if (rule_.targetRelErr > 0.0 && failures_ >= rule_.minFailures) {
+        const double rate =
+            static_cast<double>(failures_) / static_cast<double>(shots_);
+        if (wilsonHalfWidth(failures_, shots_) <=
+            rule_.targetRelErr * rate) {
+            done_ = true;
+            stoppedEarly_ = true;
+        }
+    }
+}
+
+RateEstimate
+AdaptiveSampler::estimate() const
+{
+    return estimateRate(failures_, shots_);
+}
+
+} // namespace cyclone

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Chunked, deterministic, adaptive shot allocation for one task.
+ *
+ * Sampling is decomposed into fixed-size chunks whose RNG streams are
+ * derived from (task seed, chunk index) alone. Chunks are scheduled in
+ * waves; the stopping rule is evaluated only once a whole wave has
+ * been absorbed. Because neither the chunk boundaries nor the RNG
+ * streams nor the decision points depend on thread count or completion
+ * order, the estimate for a given seed is bit-identical whether the
+ * wave runs on one worker or sixteen.
+ */
+
+#ifndef CYCLONE_CAMPAIGN_ADAPTIVE_SAMPLER_H
+#define CYCLONE_CAMPAIGN_ADAPTIVE_SAMPLER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "campaign/campaign_spec.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "decoder/bposd_decoder.h"
+#include "dem/dem.h"
+#include "dem/dem_sampler.h"
+
+namespace cyclone {
+
+/** One chunk of shots to execute. */
+struct ChunkPlan
+{
+    size_t index = 0;  ///< Global chunk index within the task.
+    size_t shots = 0;  ///< Shots in this chunk (last chunk may be short).
+    uint64_t seed = 0; ///< Seed of the chunk's private RNG stream.
+};
+
+/** Counts produced by executing one chunk. */
+struct ChunkOutcome
+{
+    size_t shots = 0;
+    size_t failures = 0;
+};
+
+/**
+ * Sample and decode one chunk.
+ *
+ * `scratch` is a reusable shot buffer (see sampleDemInto); `decoder`
+ * carries per-worker BP/OSD state and accumulates its own statistics
+ * across chunks.
+ */
+ChunkOutcome runChunk(const DetectorErrorModel& dem, const ChunkPlan& plan,
+                      BpOsdDecoder& decoder, DemShots& scratch);
+
+/** Per-task accumulator and stopping-rule evaluator. */
+class AdaptiveSampler
+{
+  public:
+    AdaptiveSampler(StoppingRule rule, uint64_t taskSeed);
+
+    /**
+     * Plan the next wave of chunks, or an empty vector when the task
+     * is finished. Must only be called when no planned chunk is
+     * outstanding (the engine calls it at wave boundaries).
+     */
+    std::vector<ChunkPlan> nextWave();
+
+    /** Fold one executed chunk's counts in (order-independent). */
+    void absorb(const ChunkOutcome& outcome);
+
+    /** Whether the stopping rule has fired. */
+    bool done() const { return done_; }
+
+    /** True when the relative-error target fired before the cap. */
+    bool stoppedEarly() const { return stoppedEarly_; }
+
+    size_t shots() const { return shots_; }
+    size_t failures() const { return failures_; }
+    size_t chunksPlanned() const { return nextChunk_; }
+
+    /** Current estimate with Wilson half-width. */
+    RateEstimate estimate() const;
+
+  private:
+    void evaluateStop();
+
+    StoppingRule rule_;
+    uint64_t taskSeed_ = 0;
+    size_t nextChunk_ = 0;
+    size_t plannedShots_ = 0;
+    size_t shots_ = 0;
+    size_t failures_ = 0;
+    bool done_ = false;
+    bool stoppedEarly_ = false;
+};
+
+/** Derive the RNG seed of chunk `index` of a task. */
+uint64_t chunkSeed(uint64_t taskSeed, size_t index);
+
+} // namespace cyclone
+
+#endif // CYCLONE_CAMPAIGN_ADAPTIVE_SAMPLER_H

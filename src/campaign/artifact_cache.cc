@@ -1,0 +1,98 @@
+#include "campaign/artifact_cache.h"
+
+#include <exception>
+#include <utility>
+
+namespace cyclone {
+
+template <typename T>
+std::shared_ptr<const T>
+ArtifactCache::getOrBuild(
+    std::unordered_map<uint64_t, std::shared_ptr<Slot<T>>>& map,
+    uint64_t key, const std::function<T()>& build, size_t& hits,
+    size_t& misses)
+{
+    std::shared_ptr<Slot<T>> slot;
+    bool isBuilder = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto [it, inserted] = map.try_emplace(key);
+        if (inserted) {
+            it->second = std::make_shared<Slot<T>>();
+            isBuilder = true;
+            ++misses;
+        } else {
+            ++hits;
+        }
+        slot = it->second;
+    }
+
+    if (!isBuilder) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        ready_.wait(lock, [&] { return slot->ready; });
+        if (slot->error)
+            std::rethrow_exception(slot->error);
+        return slot->value;
+    }
+
+    std::shared_ptr<const T> value;
+    std::exception_ptr error;
+    try {
+        value = std::make_shared<const T>(build());
+    } catch (...) {
+        error = std::current_exception();
+    }
+    {
+        // Notify under the lock so the cache cannot be destroyed
+        // between a waiter waking and this call completing.
+        std::lock_guard<std::mutex> lock(mutex_);
+        slot->value = value;
+        slot->error = error;
+        slot->ready = true;
+        ready_.notify_all();
+    }
+    if (error)
+        std::rethrow_exception(error);
+    return value;
+}
+
+std::shared_ptr<const CompileResult>
+ArtifactCache::getOrBuildCompile(uint64_t key,
+                                 const std::function<CompileResult()>& build)
+{
+    return getOrBuild(compiles_, key, build, stats_.compileHits,
+                      stats_.compileMisses);
+}
+
+std::shared_ptr<const DetectorErrorModel>
+ArtifactCache::getOrBuildDem(uint64_t key,
+                             const std::function<DetectorErrorModel()>& build)
+{
+    return getOrBuild(dems_, key, build, stats_.demHits,
+                      stats_.demMisses);
+}
+
+CacheStats
+ArtifactCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+size_t
+ArtifactCache::entryCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return compiles_.size() + dems_.size();
+}
+
+void
+ArtifactCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    compiles_.clear();
+    dems_.clear();
+    stats_ = CacheStats{};
+}
+
+} // namespace cyclone

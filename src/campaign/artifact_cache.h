@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Content-hash keyed cache of compiled artifacts shared across tasks.
+ *
+ * The two expensive non-sampling stages of an LER point are compiling
+ * one syndrome round to a device (CompileResult) and folding the noisy
+ * memory circuit into a detector error model. Across a figure suite
+ * most tasks repeat both: every p of a (code, architecture) sweep
+ * shares the compile, and repeated points share the DEM. The cache
+ * keys each artifact by a content hash of exactly what determines it
+ * and dedupes concurrent builds, so one shared instance serves every
+ * campaign on the pool.
+ *
+ * Accounting: a *miss* is a lookup that had to run the builder; a
+ * *hit* reused a completed or in-flight build.
+ */
+
+#ifndef CYCLONE_CAMPAIGN_ARTIFACT_CACHE_H
+#define CYCLONE_CAMPAIGN_ARTIFACT_CACHE_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "compiler/compile_result.h"
+#include "dem/dem.h"
+
+namespace cyclone {
+
+/** Hit/miss counters for both cache layers. */
+struct CacheStats
+{
+    size_t compileHits = 0;
+    size_t compileMisses = 0;
+    size_t demHits = 0;
+    size_t demMisses = 0;
+};
+
+/** Thread-safe cache of CompileResults and DetectorErrorModels. */
+class ArtifactCache
+{
+  public:
+    /**
+     * Return the compile result for `key`, running `build` if absent.
+     * Concurrent callers with the same key block until the first
+     * caller's build completes and then share its result.
+     */
+    std::shared_ptr<const CompileResult>
+    getOrBuildCompile(uint64_t key,
+                      const std::function<CompileResult()>& build);
+
+    /** Same contract for detector error models. */
+    std::shared_ptr<const DetectorErrorModel>
+    getOrBuildDem(uint64_t key,
+                  const std::function<DetectorErrorModel()>& build);
+
+    /** Snapshot of the accounting counters. */
+    CacheStats stats() const;
+
+    /** Number of completed entries in both layers. */
+    size_t entryCount() const;
+
+    /** Drop all entries and reset the counters. */
+    void clear();
+
+  private:
+    template <typename T>
+    struct Slot
+    {
+        std::shared_ptr<const T> value;
+        std::exception_ptr error;
+        bool ready = false;
+    };
+
+    template <typename T>
+    std::shared_ptr<const T>
+    getOrBuild(std::unordered_map<uint64_t, std::shared_ptr<Slot<T>>>& map,
+               uint64_t key, const std::function<T()>& build,
+               size_t& hits, size_t& misses);
+
+    mutable std::mutex mutex_;
+    std::condition_variable ready_;
+    std::unordered_map<uint64_t, std::shared_ptr<Slot<CompileResult>>>
+        compiles_;
+    std::unordered_map<uint64_t, std::shared_ptr<Slot<DetectorErrorModel>>>
+        dems_;
+    CacheStats stats_;
+};
+
+} // namespace cyclone
+
+#endif // CYCLONE_CAMPAIGN_ARTIFACT_CACHE_H

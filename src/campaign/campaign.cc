@@ -1,0 +1,478 @@
+#include "campaign/campaign.h"
+
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "campaign/adaptive_sampler.h"
+#include "campaign/content_hash.h"
+#include "circuit/memory_circuit.h"
+#include "dem/dem_builder.h"
+#include "noise/noise_model.h"
+#include "qec/code_catalog.h"
+
+namespace cyclone {
+
+namespace {
+
+/** Per-worker sampling context: decoder state plus a reusable buffer. */
+struct WorkerCtx
+{
+    BpOsdDecoder decoder;
+    DemShots scratch;
+
+    WorkerCtx(const DetectorErrorModel& dem, const BpOptions& bp)
+        : decoder(dem, bp)
+    {}
+};
+
+struct TaskState
+{
+    const TaskSpec* spec = nullptr;
+    std::shared_ptr<const CssCode> code;
+    std::shared_ptr<const SyndromeSchedule> schedule;
+    uint64_t taskSeed = 0;
+    uint64_t codeHash = 0;
+    uint64_t scheduleHash = 0;
+    size_t rounds = 0;
+
+    // Written by the (single) resolve job, read by the coordinator
+    // after its Resolved event; the event queue orders the accesses.
+    std::shared_ptr<const DetectorErrorModel> dem;
+    double latencyUs = 0.0;
+
+    std::optional<AdaptiveSampler> sampler;
+    std::vector<std::unique_ptr<WorkerCtx>> workers;
+    size_t outstanding = 0;
+    double sampleSeconds = 0.0;
+    bool resolved = false;
+    bool failed = false;
+    bool finished = false;
+};
+
+enum class EventKind
+{
+    Resolved,
+    ChunkDone,
+    Failed,
+};
+
+struct Event
+{
+    EventKind kind = EventKind::Failed;
+    size_t task = 0;
+    ChunkOutcome outcome;
+    double seconds = 0.0;
+    std::string error;
+};
+
+/** Completion channel from pool workers to the coordinator. */
+struct EventQueue
+{
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Event> events;
+
+    void
+    push(Event e)
+    {
+        // Notify under the lock: the coordinator may pop this event,
+        // finish the run and destroy the queue; holding the mutex
+        // through the notify keeps the cv alive for the whole call.
+        std::lock_guard<std::mutex> lock(mutex);
+        events.push_back(std::move(e));
+        cv.notify_one();
+    }
+
+    Event
+    pop()
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] { return !events.empty(); });
+        Event e = std::move(events.front());
+        events.pop_front();
+        return e;
+    }
+};
+
+uint64_t
+taskContentHash(const TaskState& st)
+{
+    const TaskSpec& t = *st.spec;
+    HashStream h;
+    h.absorb(st.codeHash).absorb(st.scheduleHash);
+    h.absorb(uint64_t{t.compileLatency ? 1u : 0u});
+    if (t.compileLatency)
+        h.absorb(std::string(architectureName(t.architecture)));
+    else
+        h.absorb(t.roundLatencyUs);
+    h.absorb(t.latencyScale).absorb(t.physicalError);
+    h.absorb(uint64_t{st.rounds}).absorb(uint64_t{t.xBasis ? 1u : 0u});
+    h.absorb(uint64_t{static_cast<unsigned>(t.bp.variant)});
+    h.absorb(uint64_t{t.bp.maxIterations});
+    h.absorb(t.bp.minSumScale).absorb(t.bp.clamp);
+    h.absorb(uint64_t{t.stop.chunkShots});
+    h.absorb(uint64_t{t.stop.chunksPerWave});
+    h.absorb(uint64_t{t.stop.maxShots});
+    h.absorb(t.stop.targetRelErr);
+    h.absorb(uint64_t{t.stop.minFailures});
+    h.absorb(st.taskSeed);
+    return h.digest();
+}
+
+double
+elapsedSeconds(std::chrono::steady_clock::time_point since)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - since)
+        .count();
+}
+
+} // namespace
+
+CssCode
+resolveCampaignCode(const std::string& name)
+{
+    if (name.rfind("surface", 0) == 0 && name.size() > 7) {
+        char* end = nullptr;
+        const long d = std::strtol(name.c_str() + 7, &end, 10);
+        if (end != nullptr && *end == '\0' && d >= 2)
+            return catalog::surface(static_cast<size_t>(d));
+    }
+    return catalog::byName(name);
+}
+
+size_t
+CampaignResult::totalShots() const
+{
+    size_t total = 0;
+    for (const TaskResult& t : tasks)
+        total += t.logicalErrorRate.trials;
+    return total;
+}
+
+CampaignEngine::CampaignEngine(ThreadPool& pool, ArtifactCache& cache)
+    : pool_(pool), cache_(cache)
+{}
+
+CampaignResult
+CampaignEngine::run(const CampaignSpec& spec,
+                    const CampaignCheckpoint* resume,
+                    const TaskCallback& onTaskDone)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    const CacheStats before = cache_.stats();
+    const size_t n = spec.tasks.size();
+
+    CampaignResult result;
+    result.name = spec.name;
+    result.seed = spec.seed;
+    result.tasks.resize(n);
+
+    std::vector<TaskState> states(n);
+    std::unordered_map<std::string, std::shared_ptr<const CssCode>>
+        codeByName;
+    std::unordered_map<const CssCode*,
+                       std::shared_ptr<const SyndromeSchedule>>
+        schedByCode;
+
+    // Resolve codes, schedules, seeds and identities up front on the
+    // coordinator: cheap, and bad specs fail before any job launches.
+    for (size_t i = 0; i < n; ++i) {
+        const TaskSpec& t = spec.tasks[i];
+        TaskState& st = states[i];
+        st.spec = &t;
+        if (t.code) {
+            st.code = t.code;
+        } else {
+            if (t.codeName.empty())
+                throw std::invalid_argument(
+                    "TaskSpec needs codeName or an inline code");
+            auto it = codeByName.find(t.codeName);
+            if (it == codeByName.end())
+                it = codeByName
+                         .emplace(t.codeName,
+                                  std::make_shared<const CssCode>(
+                                      resolveCampaignCode(t.codeName)))
+                         .first;
+            st.code = it->second;
+        }
+        if (t.schedule) {
+            st.schedule = t.schedule;
+        } else {
+            auto it = schedByCode.find(st.code.get());
+            if (it == schedByCode.end())
+                it = schedByCode
+                         .emplace(st.code.get(),
+                                  std::make_shared<
+                                      const SyndromeSchedule>(
+                                      makeXThenZSchedule(*st.code)))
+                         .first;
+            st.schedule = it->second;
+        }
+        st.rounds = t.rounds > 0
+            ? t.rounds
+            : (st.code->nominalDistance() > 0 ? st.code->nominalDistance()
+                                              : 3);
+        st.codeHash = hashCode(*st.code);
+        st.scheduleHash = hashSchedule(*st.schedule);
+        HashStream seedMix;
+        seedMix.absorb(spec.seed).absorb(uint64_t{i}).absorb(t.seed);
+        st.taskSeed = seedMix.digest();
+        st.workers.resize(pool_.size());
+
+        TaskResult& r = result.tasks[i];
+        r.id = !t.id.empty() ? t.id : "task" + std::to_string(i);
+        r.codeName = !t.codeName.empty() ? t.codeName : st.code->name();
+        r.architecture = t.compileLatency
+            ? architectureName(t.architecture)
+            : "explicit";
+        r.physicalError = t.physicalError;
+        r.rounds = st.rounds;
+        r.xBasis = t.xBasis;
+        r.contentHash = taskContentHash(st);
+    }
+
+    EventQueue events;
+    size_t remaining = 0;
+
+    auto finalize = [&](size_t i) {
+        TaskState& st = states[i];
+        TaskResult& r = result.tasks[i];
+        st.finished = true;
+        if (st.sampler) {
+            r.logicalErrorRate = st.sampler->estimate();
+            r.wilson = wilsonHalfWidth(st.sampler->failures(),
+                                       st.sampler->shots());
+            r.chunks = st.sampler->chunksPlanned();
+            r.stoppedEarly = st.sampler->stoppedEarly();
+        }
+        r.roundLatencyUs = st.latencyUs;
+        if (st.dem) {
+            r.demDetectors = st.dem->numDetectors;
+            r.demMechanisms = st.dem->mechanisms.size();
+        }
+        r.sampleSeconds = st.sampleSeconds;
+        if (r.rounds > 0 && r.logicalErrorRate.trials > 0) {
+            const double ler =
+                std::min(r.logicalErrorRate.rate, 1.0 - 1e-12);
+            r.perRoundErrorRate = 1.0 -
+                std::pow(1.0 - ler,
+                         1.0 / static_cast<double>(r.rounds));
+        }
+        for (const auto& ctx : st.workers) {
+            if (!ctx)
+                continue;
+            const BpOsdStats& s = ctx->decoder.stats();
+            r.decoder.decodes += s.decodes;
+            r.decoder.bpConverged += s.bpConverged;
+            r.decoder.osdInvocations += s.osdInvocations;
+            r.decoder.osdFailures += s.osdFailures;
+        }
+        if (onTaskDone)
+            onTaskDone(r);
+    };
+
+    auto dispatchWave = [&](size_t i) -> bool {
+        TaskState& st = states[i];
+        std::vector<ChunkPlan> wave = st.sampler->nextWave();
+        if (wave.empty())
+            return false;
+        st.outstanding = wave.size();
+        for (const ChunkPlan& plan : wave) {
+            pool_.submit([&events, &st, i, plan] {
+                const auto c0 = std::chrono::steady_clock::now();
+                Event e;
+                e.task = i;
+                try {
+                    const int w = ThreadPool::workerIndex();
+                    auto& ctx = st.workers[w >= 0
+                                               ? static_cast<size_t>(w)
+                                               : 0];
+                    if (!ctx)
+                        ctx = std::make_unique<WorkerCtx>(*st.dem,
+                                                          st.spec->bp);
+                    e.outcome =
+                        runChunk(*st.dem, plan, ctx->decoder,
+                                 ctx->scratch);
+                    e.kind = EventKind::ChunkDone;
+                } catch (const std::exception& ex) {
+                    e.kind = EventKind::Failed;
+                    e.error = ex.what();
+                } catch (...) {
+                    e.kind = EventKind::Failed;
+                    e.error = "unknown sampling error";
+                }
+                e.seconds = elapsedSeconds(c0);
+                events.push(std::move(e));
+            });
+        }
+        return true;
+    };
+
+    // Checkpointed tasks are done before any job launches; the rest
+    // get a resolve job (compile + DEM build through the shared cache).
+    for (size_t i = 0; i < n; ++i) {
+        TaskResult& r = result.tasks[i];
+        if (resume != nullptr) {
+            auto it = resume->tasks.find(r.contentHash);
+            if (it != resume->tasks.end()) {
+                const TaskResult& saved = it->second;
+                r.logicalErrorRate = saved.logicalErrorRate;
+                r.wilson = saved.wilson;
+                r.perRoundErrorRate = saved.perRoundErrorRate;
+                r.roundLatencyUs = saved.roundLatencyUs;
+                r.demDetectors = saved.demDetectors;
+                r.demMechanisms = saved.demMechanisms;
+                r.decoder = saved.decoder;
+                r.chunks = saved.chunks;
+                r.stoppedEarly = saved.stoppedEarly;
+                r.sampleSeconds = saved.sampleSeconds;
+                r.fromCheckpoint = true;
+                states[i].finished = true;
+                if (onTaskDone)
+                    onTaskDone(r);
+                continue;
+            }
+        }
+        ++remaining;
+    }
+
+    for (size_t i = 0; i < n; ++i) {
+        if (states[i].finished)
+            continue;
+        TaskState& st = states[i];
+        pool_.submit([this, &events, &st, i] {
+            Event e;
+            e.task = i;
+            try {
+                const TaskSpec& t = *st.spec;
+                double latency = t.roundLatencyUs;
+                if (t.compileLatency) {
+                    HashStream ch;
+                    ch.absorb(st.codeHash)
+                        .absorb(st.scheduleHash)
+                        .absorb(std::string(
+                            architectureName(t.architecture)));
+                    latency =
+                        cache_
+                            .getOrBuildCompile(
+                                ch.digest(),
+                                [&] {
+                                    CodesignConfig config;
+                                    config.architecture = t.architecture;
+                                    return compileCodesign(*st.code,
+                                                           *st.schedule,
+                                                           config);
+                                })
+                            ->execTimeUs;
+                }
+                latency *= t.latencyScale;
+                st.latencyUs = latency;
+
+                HashStream dh;
+                dh.absorb(st.codeHash)
+                    .absorb(st.scheduleHash)
+                    .absorb(t.physicalError)
+                    .absorb(latency)
+                    .absorb(uint64_t{st.rounds})
+                    .absorb(uint64_t{t.xBasis ? 1u : 0u});
+                st.dem = cache_.getOrBuildDem(dh.digest(), [&] {
+                    MemoryCircuitOptions opts;
+                    opts.rounds = st.rounds;
+                    opts.noise = latency > 0.0
+                        ? NoiseModel::withLatency(t.physicalError,
+                                                  latency)
+                        : NoiseModel::uniform(t.physicalError);
+                    const Circuit circuit = t.xBasis
+                        ? buildXMemoryCircuit(*st.code, *st.schedule,
+                                              opts)
+                        : buildZMemoryCircuit(*st.code, *st.schedule,
+                                              opts);
+                    return buildDetectorErrorModel(circuit);
+                });
+                e.kind = EventKind::Resolved;
+            } catch (const std::exception& ex) {
+                e.kind = EventKind::Failed;
+                e.error = ex.what();
+            } catch (...) {
+                e.kind = EventKind::Failed;
+                e.error = "unknown build error";
+            }
+            events.push(std::move(e));
+        });
+    }
+
+    while (remaining > 0) {
+        Event e = events.pop();
+        TaskState& st = states[e.task];
+        if (st.finished)
+            continue;
+        switch (e.kind) {
+          case EventKind::Resolved:
+            st.resolved = true;
+            st.sampler.emplace(st.spec->stop, st.taskSeed);
+            if (!dispatchWave(e.task)) {
+                finalize(e.task);
+                --remaining;
+            }
+            break;
+          case EventKind::ChunkDone:
+            st.sampler->absorb(e.outcome);
+            st.sampleSeconds += e.seconds;
+            if (--st.outstanding == 0) {
+                if (st.failed || st.sampler->done() ||
+                    !dispatchWave(e.task)) {
+                    finalize(e.task);
+                    --remaining;
+                }
+            }
+            break;
+          case EventKind::Failed:
+            if (result.tasks[e.task].error.empty())
+                result.tasks[e.task].error = e.error;
+            if (!st.resolved) {
+                finalize(e.task);
+                --remaining;
+            } else {
+                // A chunk failed: drain the rest of its wave before
+                // finalizing so no job still references this task.
+                st.failed = true;
+                st.sampleSeconds += e.seconds;
+                if (--st.outstanding == 0) {
+                    finalize(e.task);
+                    --remaining;
+                }
+            }
+            break;
+        }
+    }
+
+    const CacheStats after = cache_.stats();
+    result.cache.compileHits = after.compileHits - before.compileHits;
+    result.cache.compileMisses =
+        after.compileMisses - before.compileMisses;
+    result.cache.demHits = after.demHits - before.demHits;
+    result.cache.demMisses = after.demMisses - before.demMisses;
+    result.wallSeconds = elapsedSeconds(t0);
+    return result;
+}
+
+CampaignResult
+runCampaign(const CampaignSpec& spec, const CampaignCheckpoint* resume,
+            const CampaignEngine::TaskCallback& onTaskDone)
+{
+    ThreadPool pool(spec.threads);
+    ArtifactCache cache;
+    CampaignEngine engine(pool, cache);
+    return engine.run(spec, resume, onTaskDone);
+}
+
+} // namespace cyclone

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The campaign engine: adaptive Monte-Carlo orchestration of many
+ * logical-error-rate experiments on one shared work-stealing pool.
+ *
+ * The engine turns a declarative CampaignSpec into per-task LER
+ * estimates. Every stage runs as pool jobs: architecture compiles and
+ * DEM builds are deduplicated through the shared ArtifactCache, and
+ * sampling is scheduled in deterministic chunk waves whose shot totals
+ * adapt per task (see AdaptiveSampler). The caller's thread only
+ * coordinates, so campaigns scale to every core the pool owns while
+ * remaining bit-reproducible for a fixed seed at any thread count.
+ */
+
+#ifndef CYCLONE_CAMPAIGN_CAMPAIGN_H
+#define CYCLONE_CAMPAIGN_CAMPAIGN_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "campaign/artifact_cache.h"
+#include "campaign/campaign_spec.h"
+#include "campaign/thread_pool.h"
+#include "common/stats.h"
+#include "decoder/bposd_decoder.h"
+
+namespace cyclone {
+
+/** Outcome of one campaign task. */
+struct TaskResult
+{
+    std::string id;
+    std::string codeName;
+    /** Architecture name, or "explicit" for a fixed-latency task. */
+    std::string architecture;
+
+    double physicalError = 0.0;
+    size_t rounds = 0;
+    double roundLatencyUs = 0.0;
+    bool xBasis = false;
+
+    /** Shot counts with normal-approximation stderr. */
+    RateEstimate logicalErrorRate;
+    /** Wilson 95% half-width of the estimate. */
+    double wilson = 0.0;
+    /** Per-round failure rate: 1 - (1 - LER)^(1/rounds). */
+    double perRoundErrorRate = 0.0;
+
+    size_t demDetectors = 0;
+    size_t demMechanisms = 0;
+    BpOsdStats decoder;
+
+    size_t chunks = 0;
+    bool stoppedEarly = false;
+    bool fromCheckpoint = false;
+    /** Summed worker time spent sampling+decoding, seconds. */
+    double sampleSeconds = 0.0;
+
+    /** Content hash of the task (checkpoint identity). */
+    uint64_t contentHash = 0;
+
+    /** Non-empty when the task failed to build or sample. */
+    std::string error;
+};
+
+/** Completed tasks from a previous run, keyed by content hash. */
+struct CampaignCheckpoint
+{
+    std::unordered_map<uint64_t, TaskResult> tasks;
+};
+
+/** Outcome of a whole campaign. */
+struct CampaignResult
+{
+    std::string name;
+    uint64_t seed = 0;
+    std::vector<TaskResult> tasks;
+
+    /** Cache activity during this run (delta, not lifetime). */
+    CacheStats cache;
+
+    double wallSeconds = 0.0;
+
+    /** Total Monte-Carlo shots across tasks (checkpointed included). */
+    size_t totalShots() const;
+};
+
+/** Orchestrates campaigns over a shared pool and artifact cache. */
+class CampaignEngine
+{
+  public:
+    /** Called on the coordinating thread as each task completes. */
+    using TaskCallback = std::function<void(const TaskResult&)>;
+
+    /** Pool and cache must outlive the engine. */
+    CampaignEngine(ThreadPool& pool, ArtifactCache& cache);
+
+    /**
+     * Execute every task of `spec` to completion.
+     *
+     * @param spec the campaign
+     * @param resume previously completed tasks to skip (matched by
+     *        content hash), e.g. loaded from a checkpoint file
+     * @param onTaskDone per-task completion hook (progress printing,
+     *        incremental checkpointing)
+     */
+    CampaignResult run(const CampaignSpec& spec,
+                       const CampaignCheckpoint* resume = nullptr,
+                       const TaskCallback& onTaskDone = nullptr);
+
+  private:
+    ThreadPool& pool_;
+    ArtifactCache& cache_;
+};
+
+/** One-call convenience: private pool (spec.threads) and cache. */
+CampaignResult runCampaign(const CampaignSpec& spec,
+                           const CampaignCheckpoint* resume = nullptr,
+                           const CampaignEngine::TaskCallback& onTaskDone =
+                               nullptr);
+
+/**
+ * Resolve a campaign code name: any catalog::byName() name, plus
+ * "surface<d>" for the distance-d surface code. Throws on unknown
+ * names.
+ */
+CssCode resolveCampaignCode(const std::string& name);
+
+} // namespace cyclone
+
+#endif // CYCLONE_CAMPAIGN_CAMPAIGN_H

@@ -1,0 +1,455 @@
+#include "campaign/campaign_io.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace cyclone {
+
+namespace {
+
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+num(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.12g", v);
+    return buf;
+}
+
+std::string
+csvField(const std::string& s)
+{
+    if (s.find_first_of(",\"\n\r") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::string
+trim(const std::string& s)
+{
+    size_t b = 0;
+    size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+std::vector<std::string>
+splitList(const std::string& s)
+{
+    std::vector<std::string> out;
+    std::string item;
+    std::istringstream in(s);
+    while (std::getline(in, item, ',')) {
+        item = trim(item);
+        if (!item.empty())
+            out.push_back(item);
+    }
+    return out;
+}
+
+[[noreturn]] void
+specError(size_t line, const std::string& message)
+{
+    throw std::runtime_error("campaign spec line " +
+                             std::to_string(line) + ": " + message);
+}
+
+/** One [task] block before arch/p expansion. */
+struct TaskBlock
+{
+    TaskSpec base;
+    std::vector<std::string> archs{"cyclone"};
+    std::vector<double> ps{1e-3};
+    size_t line = 0;
+};
+
+bool
+parseArchitecture(const std::string& name, TaskSpec& task)
+{
+    if (name == "none" || name == "explicit") {
+        task.compileLatency = false;
+        return true;
+    }
+    task.compileLatency = true;
+    if (name == "cyclone")
+        task.architecture = Architecture::Cyclone;
+    else if (name == "baseline" || name == "baseline-grid")
+        task.architecture = Architecture::BaselineGrid;
+    else if (name == "alternate" || name == "alternate-grid")
+        task.architecture = Architecture::AlternateGrid;
+    else if (name == "dynamic" || name == "dynamic-grid")
+        task.architecture = Architecture::DynamicGrid;
+    else if (name == "ring" || name == "ring-ejf")
+        task.architecture = Architecture::RingEjf;
+    else if (name == "mesh" || name == "mesh-junction")
+        task.architecture = Architecture::MeshJunction;
+    else
+        return false;
+    return true;
+}
+
+void
+expandBlock(const TaskBlock& block, CampaignSpec& spec)
+{
+    const bool multi = block.archs.size() * block.ps.size() > 1;
+    for (const std::string& archName : block.archs) {
+        for (double p : block.ps) {
+            TaskSpec task = block.base;
+            if (!parseArchitecture(archName, task))
+                specError(block.line,
+                          "unknown architecture '" + archName + "'");
+            task.physicalError = p;
+            if (!task.id.empty() && multi) {
+                char suffix[48];
+                std::snprintf(suffix, sizeof suffix, "/%s/p=%.3g",
+                              archName.c_str(), p);
+                task.id += suffix;
+            }
+            spec.tasks.push_back(std::move(task));
+        }
+    }
+}
+
+} // namespace
+
+std::string
+campaignResultToJson(const CampaignResult& result)
+{
+    std::ostringstream out;
+    out << "{\n";
+    out << "  \"campaign\": \"" << jsonEscape(result.name) << "\",\n";
+    out << "  \"seed\": " << result.seed << ",\n";
+    out << "  \"wall_seconds\": " << num(result.wallSeconds) << ",\n";
+    out << "  \"total_shots\": " << result.totalShots() << ",\n";
+    out << "  \"cache\": {\"compile_hits\": " << result.cache.compileHits
+        << ", \"compile_misses\": " << result.cache.compileMisses
+        << ", \"dem_hits\": " << result.cache.demHits
+        << ", \"dem_misses\": " << result.cache.demMisses << "},\n";
+    out << "  \"tasks\": [\n";
+    for (size_t i = 0; i < result.tasks.size(); ++i) {
+        const TaskResult& t = result.tasks[i];
+        out << "    {\"id\": \"" << jsonEscape(t.id) << "\", \"code\": \""
+            << jsonEscape(t.codeName) << "\", \"architecture\": \""
+            << jsonEscape(t.architecture) << "\", \"p\": "
+            << num(t.physicalError) << ", \"rounds\": " << t.rounds
+            << ", \"basis\": \"" << (t.xBasis ? 'x' : 'z')
+            << "\", \"round_latency_us\": " << num(t.roundLatencyUs)
+            << ",\n     \"shots\": " << t.logicalErrorRate.trials
+            << ", \"failures\": " << t.logicalErrorRate.successes
+            << ", \"ler\": " << num(t.logicalErrorRate.rate)
+            << ", \"stderr\": " << num(t.logicalErrorRate.stderr)
+            << ", \"wilson\": " << num(t.wilson)
+            << ", \"per_round_ler\": " << num(t.perRoundErrorRate)
+            << ",\n     \"dem_detectors\": " << t.demDetectors
+            << ", \"dem_mechanisms\": " << t.demMechanisms
+            << ", \"chunks\": " << t.chunks << ", \"stopped_early\": "
+            << (t.stoppedEarly ? "true" : "false")
+            << ", \"from_checkpoint\": "
+            << (t.fromCheckpoint ? "true" : "false")
+            << ", \"sample_seconds\": " << num(t.sampleSeconds)
+            << ",\n     \"decoder\": {\"decodes\": " << t.decoder.decodes
+            << ", \"bp_converged\": " << t.decoder.bpConverged
+            << ", \"osd_invocations\": " << t.decoder.osdInvocations
+            << ", \"osd_failures\": " << t.decoder.osdFailures << "}";
+        if (!t.error.empty())
+            out << ", \"error\": \"" << jsonEscape(t.error) << "\"";
+        out << "}";
+        if (i + 1 < result.tasks.size())
+            out << ",";
+        out << "\n";
+    }
+    out << "  ]\n";
+    out << "}\n";
+    return out.str();
+}
+
+std::string
+campaignResultToCsv(const CampaignResult& result)
+{
+    std::ostringstream out;
+    out << "id,code,architecture,p,rounds,basis,round_latency_us,shots,"
+           "failures,ler,wilson,per_round_ler,chunks,stopped_early,"
+           "from_checkpoint,sample_seconds,error\n";
+    for (const TaskResult& t : result.tasks) {
+        out << csvField(t.id) << ',' << csvField(t.codeName) << ','
+            << csvField(t.architecture) << ','
+            << num(t.physicalError) << ',' << t.rounds << ','
+            << (t.xBasis ? 'x' : 'z') << ',' << num(t.roundLatencyUs)
+            << ',' << t.logicalErrorRate.trials << ','
+            << t.logicalErrorRate.successes << ','
+            << num(t.logicalErrorRate.rate) << ',' << num(t.wilson)
+            << ',' << num(t.perRoundErrorRate) << ',' << t.chunks << ','
+            << (t.stoppedEarly ? 1 : 0) << ','
+            << (t.fromCheckpoint ? 1 : 0) << ',' << num(t.sampleSeconds)
+            << ',' << csvField(t.error) << '\n';
+    }
+    return out.str();
+}
+
+bool
+writeTextFile(const std::string& path, const std::string& content)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        if (!out)
+            return false;
+        out << content;
+        if (!out)
+            return false;
+    }
+    return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+bool
+saveCheckpoint(const CampaignResult& result, const std::string& path)
+{
+    std::ostringstream out;
+    out << "cyclone-campaign-checkpoint v1\n";
+    for (const TaskResult& t : result.tasks) {
+        if (!t.error.empty() || t.logicalErrorRate.trials == 0)
+            continue;
+        char line[256];
+        std::snprintf(line, sizeof line,
+                      "task %016llx %zu %.17g %zu %zu %zu %zu %zu %d "
+                      "%zu %zu %zu %zu %.6f\n",
+                      static_cast<unsigned long long>(t.contentHash),
+                      t.rounds, t.roundLatencyUs, t.demDetectors,
+                      t.demMechanisms, t.logicalErrorRate.trials,
+                      t.logicalErrorRate.successes, t.chunks,
+                      t.stoppedEarly ? 1 : 0, t.decoder.decodes,
+                      t.decoder.bpConverged, t.decoder.osdInvocations,
+                      t.decoder.osdFailures, t.sampleSeconds);
+        out << line;
+    }
+    return writeTextFile(path, out.str());
+}
+
+bool
+loadCheckpoint(const std::string& path, CampaignCheckpoint& out)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::string header;
+    if (!std::getline(in, header) ||
+        trim(header) != "cyclone-campaign-checkpoint v1")
+        return false;
+    std::string line;
+    while (std::getline(in, line)) {
+        line = trim(line);
+        if (line.empty())
+            continue;
+        unsigned long long hash = 0;
+        size_t rounds = 0, detectors = 0, mechanisms = 0, shots = 0,
+               failures = 0, chunks = 0, decodes = 0, converged = 0,
+               osdInv = 0, osdFail = 0;
+        double latency = 0.0, seconds = 0.0;
+        int early = 0;
+        const int got = std::sscanf(
+            line.c_str(),
+            "task %llx %zu %lg %zu %zu %zu %zu %zu %d %zu %zu %zu %zu "
+            "%lg",
+            &hash, &rounds, &latency, &detectors, &mechanisms, &shots,
+            &failures, &chunks, &early, &decodes, &converged, &osdInv,
+            &osdFail, &seconds);
+        if (got != 14)
+            return false;
+        TaskResult t;
+        t.contentHash = hash;
+        t.rounds = rounds;
+        t.roundLatencyUs = latency;
+        t.demDetectors = detectors;
+        t.demMechanisms = mechanisms;
+        t.logicalErrorRate = estimateRate(failures, shots);
+        t.wilson = wilsonHalfWidth(failures, shots);
+        if (rounds > 0 && shots > 0) {
+            const double ler =
+                t.logicalErrorRate.rate < 1.0 ? t.logicalErrorRate.rate
+                                              : 1.0 - 1e-12;
+            t.perRoundErrorRate =
+                1.0 - std::pow(1.0 - ler,
+                               1.0 / static_cast<double>(rounds));
+        }
+        t.chunks = chunks;
+        t.stoppedEarly = early != 0;
+        t.decoder.decodes = decodes;
+        t.decoder.bpConverged = converged;
+        t.decoder.osdInvocations = osdInv;
+        t.decoder.osdFailures = osdFail;
+        t.sampleSeconds = seconds;
+        t.fromCheckpoint = true;
+        out.tasks[t.contentHash] = t;
+    }
+    return true;
+}
+
+CampaignSpec
+parseCampaignSpec(const std::string& text)
+{
+    CampaignSpec spec;
+    std::vector<TaskBlock> blocks;
+    TaskBlock* current = nullptr;
+
+    std::istringstream in(text);
+    std::string raw;
+    size_t lineno = 0;
+    while (std::getline(in, raw)) {
+        ++lineno;
+        const size_t comment = raw.find('#');
+        if (comment != std::string::npos)
+            raw.resize(comment);
+        const std::string line = trim(raw);
+        if (line.empty())
+            continue;
+        if (line == "[task]") {
+            blocks.emplace_back();
+            blocks.back().line = lineno;
+            current = &blocks.back();
+            continue;
+        }
+        if (line.front() == '[')
+            specError(lineno, "unknown section '" + line + "'");
+        const size_t eq = line.find('=');
+        if (eq == std::string::npos)
+            specError(lineno, "expected key = value");
+        const std::string key = trim(line.substr(0, eq));
+        const std::string value = trim(line.substr(eq + 1));
+        if (key.empty() || value.empty())
+            specError(lineno, "expected key = value");
+
+        try {
+            if (current == nullptr) {
+                if (key == "name")
+                    spec.name = value;
+                else if (key == "seed")
+                    spec.seed = std::stoull(value);
+                else if (key == "threads")
+                    spec.threads = std::stoull(value);
+                else
+                    specError(lineno,
+                              "unknown campaign key '" + key + "'");
+                continue;
+            }
+            TaskSpec& t = current->base;
+            if (key == "id") {
+                t.id = value;
+            } else if (key == "code") {
+                t.codeName = value;
+            } else if (key == "arch") {
+                current->archs = splitList(value);
+                if (current->archs.empty())
+                    specError(lineno, "empty arch list");
+            } else if (key == "p") {
+                current->ps.clear();
+                for (const std::string& item : splitList(value))
+                    current->ps.push_back(std::stod(item));
+                if (current->ps.empty())
+                    specError(lineno, "empty p list");
+            } else if (key == "rounds") {
+                t.rounds = std::stoull(value);
+            } else if (key == "basis") {
+                if (value == "z")
+                    t.xBasis = false;
+                else if (value == "x")
+                    t.xBasis = true;
+                else
+                    specError(lineno, "basis must be z or x");
+            } else if (key == "latency_us") {
+                t.roundLatencyUs = std::stod(value);
+            } else if (key == "latency_scale") {
+                t.latencyScale = std::stod(value);
+            } else if (key == "chunk_shots") {
+                t.stop.chunkShots = std::stoull(value);
+            } else if (key == "chunks_per_wave") {
+                t.stop.chunksPerWave = std::stoull(value);
+            } else if (key == "max_shots") {
+                t.stop.maxShots = std::stoull(value);
+            } else if (key == "target_rel_err") {
+                t.stop.targetRelErr = std::stod(value);
+            } else if (key == "min_failures") {
+                t.stop.minFailures = std::stoull(value);
+            } else if (key == "seed") {
+                t.seed = std::stoull(value);
+            } else if (key == "bp") {
+                if (value == "minsum")
+                    t.bp.variant = BpOptions::Variant::MinSum;
+                else if (value == "productsum")
+                    t.bp.variant = BpOptions::Variant::ProductSum;
+                else
+                    specError(lineno, "bp must be minsum or productsum");
+            } else if (key == "bp_iters") {
+                t.bp.maxIterations = std::stoull(value);
+            } else {
+                specError(lineno, "unknown task key '" + key + "'");
+            }
+        } catch (const std::invalid_argument&) {
+            specError(lineno, "bad number in '" + value + "'");
+        } catch (const std::out_of_range&) {
+            specError(lineno, "number out of range in '" + value + "'");
+        }
+    }
+
+    for (const TaskBlock& block : blocks) {
+        if (block.base.codeName.empty())
+            specError(block.line, "[task] section needs a code");
+        expandBlock(block, spec);
+    }
+    if (spec.tasks.empty())
+        throw std::runtime_error("campaign spec defines no tasks");
+    return spec;
+}
+
+CampaignSpec
+loadCampaignSpec(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot open campaign spec: " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parseCampaignSpec(buffer.str());
+}
+
+} // namespace cyclone

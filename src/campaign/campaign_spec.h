@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Declarative description of a Monte-Carlo campaign.
+ *
+ * A campaign is a batch of logical-error-rate experiment points — the
+ * raw material of every LER figure in the paper (Figs. 5, 14, 15, 19,
+ * 21) — executed together on one shared work-stealing pool with shared
+ * compile/DEM caches and per-task adaptive shot allocation. Each
+ * TaskSpec names a code, an architecture (or an explicit round
+ * latency), a physical error rate, a round count, and a stopping rule;
+ * the engine resolves, builds, samples and decodes them concurrently.
+ */
+
+#ifndef CYCLONE_CAMPAIGN_CAMPAIGN_SPEC_H
+#define CYCLONE_CAMPAIGN_CAMPAIGN_SPEC_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/codesign.h"
+#include "decoder/bp_decoder.h"
+#include "qec/css_code.h"
+#include "qec/schedule.h"
+
+namespace cyclone {
+
+/**
+ * When to stop sampling one task.
+ *
+ * Sampling proceeds in chunks of `chunkShots` shots, scheduled
+ * `chunksPerWave` at a time; the rule is evaluated only at wave
+ * boundaries on the cumulative counts, which keeps the shot total a
+ * deterministic function of the seed alone (never of thread count or
+ * completion order).
+ *
+ * With `targetRelErr == 0` the rule is a fixed budget: exactly
+ * `maxShots` shots. With `targetRelErr > 0` the task additionally
+ * stops at the first wave boundary where at least `minFailures`
+ * failures have been seen and the Wilson 95% half-width is within
+ * `targetRelErr * rate` — so easy (high-LER) points finish in a few
+ * chunks while threshold-region points run to the cap.
+ */
+struct StoppingRule
+{
+    size_t chunkShots = 256;
+    size_t chunksPerWave = 4;
+    size_t maxShots = 100000;
+    double targetRelErr = 0.0;
+    size_t minFailures = 8;
+};
+
+/** One experiment point of a campaign. */
+struct TaskSpec
+{
+    /** Label in results ("" = auto "task<N>"). */
+    std::string id;
+
+    /**
+     * Catalog code name ("bb72", "hgp225", ... or "surface<d>").
+     * Ignored when `code` is set directly.
+     */
+    std::string codeName;
+
+    /** Pre-resolved code (lets callers bypass the catalog). */
+    std::shared_ptr<const CssCode> code;
+
+    /** Pre-resolved schedule (default: x-then-z for the code). */
+    std::shared_ptr<const SyndromeSchedule> schedule;
+
+    /** Architecture compiled for the round latency. */
+    Architecture architecture = Architecture::Cyclone;
+
+    /**
+     * When true the round latency is the compiled makespan of one
+     * syndrome round under `architecture` (cached across tasks);
+     * when false `roundLatencyUs` is used as-is.
+     */
+    bool compileLatency = true;
+
+    /** Explicit round latency in us (compileLatency == false). */
+    double roundLatencyUs = 0.0;
+
+    /**
+     * Multiplier applied to the (compiled or explicit) latency.
+     * Fig. 5's speedup sweep uses 1/speedup here.
+     */
+    double latencyScale = 1.0;
+
+    /** Physical error rate p. */
+    double physicalError = 1e-3;
+
+    /** Syndrome rounds (0 = the code's nominal distance). */
+    size_t rounds = 0;
+
+    /** false = Z memory, true = X memory. */
+    bool xBasis = false;
+
+    /** Decoder configuration. */
+    BpOptions bp;
+
+    /** Shot allocation rule. */
+    StoppingRule stop;
+
+    /**
+     * Per-task seed salt. The effective task seed mixes the campaign
+     * seed, the task index, and this value, so identical specs run
+     * identically and editing one task never reseeds its neighbours.
+     */
+    uint64_t seed = 0;
+};
+
+/** A batch of tasks executed on one pool with shared caches. */
+struct CampaignSpec
+{
+    std::string name = "campaign";
+    uint64_t seed = 0x5eed;
+
+    /** Worker threads (0 = hardware concurrency). */
+    size_t threads = 0;
+
+    std::vector<TaskSpec> tasks;
+};
+
+} // namespace cyclone
+
+#endif // CYCLONE_CAMPAIGN_CAMPAIGN_SPEC_H

@@ -1,0 +1,41 @@
+#include "campaign/content_hash.h"
+
+#include "qec/css_code.h"
+#include "qec/schedule.h"
+
+namespace cyclone {
+
+uint64_t
+hashCode(const CssCode& code)
+{
+    HashStream h;
+    h.absorb(uint64_t{code.numQubits()});
+    const SparseGF2* mats[] = {&code.hx(), &code.hz()};
+    for (const SparseGF2* m : mats) {
+        h.absorb(uint64_t{m->rows()}).absorb(uint64_t{m->cols()});
+        for (size_t r = 0; r < m->rows(); ++r) {
+            for (size_t c : m->rowSupport(r))
+                h.absorb(uint64_t{c});
+            h.absorb(uint64_t{0xffffffffffffffffull});
+        }
+    }
+    return h.digest();
+}
+
+uint64_t
+hashSchedule(const SyndromeSchedule& schedule)
+{
+    HashStream h;
+    h.absorb(schedule.policy());
+    for (const auto& slice : schedule.slices()) {
+        for (const ScheduledGate& g : slice) {
+            h.absorb(uint64_t{g.kind == StabKind::X ? 1u : 2u});
+            h.absorb(uint64_t{g.stabIndex});
+            h.absorb(uint64_t{g.data});
+        }
+        h.absorb(uint64_t{0xffffffffffffffffull});
+    }
+    return h.digest();
+}
+
+} // namespace cyclone

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Content hashing for campaign artifact keys.
+ *
+ * Cache keys must identify *what would be built*, not which task asked
+ * for it: two tasks that compile the same code under the same
+ * architecture options share one CompileResult, and two tasks with the
+ * same circuit-level noise share one detector error model. The stream
+ * hashes structural content (parity-check supports, schedule slices,
+ * option fields) with FNV-1a over 64-bit words, mixed once more on
+ * extraction.
+ */
+
+#ifndef CYCLONE_CAMPAIGN_CONTENT_HASH_H
+#define CYCLONE_CAMPAIGN_CONTENT_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace cyclone {
+
+class CssCode;
+class SyndromeSchedule;
+
+/** Incremental FNV-1a/splitmix content hasher. */
+class HashStream
+{
+  public:
+    HashStream& absorb(uint64_t value)
+    {
+        // FNV-1a, one byte at a time over the word.
+        for (int i = 0; i < 8; ++i) {
+            state_ ^= (value >> (8 * i)) & 0xff;
+            state_ *= 0x100000001b3ull;
+        }
+        return *this;
+    }
+
+    HashStream& absorb(double value)
+    {
+        uint64_t bits = 0;
+        static_assert(sizeof bits == sizeof value);
+        std::memcpy(&bits, &value, sizeof bits);
+        return absorb(bits);
+    }
+
+    HashStream& absorb(const std::string& s)
+    {
+        for (char c : s) {
+            state_ ^= static_cast<unsigned char>(c);
+            state_ *= 0x100000001b3ull;
+        }
+        return absorb(uint64_t{0x5e9a7a70ull}); // separator sentinel
+    }
+
+    /** Final avalanche so absorb order differences spread widely. */
+    uint64_t digest() const
+    {
+        uint64_t z = state_;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    uint64_t state_ = 0xcbf29ce484222325ull;
+};
+
+/** Hash the structural content of a code (supports + dimensions). */
+uint64_t hashCode(const CssCode& code);
+
+/** Hash a schedule (policy + exact slice contents). */
+uint64_t hashSchedule(const SyndromeSchedule& schedule);
+
+} // namespace cyclone
+
+#endif // CYCLONE_CAMPAIGN_CONTENT_HASH_H

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Work-stealing thread pool shared by every campaign.
+ *
+ * Each worker owns a deque: it pushes and pops its own work LIFO (hot
+ * caches) and steals FIFO from victims when empty (oldest work first,
+ * which tends to be the largest remaining subtree). External threads
+ * submit round-robin across worker deques so a campaign's chunk jobs
+ * spread immediately even before stealing kicks in.
+ *
+ * The pool never executes jobs on the submitting thread; campaign
+ * coordination stays on the caller while all sampling, compiling and
+ * DEM building runs on workers.
+ */
+
+#ifndef CYCLONE_CAMPAIGN_THREAD_POOL_H
+#define CYCLONE_CAMPAIGN_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cyclone {
+
+/** Fixed-size work-stealing pool. */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count (0 = hardware concurrency). */
+    explicit ThreadPool(size_t threads = 0);
+
+    /** Waits for all submitted jobs, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Number of worker threads. */
+    size_t size() const { return workers_.size(); }
+
+    /** Enqueue a job; never runs inline on the calling thread. */
+    void submit(std::function<void()> job);
+
+    /** Block until every submitted job has finished. */
+    void waitIdle();
+
+    /**
+     * Index of the current pool worker in [0, size()), or -1 when
+     * called from a thread the pool does not own. Lets jobs address
+     * per-worker scratch state (decoders, sample buffers) without
+     * locking.
+     */
+    static int workerIndex();
+
+  private:
+    struct WorkerQueue
+    {
+        std::mutex mutex;
+        std::deque<std::function<void()>> jobs;
+    };
+
+    void workerLoop(size_t self);
+    bool tryPop(size_t self, std::function<void()>& job);
+
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::vector<std::thread> workers_;
+
+    std::mutex sleepMutex_;
+    std::condition_variable wake_;
+    std::condition_variable idle_;
+    std::atomic<size_t> pending_{0};
+    std::atomic<size_t> nextQueue_{0};
+    std::atomic<bool> stop_{false};
+};
+
+} // namespace cyclone
+
+#endif // CYCLONE_CAMPAIGN_THREAD_POOL_H

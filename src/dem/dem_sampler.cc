@@ -2,11 +2,18 @@
 
 namespace cyclone {
 
-DemShots
-sampleDem(const DetectorErrorModel& dem, size_t shots, Rng& rng)
+void
+sampleDemInto(const DetectorErrorModel& dem, size_t shots, Rng& rng,
+              DemShots& out)
 {
-    DemShots out;
-    out.syndromes.assign(shots, BitVec(dem.numDetectors));
+    // Reuse existing BitVec storage: resize() keeps capacity and
+    // clear() only zeroes words.
+    out.syndromes.resize(shots);
+    for (BitVec& v : out.syndromes) {
+        if (v.size() != dem.numDetectors)
+            v.resize(dem.numDetectors);
+        v.clear();
+    }
     out.observables.assign(shots, 0);
 
     for (const DemMechanism& m : dem.mechanisms) {
@@ -21,6 +28,13 @@ sampleDem(const DetectorErrorModel& dem, size_t shots, Rng& rng)
             shot += 1 + skip;
         }
     }
+}
+
+DemShots
+sampleDem(const DetectorErrorModel& dem, size_t shots, Rng& rng)
+{
+    DemShots out;
+    sampleDemInto(dem, shots, rng, out);
     return out;
 }
 

@@ -30,6 +30,17 @@ struct DemShots
 /** Sample `shots` independent shots from the model. */
 DemShots sampleDem(const DetectorErrorModel& dem, size_t shots, Rng& rng);
 
+/**
+ * Sample into a reusable buffer.
+ *
+ * Resizes and zeroes `out` without releasing its storage, so a chunked
+ * sampling loop (e.g. the campaign engine's adaptive sampler) reuses
+ * one allocation per worker instead of churning a fresh vector of
+ * BitVecs per batch.
+ */
+void sampleDemInto(const DetectorErrorModel& dem, size_t shots, Rng& rng,
+                   DemShots& out);
+
 } // namespace cyclone
 
 #endif // CYCLONE_DEM_DEM_SAMPLER_H

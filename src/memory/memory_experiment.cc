@@ -1,100 +1,67 @@
 #include "memory/memory_experiment.h"
 
 #include <algorithm>
-#include <atomic>
-#include <cmath>
+#include <memory>
+#include <stdexcept>
 #include <thread>
-#include <vector>
 
-#include "circuit/memory_circuit.h"
-#include "common/logging.h"
-#include "common/rng.h"
-#include "dem/dem_builder.h"
-#include "dem/dem_sampler.h"
-#include "noise/noise_model.h"
+#include "campaign/campaign.h"
 
 namespace cyclone {
 
+/**
+ * The memory experiment is a single-task campaign: one fixed-budget
+ * TaskSpec on a private pool. Sampling therefore goes through the same
+ * deterministic chunk machinery as every figure sweep — the estimate
+ * for a given seed is identical at any thread count.
+ */
 MemoryExperimentResult
 runZMemoryExperiment(const CssCode& code, const SyndromeSchedule& schedule,
                      const MemoryExperimentConfig& config)
 {
-    MemoryCircuitOptions opts;
-    opts.rounds = config.rounds;
-    opts.noise = config.roundLatencyUs > 0.0
-        ? NoiseModel::withLatency(config.physicalError,
-                                  config.roundLatencyUs)
-        : NoiseModel::uniform(config.physicalError);
+    const size_t chunkShots = 256;
 
-    const size_t rounds = opts.rounds > 0
-        ? opts.rounds
-        : (code.nominalDistance() > 0 ? code.nominalDistance() : 3);
-
-    Circuit circuit = config.xBasis
-        ? buildXMemoryCircuit(code, schedule, opts)
-        : buildZMemoryCircuit(code, schedule, opts);
-    DetectorErrorModel dem = buildDetectorErrorModel(circuit);
-
-    size_t num_threads = config.threads > 0
+    CampaignSpec spec;
+    spec.name = "memory-experiment";
+    spec.seed = config.seed;
+    // There is never more parallel work than chunks, so don't spin up
+    // a full hardware-concurrency pool for a 10-shot experiment.
+    const size_t chunks = (config.shots + chunkShots - 1) / chunkShots;
+    const size_t requested = config.threads > 0
         ? config.threads
         : std::max<size_t>(1, std::thread::hardware_concurrency());
-    num_threads = std::min(num_threads, std::max<size_t>(1, config.shots));
+    spec.threads = std::max<size_t>(1, std::min(requested, chunks));
 
-    std::atomic<size_t> failures{0};
-    std::vector<BpOsdStats> worker_stats(num_threads);
+    TaskSpec task;
+    // Alias the caller's objects; the campaign completes before this
+    // function returns, so the borrowed lifetimes are safe.
+    task.code = std::shared_ptr<const CssCode>(&code,
+                                               [](const CssCode*) {});
+    task.schedule = std::shared_ptr<const SyndromeSchedule>(
+        &schedule, [](const SyndromeSchedule*) {});
+    task.compileLatency = false;
+    task.roundLatencyUs = config.roundLatencyUs;
+    task.physicalError = config.physicalError;
+    task.rounds = config.rounds;
+    task.xBasis = config.xBasis;
+    task.bp = config.bp;
+    task.stop.chunkShots = chunkShots;
+    task.stop.maxShots = config.shots;
+    task.stop.targetRelErr = 0.0; // fixed budget: exactly `shots`
+    spec.tasks.push_back(std::move(task));
 
-    Rng seeder(config.seed);
-    std::vector<Rng> worker_rngs;
-    worker_rngs.reserve(num_threads);
-    for (size_t t = 0; t < num_threads; ++t)
-        worker_rngs.push_back(seeder.split());
-
-    auto worker = [&](size_t tid) {
-        const size_t base = config.shots / num_threads;
-        const size_t extra = tid < config.shots % num_threads ? 1 : 0;
-        const size_t my_shots = base + extra;
-        if (my_shots == 0)
-            return;
-        Rng rng = worker_rngs[tid];
-        DemShots shots = sampleDem(dem, my_shots, rng);
-        BpOsdDecoder decoder(dem, config.bp);
-        size_t my_failures = 0;
-        for (size_t s = 0; s < my_shots; ++s) {
-            const uint64_t predicted = decoder.decode(shots.syndromes[s]);
-            if (predicted != shots.observables[s])
-                ++my_failures;
-        }
-        failures += my_failures;
-        worker_stats[tid] = decoder.stats();
-    };
-
-    if (num_threads == 1) {
-        worker(0);
-    } else {
-        std::vector<std::thread> threads;
-        threads.reserve(num_threads);
-        for (size_t t = 0; t < num_threads; ++t)
-            threads.emplace_back(worker, t);
-        for (auto& th : threads)
-            th.join();
-    }
+    CampaignResult campaign = runCampaign(spec);
+    const TaskResult& t = campaign.tasks.front();
+    if (!t.error.empty())
+        throw std::runtime_error("memory experiment failed: " + t.error);
 
     MemoryExperimentResult result;
-    result.logicalErrorRate = estimateRate(failures.load(), config.shots);
-    result.rounds = rounds;
-    result.demDetectors = dem.numDetectors;
-    result.demMechanisms = dem.mechanisms.size();
-    const double ler = result.logicalErrorRate.rate;
-    result.perRoundErrorRate = rounds > 0
-        ? 1.0 - std::pow(1.0 - std::min(ler, 1.0 - 1e-12),
-                         1.0 / static_cast<double>(rounds))
-        : ler;
-    for (const BpOsdStats& s : worker_stats) {
-        result.decoder.decodes += s.decodes;
-        result.decoder.bpConverged += s.bpConverged;
-        result.decoder.osdInvocations += s.osdInvocations;
-        result.decoder.osdFailures += s.osdFailures;
-    }
+    result.logicalErrorRate = t.logicalErrorRate;
+    result.perRoundErrorRate = t.perRoundErrorRate;
+    result.rounds = t.rounds;
+    result.demDetectors = t.demDetectors;
+    result.demMechanisms = t.demMechanisms;
+    result.decoder = t.decoder;
     return result;
 }
 

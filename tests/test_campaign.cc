@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Tests for the campaign engine: thread pool, deterministic adaptive
+ * sampling, artifact-cache accounting, serialization, checkpoints,
+ * and the spec-file format.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+#include "campaign/campaign.h"
+#include "campaign/campaign_io.h"
+#include "campaign/thread_pool.h"
+#include "qec/classical_code.h"
+#include "qec/hgp_code.h"
+
+namespace cyclone {
+namespace {
+
+std::shared_ptr<const CssCode>
+surface13()
+{
+    return std::make_shared<const CssCode>(
+        makeHgpCode(ClassicalCode::repetition(3), 3));
+}
+
+TaskSpec
+surfaceTask(double p, size_t max_shots, double target_rel_err = 0.0)
+{
+    TaskSpec task;
+    task.code = surface13();
+    task.compileLatency = false;
+    task.physicalError = p;
+    task.rounds = 3;
+    task.stop.chunkShots = 100;
+    task.stop.chunksPerWave = 2;
+    task.stop.maxShots = max_shots;
+    task.stop.targetRelErr = target_rel_err;
+    return task;
+}
+
+TEST(ThreadPool, RunsEverySubmittedJob)
+{
+    std::atomic<int> count{0};
+    {
+        ThreadPool pool(4);
+        EXPECT_EQ(pool.size(), 4u);
+        EXPECT_EQ(ThreadPool::workerIndex(), -1);
+        for (int i = 0; i < 500; ++i)
+            pool.submit([&] { ++count; });
+        pool.waitIdle();
+        EXPECT_EQ(count.load(), 500);
+        // Jobs submitted from workers land on the submitter's deque.
+        pool.submit([&] {
+            EXPECT_GE(ThreadPool::workerIndex(), 0);
+            pool.submit([&] { ++count; });
+        });
+        pool.waitIdle();
+        EXPECT_EQ(count.load(), 501);
+    }
+}
+
+TEST(Campaign, FixedBudgetRunsExactly)
+{
+    CampaignSpec spec;
+    spec.seed = 11;
+    spec.threads = 2;
+    spec.tasks.push_back(surfaceTask(0.02, 500));
+    const CampaignResult result = runCampaign(spec);
+    ASSERT_EQ(result.tasks.size(), 1u);
+    const TaskResult& t = result.tasks[0];
+    EXPECT_TRUE(t.error.empty()) << t.error;
+    EXPECT_EQ(t.logicalErrorRate.trials, 500u);
+    EXPECT_EQ(t.decoder.decodes, 500u);
+    EXPECT_FALSE(t.stoppedEarly);
+    EXPECT_EQ(t.rounds, 3u);
+    EXPECT_GT(t.demDetectors, 0u);
+}
+
+TEST(Campaign, DeterministicAcrossThreadCounts)
+{
+    CampaignSpec spec;
+    spec.seed = 99;
+    for (double p : {0.01, 0.03, 0.08})
+        spec.tasks.push_back(surfaceTask(p, 600, 0.25));
+
+    spec.threads = 1;
+    const CampaignResult one = runCampaign(spec);
+    spec.threads = 4;
+    const CampaignResult four = runCampaign(spec);
+
+    ASSERT_EQ(one.tasks.size(), four.tasks.size());
+    for (size_t i = 0; i < one.tasks.size(); ++i) {
+        EXPECT_EQ(one.tasks[i].logicalErrorRate.trials,
+                  four.tasks[i].logicalErrorRate.trials)
+            << "task " << i;
+        EXPECT_EQ(one.tasks[i].logicalErrorRate.successes,
+                  four.tasks[i].logicalErrorRate.successes)
+            << "task " << i;
+        EXPECT_EQ(one.tasks[i].chunks, four.tasks[i].chunks);
+        // Decoder totals are sums over chunks, so they match too.
+        EXPECT_EQ(one.tasks[i].decoder.decodes,
+                  four.tasks[i].decoder.decodes);
+        EXPECT_EQ(one.tasks[i].decoder.bpConverged,
+                  four.tasks[i].decoder.bpConverged);
+    }
+}
+
+TEST(Campaign, EarlyStopHonorsRelativeErrorTarget)
+{
+    const double target = 0.25;
+    CampaignSpec spec;
+    spec.seed = 5;
+    spec.threads = 2;
+    spec.tasks.push_back(surfaceTask(0.08, 50000, target));
+    const CampaignResult result = runCampaign(spec);
+    const TaskResult& t = result.tasks[0];
+    EXPECT_TRUE(t.error.empty()) << t.error;
+    EXPECT_TRUE(t.stoppedEarly);
+    EXPECT_LT(t.logicalErrorRate.trials, 50000u);
+    EXPECT_GE(t.logicalErrorRate.successes, 8u);
+    EXPECT_LE(t.wilson, target * t.logicalErrorRate.rate + 1e-12);
+}
+
+TEST(Campaign, AdaptiveUsesFewerShotsThanFixedAtEqualWidth)
+{
+    // Fig. 5-style sweep: several points of very different difficulty.
+    // The fixed-budget baseline must give every point the budget the
+    // hardest point needs; adaptive stops each point at its own
+    // convergence, so the sweep total shrinks at equal CI target.
+    const double target = 0.2;
+    CampaignSpec adaptive;
+    adaptive.seed = 42;
+    adaptive.threads = 2;
+    for (double p : {0.02, 0.05, 0.12})
+        adaptive.tasks.push_back(surfaceTask(p, 30000, target));
+    const CampaignResult a = runCampaign(adaptive);
+
+    size_t hardest = 0;
+    for (const TaskResult& t : a.tasks) {
+        EXPECT_TRUE(t.error.empty()) << t.error;
+        EXPECT_TRUE(t.stoppedEarly);
+        EXPECT_LE(t.wilson, target * t.logicalErrorRate.rate + 1e-12);
+        hardest = std::max(hardest, t.logicalErrorRate.trials);
+    }
+
+    CampaignSpec fixed = adaptive;
+    for (TaskSpec& t : fixed.tasks) {
+        t.stop.maxShots = hardest;
+        t.stop.targetRelErr = 0.0;
+    }
+    const CampaignResult f = runCampaign(fixed);
+    EXPECT_EQ(f.totalShots(), hardest * fixed.tasks.size());
+    EXPECT_LT(a.totalShots(), f.totalShots());
+
+    // The point that needed the full budget replays the same chunk
+    // streams in the fixed run: identical estimate, not just close.
+    for (size_t i = 0; i < a.tasks.size(); ++i) {
+        if (a.tasks[i].logicalErrorRate.trials == hardest)
+            EXPECT_EQ(a.tasks[i].logicalErrorRate.successes,
+                      f.tasks[i].logicalErrorRate.successes);
+    }
+}
+
+TEST(Campaign, CacheAccounting)
+{
+    // Tasks A and B are identical points; C differs only in p. All
+    // three share one architecture compile; A and B share a DEM.
+    CampaignSpec spec;
+    spec.seed = 3;
+    spec.threads = 2;
+    auto code = surface13();
+    for (double p : {0.02, 0.02, 0.05}) {
+        TaskSpec task;
+        task.code = code;
+        task.architecture = Architecture::BaselineGrid;
+        task.compileLatency = true;
+        task.physicalError = p;
+        task.rounds = 2;
+        task.stop.maxShots = 100;
+        spec.tasks.push_back(std::move(task));
+    }
+    const CampaignResult result = runCampaign(spec);
+    for (const TaskResult& t : result.tasks) {
+        EXPECT_TRUE(t.error.empty()) << t.error;
+        EXPECT_GT(t.roundLatencyUs, 0.0);
+    }
+    EXPECT_EQ(result.cache.compileMisses, 1u);
+    EXPECT_EQ(result.cache.compileHits, 2u);
+    EXPECT_EQ(result.cache.demMisses, 2u);
+    EXPECT_EQ(result.cache.demHits, 1u);
+    // Identical tasks get distinct seeds, not identical streams.
+    EXPECT_NE(result.tasks[0].contentHash, result.tasks[1].contentHash);
+}
+
+TEST(Campaign, JsonAndCsvOutputs)
+{
+    CampaignSpec spec;
+    spec.name = "io-check";
+    spec.seed = 8;
+    spec.threads = 2;
+    spec.tasks.push_back(surfaceTask(0.05, 200));
+    spec.tasks.back().id = "point-a";
+    const CampaignResult result = runCampaign(spec);
+
+    const std::string json = campaignResultToJson(result);
+    EXPECT_NE(json.find("\"campaign\": \"io-check\""), std::string::npos);
+    EXPECT_NE(json.find("\"id\": \"point-a\""), std::string::npos);
+    EXPECT_NE(json.find("\"shots\": 200"), std::string::npos);
+    EXPECT_EQ(json.find("\"error\""), std::string::npos);
+
+    const std::string csv = campaignResultToCsv(result);
+    size_t lines = 0;
+    for (char c : csv)
+        lines += c == '\n';
+    EXPECT_EQ(lines, 1u + result.tasks.size());
+    EXPECT_NE(csv.find("point-a"), std::string::npos);
+}
+
+TEST(Campaign, CheckpointRoundtrip)
+{
+    const std::string path = "test_campaign_checkpoint.tmp";
+    CampaignSpec spec;
+    spec.seed = 21;
+    spec.threads = 2;
+    spec.tasks.push_back(surfaceTask(0.03, 300));
+    spec.tasks.push_back(surfaceTask(0.06, 300));
+
+    const CampaignResult first = runCampaign(spec);
+    ASSERT_TRUE(saveCheckpoint(first, path));
+
+    CampaignCheckpoint checkpoint;
+    ASSERT_TRUE(loadCheckpoint(path, checkpoint));
+    EXPECT_EQ(checkpoint.tasks.size(), 2u);
+
+    const CampaignResult resumed = runCampaign(spec, &checkpoint);
+    for (size_t i = 0; i < resumed.tasks.size(); ++i) {
+        EXPECT_TRUE(resumed.tasks[i].fromCheckpoint);
+        EXPECT_EQ(resumed.tasks[i].logicalErrorRate.successes,
+                  first.tasks[i].logicalErrorRate.successes);
+        EXPECT_EQ(resumed.tasks[i].logicalErrorRate.trials,
+                  first.tasks[i].logicalErrorRate.trials);
+        EXPECT_EQ(resumed.tasks[i].decoder.decodes,
+                  first.tasks[i].decoder.decodes);
+    }
+    // Nothing re-sampled, so the caches never got touched.
+    EXPECT_EQ(resumed.cache.demMisses, 0u);
+    EXPECT_EQ(resumed.totalShots(), first.totalShots());
+
+    // Changing a task's definition invalidates only that task.
+    CampaignSpec edited = spec;
+    edited.tasks[1].physicalError = 0.07;
+    const CampaignResult partial = runCampaign(edited, &checkpoint);
+    EXPECT_TRUE(partial.tasks[0].fromCheckpoint);
+    EXPECT_FALSE(partial.tasks[1].fromCheckpoint);
+
+    std::remove(path.c_str());
+}
+
+TEST(Campaign, SpecParsingExpandsSweeps)
+{
+    const char* text = R"(
+name = sweep
+seed = 123
+threads = 2
+
+[task]
+id = pt
+code = bb72
+arch = cyclone, baseline
+p = 1e-3, 2e-3, 4e-3
+max_shots = 50
+target_rel_err = 0.1
+
+[task]
+code = surface3
+arch = none
+latency_us = 100
+p = 5e-3
+)";
+    const CampaignSpec spec = parseCampaignSpec(text);
+    EXPECT_EQ(spec.name, "sweep");
+    EXPECT_EQ(spec.seed, 123u);
+    EXPECT_EQ(spec.threads, 2u);
+    ASSERT_EQ(spec.tasks.size(), 7u);
+    EXPECT_EQ(spec.tasks[0].id, "pt/cyclone/p=0.001");
+    EXPECT_EQ(spec.tasks[0].architecture, Architecture::Cyclone);
+    EXPECT_TRUE(spec.tasks[0].compileLatency);
+    EXPECT_EQ(spec.tasks[3].architecture, Architecture::BaselineGrid);
+    EXPECT_DOUBLE_EQ(spec.tasks[4].physicalError, 2e-3);
+    EXPECT_EQ(spec.tasks[0].stop.maxShots, 50u);
+    EXPECT_DOUBLE_EQ(spec.tasks[0].stop.targetRelErr, 0.1);
+    const TaskSpec& explicitTask = spec.tasks[6];
+    EXPECT_FALSE(explicitTask.compileLatency);
+    EXPECT_DOUBLE_EQ(explicitTask.roundLatencyUs, 100.0);
+    EXPECT_EQ(explicitTask.codeName, "surface3");
+
+    EXPECT_THROW(parseCampaignSpec("[task]\narch = warp\ncode = bb72\n"),
+                 std::runtime_error);
+    EXPECT_THROW(parseCampaignSpec("nonsense\n"), std::runtime_error);
+    EXPECT_THROW(parseCampaignSpec(""), std::runtime_error);
+}
+
+TEST(Campaign, ResolvesSurfaceCodeNames)
+{
+    const CssCode code = resolveCampaignCode("surface3");
+    EXPECT_EQ(code.numQubits(), 13u);
+    EXPECT_THROW(resolveCampaignCode("surfaceX"), std::exception);
+    EXPECT_THROW(resolveCampaignCode("nope"), std::exception);
+}
+
+TEST(Campaign, BadSpecsThrowBeforeAnyWorkLaunches)
+{
+    CampaignSpec spec;
+    spec.tasks.push_back(surfaceTask(0.02, 50));
+    spec.tasks[0].code = nullptr;
+    spec.tasks[0].codeName = "";
+    EXPECT_THROW(runCampaign(spec), std::invalid_argument);
+    spec.tasks[0].codeName = "not-a-code";
+    EXPECT_THROW(runCampaign(spec), std::exception);
+}
+
+} // namespace
+} // namespace cyclone
