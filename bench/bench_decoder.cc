@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Decode-throughput benchmark: scalar per-shot decoding vs the packed
+ * batch pipeline on the paper's [[72,12,6]] BB code.
+ *
+ * Each benchmark iteration samples one chunk with a fresh
+ * deterministic seed and decodes it — exactly the work a campaign
+ * worker does per chunk — and reports shots/second plus the batch
+ * fast-path counters. Two physical error rates bracket the regimes:
+ * near the paper's operating point (p = 1e-3) most syndromes are
+ * non-empty so the two paths mostly measure the shared BP+OSD core,
+ * while sub-threshold (p = 1e-4) ~70% of shots are resolved by the
+ * zero-syndrome wave sweep and the duplicate memo, which is where the
+ * batched pipeline's multiplier lives.
+ *
+ * Both paths are bit-identical by construction (enforced by
+ * tests/test_shot_batch.cc); this benchmark exists so the speed of
+ * the batch path can't silently rot.
+ */
+
+#include <memory>
+#include <mutex>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace cyclone {
+namespace bench {
+namespace {
+
+constexpr size_t kChunkShots = 512;
+
+/** Lazily built bb72 memory DEM shared by every benchmark row. */
+const DetectorErrorModel&
+bb72Dem(double p)
+{
+    struct Entry
+    {
+        double p;
+        std::unique_ptr<DetectorErrorModel> dem;
+    };
+    static std::mutex mutex;
+    static std::vector<Entry> cache;
+    std::lock_guard<std::mutex> lock(mutex);
+    for (const Entry& e : cache) {
+        if (e.p == p)
+            return *e.dem;
+    }
+    const CssCode code = catalog::bb72();
+    const SyndromeSchedule sched = makeXThenZSchedule(code);
+    MemoryCircuitOptions opts;
+    opts.rounds = code.nominalDistance();
+    opts.noise = NoiseModel::uniform(p);
+    const Circuit circuit = buildZMemoryCircuit(code, sched, opts);
+    cache.push_back(
+        {p, std::make_unique<DetectorErrorModel>(
+                buildDetectorErrorModel(circuit))});
+    return *cache.back().dem;
+}
+
+BpOptions
+benchBp()
+{
+    BpOptions bp;
+    bp.variant = BpOptions::Variant::MinSum;
+    return bp;
+}
+
+void
+attachDecoderCounters(benchmark::State& state, const BpOsdStats& stats)
+{
+    state.counters["shots_per_sec"] = benchmark::Counter(
+        static_cast<double>(stats.decodes),
+        benchmark::Counter::kIsRate);
+    state.counters["trivial_frac"] = stats.trivialFraction();
+    state.counters["memo_rate"] = stats.memoHitRate();
+    state.counters["mean_bp_iters"] = stats.meanBpIterations();
+}
+
+void
+BM_DecodeScalar(benchmark::State& state, double p)
+{
+    const DetectorErrorModel& dem = bb72Dem(p);
+    BpOsdDecoder decoder(dem, benchBp());
+    DemShots shots;
+    uint64_t chunk = 0;
+    for (auto _ : state) {
+        Rng rng(chunkSeed(0xbe7c4ULL, chunk++));
+        sampleDemInto(dem, kChunkShots, rng, shots);
+        uint64_t failures = 0;
+        for (size_t s = 0; s < kChunkShots; ++s) {
+            if (decoder.decode(shots.syndromes[s]) !=
+                shots.observables[s])
+                ++failures;
+        }
+        benchmark::DoNotOptimize(failures);
+    }
+    attachDecoderCounters(state, decoder.stats());
+}
+
+void
+BM_DecodeBatch(benchmark::State& state, double p)
+{
+    const DetectorErrorModel& dem = bb72Dem(p);
+    BpOsdDecoder decoder(dem, benchBp());
+    ShotBatch batch;
+    std::vector<uint64_t> predicted;
+    uint64_t chunk = 0;
+    for (auto _ : state) {
+        ChunkPlan plan;
+        plan.index = chunk;
+        plan.shots = kChunkShots;
+        plan.seed = chunkSeed(0xbe7c4ULL, chunk++);
+        const ChunkOutcome outcome =
+            runChunk(dem, plan, decoder, batch, predicted);
+        benchmark::DoNotOptimize(outcome.failures);
+    }
+    attachDecoderCounters(state, decoder.stats());
+}
+
+} // namespace
+} // namespace bench
+} // namespace cyclone
+
+int
+main(int argc, char** argv)
+{
+    using namespace cyclone::bench;
+    for (double p : {1e-3, 1e-4}) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "/bb72_p%g", p);
+        const std::string suffix = buf;
+        benchmark::RegisterBenchmark(
+            ("decode_scalar" + suffix).c_str(),
+            [p](benchmark::State& state) { BM_DecodeScalar(state, p); })
+            ->Unit(benchmark::kMillisecond);
+        benchmark::RegisterBenchmark(
+            ("decode_batch" + suffix).c_str(),
+            [p](benchmark::State& state) { BM_DecodeBatch(state, p); })
+            ->Unit(benchmark::kMillisecond);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

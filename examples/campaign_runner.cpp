@@ -125,11 +125,15 @@ main(int argc, char** argv)
         if (!quiet)
             std::fprintf(
                 stderr,
-                "  %-32s %s shots=%zu failures=%zu ler=%.3g%s\n",
+                "  %-32s %s shots=%zu failures=%zu ler=%.3g "
+                "trivial=%.0f%% memo=%.1f%% bp_iters=%.1f%s\n",
                 t.id.c_str(),
                 t.error.empty() ? "done " : "FAIL ",
                 t.logicalErrorRate.trials,
                 t.logicalErrorRate.successes, t.logicalErrorRate.rate,
+                100.0 * t.decoder.trivialFraction(),
+                100.0 * t.decoder.memoHitRate(),
+                t.decoder.meanBpIterations(),
                 t.fromCheckpoint
                     ? " (checkpoint)"
                     : (t.stoppedEarly ? " (early stop)" : ""));
@@ -147,16 +151,28 @@ main(int argc, char** argv)
         return 1;
     }
 
-    if (!quiet)
+    if (!quiet) {
+        BpOsdStats decoder;
+        for (const TaskResult& t : result.tasks) {
+            decoder.decodes += t.decoder.decodes;
+            decoder.trivialShots += t.decoder.trivialShots;
+            decoder.memoHits += t.decoder.memoHits;
+            decoder.bpIterations += t.decoder.bpIterations;
+        }
         std::fprintf(stderr,
                      "[%s] %zu tasks, %zu shots, wall %.1fs, compile "
                      "cache %zu hit / %zu miss, dem cache %zu hit / "
-                     "%zu miss\n",
+                     "%zu miss, decoder trivial %.1f%% / memo %.1f%% "
+                     "/ mean BP iters %.1f\n",
                      result.name.c_str(), result.tasks.size(),
                      result.totalShots(), result.wallSeconds,
                      result.cache.compileHits,
                      result.cache.compileMisses, result.cache.demHits,
-                     result.cache.demMisses);
+                     result.cache.demMisses,
+                     100.0 * decoder.trivialFraction(),
+                     100.0 * decoder.memoHitRate(),
+                     decoder.meanBpIterations());
+    }
 
     const std::string json = campaignResultToJson(result);
     if (json_path.empty()) {

@@ -17,15 +17,16 @@ chunkSeed(uint64_t taskSeed, size_t index)
 
 ChunkOutcome
 runChunk(const DetectorErrorModel& dem, const ChunkPlan& plan,
-         BpOsdDecoder& decoder, DemShots& scratch)
+         BpOsdDecoder& decoder, ShotBatch& batch,
+         std::vector<uint64_t>& predicted)
 {
     Rng rng(plan.seed);
-    sampleDemInto(dem, plan.shots, rng, scratch);
+    sampleDemBatch(dem, plan.shots, rng, batch);
+    decoder.decodeBatch(batch, predicted);
     ChunkOutcome outcome;
     outcome.shots = plan.shots;
     for (size_t s = 0; s < plan.shots; ++s) {
-        const uint64_t predicted = decoder.decode(scratch.syndromes[s]);
-        if (predicted != scratch.observables[s])
+        if (predicted[s] != batch.observables[s])
             ++outcome.failures;
     }
     return outcome;

@@ -43,14 +43,18 @@ struct ChunkOutcome
 };
 
 /**
- * Sample and decode one chunk.
+ * Sample and decode one chunk through the packed batch pipeline.
  *
- * `scratch` is a reusable shot buffer (see sampleDemInto); `decoder`
- * carries per-worker BP/OSD state and accumulates its own statistics
- * across chunks.
+ * The chunk's RNG stream is consumed by sampleDemBatch in the same
+ * order the scalar sampler would, and decodeBatch predicts exactly
+ * what per-shot decoding would, so chunk counts are a deterministic
+ * function of the chunk seed alone. `batch` and `predicted` are
+ * reusable per-worker buffers; `decoder` carries per-worker BP/OSD
+ * state and accumulates its own statistics across chunks.
  */
 ChunkOutcome runChunk(const DetectorErrorModel& dem, const ChunkPlan& plan,
-                      BpOsdDecoder& decoder, DemShots& scratch);
+                      BpOsdDecoder& decoder, ShotBatch& batch,
+                      std::vector<uint64_t>& predicted);
 
 /** Per-task accumulator and stopping-rule evaluator. */
 class AdaptiveSampler

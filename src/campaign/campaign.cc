@@ -22,11 +22,13 @@ namespace cyclone {
 
 namespace {
 
-/** Per-worker sampling context: decoder state plus a reusable buffer. */
+/** Per-worker sampling context: decoder state plus reusable packed
+ *  shot buffers for the batch pipeline. */
 struct WorkerCtx
 {
     BpOsdDecoder decoder;
-    DemShots scratch;
+    ShotBatch batch;
+    std::vector<uint64_t> predicted;
 
     WorkerCtx(const DetectorErrorModel& dem, const BpOptions& bp)
         : decoder(dem, bp)
@@ -275,6 +277,9 @@ CampaignEngine::run(const CampaignSpec& spec,
             r.decoder.bpConverged += s.bpConverged;
             r.decoder.osdInvocations += s.osdInvocations;
             r.decoder.osdFailures += s.osdFailures;
+            r.decoder.trivialShots += s.trivialShots;
+            r.decoder.memoHits += s.memoHits;
+            r.decoder.bpIterations += s.bpIterations;
         }
         if (onTaskDone)
             onTaskDone(r);
@@ -301,7 +306,7 @@ CampaignEngine::run(const CampaignSpec& spec,
                                                           st.spec->bp);
                     e.outcome =
                         runChunk(*st.dem, plan, ctx->decoder,
-                                 ctx->scratch);
+                                 ctx->batch, ctx->predicted);
                     e.kind = EventKind::ChunkDone;
                 } catch (const std::exception& ex) {
                     e.kind = EventKind::Failed;

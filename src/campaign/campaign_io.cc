@@ -191,7 +191,15 @@ campaignResultToJson(const CampaignResult& result)
             << ",\n     \"decoder\": {\"decodes\": " << t.decoder.decodes
             << ", \"bp_converged\": " << t.decoder.bpConverged
             << ", \"osd_invocations\": " << t.decoder.osdInvocations
-            << ", \"osd_failures\": " << t.decoder.osdFailures << "}";
+            << ", \"osd_failures\": " << t.decoder.osdFailures
+            << ", \"trivial_shots\": " << t.decoder.trivialShots
+            << ", \"memo_hits\": " << t.decoder.memoHits
+            << ", \"bp_iterations\": " << t.decoder.bpIterations
+            << ",\n                 \"trivial_fraction\": "
+            << num(t.decoder.trivialFraction())
+            << ", \"memo_hit_rate\": " << num(t.decoder.memoHitRate())
+            << ", \"mean_bp_iterations\": "
+            << num(t.decoder.meanBpIterations()) << "}";
         if (!t.error.empty())
             out << ", \"error\": \"" << jsonEscape(t.error) << "\"";
         out << "}";
@@ -210,7 +218,8 @@ campaignResultToCsv(const CampaignResult& result)
     std::ostringstream out;
     out << "id,code,architecture,p,rounds,basis,round_latency_us,shots,"
            "failures,ler,wilson,per_round_ler,chunks,stopped_early,"
-           "from_checkpoint,sample_seconds,error\n";
+           "from_checkpoint,sample_seconds,trivial_fraction,"
+           "memo_hit_rate,mean_bp_iterations,error\n";
     for (const TaskResult& t : result.tasks) {
         out << csvField(t.id) << ',' << csvField(t.codeName) << ','
             << csvField(t.architecture) << ','
@@ -222,7 +231,10 @@ campaignResultToCsv(const CampaignResult& result)
             << ',' << num(t.perRoundErrorRate) << ',' << t.chunks << ','
             << (t.stoppedEarly ? 1 : 0) << ','
             << (t.fromCheckpoint ? 1 : 0) << ',' << num(t.sampleSeconds)
-            << ',' << csvField(t.error) << '\n';
+            << ',' << num(t.decoder.trivialFraction()) << ','
+            << num(t.decoder.memoHitRate()) << ','
+            << num(t.decoder.meanBpIterations()) << ','
+            << csvField(t.error) << '\n';
     }
     return out.str();
 }
@@ -250,17 +262,19 @@ saveCheckpoint(const CampaignResult& result, const std::string& path)
     for (const TaskResult& t : result.tasks) {
         if (!t.error.empty() || t.logicalErrorRate.trials == 0)
             continue;
-        char line[256];
+        char line[320];
         std::snprintf(line, sizeof line,
                       "task %016llx %zu %.17g %zu %zu %zu %zu %zu %d "
-                      "%zu %zu %zu %zu %.6f\n",
+                      "%zu %zu %zu %zu %.6f %zu %zu %zu\n",
                       static_cast<unsigned long long>(t.contentHash),
                       t.rounds, t.roundLatencyUs, t.demDetectors,
                       t.demMechanisms, t.logicalErrorRate.trials,
                       t.logicalErrorRate.successes, t.chunks,
                       t.stoppedEarly ? 1 : 0, t.decoder.decodes,
                       t.decoder.bpConverged, t.decoder.osdInvocations,
-                      t.decoder.osdFailures, t.sampleSeconds);
+                      t.decoder.osdFailures, t.sampleSeconds,
+                      t.decoder.trivialShots, t.decoder.memoHits,
+                      t.decoder.bpIterations);
         out << line;
     }
     return writeTextFile(path, out.str());
@@ -284,17 +298,20 @@ loadCheckpoint(const std::string& path, CampaignCheckpoint& out)
         unsigned long long hash = 0;
         size_t rounds = 0, detectors = 0, mechanisms = 0, shots = 0,
                failures = 0, chunks = 0, decodes = 0, converged = 0,
-               osdInv = 0, osdFail = 0;
+               osdInv = 0, osdFail = 0, trivial = 0, memoHits = 0,
+               bpIters = 0;
         double latency = 0.0, seconds = 0.0;
         int early = 0;
         const int got = std::sscanf(
             line.c_str(),
             "task %llx %zu %lg %zu %zu %zu %zu %zu %d %zu %zu %zu %zu "
-            "%lg",
+            "%lg %zu %zu %zu",
             &hash, &rounds, &latency, &detectors, &mechanisms, &shots,
             &failures, &chunks, &early, &decodes, &converged, &osdInv,
-            &osdFail, &seconds);
-        if (got != 14)
+            &osdFail, &seconds, &trivial, &memoHits, &bpIters);
+        // 14 fields = pre-batch-pipeline checkpoint (batch stats
+        // default to zero); 17 = current format.
+        if (got != 14 && got != 17)
             return false;
         TaskResult t;
         t.contentHash = hash;
@@ -318,6 +335,9 @@ loadCheckpoint(const std::string& path, CampaignCheckpoint& out)
         t.decoder.bpConverged = converged;
         t.decoder.osdInvocations = osdInv;
         t.decoder.osdFailures = osdFail;
+        t.decoder.trivialShots = trivial;
+        t.decoder.memoHits = memoHits;
+        t.decoder.bpIterations = bpIters;
         t.sampleSeconds = seconds;
         t.fromCheckpoint = true;
         out.tasks[t.contentHash] = t;

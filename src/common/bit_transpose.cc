@@ -1,0 +1,44 @@
+#include "common/bit_transpose.h"
+
+#include <cstring>
+
+namespace cyclone {
+
+void
+transpose64x64(uint64_t block[64])
+{
+    // Recursive masked block swap (Hacker's Delight 7-3), adapted to
+    // LSB-first bit numbering: at step j, swap the high-j columns of
+    // each low row with the low-j columns of its partner row j apart.
+    uint64_t mask = 0x00000000ffffffffull;
+    for (int j = 32; j != 0; j >>= 1, mask ^= mask << j) {
+        for (int k = 0; k < 64; k = (k + j + 1) & ~j) {
+            const uint64_t t =
+                ((block[k] >> j) ^ block[k + j]) & mask;
+            block[k] ^= t << j;
+            block[k + j] ^= t;
+        }
+    }
+}
+
+void
+transposeWave64(const uint64_t* rows, size_t num_rows, size_t row_stride,
+                uint64_t* out, size_t out_stride)
+{
+    uint64_t block[64];
+    const size_t num_tiles = (num_rows + 63) / 64;
+    for (size_t tile = 0; tile < num_tiles; ++tile) {
+        const size_t base = tile * 64;
+        const size_t fill =
+            num_rows - base < 64 ? num_rows - base : 64;
+        for (size_t i = 0; i < fill; ++i)
+            block[i] = rows[(base + i) * row_stride];
+        if (fill < 64)
+            std::memset(block + fill, 0, (64 - fill) * sizeof(uint64_t));
+        transpose64x64(block);
+        for (size_t c = 0; c < 64; ++c)
+            out[c * out_stride + tile] = block[c];
+    }
+}
+
+} // namespace cyclone

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Word-level bit-matrix transposition.
+ *
+ * The batched shot pipeline stores sampled detector outcomes
+ * detector-major (one 64-shot word per detector per wave) because the
+ * geometric-skip sampler writes whole mechanisms at a time, while the
+ * decoder consumes shot-major syndromes. These helpers convert one
+ * 64-shot wave between the two layouts with the classic masked-swap
+ * 64x64 transpose, so the conversion costs O(rows) word operations
+ * instead of O(rows x 64) bit probes.
+ */
+
+#ifndef CYCLONE_COMMON_BIT_TRANSPOSE_H
+#define CYCLONE_COMMON_BIT_TRANSPOSE_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cyclone {
+
+/**
+ * Transpose a 64x64 bit matrix in place.
+ *
+ * Bit j of block[i] (LSB first) moves to bit i of block[j].
+ */
+void transpose64x64(uint64_t block[64]);
+
+/**
+ * Transpose one 64-column wave of a row-major packed bit matrix.
+ *
+ * Input: `rows[r * row_stride]` holds 64 column bits of row r (LSB =
+ * column 0); the caller points `rows` at the wave's word of row 0.
+ * Output: bit r of `out[c * out_stride + r / 64]` is set iff bit c of
+ * row r was set, for every column c in [0, 64). Rows beyond
+ * `num_rows` in the final 64-row tile are treated as zero, so the
+ * transposed words never carry stale bits past `num_rows`.
+ */
+void transposeWave64(const uint64_t* rows, size_t num_rows,
+                     size_t row_stride, uint64_t* out,
+                     size_t out_stride);
+
+} // namespace cyclone
+
+#endif // CYCLONE_COMMON_BIT_TRANSPOSE_H

@@ -79,6 +79,16 @@ BitVec::resize(size_t bits)
         words_.back() &= (uint64_t(1) << (bits & 63)) - 1;
 }
 
+void
+BitVec::assignWords(const uint64_t* src, size_t count)
+{
+    CYCLONE_ASSERT(count == words_.size(),
+                   "assignWords count mismatch: " << count << " vs "
+                   << words_.size());
+    for (size_t i = 0; i < count; ++i)
+        words_[i] = src[i];
+}
+
 std::vector<size_t>
 BitVec::onesPositions() const
 {

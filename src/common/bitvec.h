@@ -94,6 +94,20 @@ class BitVec
     const std::vector<uint64_t>& words() const { return words_; }
     std::vector<uint64_t>& words() { return words_; }
 
+    /** Number of 64-bit words backing the vector. */
+    size_t numWords() const { return words_.size(); }
+
+    /** Read word w (bits 64w .. 64w+63, LSB first). */
+    uint64_t word(size_t w) const { return words_[w]; }
+
+    /**
+     * Overwrite the contents from `count` raw words without changing
+     * the bit length. `count` must match numWords(); bits beyond
+     * size() in the last word must already be zero (the batch
+     * transpose guarantees this by zero-padding its tiles).
+     */
+    void assignWords(const uint64_t* src, size_t count);
+
   private:
     size_t bits_ = 0;
     std::vector<uint64_t> words_;

@@ -9,7 +9,9 @@ namespace cyclone {
 
 BpDecoder::BpDecoder(const DetectorErrorModel& dem, BpOptions options)
     : options_(options), numChecks_(dem.numDetectors),
-      numVars_(dem.mechanisms.size())
+      numVars_(dem.mechanisms.size()),
+      clamp_(static_cast<float>(options.clamp)),
+      minSumScale_(static_cast<float>(options.minSumScale))
 {
     prior_.resize(numVars_);
     std::vector<std::vector<uint32_t>> check_vars(numChecks_);
@@ -18,7 +20,7 @@ BpDecoder::BpDecoder(const DetectorErrorModel& dem, BpOptions options)
     for (size_t v = 0; v < numVars_; ++v) {
         const DemMechanism& m = dem.mechanisms[v];
         double p = std::clamp(m.probability, 1e-14, 1.0 - 1e-14);
-        prior_[v] = std::log((1.0 - p) / p);
+        prior_[v] = static_cast<float>(std::log((1.0 - p) / p));
         varOffset_[v + 1] = varOffset_[v] + m.detectors.size();
         for (uint32_t d : m.detectors) {
             CYCLONE_ASSERT(d < numChecks_, "mechanism detector "
@@ -37,45 +39,47 @@ BpDecoder::BpDecoder(const DetectorErrorModel& dem, BpOptions options)
         }
     }
 
-    // Check-side CSR with a mapping back to var-CSR edge slots.
+    // Check-side CSR with the var-CSR -> check-CSR slot permutation.
     checkOffset_.assign(numChecks_ + 1, 0);
     for (size_t c = 0; c < numChecks_; ++c)
         checkOffset_[c + 1] = checkOffset_[c] + check_vars[c].size();
     checkEdgeVar_.resize(num_edges);
-    varOrderOfCheckEdge_.resize(num_edges);
+    checkSlotOfVarEdge_.resize(num_edges);
     {
-        std::vector<size_t> var_cursor(numVars_, 0);
         std::vector<size_t> check_cursor(numChecks_, 0);
         for (size_t v = 0; v < numVars_; ++v) {
             for (size_t e = varOffset_[v]; e < varOffset_[v + 1]; ++e) {
                 const uint32_t c = varEdgeCheck_[e];
                 const size_t slot = checkOffset_[c] + check_cursor[c]++;
                 checkEdgeVar_[slot] = static_cast<uint32_t>(v);
-                varOrderOfCheckEdge_[slot] = static_cast<uint32_t>(e);
+                checkSlotOfVarEdge_[e] = static_cast<uint32_t>(slot);
             }
         }
     }
 
-    msgVarToCheck_.assign(num_edges, 0.0);
-    msgCheckToVar_.assign(num_edges, 0.0);
-    posterior_.assign(numVars_, 0.0);
+    msgCheckToVar_.assign(num_edges, 0.0f);
+    posterior_.assign(numVars_, 0.0f);
     hard_.assign(numVars_, 0);
 }
 
 void
-BpDecoder::varToCheckUpdate()
+BpDecoder::posteriorUpdate()
 {
+    // The hard decision is maintained inline (it is just the posterior
+    // sign); hardChanged_ lets decode() skip the O(edges) syndrome
+    // verification on iterations where no decision bit moved — the
+    // verification result could not differ from the previous one.
+    bool changed = false;
     for (size_t v = 0; v < numVars_; ++v) {
-        double total = prior_[v];
+        float total = prior_[v];
         for (size_t e = varOffset_[v]; e < varOffset_[v + 1]; ++e)
-            total += msgCheckToVar_[e];
+            total += msgCheckToVar_[checkSlotOfVarEdge_[e]];
         posterior_[v] = total;
-        for (size_t e = varOffset_[v]; e < varOffset_[v + 1]; ++e) {
-            double msg = total - msgCheckToVar_[e];
-            msg = std::clamp(msg, -options_.clamp, options_.clamp);
-            msgVarToCheck_[e] = msg;
-        }
+        const uint8_t bit = total < 0.0f ? 1 : 0;
+        changed |= bit != hard_[v];
+        hard_[v] = bit;
     }
+    hardChanged_ = changed;
 }
 
 void
@@ -85,16 +89,28 @@ BpDecoder::checkToVarUpdate(const BitVec& syndrome)
     for (size_t c = 0; c < numChecks_; ++c) {
         const size_t begin = checkOffset_[c];
         const size_t end = checkOffset_[c + 1];
-        const double syndrome_sign = syndrome.get(c) ? -1.0 : 1.0;
+        const float syndrome_sign = syndrome.get(c) ? -1.0f : 1.0f;
+        // Materialize this check's incoming var-to-check messages into
+        // sequential scratch: clamp(posterior - last outgoing message)
+        // is float-identical to a stored var-pass message, and the
+        // edge's old outgoing value is only overwritten below, after
+        // every gather for this check has read it.
+        if (msgScratch_.size() < end - begin)
+            msgScratch_.resize(end - begin);
+        for (size_t s = begin; s < end; ++s) {
+            const float total = posterior_[checkEdgeVar_[s]];
+            msgScratch_[s - begin] = std::clamp(
+                total - msgCheckToVar_[s], -clamp_, clamp_);
+        }
         if (min_sum) {
             // Track the two smallest magnitudes and the sign product.
-            double min1 = 1e300, min2 = 1e300;
+            float min1 = 3.0e38f, min2 = 3.0e38f;
             size_t argmin = begin;
-            double sign_product = syndrome_sign;
+            float sign_product = syndrome_sign;
             for (size_t s = begin; s < end; ++s) {
-                const double m = msgVarToCheck_[varOrderOfCheckEdge_[s]];
-                const double mag = std::fabs(m);
-                if (m < 0.0)
+                const float m = msgScratch_[s - begin];
+                const float mag = std::fabs(m);
+                if (m < 0.0f)
                     sign_product = -sign_product;
                 if (mag < min1) {
                     min2 = min1;
@@ -105,29 +121,30 @@ BpDecoder::checkToVarUpdate(const BitVec& syndrome)
                 }
             }
             for (size_t s = begin; s < end; ++s) {
-                const double m = msgVarToCheck_[varOrderOfCheckEdge_[s]];
-                const double mag = s == argmin ? min2 : min1;
-                double sign = sign_product * (m < 0.0 ? -1.0 : 1.0);
-                msgCheckToVar_[varOrderOfCheckEdge_[s]] =
-                    sign * options_.minSumScale * mag;
+                const float m = msgScratch_[s - begin];
+                const float mag = s == argmin ? min2 : min1;
+                const float sign =
+                    sign_product * (m < 0.0f ? -1.0f : 1.0f);
+                msgCheckToVar_[s] =
+                    sign * minSumScale_ * mag;
             }
         } else {
             // Product-sum via the two-pass tanh-product trick: one
             // running product, then one division and one log per edge
             // (2 atanh(x) = log((1+x)/(1-x))).
-            double prod = 1.0;
+            float prod = 1.0f;
             int zero_count = 0;
             size_t zero_slot = begin;
-            double sign_product = syndrome_sign;
+            float sign_product = syndrome_sign;
             if (tanhScratch_.size() < end - begin)
                 tanhScratch_.resize(end - begin);
             for (size_t s = begin; s < end; ++s) {
-                const double m = msgVarToCheck_[varOrderOfCheckEdge_[s]];
-                if (m < 0.0)
+                const float m = msgScratch_[s - begin];
+                if (m < 0.0f)
                     sign_product = -sign_product;
-                double t = std::tanh(std::fabs(m) / 2.0);
+                const float t = std::tanh(std::fabs(m) * 0.5f);
                 tanhScratch_[s - begin] = t;
-                if (t < 1e-12) {
+                if (t < 1e-12f) {
                     ++zero_count;
                     zero_slot = s;
                 } else {
@@ -135,34 +152,33 @@ BpDecoder::checkToVarUpdate(const BitVec& syndrome)
                 }
             }
             for (size_t s = begin; s < end; ++s) {
-                const double m = msgVarToCheck_[varOrderOfCheckEdge_[s]];
-                double out;
+                const float m = msgScratch_[s - begin];
+                float out;
                 if (zero_count > 1 || (zero_count == 1 && s != zero_slot)) {
-                    out = 0.0;
+                    out = 0.0f;
                 } else {
-                    double t_other = prod;
+                    float t_other = prod;
                     if (zero_count == 0) {
                         t_other = prod /
-                            std::max(tanhScratch_[s - begin], 1e-12);
+                            std::max(tanhScratch_[s - begin], 1e-12f);
                     }
-                    t_other = std::min(t_other, 1.0 - 1e-14);
-                    out = std::log((1.0 + t_other) / (1.0 - t_other));
+                    // One float ulp below 1: keeps the log finite.
+                    t_other = std::min(t_other, 1.0f - 6.0e-8f);
+                    out = std::log((1.0f + t_other) / (1.0f - t_other));
                 }
-                const double sign =
-                    sign_product * (m < 0.0 ? -1.0 : 1.0);
-                msgCheckToVar_[varOrderOfCheckEdge_[s]] = std::clamp(
-                    sign * out, -options_.clamp, options_.clamp);
+                const float sign =
+                    sign_product * (m < 0.0f ? -1.0f : 1.0f);
+                msgCheckToVar_[s] = std::clamp(
+                    sign * out, -clamp_, clamp_);
             }
         }
     }
 }
 
 bool
-BpDecoder::hardDecisionMatches(const BitVec& syndrome)
+BpDecoder::syndromeMatches(const BitVec& syndrome) const
 {
-    for (size_t v = 0; v < numVars_; ++v)
-        hard_[v] = posterior_[v] < 0.0 ? 1 : 0;
-    // Verify H e == syndrome.
+    // Verify H e == syndrome for the current hard decision.
     for (size_t c = 0; c < numChecks_; ++c) {
         bool parity = false;
         for (size_t s = checkOffset_[c]; s < checkOffset_[c + 1]; ++s)
@@ -179,21 +195,32 @@ BpDecoder::decode(const BitVec& syndrome)
     CYCLONE_ASSERT(syndrome.size() == numChecks_,
                    "syndrome length mismatch: " << syndrome.size()
                    << " vs " << numChecks_);
-    std::fill(msgCheckToVar_.begin(), msgCheckToVar_.end(), 0.0);
+    std::fill(msgCheckToVar_.begin(), msgCheckToVar_.end(), 0.0f);
+    std::fill(hard_.begin(), hard_.end(), 0);
+    bool verified = false;
     for (size_t iter = 0; iter < options_.maxIterations; ++iter) {
-        varToCheckUpdate();
+        posteriorUpdate();
         // Posterior from the previous half-iteration is already
         // available; test convergence before the check update to catch
-        // the trivial all-zero syndrome in one pass.
-        if (hardDecisionMatches(syndrome)) {
+        // the trivial all-zero syndrome in one pass. When no decision
+        // bit moved the verification result cannot have changed, so
+        // the previous (failed) answer is reused.
+        if (iter == 0 || hardChanged_)
+            verified = syndromeMatches(syndrome);
+        if (verified) {
             lastIterations_ = iter;
             return true;
         }
         checkToVarUpdate(syndrome);
     }
-    varToCheckUpdate();
+    posteriorUpdate();
     lastIterations_ = options_.maxIterations;
-    return hardDecisionMatches(syndrome);
+    // With maxIterations == 0 the loop never evaluated the syndrome;
+    // otherwise re-verify only if a decision bit moved since the last
+    // (failed) check.
+    if (hardChanged_ || options_.maxIterations == 0)
+        verified = syndromeMatches(syndrome);
+    return verified;
 }
 
 } // namespace cyclone

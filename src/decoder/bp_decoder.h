@@ -6,6 +6,12 @@
  * normalized min-sum (default; the variant used throughout the BP+OSD
  * literature) and product-sum updates. Decoding stops as soon as the
  * hard decision reproduces the syndrome.
+ *
+ * Message and posterior storage is flat structure-of-arrays float:
+ * single precision halves the working set of the edge loops (the BP
+ * inner loops are memory-bound on qLDPC detector graphs) and is far
+ * more resolution than min-sum/product-sum message passing needs —
+ * hard decisions only depend on signs and coarse magnitudes.
  */
 
 #ifndef CYCLONE_DECODER_BP_DECODER_H
@@ -56,7 +62,7 @@ class BpDecoder
     const std::vector<uint8_t>& hardDecision() const { return hard_; }
 
     /** Posterior log-likelihood ratios after the last decode. */
-    const std::vector<double>& posteriorLlr() const { return posterior_; }
+    const std::vector<float>& posteriorLlr() const { return posterior_; }
 
     /** Iterations consumed by the last decode. */
     size_t lastIterations() const { return lastIterations_; }
@@ -65,29 +71,38 @@ class BpDecoder
     size_t numVars() const { return numVars_; }
 
   private:
-    void varToCheckUpdate();
+    void posteriorUpdate();
     void checkToVarUpdate(const BitVec& syndrome);
-    bool hardDecisionMatches(const BitVec& syndrome);
+    bool syndromeMatches(const BitVec& syndrome) const;
 
     BpOptions options_;
     size_t numChecks_ = 0;
     size_t numVars_ = 0;
+    float clamp_ = 50.0f;
+    float minSumScale_ = 0.9f;
 
-    std::vector<double> prior_;
+    std::vector<float> prior_;
 
     // Edge storage (CSR by variable and by check, sharing edge ids).
     std::vector<size_t> varOffset_;
     std::vector<uint32_t> varEdgeCheck_;   // check of edge, in var order
     std::vector<size_t> checkOffset_;
     std::vector<uint32_t> checkEdgeVar_;   // var of edge, in check order
-    std::vector<uint32_t> varOrderOfCheckEdge_; // map check-CSR -> var-CSR
+    std::vector<uint32_t> checkSlotOfVarEdge_; // map var-CSR -> check-CSR
 
-    std::vector<double> msgVarToCheck_;    // indexed in var-CSR order
-    std::vector<double> msgCheckToVar_;    // indexed in var-CSR order
+    // Only check-to-var messages are stored, in check-CSR order so the
+    // check pass streams sequentially; the posterior pass gathers them
+    // through checkSlotOfVarEdge_. The var-to-check message of an edge
+    // is derived inside the check pass as
+    // clamp(posterior[v] - msgCheckToVar_[slot]) — identical floats to
+    // materializing it, at half the message-array traffic.
+    std::vector<float> msgCheckToVar_;     // indexed in check-CSR order
 
-    std::vector<double> posterior_;
+    std::vector<float> posterior_;
     std::vector<uint8_t> hard_;
-    std::vector<double> tanhScratch_;
+    std::vector<float> tanhScratch_;
+    std::vector<float> msgScratch_;
+    bool hardChanged_ = false;
     size_t lastIterations_ = 0;
 };
 

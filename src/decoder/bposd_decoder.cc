@@ -1,27 +1,57 @@
 #include "decoder/bposd_decoder.h"
 
+#include <bit>
+
+#include "common/bit_transpose.h"
+#include "common/logging.h"
+
 namespace cyclone {
+
+double
+BpOsdStats::trivialFraction() const
+{
+    return decodes == 0
+        ? 0.0
+        : static_cast<double>(trivialShots) /
+            static_cast<double>(decodes);
+}
+
+double
+BpOsdStats::memoHitRate() const
+{
+    return decodes == 0
+        ? 0.0
+        : static_cast<double>(memoHits) / static_cast<double>(decodes);
+}
+
+double
+BpOsdStats::meanBpIterations() const
+{
+    const size_t bpDecodes = decodes - trivialShots;
+    return bpDecodes == 0
+        ? 0.0
+        : static_cast<double>(bpIterations) /
+            static_cast<double>(bpDecodes);
+}
 
 BpOsdDecoder::BpOsdDecoder(const DetectorErrorModel& dem, BpOptions options)
     : dem_(dem), bp_(dem, options), osd_(dem)
 {}
 
-uint64_t
-BpOsdDecoder::decode(const BitVec& syndrome)
+BpOsdDecoder::DecodeOutcome
+BpOsdDecoder::decodeCore(const BitVec& syndrome)
 {
-    ++stats_.decodes;
-    const bool converged = bp_.decode(syndrome);
+    DecodeOutcome outcome;
+    outcome.converged = bp_.decode(syndrome);
+    outcome.iterations = static_cast<uint32_t>(bp_.lastIterations());
 
     const std::vector<uint8_t>* errors = &bp_.hardDecision();
-    if (converged) {
-        ++stats_.bpConverged;
-    } else {
-        ++stats_.osdInvocations;
+    if (!outcome.converged) {
         if (osd_.decode(syndrome, bp_.posteriorLlr(), errorScratch_)) {
             errors = &errorScratch_;
         } else {
             // Syndrome outside the DEM column span; keep the BP guess.
-            ++stats_.osdFailures;
+            outcome.osdFailed = true;
         }
     }
 
@@ -30,7 +60,116 @@ BpOsdDecoder::decode(const BitVec& syndrome)
         if ((*errors)[v])
             obs ^= dem_.mechanisms[v].observables;
     }
-    return obs;
+    outcome.observables = obs;
+    return outcome;
+}
+
+void
+BpOsdDecoder::applyOutcomeStats(const DecodeOutcome& outcome)
+{
+    if (outcome.converged)
+        ++stats_.bpConverged;
+    else
+        ++stats_.osdInvocations;
+    if (outcome.osdFailed)
+        ++stats_.osdFailures;
+    stats_.bpIterations += outcome.iterations;
+}
+
+uint64_t
+BpOsdDecoder::decode(const BitVec& syndrome)
+{
+    ++stats_.decodes;
+    if (syndrome.isZero()) {
+        // BP converges on the zero syndrome in zero iterations with an
+        // all-zero correction; skip straight to that fixed point.
+        ++stats_.trivialShots;
+        ++stats_.bpConverged;
+        return 0;
+    }
+    const DecodeOutcome outcome = decodeCore(syndrome);
+    applyOutcomeStats(outcome);
+    return outcome.observables;
+}
+
+void
+BpOsdDecoder::decodeBatch(const ShotBatch& batch,
+                          std::vector<uint64_t>& predicted)
+{
+    CYCLONE_ASSERT(batch.numDetectors == dem_.numDetectors,
+                   "batch detector count mismatch: "
+                   << batch.numDetectors << " vs "
+                   << dem_.numDetectors);
+    predicted.assign(batch.numShots, 0);
+    // The memo is scoped to one batch: chunk results must not depend
+    // on what a worker decoded before, so a fixed seed gives the same
+    // counts at any thread count or chunk schedule.
+    memoEntries_.clear();
+    memoIndex_.clear();
+
+    const size_t syndrome_words = (batch.numDetectors + 63) / 64;
+    waveScratch_.resize(64 * syndrome_words);
+    if (syndromeScratch_.size() != batch.numDetectors)
+        syndromeScratch_.resize(batch.numDetectors);
+
+    const size_t stride = batch.wordsPerDetector();
+    for (size_t wave = 0; wave < batch.numWaves(); ++wave) {
+        const uint64_t valid = batch.waveMask(wave);
+        const uint64_t active = batch.activeMask(wave) & valid;
+        const size_t shots_in_wave =
+            static_cast<size_t>(std::popcount(valid));
+        const size_t trivial_in_wave = shots_in_wave -
+            static_cast<size_t>(std::popcount(active));
+
+        stats_.decodes += shots_in_wave;
+        stats_.trivialShots += trivial_in_wave;
+        stats_.bpConverged += trivial_in_wave;
+        if (active == 0)
+            continue;
+
+        // Shot-major view of this wave's syndromes (zero-padded rows
+        // keep bits past numDetectors clear).
+        transposeWave64(batch.words.data() + wave, batch.numDetectors,
+                        stride, waveScratch_.data(), syndrome_words);
+
+        uint64_t pending = active;
+        while (pending) {
+            const size_t s =
+                static_cast<size_t>(std::countr_zero(pending));
+            pending &= pending - 1;
+            const size_t shot = wave * 64 + s;
+            syndromeScratch_.assignWords(
+                waveScratch_.data() + s * syndrome_words,
+                syndrome_words);
+
+            const uint64_t key = syndromeScratch_.hash();
+            std::vector<uint32_t>& bucket = memoIndex_[key];
+            const MemoEntry* hit = nullptr;
+            for (uint32_t idx : bucket) {
+                if (memoEntries_[idx].syndrome == syndromeScratch_) {
+                    hit = &memoEntries_[idx];
+                    break;
+                }
+            }
+            if (hit != nullptr) {
+                // Replay the memoized outcome and its statistics: the
+                // aggregate counters stay exactly what per-shot
+                // decoding would have produced.
+                ++stats_.memoHits;
+                applyOutcomeStats(hit->outcome);
+                predicted[shot] = hit->outcome.observables;
+                continue;
+            }
+
+            const DecodeOutcome outcome =
+                decodeCore(syndromeScratch_);
+            applyOutcomeStats(outcome);
+            predicted[shot] = outcome.observables;
+            bucket.push_back(
+                static_cast<uint32_t>(memoEntries_.size()));
+            memoEntries_.push_back({syndromeScratch_, outcome});
+        }
+    }
 }
 
 } // namespace cyclone

@@ -7,12 +7,22 @@
  * posteriors seed an OSD-0 solve, which always returns a valid
  * correction. This mirrors the decoders the paper uses for both code
  * families (BP-OSD for BB codes, the QuITS decoder for HGP codes).
+ *
+ * The batched entry point decodeBatch() exploits the sub-threshold
+ * structure of Monte-Carlo shots: whole 64-shot waves are tested for
+ * detection events with one packed OR sweep (zero-syndrome shots skip
+ * BP entirely), and a per-batch memo decodes each distinct syndrome
+ * once, replaying the result — and its statistics — for duplicates.
+ * Both fast paths reproduce exactly what per-shot decoding would
+ * return (BP is deterministic per syndrome and converges trivially on
+ * the zero syndrome), so batch and scalar decoding are bit-identical.
  */
 
 #ifndef CYCLONE_DECODER_BPOSD_DECODER_H
 #define CYCLONE_DECODER_BPOSD_DECODER_H
 
-#include <memory>
+#include <unordered_map>
+#include <vector>
 
 #include "decoder/bp_decoder.h"
 #include "decoder/decoder.h"
@@ -27,6 +37,29 @@ struct BpOsdStats
     size_t bpConverged = 0;
     size_t osdInvocations = 0;
     size_t osdFailures = 0;
+
+    /** Zero-syndrome shots resolved by the batch/scalar fast path
+     *  (also counted in bpConverged: BP converges on them in 0
+     *  iterations). */
+    size_t trivialShots = 0;
+
+    /** Duplicate-syndrome shots replayed from the per-batch memo.
+     *  Replays re-apply the memoized outcome's statistics, so every
+     *  other counter matches what per-shot decoding would report. */
+    size_t memoHits = 0;
+
+    /** Total BP iterations across all decodes (memo replays included,
+     *  trivial shots contribute zero). */
+    size_t bpIterations = 0;
+
+    /** Fraction of decodes resolved by the zero-syndrome fast path. */
+    double trivialFraction() const;
+
+    /** Fraction of decodes served from the duplicate-syndrome memo. */
+    double memoHitRate() const;
+
+    /** Mean BP iterations over non-trivial decodes. */
+    double meanBpIterations() const;
 };
 
 /** BP + OSD-0 decoder over a detector error model. */
@@ -40,16 +73,51 @@ class BpOsdDecoder : public Decoder
     explicit BpOsdDecoder(const DetectorErrorModel& dem,
                           BpOptions options = {});
 
+    /** Decode one shot (thin wrapper over the batch decode core). */
     uint64_t decode(const BitVec& syndrome) override;
+
+    /**
+     * Decode a packed batch with the zero-syndrome fast path and the
+     * per-batch duplicate-syndrome memo. Bit-identical to calling
+     * decode() on every unpacked shot, at a fraction of the cost in
+     * the sub-threshold regime.
+     */
+    void decodeBatch(const ShotBatch& batch,
+                     std::vector<uint64_t>& predicted) override;
 
     const BpOsdStats& stats() const { return stats_; }
 
   private:
+    /** What one full BP(+OSD) solve did, for stats and memo replay. */
+    struct DecodeOutcome
+    {
+        uint64_t observables = 0;
+        uint32_t iterations = 0;
+        bool converged = false;
+        bool osdFailed = false;
+    };
+
+    /** One memoized distinct syndrome within the current batch. */
+    struct MemoEntry
+    {
+        BitVec syndrome;
+        DecodeOutcome outcome;
+    };
+
+    DecodeOutcome decodeCore(const BitVec& syndrome);
+    void applyOutcomeStats(const DecodeOutcome& outcome);
+
     const DetectorErrorModel& dem_;
     BpDecoder bp_;
     OsdDecoder osd_;
     BpOsdStats stats_;
     std::vector<uint8_t> errorScratch_;
+
+    // decodeBatch scratch, reused across calls.
+    BitVec syndromeScratch_;
+    std::vector<uint64_t> waveScratch_;
+    std::vector<MemoEntry> memoEntries_;
+    std::unordered_map<uint64_t, std::vector<uint32_t>> memoIndex_;
 };
 
 } // namespace cyclone

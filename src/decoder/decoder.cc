@@ -1,0 +1,14 @@
+#include "decoder/decoder.h"
+
+namespace cyclone {
+
+void
+Decoder::decodeBatch(const ShotBatch& batch,
+                     std::vector<uint64_t>& predicted)
+{
+    predicted.resize(batch.numShots);
+    for (size_t s = 0; s < batch.numShots; ++s)
+        predicted[s] = decode(batch.syndromeOf(s));
+}
+
+} // namespace cyclone

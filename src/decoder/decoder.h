@@ -1,14 +1,22 @@
 /**
  * @file
  * Decoder interface: syndrome in, predicted observable flips out.
+ *
+ * Decoders expose two granularities: a per-shot decode() and a
+ * decodeBatch() over a packed ShotBatch. The base class supplies a
+ * scalar fallback for decodeBatch so simple decoders (e.g. the
+ * exhaustive test oracle) stay one-method implementations; hot-path
+ * decoders override it with packed fast paths (see BpOsdDecoder).
  */
 
 #ifndef CYCLONE_DECODER_DECODER_H
 #define CYCLONE_DECODER_DECODER_H
 
 #include <cstdint>
+#include <vector>
 
 #include "common/bitvec.h"
+#include "dem/shot_batch.h"
 
 namespace cyclone {
 
@@ -25,6 +33,22 @@ class Decoder
      * @return predicted logical-observable flip mask
      */
     virtual uint64_t decode(const BitVec& syndrome) = 0;
+
+    /**
+     * Decode every shot of a packed batch.
+     *
+     * @param batch packed detector outcomes (detector count must match
+     *        the decoder's DEM)
+     * @param[out] predicted per-shot observable flip masks, resized to
+     *        batch.numShots
+     *
+     * The default implementation unpacks each shot and calls decode();
+     * overrides must predict exactly what the scalar path would
+     * (prediction equality is the batched pipeline's determinism
+     * contract, enforced by the batch-vs-scalar equivalence tests).
+     */
+    virtual void decodeBatch(const ShotBatch& batch,
+                             std::vector<uint64_t>& predicted);
 };
 
 } // namespace cyclone

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <bit>
-#include <numeric>
+#include <functional>
 
 #include "common/logging.h"
 
@@ -27,13 +27,11 @@ firstSetBit(const uint64_t* words, size_t count)
 
 OsdDecoder::OsdDecoder(const DetectorErrorModel& dem, size_t order)
     : dem_(dem), order_(order), words_((dem.numDetectors + 63) / 64)
-{
-    order_scratch_.resize(dem_.mechanisms.size());
-}
+{}
 
 bool
 OsdDecoder::decode(const BitVec& syndrome,
-                   const std::vector<double>& posterior_llr,
+                   const std::vector<float>& posterior_llr,
                    std::vector<uint8_t>& errors)
 {
     const size_t num_vars = dem_.mechanisms.size();
@@ -41,40 +39,43 @@ OsdDecoder::decode(const BitVec& syndrome,
                    "posterior length mismatch");
     errors.assign(num_vars, 0);
 
-    // Reliability order: most-likely-flipped (lowest LLR) first.
-    std::iota(order_scratch_.begin(), order_scratch_.end(), 0u);
-    std::sort(order_scratch_.begin(), order_scratch_.end(),
-              [&](uint32_t a, uint32_t b) {
-                  if (posterior_llr[a] != posterior_llr[b])
-                      return posterior_llr[a] < posterior_llr[b];
-                  return a < b;
-              });
+    // Reliability order, consumed lazily: most-likely-flipped (lowest
+    // LLR, ties by index) first. Heap pops follow the exact sorted
+    // sequence, so the elimination sees the same columns in the same
+    // order a full sort would give.
+    heap_.clear();
+    heap_.reserve(num_vars);
+    for (uint32_t v = 0; v < num_vars; ++v)
+        heap_.emplace_back(posterior_llr[v], v);
+    std::make_heap(heap_.begin(), heap_.end(),
+                   std::greater<std::pair<float, uint32_t>>());
 
     // Pivot storage: dense column + augmentation over pivot slots.
     const size_t max_pivots = dem_.numDetectors;
     const size_t aug_words = (max_pivots + 63) / 64;
-    std::vector<std::vector<uint64_t>> pivot_vec;
-    std::vector<std::vector<uint64_t>> pivot_aug;
-    std::vector<uint32_t> pivot_var;
-    std::vector<uint32_t> pivot_by_row(dem_.numDetectors, kNoPivot);
-    pivot_vec.reserve(max_pivots);
-    pivot_aug.reserve(max_pivots);
-    pivot_var.reserve(max_pivots);
+    pivotCols_.resize(max_pivots * words_);
+    pivotAugs_.resize(max_pivots * aug_words);
+    pivotVar_.clear();
+    pivotByRow_.assign(dem_.numDetectors, kNoPivot);
 
     // Rejected (linearly dependent) columns kept for the order-lambda
     // sweep: each stores the pivot combination reproducing it.
-    std::vector<uint32_t> reject_var;
-    std::vector<std::vector<uint64_t>> reject_aug;
+    rejectVar_.clear();
+    rejectAugs_.resize(order_ * aug_words);
 
     colScratch_.assign(words_, 0);
     augScratch_.assign(aug_words, 0);
 
     const size_t stop_rank = rankKnown_ ? rank_ : max_pivots;
-    for (uint32_t v_idx : order_scratch_) {
-        if (pivot_vec.size() >= stop_rank &&
-            reject_var.size() >= order_) {
+    while (!heap_.empty()) {
+        if (pivotVar_.size() >= stop_rank &&
+            rejectVar_.size() >= order_) {
             break;
         }
+        std::pop_heap(heap_.begin(), heap_.end(),
+                      std::greater<std::pair<float, uint32_t>>());
+        const uint32_t v_idx = heap_.back().second;
+        heap_.pop_back();
         // Densify the candidate column.
         std::fill(colScratch_.begin(), colScratch_.end(), 0);
         std::fill(augScratch_.begin(), augScratch_.end(), 0);
@@ -85,90 +86,100 @@ OsdDecoder::decode(const BitVec& syndrome,
             const int row = firstSetBit(colScratch_.data(), words_);
             if (row < 0) {
                 // Linearly dependent: candidate for the sweep.
-                if (reject_var.size() < order_) {
-                    reject_var.push_back(v_idx);
-                    reject_aug.push_back(augScratch_);
+                if (rejectVar_.size() < order_) {
+                    std::copy(augScratch_.begin(), augScratch_.end(),
+                              rejectAugs_.begin() +
+                                  rejectVar_.size() * aug_words);
+                    rejectVar_.push_back(v_idx);
                 }
                 break;
             }
-            const uint32_t p = pivot_by_row[static_cast<size_t>(row)];
+            const uint32_t p = pivotByRow_[static_cast<size_t>(row)];
             if (p == kNoPivot) {
-                const size_t slot = pivot_vec.size();
+                const size_t slot = pivotVar_.size();
                 augScratch_[slot >> 6] |= uint64_t(1) << (slot & 63);
-                pivot_vec.push_back(colScratch_);
-                pivot_aug.push_back(augScratch_);
-                pivot_var.push_back(v_idx);
-                pivot_by_row[static_cast<size_t>(row)] =
+                std::copy(colScratch_.begin(), colScratch_.end(),
+                          pivotCols_.begin() + slot * words_);
+                std::copy(augScratch_.begin(), augScratch_.end(),
+                          pivotAugs_.begin() + slot * aug_words);
+                pivotVar_.push_back(v_idx);
+                pivotByRow_[static_cast<size_t>(row)] =
                     static_cast<uint32_t>(slot);
                 break;
             }
+            const uint64_t* pivot_col = pivotCols_.data() + p * words_;
+            const uint64_t* pivot_aug =
+                pivotAugs_.data() + p * aug_words;
             for (size_t w = 0; w < words_; ++w)
-                colScratch_[w] ^= pivot_vec[p][w];
+                colScratch_[w] ^= pivot_col[w];
             for (size_t w = 0; w < aug_words; ++w)
-                augScratch_[w] ^= pivot_aug[p][w];
+                augScratch_[w] ^= pivot_aug[w];
         }
     }
     if (!rankKnown_) {
-        rank_ = pivot_vec.size();
+        rank_ = pivotVar_.size();
         rankKnown_ = true;
     }
 
     // Reduce the syndrome through the pivot basis.
-    std::vector<uint64_t> residual(words_, 0);
+    residual_.assign(words_, 0);
     for (size_t i = 0; i < syndrome.size(); ++i) {
         if (syndrome.get(i))
-            residual[i >> 6] |= uint64_t(1) << (i & 63);
+            residual_[i >> 6] |= uint64_t(1) << (i & 63);
     }
-    std::vector<uint64_t> base_aug(aug_words, 0);
+    baseAug_.assign(aug_words, 0);
     while (true) {
-        const int row = firstSetBit(residual.data(), words_);
+        const int row = firstSetBit(residual_.data(), words_);
         if (row < 0)
             break;
-        const uint32_t p = pivot_by_row[static_cast<size_t>(row)];
+        const uint32_t p = pivotByRow_[static_cast<size_t>(row)];
         if (p == kNoPivot)
             return false; // Syndrome outside the column span.
+        const uint64_t* pivot_col = pivotCols_.data() + p * words_;
+        const uint64_t* pivot_aug = pivotAugs_.data() + p * aug_words;
         for (size_t w = 0; w < words_; ++w)
-            residual[w] ^= pivot_vec[p][w];
+            residual_[w] ^= pivot_col[w];
         for (size_t w = 0; w < aug_words; ++w)
-            base_aug[w] ^= pivot_aug[p][w];
+            baseAug_[w] ^= pivot_aug[w];
     }
 
     // Score a pivot-combination (plus optional extra column) by total
     // posterior LLR: lower = more probable.
-    auto score = [&](const std::vector<uint64_t>& aug,
-                     double extra) {
+    auto score = [&](const uint64_t* aug, double extra) {
         double total = extra;
-        for (size_t slot = 0; slot < pivot_var.size(); ++slot) {
+        for (size_t slot = 0; slot < pivotVar_.size(); ++slot) {
             if ((aug[slot >> 6] >> (slot & 63)) & 1)
-                total += posterior_llr[pivot_var[slot]];
+                total += posterior_llr[pivotVar_[slot]];
         }
         return total;
     };
 
     // OSD-0 candidate.
-    double best_score = score(base_aug, 0.0);
-    std::vector<uint64_t> best_aug = base_aug;
+    double best_score = score(baseAug_.data(), 0.0);
+    std::vector<uint64_t>& best_aug = candidateAug_;
+    best_aug.assign(baseAug_.begin(), baseAug_.end());
     uint32_t best_extra = kNoPivot;
 
     // Order-lambda sweep: include one rejected column j, whose pivot
-    // combination is reject_aug[j]; the solution becomes
-    // base_aug ^ reject_aug[j] with column j flipped on.
-    std::vector<uint64_t> candidate(aug_words);
-    for (size_t r = 0; r < reject_var.size(); ++r) {
+    // combination is rejectAugs_[j]; the solution becomes
+    // baseAug_ ^ rejectAugs_[j] with column j flipped on.
+    sweepAug_.resize(aug_words);
+    for (size_t r = 0; r < rejectVar_.size(); ++r) {
+        const uint64_t* reject_aug = rejectAugs_.data() + r * aug_words;
         for (size_t w = 0; w < aug_words; ++w)
-            candidate[w] = base_aug[w] ^ reject_aug[r][w];
-        const double s =
-            score(candidate, posterior_llr[reject_var[r]]);
+            sweepAug_[w] = baseAug_[w] ^ reject_aug[w];
+        const double s = score(sweepAug_.data(),
+                               posterior_llr[rejectVar_[r]]);
         if (s < best_score) {
             best_score = s;
-            best_aug = candidate;
-            best_extra = reject_var[r];
+            best_aug.assign(sweepAug_.begin(), sweepAug_.end());
+            best_extra = rejectVar_[r];
         }
     }
 
-    for (size_t slot = 0; slot < pivot_var.size(); ++slot) {
+    for (size_t slot = 0; slot < pivotVar_.size(); ++slot) {
         if ((best_aug[slot >> 6] >> (slot & 63)) & 1)
-            errors[pivot_var[slot]] = 1;
+            errors[pivotVar_[slot]] = 1;
     }
     if (best_extra != kNoPivot)
         errors[best_extra] = 1;

@@ -19,6 +19,7 @@
 #define CYCLONE_DECODER_OSD_H
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/bitvec.h"
@@ -44,13 +45,14 @@ class OsdDecoder
      *
      * @param syndrome detector outcomes
      * @param posterior_llr per-mechanism posterior LLRs from BP
-     *        (lower = more likely in error)
+     *        (lower = more likely in error; ties broken by index so
+     *        the elimination order is deterministic)
      * @param[out] errors hard decision per mechanism
      * @return true if a solution was found (always, for syndromes in
      *         the column span of the DEM)
      */
     bool decode(const BitVec& syndrome,
-                const std::vector<double>& posterior_llr,
+                const std::vector<float>& posterior_llr,
                 std::vector<uint8_t>& errors);
 
     /** Column rank discovered so far (fixed after the first decode). */
@@ -63,10 +65,25 @@ class OsdDecoder
     size_t rank_ = 0;        ///< 0 until first full elimination.
     bool rankKnown_ = false;
 
-    // Scratch reused across calls (one decoder per thread).
-    std::vector<uint32_t> order_scratch_;
+    // Scratch reused across calls (one decoder per thread); all flat
+    // so the elimination allocates nothing after the first decode.
+    // Candidate columns are consumed lazily from a (llr, index)
+    // min-heap: pops follow exactly the sorted reliability order, but
+    // once the rank is known only the few hundred columns the
+    // elimination actually inspects are ordered, not all mechanisms.
+    std::vector<std::pair<float, uint32_t>> heap_;
     std::vector<uint64_t> colScratch_;
     std::vector<uint64_t> augScratch_;
+    std::vector<uint64_t> pivotCols_;  ///< words_ per pivot slot.
+    std::vector<uint64_t> pivotAugs_;  ///< augWords() per pivot slot.
+    std::vector<uint32_t> pivotVar_;
+    std::vector<uint32_t> pivotByRow_;
+    std::vector<uint32_t> rejectVar_;
+    std::vector<uint64_t> rejectAugs_; ///< augWords() per reject slot.
+    std::vector<uint64_t> residual_;
+    std::vector<uint64_t> baseAug_;
+    std::vector<uint64_t> candidateAug_;
+    std::vector<uint64_t> sweepAug_;
 };
 
 } // namespace cyclone

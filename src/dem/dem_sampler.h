@@ -15,6 +15,7 @@
 #include "common/bitvec.h"
 #include "common/rng.h"
 #include "dem/dem.h"
+#include "dem/shot_batch.h"
 
 namespace cyclone {
 
@@ -40,6 +41,18 @@ DemShots sampleDem(const DetectorErrorModel& dem, size_t shots, Rng& rng);
  */
 void sampleDemInto(const DetectorErrorModel& dem, size_t shots, Rng& rng,
                    DemShots& out);
+
+/**
+ * Sample straight into a packed, detector-major ShotBatch.
+ *
+ * Consumes the RNG stream in exactly the same order as sampleDemInto
+ * (mechanisms outer, geometric skips inner), so for a given seed the
+ * packed batch holds bit-for-bit the same outcomes as the per-shot
+ * BitVecs of the scalar sampler — the batched decode pipeline stays
+ * bit-identical to the scalar one. Reuses `out`'s storage.
+ */
+void sampleDemBatch(const DetectorErrorModel& dem, size_t shots, Rng& rng,
+                    ShotBatch& out);
 
 } // namespace cyclone
 

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Bit-packed batch of sampled shots, detector-major.
+ *
+ * A ShotBatch stores the detector outcomes of up to `numShots` Monte
+ * Carlo shots packed 64 per uint64_t word: word w of detector d holds
+ * shots 64w .. 64w+63 (LSB first). The layout matches the write
+ * pattern of the geometric-skip sampler (whole mechanisms at a time,
+ * one XOR per touched detector word) and lets the decoder test a whole
+ * 64-shot wave for detection events with one OR sweep — the
+ * sub-threshold fast path of the batched decode pipeline.
+ */
+
+#ifndef CYCLONE_DEM_SHOT_BATCH_H
+#define CYCLONE_DEM_SHOT_BATCH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.h"
+
+namespace cyclone {
+
+/** Packed detector outcomes + observable masks of a batch of shots. */
+struct ShotBatch
+{
+    size_t numDetectors = 0;
+    size_t numShots = 0;
+
+    /**
+     * Detector-major packed outcomes: word `d * wordsPerDetector() + w`
+     * holds shots 64w .. 64w+63 of detector d. Bits at shot indices
+     * >= numShots are always zero.
+     */
+    std::vector<uint64_t> words;
+
+    /** Observable flip mask of each shot. */
+    std::vector<uint64_t> observables;
+
+    /** Words per detector row: one per 64-shot wave. */
+    size_t
+    wordsPerDetector() const
+    {
+        return (numShots + 63) / 64;
+    }
+
+    /** Number of 64-shot waves (last one may be partial). */
+    size_t
+    numWaves() const
+    {
+        return (numShots + 63) / 64;
+    }
+
+    /**
+     * Resize to `detectors` x `shots` and zero all contents, keeping
+     * existing storage (chunk loops reuse one batch per worker).
+     */
+    void reset(size_t detectors, size_t shots);
+
+    /** Mutable word row of detector d (wordsPerDetector() words). */
+    uint64_t*
+    row(size_t d)
+    {
+        return words.data() + d * wordsPerDetector();
+    }
+
+    const uint64_t*
+    row(size_t d) const
+    {
+        return words.data() + d * wordsPerDetector();
+    }
+
+    /** Read the outcome of one detector for one shot. */
+    bool
+    detector(size_t shot, size_t det) const
+    {
+        return (words[det * wordsPerDetector() + (shot >> 6)] >>
+                (shot & 63)) &
+            1;
+    }
+
+    /** Flip the outcome of one detector for one shot. */
+    void
+    flipDetector(size_t shot, size_t det)
+    {
+        words[det * wordsPerDetector() + (shot >> 6)] ^=
+            uint64_t(1) << (shot & 63);
+    }
+
+    /** Mask of shot indices that exist in wave w (partial last wave). */
+    uint64_t waveMask(size_t wave) const;
+
+    /**
+     * Mask of shots in wave w with at least one detection event: the
+     * OR of every detector's wave word. O(numDetectors) words.
+     */
+    uint64_t activeMask(size_t wave) const;
+
+    /** Unpack one shot's syndrome as a BitVec (tests, slow paths). */
+    BitVec syndromeOf(size_t shot) const;
+};
+
+} // namespace cyclone
+
+#endif // CYCLONE_DEM_SHOT_BATCH_H

@@ -19,7 +19,10 @@ MemoryExperimentResult
 runZMemoryExperiment(const CssCode& code, const SyndromeSchedule& schedule,
                      const MemoryExperimentConfig& config)
 {
-    const size_t chunkShots = 256;
+    if (config.chunkShots < 1)
+        throw std::invalid_argument(
+            "MemoryExperimentConfig.chunkShots must be >= 1");
+    const size_t chunkShots = config.chunkShots;
 
     CampaignSpec spec;
     spec.name = "memory-experiment";

@@ -31,6 +31,14 @@ struct MemoryExperimentConfig
     /** Monte-Carlo shots. */
     size_t shots = 1000;
 
+    /**
+     * Shots per deterministic sampling chunk (and per packed decode
+     * batch). Must be >= 1. The chunk grid fixes the RNG streams, so
+     * changing this re-samples the experiment; the default matches
+     * the campaign engine's.
+     */
+    size_t chunkShots = 256;
+
     /** Physical error rate p of the base noise model. */
     double physicalError = 1e-3;
 

@@ -101,11 +101,19 @@ TEST(Campaign, DeterministicAcrossThreadCounts)
                   four.tasks[i].logicalErrorRate.successes)
             << "task " << i;
         EXPECT_EQ(one.tasks[i].chunks, four.tasks[i].chunks);
-        // Decoder totals are sums over chunks, so they match too.
+        // Decoder totals are sums over chunks, so they match too —
+        // including the batch-pipeline counters (the memo is scoped
+        // per chunk, never per worker).
         EXPECT_EQ(one.tasks[i].decoder.decodes,
                   four.tasks[i].decoder.decodes);
         EXPECT_EQ(one.tasks[i].decoder.bpConverged,
                   four.tasks[i].decoder.bpConverged);
+        EXPECT_EQ(one.tasks[i].decoder.trivialShots,
+                  four.tasks[i].decoder.trivialShots);
+        EXPECT_EQ(one.tasks[i].decoder.memoHits,
+                  four.tasks[i].decoder.memoHits);
+        EXPECT_EQ(one.tasks[i].decoder.bpIterations,
+                  four.tasks[i].decoder.bpIterations);
     }
 }
 
@@ -210,6 +218,9 @@ TEST(Campaign, JsonAndCsvOutputs)
     EXPECT_NE(json.find("\"campaign\": \"io-check\""), std::string::npos);
     EXPECT_NE(json.find("\"id\": \"point-a\""), std::string::npos);
     EXPECT_NE(json.find("\"shots\": 200"), std::string::npos);
+    EXPECT_NE(json.find("\"trivial_fraction\""), std::string::npos);
+    EXPECT_NE(json.find("\"memo_hit_rate\""), std::string::npos);
+    EXPECT_NE(json.find("\"mean_bp_iterations\""), std::string::npos);
     EXPECT_EQ(json.find("\"error\""), std::string::npos);
 
     const std::string csv = campaignResultToCsv(result);
@@ -245,6 +256,12 @@ TEST(Campaign, CheckpointRoundtrip)
                   first.tasks[i].logicalErrorRate.trials);
         EXPECT_EQ(resumed.tasks[i].decoder.decodes,
                   first.tasks[i].decoder.decodes);
+        EXPECT_EQ(resumed.tasks[i].decoder.trivialShots,
+                  first.tasks[i].decoder.trivialShots);
+        EXPECT_EQ(resumed.tasks[i].decoder.memoHits,
+                  first.tasks[i].decoder.memoHits);
+        EXPECT_EQ(resumed.tasks[i].decoder.bpIterations,
+                  first.tasks[i].decoder.bpIterations);
     }
     // Nothing re-sampled, so the caches never got touched.
     EXPECT_EQ(resumed.cache.demMisses, 0u);

@@ -109,10 +109,10 @@ TEST(OsdDecoder, SolvesEverySingleMechanismSyndrome)
     auto dem = surface13Dem(0.003);
     OsdDecoder osd(dem);
     // Uniform priors: pass prior LLRs as posteriors.
-    std::vector<double> llr(dem.mechanisms.size());
+    std::vector<float> llr(dem.mechanisms.size());
     for (size_t v = 0; v < llr.size(); ++v) {
         const double p = dem.mechanisms[v].probability;
-        llr[v] = std::log((1.0 - p) / p);
+        llr[v] = static_cast<float>(std::log((1.0 - p) / p));
     }
     std::vector<uint8_t> errors;
     for (size_t v = 0; v < dem.mechanisms.size(); v += 7) {

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "memory/memory_experiment.h"
 #include "qec/classical_code.h"
 #include "qec/code_catalog.h"
@@ -126,6 +128,32 @@ TEST(MemoryExperiment, SingleVsMultiThreadSameDem)
     auto multi = runZMemoryExperiment(code, sched, cfg);
     EXPECT_EQ(single.demMechanisms, multi.demMechanisms);
     EXPECT_EQ(single.demDetectors, multi.demDetectors);
+}
+
+TEST(MemoryExperiment, ChunkShotsMustBePositive)
+{
+    CssCode code = surface13();
+    SyndromeSchedule sched = makeXThenZSchedule(code);
+    MemoryExperimentConfig cfg;
+    cfg.shots = 10;
+    cfg.chunkShots = 0;
+    EXPECT_THROW(runZMemoryExperiment(code, sched, cfg),
+                 std::invalid_argument);
+}
+
+TEST(MemoryExperiment, CustomChunkShotsRunsFullBudget)
+{
+    CssCode code = surface13();
+    SyndromeSchedule sched = makeXThenZSchedule(code);
+    MemoryExperimentConfig cfg;
+    cfg.shots = 250;
+    cfg.chunkShots = 100; // 3 chunks, last one short
+    cfg.physicalError = 0.02;
+    cfg.rounds = 2;
+    cfg.seed = 55;
+    auto result = runZMemoryExperiment(code, sched, cfg);
+    EXPECT_EQ(result.logicalErrorRate.trials, 250u);
+    EXPECT_EQ(result.decoder.decodes, 250u);
 }
 
 TEST(MemoryExperiment, Bb72SubThresholdSanity)
