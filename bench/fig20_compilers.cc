@@ -3,11 +3,12 @@
  * Figure 20: total and unrolled (component-wise serialized) execution
  * times for the three baseline compilers on [[225,9,6]], plus the
  * realized % parallelization (actual / serialized; lower = more
- * parallel), with Cyclone for reference.
+ * parallel), with Cyclone for reference. All aggregates are read from
+ * the TimedSchedule IR rather than pre-accumulated counters.
  *
  * Counters: exec_ms, serial_gate_ms, serial_shuttle_ms,
  * serial_junction_ms, serial_swap_ms, serial_measure_ms,
- * parallel_pct.
+ * parallel_pct, roadblock_waits, roadblock_wait_ms.
  */
 
 #include <functional>
@@ -23,16 +24,20 @@ namespace {
 void
 report(benchmark::State& state, const CompileResult& r)
 {
-    state.counters["exec_ms"] = r.execTimeUs / 1000.0;
-    state.counters["serial_gate_ms"] = r.serialized.gateUs / 1000.0;
-    state.counters["serial_shuttle_ms"] =
-        r.serialized.shuttleUs / 1000.0;
-    state.counters["serial_junction_ms"] =
-        r.serialized.junctionUs / 1000.0;
-    state.counters["serial_swap_ms"] = r.serialized.swapUs / 1000.0;
-    state.counters["serial_measure_ms"] =
-        r.serialized.measureUs / 1000.0;
+    const TimedSchedule& ir = r.schedule;
+    const double exec_us = ir.makespan();
+    const TimeBreakdown serial = ir.breakdown();
+    state.counters["exec_ms"] = exec_us / 1000.0;
+    state.counters["serial_gate_ms"] = serial.gateUs / 1000.0;
+    state.counters["serial_shuttle_ms"] = serial.shuttleUs / 1000.0;
+    state.counters["serial_junction_ms"] = serial.junctionUs / 1000.0;
+    state.counters["serial_swap_ms"] = serial.swapUs / 1000.0;
+    state.counters["serial_measure_ms"] = serial.measureUs / 1000.0;
     state.counters["parallel_pct"] = 100.0 * r.parallelFraction();
+    const WaitHistogram waits = ir.waitHistogram();
+    state.counters["roadblock_waits"] =
+        static_cast<double>(waits.waits);
+    state.counters["roadblock_wait_ms"] = waits.totalWaitUs / 1000.0;
 }
 
 void

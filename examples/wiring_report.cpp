@@ -10,6 +10,8 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/cyclone.h"
 
@@ -30,6 +32,7 @@ main(int argc, char** argv)
 
     std::printf("%-16s %7s %10s %9s %6s %14s\n", "design", "traps",
                 "junctions", "ancilla", "DACs", "exec (ms)");
+    std::vector<std::pair<std::string, CompileResult>> compiled;
     for (Architecture arch :
          {Architecture::BaselineGrid, Architecture::AlternateGrid,
           Architecture::MeshJunction, Architecture::Cyclone}) {
@@ -41,8 +44,11 @@ main(int argc, char** argv)
         std::printf("%-16s %7zu %10zu %9zu %6zu %14.2f\n",
                     architectureName(arch), overhead.traps,
                     overhead.junctions, overhead.ancillas,
-                    overhead.dacChannels, r.execTimeUs / 1000.0);
+                    overhead.dacChannels,
+                    r.schedule.makespan() / 1000.0);
+        compiled.emplace_back(architectureName(arch), std::move(r));
     }
+
     // Fig. 11b variant: the loop embedded in a modified grid.
     CycloneOptions grid_ring;
     grid_ring.gridEmbedded = true;
@@ -51,7 +57,32 @@ main(int argc, char** argv)
     std::printf("%-16s %7zu %10zu %9zu %6zu %14.2f\n",
                 "cyclone-on-grid", embedded.traps, embedded.junctions,
                 embedded.ancillas, embedded.dacChannels,
-                on_grid.execTimeUs / 1000.0);
+                on_grid.schedule.makespan() / 1000.0);
+    compiled.emplace_back("cyclone-on-grid", std::move(on_grid));
+
+    // Where each design's round spends its time, read from the
+    // TimedSchedule IR: per-category share of the serialized total,
+    // realized parallelization, and roadblock waiting.
+    std::printf("\n%-16s %6s %8s %9s %6s %9s %7s %11s\n", "design",
+                "gate%", "shuttle%", "junction%", "swap%", "parallel%",
+                "waits", "wait (ms)");
+    for (const auto& [name_label, r] : compiled) {
+        const TimedSchedule& ir = r.schedule;
+        const TimeBreakdown serial = ir.breakdown();
+        const double total = serial.total();
+        const WaitHistogram waits = ir.waitHistogram();
+        std::string valid;
+        const bool ok = ir.validate(&valid);
+        std::printf("%-16s %6.1f %8.1f %9.1f %6.1f %9.1f %7zu %11.2f%s\n",
+                    name_label.c_str(),
+                    100.0 * serial.gateUs / total,
+                    100.0 * serial.shuttleUs / total,
+                    100.0 * serial.junctionUs / total,
+                    100.0 * serial.swapUs / total,
+                    100.0 * ir.makespan() / total, waits.waits,
+                    waits.totalWaitUs / 1000.0,
+                    ok ? "" : "  [IR INVALID]");
+    }
 
     std::printf("\nCyclone's lockstep symmetry lets one broadcast DAC "
                 "drive every trap\n(grids need one DAC per trap; see "

@@ -16,6 +16,7 @@
 #include "circuit/memory_circuit.h"
 #include "dem/dem_builder.h"
 #include "noise/noise_model.h"
+#include "noise/schedule_noise.h"
 #include "qec/code_catalog.h"
 
 namespace cyclone {
@@ -48,6 +49,7 @@ struct TaskState
     // Written by the (single) resolve job, read by the coordinator
     // after its Resolved event; the event queue orders the accesses.
     std::shared_ptr<const DetectorErrorModel> dem;
+    std::shared_ptr<const CompileResult> compiled;
     double latencyUs = 0.0;
 
     std::optional<AdaptiveSampler> sampler;
@@ -115,6 +117,12 @@ taskContentHash(const TaskState& st)
         h.absorb(std::string(architectureName(t.architecture)));
     else
         h.absorb(t.roundLatencyUs);
+    h.absorb(uint64_t{t.swap == SwapKind::IonSwap ? 1u : 0u});
+    h.absorb(uint64_t{t.gridCapacity});
+    h.absorb(uint64_t{
+        t.idleNoise == IdleNoiseMode::PerQubitSchedule ? 1u : 0u});
+    for (const PauliTwirl& twirl : t.perQubitIdle)
+        h.absorb(twirl.px).absorb(twirl.py).absorb(twirl.pz);
     h.absorb(t.latencyScale).absorb(t.physicalError);
     h.absorb(uint64_t{st.rounds}).absorb(uint64_t{t.xBasis ? 1u : 0u});
     h.absorb(uint64_t{static_cast<unsigned>(t.bp.variant)});
@@ -261,6 +269,14 @@ CampaignEngine::run(const CampaignSpec& spec,
             r.demDetectors = st.dem->numDetectors;
             r.demMechanisms = st.dem->mechanisms.size();
         }
+        if (st.compiled) {
+            r.compileMakespanUs = st.compiled->execTimeUs;
+            r.compileBreakdown = st.compiled->serialized;
+            r.compileParallelFraction = st.compiled->parallelFraction();
+            r.trapRoadblocks = st.compiled->trapRoadblocks;
+            r.junctionRoadblocks = st.compiled->junctionRoadblocks;
+            r.roadblockWaits = st.compiled->schedule.waitHistogram();
+        }
         r.sampleSeconds = st.sampleSeconds;
         if (r.rounds > 0 && r.logicalErrorRate.trials > 0) {
             const double ler =
@@ -365,22 +381,46 @@ CampaignEngine::run(const CampaignSpec& spec,
                     ch.absorb(st.codeHash)
                         .absorb(st.scheduleHash)
                         .absorb(std::string(
-                            architectureName(t.architecture)));
-                    latency =
-                        cache_
-                            .getOrBuildCompile(
-                                ch.digest(),
-                                [&] {
-                                    CodesignConfig config;
-                                    config.architecture = t.architecture;
-                                    return compileCodesign(*st.code,
-                                                           *st.schedule,
-                                                           config);
-                                })
-                            ->execTimeUs;
+                            architectureName(t.architecture)))
+                        .absorb(uint64_t{
+                            t.swap == SwapKind::IonSwap ? 1u : 0u})
+                        .absorb(uint64_t{t.gridCapacity});
+                    st.compiled = cache_.getOrBuildCompile(
+                        ch.digest(), [&] {
+                            CodesignConfig config;
+                            config.architecture = t.architecture;
+                            config.ejf.swap = t.swap;
+                            config.cyclone.swap = t.swap;
+                            config.gridCapacity = t.gridCapacity;
+                            return compileCodesign(*st.code,
+                                                   *st.schedule,
+                                                   config);
+                        });
+                    latency = st.compiled->execTimeUs;
                 }
                 latency *= t.latencyScale;
                 st.latencyUs = latency;
+
+                // Schedule-derived per-qubit idle twirls: explicit
+                // ones win; otherwise measure the compiled IR. Only
+                // PerQubitSchedule mode consumes them — the twirls
+                // are part of the DEM identity, so uniform-mode tasks
+                // must not carry unhashed ones into the circuit.
+                std::vector<PauliTwirl> perQubitIdle;
+                if (t.idleNoise == IdleNoiseMode::PerQubitSchedule) {
+                    perQubitIdle = t.perQubitIdle;
+                    if (perQubitIdle.empty()) {
+                        if (!st.compiled) {
+                            throw std::invalid_argument(
+                                "per-qubit idle noise needs a compiled "
+                                "architecture (or explicit perQubitIdle "
+                                "twirls)");
+                        }
+                        perQubitIdle = perQubitIdleFromSchedule(
+                            st.compiled->schedule, st.code->numQubits(),
+                            t.physicalError, t.latencyScale);
+                    }
+                }
 
                 HashStream dh;
                 dh.absorb(st.codeHash)
@@ -389,10 +429,28 @@ CampaignEngine::run(const CampaignSpec& spec,
                     .absorb(latency)
                     .absorb(uint64_t{st.rounds})
                     .absorb(uint64_t{t.xBasis ? 1u : 0u});
+                if (t.idleNoise == IdleNoiseMode::PerQubitSchedule) {
+                    // The DEM now depends on the exact timeline, not
+                    // just its makespan: key on the IR's content hash
+                    // (or the explicit twirl values).
+                    dh.absorb(uint64_t{1});
+                    if (!t.perQubitIdle.empty()) {
+                        for (const PauliTwirl& twirl : perQubitIdle)
+                            dh.absorb(twirl.px)
+                                .absorb(twirl.py)
+                                .absorb(twirl.pz);
+                    } else {
+                        dh.absorb(
+                            hashTimedSchedule(st.compiled->schedule));
+                        dh.absorb(t.latencyScale);
+                    }
+                }
                 st.dem = cache_.getOrBuildDem(dh.digest(), [&] {
                     MemoryCircuitOptions opts;
                     opts.rounds = st.rounds;
-                    opts.noise = latency > 0.0
+                    opts.perQubitIdle = perQubitIdle;
+                    opts.noise =
+                        latency > 0.0 && perQubitIdle.empty()
                         ? NoiseModel::withLatency(t.physicalError,
                                                   latency)
                         : NoiseModel::uniform(t.physicalError);

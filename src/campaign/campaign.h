@@ -54,6 +54,17 @@ struct TaskResult
     size_t demMechanisms = 0;
     BpOsdStats decoder;
 
+    /**
+     * Compile-derived round profile, read from the TimedSchedule IR
+     * (zero/empty for explicit-latency and checkpointed tasks).
+     */
+    double compileMakespanUs = 0.0;
+    TimeBreakdown compileBreakdown;
+    double compileParallelFraction = 0.0;
+    size_t trapRoadblocks = 0;
+    size_t junctionRoadblocks = 0;
+    WaitHistogram roadblockWaits;
+
     size_t chunks = 0;
     bool stoppedEarly = false;
     bool fromCheckpoint = false;

@@ -4,11 +4,13 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
 
 #include "common/stats.h"
+#include "compiler/architecture.h"
 
 namespace cyclone {
 
@@ -105,27 +107,17 @@ struct TaskBlock
 };
 
 bool
-parseArchitecture(const std::string& name, TaskSpec& task)
+parseTaskArchitecture(const std::string& name, TaskSpec& task)
 {
     if (name == "none" || name == "explicit") {
         task.compileLatency = false;
         return true;
     }
-    task.compileLatency = true;
-    if (name == "cyclone")
-        task.architecture = Architecture::Cyclone;
-    else if (name == "baseline" || name == "baseline-grid")
-        task.architecture = Architecture::BaselineGrid;
-    else if (name == "alternate" || name == "alternate-grid")
-        task.architecture = Architecture::AlternateGrid;
-    else if (name == "dynamic" || name == "dynamic-grid")
-        task.architecture = Architecture::DynamicGrid;
-    else if (name == "ring" || name == "ring-ejf")
-        task.architecture = Architecture::RingEjf;
-    else if (name == "mesh" || name == "mesh-junction")
-        task.architecture = Architecture::MeshJunction;
-    else
+    const std::optional<Architecture> arch = parseArchitecture(name);
+    if (!arch)
         return false;
+    task.compileLatency = true;
+    task.architecture = *arch;
     return true;
 }
 
@@ -136,7 +128,7 @@ expandBlock(const TaskBlock& block, CampaignSpec& spec)
     for (const std::string& archName : block.archs) {
         for (double p : block.ps) {
             TaskSpec task = block.base;
-            if (!parseArchitecture(archName, task))
+            if (!parseTaskArchitecture(archName, task))
                 specError(block.line,
                           "unknown architecture '" + archName + "'");
             task.physicalError = p;
@@ -200,6 +192,34 @@ campaignResultToJson(const CampaignResult& result)
             << ", \"memo_hit_rate\": " << num(t.decoder.memoHitRate())
             << ", \"mean_bp_iterations\": "
             << num(t.decoder.meanBpIterations()) << "}";
+        if (t.compileMakespanUs > 0.0) {
+            const double span = t.compileMakespanUs;
+            const TimeBreakdown& b = t.compileBreakdown;
+            out << ",\n     \"compile\": {\"makespan_us\": " << num(span)
+                << ", \"parallel_fraction\": "
+                << num(t.compileParallelFraction)
+                << ", \"trap_roadblocks\": " << t.trapRoadblocks
+                << ", \"junction_roadblocks\": " << t.junctionRoadblocks
+                << ",\n       \"serialized_us\": {\"gate\": "
+                << num(b.gateUs) << ", \"shuttle\": " << num(b.shuttleUs)
+                << ", \"junction\": " << num(b.junctionUs)
+                << ", \"swap\": " << num(b.swapUs) << ", \"measure\": "
+                << num(b.measureUs) << ", \"prep\": " << num(b.prepUs)
+                << "},\n       \"utilization\": {\"gate\": "
+                << num(b.gateUs / span) << ", \"shuttle\": "
+                << num(b.shuttleUs / span) << ", \"junction\": "
+                << num(b.junctionUs / span) << ", \"swap\": "
+                << num(b.swapUs / span) << "}"
+                << ",\n       \"roadblock_waits\": {\"count\": "
+                << t.roadblockWaits.waits << ", \"total_us\": "
+                << num(t.roadblockWaits.totalWaitUs) << ", \"bins\": [";
+            for (size_t b2 = 0; b2 < WaitHistogram::kBins; ++b2) {
+                if (b2 > 0)
+                    out << ", ";
+                out << t.roadblockWaits.bins[b2];
+            }
+            out << "]}}";
+        }
         if (!t.error.empty())
             out << ", \"error\": \"" << jsonEscape(t.error) << "\"";
         out << "}";
@@ -219,8 +239,14 @@ campaignResultToCsv(const CampaignResult& result)
     out << "id,code,architecture,p,rounds,basis,round_latency_us,shots,"
            "failures,ler,wilson,per_round_ler,chunks,stopped_early,"
            "from_checkpoint,sample_seconds,trivial_fraction,"
-           "memo_hit_rate,mean_bp_iterations,error\n";
+           "memo_hit_rate,mean_bp_iterations,util_gate,util_shuttle,"
+           "util_junction,util_swap,parallel_fraction,trap_roadblocks,"
+           "junction_roadblocks,roadblock_wait_us,error\n";
     for (const TaskResult& t : result.tasks) {
+        const double span = t.compileMakespanUs;
+        auto util = [&](double component_us) {
+            return span > 0.0 ? component_us / span : 0.0;
+        };
         out << csvField(t.id) << ',' << csvField(t.codeName) << ','
             << csvField(t.architecture) << ','
             << num(t.physicalError) << ',' << t.rounds << ','
@@ -234,6 +260,13 @@ campaignResultToCsv(const CampaignResult& result)
             << ',' << num(t.decoder.trivialFraction()) << ','
             << num(t.decoder.memoHitRate()) << ','
             << num(t.decoder.meanBpIterations()) << ','
+            << num(util(t.compileBreakdown.gateUs)) << ','
+            << num(util(t.compileBreakdown.shuttleUs)) << ','
+            << num(util(t.compileBreakdown.junctionUs)) << ','
+            << num(util(t.compileBreakdown.swapUs)) << ','
+            << num(t.compileParallelFraction) << ','
+            << t.trapRoadblocks << ',' << t.junctionRoadblocks << ','
+            << num(t.roadblockWaits.totalWaitUs) << ','
             << csvField(t.error) << '\n';
     }
     return out.str();
@@ -420,6 +453,30 @@ parseCampaignSpec(const std::string& text)
                 t.roundLatencyUs = std::stod(value);
             } else if (key == "latency_scale") {
                 t.latencyScale = std::stod(value);
+            } else if (key == "swap") {
+                if (value == "gate")
+                    t.swap = SwapKind::GateSwap;
+                else if (value == "ion")
+                    t.swap = SwapKind::IonSwap;
+                else
+                    specError(lineno, "swap must be gate or ion");
+            } else if (key == "grid-capacity" ||
+                       key == "grid_capacity") {
+                // stoull accepts (and wraps) negative input; reject it.
+                if (value.front() == '-')
+                    specError(lineno, "grid-capacity must be >= 1");
+                t.gridCapacity = std::stoull(value);
+                if (t.gridCapacity == 0)
+                    specError(lineno, "grid-capacity must be >= 1");
+            } else if (key == "idle_noise" || key == "idle-noise") {
+                if (value == "uniform")
+                    t.idleNoise = IdleNoiseMode::UniformLatency;
+                else if (value == "per-qubit" || value == "per_qubit" ||
+                         value == "schedule")
+                    t.idleNoise = IdleNoiseMode::PerQubitSchedule;
+                else
+                    specError(lineno,
+                              "idle_noise must be uniform or per-qubit");
             } else if (key == "chunk_shots") {
                 t.stop.chunkShots = std::stoull(value);
             } else if (key == "chunks_per_wave") {

@@ -22,6 +22,9 @@
 
 #include "core/codesign.h"
 #include "decoder/bp_decoder.h"
+#include "noise/noise_model.h"
+#include "noise/pauli_twirl.h"
+#include "qccd/swap_model.h"
 #include "qec/css_code.h"
 #include "qec/schedule.h"
 
@@ -88,6 +91,24 @@ struct TaskSpec
      * Fig. 5's speedup sweep uses 1/speedup here.
      */
     double latencyScale = 1.0;
+
+    /**
+     * Idle-noise mode. PerQubitSchedule derives one twirl per data
+     * qubit from the compiled TimedSchedule IR (requires
+     * compileLatency, unless `perQubitIdle` supplies the twirls
+     * directly); UniformLatency applies one makespan-derived channel
+     * to every data qubit.
+     */
+    IdleNoiseMode idleNoise = IdleNoiseMode::UniformLatency;
+
+    /** Pre-resolved per-data-qubit twirls (bypasses the IR). */
+    std::vector<PauliTwirl> perQubitIdle;
+
+    /** Swap primitive used by the compiled architecture (Fig. 21). */
+    SwapKind swap = SwapKind::GateSwap;
+
+    /** Trap capacity of grid devices (Fig. 13 sweeps change this). */
+    size_t gridCapacity = 5;
 
     /** Physical error rate p. */
     double physicalError = 1e-3;

@@ -1,5 +1,6 @@
 #include "campaign/content_hash.h"
 
+#include "compiler/timed_schedule.h"
 #include "qec/css_code.h"
 #include "qec/schedule.h"
 
@@ -18,6 +19,23 @@ hashCode(const CssCode& code)
                 h.absorb(uint64_t{c});
             h.absorb(uint64_t{0xffffffffffffffffull});
         }
+    }
+    return h.digest();
+}
+
+uint64_t
+hashTimedSchedule(const TimedSchedule& schedule)
+{
+    HashStream h;
+    h.absorb(uint64_t{schedule.numResources});
+    h.absorb(uint64_t{schedule.numIons});
+    h.absorb(uint64_t{schedule.ops.size()});
+    for (const TimedOp& op : schedule.ops) {
+        h.absorb(uint64_t{static_cast<unsigned>(op.category)});
+        h.absorb(uint64_t{op.resource});
+        h.absorb(uint64_t{op.ionA}).absorb(uint64_t{op.ionB});
+        h.absorb(op.startUs).absorb(op.durationUs);
+        h.absorb(uint64_t{op.counted ? 1u : 0u});
     }
     return h.digest();
 }

@@ -23,6 +23,7 @@ namespace cyclone {
 
 class CssCode;
 class SyndromeSchedule;
+struct TimedSchedule;
 
 /** Incremental FNV-1a/splitmix content hasher. */
 class HashStream
@@ -73,6 +74,14 @@ uint64_t hashCode(const CssCode& code);
 
 /** Hash a schedule (policy + exact slice contents). */
 uint64_t hashSchedule(const SyndromeSchedule& schedule);
+
+/**
+ * Hash a compiled TimedSchedule IR (every op's category, resource,
+ * ions and exact times). Two compiles producing bit-identical
+ * timelines share the hash, so schedule-derived artifacts (per-qubit
+ * idle DEMs) dedupe across tasks.
+ */
+uint64_t hashTimedSchedule(const TimedSchedule& schedule);
 
 } // namespace cyclone
 

@@ -30,6 +30,10 @@ buildMemoryCircuit(const CssCode& code, const SyndromeSchedule& schedule,
 
     CYCLONE_ASSERT(schedule.isValidFor(code),
                    "schedule does not match code " << code.name());
+    CYCLONE_ASSERT(options.perQubitIdle.empty() ||
+                       options.perQubitIdle.size() == n,
+                   "perQubitIdle must have one twirl per data qubit ("
+                   << options.perQubitIdle.size() << " vs " << n << ")");
 
     auto x_anc = [&](size_t i) { return static_cast<uint32_t>(n + i); };
     auto z_anc = [&](size_t i) {
@@ -106,8 +110,18 @@ buildMemoryCircuit(const CssCode& code, const SyndromeSchedule& schedule,
             z_meas[i] = circuit.measureZ(z_anc(i));
         }
 
-        // ---- Idle decoherence on data for the round's latency. ----
-        if (noise.idle.total() > 0.0) {
+        // ---- Idle decoherence on data for the round's latency:
+        // schedule-derived per-qubit twirls when provided, else the
+        // uniform per-round channel. ----
+        if (!options.perQubitIdle.empty()) {
+            for (size_t q = 0; q < n; ++q) {
+                const PauliTwirl& twirl = options.perQubitIdle[q];
+                if (twirl.total() > 0.0) {
+                    circuit.pauli1(static_cast<uint32_t>(q), twirl.px,
+                                   twirl.py, twirl.pz);
+                }
+            }
+        } else if (noise.idle.total() > 0.0) {
             for (size_t q = 0; q < n; ++q) {
                 circuit.pauli1(static_cast<uint32_t>(q), noise.idle.px,
                                noise.idle.py, noise.idle.pz);

@@ -16,9 +16,11 @@
 #define CYCLONE_CIRCUIT_MEMORY_CIRCUIT_H
 
 #include <cstddef>
+#include <vector>
 
 #include "circuit/circuit.h"
 #include "noise/noise_model.h"
+#include "noise/pauli_twirl.h"
 #include "qec/css_code.h"
 #include "qec/schedule.h"
 
@@ -32,6 +34,14 @@ struct MemoryCircuitOptions
 
     /** Noise configuration. */
     NoiseModel noise;
+
+    /**
+     * Per-data-qubit idle twirls (one per qubit, schedule-derived; see
+     * noise/schedule_noise.h). When non-empty this replaces the
+     * uniform noise.idle channel: qubit q receives perQubitIdle[q]
+     * each round. Size must equal the code's qubit count.
+     */
+    std::vector<PauliTwirl> perQubitIdle;
 };
 
 /**

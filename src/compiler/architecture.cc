@@ -1,0 +1,37 @@
+#include "compiler/architecture.h"
+
+namespace cyclone {
+
+const char*
+architectureName(Architecture arch)
+{
+    switch (arch) {
+      case Architecture::BaselineGrid: return "baseline-grid";
+      case Architecture::AlternateGrid: return "alternate-grid";
+      case Architecture::DynamicGrid: return "dynamic-grid";
+      case Architecture::RingEjf: return "ring-ejf";
+      case Architecture::MeshJunction: return "mesh-junction";
+      case Architecture::Cyclone: return "cyclone";
+    }
+    return "unknown";
+}
+
+std::optional<Architecture>
+parseArchitecture(std::string_view name)
+{
+    if (name == "cyclone")
+        return Architecture::Cyclone;
+    if (name == "baseline" || name == "baseline-grid")
+        return Architecture::BaselineGrid;
+    if (name == "alternate" || name == "alternate-grid")
+        return Architecture::AlternateGrid;
+    if (name == "dynamic" || name == "dynamic-grid")
+        return Architecture::DynamicGrid;
+    if (name == "ring" || name == "ring-ejf")
+        return Architecture::RingEjf;
+    if (name == "mesh" || name == "mesh-junction")
+        return Architecture::MeshJunction;
+    return std::nullopt;
+}
+
+} // namespace cyclone

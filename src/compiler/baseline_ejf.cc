@@ -1,6 +1,7 @@
 #include "compiler/baseline_ejf.h"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <vector>
 
@@ -67,6 +68,7 @@ CompileResult
 compileEjf(const CssCode& code, const SyndromeSchedule& schedule,
            const Topology& topology, const EjfOptions& options)
 {
+    const size_t n = code.numQubits();
     const size_t mx = code.numXStabs();
     const size_t mz = code.numZStabs();
 
@@ -119,6 +121,18 @@ compileEjf(const CssCode& code, const SyndromeSchedule& schedule,
     result.numTraps = topology.numTraps();
     result.numJunctions = topology.numJunctions();
     result.numAncilla = mx + mz;
+    result.schedule.numResources =
+        static_cast<uint32_t>(router.numResources());
+    result.schedule.numIons = static_cast<uint32_t>(n + mx + mz);
+
+    // Circuit qubit id of a machine ion: data qubits keep their index;
+    // ancillas map to n + global stabilizer index (X first, then Z),
+    // matching the memory-circuit qubit layout.
+    auto circuit_ion = [&](IonId id) {
+        const Ion& ion = machine.ion(id);
+        return static_cast<uint32_t>(
+            ion.role == IonRole::Data ? ion.payload : n + ion.payload);
+    };
 
     double barrier = 0.0;      // Start-of-slice barrier (dynamic mode).
     double max_end = 0.0;
@@ -147,12 +161,16 @@ compileEjf(const CssCode& code, const SyndromeSchedule& schedule,
         return plan;
     };
 
-    auto commit_reservations = [&](const RoutePlan& route) {
+    auto commit_reservations = [&](const RoutePlan& route, IonId mover) {
         for (const Reservation& r : route.reservations) {
             timeline.reserve(r.resource, r.start, r.duration);
             max_end = std::max(max_end, r.start + r.duration);
         }
-        result.serialized += route.breakdown;
+        const uint32_t mover_ion = circuit_ion(mover);
+        for (TimedOp op : route.ops) {
+            op.ionA = mover_ion;
+            result.schedule.ops.push_back(op);
+        }
         result.trapRoadblocks += route.trapRoadblocks;
         result.junctionRoadblocks += route.junctionRoadblocks;
         result.shuttleOps += route.shuttleOps;
@@ -180,7 +198,7 @@ compileEjf(const CssCode& code, const SyndromeSchedule& schedule,
         RoutePlan move = router.planMove(timeline, machine, victim, dest,
                                          start,
                                          options.conservativeRouting);
-        commit_reservations(move);
+        commit_reservations(move, victim);
         if (machine.ion(victim).role == IonRole::Ancilla) {
             anc_avail[machine.ion(victim).payload] = move.readyTime;
             mapping.ancillaTrap[machine.ion(victim).payload] = dest;
@@ -282,13 +300,25 @@ compileEjf(const CssCode& code, const SyndromeSchedule& schedule,
         }
 
         // Commit route + gate.
-        commit_reservations(best.route);
+        commit_reservations(best.route, anc);
         if (machine.ion(anc).trap != target) {
             machine.relocate(anc, target, best.route.mergeAtFront);
             mapping.ancillaTrap[fg.globalStab] = target;
         }
         timeline.reserve(target, best.gateStart, best.gateDuration);
-        result.serialized.add(OpCategory::Gate, best.gateDuration);
+        {
+            TimedOp gate;
+            gate.category = OpCategory::Gate;
+            gate.resource = static_cast<uint32_t>(target);
+            gate.ionA = circuit_ion(anc);
+            gate.ionB = static_cast<uint32_t>(fg.data);
+            gate.startUs = best.gateStart;
+            gate.durationUs = best.gateDuration;
+            // No waitUs: queueing for a gate slot is ordinary in-trap
+            // scheduling, not a roadblock — the histogram must stay
+            // consistent with the trap/junction roadblock counters.
+            result.schedule.ops.push_back(gate);
+        }
         max_end = std::max(max_end, best.end);
         ++result.gateOps;
         anc_avail[fg.globalStab] = best.end;
@@ -311,12 +341,23 @@ compileEjf(const CssCode& code, const SyndromeSchedule& schedule,
         const NodeId trap = machine.ion(mapping.ancillaIon[s]).trap;
         const double start = timeline.plan(trap, anc_avail[s]);
         timeline.reserve(trap, start, options.durations.measure());
-        result.serialized.add(OpCategory::Measure,
-                              options.durations.measure());
+        TimedOp measure;
+        measure.category = OpCategory::Measure;
+        measure.resource = static_cast<uint32_t>(trap);
+        measure.ionA = static_cast<uint32_t>(n + s);
+        measure.startUs = start;
+        measure.durationUs = options.durations.measure();
+        result.schedule.ops.push_back(measure);
         max_end = std::max(max_end, start + options.durations.measure());
     }
 
-    result.execTimeUs = max_end;
+    result.deriveTimingFromSchedule();
+    // The IR is the source of truth; the engine's running max is only
+    // a scheduling aid and must agree with it (to fp reassociation).
+    CYCLONE_ASSERT(std::abs(result.execTimeUs - max_end) <=
+                       1e-6 + 1e-12 * max_end,
+                   "IR makespan diverged from the engine's max end: "
+                   << result.execTimeUs << " vs " << max_end);
     return result;
 }
 

@@ -2,35 +2,11 @@
 
 namespace cyclone {
 
-double
-TimeBreakdown::total() const
-{
-    return gateUs + shuttleUs + junctionUs + swapUs + measureUs + prepUs;
-}
-
 void
-TimeBreakdown::add(OpCategory category, double duration_us)
+CompileResult::deriveTimingFromSchedule()
 {
-    switch (category) {
-      case OpCategory::Gate: gateUs += duration_us; break;
-      case OpCategory::Shuttle: shuttleUs += duration_us; break;
-      case OpCategory::Junction: junctionUs += duration_us; break;
-      case OpCategory::Swap: swapUs += duration_us; break;
-      case OpCategory::Measure: measureUs += duration_us; break;
-      case OpCategory::Prep: prepUs += duration_us; break;
-    }
-}
-
-TimeBreakdown&
-TimeBreakdown::operator+=(const TimeBreakdown& other)
-{
-    gateUs += other.gateUs;
-    shuttleUs += other.shuttleUs;
-    junctionUs += other.junctionUs;
-    swapUs += other.swapUs;
-    measureUs += other.measureUs;
-    prepUs += other.prepUs;
-    return *this;
+    execTimeUs = schedule.makespan();
+    serialized = schedule.breakdown();
 }
 
 double

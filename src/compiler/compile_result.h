@@ -2,10 +2,12 @@
  * @file
  * Output of compiling one syndrome-extraction round to a device.
  *
- * Execution time is the schedule makespan of one full round. The
- * serialized breakdown sums each component's duration as if executed
- * one after another (the "unrolled" times of Fig. 20); the ratio of
- * makespan to serialized total is the paper's "% parallelization".
+ * Every compiler commits its reservations into a TimedSchedule IR; the
+ * summary here (makespan, serialized breakdown, parallelization) is
+ * *derived* from that IR via deriveTimingFromSchedule. The serialized
+ * breakdown sums each component's duration as if executed one after
+ * another (the "unrolled" times of Fig. 20); the ratio of makespan to
+ * serialized total is the paper's "% parallelization".
  */
 
 #ifndef CYCLONE_COMPILER_COMPILE_RESULT_H
@@ -14,37 +16,9 @@
 #include <cstddef>
 #include <string>
 
+#include "compiler/timed_schedule.h"
+
 namespace cyclone {
-
-/** Reservation categories, for component accounting. */
-enum class OpCategory
-{
-    Gate,
-    Shuttle,   ///< split / move / merge
-    Junction,  ///< junction crossings
-    Swap,      ///< intra-trap reordering
-    Measure,
-    Prep,
-};
-
-/** Per-category serialized durations in microseconds. */
-struct TimeBreakdown
-{
-    double gateUs = 0.0;
-    double shuttleUs = 0.0;
-    double junctionUs = 0.0;
-    double swapUs = 0.0;
-    double measureUs = 0.0;
-    double prepUs = 0.0;
-
-    /** Sum of all components. */
-    double total() const;
-
-    /** Add a duration to the category's bucket. */
-    void add(OpCategory category, double duration_us);
-
-    TimeBreakdown& operator+=(const TimeBreakdown& other);
-};
 
 /** Result of compiling one syndrome round. */
 struct CompileResult
@@ -72,6 +46,16 @@ struct CompileResult
     size_t gateOps = 0;
     size_t shuttleOps = 0;
     size_t swapOps = 0;
+
+    /** The per-resource operation timeline this summary derives from. */
+    TimedSchedule schedule;
+
+    /**
+     * Fill execTimeUs and serialized from the IR. Compilers call this
+     * once after emitting their last op; callers that mutate the
+     * schedule must re-derive.
+     */
+    void deriveTimingFromSchedule();
 
     /**
      * Realized parallelization: makespan / serialized total (lower is

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The unified compiler interface and registry.
+ *
+ * Every architecture's compiler sits behind one interface: build the
+ * matching topology for the code, compile one syndrome round, and
+ * return a CompileResult whose summary derives from the TimedSchedule
+ * IR the compiler emitted. The registry keys the six singleton
+ * compilers by Architecture, so dispatch sites (core/codesign, the
+ * campaign engine, benches) need no per-architecture switch.
+ */
+
+#ifndef CYCLONE_COMPILER_COMPILER_H
+#define CYCLONE_COMPILER_COMPILER_H
+
+#include <cstddef>
+
+#include "compiler/architecture.h"
+#include "compiler/baseline_ejf.h"
+#include "compiler/compile_result.h"
+#include "compiler/cyclone_compiler.h"
+#include "qec/css_code.h"
+#include "qec/schedule.h"
+
+namespace cyclone {
+
+/** Codesign selection and tuning. */
+struct CodesignConfig
+{
+    Architecture architecture = Architecture::Cyclone;
+
+    /** Options for the grid-family compilers. */
+    EjfOptions ejf;
+
+    /** Options for the Cyclone compiler. */
+    CycloneOptions cyclone;
+
+    /** Trap capacity of grid devices (the paper uses 5). */
+    size_t gridCapacity = 5;
+};
+
+/** One architecture's compiler. */
+class Compiler
+{
+  public:
+    virtual ~Compiler() = default;
+
+    /** The architecture this compiler serves. */
+    virtual Architecture architecture() const = 0;
+
+    /**
+     * Compile one syndrome round of `code`, building the matching
+     * topology internally. The result carries the TimedSchedule IR
+     * with its summary derived from it.
+     */
+    virtual CompileResult compile(const CssCode& code,
+                                  const SyndromeSchedule& schedule,
+                                  const CodesignConfig& config) const = 0;
+};
+
+/** The singleton compiler registered for an architecture. */
+const Compiler& compilerFor(Architecture arch);
+
+} // namespace cyclone
+
+#endif // CYCLONE_COMPILER_COMPILER_H

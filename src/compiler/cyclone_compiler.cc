@@ -64,6 +64,12 @@ compileCyclone(const CssCode& code, const CycloneOptions& options)
     result.numJunctions = x > 1 ? x : 0;
     result.numAncilla = ancillas;
 
+    // IR resources: traps [0, x), then ring junctions [x, 2x) — the L
+    // junction i sits between trap i and trap (i + 1) % x.
+    TimedSchedule& sched = result.schedule;
+    sched.numResources = static_cast<uint32_t>(x > 1 ? 2 * x : 1);
+    sched.numIons = static_cast<uint32_t>(n + mx + mz);
+
     // Per-hop shuttling time: split, move, L-junction (degree 2)
     // cross, move, merge — all ancillas in lockstep.
     double hop_us = dur.split() + dur.move() +
@@ -85,23 +91,43 @@ compileCyclone(const CssCode& code, const CycloneOptions& options)
             (dur.junctionCrossUs(2) + dur.move());
     }
 
-    double total = 0.0;
+    double now = 0.0; // Global lockstep clock.
+
+    auto push_op = [&](OpCategory category, uint32_t resource,
+                       uint32_t ion, double start, double duration,
+                       bool counted = true) {
+        TimedOp op;
+        op.category = category;
+        op.resource = resource;
+        op.ionA = ion;
+        op.startUs = start;
+        op.durationUs = duration;
+        op.counted = counted;
+        sched.ops.push_back(op);
+    };
 
     auto run_rotation = [&](StabKind kind) {
         const SparseGF2& matrix =
             kind == StabKind::X ? code.hx() : code.hz();
         const size_t stabs = matrix.rows();
-        const size_t steps = x;
-        for (size_t step = 0; step < steps; ++step) {
+        // Circuit qubit id base of this rotation's ancilla role.
+        const size_t anc_base = kind == StabKind::X ? n : n + mx;
+        auto anc_ion = [&](size_t a) {
+            return a < stabs ? static_cast<uint32_t>(anc_base + a)
+                             : kNoIon;
+        };
+        for (size_t step = 0; step < x; ++step) {
+            // ---- Gate phase: every trap in parallel, gates within a
+            // trap serially. ----
             double step_gate = 0.0;
-            double step_swap = 0.0;
             for (size_t t = 0; t < x; ++t) {
                 // Group resident in trap t at this step.
                 const size_t g = (t + x - step % x) % x;
                 const auto& residents = anc_of_group[g];
                 const size_t chain =
                     data_of_trap[t].size() + residents.size();
-                double trap_gate = 0.0;
+                const double gate_us = dur.twoQubitGateUs(chain);
+                double cursor = now;
                 size_t trap_gates = 0;
                 for (size_t a : residents) {
                     if (a >= stabs)
@@ -109,63 +135,128 @@ compileCyclone(const CssCode& code, const CycloneOptions& options)
                     // Gates between stabilizer a and resident data.
                     const auto& support = matrix.rowSupport(a);
                     for (size_t q : data_of_trap[t]) {
-                        if (std::binary_search(support.begin(),
-                                               support.end(), q))
-                            ++trap_gates;
+                        if (!std::binary_search(support.begin(),
+                                                support.end(), q))
+                            continue;
+                        TimedOp gate;
+                        gate.category = OpCategory::Gate;
+                        gate.resource = static_cast<uint32_t>(t);
+                        gate.ionA = anc_ion(a);
+                        gate.ionB = static_cast<uint32_t>(q);
+                        gate.startUs = cursor;
+                        gate.durationUs = gate_us;
+                        sched.ops.push_back(gate);
+                        cursor += gate_us;
+                        ++trap_gates;
                     }
                 }
-                trap_gate = static_cast<double>(trap_gates) *
-                    dur.twoQubitGateUs(chain);
                 result.gateOps += trap_gates;
-                result.serialized.add(OpCategory::Gate, trap_gate);
-                step_gate = std::max(step_gate, trap_gate);
+                step_gate = std::max(
+                    step_gate,
+                    static_cast<double>(trap_gates) * gate_us);
+            }
 
-                if (x > 1) {
-                    // Every resident ancilla swaps to the travelling
-                    // edge; swaps within a trap are serial.
+            // ---- Swap phase: every resident ancilla to the
+            // travelling edge; swaps within a trap are serial. ----
+            double step_swap = 0.0;
+            const double swap_start = now + step_gate;
+            if (x > 1) {
+                for (size_t t = 0; t < x; ++t) {
+                    const size_t g = (t + x - step % x) % x;
+                    const auto& residents = anc_of_group[g];
+                    const size_t chain =
+                        data_of_trap[t].size() + residents.size();
+                    double cursor = swap_start;
                     double trap_swap = 0.0;
-                    for (size_t i = 0; i < residents.size(); ++i) {
+                    for (size_t a : residents) {
                         const double c = swap_model.costUs(
                             chain > 0 ? chain - 1 : 0, chain);
+                        push_op(OpCategory::Swap,
+                                static_cast<uint32_t>(t), anc_ion(a),
+                                cursor, c);
+                        cursor += c;
                         trap_swap += c;
                         ++result.swapOps;
-                        result.serialized.add(OpCategory::Swap, c);
                     }
                     step_swap = std::max(step_swap, trap_swap);
                 }
             }
-            double step_total = step_gate + step_swap;
+
+            // ---- Hop phase: lockstep rotation to the next trap. ----
+            double step_end = swap_start + step_swap;
             if (x > 1) {
-                step_total += hop_us;
-                result.shuttleOps += 2 * ancillas; // split + merge
-                result.serialized.add(
-                    OpCategory::Shuttle,
-                    static_cast<double>(ancillas) *
-                        (dur.split() + 2.0 * dur.move() + dur.merge()));
-                result.serialized.add(
-                    OpCategory::Junction,
-                    static_cast<double>(ancillas) *
-                        dur.junctionCrossUs(2));
+                const double hop_start = step_end;
+                // Everyone stalls for the full hop (long link
+                // included) to preserve lockstep symmetry.
+                push_op(OpCategory::Shuttle, kNoResource, kNoIon,
+                        hop_start, hop_us, /*counted=*/false);
+                const double cross_us = dur.junctionCrossUs(2);
+                for (size_t t = 0; t < x; ++t) {
+                    const size_t g = (t + x - step % x) % x;
+                    const auto& residents = anc_of_group[g];
+                    if (residents.empty())
+                        continue;
+                    const size_t next = (t + 1) % x;
+                    // Resource holds for the group chain in flight.
+                    push_op(OpCategory::Shuttle,
+                            static_cast<uint32_t>(t), kNoIon,
+                            hop_start, dur.split(), /*counted=*/false);
+                    push_op(OpCategory::Junction,
+                            static_cast<uint32_t>(x + t), kNoIon,
+                            hop_start + dur.split() + dur.move(),
+                            cross_us, /*counted=*/false);
+                    push_op(OpCategory::Shuttle,
+                            static_cast<uint32_t>(next), kNoIon,
+                            hop_start + dur.split() + dur.move() +
+                                cross_us + dur.move(),
+                            dur.merge(), /*counted=*/false);
+                    // Per-ancilla physical actions, counted once each.
+                    for (size_t a : residents) {
+                        const uint32_t ion = anc_ion(a);
+                        double cursor = hop_start;
+                        push_op(OpCategory::Shuttle, kNoResource, ion,
+                                cursor, dur.split());
+                        cursor += dur.split();
+                        push_op(OpCategory::Shuttle, kNoResource, ion,
+                                cursor, dur.move());
+                        cursor += dur.move();
+                        push_op(OpCategory::Junction, kNoResource, ion,
+                                cursor, cross_us);
+                        cursor += cross_us;
+                        push_op(OpCategory::Shuttle, kNoResource, ion,
+                                cursor, dur.move());
+                        cursor += dur.move();
+                        push_op(OpCategory::Shuttle, kNoResource, ion,
+                                cursor, dur.merge());
+                        result.shuttleOps += 2; // split + merge
+                    }
+                }
+                step_end = hop_start + hop_us;
             }
-            result.stepDurationsUs.push_back(step_total);
-            total += step_total;
+            result.stepDurationsUs.push_back(step_end - now);
+            now = step_end;
         }
-        // Measure (and re-prepare) every ancilla; traps in parallel,
-        // ions within a trap serially.
+
+        // ---- Measure (and re-prepare) every ancilla; after x steps
+        // group g is back at trap g. Traps in parallel, ions within a
+        // trap serially. ----
         double measure_phase = 0.0;
         for (size_t g = 0; g < x; ++g) {
-            const double t_us =
+            double cursor = now;
+            for (size_t a : anc_of_group[g]) {
+                push_op(OpCategory::Measure, static_cast<uint32_t>(g),
+                        anc_ion(a), cursor, dur.measure());
+                cursor += dur.measure();
+                push_op(OpCategory::Prep, static_cast<uint32_t>(g),
+                        anc_ion(a), cursor, dur.prep());
+                cursor += dur.prep();
+            }
+            measure_phase = std::max(
+                measure_phase,
                 static_cast<double>(anc_of_group[g].size()) *
-                (dur.measure() + dur.prep());
-            measure_phase = std::max(measure_phase, t_us);
+                    (dur.measure() + dur.prep()));
         }
-        result.serialized.add(
-            OpCategory::Measure,
-            static_cast<double>(ancillas) * dur.measure());
-        result.serialized.add(
-            OpCategory::Prep,
-            static_cast<double>(ancillas) * dur.prep());
-        total += measure_phase;
+        now += measure_phase;
     };
 
     run_rotation(StabKind::X);
@@ -176,7 +267,7 @@ compileCyclone(const CssCode& code, const CycloneOptions& options)
                    "cyclone rotation missed gates: " << result.gateOps
                    << " vs " << code.hx().nnz() + code.hz().nnz());
 
-    result.execTimeUs = total;
+    result.deriveTimingFromSchedule();
     return result;
 }
 

@@ -30,6 +30,66 @@ idealLatencies(const CssCode& code,
         dur.measure();
     out.speedup = out.parallelUs > 0.0 ? out.serialUs / out.parallelUs
                                        : 0.0;
+
+    // Emit the OPT execution as an IR: resources are the data traps
+    // (one qubit each); hops are resource-free lockstep actions.
+    const size_t n = code.numQubits();
+    const size_t mx = code.numXStabs();
+    TimedSchedule& sched = out.schedule;
+    sched.numResources = static_cast<uint32_t>(n);
+    sched.numIons =
+        static_cast<uint32_t>(n + code.numStabs());
+    auto anc_ion = [&](const ScheduledGate& g) {
+        return static_cast<uint32_t>(
+            g.kind == StabKind::X ? n + g.stabIndex
+                                  : n + mx + g.stabIndex);
+    };
+    const auto& slices = parallel_schedule.slices();
+    for (size_t s = 0; s < slices.size(); ++s) {
+        const double slice_start =
+            static_cast<double>(s) * (hop + gate);
+        for (const ScheduledGate& g : slices[s]) {
+            const uint32_t anc = anc_ion(g);
+            // The visiting ancilla's lockstep hop.
+            double cursor = slice_start;
+            auto hop_op = [&](OpCategory category, double duration) {
+                TimedOp op;
+                op.category = category;
+                op.resource = kNoResource;
+                op.ionA = anc;
+                op.startUs = cursor;
+                op.durationUs = duration;
+                sched.ops.push_back(op);
+                cursor += duration;
+            };
+            hop_op(OpCategory::Shuttle, dur.split());
+            hop_op(OpCategory::Shuttle, dur.move());
+            hop_op(OpCategory::Junction, dur.junctionCrossUs(2));
+            hop_op(OpCategory::Shuttle, dur.move());
+            hop_op(OpCategory::Shuttle, dur.merge());
+            // The gate, in the data qubit's trap.
+            TimedOp cx;
+            cx.category = OpCategory::Gate;
+            cx.resource = static_cast<uint32_t>(g.data);
+            cx.ionA = anc;
+            cx.ionB = static_cast<uint32_t>(g.data);
+            cx.startUs = slice_start + hop;
+            cx.durationUs = gate;
+            sched.ops.push_back(cx);
+        }
+    }
+    // One fully parallel measurement of every ancilla.
+    const double measure_start =
+        static_cast<double>(out.depth) * (hop + gate);
+    for (size_t a = 0; a < code.numStabs(); ++a) {
+        TimedOp measure;
+        measure.category = OpCategory::Measure;
+        measure.resource = kNoResource;
+        measure.ionA = static_cast<uint32_t>(n + a);
+        measure.startUs = measure_start;
+        measure.durationUs = dur.measure();
+        sched.ops.push_back(measure);
+    }
     return out;
 }
 

@@ -15,6 +15,7 @@
 
 #include <cstddef>
 
+#include "compiler/timed_schedule.h"
 #include "qccd/durations.h"
 #include "qec/css_code.h"
 #include "qec/schedule.h"
@@ -29,6 +30,14 @@ struct IdealLatency
     double speedup = 0.0;     ///< serial / parallel.
     size_t depth = 0;         ///< Parallel schedule depth (slices).
     size_t gates = 0;         ///< Total CX count.
+
+    /**
+     * The OPT execution as a TimedSchedule IR: one trap per data
+     * qubit, every timeslice a lockstep hop plus parallel gates, one
+     * parallel measurement at the end. Its makespan equals parallelUs
+     * and its serialized breakdown totals serialUs.
+     */
+    TimedSchedule schedule;
 };
 
 /**

@@ -10,6 +10,31 @@ namespace {
 
 constexpr double kEps = 1e-9;
 
+/** Append an op mirroring a reservation (incremental routing). */
+void
+pushReservedOp(RoutePlan& plan, size_t resource, double start,
+               double duration, OpCategory category, double wait = 0.0)
+{
+    plan.reservations.push_back({resource, start, duration, category});
+    TimedOp op;
+    op.category = category;
+    op.resource = static_cast<uint32_t>(resource);
+    op.startUs = start;
+    op.durationUs = duration;
+    op.waitUs = wait;
+    plan.ops.push_back(op);
+}
+
+/** Derive the plan's breakdown from its counted ops (single source). */
+void
+finalizeBreakdown(RoutePlan& plan)
+{
+    for (const TimedOp& op : plan.ops) {
+        if (op.counted)
+            plan.breakdown.add(op.category, op.durationUs);
+    }
+}
+
 } // namespace
 
 Router::Router(const Topology& topology, const Durations& durations,
@@ -24,6 +49,7 @@ Router::planMove(const ResourceTimeline& timeline, const Machine& machine,
                  bool conservative) const
 {
     RoutePlan plan;
+    plan.conservative = conservative;
     const NodeId from = machine.ion(ion).trap;
     CYCLONE_ASSERT(topology_->isTrap(from) && topology_->isTrap(to),
                    "route endpoints must be traps");
@@ -55,18 +81,14 @@ Router::planMove(const ResourceTimeline& timeline, const Machine& machine,
         swapModel_->costUs(edge_distance, machine.chainLength(from));
     if (swap_cost > 0.0) {
         t = timeline.plan(from, t);
-        plan.reservations.push_back(
-            {from, t, swap_cost, OpCategory::Swap});
-        plan.breakdown.add(OpCategory::Swap, swap_cost);
+        pushReservedOp(plan, from, t, swap_cost, OpCategory::Swap);
         t += swap_cost;
         ++plan.swapOps;
     }
 
     // Split out of the source trap.
     t = timeline.plan(from, t);
-    plan.reservations.push_back({from, t, dur.split(),
-                                 OpCategory::Shuttle});
-    plan.breakdown.add(OpCategory::Shuttle, dur.split());
+    pushReservedOp(plan, from, t, dur.split(), OpCategory::Shuttle);
     t += dur.split();
     ++plan.shuttleOps;
 
@@ -84,56 +106,65 @@ Router::planMove(const ResourceTimeline& timeline, const Machine& machine,
             CYCLONE_ASSERT(edge_id != SIZE_MAX, "path edge missing");
             const size_t edge_res = edgeResource(edge_id);
             t = timeline.plan(edge_res, t);
-            plan.reservations.push_back({edge_res, t, dur.move(),
-                                         OpCategory::Shuttle});
-            plan.breakdown.add(OpCategory::Shuttle, dur.move());
+            pushReservedOp(plan, edge_res, t, dur.move(),
+                           OpCategory::Shuttle);
             t += dur.move();
 
             if (i + 1 == path.size())
                 break; // Destination handled below.
             const NodeId node = path[i];
             const double at = timeline.plan(node, t);
+            const double wait = at > t + kEps ? at - t : 0.0;
             if (topology_->isTrap(node)) {
                 // Passing through an occupied trap: merge in, split
                 // back out, possibly after waiting (trap roadblock).
-                if (at > t + kEps)
+                if (wait > 0.0)
                     ++plan.trapRoadblocks;
                 ++plan.trapTransits;
                 t = at;
                 const double transit = dur.merge() + dur.split();
-                plan.reservations.push_back({node, t, transit,
-                                             OpCategory::Shuttle});
-                plan.breakdown.add(OpCategory::Shuttle, transit);
+                pushReservedOp(plan, node, t, transit,
+                               OpCategory::Shuttle, wait);
                 t += transit;
                 plan.shuttleOps += 2;
             } else {
-                if (at > t + kEps)
+                if (wait > 0.0)
                     ++plan.junctionRoadblocks;
                 t = at;
                 const double cross =
                     dur.junctionCrossUs(topology_->degree(node));
-                plan.reservations.push_back({node, t, cross,
-                                             OpCategory::Junction});
-                plan.breakdown.add(OpCategory::Junction, cross);
+                pushReservedOp(plan, node, t, cross,
+                               OpCategory::Junction, wait);
                 t += cross;
             }
         }
         // Merge into the destination trap.
         t = timeline.plan(to, t);
-        plan.reservations.push_back({to, t, dur.merge(),
-                                     OpCategory::Shuttle});
-        plan.breakdown.add(OpCategory::Shuttle, dur.merge());
+        pushReservedOp(plan, to, t, dur.merge(), OpCategory::Shuttle);
         t += dur.merge();
         ++plan.shuttleOps;
         plan.readyTime = t;
+        finalizeBreakdown(plan);
         return plan;
     }
 
     // Conservative traversal: compute the total transit duration, then
     // hold every traversed resource for the full window. Breakdown
-    // components are counted once, not per held resource.
+    // components are counted once, not per held resource; the physical
+    // actions are recorded as resource-free ops at window-relative
+    // offsets (shifted once the window start is known).
     double transit = 0.0;
     std::vector<std::pair<size_t, OpCategory>> held;
+    auto pushPhysicalOp = [&](double duration, OpCategory category) {
+        TimedOp op;
+        op.category = category;
+        op.resource = kNoResource;
+        op.startUs = transit; // Window-relative; shifted below.
+        op.durationUs = duration;
+        op.counted = true;
+        plan.ops.push_back(op);
+        transit += duration;
+    };
     for (size_t i = 1; i < path.size(); ++i) {
         EdgeId edge_id = SIZE_MAX;
         for (const Neighbor& nb : topology_->neighbors(path[i - 1])) {
@@ -144,28 +175,22 @@ Router::planMove(const ResourceTimeline& timeline, const Machine& machine,
         }
         CYCLONE_ASSERT(edge_id != SIZE_MAX, "path edge missing");
         held.emplace_back(edgeResource(edge_id), OpCategory::Shuttle);
-        transit += dur.move();
-        plan.breakdown.add(OpCategory::Shuttle, dur.move());
+        pushPhysicalOp(dur.move(), OpCategory::Shuttle);
         if (i + 1 == path.size())
             break;
         const NodeId node = path[i];
         if (topology_->isTrap(node)) {
             held.emplace_back(node, OpCategory::Shuttle);
-            const double through = dur.merge() + dur.split();
-            transit += through;
-            plan.breakdown.add(OpCategory::Shuttle, through);
+            pushPhysicalOp(dur.merge() + dur.split(), OpCategory::Shuttle);
             ++plan.trapTransits;
             plan.shuttleOps += 2;
         } else {
             held.emplace_back(node, OpCategory::Junction);
-            const double cross =
-                dur.junctionCrossUs(topology_->degree(node));
-            transit += cross;
-            plan.breakdown.add(OpCategory::Junction, cross);
+            pushPhysicalOp(dur.junctionCrossUs(topology_->degree(node)),
+                           OpCategory::Junction);
         }
     }
-    transit += dur.merge();
-    plan.breakdown.add(OpCategory::Shuttle, dur.merge());
+    pushPhysicalOp(dur.merge(), OpCategory::Shuttle);
 
     // One conservative window: start when every traversed resource is
     // free. Classify the delay source once per route: waits caused by
@@ -189,12 +214,39 @@ Router::planMove(const ResourceTimeline& timeline, const Machine& machine,
     if (trap_free > t + kEps)
         ++plan.trapRoadblocks;
     start = std::max(start, timeline.plan(to, start));
+
+    // Shift the window-relative physical ops to absolute time and
+    // charge the route's blocked time to its first windowed op.
+    bool first = true;
+    for (size_t i = 0; i < plan.ops.size(); ++i) {
+        TimedOp& op = plan.ops[i];
+        if (op.resource != kNoResource)
+            continue; // Pre-window ops (swap/split) are absolute.
+        op.startUs += start;
+        if (first) {
+            op.waitUs = start > t + kEps ? start - t : 0.0;
+            first = false;
+        }
+    }
+
+    auto pushHold = [&](size_t res, double hold_start, double duration,
+                        OpCategory category) {
+        plan.reservations.push_back({res, hold_start, duration, category});
+        TimedOp hold;
+        hold.category = category;
+        hold.resource = static_cast<uint32_t>(res);
+        hold.startUs = hold_start;
+        hold.durationUs = duration;
+        hold.counted = false;
+        plan.ops.push_back(hold);
+    };
     for (const auto& [res, cat] : held)
-        plan.reservations.push_back({res, start, transit, cat});
-    plan.reservations.push_back({to, start + transit - dur.merge(),
-                                 dur.merge(), OpCategory::Shuttle});
+        pushHold(res, start, transit, cat);
+    pushHold(to, start + transit - dur.merge(), dur.merge(),
+             OpCategory::Shuttle);
     ++plan.shuttleOps;
     plan.readyTime = start + transit;
+    finalizeBreakdown(plan);
     return plan;
 }
 

@@ -7,7 +7,8 @@
  * edge moves and node traversals (junction crossings, or the expensive
  * merge+split of passing *through* a trap), and a final merge. The
  * planner never mutates timelines; the chosen plan's reservations are
- * committed by the compiler engine.
+ * committed by the compiler engine, which also appends the plan's
+ * TimedOps to the round's TimedSchedule IR.
  *
  * Waiting on a busy traversed trap is a trap roadblock; waiting on a
  * busy junction is a junction roadblock (Section III of the paper).
@@ -43,9 +44,18 @@ struct RoutePlan
     double readyTime = 0.0;
     std::vector<Reservation> reservations;
     /**
-     * Component durations of this route, counted once per physical
-     * action (conservative reservations hold many resources for the
-     * same transit; those holds are not double counted here).
+     * The route's physical actions as IR ops, counted once each (the
+     * moving ion's id is filled in by the engine on commit). Under
+     * incremental routing each op carries its reservation's resource;
+     * under conservative routing the reservations are full-window
+     * holds over many resources, so the ops here are resource-free and
+     * the engine emits the holds as uncounted IR entries instead.
+     */
+    std::vector<TimedOp> ops;
+    /**
+     * Component durations of this route, derived from the counted ops
+     * (conservative reservations hold many resources for the same
+     * transit; those holds are not double counted here).
      */
     TimeBreakdown breakdown;
     size_t trapRoadblocks = 0;
@@ -53,6 +63,8 @@ struct RoutePlan
     size_t trapTransits = 0;   ///< Through-trap passes (cost paid).
     size_t shuttleOps = 0;
     size_t swapOps = 0;
+    /** True when planned with conservative full-path reservation. */
+    bool conservative = false;
     /**
      * Chain end the ion occupies after merging at the destination:
      * true = front (port-0) end. Pass to Machine::relocate.

@@ -1,0 +1,202 @@
+#include "compiler/timed_schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace cyclone {
+
+double
+TimeBreakdown::total() const
+{
+    return gateUs + shuttleUs + junctionUs + swapUs + measureUs + prepUs;
+}
+
+void
+TimeBreakdown::add(OpCategory category, double duration_us)
+{
+    switch (category) {
+      case OpCategory::Gate: gateUs += duration_us; break;
+      case OpCategory::Shuttle: shuttleUs += duration_us; break;
+      case OpCategory::Junction: junctionUs += duration_us; break;
+      case OpCategory::Swap: swapUs += duration_us; break;
+      case OpCategory::Measure: measureUs += duration_us; break;
+      case OpCategory::Prep: prepUs += duration_us; break;
+    }
+}
+
+double
+TimeBreakdown::of(OpCategory category) const
+{
+    switch (category) {
+      case OpCategory::Gate: return gateUs;
+      case OpCategory::Shuttle: return shuttleUs;
+      case OpCategory::Junction: return junctionUs;
+      case OpCategory::Swap: return swapUs;
+      case OpCategory::Measure: return measureUs;
+      case OpCategory::Prep: return prepUs;
+    }
+    return 0.0;
+}
+
+TimeBreakdown&
+TimeBreakdown::operator+=(const TimeBreakdown& other)
+{
+    gateUs += other.gateUs;
+    shuttleUs += other.shuttleUs;
+    junctionUs += other.junctionUs;
+    swapUs += other.swapUs;
+    measureUs += other.measureUs;
+    prepUs += other.prepUs;
+    return *this;
+}
+
+void
+WaitHistogram::add(double wait_us)
+{
+    if (!(wait_us > 0.0))
+        return;
+    size_t bin = 0;
+    // Bin 0: (0, 1) us; bin b >= 1: [2^(b-1), 2^b) us.
+    while (bin + 1 < kBins && wait_us >= std::ldexp(1.0, static_cast<int>(bin)))
+        ++bin;
+    ++bins[bin];
+    ++waits;
+    totalWaitUs += wait_us;
+}
+
+double
+TimedSchedule::makespan() const
+{
+    double m = 0.0;
+    for (const TimedOp& op : ops)
+        m = std::max(m, op.startUs + op.durationUs);
+    return m;
+}
+
+TimeBreakdown
+TimedSchedule::breakdown() const
+{
+    TimeBreakdown out;
+    for (const TimedOp& op : ops) {
+        if (op.counted)
+            out.add(op.category, op.durationUs);
+    }
+    return out;
+}
+
+std::array<size_t, kNumOpCategories>
+TimedSchedule::opCounts() const
+{
+    std::array<size_t, kNumOpCategories> counts{};
+    for (const TimedOp& op : ops) {
+        if (op.counted)
+            ++counts[static_cast<size_t>(op.category)];
+    }
+    return counts;
+}
+
+std::vector<double>
+TimedSchedule::ionBusyUs() const
+{
+    std::vector<double> busy(numIons, 0.0);
+    for (const TimedOp& op : ops) {
+        if (!op.counted)
+            continue;
+        if (op.ionA != kNoIon && op.ionA < numIons)
+            busy[op.ionA] += op.durationUs;
+        if (op.ionB != kNoIon && op.ionB < numIons)
+            busy[op.ionB] += op.durationUs;
+    }
+    return busy;
+}
+
+std::vector<double>
+TimedSchedule::ionIdleUs() const
+{
+    const double span = makespan();
+    std::vector<double> idle = ionBusyUs();
+    for (double& v : idle)
+        v = std::max(0.0, span - v);
+    return idle;
+}
+
+WaitHistogram
+TimedSchedule::waitHistogram() const
+{
+    WaitHistogram hist;
+    for (const TimedOp& op : ops)
+        hist.add(op.waitUs);
+    return hist;
+}
+
+double
+TimedSchedule::utilization(OpCategory category) const
+{
+    const double span = makespan();
+    if (span <= 0.0)
+        return 0.0;
+    return breakdown().of(category) / span;
+}
+
+bool
+TimedSchedule::validate(std::string* why) const
+{
+    auto fail = [&](const std::string& message) {
+        if (why != nullptr)
+            *why = message;
+        return false;
+    };
+
+    // Per-op well-formedness.
+    for (size_t i = 0; i < ops.size(); ++i) {
+        const TimedOp& op = ops[i];
+        if (!std::isfinite(op.startUs) || !std::isfinite(op.durationUs) ||
+            !std::isfinite(op.waitUs)) {
+            return fail("op " + std::to_string(i) + " has non-finite time");
+        }
+        if (op.startUs < 0.0 || op.durationUs < 0.0 || op.waitUs < 0.0)
+            return fail("op " + std::to_string(i) + " has negative time");
+        if (op.resource != kNoResource && op.resource >= numResources)
+            return fail("op " + std::to_string(i) +
+                        " references resource out of range");
+        if ((op.ionA != kNoIon && op.ionA >= numIons) ||
+            (op.ionB != kNoIon && op.ionB >= numIons)) {
+            return fail("op " + std::to_string(i) +
+                        " references ion out of range");
+        }
+    }
+
+    // No overlapping reservations on any resource. Sort op indices by
+    // (resource, start) and scan each resource's run.
+    std::vector<uint32_t> held;
+    held.reserve(ops.size());
+    for (uint32_t i = 0; i < ops.size(); ++i) {
+        if (ops[i].resource != kNoResource)
+            held.push_back(i);
+    }
+    std::sort(held.begin(), held.end(), [&](uint32_t a, uint32_t b) {
+        if (ops[a].resource != ops[b].resource)
+            return ops[a].resource < ops[b].resource;
+        if (ops[a].startUs != ops[b].startUs)
+            return ops[a].startUs < ops[b].startUs;
+        return a < b;
+    });
+    constexpr double kOverlapToleranceUs = 1e-6;
+    for (size_t i = 1; i < held.size(); ++i) {
+        const TimedOp& prev = ops[held[i - 1]];
+        const TimedOp& cur = ops[held[i]];
+        if (prev.resource != cur.resource)
+            continue;
+        if (cur.startUs + kOverlapToleranceUs < prev.endUs()) {
+            std::ostringstream msg;
+            msg << "resource " << cur.resource << " double booked: ["
+                << prev.startUs << ", " << prev.endUs() << ") overlaps ["
+                << cur.startUs << ", " << cur.endUs() << ")";
+            return fail(msg.str());
+        }
+    }
+    return true;
+}
+
+} // namespace cyclone

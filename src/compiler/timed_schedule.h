@@ -1,0 +1,176 @@
+/**
+ * @file
+ * The timed schedule intermediate representation.
+ *
+ * A TimedSchedule is a flat list of timed operations — op category,
+ * involved ions, start, duration, and the resource (trap, junction or
+ * edge) the operation occupies — emitted by every compiler as it
+ * commits reservations. It is the single source of truth between the
+ * compilers and everything downstream: the CompileResult summary
+ * (makespan, serialized breakdown, parallelization) is derived from
+ * it, the per-qubit idle-noise model measures each ion's actual idle
+ * windows in it, and the figure benches read their aggregates from it
+ * instead of re-deriving them.
+ *
+ * Two kinds of entries coexist:
+ *  - counted ops represent physical actions once each; summing their
+ *    durations in emission order yields the serialized TimeBreakdown;
+ *  - uncounted holds mirror conservative full-window reservations
+ *    (one per held resource) so resource-overlap validation still sees
+ *    every commitment without double counting the physical work.
+ * Ops without a resource (lockstep barriers, conservative-route
+ * physical actions) take part in timing but not in overlap checks.
+ */
+
+#ifndef CYCLONE_COMPILER_TIMED_SCHEDULE_H
+#define CYCLONE_COMPILER_TIMED_SCHEDULE_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cyclone {
+
+/** Reservation categories, for component accounting. */
+enum class OpCategory
+{
+    Gate,
+    Shuttle,   ///< split / move / merge
+    Junction,  ///< junction crossings
+    Swap,      ///< intra-trap reordering
+    Measure,
+    Prep,
+};
+
+/** Number of OpCategory values. */
+constexpr size_t kNumOpCategories = 6;
+
+/** Per-category serialized durations in microseconds. */
+struct TimeBreakdown
+{
+    double gateUs = 0.0;
+    double shuttleUs = 0.0;
+    double junctionUs = 0.0;
+    double swapUs = 0.0;
+    double measureUs = 0.0;
+    double prepUs = 0.0;
+
+    /** Sum of all components. */
+    double total() const;
+
+    /** Add a duration to the category's bucket. */
+    void add(OpCategory category, double duration_us);
+
+    /** The category's bucket. */
+    double of(OpCategory category) const;
+
+    TimeBreakdown& operator+=(const TimeBreakdown& other);
+};
+
+/** Sentinel: the op occupies no schedulable resource. */
+constexpr uint32_t kNoResource = UINT32_MAX;
+
+/** Sentinel: no ion recorded in this slot. */
+constexpr uint32_t kNoIon = UINT32_MAX;
+
+/** One timed operation (or resource hold) of a compiled round. */
+struct TimedOp
+{
+    OpCategory category = OpCategory::Gate;
+
+    /** Resource occupied (node, then edge, indices), or kNoResource. */
+    uint32_t resource = kNoResource;
+
+    /**
+     * Ions involved, as circuit qubit ids: data qubits [0, n), X
+     * ancillas [n, n + mx), Z ancillas [n + mx, n + mx + mz).
+     */
+    uint32_t ionA = kNoIon;
+    uint32_t ionB = kNoIon;
+
+    double startUs = 0.0;
+    double durationUs = 0.0;
+
+    /** Time this op spent blocked on busy resources (roadblock wait). */
+    double waitUs = 0.0;
+
+    /** Counted ops contribute to the serialized breakdown; holds do not. */
+    bool counted = true;
+
+    double endUs() const { return startUs + durationUs; }
+};
+
+/** Log-2-binned histogram of roadblock wait times. */
+struct WaitHistogram
+{
+    /** Bin b counts waits in [2^(b-1), 2^b) us; bin 0 is (0, 1) us. */
+    static constexpr size_t kBins = 16;
+
+    std::array<size_t, kBins> bins{};
+    size_t waits = 0;
+    double totalWaitUs = 0.0;
+
+    /** Record one wait (ignored when not positive). */
+    void add(double wait_us);
+};
+
+/** Flat per-resource operation timeline of one compiled round. */
+struct TimedSchedule
+{
+    /** Schedulable resources (nodes then edges of the device). */
+    uint32_t numResources = 0;
+
+    /** Circuit qubits: data + X ancillas + Z ancillas. */
+    uint32_t numIons = 0;
+
+    std::vector<TimedOp> ops;
+
+    /** Latest end time over all ops (microseconds). */
+    double makespan() const;
+
+    /**
+     * Serialized component times: counted ops summed per category in
+     * emission order. This is the canonical accumulation the
+     * CompileResult summary reports.
+     */
+    TimeBreakdown breakdown() const;
+
+    /** Counted ops per category. */
+    std::array<size_t, kNumOpCategories> opCounts() const;
+
+    /**
+     * Busy microseconds per ion: for each counted op, its duration is
+     * charged to every ion it involves. Indexed by circuit qubit id.
+     */
+    std::vector<double> ionBusyUs() const;
+
+    /**
+     * Idle microseconds per ion: makespan minus busy time, clamped to
+     * zero. Indexed by circuit qubit id.
+     */
+    std::vector<double> ionIdleUs() const;
+
+    /** Histogram of per-op roadblock waits. */
+    WaitHistogram waitHistogram() const;
+
+    /**
+     * Average number of resources busy with the category, i.e. the
+     * category's serialized time over the makespan. Zero when empty.
+     */
+    double utilization(OpCategory category) const;
+
+    /**
+     * Check structural validity: ops well formed (finite, non-negative
+     * times, resources and ions in range) and no two resource-holding
+     * entries overlap on the same resource (beyond a 1e-6 us
+     * tolerance). On failure returns false and, when `why` is given,
+     * describes the first violation.
+     */
+    bool validate(std::string* why = nullptr) const;
+};
+
+} // namespace cyclone
+
+#endif // CYCLONE_COMPILER_TIMED_SCHEDULE_H

@@ -1,84 +1,15 @@
 #include "core/codesign.h"
 
-#include <cmath>
-
-#include "common/logging.h"
-#include "compiler/baseline2.h"
-#include "compiler/baseline3.h"
-#include "compiler/dynamic_grid.h"
-#include "compiler/mesh_junction.h"
-#include "qccd/topology_builders.h"
+#include "noise/schedule_noise.h"
 
 namespace cyclone {
-
-const char*
-architectureName(Architecture arch)
-{
-    switch (arch) {
-      case Architecture::BaselineGrid: return "baseline-grid";
-      case Architecture::AlternateGrid: return "alternate-grid";
-      case Architecture::DynamicGrid: return "dynamic-grid";
-      case Architecture::RingEjf: return "ring-ejf";
-      case Architecture::MeshJunction: return "mesh-junction";
-      case Architecture::Cyclone: return "cyclone";
-    }
-    return "unknown";
-}
-
-namespace {
-
-/** Baseline grid side: l = ceil(sqrt(n)) (Section V-A). */
-size_t
-gridSide(const CssCode& code)
-{
-    return static_cast<size_t>(
-        std::ceil(std::sqrt(static_cast<double>(code.numQubits()))));
-}
-
-} // namespace
 
 CompileResult
 compileCodesign(const CssCode& code, const SyndromeSchedule& schedule,
                 const CodesignConfig& config)
 {
-    EjfOptions ejf = config.ejf;
-    switch (config.architecture) {
-      case Architecture::BaselineGrid: {
-        const size_t l = gridSide(code);
-        Topology grid = buildBaselineGrid(l, l, config.gridCapacity);
-        ejf.name = "baseline-ejf";
-        return compileEjf(code, schedule, grid, ejf);
-      }
-      case Architecture::AlternateGrid: {
-        const size_t l = gridSide(code);
-        Topology grid = buildAlternateGrid(l, l, config.gridCapacity);
-        ejf.name = "alternate-grid-ejf";
-        return compileEjf(code, schedule, grid, ejf);
-      }
-      case Architecture::DynamicGrid: {
-        const size_t l = gridSide(code);
-        Topology grid = buildBaselineGrid(l, l, config.gridCapacity);
-        ejf.name = "dynamic-grid";
-        return compileDynamicGrid(code, schedule, grid, ejf);
-      }
-      case Architecture::RingEjf: {
-        const size_t x = std::max(code.numXStabs(), code.numZStabs());
-        const size_t capacity =
-            (code.numQubits() + x - 1) / x +
-            (code.numStabs() + x - 1) / x + 1;
-        Topology ring = buildRing(x, capacity);
-        ejf.name = "ring-ejf";
-        ejf.dataPerTrap = (code.numQubits() + x - 1) / x;
-        return compileEjf(code, schedule, ring, ejf);
-      }
-      case Architecture::MeshJunction: {
-        ejf.name = "mesh-junction";
-        return compileMeshJunction(code, schedule, ejf);
-      }
-      case Architecture::Cyclone:
-        return compileCyclone(code, config.cyclone);
-    }
-    CYCLONE_FATAL("unknown architecture");
+    return compilerFor(config.architecture)
+        .compile(code, schedule, config);
 }
 
 CodesignEvaluation
@@ -89,6 +20,12 @@ evaluateCodesign(const CssCode& code, const SyndromeSchedule& schedule,
     CodesignEvaluation eval;
     eval.compiled = compileCodesign(code, schedule, config);
     experiment.roundLatencyUs = eval.compiled.execTimeUs;
+    if (experiment.idleNoise == IdleNoiseMode::PerQubitSchedule &&
+        experiment.perQubitIdle.empty()) {
+        experiment.perQubitIdle = perQubitIdleFromSchedule(
+            eval.compiled.schedule, code.numQubits(),
+            experiment.physicalError);
+    }
     eval.memory = runZMemoryExperiment(code, schedule, experiment);
     eval.spacetimeCost = eval.compiled.spacetimeCost();
     return eval;

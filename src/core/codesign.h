@@ -4,6 +4,11 @@
  * software policy; get back compiled latency, logical error rate, and
  * spacetime cost. This is the API the paper's experiments are
  * expressed in (see bench/ for one binary per figure).
+ *
+ * The Architecture enum, CodesignConfig and the per-architecture
+ * compiler registry live in the compiler layer
+ * (compiler/architecture.h, compiler/compiler.h) and are re-exported
+ * here; compileCodesign is a thin dispatch through the registry.
  */
 
 #ifndef CYCLONE_CORE_CODESIGN_H
@@ -12,43 +17,14 @@
 #include <cstddef>
 #include <string>
 
-#include "compiler/baseline_ejf.h"
+#include "compiler/architecture.h"
 #include "compiler/compile_result.h"
-#include "compiler/cyclone_compiler.h"
+#include "compiler/compiler.h"
 #include "memory/memory_experiment.h"
 #include "qec/css_code.h"
 #include "qec/schedule.h"
 
 namespace cyclone {
-
-/** The hardware/software codesigns evaluated in the paper. */
-enum class Architecture
-{
-    BaselineGrid,   ///< l x l grid + static EJF (the paper's baseline).
-    AlternateGrid,  ///< Serpentine L-junction loop + static EJF.
-    DynamicGrid,    ///< l x l grid + dynamic timeslices (Fig. 4a).
-    RingEjf,        ///< Ring hardware + static EJF (Fig. 6, disastrous).
-    MeshJunction,   ///< Junction mesh + conservative dynamic routing.
-    Cyclone,        ///< Ring hardware + lockstep rotation (Section IV).
-};
-
-/** Human-readable architecture name. */
-const char* architectureName(Architecture arch);
-
-/** Codesign selection and tuning. */
-struct CodesignConfig
-{
-    Architecture architecture = Architecture::Cyclone;
-
-    /** Options for the grid-family compilers. */
-    EjfOptions ejf;
-
-    /** Options for the Cyclone compiler. */
-    CycloneOptions cyclone;
-
-    /** Trap capacity of grid devices (the paper uses 5). */
-    size_t gridCapacity = 5;
-};
 
 /**
  * Compile one syndrome round of `code` under the chosen codesign.
@@ -75,7 +51,9 @@ struct CodesignEvaluation
  * @param schedule x-then-z schedule for both compilation and memory
  * @param config codesign choice
  * @param experiment Monte-Carlo parameters (roundLatencyUs is
- *        overwritten with the compiled latency)
+ *        overwritten with the compiled latency; with
+ *        IdleNoiseMode::PerQubitSchedule the per-qubit idle twirls are
+ *        derived from the compiled TimedSchedule IR)
  */
 CodesignEvaluation evaluateCodesign(const CssCode& code,
                                     const SyndromeSchedule& schedule,

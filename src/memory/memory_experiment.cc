@@ -1,8 +1,10 @@
 #include "memory/memory_experiment.h"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "campaign/campaign.h"
@@ -22,6 +24,29 @@ runZMemoryExperiment(const CssCode& code, const SyndromeSchedule& schedule,
     if (config.chunkShots < 1)
         throw std::invalid_argument(
             "MemoryExperimentConfig.chunkShots must be >= 1");
+    // p == 0 is the noiseless experiment (exactness tests); anything
+    // negative, >= 1 or non-finite is rejected up front.
+    if (!std::isfinite(config.physicalError) ||
+        config.physicalError < 0.0 || config.physicalError >= 1.0) {
+        throw std::invalid_argument(
+            "MemoryExperimentConfig.physicalError must be in [0, 1), "
+            "got " + std::to_string(config.physicalError));
+    }
+    validateLatencyUs(config.roundLatencyUs,
+                      "MemoryExperimentConfig.roundLatencyUs");
+    if (config.physicalError == 0.0 && config.roundLatencyUs > 0.0) {
+        throw std::invalid_argument(
+            "MemoryExperimentConfig: a positive roundLatencyUs needs "
+            "physicalError > 0 (the coherence-time fit is 0.01 / p)");
+    }
+    if (config.idleNoise == IdleNoiseMode::PerQubitSchedule &&
+        config.perQubitIdle.size() != code.numQubits()) {
+        throw std::invalid_argument(
+            "MemoryExperimentConfig.perQubitIdle must hold one twirl "
+            "per data qubit in PerQubitSchedule mode (have " +
+            std::to_string(config.perQubitIdle.size()) + ", need " +
+            std::to_string(code.numQubits()) + ")");
+    }
     const size_t chunkShots = config.chunkShots;
 
     CampaignSpec spec;
@@ -44,6 +69,8 @@ runZMemoryExperiment(const CssCode& code, const SyndromeSchedule& schedule,
         &schedule, [](const SyndromeSchedule*) {});
     task.compileLatency = false;
     task.roundLatencyUs = config.roundLatencyUs;
+    task.idleNoise = config.idleNoise;
+    task.perQubitIdle = config.perQubitIdle;
     task.physicalError = config.physicalError;
     task.rounds = config.rounds;
     task.xBasis = config.xBasis;

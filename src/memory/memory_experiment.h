@@ -14,9 +14,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "common/stats.h"
 #include "decoder/bposd_decoder.h"
+#include "noise/noise_model.h"
+#include "noise/pauli_twirl.h"
 #include "qec/css_code.h"
 #include "qec/schedule.h"
 
@@ -47,6 +50,17 @@ struct MemoryExperimentConfig
      * the idle Pauli-twirl channel. 0 disables idle decoherence.
      */
     double roundLatencyUs = 0.0;
+
+    /**
+     * Idle-noise mode. PerQubitSchedule requires `perQubitIdle` (one
+     * twirl per data qubit, derived from a compiled TimedSchedule via
+     * perQubitIdleFromSchedule — evaluateCodesign and the campaign
+     * engine fill it automatically).
+     */
+    IdleNoiseMode idleNoise = IdleNoiseMode::UniformLatency;
+
+    /** Per-data-qubit idle twirls for PerQubitSchedule mode. */
+    std::vector<PauliTwirl> perQubitIdle;
 
     /** BP configuration for the decoder. */
     BpOptions bp;

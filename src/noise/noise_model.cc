@@ -1,10 +1,41 @@
 #include "noise/noise_model.h"
 
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
 namespace cyclone {
+
+void
+validatePhysicalError(double p, const char* what)
+{
+    if (!std::isfinite(p) || p <= 0.0 || p >= 1.0) {
+        std::ostringstream msg;
+        msg << what << " must be in (0, 1), got " << p;
+        throw std::invalid_argument(msg.str());
+    }
+}
+
+void
+validateLatencyUs(double latency_us, const char* what)
+{
+    if (!std::isfinite(latency_us) || latency_us < 0.0) {
+        std::ostringstream msg;
+        msg << what << " must be finite and >= 0 microseconds, got "
+            << latency_us;
+        throw std::invalid_argument(msg.str());
+    }
+}
 
 NoiseModel
 NoiseModel::uniform(double p)
 {
+    // p == 0 is the noiseless circuit (used by exactness tests).
+    if (!std::isfinite(p) || p < 0.0 || p >= 1.0) {
+        std::ostringstream msg;
+        msg << "physical error rate must be in [0, 1), got " << p;
+        throw std::invalid_argument(msg.str());
+    }
     NoiseModel m;
     m.physicalError = p;
     return m;
@@ -13,6 +44,8 @@ NoiseModel::uniform(double p)
 NoiseModel
 NoiseModel::withLatency(double p, double round_latency_us)
 {
+    validatePhysicalError(p);
+    validateLatencyUs(round_latency_us, "round latency");
     NoiseModel m;
     m.physicalError = p;
     const double t_coh = coherenceTimeSeconds(p);

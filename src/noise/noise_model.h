@@ -5,8 +5,11 @@
  * The base model is standard circuit-level noise: depolarizing channels
  * after every gate and flip errors around state preparation and
  * measurement, all at the physical error rate p. Latency couples into
- * the model through a per-round Pauli-twirl idle channel derived from
- * the compiled execution time and the coherence times T1/T2.
+ * the model through idle Pauli-twirl channels in one of two modes:
+ * uniform (one per-round channel from the compiled makespan, applied
+ * to every data qubit) or per-qubit (each data qubit's channel derived
+ * from its actual idle windows in the TimedSchedule IR — see
+ * noise/schedule_noise.h).
  */
 
 #ifndef CYCLONE_NOISE_NOISE_MODEL_H
@@ -17,6 +20,15 @@
 #include "noise/pauli_twirl.h"
 
 namespace cyclone {
+
+/** How idle decoherence couples into the memory circuit. */
+enum class IdleNoiseMode
+{
+    /** One per-round twirl from the round makespan, same for all. */
+    UniformLatency,
+    /** Per-data-qubit twirls from measured IR idle windows. */
+    PerQubitSchedule,
+};
 
 /** Complete noise configuration for a memory experiment. */
 struct NoiseModel
@@ -39,6 +51,9 @@ struct NoiseModel
     /**
      * Uniform circuit-level model at rate p with no idle channel.
      * Gate/prep/measurement errors all equal p.
+     *
+     * @throws std::invalid_argument unless p is in [0, 1) (p == 0 is
+     *         the noiseless circuit)
      */
     static NoiseModel uniform(double p);
 
@@ -46,6 +61,9 @@ struct NoiseModel
      * Paper model: base rate p plus idle decoherence for a round
      * latency of `round_latency_us` microseconds, with coherence times
      * taken from the paper's log fit T1 = T2 = 0.01 / p seconds.
+     *
+     * @throws std::invalid_argument unless p is in (0, 1) and the
+     *         latency is finite and non-negative
      */
     static NoiseModel withLatency(double p, double round_latency_us);
 
@@ -67,6 +85,20 @@ struct NoiseModel
         return measError > 0.0 ? measError : physicalError;
     }
 };
+
+/**
+ * Validate a physical error rate: must be finite and in (0, 1).
+ *
+ * @throws std::invalid_argument otherwise, naming `what` in the message
+ */
+void validatePhysicalError(double p, const char* what = "physical error rate");
+
+/**
+ * Validate a latency/idle duration: must be finite and non-negative.
+ *
+ * @throws std::invalid_argument otherwise, naming `what` in the message
+ */
+void validateLatencyUs(double latency_us, const char* what = "latency");
 
 } // namespace cyclone
 

@@ -1,0 +1,33 @@
+#include "noise/schedule_noise.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "noise/noise_model.h"
+
+namespace cyclone {
+
+std::vector<PauliTwirl>
+perQubitIdleFromSchedule(const TimedSchedule& schedule,
+                         size_t num_data_qubits, double physical_error,
+                         double latency_scale)
+{
+    validatePhysicalError(physical_error);
+    validateLatencyUs(latency_scale, "latency scale");
+    if (num_data_qubits > schedule.numIons) {
+        std::ostringstream msg;
+        msg << "schedule tracks " << schedule.numIons
+            << " ions but " << num_data_qubits
+            << " data qubits were requested";
+        throw std::invalid_argument(msg.str());
+    }
+
+    const double t_coh = coherenceTimeSeconds(physical_error);
+    const std::vector<double> idle = schedule.ionIdleUs();
+    std::vector<PauliTwirl> out(num_data_qubits);
+    for (size_t q = 0; q < num_data_qubits; ++q)
+        out[q] = twirlDecoherence(idle[q] * latency_scale, t_coh, t_coh);
+    return out;
+}
+
+} // namespace cyclone

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Schedule-derived idle noise: per-qubit Pauli-twirl channels from the
+ * TimedSchedule IR.
+ *
+ * The uniform-latency model twirls the whole round makespan into one
+ * idle channel applied to every data qubit. In reality a data qubit
+ * decoheres only while nothing is acting on it; qubits whose gates are
+ * spread across the round idle less than qubits serviced in one early
+ * burst. This module measures each data qubit's actual idle time
+ * (makespan minus the time it spends inside counted operations) and
+ * twirls that window per qubit, giving the noise model the per-ion
+ * resolution the paper's architectural argument is about.
+ */
+
+#ifndef CYCLONE_NOISE_SCHEDULE_NOISE_H
+#define CYCLONE_NOISE_SCHEDULE_NOISE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "compiler/timed_schedule.h"
+#include "noise/pauli_twirl.h"
+
+namespace cyclone {
+
+/**
+ * Derive one idle twirl per data qubit from a compiled round.
+ *
+ * Qubit q's idle window is (makespan - busy_q) * latency_scale, where
+ * busy_q sums the durations of every counted op involving q; the
+ * window is twirled with T1 = T2 = coherenceTimeSeconds(p), exactly as
+ * the uniform model twirls the full makespan.
+ *
+ * @param schedule compiled round IR (ion ids in circuit layout: data
+ *        qubits first)
+ * @param num_data_qubits data qubits n; must be <= schedule.numIons
+ * @param physical_error p for the coherence-time fit, in (0, 1)
+ * @param latency_scale multiplier on the idle windows (the campaign's
+ *        latencyScale knob); must be finite and >= 0
+ * @return one PauliTwirl per data qubit, indexed by qubit
+ * @throws std::invalid_argument on invalid inputs
+ */
+std::vector<PauliTwirl>
+perQubitIdleFromSchedule(const TimedSchedule& schedule,
+                         size_t num_data_qubits, double physical_error,
+                         double latency_scale = 1.0);
+
+} // namespace cyclone
+
+#endif // CYCLONE_NOISE_SCHEDULE_NOISE_H

@@ -321,6 +321,178 @@ p = 5e-3
     EXPECT_THROW(parseCampaignSpec(""), std::runtime_error);
 }
 
+TEST(Campaign, SpecParsesSwapCapacityAndIdleNoiseKeys)
+{
+    const char* text = R"(
+[task]
+code = bb72
+arch = cyclone
+swap = ion
+grid-capacity = 7
+idle_noise = per-qubit
+max_shots = 10
+)";
+    const CampaignSpec spec = parseCampaignSpec(text);
+    ASSERT_EQ(spec.tasks.size(), 1u);
+    EXPECT_EQ(spec.tasks[0].swap, SwapKind::IonSwap);
+    EXPECT_EQ(spec.tasks[0].gridCapacity, 7u);
+    EXPECT_EQ(spec.tasks[0].idleNoise, IdleNoiseMode::PerQubitSchedule);
+
+    // Underscore alias and defaults.
+    const CampaignSpec alias = parseCampaignSpec(
+        "[task]\ncode = bb72\nswap = gate\ngrid_capacity = 3\n"
+        "idle_noise = uniform\n");
+    EXPECT_EQ(alias.tasks[0].swap, SwapKind::GateSwap);
+    EXPECT_EQ(alias.tasks[0].gridCapacity, 3u);
+    EXPECT_EQ(alias.tasks[0].idleNoise, IdleNoiseMode::UniformLatency);
+
+    EXPECT_THROW(parseCampaignSpec("[task]\ncode = bb72\nswap = warp\n"),
+                 std::runtime_error);
+    EXPECT_THROW(
+        parseCampaignSpec("[task]\ncode = bb72\ngrid-capacity = 0\n"),
+        std::runtime_error);
+    // stoull would silently wrap a negative value; it must throw.
+    EXPECT_THROW(
+        parseCampaignSpec("[task]\ncode = bb72\ngrid-capacity = -3\n"),
+        std::runtime_error);
+    EXPECT_THROW(
+        parseCampaignSpec("[task]\ncode = bb72\nidle_noise = maybe\n"),
+        std::runtime_error);
+}
+
+TEST(Campaign, SwapAndCapacityReachTheCompiler)
+{
+    // Fig. 13 / Fig. 21 mechanics from spec keys alone: capacity and
+    // swap kind change the compiled latency, and distinct settings get
+    // distinct compile-cache entries.
+    CampaignSpec spec;
+    spec.seed = 31;
+    spec.threads = 2;
+    auto code = surface13();
+    for (size_t capacity : {size_t(3), size_t(5)}) {
+        TaskSpec task;
+        task.code = code;
+        task.architecture = Architecture::BaselineGrid;
+        task.compileLatency = true;
+        task.gridCapacity = capacity;
+        task.physicalError = 0.02;
+        task.rounds = 2;
+        task.stop.maxShots = 100;
+        spec.tasks.push_back(std::move(task));
+    }
+    for (SwapKind swap : {SwapKind::GateSwap, SwapKind::IonSwap}) {
+        TaskSpec task;
+        task.code = code;
+        task.architecture = Architecture::Cyclone;
+        task.compileLatency = true;
+        task.swap = swap;
+        task.physicalError = 0.02;
+        task.rounds = 2;
+        task.stop.maxShots = 100;
+        spec.tasks.push_back(std::move(task));
+    }
+    const CampaignResult result = runCampaign(spec);
+    for (const TaskResult& t : result.tasks)
+        EXPECT_TRUE(t.error.empty()) << t.error;
+    EXPECT_NE(result.tasks[0].roundLatencyUs,
+              result.tasks[1].roundLatencyUs);
+    EXPECT_NE(result.tasks[2].roundLatencyUs,
+              result.tasks[3].roundLatencyUs);
+    // Four distinct (arch, swap, capacity) points: no compile sharing.
+    EXPECT_EQ(result.cache.compileMisses, 4u);
+    // The compile profile surfaces per task.
+    EXPECT_GT(result.tasks[0].compileMakespanUs, 0.0);
+    EXPECT_GT(result.tasks[0].compileBreakdown.total(), 0.0);
+    EXPECT_GT(result.tasks[0].compileParallelFraction, 0.0);
+}
+
+TEST(Campaign, PerQubitIdleRunsEndToEndFromSpecText)
+{
+    // The acceptance path: compile -> IR -> per-qubit twirls -> DEM ->
+    // decode, selected from the INI.
+    const char* text = R"(
+name = per-qubit-e2e
+seed = 13
+threads = 2
+
+[task]
+code = surface3
+arch = cyclone
+idle_noise = per-qubit
+p = 5e-3
+rounds = 3
+max_shots = 200
+chunk_shots = 100
+)";
+    const CampaignResult result = runCampaign(parseCampaignSpec(text));
+    ASSERT_EQ(result.tasks.size(), 1u);
+    const TaskResult& t = result.tasks[0];
+    EXPECT_TRUE(t.error.empty()) << t.error;
+    EXPECT_EQ(t.logicalErrorRate.trials, 200u);
+    EXPECT_GT(t.roundLatencyUs, 0.0);
+    EXPECT_GT(t.demMechanisms, 0u);
+    EXPECT_EQ(t.decoder.decodes, 200u);
+}
+
+TEST(Campaign, PerQubitIdleWithoutCompileFails)
+{
+    CampaignSpec spec;
+    spec.threads = 1;
+    TaskSpec task = surfaceTask(0.02, 100);
+    task.idleNoise = IdleNoiseMode::PerQubitSchedule;
+    spec.tasks.push_back(std::move(task));
+    const CampaignResult result = runCampaign(spec);
+    ASSERT_EQ(result.tasks.size(), 1u);
+    EXPECT_FALSE(result.tasks[0].error.empty());
+    EXPECT_NE(result.tasks[0].error.find("per-qubit"),
+              std::string::npos);
+}
+
+TEST(Campaign, PerQubitIdleDegeneratesToUniformOnEqualWindows)
+{
+    // Identical idle windows must reproduce the uniform-latency model
+    // exactly: same DEM, same chunk streams, same counts.
+    const double latency = 60000.0;
+    const double p = 0.004;
+    auto code = surface13();
+
+    CampaignSpec uniform;
+    uniform.seed = 77;
+    uniform.threads = 2;
+    {
+        TaskSpec task;
+        task.code = code;
+        task.compileLatency = false;
+        task.roundLatencyUs = latency;
+        task.physicalError = p;
+        task.rounds = 3;
+        task.stop.maxShots = 400;
+        task.stop.chunkShots = 100;
+        uniform.tasks.push_back(std::move(task));
+    }
+
+    CampaignSpec perQubit = uniform;
+    {
+        TaskSpec& task = perQubit.tasks[0];
+        task.idleNoise = IdleNoiseMode::PerQubitSchedule;
+        const double t_coh = coherenceTimeSeconds(p);
+        task.perQubitIdle.assign(
+            code->numQubits(), twirlDecoherence(latency, t_coh, t_coh));
+    }
+
+    const CampaignResult a = runCampaign(uniform);
+    const CampaignResult b = runCampaign(perQubit);
+    ASSERT_TRUE(a.tasks[0].error.empty()) << a.tasks[0].error;
+    ASSERT_TRUE(b.tasks[0].error.empty()) << b.tasks[0].error;
+    EXPECT_EQ(a.tasks[0].demMechanisms, b.tasks[0].demMechanisms);
+    EXPECT_EQ(a.tasks[0].logicalErrorRate.trials,
+              b.tasks[0].logicalErrorRate.trials);
+    EXPECT_EQ(a.tasks[0].logicalErrorRate.successes,
+              b.tasks[0].logicalErrorRate.successes);
+    EXPECT_EQ(a.tasks[0].decoder.bpIterations,
+              b.tasks[0].decoder.bpIterations);
+}
+
 TEST(Campaign, ResolvesSurfaceCodeNames)
 {
     const CssCode code = resolveCampaignCode("surface3");
