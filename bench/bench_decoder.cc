@@ -1,29 +1,41 @@
 /**
  * @file
  * Decode-throughput benchmark: scalar per-shot decoding vs the packed
- * batch pipeline on the paper's [[72,12,6]] BB code.
+ * batch pipeline vs the lane-parallel wave kernel on the paper's
+ * [[72,12,6]] BB code.
  *
  * Each benchmark iteration samples one chunk with a fresh
  * deterministic seed and decodes it — exactly the work a campaign
  * worker does per chunk — and reports shots/second plus the batch
  * fast-path counters. Two physical error rates bracket the regimes:
  * near the paper's operating point (p = 1e-3) most syndromes are
- * non-empty so the two paths mostly measure the shared BP+OSD core,
- * while sub-threshold (p = 1e-4) ~70% of shots are resolved by the
- * zero-syndrome wave sweep and the duplicate memo, which is where the
- * batched pipeline's multiplier lives.
+ * non-empty so the wave kernel's SIMD lanes carry the speedup, while
+ * sub-threshold (p = 1e-4) ~70% of shots are resolved by the
+ * zero-syndrome wave sweep and the duplicate memo before BP runs at
+ * all.
  *
- * Both paths are bit-identical by construction (enforced by
- * tests/test_shot_batch.cc); this benchmark exists so the speed of
- * the batch path can't silently rot.
+ * All three paths are bit-identical by construction (enforced by
+ * tests/test_shot_batch.cc and tests/test_wave_decoder.cc); this
+ * benchmark exists so their speed can't silently rot. Besides the
+ * console table it always distills the measured rates into a
+ * machine-readable BENCH_decoder.json (override the path with
+ * CYCLONE_BENCH_JSON) so CI can track the perf trajectory across PRs
+ * and fail if the wave path ever drops below the scalar one.
  */
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "decoder/bp_wave_decoder.h"
 
 namespace cyclone {
 namespace bench {
@@ -60,10 +72,11 @@ bb72Dem(double p)
 }
 
 BpOptions
-benchBp()
+benchBp(size_t wave_lanes)
 {
     BpOptions bp;
     bp.variant = BpOptions::Variant::MinSum;
+    bp.waveLanes = wave_lanes;
     return bp;
 }
 
@@ -76,13 +89,14 @@ attachDecoderCounters(benchmark::State& state, const BpOsdStats& stats)
     state.counters["trivial_frac"] = stats.trivialFraction();
     state.counters["memo_rate"] = stats.memoHitRate();
     state.counters["mean_bp_iters"] = stats.meanBpIterations();
+    state.counters["wave_occupancy"] = stats.waveLaneOccupancy();
 }
 
 void
 BM_DecodeScalar(benchmark::State& state, double p)
 {
     const DetectorErrorModel& dem = bb72Dem(p);
-    BpOsdDecoder decoder(dem, benchBp());
+    BpOsdDecoder decoder(dem, benchBp(1));
     DemShots shots;
     uint64_t chunk = 0;
     for (auto _ : state) {
@@ -99,11 +113,12 @@ BM_DecodeScalar(benchmark::State& state, double p)
     attachDecoderCounters(state, decoder.stats());
 }
 
+/** Batched pipeline; wave_lanes == 1 is the scalar-core batch path. */
 void
-BM_DecodeBatch(benchmark::State& state, double p)
+BM_DecodeBatch(benchmark::State& state, double p, size_t wave_lanes)
 {
     const DetectorErrorModel& dem = bb72Dem(p);
-    BpOsdDecoder decoder(dem, benchBp());
+    BpOsdDecoder decoder(dem, benchBp(wave_lanes));
     ShotBatch batch;
     std::vector<uint64_t> predicted;
     uint64_t chunk = 0;
@@ -119,6 +134,166 @@ BM_DecodeBatch(benchmark::State& state, double p)
     attachDecoderCounters(state, decoder.stats());
 }
 
+/** One registered row of the summary JSON. */
+struct RowSpec
+{
+    std::string name;
+    const char* path; ///< "scalar" | "batch" | "wave".
+    double p;
+};
+
+std::vector<RowSpec>&
+rowSpecs()
+{
+    static std::vector<RowSpec> specs;
+    return specs;
+}
+
+/** Console reporter that also captures final counter values. */
+class CaptureReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void
+    ReportRuns(const std::vector<Run>& runs) override
+    {
+        for (const Run& run : runs) {
+            std::map<std::string, double>& row =
+                captured_[run.benchmark_name()];
+            for (const auto& [key, counter] : run.counters)
+                row[key] = static_cast<double>(counter);
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+    /** Counter value of a named run, or 0 when absent. */
+    double
+    value(const std::string& name, const std::string& key) const
+    {
+        auto row = captured_.find(name);
+        if (row == captured_.end())
+            return 0.0;
+        auto it = row->second.find(key);
+        return it == row->second.end() ? 0.0 : it->second;
+    }
+
+    bool
+    has(const std::string& name) const
+    {
+        return captured_.count(name) != 0;
+    }
+
+  private:
+    std::map<std::string, std::map<std::string, double>> captured_;
+};
+
+/** Distill the captured rows into BENCH_decoder.json. */
+void
+writeBenchJson(const CaptureReporter& reporter)
+{
+    const char* env = std::getenv("CYCLONE_BENCH_JSON");
+    const std::string path =
+        env != nullptr && env[0] != '\0' ? env : "BENCH_decoder.json";
+
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+        std::fprintf(stderr, "bench_decoder: cannot write %s\n",
+                     path.c_str());
+        return;
+    }
+    out << "{\n";
+    out << "  \"bench\": \"bench_decoder\",\n";
+    out << "  \"code\": \"bb72\",\n";
+    out << "  \"bp_variant\": \"min-sum\",\n";
+    out << "  \"chunk_shots\": " << kChunkShots << ",\n";
+    out << "  \"wave_lane_width\": "
+        << BpWaveDecoder::resolveLaneWidth(0) << ",\n";
+    out << "  \"rows\": [\n";
+    bool first = true;
+    for (const RowSpec& spec : rowSpecs()) {
+        if (!reporter.has(spec.name))
+            continue;
+        if (!first)
+            out << ",\n";
+        first = false;
+        char buf[512];
+        std::snprintf(
+            buf, sizeof buf,
+            "    {\"name\": \"%s\", \"path\": \"%s\", \"p\": %g, "
+            "\"shots_per_sec\": %.6g, \"trivial_frac\": %.6g, "
+            "\"memo_rate\": %.6g, \"mean_bp_iters\": %.6g, "
+            "\"wave_occupancy\": %.6g}",
+            spec.name.c_str(), spec.path, spec.p,
+            reporter.value(spec.name, "shots_per_sec"),
+            reporter.value(spec.name, "trivial_frac"),
+            reporter.value(spec.name, "memo_rate"),
+            reporter.value(spec.name, "mean_bp_iters"),
+            reporter.value(spec.name, "wave_occupancy"));
+        out << buf;
+    }
+    out << "\n  ],\n";
+    out << "  \"speedups\": {";
+    bool first_p = true;
+    for (const RowSpec& spec : rowSpecs()) {
+        if (std::string(spec.path) != "scalar")
+            continue;
+        char suffix[32];
+        std::snprintf(suffix, sizeof suffix, "p%g", spec.p);
+        const std::string scalar = spec.name;
+        const std::string batch = "decode_batch/bb72_" + std::string(suffix);
+        const std::string wave = "decode_wave/bb72_" + std::string(suffix);
+        if (!reporter.has(batch) || !reporter.has(wave))
+            continue;
+        const double s = reporter.value(scalar, "shots_per_sec");
+        const double b = reporter.value(batch, "shots_per_sec");
+        const double w = reporter.value(wave, "shots_per_sec");
+        if (s <= 0.0 || b <= 0.0)
+            continue;
+        char buf[256];
+        std::snprintf(buf, sizeof buf,
+                      "%s\n    \"%s\": {\"batch_over_scalar\": %.4g, "
+                      "\"wave_over_batch\": %.4g, "
+                      "\"wave_over_scalar\": %.4g}",
+                      first_p ? "" : ",", suffix, b / s, w / b, w / s);
+        out << buf;
+        first_p = false;
+    }
+    out << "\n  }\n";
+    out << "}\n";
+    std::fprintf(stderr, "bench_decoder: wrote %s\n", path.c_str());
+}
+
+void
+registerRows()
+{
+    for (double p : {1e-3, 1e-4}) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "/bb72_p%g", p);
+        const std::string suffix = buf;
+        const std::string scalar_name = "decode_scalar" + suffix;
+        const std::string batch_name = "decode_batch" + suffix;
+        const std::string wave_name = "decode_wave" + suffix;
+        rowSpecs().push_back({scalar_name, "scalar", p});
+        rowSpecs().push_back({batch_name, "batch", p});
+        rowSpecs().push_back({wave_name, "wave", p});
+        benchmark::RegisterBenchmark(
+            scalar_name.c_str(),
+            [p](benchmark::State& state) { BM_DecodeScalar(state, p); })
+            ->Unit(benchmark::kMillisecond);
+        benchmark::RegisterBenchmark(
+            batch_name.c_str(),
+            [p](benchmark::State& state) {
+                BM_DecodeBatch(state, p, 1);
+            })
+            ->Unit(benchmark::kMillisecond);
+        benchmark::RegisterBenchmark(
+            wave_name.c_str(),
+            [p](benchmark::State& state) {
+                BM_DecodeBatch(state, p, 0);
+            })
+            ->Unit(benchmark::kMillisecond);
+    }
+}
+
 } // namespace
 } // namespace bench
 } // namespace cyclone
@@ -127,20 +302,10 @@ int
 main(int argc, char** argv)
 {
     using namespace cyclone::bench;
-    for (double p : {1e-3, 1e-4}) {
-        char buf[32];
-        std::snprintf(buf, sizeof buf, "/bb72_p%g", p);
-        const std::string suffix = buf;
-        benchmark::RegisterBenchmark(
-            ("decode_scalar" + suffix).c_str(),
-            [p](benchmark::State& state) { BM_DecodeScalar(state, p); })
-            ->Unit(benchmark::kMillisecond);
-        benchmark::RegisterBenchmark(
-            ("decode_batch" + suffix).c_str(),
-            [p](benchmark::State& state) { BM_DecodeBatch(state, p); })
-            ->Unit(benchmark::kMillisecond);
-    }
+    registerRows();
     benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
+    CaptureReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    writeBenchJson(reporter);
     return 0;
 }

@@ -158,12 +158,15 @@ main(int argc, char** argv)
             decoder.trivialShots += t.decoder.trivialShots;
             decoder.memoHits += t.decoder.memoHits;
             decoder.bpIterations += t.decoder.bpIterations;
+            decoder.waveGroups += t.decoder.waveGroups;
+            decoder.waveLaneSlots += t.decoder.waveLaneSlots;
+            decoder.waveLanesFilled += t.decoder.waveLanesFilled;
         }
         std::fprintf(stderr,
                      "[%s] %zu tasks, %zu shots, wall %.1fs, compile "
                      "cache %zu hit / %zu miss, dem cache %zu hit / "
                      "%zu miss, decoder trivial %.1f%% / memo %.1f%% "
-                     "/ mean BP iters %.1f\n",
+                     "/ mean BP iters %.1f / wave occupancy %.0f%%\n",
                      result.name.c_str(), result.tasks.size(),
                      result.totalShots(), result.wallSeconds,
                      result.cache.compileHits,
@@ -171,7 +174,8 @@ main(int argc, char** argv)
                      result.cache.demMisses,
                      100.0 * decoder.trivialFraction(),
                      100.0 * decoder.memoHitRate(),
-                     decoder.meanBpIterations());
+                     decoder.meanBpIterations(),
+                     100.0 * decoder.waveLaneOccupancy());
     }
 
     const std::string json = campaignResultToJson(result);

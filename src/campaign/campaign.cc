@@ -296,6 +296,9 @@ CampaignEngine::run(const CampaignSpec& spec,
             r.decoder.trivialShots += s.trivialShots;
             r.decoder.memoHits += s.memoHits;
             r.decoder.bpIterations += s.bpIterations;
+            r.decoder.waveGroups += s.waveGroups;
+            r.decoder.waveLaneSlots += s.waveLaneSlots;
+            r.decoder.waveLanesFilled += s.waveLanesFilled;
         }
         if (onTaskDone)
             onTaskDone(r);

@@ -187,11 +187,16 @@ campaignResultToJson(const CampaignResult& result)
             << ", \"trivial_shots\": " << t.decoder.trivialShots
             << ", \"memo_hits\": " << t.decoder.memoHits
             << ", \"bp_iterations\": " << t.decoder.bpIterations
+            << ", \"wave_groups\": " << t.decoder.waveGroups
+            << ", \"wave_lane_slots\": " << t.decoder.waveLaneSlots
+            << ", \"wave_lanes_filled\": " << t.decoder.waveLanesFilled
             << ",\n                 \"trivial_fraction\": "
             << num(t.decoder.trivialFraction())
             << ", \"memo_hit_rate\": " << num(t.decoder.memoHitRate())
             << ", \"mean_bp_iterations\": "
-            << num(t.decoder.meanBpIterations()) << "}";
+            << num(t.decoder.meanBpIterations())
+            << ", \"wave_lane_occupancy\": "
+            << num(t.decoder.waveLaneOccupancy()) << "}";
         if (t.compileMakespanUs > 0.0) {
             const double span = t.compileMakespanUs;
             const TimeBreakdown& b = t.compileBreakdown;
@@ -239,7 +244,8 @@ campaignResultToCsv(const CampaignResult& result)
     out << "id,code,architecture,p,rounds,basis,round_latency_us,shots,"
            "failures,ler,wilson,per_round_ler,chunks,stopped_early,"
            "from_checkpoint,sample_seconds,trivial_fraction,"
-           "memo_hit_rate,mean_bp_iterations,util_gate,util_shuttle,"
+           "memo_hit_rate,mean_bp_iterations,wave_lane_occupancy,"
+           "util_gate,util_shuttle,"
            "util_junction,util_swap,parallel_fraction,trap_roadblocks,"
            "junction_roadblocks,roadblock_wait_us,error\n";
     for (const TaskResult& t : result.tasks) {
@@ -260,6 +266,7 @@ campaignResultToCsv(const CampaignResult& result)
             << ',' << num(t.decoder.trivialFraction()) << ','
             << num(t.decoder.memoHitRate()) << ','
             << num(t.decoder.meanBpIterations()) << ','
+            << num(t.decoder.waveLaneOccupancy()) << ','
             << num(util(t.compileBreakdown.gateUs)) << ','
             << num(util(t.compileBreakdown.shuttleUs)) << ','
             << num(util(t.compileBreakdown.junctionUs)) << ','
@@ -295,10 +302,10 @@ saveCheckpoint(const CampaignResult& result, const std::string& path)
     for (const TaskResult& t : result.tasks) {
         if (!t.error.empty() || t.logicalErrorRate.trials == 0)
             continue;
-        char line[320];
+        char line[384];
         std::snprintf(line, sizeof line,
                       "task %016llx %zu %.17g %zu %zu %zu %zu %zu %d "
-                      "%zu %zu %zu %zu %.6f %zu %zu %zu\n",
+                      "%zu %zu %zu %zu %.6f %zu %zu %zu %zu %zu %zu\n",
                       static_cast<unsigned long long>(t.contentHash),
                       t.rounds, t.roundLatencyUs, t.demDetectors,
                       t.demMechanisms, t.logicalErrorRate.trials,
@@ -307,7 +314,9 @@ saveCheckpoint(const CampaignResult& result, const std::string& path)
                       t.decoder.bpConverged, t.decoder.osdInvocations,
                       t.decoder.osdFailures, t.sampleSeconds,
                       t.decoder.trivialShots, t.decoder.memoHits,
-                      t.decoder.bpIterations);
+                      t.decoder.bpIterations, t.decoder.waveGroups,
+                      t.decoder.waveLaneSlots,
+                      t.decoder.waveLanesFilled);
         out << line;
     }
     return writeTextFile(path, out.str());
@@ -332,19 +341,21 @@ loadCheckpoint(const std::string& path, CampaignCheckpoint& out)
         size_t rounds = 0, detectors = 0, mechanisms = 0, shots = 0,
                failures = 0, chunks = 0, decodes = 0, converged = 0,
                osdInv = 0, osdFail = 0, trivial = 0, memoHits = 0,
-               bpIters = 0;
+               bpIters = 0, waveGroups = 0, waveSlots = 0,
+               waveFilled = 0;
         double latency = 0.0, seconds = 0.0;
         int early = 0;
         const int got = std::sscanf(
             line.c_str(),
             "task %llx %zu %lg %zu %zu %zu %zu %zu %d %zu %zu %zu %zu "
-            "%lg %zu %zu %zu",
+            "%lg %zu %zu %zu %zu %zu %zu",
             &hash, &rounds, &latency, &detectors, &mechanisms, &shots,
             &failures, &chunks, &early, &decodes, &converged, &osdInv,
-            &osdFail, &seconds, &trivial, &memoHits, &bpIters);
+            &osdFail, &seconds, &trivial, &memoHits, &bpIters,
+            &waveGroups, &waveSlots, &waveFilled);
         // 14 fields = pre-batch-pipeline checkpoint (batch stats
-        // default to zero); 17 = current format.
-        if (got != 14 && got != 17)
+        // default to zero); 17 = pre-wave-kernel; 20 = current format.
+        if (got != 14 && got != 17 && got != 20)
             return false;
         TaskResult t;
         t.contentHash = hash;
@@ -371,6 +382,9 @@ loadCheckpoint(const std::string& path, CampaignCheckpoint& out)
         t.decoder.trivialShots = trivial;
         t.decoder.memoHits = memoHits;
         t.decoder.bpIterations = bpIters;
+        t.decoder.waveGroups = waveGroups;
+        t.decoder.waveLaneSlots = waveSlots;
+        t.decoder.waveLanesFilled = waveFilled;
         t.sampleSeconds = seconds;
         t.fromCheckpoint = true;
         out.tasks[t.contentHash] = t;

@@ -8,76 +8,54 @@
 namespace cyclone {
 
 BpDecoder::BpDecoder(const DetectorErrorModel& dem, BpOptions options)
-    : options_(options), numChecks_(dem.numDetectors),
-      numVars_(dem.mechanisms.size()),
+    : BpDecoder(std::make_shared<const BpGraph>(dem), options)
+{}
+
+BpDecoder::BpDecoder(std::shared_ptr<const BpGraph> graph,
+                     BpOptions options)
+    : graph_(std::move(graph)), options_(options),
       clamp_(static_cast<float>(options.clamp)),
       minSumScale_(static_cast<float>(options.minSumScale))
 {
-    prior_.resize(numVars_);
-    std::vector<std::vector<uint32_t>> check_vars(numChecks_);
-
-    varOffset_.assign(numVars_ + 1, 0);
-    for (size_t v = 0; v < numVars_; ++v) {
-        const DemMechanism& m = dem.mechanisms[v];
-        double p = std::clamp(m.probability, 1e-14, 1.0 - 1e-14);
-        prior_[v] = static_cast<float>(std::log((1.0 - p) / p));
-        varOffset_[v + 1] = varOffset_[v] + m.detectors.size();
-        for (uint32_t d : m.detectors) {
-            CYCLONE_ASSERT(d < numChecks_, "mechanism detector "
-                           << d << " out of range");
-            check_vars[d].push_back(static_cast<uint32_t>(v));
-        }
-    }
-    const size_t num_edges = varOffset_.back();
-    varEdgeCheck_.resize(num_edges);
-    {
-        std::vector<size_t> cursor(numVars_, 0);
-        for (size_t v = 0; v < numVars_; ++v) {
-            const DemMechanism& m = dem.mechanisms[v];
-            for (size_t j = 0; j < m.detectors.size(); ++j)
-                varEdgeCheck_[varOffset_[v] + j] = m.detectors[j];
-        }
-    }
-
-    // Check-side CSR with the var-CSR -> check-CSR slot permutation.
-    checkOffset_.assign(numChecks_ + 1, 0);
-    for (size_t c = 0; c < numChecks_; ++c)
-        checkOffset_[c + 1] = checkOffset_[c] + check_vars[c].size();
-    checkEdgeVar_.resize(num_edges);
-    checkSlotOfVarEdge_.resize(num_edges);
-    {
-        std::vector<size_t> check_cursor(numChecks_, 0);
-        for (size_t v = 0; v < numVars_; ++v) {
-            for (size_t e = varOffset_[v]; e < varOffset_[v + 1]; ++e) {
-                const uint32_t c = varEdgeCheck_[e];
-                const size_t slot = checkOffset_[c] + check_cursor[c]++;
-                checkEdgeVar_[slot] = static_cast<uint32_t>(v);
-                checkSlotOfVarEdge_[e] = static_cast<uint32_t>(slot);
-            }
-        }
-    }
-
-    msgCheckToVar_.assign(num_edges, 0.0f);
-    posterior_.assign(numVars_, 0.0f);
-    hard_.assign(numVars_, 0);
+    msgCheckToVar_.assign(graph_->numEdges, 0.0f);
+    posterior_.assign(graph_->numVars, 0.0f);
+    hard_.resize(graph_->numVars);
+    // Per-check scratch is bounded by the largest check degree; size
+    // it once here so the check pass never reallocates.
+    msgScratch_.resize(graph_->maxCheckDegree);
+    tanhScratch_.resize(graph_->maxCheckDegree);
 }
 
 void
 BpDecoder::posteriorUpdate()
 {
     // The hard decision is maintained inline (it is just the posterior
-    // sign); hardChanged_ lets decode() skip the O(edges) syndrome
-    // verification on iterations where no decision bit moved — the
-    // verification result could not differ from the previous one.
+    // sign), packed 64 variables per word; hardChanged_ lets decode()
+    // skip the O(edges) syndrome verification on iterations where no
+    // decision bit moved — the verification result could not differ
+    // from the previous one. Change detection is word-granular: a
+    // word compare per 64 variables instead of a byte compare per
+    // variable.
+    const BpGraph& g = *graph_;
     bool changed = false;
-    for (size_t v = 0; v < numVars_; ++v) {
-        float total = prior_[v];
-        for (size_t e = varOffset_[v]; e < varOffset_[v + 1]; ++e)
-            total += msgCheckToVar_[checkSlotOfVarEdge_[e]];
+    uint64_t* hard_words = hard_.words().data();
+    uint64_t word = 0;
+    for (size_t v = 0; v < g.numVars; ++v) {
+        float total = g.prior[v];
+        for (size_t e = g.varOffset[v]; e < g.varOffset[v + 1]; ++e)
+            total += msgCheckToVar_[g.checkSlotOfVarEdge[e]];
         posterior_[v] = total;
-        const uint8_t bit = total < 0.0f ? 1 : 0;
-        changed |= bit != hard_[v];
-        hard_[v] = bit;
+        word |= uint64_t{total < 0.0f} << (v & 63);
+        if ((v & 63) == 63) {
+            changed |= word != hard_words[v >> 6];
+            hard_words[v >> 6] = word;
+            word = 0;
+        }
+    }
+    if (g.numVars & 63) {
+        const size_t w = g.numVars >> 6;
+        changed |= word != hard_words[w];
+        hard_words[w] = word;
     }
     hardChanged_ = changed;
 }
@@ -85,20 +63,19 @@ BpDecoder::posteriorUpdate()
 void
 BpDecoder::checkToVarUpdate(const BitVec& syndrome)
 {
+    const BpGraph& g = *graph_;
     const bool min_sum = options_.variant == BpOptions::Variant::MinSum;
-    for (size_t c = 0; c < numChecks_; ++c) {
-        const size_t begin = checkOffset_[c];
-        const size_t end = checkOffset_[c + 1];
+    for (size_t c = 0; c < g.numChecks; ++c) {
+        const size_t begin = g.checkOffset[c];
+        const size_t end = g.checkOffset[c + 1];
         const float syndrome_sign = syndrome.get(c) ? -1.0f : 1.0f;
         // Materialize this check's incoming var-to-check messages into
         // sequential scratch: clamp(posterior - last outgoing message)
         // is float-identical to a stored var-pass message, and the
         // edge's old outgoing value is only overwritten below, after
         // every gather for this check has read it.
-        if (msgScratch_.size() < end - begin)
-            msgScratch_.resize(end - begin);
         for (size_t s = begin; s < end; ++s) {
-            const float total = posterior_[checkEdgeVar_[s]];
+            const float total = posterior_[g.checkEdgeVar[s]];
             msgScratch_[s - begin] = std::clamp(
                 total - msgCheckToVar_[s], -clamp_, clamp_);
         }
@@ -136,8 +113,6 @@ BpDecoder::checkToVarUpdate(const BitVec& syndrome)
             int zero_count = 0;
             size_t zero_slot = begin;
             float sign_product = syndrome_sign;
-            if (tanhScratch_.size() < end - begin)
-                tanhScratch_.resize(end - begin);
             for (size_t s = begin; s < end; ++s) {
                 const float m = msgScratch_[s - begin];
                 if (m < 0.0f)
@@ -178,25 +153,40 @@ BpDecoder::checkToVarUpdate(const BitVec& syndrome)
 bool
 BpDecoder::syndromeMatches(const BitVec& syndrome) const
 {
-    // Verify H e == syndrome for the current hard decision.
-    for (size_t c = 0; c < numChecks_; ++c) {
-        bool parity = false;
-        for (size_t s = checkOffset_[c]; s < checkOffset_[c + 1]; ++s)
-            parity ^= hard_[checkEdgeVar_[s]] != 0;
-        if (parity != syndrome.get(c))
-            return false;
+    // Verify H e == syndrome for the current hard decision: check
+    // parities are gathered bit-wise from the packed decision and
+    // compared one 64-check word at a time.
+    const BpGraph& g = *graph_;
+    const uint64_t* hard_words = hard_.words().data();
+    const uint64_t* syndrome_words = syndrome.words().data();
+    uint64_t word = 0;
+    for (size_t c = 0; c < g.numChecks; ++c) {
+        uint64_t parity = 0;
+        for (size_t s = g.checkOffset[c]; s < g.checkOffset[c + 1];
+             ++s) {
+            const uint32_t v = g.checkEdgeVar[s];
+            parity ^= hard_words[v >> 6] >> (v & 63);
+        }
+        word |= (parity & 1) << (c & 63);
+        if ((c & 63) == 63) {
+            if (word != syndrome_words[c >> 6])
+                return false;
+            word = 0;
+        }
     }
+    if (g.numChecks & 63)
+        return word == syndrome_words[g.numChecks >> 6];
     return true;
 }
 
 bool
 BpDecoder::decode(const BitVec& syndrome)
 {
-    CYCLONE_ASSERT(syndrome.size() == numChecks_,
+    CYCLONE_ASSERT(syndrome.size() == graph_->numChecks,
                    "syndrome length mismatch: " << syndrome.size()
-                   << " vs " << numChecks_);
+                   << " vs " << graph_->numChecks);
     std::fill(msgCheckToVar_.begin(), msgCheckToVar_.end(), 0.0f);
-    std::fill(hard_.begin(), hard_.end(), 0);
+    hard_.clear();
     bool verified = false;
     for (size_t iter = 0; iter < options_.maxIterations; ++iter) {
         posteriorUpdate();

@@ -11,16 +11,25 @@
  * single precision halves the working set of the edge loops (the BP
  * inner loops are memory-bound on qLDPC detector graphs) and is far
  * more resolution than min-sum/product-sum message passing needs —
- * hard decisions only depend on signs and coarse magnitudes.
+ * hard decisions only depend on signs and coarse magnitudes. The hard
+ * decision itself is bit-packed, so syndrome verification is a
+ * word-parity sweep over the check CSR instead of a byte load per
+ * edge.
+ *
+ * The Tanner graph lives in a shared immutable BpGraph so the scalar
+ * decoder and the lane-parallel wave kernel (bp_wave_decoder.h) walk
+ * the same CSR arrays.
  */
 
 #ifndef CYCLONE_DECODER_BP_DECODER_H
 #define CYCLONE_DECODER_BP_DECODER_H
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/bitvec.h"
+#include "decoder/bp_graph.h"
 #include "dem/dem.h"
 
 namespace cyclone {
@@ -41,6 +50,19 @@ struct BpOptions
     double minSumScale = 0.9;
     /** Message clamp magnitude. */
     double clamp = 50.0;
+
+    /**
+     * Lane width of the batched wave kernel: 0 picks the default
+     * (BpWaveDecoder::kDefaultLanes = 8 float lanes, one AVX2 ymm),
+     * 1 disables the wave kernel (the batch path decodes distinct
+     * syndromes one at a time through the scalar core), and other
+     * values round down to the nearest supported width (16, 8 or 4;
+     * 2 and 3 clamp up to 4). Purely a performance knob — every
+     * width produces bit-identical decodes (enforced by
+     * tests/test_wave_decoder.cc), so it is deliberately excluded
+     * from campaign content hashes.
+     */
+    size_t waveLanes = 0;
 };
 
 /** Belief-propagation decoder core. */
@@ -48,6 +70,10 @@ class BpDecoder
 {
   public:
     BpDecoder(const DetectorErrorModel& dem, BpOptions options = {});
+
+    /** Share a prebuilt graph (one per DEM, many decoder views). */
+    BpDecoder(std::shared_ptr<const BpGraph> graph,
+              BpOptions options = {});
 
     /**
      * Run BP on a syndrome.
@@ -58,8 +84,8 @@ class BpDecoder
      */
     bool decode(const BitVec& syndrome);
 
-    /** Hard decision per mechanism after the last decode. */
-    const std::vector<uint8_t>& hardDecision() const { return hard_; }
+    /** Bit-packed hard decision per mechanism after the last decode. */
+    const BitVec& hardDecision() const { return hard_; }
 
     /** Posterior log-likelihood ratios after the last decode. */
     const std::vector<float>& posteriorLlr() const { return posterior_; }
@@ -67,39 +93,31 @@ class BpDecoder
     /** Iterations consumed by the last decode. */
     size_t lastIterations() const { return lastIterations_; }
 
-    size_t numChecks() const { return numChecks_; }
-    size_t numVars() const { return numVars_; }
+    size_t numChecks() const { return graph_->numChecks; }
+    size_t numVars() const { return graph_->numVars; }
+
+    const std::shared_ptr<const BpGraph>& graph() const { return graph_; }
 
   private:
     void posteriorUpdate();
     void checkToVarUpdate(const BitVec& syndrome);
     bool syndromeMatches(const BitVec& syndrome) const;
 
+    std::shared_ptr<const BpGraph> graph_;
     BpOptions options_;
-    size_t numChecks_ = 0;
-    size_t numVars_ = 0;
     float clamp_ = 50.0f;
     float minSumScale_ = 0.9f;
 
-    std::vector<float> prior_;
-
-    // Edge storage (CSR by variable and by check, sharing edge ids).
-    std::vector<size_t> varOffset_;
-    std::vector<uint32_t> varEdgeCheck_;   // check of edge, in var order
-    std::vector<size_t> checkOffset_;
-    std::vector<uint32_t> checkEdgeVar_;   // var of edge, in check order
-    std::vector<uint32_t> checkSlotOfVarEdge_; // map var-CSR -> check-CSR
-
     // Only check-to-var messages are stored, in check-CSR order so the
     // check pass streams sequentially; the posterior pass gathers them
-    // through checkSlotOfVarEdge_. The var-to-check message of an edge
-    // is derived inside the check pass as
+    // through graph_->checkSlotOfVarEdge. The var-to-check message of
+    // an edge is derived inside the check pass as
     // clamp(posterior[v] - msgCheckToVar_[slot]) — identical floats to
     // materializing it, at half the message-array traffic.
     std::vector<float> msgCheckToVar_;     // indexed in check-CSR order
 
     std::vector<float> posterior_;
-    std::vector<uint8_t> hard_;
+    BitVec hard_;
     std::vector<float> tanhScratch_;
     std::vector<float> msgScratch_;
     bool hardChanged_ = false;

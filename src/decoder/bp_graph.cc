@@ -1,0 +1,56 @@
+#include "decoder/bp_graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cyclone {
+
+BpGraph::BpGraph(const DetectorErrorModel& dem)
+    : numChecks(dem.numDetectors), numVars(dem.mechanisms.size())
+{
+    prior.resize(numVars);
+    std::vector<size_t> check_degree(numChecks, 0);
+
+    varOffset.assign(numVars + 1, 0);
+    for (size_t v = 0; v < numVars; ++v) {
+        const DemMechanism& m = dem.mechanisms[v];
+        double p = std::clamp(m.probability, 1e-14, 1.0 - 1e-14);
+        prior[v] = static_cast<float>(std::log((1.0 - p) / p));
+        varOffset[v + 1] = varOffset[v] + m.detectors.size();
+        for (size_t j = 0; j < m.detectors.size(); ++j) {
+            const uint32_t d = m.detectors[j];
+            CYCLONE_ASSERT(d < numChecks, "mechanism detector "
+                           << d << " out of range");
+            ++check_degree[d];
+            if (j > 0 && m.detectors[j - 1] >= d)
+                varEdgesAscendByCheck = false;
+        }
+    }
+    numEdges = varOffset.back();
+
+    checkOffset.assign(numChecks + 1, 0);
+    for (size_t c = 0; c < numChecks; ++c) {
+        checkOffset[c + 1] = checkOffset[c] + check_degree[c];
+        maxCheckDegree = std::max(maxCheckDegree, check_degree[c]);
+    }
+
+    // Fill the check-side CSR in var order, recording each var-side
+    // edge's check-side slot as it lands.
+    checkEdgeVar.resize(numEdges);
+    checkSlotOfVarEdge.resize(numEdges);
+    std::vector<size_t> check_cursor(numChecks, 0);
+    for (size_t v = 0; v < numVars; ++v) {
+        const DemMechanism& m = dem.mechanisms[v];
+        for (size_t j = 0; j < m.detectors.size(); ++j) {
+            const uint32_t c = m.detectors[j];
+            const size_t slot = checkOffset[c] + check_cursor[c]++;
+            checkEdgeVar[slot] = static_cast<uint32_t>(v);
+            checkSlotOfVarEdge[varOffset[v] + j] =
+                static_cast<uint32_t>(slot);
+        }
+    }
+}
+
+} // namespace cyclone

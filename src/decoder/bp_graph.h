@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared Tanner-graph storage for the BP decoders.
+ *
+ * Both the scalar BpDecoder and the lane-parallel BpWaveDecoder walk
+ * the same detector graph: a variable-side CSR (for the posterior
+ * gather) and a check-side CSR (for the check-message pass and
+ * syndrome verification), sharing edge ids through the var-CSR ->
+ * check-CSR slot permutation. The graph is immutable after
+ * construction, so one BpGraph is built per detector error model and
+ * shared by every decoder view of it (BpOsdDecoder keeps one for its
+ * scalar core and its wave kernel).
+ */
+
+#ifndef CYCLONE_DECODER_BP_GRAPH_H
+#define CYCLONE_DECODER_BP_GRAPH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dem/dem.h"
+
+namespace cyclone {
+
+/** Immutable CSR Tanner graph + priors of a detector error model. */
+struct BpGraph
+{
+    explicit BpGraph(const DetectorErrorModel& dem);
+
+    size_t numChecks = 0;
+    size_t numVars = 0;
+    size_t numEdges = 0;
+    /** Largest check degree; sizes per-check scratch once, up front. */
+    size_t maxCheckDegree = 0;
+
+    /**
+     * True when every mechanism's detector list is strictly
+     * ascending (the DEM builder always emits sorted lists). Then a
+     * variable's var-CSR edge order equals ascending check order, so
+     * accumulating messages by streaming the check CSR adds the same
+     * floats in the same order as gathering per variable — the wave
+     * decoder's posterior pass uses the streaming (scatter) form,
+     * which is markedly cheaper on multi-MB lane-major message
+     * arrays.
+     */
+    bool varEdgesAscendByCheck = true;
+
+    /** Prior LLR log((1-p)/p) per variable. */
+    std::vector<float> prior;
+
+    // Variable-side CSR: edges of var v are varOffset[v] ..
+    // varOffset[v+1); checkSlotOfVarEdge maps each to its slot in the
+    // check-side CSR (where the messages live).
+    std::vector<size_t> varOffset;
+    std::vector<uint32_t> checkSlotOfVarEdge;
+
+    // Check-side CSR: edges of check c are checkOffset[c] ..
+    // checkOffset[c+1), each naming its variable.
+    std::vector<size_t> checkOffset;
+    std::vector<uint32_t> checkEdgeVar;
+};
+
+} // namespace cyclone
+
+#endif // CYCLONE_DECODER_BP_GRAPH_H

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Lane-parallel belief propagation: decode many shots per SIMD wave.
+ *
+ * The wave decoder runs the exact BpDecoder message schedule on up to
+ * L syndromes simultaneously. State is lane-major structure-of-arrays
+ * — msg[edge][lane], posterior[var][lane], priors broadcast across
+ * lanes — so the posterior gather and the min-sum / product-sum check
+ * pass become fixed-width inner loops over L floats that the compiler
+ * autovectorizes. Hard decisions are per-variable lane bitmasks, so
+ * syndrome verification collapses to one XOR per edge and one compare
+ * per check, simultaneously for every lane.
+ *
+ * Bit-exactness invariant: lanes never interact arithmetically. Each
+ * lane performs the same float operations, in the same order, as
+ * BpDecoder::decode on that lane's syndrome. A lane that converges is
+ * frozen — the check pass stops overwriting its messages (a masked
+ * blend), and because its messages no longer move, the unconditional
+ * posterior/hard recompute of later iterations reproduces its values
+ * bit-for-bit. Per-lane convergence iterations also match the scalar
+ * decoder: verification is evaluated every iteration here, and when
+ * the scalar decoder skips verification (no decision bit moved) the
+ * skipped result provably equals the reused one. The equivalence is
+ * enforced by tests/test_wave_decoder.cc across lane widths.
+ */
+
+#ifndef CYCLONE_DECODER_BP_WAVE_DECODER_H
+#define CYCLONE_DECODER_BP_WAVE_DECODER_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "decoder/bp_decoder.h"
+#include "decoder/bp_graph.h"
+
+namespace cyclone {
+
+/** BP over L syndrome lanes at once. */
+class BpWaveDecoder
+{
+  public:
+    /**
+     * Default lane width: 8 floats = one AVX2 ymm word. Measured on
+     * AVX2 hosts, 8 lanes beat 16: GCC lowers 64-byte generic vectors
+     * under AVX2 to poor code, and the wider group pays more
+     * frozen-lane waste per slow syndrome.
+     */
+    static constexpr size_t kDefaultLanes = 8;
+
+    /**
+     * Map a BpOptions::waveLanes request onto a supported width:
+     * 0 -> kDefaultLanes, otherwise round down to 16, 8 or 4 (requests
+     * below 4 clamp up to the narrowest kernel). A result of 1 is
+     * never returned here — callers treat waveLanes == 1 as "wave
+     * kernel disabled" and must not construct one.
+     */
+    static size_t resolveLaneWidth(size_t requested);
+
+    /**
+     * Whether this CPU can run the wave kernels (the kernel functions
+     * are compiled with target("avx2") on x86-64 builds). When false,
+     * BpOsdDecoder silently uses the scalar batch core instead;
+     * constructing or driving a BpWaveDecoder directly is then
+     * undefined. Always true on non-x86 builds.
+     */
+    static bool runtimeSupported();
+
+    BpWaveDecoder(std::shared_ptr<const BpGraph> graph,
+                  BpOptions options);
+
+    /** Lanes decoded per wave. */
+    size_t laneWidth() const { return laneWidth_; }
+
+    /**
+     * Decode syndromes[0..count) in parallel lanes (count must be in
+     * [1, laneWidth()]). Each syndrome must have numChecks bits. Lane
+     * results are readable through the accessors below until the next
+     * decodeWave call.
+     */
+    void decodeWave(const BitVec* const* syndromes, size_t count);
+
+    /** Whether lane's hard decision reproduced its syndrome. */
+    bool
+    laneConverged(size_t lane) const
+    {
+        return (convergedMask_ >> lane) & 1;
+    }
+
+    /** Iterations consumed by lane (== BpDecoder::lastIterations). */
+    uint32_t laneIterations(size_t lane) const { return iterations_[lane]; }
+
+    /** Copy lane's posterior LLRs into out (resized to numVars). */
+    void lanePosterior(size_t lane, std::vector<float>& out) const;
+
+    /** Copy lane's hard decision into out (resized to numVars bits). */
+    void laneHardDecision(size_t lane, BitVec& out) const;
+
+    size_t numChecks() const { return graph_->numChecks; }
+    size_t numVars() const { return graph_->numVars; }
+
+  private:
+    template <size_t L> void runWave(size_t count);
+    template <size_t L> void posteriorUpdateWave();
+    template <size_t L, bool MinSum, bool Masked>
+    void checkToVarUpdateWave();
+    /** Lane mask of lanes whose hard decision matches their syndrome. */
+    uint64_t verifyWave() const;
+
+    std::shared_ptr<const BpGraph> graph_;
+    BpOptions options_;
+    size_t laneWidth_ = kDefaultLanes;
+    float clamp_ = 50.0f;
+    float minSumScale_ = 0.9f;
+
+    // Lane-major state: element i*L + l is lane l's value of entity i.
+    std::vector<float> msg_;       ///< numEdges x L, check-CSR order.
+    std::vector<float> posterior_; ///< numVars x L.
+    std::vector<uint64_t> hardMask_; ///< per var: bit l = lane l's bit.
+    std::vector<uint64_t> synMask_;  ///< per check: lane syndrome bits.
+    std::vector<float> synSign_;     ///< numChecks x L: +-1 per lane.
+    std::vector<float> msgScratch_;  ///< maxCheckDegree x L.
+    std::vector<float> tanhScratch_; ///< maxCheckDegree x L.
+
+    /** Per-lane freeze blend: ~0u while active, 0 once converged. */
+    std::vector<uint32_t> laneActive_;
+    uint64_t activeMask_ = 0;
+    uint64_t convergedMask_ = 0;
+    uint32_t iterations_[64] = {};
+};
+
+} // namespace cyclone
+
+#endif // CYCLONE_DECODER_BP_WAVE_DECODER_H

@@ -1,8 +1,8 @@
 #include "decoder/bposd_decoder.h"
 
+#include <algorithm>
 #include <bit>
 
-#include "common/bit_transpose.h"
 #include "common/logging.h"
 
 namespace cyclone {
@@ -34,9 +34,53 @@ BpOsdStats::meanBpIterations() const
             static_cast<double>(bpDecodes);
 }
 
+double
+BpOsdStats::waveLaneOccupancy() const
+{
+    return waveLaneSlots == 0
+        ? 0.0
+        : static_cast<double>(waveLanesFilled) /
+            static_cast<double>(waveLaneSlots);
+}
+
 BpOsdDecoder::BpOsdDecoder(const DetectorErrorModel& dem, BpOptions options)
-    : dem_(dem), bp_(dem, options), osd_(dem)
+    : dem_(dem), graph_(std::make_shared<const BpGraph>(dem)),
+      options_(options),
+      // On a CPU that cannot run the (AVX2-targeted) wave kernels the
+      // batch path falls back to the scalar core — identical results,
+      // the wave is purely a throughput feature.
+      waveEnabled_(options.waveLanes != 1 &&
+                   BpWaveDecoder::runtimeSupported()),
+      bp_(graph_, options), osd_(dem)
 {}
+
+uint64_t
+BpOsdDecoder::observablesOf(const BitVec& errors) const
+{
+    uint64_t obs = 0;
+    const std::vector<uint64_t>& words = errors.words();
+    for (size_t w = 0; w < words.size(); ++w) {
+        uint64_t word = words[w];
+        while (word != 0) {
+            const size_t v = w * 64 +
+                static_cast<size_t>(std::countr_zero(word));
+            word &= word - 1;
+            obs ^= dem_.mechanisms[v].observables;
+        }
+    }
+    return obs;
+}
+
+uint64_t
+BpOsdDecoder::observablesOf(const std::vector<uint8_t>& errors) const
+{
+    uint64_t obs = 0;
+    for (size_t v = 0; v < errors.size(); ++v) {
+        if (errors[v])
+            obs ^= dem_.mechanisms[v].observables;
+    }
+    return obs;
+}
 
 BpOsdDecoder::DecodeOutcome
 BpOsdDecoder::decodeCore(const BitVec& syndrome)
@@ -45,22 +89,43 @@ BpOsdDecoder::decodeCore(const BitVec& syndrome)
     outcome.converged = bp_.decode(syndrome);
     outcome.iterations = static_cast<uint32_t>(bp_.lastIterations());
 
-    const std::vector<uint8_t>* errors = &bp_.hardDecision();
-    if (!outcome.converged) {
-        if (osd_.decode(syndrome, bp_.posteriorLlr(), errorScratch_)) {
-            errors = &errorScratch_;
-        } else {
-            // Syndrome outside the DEM column span; keep the BP guess.
-            outcome.osdFailed = true;
-        }
+    if (outcome.converged) {
+        outcome.observables = observablesOf(bp_.hardDecision());
+    } else if (osd_.decode(syndrome, bp_.posteriorLlr(),
+                           errorScratch_)) {
+        outcome.observables = observablesOf(errorScratch_);
+    } else {
+        // Syndrome outside the DEM column span; keep the BP guess.
+        outcome.osdFailed = true;
+        outcome.observables = observablesOf(bp_.hardDecision());
     }
+    return outcome;
+}
 
-    uint64_t obs = 0;
-    for (size_t v = 0; v < errors->size(); ++v) {
-        if ((*errors)[v])
-            obs ^= dem_.mechanisms[v].observables;
+BpOsdDecoder::DecodeOutcome
+BpOsdDecoder::waveLaneOutcome(size_t lane, const BitVec& syndrome)
+{
+    // Mirror of decodeCore over one wave lane: the lane's posterior
+    // and hard decision are float/bit-identical to what the scalar
+    // core would have produced for this syndrome, so the OSD fallback
+    // sees exactly the same inputs.
+    DecodeOutcome outcome;
+    outcome.converged = wave_->laneConverged(lane);
+    outcome.iterations = wave_->laneIterations(lane);
+
+    if (outcome.converged) {
+        wave_->laneHardDecision(lane, hardScratch_);
+        outcome.observables = observablesOf(hardScratch_);
+        return outcome;
     }
-    outcome.observables = obs;
+    wave_->lanePosterior(lane, posteriorScratch_);
+    if (osd_.decode(syndrome, posteriorScratch_, errorScratch_)) {
+        outcome.observables = observablesOf(errorScratch_);
+    } else {
+        outcome.osdFailed = true;
+        wave_->laneHardDecision(lane, hardScratch_);
+        outcome.observables = observablesOf(hardScratch_);
+    }
     return outcome;
 }
 
@@ -107,12 +172,13 @@ BpOsdDecoder::decodeBatch(const ShotBatch& batch,
     memoEntries_.clear();
     memoIndex_.clear();
 
-    const size_t syndrome_words = (batch.numDetectors + 63) / 64;
-    waveScratch_.resize(64 * syndrome_words);
+    const size_t syndrome_words = batch.syndromeWords();
     if (syndromeScratch_.size() != batch.numDetectors)
         syndromeScratch_.resize(batch.numDetectors);
 
-    const size_t stride = batch.wordsPerDetector();
+    // Pass 1: group. Shots with detection events are bucketed by
+    // distinct syndrome; each distinct syndrome is decoded exactly
+    // once in pass 2 and replayed onto all its shots in pass 3.
     for (size_t wave = 0; wave < batch.numWaves(); ++wave) {
         const uint64_t valid = batch.waveMask(wave);
         const uint64_t active = batch.activeMask(wave) & valid;
@@ -129,22 +195,21 @@ BpOsdDecoder::decodeBatch(const ShotBatch& batch,
 
         // Shot-major view of this wave's syndromes (zero-padded rows
         // keep bits past numDetectors clear).
-        transposeWave64(batch.words.data() + wave, batch.numDetectors,
-                        stride, waveScratch_.data(), syndrome_words);
+        batch.extractWave(wave, waveScratch_);
 
         uint64_t pending = active;
         while (pending) {
             const size_t s =
                 static_cast<size_t>(std::countr_zero(pending));
             pending &= pending - 1;
-            const size_t shot = wave * 64 + s;
+            const uint32_t shot = static_cast<uint32_t>(wave * 64 + s);
             syndromeScratch_.assignWords(
                 waveScratch_.data() + s * syndrome_words,
                 syndrome_words);
 
             const uint64_t key = syndromeScratch_.hash();
             std::vector<uint32_t>& bucket = memoIndex_[key];
-            const MemoEntry* hit = nullptr;
+            MemoEntry* hit = nullptr;
             for (uint32_t idx : bucket) {
                 if (memoEntries_[idx].syndrome == syndromeScratch_) {
                     hit = &memoEntries_[idx];
@@ -152,22 +217,70 @@ BpOsdDecoder::decodeBatch(const ShotBatch& batch,
                 }
             }
             if (hit != nullptr) {
-                // Replay the memoized outcome and its statistics: the
-                // aggregate counters stay exactly what per-shot
-                // decoding would have produced.
-                ++stats_.memoHits;
-                applyOutcomeStats(hit->outcome);
-                predicted[shot] = hit->outcome.observables;
+                hit->shots.push_back(shot);
                 continue;
             }
-
-            const DecodeOutcome outcome =
-                decodeCore(syndromeScratch_);
-            applyOutcomeStats(outcome);
-            predicted[shot] = outcome.observables;
             bucket.push_back(
                 static_cast<uint32_t>(memoEntries_.size()));
-            memoEntries_.push_back({syndromeScratch_, outcome});
+            MemoEntry entry;
+            entry.syndrome = syndromeScratch_;
+            entry.weight = entry.syndrome.popcount();
+            entry.shots.push_back(shot);
+            memoEntries_.push_back(std::move(entry));
+        }
+    }
+
+    // Pass 2: decode each distinct syndrome — lane groups through the
+    // wave kernel, or one at a time through the scalar core when the
+    // wave kernel is disabled (waveLanes == 1).
+    if (waveEnabled_ && wave_ == nullptr && !memoEntries_.empty())
+        wave_ = std::make_unique<BpWaveDecoder>(graph_, options_);
+    if (wave_ != nullptr) {
+        // A lane group iterates until its slowest lane converges, so
+        // group syndromes of similar weight together: weight tracks
+        // BP difficulty, which keeps fast lanes from idling behind
+        // one hard syndrome. Ordering cannot change any outcome —
+        // lanes never interact — it only reduces frozen-lane waste.
+        // The stable sort keeps the grouping deterministic.
+        laneOrder_.resize(memoEntries_.size());
+        for (size_t i = 0; i < laneOrder_.size(); ++i)
+            laneOrder_[i] = static_cast<uint32_t>(i);
+        std::stable_sort(
+            laneOrder_.begin(), laneOrder_.end(),
+            [&](uint32_t a, uint32_t b) {
+                return memoEntries_[a].weight < memoEntries_[b].weight;
+            });
+
+        const size_t L = wave_->laneWidth();
+        const BitVec* lanes[64];
+        for (size_t group = 0; group < laneOrder_.size(); group += L) {
+            const size_t count =
+                std::min(L, laneOrder_.size() - group);
+            for (size_t i = 0; i < count; ++i)
+                lanes[i] = &memoEntries_[laneOrder_[group + i]].syndrome;
+            wave_->decodeWave(lanes, count);
+            ++stats_.waveGroups;
+            stats_.waveLaneSlots += L;
+            stats_.waveLanesFilled += count;
+            for (size_t i = 0; i < count; ++i) {
+                MemoEntry& entry = memoEntries_[laneOrder_[group + i]];
+                entry.outcome = waveLaneOutcome(i, entry.syndrome);
+            }
+        }
+    } else {
+        for (MemoEntry& entry : memoEntries_)
+            entry.outcome = decodeCore(entry.syndrome);
+    }
+
+    // Pass 3: replay each outcome — and its statistics — onto every
+    // shot that carried the syndrome, so the aggregate counters stay
+    // exactly what per-shot decoding would have produced.
+    for (const MemoEntry& entry : memoEntries_) {
+        for (size_t j = 0; j < entry.shots.size(); ++j) {
+            if (j > 0)
+                ++stats_.memoHits;
+            applyOutcomeStats(entry.outcome);
+            predicted[entry.shots[j]] = entry.outcome.observables;
         }
     }
 }

@@ -11,20 +11,25 @@
  * The batched entry point decodeBatch() exploits the sub-threshold
  * structure of Monte-Carlo shots: whole 64-shot waves are tested for
  * detection events with one packed OR sweep (zero-syndrome shots skip
- * BP entirely), and a per-batch memo decodes each distinct syndrome
- * once, replaying the result — and its statistics — for duplicates.
- * Both fast paths reproduce exactly what per-shot decoding would
- * return (BP is deterministic per syndrome and converges trivially on
- * the zero syndrome), so batch and scalar decoding are bit-identical.
+ * BP entirely), a per-batch memo decodes each distinct syndrome once
+ * and replays the result — and its statistics — for duplicates, and
+ * the surviving distinct syndromes are decoded L at a time by the
+ * lane-parallel wave kernel (bp_wave_decoder.h), whose per-lane
+ * posteriors seed OSD exactly as the scalar core would. Every fast
+ * path reproduces what per-shot decoding would return bit-for-bit
+ * (BP is deterministic per syndrome, lanes never interact), so batch
+ * and scalar decoding are bit-identical at any lane width.
  */
 
 #ifndef CYCLONE_DECODER_BPOSD_DECODER_H
 #define CYCLONE_DECODER_BPOSD_DECODER_H
 
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "decoder/bp_decoder.h"
+#include "decoder/bp_wave_decoder.h"
 #include "decoder/decoder.h"
 #include "decoder/osd.h"
 
@@ -52,6 +57,15 @@ struct BpOsdStats
      *  trivial shots contribute zero). */
     size_t bpIterations = 0;
 
+    /** Wave-kernel invocations of the batched decode path. */
+    size_t waveGroups = 0;
+
+    /** Lane slots offered across those invocations (groups x width). */
+    size_t waveLaneSlots = 0;
+
+    /** Lane slots that carried a real distinct syndrome. */
+    size_t waveLanesFilled = 0;
+
     /** Fraction of decodes resolved by the zero-syndrome fast path. */
     double trivialFraction() const;
 
@@ -60,6 +74,9 @@ struct BpOsdStats
 
     /** Mean BP iterations over non-trivial decodes. */
     double meanBpIterations() const;
+
+    /** Mean filled fraction of wave-kernel lanes (0 when unused). */
+    double waveLaneOccupancy() const;
 };
 
 /** BP + OSD-0 decoder over a detector error model. */
@@ -68,24 +85,34 @@ class BpOsdDecoder : public Decoder
   public:
     /**
      * @param dem detector error model; must outlive the decoder
-     * @param options BP configuration
+     * @param options BP configuration (options.waveLanes selects the
+     *        batch path's lane width; 1 disables the wave kernel)
      */
     explicit BpOsdDecoder(const DetectorErrorModel& dem,
                           BpOptions options = {});
 
-    /** Decode one shot (thin wrapper over the batch decode core). */
+    /** Decode one shot (thin wrapper over the scalar decode core). */
     uint64_t decode(const BitVec& syndrome) override;
 
     /**
-     * Decode a packed batch with the zero-syndrome fast path and the
-     * per-batch duplicate-syndrome memo. Bit-identical to calling
-     * decode() on every unpacked shot, at a fraction of the cost in
-     * the sub-threshold regime.
+     * Decode a packed batch: zero-syndrome fast path, per-batch
+     * duplicate-syndrome memo, lane-parallel BP over the surviving
+     * distinct syndromes. Bit-identical to calling decode() on every
+     * unpacked shot, at a fraction of the cost.
      */
     void decodeBatch(const ShotBatch& batch,
                      std::vector<uint64_t>& predicted) override;
 
     const BpOsdStats& stats() const { return stats_; }
+
+    /** Lane width of the batched wave kernel (1 = disabled). */
+    size_t
+    waveLaneWidth() const
+    {
+        return waveEnabled_
+            ? BpWaveDecoder::resolveLaneWidth(options_.waveLanes)
+            : 1;
+    }
 
   private:
     /** What one full BP(+OSD) solve did, for stats and memo replay. */
@@ -101,22 +128,36 @@ class BpOsdDecoder : public Decoder
     struct MemoEntry
     {
         BitVec syndrome;
+        size_t weight = 0; ///< syndrome.popcount(), cached for sorting.
         DecodeOutcome outcome;
+        std::vector<uint32_t> shots; ///< Shots carrying this syndrome.
     };
 
     DecodeOutcome decodeCore(const BitVec& syndrome);
+    DecodeOutcome waveLaneOutcome(size_t lane, const BitVec& syndrome);
     void applyOutcomeStats(const DecodeOutcome& outcome);
+    uint64_t observablesOf(const BitVec& errors) const;
+    uint64_t observablesOf(const std::vector<uint8_t>& errors) const;
 
     const DetectorErrorModel& dem_;
+    std::shared_ptr<const BpGraph> graph_;
+    BpOptions options_;
+    bool waveEnabled_ = false;
     BpDecoder bp_;
+    /** Lazily built on the first decodeBatch (the wave state is
+     *  numEdges x L floats — per-shot-only users never pay for it). */
+    std::unique_ptr<BpWaveDecoder> wave_;
     OsdDecoder osd_;
     BpOsdStats stats_;
     std::vector<uint8_t> errorScratch_;
+    std::vector<float> posteriorScratch_;
+    BitVec hardScratch_;
 
     // decodeBatch scratch, reused across calls.
     BitVec syndromeScratch_;
     std::vector<uint64_t> waveScratch_;
     std::vector<MemoEntry> memoEntries_;
+    std::vector<uint32_t> laneOrder_;
     std::unordered_map<uint64_t, std::vector<uint32_t>> memoIndex_;
 };
 

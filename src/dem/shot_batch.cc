@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/bit_transpose.h"
 #include "common/logging.h"
 
 namespace cyclone {
@@ -35,6 +36,16 @@ ShotBatch::activeMask(size_t wave) const
     for (size_t d = 0; d < numDetectors; ++d)
         any |= words[d * stride + wave];
     return any;
+}
+
+void
+ShotBatch::extractWave(size_t wave, std::vector<uint64_t>& out) const
+{
+    CYCLONE_ASSERT(wave < numWaves(), "wave " << wave << " out of range");
+    const size_t rows = syndromeWords();
+    out.resize(64 * rows);
+    transposeWave64(words.data() + wave, numDetectors,
+                    wordsPerDetector(), out.data(), rows);
 }
 
 BitVec

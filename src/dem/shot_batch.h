@@ -97,6 +97,21 @@ struct ShotBatch
      */
     uint64_t activeMask(size_t wave) const;
 
+    /** Words needed to hold one shot's syndrome bit-packed. */
+    size_t
+    syndromeWords() const
+    {
+        return (numDetectors + 63) / 64;
+    }
+
+    /**
+     * Shot-major view of wave w: `out` is resized to 64 syndrome rows
+     * of syndromeWords() words each; row s holds the packed syndrome
+     * of shot 64w + s, zero-padded past numDetectors (the BitVec tail
+     * invariant, so rows can be adopted via BitVec::assignWords).
+     */
+    void extractWave(size_t wave, std::vector<uint64_t>& out) const;
+
     /** Unpack one shot's syndrome as a BitVec (tests, slow paths). */
     BitVec syndromeOf(size_t shot) const;
 };

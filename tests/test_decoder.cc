@@ -59,8 +59,7 @@ TEST(BpDecoder, TrivialSyndromeConvergesToZero)
     BpDecoder bp(dem);
     BitVec syndrome(dem.numDetectors);
     EXPECT_TRUE(bp.decode(syndrome));
-    for (uint8_t e : bp.hardDecision())
-        EXPECT_EQ(e, 0);
+    EXPECT_EQ(bp.hardDecision().popcount(), 0u);
     EXPECT_EQ(bp.lastIterations(), 0u);
 }
 
@@ -73,12 +72,9 @@ TEST(BpDecoder, SingleFlipDecoded)
     syndrome.set(2, true);
     syndrome.set(3, true);
     ASSERT_TRUE(bp.decode(syndrome));
-    const auto& hard = bp.hardDecision();
-    EXPECT_EQ(hard[3], 1);
-    size_t weight = 0;
-    for (uint8_t e : hard)
-        weight += e;
-    EXPECT_EQ(weight, 1u);
+    const BitVec& hard = bp.hardDecision();
+    EXPECT_TRUE(hard.get(3));
+    EXPECT_EQ(hard.popcount(), 1u);
 }
 
 TEST(BpDecoder, BoundaryFlipDecoded)
@@ -88,7 +84,7 @@ TEST(BpDecoder, BoundaryFlipDecoded)
     BitVec syndrome(dem.numDetectors);
     syndrome.set(0, true); // only mechanism 0 or a long chain explains
     ASSERT_TRUE(bp.decode(syndrome));
-    EXPECT_EQ(bp.hardDecision()[0], 1);
+    EXPECT_TRUE(bp.hardDecision().get(0));
 }
 
 TEST(BpDecoder, ProductSumVariantAlsoDecodes)
@@ -101,7 +97,7 @@ TEST(BpDecoder, ProductSumVariantAlsoDecodes)
     syndrome.set(4, true);
     syndrome.set(5, true);
     ASSERT_TRUE(bp.decode(syndrome));
-    EXPECT_EQ(bp.hardDecision()[5], 1);
+    EXPECT_TRUE(bp.hardDecision().get(5));
 }
 
 TEST(OsdDecoder, SolvesEverySingleMechanismSyndrome)

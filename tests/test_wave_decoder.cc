@@ -1,0 +1,397 @@
+/**
+ * @file
+ * Tests for the lane-parallel BP wave kernel: bit-exactness against
+ * the scalar decoder (convergence, iteration counts, posteriors and
+ * hard decisions, per lane), ragged lane groups, early convergence,
+ * max-iteration non-convergence, and the batched decode pipeline at
+ * every supported lane width — including its interplay with the
+ * zero-syndrome fast path and the duplicate-syndrome memo.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuit/memory_circuit.h"
+#include "common/rng.h"
+#include "decoder/bp_wave_decoder.h"
+#include "decoder/bposd_decoder.h"
+#include "dem/dem_builder.h"
+#include "dem/dem_sampler.h"
+#include "qec/classical_code.h"
+#include "qec/hgp_code.h"
+#include "qec/schedule.h"
+
+namespace cyclone {
+namespace {
+
+/**
+ * Skip kernel-driving tests on CPUs that cannot run the wave kernels
+ * (x86-64 builds compile them with target("avx2")); the product path
+ * falls back to the scalar core there, which test_shot_batch.cc
+ * covers.
+ */
+#define SKIP_WITHOUT_WAVE_SUPPORT()                                    \
+    do {                                                               \
+        if (!BpWaveDecoder::runtimeSupported())                        \
+            GTEST_SKIP() << "wave kernels unsupported on this CPU";    \
+    } while (0)
+
+/** Hand-built repetition-code DEM: chain of detectors. */
+DetectorErrorModel
+repetitionDem(size_t n, double p)
+{
+    DetectorErrorModel dem;
+    dem.numDetectors = n - 1;
+    dem.numObservables = 1;
+    for (size_t i = 0; i < n; ++i) {
+        DemMechanism m;
+        m.probability = p;
+        if (i > 0)
+            m.detectors.push_back(static_cast<uint32_t>(i - 1));
+        if (i < n - 1)
+            m.detectors.push_back(static_cast<uint32_t>(i));
+        m.observables = i == n - 1 ? 1 : 0;
+        dem.mechanisms.push_back(std::move(m));
+    }
+    return dem;
+}
+
+DetectorErrorModel
+surface13Dem(double p, size_t rounds = 2)
+{
+    CssCode code = makeHgpCode(ClassicalCode::repetition(3), 3);
+    SyndromeSchedule sched = makeXThenZSchedule(code);
+    MemoryCircuitOptions opts;
+    opts.rounds = rounds;
+    opts.noise = NoiseModel::uniform(p);
+    Circuit circuit = buildZMemoryCircuit(code, sched, opts);
+    return buildDetectorErrorModel(circuit);
+}
+
+/** What the scalar decoder did on one syndrome. */
+struct ScalarRef
+{
+    bool converged = false;
+    size_t iterations = 0;
+    std::vector<float> posterior;
+    BitVec hard;
+};
+
+ScalarRef
+scalarReference(BpDecoder& bp, const BitVec& syndrome)
+{
+    ScalarRef ref;
+    ref.converged = bp.decode(syndrome);
+    ref.iterations = bp.lastIterations();
+    ref.posterior = bp.posteriorLlr();
+    ref.hard = bp.hardDecision();
+    return ref;
+}
+
+/**
+ * Decode `syndromes` in lane groups through a BpWaveDecoder and
+ * require every lane to reproduce the scalar decoder bit-for-bit:
+ * convergence flag, iteration count, every posterior float and every
+ * hard-decision bit.
+ */
+void
+expectWaveMatchesScalar(const DetectorErrorModel& dem, BpOptions options,
+                        const std::vector<BitVec>& syndromes,
+                        const char* label)
+{
+    auto graph = std::make_shared<const BpGraph>(dem);
+    BpDecoder scalar(graph, options);
+    BpWaveDecoder wave(graph, options);
+    const size_t L = wave.laneWidth();
+
+    std::vector<float> lane_posterior;
+    BitVec lane_hard;
+    const BitVec* lanes[64];
+    for (size_t group = 0; group < syndromes.size(); group += L) {
+        const size_t count = std::min(L, syndromes.size() - group);
+        for (size_t i = 0; i < count; ++i)
+            lanes[i] = &syndromes[group + i];
+        wave.decodeWave(lanes, count);
+        for (size_t i = 0; i < count; ++i) {
+            const ScalarRef ref =
+                scalarReference(scalar, syndromes[group + i]);
+            ASSERT_EQ(wave.laneConverged(i), ref.converged)
+                << label << " group=" << group << " lane=" << i;
+            ASSERT_EQ(wave.laneIterations(i), ref.iterations)
+                << label << " group=" << group << " lane=" << i;
+            wave.lanePosterior(i, lane_posterior);
+            ASSERT_EQ(lane_posterior.size(), ref.posterior.size());
+            for (size_t v = 0; v < lane_posterior.size(); ++v) {
+                // Exact float equality: lanes must not perturb the
+                // arithmetic in any way.
+                ASSERT_EQ(lane_posterior[v], ref.posterior[v])
+                    << label << " group=" << group << " lane=" << i
+                    << " var=" << v;
+            }
+            wave.laneHardDecision(i, lane_hard);
+            ASSERT_EQ(lane_hard, ref.hard)
+                << label << " group=" << group << " lane=" << i;
+        }
+    }
+}
+
+std::vector<BitVec>
+sampledSyndromes(const DetectorErrorModel& dem, size_t shots,
+                 uint64_t seed)
+{
+    Rng rng(seed);
+    DemShots sampled;
+    sampleDemInto(dem, shots, rng, sampled);
+    return std::move(sampled.syndromes);
+}
+
+TEST(WaveDecoder, ResolvesLaneWidths)
+{
+    EXPECT_EQ(BpWaveDecoder::resolveLaneWidth(0),
+              BpWaveDecoder::kDefaultLanes);
+    EXPECT_EQ(BpWaveDecoder::resolveLaneWidth(2), 4u);
+    EXPECT_EQ(BpWaveDecoder::resolveLaneWidth(4), 4u);
+    EXPECT_EQ(BpWaveDecoder::resolveLaneWidth(7), 4u);
+    EXPECT_EQ(BpWaveDecoder::resolveLaneWidth(8), 8u);
+    EXPECT_EQ(BpWaveDecoder::resolveLaneWidth(15), 8u);
+    EXPECT_EQ(BpWaveDecoder::resolveLaneWidth(16), 16u);
+    EXPECT_EQ(BpWaveDecoder::resolveLaneWidth(64), 16u);
+}
+
+TEST(WaveDecoder, BitExactAgainstScalarAcrossLaneWidthsAndVariants)
+{
+    SKIP_WITHOUT_WAVE_SUPPORT();
+    const auto dem = surface13Dem(0.01);
+    const auto syndromes = sampledSyndromes(dem, 70, 0xabc);
+    for (const auto variant : {BpOptions::Variant::MinSum,
+                               BpOptions::Variant::ProductSum}) {
+        for (size_t lanes : {4u, 8u, 16u}) {
+            BpOptions options;
+            options.variant = variant;
+            options.waveLanes = lanes;
+            expectWaveMatchesScalar(
+                dem, options, syndromes,
+                variant == BpOptions::Variant::MinSum ? "min-sum"
+                                                      : "product-sum");
+        }
+    }
+}
+
+TEST(WaveDecoder, RaggedGroupsMatchScalarAtEveryCount)
+{
+    SKIP_WITHOUT_WAVE_SUPPORT();
+    // Every partial lane count from 1 to L-1 must behave exactly like
+    // a full group: idle lanes are frozen from the start and never
+    // perturb real ones.
+    const auto dem = surface13Dem(0.012);
+    const auto syndromes = sampledSyndromes(dem, 15, 0x7a9);
+    ASSERT_EQ(syndromes.size(), 15u);
+    BpOptions options;
+    options.waveLanes = 16;
+    expectWaveMatchesScalar(dem, options, syndromes, "ragged-15");
+
+    // And a count of 1: the degenerate single-lane wave.
+    std::vector<BitVec> one(syndromes.begin(), syndromes.begin() + 1);
+    expectWaveMatchesScalar(dem, options, one, "ragged-1");
+}
+
+TEST(WaveDecoder, AllLanesConvergeEarlyFreezeIsExact)
+{
+    SKIP_WITHOUT_WAVE_SUPPORT();
+    // Single-fault syndromes on a repetition chain: BP converges on
+    // every lane within a few iterations, at lane-dependent times, so
+    // the per-lane freeze logic is exercised while the whole group
+    // still finishes well before maxIterations.
+    const auto dem = repetitionDem(24, 0.02);
+    std::vector<BitVec> syndromes;
+    for (size_t v = 0; v < dem.mechanisms.size(); ++v) {
+        BitVec syndrome(dem.numDetectors);
+        for (uint32_t d : dem.mechanisms[v].detectors)
+            syndrome.set(d, true);
+        syndromes.push_back(std::move(syndrome));
+    }
+    BpOptions options;
+    options.waveLanes = 8;
+    expectWaveMatchesScalar(dem, options, syndromes, "single-faults");
+
+    auto graph = std::make_shared<const BpGraph>(dem);
+    BpWaveDecoder wave(graph, options);
+    const BitVec* lanes[8];
+    for (size_t i = 0; i < 8; ++i)
+        lanes[i] = &syndromes[i + 1];
+    wave.decodeWave(lanes, 8);
+    for (size_t i = 0; i < 8; ++i) {
+        EXPECT_TRUE(wave.laneConverged(i)) << "lane " << i;
+        EXPECT_LT(wave.laneIterations(i), options.maxIterations)
+            << "lane " << i;
+    }
+}
+
+TEST(WaveDecoder, MaxIterationNonConvergenceMatchesScalar)
+{
+    SKIP_WITHOUT_WAVE_SUPPORT();
+    // A starved iteration budget forces the non-convergence epilogue
+    // (final posterior pass + last-chance verification) on most lanes.
+    const auto dem = surface13Dem(0.02);
+    const auto syndromes = sampledSyndromes(dem, 40, 0x90d);
+    for (size_t max_iters : {0u, 1u, 3u}) {
+        BpOptions options;
+        options.maxIterations = max_iters;
+        options.waveLanes = 8;
+        expectWaveMatchesScalar(dem, options, syndromes, "starved");
+    }
+}
+
+/** Decode every scalar-sampled shot with a fresh decoder. */
+std::vector<uint64_t>
+scalarPredictions(const DetectorErrorModel& dem, const DemShots& shots,
+                  const BpOptions& bp, BpOsdStats* stats_out = nullptr)
+{
+    BpOsdDecoder decoder(dem, bp);
+    std::vector<uint64_t> out;
+    out.reserve(shots.syndromes.size());
+    for (const BitVec& syndrome : shots.syndromes)
+        out.push_back(decoder.decode(syndrome));
+    if (stats_out != nullptr)
+        *stats_out = decoder.stats();
+    return out;
+}
+
+TEST(WaveDecoder, DecodeBatchBitIdenticalAcrossLaneWidths)
+{
+    SKIP_WITHOUT_WAVE_SUPPORT();
+    // The full batched pipeline (fast path + memo + wave kernel +
+    // OSD fallback) must produce identical predictions AND identical
+    // aggregate statistics at every lane width, including the
+    // wave-disabled width 1.
+    const auto dem = surface13Dem(0.008);
+    const size_t shots = 180;
+    Rng scalar_rng(41);
+    DemShots scalar_shots;
+    sampleDemInto(dem, shots, scalar_rng, scalar_shots);
+    Rng batch_rng(41);
+    ShotBatch batch;
+    sampleDemBatch(dem, shots, batch_rng, batch);
+
+    for (const auto variant : {BpOptions::Variant::MinSum,
+                               BpOptions::Variant::ProductSum}) {
+        BpOptions bp;
+        bp.variant = variant;
+        BpOsdStats scalar_stats;
+        const std::vector<uint64_t> expected =
+            scalarPredictions(dem, scalar_shots, bp, &scalar_stats);
+        EXPECT_EQ(scalar_stats.waveGroups, 0u);
+        EXPECT_DOUBLE_EQ(scalar_stats.waveLaneOccupancy(), 0.0);
+
+        for (size_t lanes : {1u, 4u, 8u, 16u}) {
+            bp.waveLanes = lanes;
+            BpOsdDecoder decoder(dem, bp);
+            EXPECT_EQ(decoder.waveLaneWidth(), lanes == 1 ? 1u : lanes);
+            std::vector<uint64_t> got;
+            decoder.decodeBatch(batch, got);
+            ASSERT_EQ(got.size(), shots);
+            for (size_t s = 0; s < shots; ++s)
+                ASSERT_EQ(got[s], expected[s])
+                    << "lanes=" << lanes << " s=" << s;
+
+            const BpOsdStats& st = decoder.stats();
+            EXPECT_EQ(st.decodes, scalar_stats.decodes);
+            EXPECT_EQ(st.bpConverged, scalar_stats.bpConverged);
+            EXPECT_EQ(st.osdInvocations, scalar_stats.osdInvocations);
+            EXPECT_EQ(st.osdFailures, scalar_stats.osdFailures);
+            EXPECT_EQ(st.trivialShots, scalar_stats.trivialShots);
+            EXPECT_EQ(st.bpIterations, scalar_stats.bpIterations);
+
+            // Lane accounting: every distinct non-trivial syndrome
+            // occupies exactly one filled lane slot.
+            const size_t distinct =
+                st.decodes - st.trivialShots - st.memoHits;
+            if (lanes == 1) {
+                EXPECT_EQ(st.waveGroups, 0u);
+                EXPECT_EQ(st.waveLanesFilled, 0u);
+            } else {
+                EXPECT_EQ(st.waveLanesFilled, distinct);
+                EXPECT_EQ(st.waveLaneSlots, st.waveGroups * lanes);
+                EXPECT_GE(st.waveLaneSlots, st.waveLanesFilled);
+                EXPECT_GT(st.waveLaneOccupancy(), 0.0);
+                EXPECT_LE(st.waveLaneOccupancy(), 1.0);
+            }
+        }
+    }
+}
+
+TEST(WaveDecoder, DescendingDetectorListsUseExactGatherFallback)
+{
+    SKIP_WITHOUT_WAVE_SUPPORT();
+    // Mechanisms listing their detectors in descending order defeat
+    // the scatter form of the wave posterior pass (the streaming
+    // order would no longer match the scalar gather order); the graph
+    // must flag it and the wave decoder must stay bit-exact through
+    // the gather fallback.
+    DetectorErrorModel dem;
+    dem.numDetectors = 6;
+    dem.numObservables = 1;
+    for (size_t i = 0; i + 1 < dem.numDetectors; ++i) {
+        DemMechanism m;
+        m.probability = 0.04;
+        m.detectors.push_back(static_cast<uint32_t>(i + 1));
+        m.detectors.push_back(static_cast<uint32_t>(i)); // descending
+        m.observables = i == 0 ? 1 : 0;
+        dem.mechanisms.push_back(std::move(m));
+    }
+    auto graph = std::make_shared<const BpGraph>(dem);
+    EXPECT_FALSE(graph->varEdgesAscendByCheck);
+    EXPECT_TRUE(
+        std::make_shared<const BpGraph>(repetitionDem(5, 0.1))
+            ->varEdgesAscendByCheck);
+
+    const auto syndromes = sampledSyndromes(dem, 40, 0x51);
+    BpOptions options;
+    options.waveLanes = 8;
+    expectWaveMatchesScalar(dem, options, syndromes, "descending");
+}
+
+TEST(WaveDecoder, MemoInterplayReplaysWaveOutcomes)
+{
+    SKIP_WITHOUT_WAVE_SUPPORT();
+    // Tiny DEM at high p: a 512-shot batch holds only a handful of
+    // distinct syndromes, so the wave kernel sees each exactly once
+    // and the memo replays its outcome onto every duplicate.
+    const auto dem = repetitionDem(5, 0.2);
+    const size_t shots = 512;
+    Rng scalar_rng(3);
+    DemShots scalar_shots;
+    sampleDemInto(dem, shots, scalar_rng, scalar_shots);
+    Rng batch_rng(3);
+    ShotBatch batch;
+    sampleDemBatch(dem, shots, batch_rng, batch);
+
+    BpOsdStats scalar_stats;
+    const std::vector<uint64_t> expected = scalarPredictions(
+        dem, scalar_shots, BpOptions{}, &scalar_stats);
+
+    BpOptions bp;
+    bp.waveLanes = 4;
+    BpOsdDecoder decoder(dem, bp);
+    std::vector<uint64_t> got;
+    decoder.decodeBatch(batch, got);
+    for (size_t s = 0; s < shots; ++s)
+        ASSERT_EQ(got[s], expected[s]) << "s=" << s;
+
+    const BpOsdStats& st = decoder.stats();
+    EXPECT_EQ(st.decodes, shots);
+    EXPECT_EQ(st.bpConverged, scalar_stats.bpConverged);
+    EXPECT_EQ(st.bpIterations, scalar_stats.bpIterations);
+    EXPECT_GT(st.memoHits, shots / 2);
+    EXPECT_EQ(st.waveLanesFilled,
+              st.decodes - st.trivialShots - st.memoHits);
+    // Replaying the same batch with a fresh decoder re-seeds the memo
+    // and decodes the same distinct syndromes again.
+    BpOsdDecoder fresh(dem, bp);
+    std::vector<uint64_t> again;
+    fresh.decodeBatch(batch, again);
+    EXPECT_EQ(fresh.stats().memoHits, st.memoHits);
+    EXPECT_EQ(fresh.stats().waveLanesFilled, st.waveLanesFilled);
+}
+
+} // namespace
+} // namespace cyclone
