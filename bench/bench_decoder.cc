@@ -36,6 +36,7 @@
 
 #include "bench_util.h"
 #include "decoder/bp_wave_decoder.h"
+#include "decoder/osd.h"
 
 namespace cyclone {
 namespace bench {
@@ -134,6 +135,109 @@ BM_DecodeBatch(benchmark::State& state, double p, size_t wave_lanes)
     attachDecoderCounters(state, decoder.stats());
 }
 
+/** Non-converged (syndrome, posterior) workload for the OSD rows. */
+struct OsdWorkload
+{
+    std::vector<BitVec> syndromes;
+    std::vector<std::vector<float>> posteriors;
+    /** Fraction of sampled shots whose BP run did not converge. */
+    double nonConvergedFrac = 0.0;
+};
+
+/** Lazily collected once: the shots of several deterministic chunks
+ *  that reach the OSD stage at p, with their BP posteriors. */
+const OsdWorkload&
+osdWorkload(double p)
+{
+    static std::mutex mutex;
+    static std::map<double, OsdWorkload> cache;
+    std::lock_guard<std::mutex> lock(mutex);
+    OsdWorkload& work = cache[p];
+    if (!work.syndromes.empty())
+        return work;
+    const DetectorErrorModel& dem = bb72Dem(p);
+    BpDecoder bp(dem, benchBp(1));
+    DemShots shots;
+    size_t total = 0;
+    uint64_t chunk = 0;
+    while (work.syndromes.size() < 192 && chunk < 32) {
+        Rng rng(chunkSeed(0x05dbe7cULL, chunk++));
+        sampleDemInto(dem, kChunkShots, rng, shots);
+        for (const BitVec& syndrome : shots.syndromes) {
+            ++total;
+            if (syndrome.isZero())
+                continue;
+            if (!bp.decode(syndrome)) {
+                work.syndromes.push_back(syndrome);
+                work.posteriors.push_back(bp.posteriorLlr());
+            }
+        }
+    }
+    work.nonConvergedFrac = total == 0
+        ? 0.0
+        : static_cast<double>(work.syndromes.size()) /
+            static_cast<double>(total);
+    return work;
+}
+
+/** The OSD stage alone, via the scalar per-shot reference path. */
+void
+BM_OsdScalar(benchmark::State& state, double p)
+{
+    const DetectorErrorModel& dem = bb72Dem(p);
+    const OsdWorkload& work = osdWorkload(p);
+    OsdDecoder osd(dem);
+    std::vector<uint8_t> errors;
+    size_t solves = 0;
+    for (auto _ : state) {
+        for (size_t i = 0; i < work.syndromes.size(); ++i) {
+            benchmark::DoNotOptimize(
+                osd.decode(work.syndromes[i], work.posteriors[i],
+                           errors));
+        }
+        solves += work.syndromes.size();
+    }
+    state.counters["syndromes_per_sec"] = benchmark::Counter(
+        static_cast<double>(solves), benchmark::Counter::kIsRate);
+    state.counters["nonconv_frac"] = work.nonConvergedFrac;
+}
+
+/** The OSD stage alone, via solveBatch in 64-shot slabs — the same
+ *  work the wave pipeline's batched OSD stage performs. */
+void
+BM_OsdBatch(benchmark::State& state, double p)
+{
+    const DetectorErrorModel& dem = bb72Dem(p);
+    const OsdWorkload& work = osdWorkload(p);
+    OsdDecoder osd(dem);
+    OsdBatchResult result;
+    std::vector<OsdShotRequest> requests;
+    size_t solves = 0;
+    size_t groups = 0;
+    for (auto _ : state) {
+        for (size_t base = 0; base < work.syndromes.size();
+             base += 64) {
+            const size_t count =
+                std::min<size_t>(64, work.syndromes.size() - base);
+            requests.resize(count);
+            for (size_t i = 0; i < count; ++i) {
+                requests[i].syndrome = &work.syndromes[base + i];
+                requests[i].posteriorLlr =
+                    work.posteriors[base + i].data();
+            }
+            osd.solveBatch(requests.data(), count, result);
+            groups += result.stats.groups;
+        }
+        solves += work.syndromes.size();
+    }
+    state.counters["syndromes_per_sec"] = benchmark::Counter(
+        static_cast<double>(solves), benchmark::Counter::kIsRate);
+    state.counters["nonconv_frac"] = work.nonConvergedFrac;
+    state.counters["groups_per_solve"] = solves == 0
+        ? 0.0
+        : static_cast<double>(groups) / static_cast<double>(solves);
+}
+
 /** One registered row of the summary JSON. */
 struct RowSpec
 {
@@ -190,9 +294,14 @@ class CaptureReporter : public benchmark::ConsoleReporter
 void
 writeBenchJson(const CaptureReporter& reporter)
 {
+    // Default to an untracked file: BENCH_decoder.json is the
+    // committed CI perf-gate baseline, so refreshing it is an
+    // explicit CYCLONE_BENCH_JSON=BENCH_decoder.json opt-in rather
+    // than a side effect of any local bench run.
     const char* env = std::getenv("CYCLONE_BENCH_JSON");
-    const std::string path =
-        env != nullptr && env[0] != '\0' ? env : "BENCH_decoder.json";
+    const std::string path = env != nullptr && env[0] != '\0'
+        ? env
+        : "BENCH_decoder.local.json";
 
     std::ofstream out(path, std::ios::trunc);
     if (!out) {
@@ -216,18 +325,30 @@ writeBenchJson(const CaptureReporter& reporter)
             out << ",\n";
         first = false;
         char buf[512];
-        std::snprintf(
-            buf, sizeof buf,
-            "    {\"name\": \"%s\", \"path\": \"%s\", \"p\": %g, "
-            "\"shots_per_sec\": %.6g, \"trivial_frac\": %.6g, "
-            "\"memo_rate\": %.6g, \"mean_bp_iters\": %.6g, "
-            "\"wave_occupancy\": %.6g}",
-            spec.name.c_str(), spec.path, spec.p,
-            reporter.value(spec.name, "shots_per_sec"),
-            reporter.value(spec.name, "trivial_frac"),
-            reporter.value(spec.name, "memo_rate"),
-            reporter.value(spec.name, "mean_bp_iters"),
-            reporter.value(spec.name, "wave_occupancy"));
+        if (std::string(spec.path).rfind("osd", 0) == 0) {
+            std::snprintf(
+                buf, sizeof buf,
+                "    {\"name\": \"%s\", \"path\": \"%s\", \"p\": %g, "
+                "\"syndromes_per_sec\": %.6g, \"nonconv_frac\": %.6g, "
+                "\"groups_per_solve\": %.6g}",
+                spec.name.c_str(), spec.path, spec.p,
+                reporter.value(spec.name, "syndromes_per_sec"),
+                reporter.value(spec.name, "nonconv_frac"),
+                reporter.value(spec.name, "groups_per_solve"));
+        } else {
+            std::snprintf(
+                buf, sizeof buf,
+                "    {\"name\": \"%s\", \"path\": \"%s\", \"p\": %g, "
+                "\"shots_per_sec\": %.6g, \"trivial_frac\": %.6g, "
+                "\"memo_rate\": %.6g, \"mean_bp_iters\": %.6g, "
+                "\"wave_occupancy\": %.6g}",
+                spec.name.c_str(), spec.path, spec.p,
+                reporter.value(spec.name, "shots_per_sec"),
+                reporter.value(spec.name, "trivial_frac"),
+                reporter.value(spec.name, "memo_rate"),
+                reporter.value(spec.name, "mean_bp_iters"),
+                reporter.value(spec.name, "wave_occupancy"));
+        }
         out << buf;
     }
     out << "\n  ],\n";
@@ -248,13 +369,36 @@ writeBenchJson(const CaptureReporter& reporter)
         const double w = reporter.value(wave, "shots_per_sec");
         if (s <= 0.0 || b <= 0.0)
             continue;
-        char buf[256];
+        char buf[320];
         std::snprintf(buf, sizeof buf,
                       "%s\n    \"%s\": {\"batch_over_scalar\": %.4g, "
                       "\"wave_over_batch\": %.4g, "
-                      "\"wave_over_scalar\": %.4g}",
+                      "\"wave_over_scalar\": %.4g",
                       first_p ? "" : ",", suffix, b / s, w / b, w / s);
         out << buf;
+        // OSD-stage speedup and its share of the wave decode path:
+        // time per shot spent in OSD = nonconv_frac / osd_rate, so
+        // share = wave_rate x nonconv_frac / osd_rate.
+        const std::string osd_scalar =
+            "decode_wave_osd_scalar/bb72_" + std::string(suffix);
+        const std::string osd_batch =
+            "decode_wave_osd/bb72_" + std::string(suffix);
+        if (reporter.has(osd_scalar) && reporter.has(osd_batch)) {
+            const double os =
+                reporter.value(osd_scalar, "syndromes_per_sec");
+            const double ob =
+                reporter.value(osd_batch, "syndromes_per_sec");
+            const double frac =
+                reporter.value(osd_batch, "nonconv_frac");
+            if (os > 0.0 && ob > 0.0) {
+                std::snprintf(buf, sizeof buf,
+                              ", \"osd_batch_over_scalar\": %.4g, "
+                              "\"wave_osd_share\": %.4g",
+                              ob / os, w * frac / ob);
+                out << buf;
+            }
+        }
+        out << "}";
         first_p = false;
     }
     out << "\n  }\n";
@@ -292,6 +436,24 @@ registerRows()
             })
             ->Unit(benchmark::kMillisecond);
     }
+
+    // The OSD stage in isolation, at the operating point where it is
+    // a quarter of wave-path decode time. Tracks the batched stage's
+    // speedup over the scalar reference and, combined with the wave
+    // row, the OSD share of the decode path.
+    const double p = 1e-3;
+    const std::string osd_scalar = "decode_wave_osd_scalar/bb72_p0.001";
+    const std::string osd_batch = "decode_wave_osd/bb72_p0.001";
+    rowSpecs().push_back({osd_scalar, "osd_scalar", p});
+    rowSpecs().push_back({osd_batch, "osd_batch", p});
+    benchmark::RegisterBenchmark(
+        osd_scalar.c_str(),
+        [p](benchmark::State& state) { BM_OsdScalar(state, p); })
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        osd_batch.c_str(),
+        [p](benchmark::State& state) { BM_OsdBatch(state, p); })
+        ->Unit(benchmark::kMillisecond);
 }
 
 } // namespace

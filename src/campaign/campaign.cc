@@ -299,6 +299,8 @@ CampaignEngine::run(const CampaignSpec& spec,
             r.decoder.waveGroups += s.waveGroups;
             r.decoder.waveLaneSlots += s.waveLaneSlots;
             r.decoder.waveLanesFilled += s.waveLanesFilled;
+            r.decoder.osdBatchGroups += s.osdBatchGroups;
+            r.decoder.osdSharedPivots += s.osdSharedPivots;
         }
         if (onTaskDone)
             onTaskDone(r);

@@ -190,6 +190,8 @@ campaignResultToJson(const CampaignResult& result)
             << ", \"wave_groups\": " << t.decoder.waveGroups
             << ", \"wave_lane_slots\": " << t.decoder.waveLaneSlots
             << ", \"wave_lanes_filled\": " << t.decoder.waveLanesFilled
+            << ", \"osd_batch_groups\": " << t.decoder.osdBatchGroups
+            << ", \"osd_shared_pivots\": " << t.decoder.osdSharedPivots
             << ",\n                 \"trivial_fraction\": "
             << num(t.decoder.trivialFraction())
             << ", \"memo_hit_rate\": " << num(t.decoder.memoHitRate())
@@ -245,6 +247,7 @@ campaignResultToCsv(const CampaignResult& result)
            "failures,ler,wilson,per_round_ler,chunks,stopped_early,"
            "from_checkpoint,sample_seconds,trivial_fraction,"
            "memo_hit_rate,mean_bp_iterations,wave_lane_occupancy,"
+           "osd_batch_groups,osd_shared_pivots,"
            "util_gate,util_shuttle,"
            "util_junction,util_swap,parallel_fraction,trap_roadblocks,"
            "junction_roadblocks,roadblock_wait_us,error\n";
@@ -267,6 +270,8 @@ campaignResultToCsv(const CampaignResult& result)
             << num(t.decoder.memoHitRate()) << ','
             << num(t.decoder.meanBpIterations()) << ','
             << num(t.decoder.waveLaneOccupancy()) << ','
+            << t.decoder.osdBatchGroups << ','
+            << t.decoder.osdSharedPivots << ','
             << num(util(t.compileBreakdown.gateUs)) << ','
             << num(util(t.compileBreakdown.shuttleUs)) << ','
             << num(util(t.compileBreakdown.junctionUs)) << ','
@@ -302,10 +307,11 @@ saveCheckpoint(const CampaignResult& result, const std::string& path)
     for (const TaskResult& t : result.tasks) {
         if (!t.error.empty() || t.logicalErrorRate.trials == 0)
             continue;
-        char line[384];
+        char line[448];
         std::snprintf(line, sizeof line,
                       "task %016llx %zu %.17g %zu %zu %zu %zu %zu %d "
-                      "%zu %zu %zu %zu %.6f %zu %zu %zu %zu %zu %zu\n",
+                      "%zu %zu %zu %zu %.6f %zu %zu %zu %zu %zu %zu "
+                      "%zu %zu\n",
                       static_cast<unsigned long long>(t.contentHash),
                       t.rounds, t.roundLatencyUs, t.demDetectors,
                       t.demMechanisms, t.logicalErrorRate.trials,
@@ -316,7 +322,9 @@ saveCheckpoint(const CampaignResult& result, const std::string& path)
                       t.decoder.trivialShots, t.decoder.memoHits,
                       t.decoder.bpIterations, t.decoder.waveGroups,
                       t.decoder.waveLaneSlots,
-                      t.decoder.waveLanesFilled);
+                      t.decoder.waveLanesFilled,
+                      t.decoder.osdBatchGroups,
+                      t.decoder.osdSharedPivots);
         out << line;
     }
     return writeTextFile(path, out.str());
@@ -342,20 +350,22 @@ loadCheckpoint(const std::string& path, CampaignCheckpoint& out)
                failures = 0, chunks = 0, decodes = 0, converged = 0,
                osdInv = 0, osdFail = 0, trivial = 0, memoHits = 0,
                bpIters = 0, waveGroups = 0, waveSlots = 0,
-               waveFilled = 0;
+               waveFilled = 0, osdGroups = 0, osdShared = 0;
         double latency = 0.0, seconds = 0.0;
         int early = 0;
         const int got = std::sscanf(
             line.c_str(),
             "task %llx %zu %lg %zu %zu %zu %zu %zu %d %zu %zu %zu %zu "
-            "%lg %zu %zu %zu %zu %zu %zu",
+            "%lg %zu %zu %zu %zu %zu %zu %zu %zu",
             &hash, &rounds, &latency, &detectors, &mechanisms, &shots,
             &failures, &chunks, &early, &decodes, &converged, &osdInv,
             &osdFail, &seconds, &trivial, &memoHits, &bpIters,
-            &waveGroups, &waveSlots, &waveFilled);
+            &waveGroups, &waveSlots, &waveFilled, &osdGroups,
+            &osdShared);
         // 14 fields = pre-batch-pipeline checkpoint (batch stats
-        // default to zero); 17 = pre-wave-kernel; 20 = current format.
-        if (got != 14 && got != 17 && got != 20)
+        // default to zero); 17 = pre-wave-kernel; 20 = pre-batched-
+        // OSD; 22 = current format.
+        if (got != 14 && got != 17 && got != 20 && got != 22)
             return false;
         TaskResult t;
         t.contentHash = hash;
@@ -385,6 +395,8 @@ loadCheckpoint(const std::string& path, CampaignCheckpoint& out)
         t.decoder.waveGroups = waveGroups;
         t.decoder.waveLaneSlots = waveSlots;
         t.decoder.waveLanesFilled = waveFilled;
+        t.decoder.osdBatchGroups = osdGroups;
+        t.decoder.osdSharedPivots = osdShared;
         t.sampleSeconds = seconds;
         t.fromCheckpoint = true;
         out.tasks[t.contentHash] = t;

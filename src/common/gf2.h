@@ -13,12 +13,50 @@
 #ifndef CYCLONE_COMMON_GF2_H
 #define CYCLONE_COMMON_GF2_H
 
+#include <bit>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/bitvec.h"
 
 namespace cyclone {
+
+namespace gf2 {
+
+/**
+ * XOR `count` words of `src` into `dst` (a GF(2) row addition on
+ * bit-packed rows). The workhorse of the OSD elimination inner loop:
+ * one call covers a fused column+augmentation row, so the compiler
+ * vectorizes a single contiguous stream instead of two strided ones.
+ */
+inline void
+xorWords(uint64_t* dst, const uint64_t* src, size_t count)
+{
+    for (size_t w = 0; w < count; ++w)
+        dst[w] ^= src[w];
+}
+
+/**
+ * Index of the first set bit of a packed row, scanning word
+ * `fromWord` onward, or -1 when the row is zero from there on.
+ * Row-reduction loops that clear leading bits in ascending order pass
+ * the last cleared bit's word as the hint, turning the rescan of
+ * already-cleared leading words into a no-op.
+ */
+inline int
+firstSetBit(const uint64_t* words, size_t count, size_t fromWord = 0)
+{
+    for (size_t w = fromWord; w < count; ++w) {
+        if (words[w])
+            return static_cast<int>(
+                w * 64 +
+                static_cast<size_t>(std::countr_zero(words[w])));
+    }
+    return -1;
+}
+
+} // namespace gf2
 
 class SparseGF2;
 

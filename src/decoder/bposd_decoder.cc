@@ -102,6 +102,74 @@ BpOsdDecoder::decodeCore(const BitVec& syndrome)
     return outcome;
 }
 
+void
+BpOsdDecoder::bufferWaveLaneForOsd(size_t lane, uint32_t memoIdx)
+{
+    // Posteriors and hard decisions are only readable until the next
+    // decodeWave call, so stage copies now; the OSD solve itself is
+    // deferred until a full slab (or the end of pass 2) so shots can
+    // share eliminations across wave groups.
+    const size_t num_vars = dem_.mechanisms.size();
+    if (osdPosteriors_.size() != kOsdFlushShots * num_vars)
+        osdPosteriors_.resize(kOsdFlushShots * num_vars);
+
+    PendingOsd pending;
+    pending.memoIdx = memoIdx;
+    pending.iterations = wave_->laneIterations(lane);
+    wave_->laneHardDecision(lane, hardScratch_);
+    pending.fallbackObservables = observablesOf(hardScratch_);
+
+    wave_->lanePosterior(lane, posteriorScratch_);
+    std::copy(posteriorScratch_.begin(), posteriorScratch_.end(),
+              osdPosteriors_.begin() +
+                  static_cast<std::ptrdiff_t>(osdPending_.size() *
+                                              num_vars));
+    osdPending_.push_back(pending);
+    if (osdPending_.size() == kOsdFlushShots)
+        flushOsdBatch();
+}
+
+void
+BpOsdDecoder::flushOsdBatch()
+{
+    if (osdPending_.empty())
+        return;
+    const size_t num_vars = dem_.mechanisms.size();
+    osdRequests_.resize(osdPending_.size());
+    for (size_t i = 0; i < osdPending_.size(); ++i) {
+        osdRequests_[i].syndrome =
+            &memoEntries_[osdPending_[i].memoIdx].syndrome;
+        osdRequests_[i].posteriorLlr =
+            osdPosteriors_.data() + i * num_vars;
+    }
+    osd_.solveBatch(osdRequests_.data(), osdRequests_.size(),
+                    osdResult_);
+    stats_.osdBatchGroups += osdResult_.stats.groups;
+    stats_.osdSharedPivots += osdResult_.stats.sharedPivots;
+
+    for (size_t i = 0; i < osdPending_.size(); ++i) {
+        const PendingOsd& pending = osdPending_[i];
+        DecodeOutcome outcome;
+        outcome.converged = false;
+        outcome.iterations = pending.iterations;
+        if (osdResult_.ok[i]) {
+            // XOR of the flipped mechanisms' observables — the same
+            // set of mechanisms the scalar errors vector marks, so
+            // the XOR (order-insensitive) is identical.
+            uint64_t obs = 0;
+            for (size_t f = osdResult_.flipOffsets[i];
+                 f < osdResult_.flipOffsets[i + 1]; ++f)
+                obs ^= dem_.mechanisms[osdResult_.flips[f]].observables;
+            outcome.observables = obs;
+        } else {
+            outcome.osdFailed = true;
+            outcome.observables = pending.fallbackObservables;
+        }
+        memoEntries_[pending.memoIdx].outcome = outcome;
+    }
+    osdPending_.clear();
+}
+
 BpOsdDecoder::DecodeOutcome
 BpOsdDecoder::waveLaneOutcome(size_t lane, const BitVec& syndrome)
 {
@@ -253,6 +321,7 @@ BpOsdDecoder::decodeBatch(const ShotBatch& batch,
 
         const size_t L = wave_->laneWidth();
         const BitVec* lanes[64];
+        osdPending_.clear();
         for (size_t group = 0; group < laneOrder_.size(); group += L) {
             const size_t count =
                 std::min(L, laneOrder_.size() - group);
@@ -263,10 +332,18 @@ BpOsdDecoder::decodeBatch(const ShotBatch& batch,
             stats_.waveLaneSlots += L;
             stats_.waveLanesFilled += count;
             for (size_t i = 0; i < count; ++i) {
-                MemoEntry& entry = memoEntries_[laneOrder_[group + i]];
+                const uint32_t memoIdx = laneOrder_[group + i];
+                MemoEntry& entry = memoEntries_[memoIdx];
+                if (options_.osdBatch && !wave_->laneConverged(i)) {
+                    // Defer OSD: stage this lane for the batched
+                    // solve instead of a scalar solve per lane.
+                    bufferWaveLaneForOsd(i, memoIdx);
+                    continue;
+                }
                 entry.outcome = waveLaneOutcome(i, entry.syndrome);
             }
         }
+        flushOsdBatch();
     } else {
         for (MemoEntry& entry : memoEntries_)
             entry.outcome = decodeCore(entry.syndrome);

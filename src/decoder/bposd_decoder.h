@@ -15,9 +15,12 @@
  * and replays the result — and its statistics — for duplicates, and
  * the surviving distinct syndromes are decoded L at a time by the
  * lane-parallel wave kernel (bp_wave_decoder.h), whose per-lane
- * posteriors seed OSD exactly as the scalar core would. Every fast
- * path reproduces what per-shot decoding would return bit-for-bit
- * (BP is deterministic per syndrome, lanes never interact), so batch
+ * posteriors seed OSD exactly as the scalar core would — with
+ * non-converged lanes collected across wave groups and solved by the
+ * batched OSD stage (OsdDecoder::solveBatch) in slabs of up to 64
+ * shots. Every fast path reproduces what per-shot decoding would
+ * return bit-for-bit (BP is deterministic per syndrome, lanes never
+ * interact, the batched OSD equals the scalar OSD exactly), so batch
  * and scalar decoding are bit-identical at any lane width.
  */
 
@@ -65,6 +68,18 @@ struct BpOsdStats
 
     /** Lane slots that carried a real distinct syndrome. */
     size_t waveLanesFilled = 0;
+
+    /**
+     * Shared GF(2) eliminations performed by the batched OSD stage
+     * (one per reliability-ordering group). Structural like
+     * waveGroups — counts work done, not per-shot outcomes, so memo
+     * replays do not scale it.
+     */
+    size_t osdBatchGroups = 0;
+
+    /** Pivot slots replayed from a group leader's elimination by
+     *  shots that shared its ordering prefix (rank x grouped shots). */
+    size_t osdSharedPivots = 0;
 
     /** Fraction of decodes resolved by the zero-syndrome fast path. */
     double trivialFraction() const;
@@ -133,8 +148,20 @@ class BpOsdDecoder : public Decoder
         std::vector<uint32_t> shots; ///< Shots carrying this syndrome.
     };
 
+    /** One non-converged wave lane waiting for the batched OSD. */
+    struct PendingOsd
+    {
+        uint32_t memoIdx = 0;
+        uint32_t iterations = 0;
+        /** Observables of the BP hard decision, the fallback used
+         *  when the syndrome is outside the DEM column span. */
+        uint64_t fallbackObservables = 0;
+    };
+
     DecodeOutcome decodeCore(const BitVec& syndrome);
     DecodeOutcome waveLaneOutcome(size_t lane, const BitVec& syndrome);
+    void bufferWaveLaneForOsd(size_t lane, uint32_t memoIdx);
+    void flushOsdBatch();
     void applyOutcomeStats(const DecodeOutcome& outcome);
     uint64_t observablesOf(const BitVec& errors) const;
     uint64_t observablesOf(const std::vector<uint8_t>& errors) const;
@@ -159,6 +186,16 @@ class BpOsdDecoder : public Decoder
     std::vector<MemoEntry> memoEntries_;
     std::vector<uint32_t> laneOrder_;
     std::unordered_map<uint64_t, std::vector<uint32_t>> memoIndex_;
+
+    // Batched-OSD staging: non-converged lanes accumulate across wave
+    // groups (posteriors copied — the wave state is overwritten by the
+    // next decodeWave) and flush through OsdDecoder::solveBatch in
+    // slabs of up to 64 shots, one RHS word.
+    static constexpr size_t kOsdFlushShots = 64;
+    std::vector<PendingOsd> osdPending_;
+    std::vector<float> osdPosteriors_; ///< kOsdFlushShots x numVars.
+    std::vector<OsdShotRequest> osdRequests_;
+    OsdBatchResult osdResult_;
 };
 
 } // namespace cyclone

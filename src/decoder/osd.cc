@@ -4,6 +4,7 @@
 #include <bit>
 #include <functional>
 
+#include "common/gf2.h"
 #include "common/logging.h"
 
 namespace cyclone {
@@ -12,22 +13,17 @@ namespace {
 
 constexpr uint32_t kNoPivot = static_cast<uint32_t>(-1);
 
-int
-firstSetBit(const uint64_t* words, size_t count)
-{
-    for (size_t w = 0; w < count; ++w) {
-        if (words[w])
-            return static_cast<int>(w * 64 +
-                static_cast<size_t>(std::countr_zero(words[w])));
-    }
-    return -1;
-}
-
 } // namespace
 
 OsdDecoder::OsdDecoder(const DetectorErrorModel& dem, size_t order)
     : dem_(dem), order_(order), words_((dem.numDetectors + 63) / 64)
 {}
+
+size_t
+OsdDecoder::augWords() const
+{
+    return (dem_.numDetectors + 63) / 64;
+}
 
 bool
 OsdDecoder::decode(const BitVec& syndrome,
@@ -52,7 +48,7 @@ OsdDecoder::decode(const BitVec& syndrome,
 
     // Pivot storage: dense column + augmentation over pivot slots.
     const size_t max_pivots = dem_.numDetectors;
-    const size_t aug_words = (max_pivots + 63) / 64;
+    const size_t aug_words = augWords();
     pivotCols_.resize(max_pivots * words_);
     pivotAugs_.resize(max_pivots * aug_words);
     pivotVar_.clear();
@@ -83,7 +79,8 @@ OsdDecoder::decode(const BitVec& syndrome,
             colScratch_[d >> 6] |= uint64_t(1) << (d & 63);
         // Reduce against existing pivots.
         while (true) {
-            const int row = firstSetBit(colScratch_.data(), words_);
+            const int row =
+                gf2::firstSetBit(colScratch_.data(), words_);
             if (row < 0) {
                 // Linearly dependent: candidate for the sweep.
                 if (rejectVar_.size() < order_) {
@@ -107,13 +104,11 @@ OsdDecoder::decode(const BitVec& syndrome,
                     static_cast<uint32_t>(slot);
                 break;
             }
-            const uint64_t* pivot_col = pivotCols_.data() + p * words_;
-            const uint64_t* pivot_aug =
-                pivotAugs_.data() + p * aug_words;
-            for (size_t w = 0; w < words_; ++w)
-                colScratch_[w] ^= pivot_col[w];
-            for (size_t w = 0; w < aug_words; ++w)
-                augScratch_[w] ^= pivot_aug[w];
+            gf2::xorWords(colScratch_.data(),
+                          pivotCols_.data() + p * words_, words_);
+            gf2::xorWords(augScratch_.data(),
+                          pivotAugs_.data() + p * aug_words,
+                          aug_words);
         }
     }
     if (!rankKnown_) {
@@ -129,29 +124,24 @@ OsdDecoder::decode(const BitVec& syndrome,
     }
     baseAug_.assign(aug_words, 0);
     while (true) {
-        const int row = firstSetBit(residual_.data(), words_);
+        const int row = gf2::firstSetBit(residual_.data(), words_);
         if (row < 0)
             break;
         const uint32_t p = pivotByRow_[static_cast<size_t>(row)];
         if (p == kNoPivot)
             return false; // Syndrome outside the column span.
-        const uint64_t* pivot_col = pivotCols_.data() + p * words_;
-        const uint64_t* pivot_aug = pivotAugs_.data() + p * aug_words;
-        for (size_t w = 0; w < words_; ++w)
-            residual_[w] ^= pivot_col[w];
-        for (size_t w = 0; w < aug_words; ++w)
-            baseAug_[w] ^= pivot_aug[w];
+        gf2::xorWords(residual_.data(),
+                      pivotCols_.data() + p * words_, words_);
+        gf2::xorWords(baseAug_.data(),
+                      pivotAugs_.data() + p * aug_words, aug_words);
     }
 
     // Score a pivot-combination (plus optional extra column) by total
-    // posterior LLR: lower = more probable.
+    // posterior LLR: lower = more probable. Shared with the batch
+    // path — the bit-identity contract depends on this accumulation
+    // existing in exactly one place.
     auto score = [&](const uint64_t* aug, double extra) {
-        double total = extra;
-        for (size_t slot = 0; slot < pivotVar_.size(); ++slot) {
-            if ((aug[slot >> 6] >> (slot & 63)) & 1)
-                total += posterior_llr[pivotVar_[slot]];
-        }
-        return total;
+        return scoreAug(aug, posterior_llr.data(), extra);
     };
 
     // OSD-0 candidate.
@@ -184,6 +174,531 @@ OsdDecoder::decode(const BitVec& syndrome,
     if (best_extra != kNoPivot)
         errors[best_extra] = 1;
     return true;
+}
+
+// --------------------------------------------------------------------
+// Batched path.
+//
+// The batch core reproduces the scalar algorithm above exactly — the
+// pivot/reject choice is a pure function of the reliability
+// permutation, and the scoring loops below run in the scalar order —
+// while restructuring the work: the candidate order comes from a
+// stable radix sort instead of a heap, augmentation tracking is
+// skipped (and rebuilt from a hit list for the rare pivot) once the
+// reject quota is full, the long dependent tail is filtered by a
+// bit-sliced dual (left-nullspace) basis at a few word XORs per
+// candidate, and groups of syndromes back-substitute together in
+// bit-sliced multi-RHS form.
+// --------------------------------------------------------------------
+
+void
+OsdDecoder::sortReliability(const float* llr)
+{
+    // Sort (llr, index) ascending with a stable LSD radix sort on a
+    // monotonic bit transform of the float key. The transform maps
+    // float ordering to unsigned ordering exactly (negative floats
+    // bit-complemented, positives offset), -0.0 is canonicalized to
+    // +0.0 so the pair ties on index just like the comparator, and
+    // stability keeps equal keys in ascending-index input order — so
+    // this is bit-for-bit the scalar heap's pop order.
+    const size_t n = dem_.mechanisms.size();
+    orderKeys_.resize(n);
+    orderAlt_.resize(n);
+    for (uint32_t v = 0; v < n; ++v) {
+        uint32_t bits = std::bit_cast<uint32_t>(llr[v]);
+        if (bits == 0x80000000u)
+            bits = 0;
+        const uint32_t key = (bits & 0x80000000u) != 0
+            ? ~bits
+            : bits | 0x80000000u;
+        orderKeys_[v] = (uint64_t(key) << 32) | v;
+    }
+
+    // Three passes over the 32 key bits: 11 + 11 + 10.
+    static constexpr int kShift[3] = {32, 43, 54};
+    static constexpr uint32_t kMask[3] = {2047, 2047, 1023};
+    uint32_t hist[3][2048];
+    std::fill(&hist[0][0], &hist[0][0] + 3 * 2048, 0u);
+    for (size_t i = 0; i < n; ++i) {
+        const uint64_t k = orderKeys_[i];
+        ++hist[0][(k >> kShift[0]) & kMask[0]];
+        ++hist[1][(k >> kShift[1]) & kMask[1]];
+        ++hist[2][(k >> kShift[2]) & kMask[2]];
+    }
+    uint64_t* src = orderKeys_.data();
+    uint64_t* dst = orderAlt_.data();
+    for (int pass = 0; pass < 3; ++pass) {
+        uint32_t sum = 0;
+        for (uint32_t b = 0; b <= kMask[pass]; ++b) {
+            const uint32_t count = hist[pass][b];
+            hist[pass][b] = sum;
+            sum += count;
+        }
+        for (size_t i = 0; i < n; ++i) {
+            const uint64_t k = src[i];
+            dst[hist[pass][(k >> kShift[pass]) & kMask[pass]]++] = k;
+        }
+        std::swap(src, dst);
+    }
+    // Three passes land the sorted order back in orderKeys_' buffer
+    // only if it started in orderAlt_; after the final swap `src`
+    // points at the sorted data.
+    if (src != orderKeys_.data())
+        orderKeys_.swap(orderAlt_);
+}
+
+void
+OsdDecoder::buildDualBasis()
+{
+    // Bit-sliced left-nullspace basis of the current pivot span: one
+    // basis vector per uncovered row (at most 64, one bit lane each),
+    // derived by back-substitution through the pivot columns in
+    // decreasing leading-row order. Every pivot column q has its
+    // leading row as its lowest set bit, so processing rows top-down
+    // never disturbs an already-satisfied constraint.
+    const size_t num_rows = dem_.numDetectors;
+    dualSlice_.assign(num_rows, 0);
+    uint32_t lane = 0;
+    for (size_t r = 0; r < num_rows; ++r) {
+        if (pivotByRow_[r] == kNoPivot)
+            dualSlice_[r] = uint64_t(1) << lane++;
+    }
+    for (size_t r = num_rows; r-- > 0;) {
+        const uint32_t p = pivotByRow_[r];
+        if (p == kNoPivot)
+            continue;
+        const uint64_t* pivot_col = pivotCols_.data() + p * words_;
+        uint64_t t = 0;
+        for (size_t w = 0; w < words_; ++w) {
+            uint64_t word = pivot_col[w];
+            while (word != 0) {
+                const size_t d = w * 64 +
+                    static_cast<size_t>(std::countr_zero(word));
+                word &= word - 1;
+                t ^= dualSlice_[d];
+            }
+        }
+        dualSlice_[r] = t;
+    }
+}
+
+void
+OsdDecoder::runElimination(const float* llr)
+{
+    const size_t num_vars = dem_.mechanisms.size();
+    const size_t max_pivots = dem_.numDetectors;
+    const size_t aug_words = augWords();
+
+    sortReliability(llr);
+
+    // Pivot storage is shared with the scalar path (same layout):
+    // columns and augmentations stay in separate arrays so the
+    // column-only reduction mode below keeps its working set at
+    // max_pivots x words_ — small enough to stay cache-resident,
+    // which is where the batch core's elimination speedup comes from.
+    pivotCols_.resize(max_pivots * words_);
+    pivotAugs_.resize(max_pivots * aug_words);
+    pivotVar_.clear();
+    pivotByRow_.assign(dem_.numDetectors, kNoPivot);
+    rejectVar_.clear();
+    rejectAugs_.resize(order_ * aug_words);
+    inspected_.clear();
+    colScratch_.resize(words_);
+    augScratch_.resize(aug_words);
+
+    const size_t stop_rank = rankKnown_ ? rank_ : max_pivots;
+    bool dual_active = false;
+    for (size_t idx = 0; idx < num_vars; ++idx) {
+        if (pivotVar_.size() >= stop_rank &&
+            rejectVar_.size() >= order_) {
+            break;
+        }
+        const uint32_t v_idx =
+            static_cast<uint32_t>(orderKeys_[idx] & 0xffffffffu);
+        inspected_.push_back(v_idx);
+
+        const bool track_aug = rejectVar_.size() < order_;
+
+        // Once the reject quota is full, dependent candidates carry
+        // no information — and the long tail of the elimination is
+        // almost entirely dependent candidates chasing the last few
+        // pivots. When at most 64 rows remain uncovered, test
+        // dependence against the bit-sliced left-nullspace basis (a
+        // word XOR per detector of the raw candidate): exact, since
+        // Y c = 0 iff c lies in the pivot span. Only true pivots pay
+        // for a reduction from here on.
+        if (!dual_active && !track_aug &&
+            max_pivots - pivotVar_.size() <= 64) {
+            buildDualBasis();
+            dual_active = true;
+        }
+        uint64_t dual_t = 0;
+        if (dual_active) {
+            for (uint32_t d : dem_.mechanisms[v_idx].detectors)
+                dual_t ^= dualSlice_[d];
+            if (dual_t == 0)
+                continue; // Dependent; scalar would discard it too.
+        }
+
+        uint64_t* cand = colScratch_.data();
+        uint64_t* aug = augScratch_.data();
+        std::fill(cand, cand + words_, 0);
+        if (track_aug)
+            std::fill(aug, aug + aug_words, 0);
+        else
+            hitSlots_.clear();
+        for (uint32_t d : dem_.mechanisms[v_idx].detectors)
+            cand[d >> 6] |= uint64_t(1) << (d & 63);
+
+        // Reduce against existing pivots. Rows visited strictly
+        // ascend, so each rescan starts at the last cleared word.
+        int row = gf2::firstSetBit(cand, words_);
+        while (row >= 0) {
+            const uint32_t p = pivotByRow_[static_cast<size_t>(row)];
+            if (p == kNoPivot)
+                break;
+            gf2::xorWords(cand, pivotCols_.data() + p * words_,
+                          words_);
+            if (track_aug)
+                gf2::xorWords(aug, pivotAugs_.data() + p * aug_words,
+                              aug_words);
+            else
+                hitSlots_.push_back(p);
+            row = gf2::firstSetBit(cand, words_,
+                                   static_cast<size_t>(row) >> 6);
+        }
+
+        if (row < 0) {
+            // Linearly dependent: candidate for the sweep (the
+            // aug-free mode only runs once the quota is full).
+            if (track_aug) {
+                std::copy(aug, aug + aug_words,
+                          rejectAugs_.begin() +
+                              rejectVar_.size() * aug_words);
+                rejectVar_.push_back(v_idx);
+            }
+            continue;
+        }
+
+        // Independent: install as the next pivot.
+        const size_t slot = pivotVar_.size();
+        if (!track_aug) {
+            // Rebuild the skipped augmentation from the hit list:
+            // aug = e_slot ^ XOR of the hit pivots' augmentations.
+            std::fill(aug, aug + aug_words, 0);
+            for (uint32_t h : hitSlots_)
+                gf2::xorWords(aug, pivotAugs_.data() + h * aug_words,
+                              aug_words);
+        }
+        aug[slot >> 6] |= uint64_t(1) << (slot & 63);
+        std::copy(cand, cand + words_,
+                  pivotCols_.begin() + slot * words_);
+        std::copy(aug, aug + aug_words,
+                  pivotAugs_.begin() + slot * aug_words);
+        pivotVar_.push_back(v_idx);
+        pivotByRow_[static_cast<size_t>(row)] =
+            static_cast<uint32_t>(slot);
+
+        if (dual_active) {
+            // Shrink the dual basis to stay orthogonal to the new
+            // pivot: Y q = dual_t (the raw-candidate test value —
+            // identical, since Y annihilates every older pivot).
+            // Absorb lane j into the others and retire it.
+            const int j = std::countr_zero(dual_t);
+            const size_t num_rows = dem_.numDetectors;
+            for (size_t d = 0; d < num_rows; ++d) {
+                if ((dualSlice_[d] >> j) & 1)
+                    dualSlice_[d] ^= dual_t;
+            }
+        }
+    }
+
+    if (!rankKnown_) {
+        rank_ = pivotVar_.size();
+        rankKnown_ = true;
+    }
+
+    // Stamp the inspected set for the ordering-prefix membership test.
+    inspectedStamp_.resize(num_vars, 0);
+    ++stampEpoch_;
+    for (uint32_t v : inspected_)
+        inspectedStamp_[v] = stampEpoch_;
+}
+
+bool
+OsdDecoder::matchesOrdering(const float* llr)
+{
+    // A shot shares the leader's elimination iff the leader's
+    // inspected sequence is exactly this shot's sorted reliability
+    // prefix: (a) the sequence ascends under this shot's keys, and
+    // (b) every uninspected column keys after the sequence's last
+    // element. Both checks are exact — keys are (LLR, index) pairs,
+    // so ties resolve identically to the scalar heap.
+    const size_t k = inspected_.size();
+    if (k == 0)
+        return true;
+    std::pair<float, uint32_t> prev{llr[inspected_[0]], inspected_[0]};
+    for (size_t i = 1; i < k; ++i) {
+        const std::pair<float, uint32_t> cur{llr[inspected_[i]],
+                                             inspected_[i]};
+        if (!(prev < cur))
+            return false;
+        prev = cur;
+    }
+    const size_t num_vars = dem_.mechanisms.size();
+    if (k == num_vars)
+        return true;
+    for (uint32_t v = 0; v < num_vars; ++v) {
+        if (inspectedStamp_[v] == stampEpoch_)
+            continue;
+        if (!(prev < std::pair<float, uint32_t>{llr[v], v}))
+            return false;
+    }
+    return true;
+}
+
+double
+OsdDecoder::scoreAug(const uint64_t* aug, const float* llr,
+                     double extra) const
+{
+    // Must accumulate in ascending slot order: the scalar path adds
+    // the same floats to a double in this order, and bit-identity of
+    // the tie-breaking comparisons depends on it.
+    double total = extra;
+    for (size_t slot = 0; slot < pivotVar_.size(); ++slot) {
+        if ((aug[slot >> 6] >> (slot & 63)) & 1)
+            total += llr[pivotVar_[slot]];
+    }
+    return total;
+}
+
+void
+OsdDecoder::scoreAndEmitShot(uint32_t shot, const float* llr,
+                             OsdBatchResult& out)
+{
+    // Scoring and the order-lambda sweep over shotAug_, identical to
+    // the scalar tail: same float-to-double accumulation order, same
+    // strict-less tie rule, same slot-ascending flip emission.
+    const size_t aug_words = augWords();
+    const size_t flip_stride = dem_.numDetectors + 1;
+    sweepAug_.resize(std::max<size_t>(aug_words, 1));
+
+    double best_score = scoreAug(shotAug_.data(), llr, 0.0);
+    candidateAug_.assign(shotAug_.begin(), shotAug_.end());
+    uint32_t best_extra = kNoPivot;
+    for (size_t r = 0; r < rejectVar_.size(); ++r) {
+        const uint64_t* reject_aug = rejectAugs_.data() + r * aug_words;
+        for (size_t w = 0; w < aug_words; ++w)
+            sweepAug_[w] = shotAug_[w] ^ reject_aug[w];
+        const double sc =
+            scoreAug(sweepAug_.data(), llr, llr[rejectVar_[r]]);
+        if (sc < best_score) {
+            best_score = sc;
+            candidateAug_.assign(sweepAug_.begin(), sweepAug_.end());
+            best_extra = rejectVar_[r];
+        }
+    }
+
+    uint32_t* flips = flipScratch_.data() + shot * flip_stride;
+    uint32_t n_flips = 0;
+    for (size_t slot = 0; slot < pivotVar_.size(); ++slot) {
+        if ((candidateAug_[slot >> 6] >> (slot & 63)) & 1)
+            flips[n_flips++] = pivotVar_[slot];
+    }
+    if (best_extra != kNoPivot)
+        flips[n_flips++] = best_extra;
+    flipCount_[shot] = n_flips;
+    out.ok[shot] = 1;
+}
+
+void
+OsdDecoder::solveGroup(const OsdShotRequest* shots,
+                       const uint32_t* members, size_t memberCount,
+                       OsdBatchResult& out)
+{
+    const size_t aug_words = augWords();
+    const size_t num_rows = dem_.numDetectors;
+
+    // Small groups back-substitute shot by shot with word XORs — the
+    // bit-sliced sweep below walks every set bit of every touched
+    // pivot column individually, which only amortizes once enough
+    // shots share each visit.
+    if (memberCount < 8) {
+        shotAug_.assign(std::max<size_t>(aug_words, 1), 0);
+        for (size_t i = 0; i < memberCount; ++i) {
+            const uint32_t shot = members[i];
+            const BitVec& syndrome = *shots[shot].syndrome;
+            residual_.assign(std::max<size_t>(words_, 1), 0);
+            const std::vector<uint64_t>& sw = syndrome.words();
+            std::copy(sw.begin(), sw.end(), residual_.begin());
+            std::fill(shotAug_.begin(), shotAug_.end(), 0);
+            bool ok = true;
+            int row = gf2::firstSetBit(residual_.data(), words_);
+            while (row >= 0) {
+                const uint32_t p =
+                    pivotByRow_[static_cast<size_t>(row)];
+                if (p == kNoPivot) {
+                    ok = false; // Syndrome outside the column span.
+                    break;
+                }
+                gf2::xorWords(residual_.data(),
+                              pivotCols_.data() + p * words_, words_);
+                gf2::xorWords(shotAug_.data(),
+                              pivotAugs_.data() + p * aug_words,
+                              aug_words);
+                row = gf2::firstSetBit(residual_.data(), words_,
+                                       static_cast<size_t>(row) >> 6);
+            }
+            if (!ok) {
+                out.ok[shot] = 0;
+                flipCount_[shot] = 0;
+                continue;
+            }
+            scoreAndEmitShot(shot, shots[shot].posteriorLlr, out);
+        }
+        return;
+    }
+
+    for (size_t chunk = 0; chunk < memberCount; chunk += 64) {
+        const size_t cn = std::min<size_t>(64, memberCount - chunk);
+
+        // Transpose the chunk's syndromes into row-major bit-sliced
+        // form: word r carries bit s for shot s of this chunk.
+        rhsRows_.assign(num_rows, 0);
+        for (size_t s = 0; s < cn; ++s) {
+            const BitVec& syndrome =
+                *shots[members[chunk + s]].syndrome;
+            const std::vector<uint64_t>& sw = syndrome.words();
+            for (size_t w = 0; w < sw.size(); ++w) {
+                uint64_t word = sw[w];
+                while (word != 0) {
+                    const size_t d = w * 64 +
+                        static_cast<size_t>(std::countr_zero(word));
+                    word &= word - 1;
+                    rhsRows_[d] |= uint64_t(1) << s;
+                }
+            }
+        }
+
+        // Bit-sliced multi-RHS reduction through the pivot basis.
+        // Rows ascend; a pivot's column leads at its own row, so the
+        // sweep performs, lane by lane, exactly the XOR sequence the
+        // scalar residual loop performs per shot. Lanes never
+        // interact: each XOR only flips the shots in `mask`.
+        rhsAug_.assign(pivotVar_.size(), 0);
+        uint64_t fail_mask = 0;
+        for (size_t r = 0; r < num_rows; ++r) {
+            const uint64_t mask = rhsRows_[r];
+            if (mask == 0)
+                continue;
+            const uint32_t p = pivotByRow_[r];
+            if (p == kNoPivot) {
+                // These shots' syndromes leave the column span here —
+                // the scalar path fails them at this same row. Later
+                // XORs on their lanes are discarded with the lane.
+                fail_mask |= mask;
+                continue;
+            }
+            const uint64_t* pivot_col = pivotCols_.data() + p * words_;
+            for (size_t w = 0; w < words_; ++w) {
+                uint64_t word = pivot_col[w];
+                while (word != 0) {
+                    const size_t r2 = w * 64 +
+                        static_cast<size_t>(std::countr_zero(word));
+                    word &= word - 1;
+                    rhsRows_[r2] ^= mask;
+                }
+            }
+            const uint64_t* pivot_aug =
+                pivotAugs_.data() + p * aug_words;
+            for (size_t w = 0; w < aug_words; ++w) {
+                uint64_t word = pivot_aug[w];
+                while (word != 0) {
+                    const size_t slot = w * 64 +
+                        static_cast<size_t>(std::countr_zero(word));
+                    word &= word - 1;
+                    rhsAug_[slot] ^= mask;
+                }
+            }
+        }
+
+        // Per-shot aug extraction, then the shared scoring tail.
+        shotAug_.assign(std::max<size_t>(aug_words, 1), 0);
+        for (size_t s = 0; s < cn; ++s) {
+            const uint32_t shot = members[chunk + s];
+            if ((fail_mask >> s) & 1) {
+                out.ok[shot] = 0;
+                flipCount_[shot] = 0;
+                continue;
+            }
+            std::fill(shotAug_.begin(), shotAug_.end(), 0);
+            for (size_t slot = 0; slot < pivotVar_.size(); ++slot) {
+                if ((rhsAug_[slot] >> s) & 1)
+                    shotAug_[slot >> 6] |= uint64_t(1) << (slot & 63);
+            }
+            scoreAndEmitShot(shot, shots[shot].posteriorLlr, out);
+        }
+    }
+}
+
+void
+OsdDecoder::solveBatch(const OsdShotRequest* shots, size_t count,
+                       OsdBatchResult& out)
+{
+    out.ok.assign(count, 0);
+    out.flips.clear();
+    out.flipOffsets.assign(count + 1, 0);
+    out.stats = {};
+    if (count == 0)
+        return;
+
+    const size_t flip_stride = dem_.numDetectors + 1;
+    flipScratch_.resize(count * flip_stride);
+    flipCount_.assign(count, 0);
+    shotAssigned_.assign(count, 0);
+
+    // Leader/member grouping: the first unassigned shot runs a full
+    // elimination; every later unassigned shot whose reliability
+    // ordering shares the whole inspected prefix joins its group and
+    // skips elimination entirely.
+    for (size_t i = 0; i < count; ++i) {
+        if (shotAssigned_[i])
+            continue;
+        runElimination(shots[i].posteriorLlr);
+        groupMembers_.clear();
+        groupMembers_.push_back(static_cast<uint32_t>(i));
+        shotAssigned_[i] = 1;
+        for (size_t j = i + 1; j < count; ++j) {
+            if (shotAssigned_[j])
+                continue;
+            if (matchesOrdering(shots[j].posteriorLlr)) {
+                shotAssigned_[j] = 1;
+                groupMembers_.push_back(static_cast<uint32_t>(j));
+            }
+        }
+        ++out.stats.groups;
+        out.stats.groupedShots += groupMembers_.size() - 1;
+        out.stats.sharedPivots +=
+            pivotVar_.size() * (groupMembers_.size() - 1);
+        solveGroup(shots, groupMembers_.data(), groupMembers_.size(),
+                   out);
+    }
+
+    // Lay the staged per-shot flip lists out in shot order.
+    size_t total = 0;
+    for (size_t i = 0; i < count; ++i)
+        total += flipCount_[i];
+    out.flips.resize(total);
+    size_t offset = 0;
+    for (size_t i = 0; i < count; ++i) {
+        out.flipOffsets[i] = offset;
+        std::copy(flipScratch_.begin() + i * flip_stride,
+                  flipScratch_.begin() + i * flip_stride +
+                      flipCount_[i],
+                  out.flips.begin() + static_cast<std::ptrdiff_t>(offset));
+        offset += flipCount_[i];
+    }
+    out.flipOffsets[count] = offset;
 }
 
 } // namespace cyclone

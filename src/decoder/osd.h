@@ -13,6 +13,30 @@
  * probable candidate. This is the standard post-processor that makes
  * BP usable on qLDPC codes (Panteleev & Kalachev; Roffe et al.), as
  * used by the decoders the paper cites for BB and HGP codes.
+ *
+ * Two entry points share one decoder:
+ *
+ *  - decode(): the original per-shot scalar path, kept as the
+ *    reference implementation (and the fallback of the per-shot
+ *    pipeline).
+ *  - solveBatch(): the batched path of the wave pipeline. Shots whose
+ *    reliability orderings share the full inspected column-permutation
+ *    prefix are grouped behind one shared GF(2) elimination, and each
+ *    group's syndromes are back-substituted together in bit-sliced
+ *    multi-RHS form (up to 64 syndromes packed per machine word,
+ *    mirroring ShotBatch's shot-per-bit layout). Group membership is
+ *    opportunistic — distinct posteriors rarely match — so the batch
+ *    core also carries a leaner elimination than the scalar path: a
+ *    stable radix sort on the float bit pattern instead of a lazy
+ *    heap, column-only reduction with a hit list once the reject
+ *    quota is full, first-set-bit scan hints, and a bit-sliced dual
+ *    (left-nullspace) basis that filters the long dependent tail at a
+ *    few word XORs per candidate. None of that changes any result:
+ *    the pivot/reject choice is a pure function of the reliability
+ *    permutation (lowest LLR first, ties by index) and the scoring
+ *    loops run in the scalar order, so solveBatch is bit-identical to
+ *    per-shot decode() — the contract tests/test_decoder_fuzz.cc
+ *    enforces.
  */
 
 #ifndef CYCLONE_DECODER_OSD_H
@@ -26,6 +50,38 @@
 #include "dem/dem.h"
 
 namespace cyclone {
+
+/** One non-converged shot handed to the batched OSD stage. */
+struct OsdShotRequest
+{
+    /** Detector outcomes (numDetectors bits). */
+    const BitVec* syndrome = nullptr;
+    /** Per-mechanism posterior LLRs from BP (numMechanisms floats). */
+    const float* posteriorLlr = nullptr;
+};
+
+/** Counters of one solveBatch call. */
+struct OsdBatchStats
+{
+    /** Shared eliminations performed (one per ordering group). */
+    size_t groups = 0;
+    /** Shots that rode a leader's elimination instead of their own. */
+    size_t groupedShots = 0;
+    /** Pivot slots replayed from a leader (rank x grouped shots). */
+    size_t sharedPivots = 0;
+};
+
+/** Outcome of one solveBatch call; storage reusable across calls. */
+struct OsdBatchResult
+{
+    /** Per shot: 1 if a solution was found (syndrome in column span). */
+    std::vector<uint8_t> ok;
+    /** Concatenated flipped-mechanism indices of all shots. */
+    std::vector<uint32_t> flips;
+    /** count+1 offsets into flips (shot i owns [i], [i+1]). */
+    std::vector<size_t> flipOffsets;
+    OsdBatchStats stats;
+};
 
 /** OSD post-processor over a detector error model. */
 class OsdDecoder
@@ -55,10 +111,41 @@ class OsdDecoder
                 const std::vector<float>& posterior_llr,
                 std::vector<uint8_t>& errors);
 
+    /**
+     * Solve many shots at once, bit-identically to calling decode()
+     * on each: shots are grouped by equal inspected ordering prefix,
+     * each group shares one elimination, and group syndromes reduce
+     * through the pivot basis together (bit-sliced, 64 per word).
+     *
+     * @param shots per-shot syndrome + posterior views; posteriors
+     *        must stay valid for the duration of the call
+     * @param count number of shots (any size; RHS packing chunks
+     *        internally at 64)
+     * @param[out] out per-shot success flags and flipped-mechanism
+     *        lists (result.flips order within a shot is ascending by
+     *        pivot slot, swept column last — XOR-equivalent to the
+     *        scalar errors vector)
+     */
+    void solveBatch(const OsdShotRequest* shots, size_t count,
+                    OsdBatchResult& out);
+
     /** Column rank discovered so far (fixed after the first decode). */
     size_t discoveredRank() const { return rank_; }
 
   private:
+    size_t augWords() const;
+    void sortReliability(const float* llr);
+    void buildDualBasis();
+    void runElimination(const float* llr);
+    bool matchesOrdering(const float* llr);
+    void solveGroup(const OsdShotRequest* shots,
+                    const uint32_t* members, size_t memberCount,
+                    OsdBatchResult& out);
+    void scoreAndEmitShot(uint32_t shot, const float* llr,
+                          OsdBatchResult& out);
+    double scoreAug(const uint64_t* aug, const float* llr,
+                    double extra) const;
+
     const DetectorErrorModel& dem_;
     size_t order_;
     size_t words_ = 0;
@@ -84,6 +171,46 @@ class OsdDecoder
     std::vector<uint64_t> baseAug_;
     std::vector<uint64_t> candidateAug_;
     std::vector<uint64_t> sweepAug_;
+
+    // --- Batch-core scratch (solveBatch only) ---
+
+    /** Candidate order: (transformed LLR key << 32 | index), sorted
+     *  ascending by a stable 3-pass LSD radix sort — exactly the
+     *  (llr, index) comparator order of the scalar heap, at a
+     *  fraction of a comparison sort's cost. */
+    std::vector<uint64_t> orderKeys_;
+    std::vector<uint64_t> orderAlt_; ///< radix double buffer.
+
+    /** Columns the current leader's elimination popped, in order. */
+    std::vector<uint32_t> inspected_;
+    std::vector<uint32_t> hitSlots_; ///< column-only-mode hit list.
+
+    /** Bit-sliced dual basis of the uncovered rows: word d holds, in
+     *  bit b, the d-th coordinate of the b-th left-nullspace basis
+     *  vector of the current pivot span. A candidate column c is
+     *  independent of the pivots iff the XOR of dualSlice_ over c's
+     *  detector rows is nonzero, which turns the long dependent tail
+     *  of the elimination into a handful of word XORs per candidate.
+     *  Active only while at most 64 rows remain uncovered. */
+    std::vector<uint64_t> dualSlice_;
+
+    /** Membership stamps for the ordering-prefix test (per var). */
+    std::vector<uint64_t> inspectedStamp_;
+    uint64_t stampEpoch_ = 0;
+
+    // Bit-sliced multi-RHS back-substitution state: one word per
+    // detector row / pivot slot, bit s = shot s of the current chunk.
+    std::vector<uint64_t> rhsRows_;
+    std::vector<uint64_t> rhsAug_;
+    std::vector<uint64_t> shotAug_;
+    std::vector<uint32_t> groupMembers_;
+    std::vector<uint8_t> shotAssigned_;
+
+    /** Per-shot flip staging: stride numDetectors+1 entries, so the
+     *  output arrays can be laid out in shot order after groups were
+     *  solved out of order. */
+    std::vector<uint32_t> flipScratch_;
+    std::vector<uint32_t> flipCount_;
 };
 
 } // namespace cyclone

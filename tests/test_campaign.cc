@@ -277,6 +277,96 @@ TEST(Campaign, CheckpointRoundtrip)
     std::remove(path.c_str());
 }
 
+/**
+ * One parameterized matrix over every checkpoint format generation:
+ * 14 fields (pre-batch-pipeline), 17 (pre-wave-kernel), 20
+ * (pre-batched-OSD) and 22 (current). Fields absent from an old
+ * format must load as zero; any other field count must be rejected.
+ */
+class CheckpointFormat : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CheckpointFormat, LoadsEveryFormatGeneration)
+{
+    const int fields = GetParam();
+    // The full 22-field line, split so each generation is a prefix.
+    const char* tokens[22] = {
+        "00000000deadbeef", // content hash
+        "6",                // rounds
+        "12.5",             // round latency us
+        "10",               // dem detectors
+        "20",               // dem mechanisms
+        "1000",             // shots
+        "7",                // failures
+        "4",                // chunks
+        "1",                // stopped early
+        "1000",             // decodes
+        "950",              // bp converged
+        "50",               // osd invocations
+        "2",                // osd failures
+        "1.25",             // sample seconds
+        "300",              // trivial shots
+        "100",              // memo hits
+        "4000",             // bp iterations
+        "11",               // wave groups
+        "88",               // wave lane slots
+        "70",               // wave lanes filled
+        "9",                // osd batch groups
+        "1234",             // osd shared pivots
+    };
+    std::string text = "cyclone-campaign-checkpoint v1\ntask";
+    for (int f = 0; f < fields; ++f)
+        text += std::string(" ") + tokens[f];
+    text += "\n";
+
+    const std::string path = "test_checkpoint_format.tmp";
+    ASSERT_TRUE(writeTextFile(path, text));
+    CampaignCheckpoint checkpoint;
+    const bool loaded = loadCheckpoint(path, checkpoint);
+    std::remove(path.c_str());
+
+    if (fields != 14 && fields != 17 && fields != 20 && fields != 22) {
+        EXPECT_FALSE(loaded) << "fields=" << fields;
+        return;
+    }
+    ASSERT_TRUE(loaded) << "fields=" << fields;
+    ASSERT_EQ(checkpoint.tasks.size(), 1u);
+    const TaskResult& t = checkpoint.tasks.begin()->second;
+    EXPECT_EQ(t.contentHash, 0xdeadbeefULL);
+    EXPECT_EQ(t.rounds, 6u);
+    EXPECT_DOUBLE_EQ(t.roundLatencyUs, 12.5);
+    EXPECT_EQ(t.demDetectors, 10u);
+    EXPECT_EQ(t.demMechanisms, 20u);
+    EXPECT_EQ(t.logicalErrorRate.trials, 1000u);
+    EXPECT_EQ(t.logicalErrorRate.successes, 7u);
+    EXPECT_EQ(t.chunks, 4u);
+    EXPECT_TRUE(t.stoppedEarly);
+    EXPECT_TRUE(t.fromCheckpoint);
+    EXPECT_EQ(t.decoder.decodes, 1000u);
+    EXPECT_EQ(t.decoder.bpConverged, 950u);
+    EXPECT_EQ(t.decoder.osdInvocations, 50u);
+    EXPECT_EQ(t.decoder.osdFailures, 2u);
+    EXPECT_DOUBLE_EQ(t.sampleSeconds, 1.25);
+
+    const bool hasBatch = fields >= 17;
+    EXPECT_EQ(t.decoder.trivialShots, hasBatch ? 300u : 0u);
+    EXPECT_EQ(t.decoder.memoHits, hasBatch ? 100u : 0u);
+    EXPECT_EQ(t.decoder.bpIterations, hasBatch ? 4000u : 0u);
+    const bool hasWave = fields >= 20;
+    EXPECT_EQ(t.decoder.waveGroups, hasWave ? 11u : 0u);
+    EXPECT_EQ(t.decoder.waveLaneSlots, hasWave ? 88u : 0u);
+    EXPECT_EQ(t.decoder.waveLanesFilled, hasWave ? 70u : 0u);
+    const bool hasOsdBatch = fields >= 22;
+    EXPECT_EQ(t.decoder.osdBatchGroups, hasOsdBatch ? 9u : 0u);
+    EXPECT_EQ(t.decoder.osdSharedPivots, hasOsdBatch ? 1234u : 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(FormatGenerations, CheckpointFormat,
+                         ::testing::Values(14, 17, 20, 22,
+                                           // rejected counts
+                                           13, 15, 21));
+
 TEST(Campaign, SpecParsingExpandsSweeps)
 {
     const char* text = R"(

@@ -1,0 +1,462 @@
+/**
+ * @file
+ * Differential fuzz harness for the whole decode stack, plus the OSD
+ * edge-case unit tests.
+ *
+ * The batched pipeline's contract is that every fast path — the
+ * scalar-core batch, the lane-parallel wave kernel, and the batched
+ * OSD stage — is bit-identical to per-shot decoding. Instead of
+ * hand-building a case per feature, the fuzzer generates random small
+ * DEMs (varied detector/mechanism counts, ragged degrees, duplicate
+ * columns, zero-weight detectors) and random shot sets (error-pattern
+ * shots plus adversarial raw syndromes that may leave the DEM column
+ * span), then asserts exact prediction and statistics equality across
+ * all four decode paths for both BP variants.
+ *
+ * CI runs a fixed seed set; set CYCLONE_FUZZ_ITERS to a larger count
+ * for deeper local runs (each iteration is one random DEM + shot set
+ * per BP variant).
+ */
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "decoder/bposd_decoder.h"
+#include "decoder/osd.h"
+#include "dem/dem.h"
+#include "dem/shot_batch.h"
+
+namespace cyclone {
+namespace {
+
+size_t
+fuzzIterations()
+{
+    const char* env = std::getenv("CYCLONE_FUZZ_ITERS");
+    if (env != nullptr && env[0] != '\0') {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed > 0)
+            return static_cast<size_t>(parsed);
+    }
+    return 24;
+}
+
+/** Random small DEM: ragged degrees, duplicate columns, detectors no
+ *  mechanism touches, undetectable mechanisms. */
+DetectorErrorModel
+randomDem(Rng& rng)
+{
+    DetectorErrorModel dem;
+    dem.numDetectors = rng.below(25);       // 0..24, zero included
+    dem.numObservables = 1 + rng.below(3);  // 1..3
+    const size_t mechs = 1 + rng.below(48); // 1..48
+    for (size_t m = 0; m < mechs; ++m) {
+        DemMechanism mech;
+        mech.probability = 0.01 + 0.34 * (rng.below(1000) / 1000.0);
+        if (!dem.mechanisms.empty() && rng.below(10) < 3) {
+            // Duplicate column: same detectors as an earlier
+            // mechanism (possibly different observables), so H is
+            // rank-deficient in a way OSD must handle.
+            const size_t src = rng.below(dem.mechanisms.size());
+            mech.detectors = dem.mechanisms[src].detectors;
+        } else if (dem.numDetectors > 0) {
+            const size_t degree = rng.below(5); // 0..4, ragged
+            for (size_t d = 0; d < degree; ++d) {
+                const uint32_t det = static_cast<uint32_t>(
+                    rng.below(dem.numDetectors));
+                bool seen = false;
+                for (uint32_t existing : mech.detectors)
+                    seen = seen || existing == det;
+                if (!seen)
+                    mech.detectors.push_back(det);
+            }
+        }
+        mech.observables = rng.next() &
+            ((uint64_t(1) << dem.numObservables) - 1);
+        dem.mechanisms.push_back(std::move(mech));
+    }
+    return dem;
+}
+
+/** Random shots: half error patterns (in-span syndromes), half raw
+ *  random detector sets that may be outside the DEM column span. */
+ShotBatch
+randomShots(const DetectorErrorModel& dem, size_t shots, Rng& rng)
+{
+    ShotBatch batch;
+    batch.reset(dem.numDetectors, shots);
+    for (size_t s = 0; s < shots; ++s) {
+        if (rng.below(2) == 0) {
+            const size_t faults = rng.below(5);
+            for (size_t f = 0; f < faults; ++f) {
+                const DemMechanism& mech =
+                    dem.mechanisms[rng.below(dem.mechanisms.size())];
+                for (uint32_t d : mech.detectors)
+                    batch.flipDetector(s, d);
+            }
+        } else {
+            for (size_t d = 0; d < dem.numDetectors; ++d) {
+                if (rng.below(8) == 0)
+                    batch.flipDetector(s, d);
+            }
+        }
+    }
+    return batch;
+}
+
+/** The per-shot outcome counters that memo replay must preserve. */
+void
+expectReplayedStatsEqual(const BpOsdStats& got, const BpOsdStats& want,
+                         const std::string& label)
+{
+    EXPECT_EQ(got.decodes, want.decodes) << label;
+    EXPECT_EQ(got.bpConverged, want.bpConverged) << label;
+    EXPECT_EQ(got.osdInvocations, want.osdInvocations) << label;
+    EXPECT_EQ(got.osdFailures, want.osdFailures) << label;
+    EXPECT_EQ(got.trivialShots, want.trivialShots) << label;
+    EXPECT_EQ(got.bpIterations, want.bpIterations) << label;
+}
+
+TEST(DecoderFuzz, AllFourPathsBitExactOnRandomDems)
+{
+    const size_t iters = fuzzIterations();
+    for (size_t iter = 0; iter < iters; ++iter) {
+        for (const auto variant : {BpOptions::Variant::MinSum,
+                                   BpOptions::Variant::ProductSum}) {
+            Rng rng(0xf0220000ULL + iter * 2 +
+                    (variant == BpOptions::Variant::MinSum ? 0 : 1));
+            const DetectorErrorModel dem = randomDem(rng);
+            const size_t shots = 1 + rng.below(180);
+            const ShotBatch batch = randomShots(dem, shots, rng);
+
+            BpOptions bp;
+            bp.variant = variant;
+            // Starve BP often so the OSD stage is exercised hard.
+            bp.maxIterations = 1 + rng.below(12);
+
+            const std::string label = "iter=" + std::to_string(iter) +
+                " variant=" +
+                (variant == BpOptions::Variant::MinSum ? "ms" : "ps") +
+                " shots=" + std::to_string(shots) +
+                " det=" + std::to_string(dem.numDetectors) +
+                " mechs=" + std::to_string(dem.mechanisms.size());
+
+            // Path 1: per-shot scalar decoding (the reference).
+            BpOptions scalarBp = bp;
+            scalarBp.waveLanes = 1;
+            BpOsdDecoder scalar(dem, scalarBp);
+            std::vector<uint64_t> expected(shots);
+            for (size_t s = 0; s < shots; ++s)
+                expected[s] = scalar.decode(batch.syndromeOf(s));
+            const BpOsdStats want = scalar.stats();
+
+            struct PathSpec
+            {
+                const char* name;
+                size_t waveLanes;
+                bool osdBatch;
+            };
+            const PathSpec paths[] = {
+                {"batch", 1, false},
+                {"wave", 0, false},
+                {"wave+batched-osd", 0, true},
+            };
+            size_t batchMemoHits = 0;
+            for (const PathSpec& path : paths) {
+                BpOptions pathBp = bp;
+                pathBp.waveLanes = path.waveLanes;
+                pathBp.osdBatch = path.osdBatch;
+                BpOsdDecoder decoder(dem, pathBp);
+                std::vector<uint64_t> got;
+                decoder.decodeBatch(batch, got);
+                ASSERT_EQ(got.size(), shots) << label;
+                for (size_t s = 0; s < shots; ++s)
+                    ASSERT_EQ(got[s], expected[s])
+                        << label << " path=" << path.name
+                        << " s=" << s;
+                expectReplayedStatsEqual(
+                    decoder.stats(), want,
+                    label + " path=" + path.name);
+                // All batch paths share the same memo grouping.
+                if (path.waveLanes == 1)
+                    batchMemoHits = decoder.stats().memoHits;
+                else
+                    EXPECT_EQ(decoder.stats().memoHits, batchMemoHits)
+                        << label << " path=" << path.name;
+            }
+        }
+    }
+}
+
+TEST(DecoderFuzz, DirectSolveBatchMatchesScalarOsd)
+{
+    // solveBatch head-to-head against decode() on BP posteriors,
+    // including shot counts above the 64-per-word RHS chunk size.
+    const size_t iters = fuzzIterations();
+    for (size_t iter = 0; iter < iters; ++iter) {
+        Rng rng(0xd07b47c8ULL + iter);
+        const DetectorErrorModel dem = randomDem(rng);
+        const size_t shots = 1 + rng.below(90);
+        const ShotBatch batch = randomShots(dem, shots, rng);
+
+        BpOptions bp;
+        bp.maxIterations = 1 + rng.below(6);
+        BpDecoder bpDecoder(dem, bp);
+
+        std::vector<BitVec> syndromes;
+        std::vector<std::vector<float>> posteriors;
+        for (size_t s = 0; s < shots; ++s) {
+            const BitVec syndrome = batch.syndromeOf(s);
+            bpDecoder.decode(syndrome);
+            syndromes.push_back(syndrome);
+            posteriors.push_back(bpDecoder.posteriorLlr());
+        }
+
+        std::vector<OsdShotRequest> requests(shots);
+        for (size_t s = 0; s < shots; ++s) {
+            requests[s].syndrome = &syndromes[s];
+            requests[s].posteriorLlr = posteriors[s].data();
+        }
+        OsdDecoder batchOsd(dem);
+        OsdBatchResult result;
+        batchOsd.solveBatch(requests.data(), shots, result);
+
+        OsdDecoder scalarOsd(dem);
+        std::vector<uint8_t> errors;
+        for (size_t s = 0; s < shots; ++s) {
+            const bool ok =
+                scalarOsd.decode(syndromes[s], posteriors[s], errors);
+            ASSERT_EQ(result.ok[s] != 0, ok) << "iter=" << iter
+                                             << " s=" << s;
+            if (!ok)
+                continue;
+            std::vector<uint8_t> batchErrors(dem.mechanisms.size(), 0);
+            for (size_t f = result.flipOffsets[s];
+                 f < result.flipOffsets[s + 1]; ++f)
+                batchErrors[result.flips[f]] = 1;
+            ASSERT_EQ(batchErrors, errors) << "iter=" << iter
+                                           << " s=" << s;
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// OSD edge cases.
+// --------------------------------------------------------------------
+
+/** Repetition-code DEM (chain of detectors, full-rank H). */
+DetectorErrorModel
+chainDem(size_t n, double p)
+{
+    DetectorErrorModel dem;
+    dem.numDetectors = n - 1;
+    dem.numObservables = 1;
+    for (size_t i = 0; i < n; ++i) {
+        DemMechanism m;
+        m.probability = p;
+        if (i > 0)
+            m.detectors.push_back(static_cast<uint32_t>(i - 1));
+        if (i < n - 1)
+            m.detectors.push_back(static_cast<uint32_t>(i));
+        m.observables = i == n - 1 ? 1 : 0;
+        dem.mechanisms.push_back(std::move(m));
+    }
+    return dem;
+}
+
+TEST(OsdBatch, AllConvergedGroupNeverInvokesOsd)
+{
+    // Single-fault syndromes on a chain: BP converges on every shot,
+    // so the batched OSD stage must never run.
+    const DetectorErrorModel dem = chainDem(8, 0.05);
+    ShotBatch batch;
+    batch.reset(dem.numDetectors, 40);
+    for (size_t s = 0; s < 40; ++s) {
+        for (uint32_t d :
+             dem.mechanisms[s % dem.mechanisms.size()].detectors)
+            batch.flipDetector(s, d);
+    }
+    BpOsdDecoder decoder(dem);
+    std::vector<uint64_t> predicted;
+    decoder.decodeBatch(batch, predicted);
+    EXPECT_EQ(decoder.stats().bpConverged, decoder.stats().decodes);
+    EXPECT_EQ(decoder.stats().osdInvocations, 0u);
+    EXPECT_EQ(decoder.stats().osdBatchGroups, 0u);
+    EXPECT_EQ(decoder.stats().osdSharedPivots, 0u);
+}
+
+TEST(OsdBatch, RankDeficientAndOutOfSpanSyndromes)
+{
+    // Detector 4 is touched by no mechanism, and two columns repeat:
+    // H is rank-deficient and syndromes with bit 4 set sit outside
+    // the column span. Batch must agree with scalar on predictions
+    // and on the osdFailures accounting.
+    DetectorErrorModel dem;
+    dem.numDetectors = 5;
+    dem.numObservables = 1;
+    dem.mechanisms.push_back({0.1, {0, 1}, 1});
+    dem.mechanisms.push_back({0.1, {1, 2}, 0});
+    dem.mechanisms.push_back({0.1, {0, 1}, 0}); // duplicate of [0]
+    dem.mechanisms.push_back({0.1, {2, 3}, 1});
+    dem.mechanisms.push_back({0.1, {3}, 0});
+
+    BpOptions bp;
+    bp.maxIterations = 1; // starve BP so OSD always runs
+    const size_t shots = 24;
+    ShotBatch batch;
+    batch.reset(dem.numDetectors, shots);
+    for (size_t s = 0; s < shots; ++s) {
+        if (s % 3 == 0)
+            batch.flipDetector(s, 4); // out of span
+        batch.flipDetector(s, s % 4);
+        if (s % 2 == 0)
+            batch.flipDetector(s, (s + 1) % 4);
+    }
+
+    BpOptions scalarBp = bp;
+    scalarBp.waveLanes = 1;
+    BpOsdDecoder scalar(dem, scalarBp);
+    std::vector<uint64_t> expected(shots);
+    for (size_t s = 0; s < shots; ++s)
+        expected[s] = scalar.decode(batch.syndromeOf(s));
+    ASSERT_GT(scalar.stats().osdFailures, 0u);
+    ASSERT_GT(scalar.stats().osdInvocations, 0u);
+
+    BpOsdDecoder decoder(dem, bp);
+    std::vector<uint64_t> got;
+    decoder.decodeBatch(batch, got);
+    for (size_t s = 0; s < shots; ++s)
+        EXPECT_EQ(got[s], expected[s]) << "s=" << s;
+    expectReplayedStatsEqual(decoder.stats(), scalar.stats(),
+                             "rank-deficient");
+}
+
+TEST(OsdBatch, SingletonGroupDegeneratesToScalar)
+{
+    const DetectorErrorModel dem = chainDem(10, 0.1);
+    BpOptions bp;
+    bp.maxIterations = 1;
+    BpDecoder bpDecoder(dem, bp);
+    BitVec syndrome(dem.numDetectors);
+    syndrome.set(2, true);
+    syndrome.set(5, true);
+    bpDecoder.decode(syndrome);
+    const std::vector<float> posterior = bpDecoder.posteriorLlr();
+
+    OsdShotRequest request;
+    request.syndrome = &syndrome;
+    request.posteriorLlr = posterior.data();
+    OsdDecoder batchOsd(dem);
+    OsdBatchResult result;
+    batchOsd.solveBatch(&request, 1, result);
+    EXPECT_EQ(result.stats.groups, 1u);
+    EXPECT_EQ(result.stats.groupedShots, 0u);
+    EXPECT_EQ(result.stats.sharedPivots, 0u);
+
+    OsdDecoder scalarOsd(dem);
+    std::vector<uint8_t> errors;
+    ASSERT_TRUE(scalarOsd.decode(syndrome, posterior, errors));
+    ASSERT_EQ(result.ok[0], 1u);
+    std::vector<uint8_t> batchErrors(dem.mechanisms.size(), 0);
+    for (size_t f = result.flipOffsets[0]; f < result.flipOffsets[1];
+         ++f)
+        batchErrors[result.flips[f]] = 1;
+    EXPECT_EQ(batchErrors, errors);
+    EXPECT_EQ(batchOsd.discoveredRank(), scalarOsd.discoveredRank());
+}
+
+TEST(OsdBatch, SharedOrderingPrefixGroupsAcrossSyndromes)
+{
+    // Shots with the same posterior but different syndromes share the
+    // whole reliability permutation, so one elimination must serve
+    // the entire batch — including the >64-shot RHS chunking path.
+    const DetectorErrorModel dem = chainDem(12, 0.1);
+    const size_t shots = 70;
+    std::vector<float> posterior(dem.mechanisms.size());
+    for (size_t v = 0; v < posterior.size(); ++v)
+        posterior[v] = 0.25f * static_cast<float>((v * 7) % 13) - 1.0f;
+
+    std::vector<BitVec> syndromes;
+    for (size_t s = 0; s < shots; ++s) {
+        BitVec syndrome(dem.numDetectors);
+        syndrome.set(s % dem.numDetectors, true);
+        if (s % 2 == 0)
+            syndrome.set((s + 3) % dem.numDetectors, true);
+        syndromes.push_back(std::move(syndrome));
+    }
+    std::vector<OsdShotRequest> requests(shots);
+    for (size_t s = 0; s < shots; ++s) {
+        requests[s].syndrome = &syndromes[s];
+        requests[s].posteriorLlr = posterior.data();
+    }
+
+    OsdDecoder batchOsd(dem);
+    OsdBatchResult result;
+    batchOsd.solveBatch(requests.data(), shots, result);
+    EXPECT_EQ(result.stats.groups, 1u);
+    EXPECT_EQ(result.stats.groupedShots, shots - 1);
+    EXPECT_EQ(result.stats.sharedPivots,
+              batchOsd.discoveredRank() * (shots - 1));
+
+    OsdDecoder scalarOsd(dem);
+    std::vector<uint8_t> errors;
+    for (size_t s = 0; s < shots; ++s) {
+        ASSERT_TRUE(scalarOsd.decode(syndromes[s], posterior, errors))
+            << "s=" << s;
+        ASSERT_EQ(result.ok[s], 1u) << "s=" << s;
+        std::vector<uint8_t> batchErrors(dem.mechanisms.size(), 0);
+        for (size_t f = result.flipOffsets[s];
+             f < result.flipOffsets[s + 1]; ++f)
+            batchErrors[result.flips[f]] = 1;
+        ASSERT_EQ(batchErrors, errors) << "s=" << s;
+    }
+}
+
+TEST(OsdBatch, ReliabilityTiesAtThePivotBoundary)
+{
+    // An all-ties posterior makes the reliability order pure index
+    // order, putting equal keys on both sides of every pivot/reject
+    // decision; and a batch with one differing shot must split into
+    // two groups rather than share the wrong elimination.
+    const DetectorErrorModel dem = chainDem(9, 0.1);
+    std::vector<float> tied(dem.mechanisms.size(), 0.5f);
+    std::vector<float> nudged = tied;
+    nudged[3] = 0.4999f; // reorders the prefix for the second shot
+
+    BitVec sa(dem.numDetectors);
+    sa.set(1, true);
+    BitVec sb(dem.numDetectors);
+    sb.set(4, true);
+    OsdShotRequest requests[2];
+    requests[0].syndrome = &sa;
+    requests[0].posteriorLlr = tied.data();
+    requests[1].syndrome = &sb;
+    requests[1].posteriorLlr = nudged.data();
+
+    OsdDecoder batchOsd(dem);
+    OsdBatchResult result;
+    batchOsd.solveBatch(requests, 2, result);
+    EXPECT_EQ(result.stats.groups, 2u);
+
+    OsdDecoder scalarOsd(dem);
+    std::vector<uint8_t> errors;
+    const std::vector<float>* posteriors[2] = {&tied, &nudged};
+    const BitVec* syndromes[2] = {&sa, &sb};
+    for (size_t s = 0; s < 2; ++s) {
+        ASSERT_TRUE(scalarOsd.decode(*syndromes[s], *posteriors[s],
+                                     errors));
+        ASSERT_EQ(result.ok[s], 1u);
+        std::vector<uint8_t> batchErrors(dem.mechanisms.size(), 0);
+        for (size_t f = result.flipOffsets[s];
+             f < result.flipOffsets[s + 1]; ++f)
+            batchErrors[result.flips[f]] = 1;
+        EXPECT_EQ(batchErrors, errors) << "s=" << s;
+    }
+}
+
+} // namespace
+} // namespace cyclone

@@ -267,6 +267,65 @@ TEST(DecodeBatch, MemoDecodesEachDistinctSyndromeOnce)
     EXPECT_EQ(fresh.stats().memoHits, stats.memoHits);
 }
 
+TEST(DecodeBatch, MemoHitsReplayOsdStatsExactly)
+{
+    // Regression for the OSD accounting on the memo-replay path:
+    // duplicate syndromes must replay osdInvocations AND osdFailures
+    // per shot, not once per distinct syndrome. Starving BP forces
+    // OSD on every non-trivial shot, the tiny syndrome space forces
+    // duplicates, and an untouched detector row makes some syndromes
+    // leave the column span so osdFailures is exercised too.
+    DetectorErrorModel dem = repetitionDem(5, 0.2);
+    ++dem.numDetectors; // detector 4: touched by no mechanism
+
+    BpOptions bp;
+    bp.maxIterations = 1;
+    const size_t shots = 256;
+    Rng rng(41);
+    ShotBatch batch;
+    batch.reset(dem.numDetectors, shots);
+    for (size_t s = 0; s < shots; ++s) {
+        for (size_t d = 0; d + 1 < dem.numDetectors; ++d) {
+            if (rng.below(3) == 0)
+                batch.flipDetector(s, d);
+        }
+        if (rng.below(4) == 0)
+            batch.flipDetector(s, dem.numDetectors - 1); // out of span
+    }
+
+    BpOptions scalarBp = bp;
+    scalarBp.waveLanes = 1;
+    BpOsdDecoder scalar(dem, scalarBp);
+    std::vector<uint64_t> expected(shots);
+    for (size_t s = 0; s < shots; ++s)
+        expected[s] = scalar.decode(batch.syndromeOf(s));
+    const BpOsdStats& want = scalar.stats();
+    ASSERT_GT(want.osdInvocations, 0u);
+    ASSERT_GT(want.osdFailures, 0u);
+
+    for (const bool osdBatchEnabled : {false, true}) {
+        BpOptions batchBp = bp;
+        batchBp.osdBatch = osdBatchEnabled;
+        BpOsdDecoder decoder(dem, batchBp);
+        std::vector<uint64_t> got;
+        decoder.decodeBatch(batch, got);
+        for (size_t s = 0; s < shots; ++s)
+            ASSERT_EQ(got[s], expected[s])
+                << "osdBatch=" << osdBatchEnabled << " s=" << s;
+
+        const BpOsdStats& stats = decoder.stats();
+        ASSERT_GT(stats.memoHits, 0u) << "osdBatch=" << osdBatchEnabled;
+        EXPECT_EQ(stats.decodes, want.decodes);
+        EXPECT_EQ(stats.bpConverged, want.bpConverged);
+        EXPECT_EQ(stats.osdInvocations, want.osdInvocations)
+            << "osdBatch=" << osdBatchEnabled;
+        EXPECT_EQ(stats.osdFailures, want.osdFailures)
+            << "osdBatch=" << osdBatchEnabled;
+        EXPECT_EQ(stats.trivialShots, want.trivialShots);
+        EXPECT_EQ(stats.bpIterations, want.bpIterations);
+    }
+}
+
 TEST(DecodeBatch, ZeroDetectorDemDecodesToZero)
 {
     // Mechanisms that flip observables but no detectors: undetectable
