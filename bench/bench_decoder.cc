@@ -36,6 +36,7 @@
 
 #include "bench_util.h"
 #include "decoder/bp_wave_decoder.h"
+#include "decoder/decoder_backend.h"
 #include "decoder/osd.h"
 
 namespace cyclone {
@@ -133,6 +134,130 @@ BM_DecodeBatch(benchmark::State& state, double p, size_t wave_lanes)
         benchmark::DoNotOptimize(outcome.failures);
     }
     attachDecoderCounters(state, decoder.stats());
+}
+
+/** The wave pipeline forced onto one rung of the SIMD ladder. */
+void
+BM_DecodeBatchForcedBackend(benchmark::State& state, double p,
+                            const DecoderBackend* backend)
+{
+    const DetectorErrorModel& dem = bb72Dem(p);
+    ::setenv(kWaveBackendEnv, backend->name, 1);
+    BpOsdDecoder decoder(dem, benchBp(0));
+    ::unsetenv(kWaveBackendEnv);
+    ShotBatch batch;
+    std::vector<uint64_t> predicted;
+    uint64_t chunk = 0;
+    for (auto _ : state) {
+        ChunkPlan plan;
+        plan.index = chunk;
+        plan.shots = kChunkShots;
+        plan.seed = chunkSeed(0xbe7c4ULL, chunk++);
+        const ChunkOutcome outcome =
+            runChunk(dem, plan, decoder, batch, predicted);
+        benchmark::DoNotOptimize(outcome.failures);
+    }
+    attachDecoderCounters(state, decoder.stats());
+    state.counters["wave_lanes"] =
+        static_cast<double>(decoder.waveLaneWidth());
+}
+
+/** The wave BP kernel alone — no OSD, no memo, no batch pipeline —
+ *  decoding full waves from a fixed pool of non-empty syndromes. This
+ *  is the row the SIMD-ladder rung ratio is computed from: the
+ *  end-to-end rows above share the width-independent OSD stage, which
+ *  dilutes the kernel ratio they were meant to track. */
+void
+BM_WaveKernelForcedBackend(benchmark::State& state, double p,
+                           const DecoderBackend* backend)
+{
+    const DetectorErrorModel& dem = bb72Dem(p);
+    auto graph = std::make_shared<BpGraph>(dem);
+    BpWaveDecoder decoder(graph, benchBp(0), *backend);
+    const size_t lanes = decoder.laneWidth();
+    std::vector<BitVec> pool;
+    DemShots shots;
+    uint64_t chunk = 0;
+    while (pool.size() < 256 && chunk < 64) {
+        Rng rng(chunkSeed(0xbe7c4ULL, chunk++));
+        sampleDemInto(dem, kChunkShots, rng, shots);
+        for (const BitVec& syndrome : shots.syndromes) {
+            if (!syndrome.isZero())
+                pool.push_back(syndrome);
+        }
+    }
+    std::vector<const BitVec*> wave(lanes);
+    size_t next = 0;
+    size_t decoded = 0;
+    uint64_t iters = 0;
+    for (auto _ : state) {
+        for (size_t l = 0; l < lanes; ++l) {
+            wave[l] = &pool[next];
+            next = (next + 1) % pool.size();
+        }
+        decoder.decodeWave(wave.data(), lanes);
+        decoded += lanes;
+        for (size_t l = 0; l < lanes; ++l)
+            iters += decoder.laneIterations(l);
+    }
+    state.counters["shots_per_sec"] = benchmark::Counter(
+        static_cast<double>(decoded), benchmark::Counter::kIsRate);
+    state.counters["mean_bp_iters"] = decoded == 0
+        ? 0.0
+        : static_cast<double>(iters) / static_cast<double>(decoded);
+    state.counters["wave_lanes"] = static_cast<double>(lanes);
+}
+
+constexpr size_t kSmallChunkShots = 64;
+constexpr size_t kStagingGroup = 8;
+
+/** A campaign worker decoding 64-shot chunks one at a time — the
+ *  baseline the cross-chunk staging pool is measured against. */
+void
+BM_DecodeChunk64(benchmark::State& state, double p)
+{
+    const DetectorErrorModel& dem = bb72Dem(p);
+    BpOsdDecoder decoder(dem, benchBp(0));
+    ShotBatch batch;
+    std::vector<uint64_t> predicted;
+    uint64_t chunk = 0;
+    for (auto _ : state) {
+        for (size_t k = 0; k < kStagingGroup; ++k) {
+            ChunkPlan plan;
+            plan.index = chunk;
+            plan.shots = kSmallChunkShots;
+            plan.seed = chunkSeed(0x57a6edULL, chunk++);
+            const ChunkOutcome outcome =
+                runChunk(dem, plan, decoder, batch, predicted);
+            benchmark::DoNotOptimize(outcome.failures);
+        }
+    }
+    attachDecoderCounters(state, decoder.stats());
+}
+
+/** The same 64-shot chunks pooled through the staged decode group, so
+ *  wave lanes and OSD slabs fill across chunk boundaries. */
+void
+BM_DecodeStaged(benchmark::State& state, double p)
+{
+    const DetectorErrorModel& dem = bb72Dem(p);
+    BpOsdDecoder decoder(dem, benchBp(0));
+    std::vector<ShotBatch> batches;
+    std::vector<ChunkPlan> plans(kStagingGroup);
+    uint64_t chunk = 0;
+    for (auto _ : state) {
+        for (size_t k = 0; k < kStagingGroup; ++k) {
+            plans[k].index = chunk;
+            plans[k].shots = kSmallChunkShots;
+            plans[k].seed = chunkSeed(0x57a6edULL, chunk++);
+        }
+        const ChunkOutcome outcome = runChunkGroup(
+            dem, plans.data(), plans.size(), decoder, batches);
+        benchmark::DoNotOptimize(outcome.failures);
+    }
+    attachDecoderCounters(state, decoder.stats());
+    state.counters["staged_chunks"] =
+        static_cast<double>(decoder.stats().stagedChunks);
 }
 
 /** Non-converged (syndrome, posterior) workload for the OSD rows. */
@@ -242,7 +367,8 @@ BM_OsdBatch(benchmark::State& state, double p)
 struct RowSpec
 {
     std::string name;
-    const char* path; ///< "scalar" | "batch" | "wave".
+    std::string path; ///< "scalar", "batch", "wave", "wave_<backend>",
+                      ///< "chunk64", "staged", "osd_*".
     double p;
 };
 
@@ -325,13 +451,13 @@ writeBenchJson(const CaptureReporter& reporter)
             out << ",\n";
         first = false;
         char buf[512];
-        if (std::string(spec.path).rfind("osd", 0) == 0) {
+        if (spec.path.rfind("osd", 0) == 0) {
             std::snprintf(
                 buf, sizeof buf,
                 "    {\"name\": \"%s\", \"path\": \"%s\", \"p\": %g, "
                 "\"syndromes_per_sec\": %.6g, \"nonconv_frac\": %.6g, "
                 "\"groups_per_solve\": %.6g}",
-                spec.name.c_str(), spec.path, spec.p,
+                spec.name.c_str(), spec.path.c_str(), spec.p,
                 reporter.value(spec.name, "syndromes_per_sec"),
                 reporter.value(spec.name, "nonconv_frac"),
                 reporter.value(spec.name, "groups_per_solve"));
@@ -342,7 +468,7 @@ writeBenchJson(const CaptureReporter& reporter)
                 "\"shots_per_sec\": %.6g, \"trivial_frac\": %.6g, "
                 "\"memo_rate\": %.6g, \"mean_bp_iters\": %.6g, "
                 "\"wave_occupancy\": %.6g}",
-                spec.name.c_str(), spec.path, spec.p,
+                spec.name.c_str(), spec.path.c_str(), spec.p,
                 reporter.value(spec.name, "shots_per_sec"),
                 reporter.value(spec.name, "trivial_frac"),
                 reporter.value(spec.name, "memo_rate"),
@@ -355,7 +481,7 @@ writeBenchJson(const CaptureReporter& reporter)
     out << "  \"speedups\": {";
     bool first_p = true;
     for (const RowSpec& spec : rowSpecs()) {
-        if (std::string(spec.path) != "scalar")
+        if (spec.path != "scalar")
             continue;
         char suffix[32];
         std::snprintf(suffix, sizeof suffix, "p%g", spec.p);
@@ -401,6 +527,63 @@ writeBenchJson(const CaptureReporter& reporter)
         out << "}";
         first_p = false;
     }
+    // SIMD-ladder rung ratio at the operating point: the L=16 AVX-512
+    // kernel against the L=8 AVX2 kernel (present only on hosts that
+    // support both). l16_over_l8 is the BP wave kernel alone — the
+    // quantity the ladder actually widens; l16_over_l8_e2e is the
+    // full chunk pipeline, whose shared OSD stage dilutes the ratio.
+    {
+        const std::string k8 = "wave_kernel_avx2/bb72_p0.001";
+        const std::string k16 = "wave_kernel_avx512/bb72_p0.001";
+        if (reporter.has(k8) && reporter.has(k16)) {
+            const double w8 = reporter.value(k8, "shots_per_sec");
+            const double w16 = reporter.value(k16, "shots_per_sec");
+            const double e8 = reporter.value(
+                "decode_wave_avx2/bb72_p0.001", "shots_per_sec");
+            const double e16 = reporter.value(
+                "decode_wave_avx512/bb72_p0.001", "shots_per_sec");
+            if (w8 > 0.0) {
+                char buf[200];
+                std::snprintf(buf, sizeof buf,
+                              "%s\n    \"ladder\": "
+                              "{\"l16_over_l8\": %.4g",
+                              first_p ? "" : ",", w16 / w8);
+                out << buf;
+                if (e8 > 0.0) {
+                    std::snprintf(buf, sizeof buf,
+                                  ", \"l16_over_l8_e2e\": %.4g",
+                                  e16 / e8);
+                    out << buf;
+                }
+                out << "}";
+                first_p = false;
+            }
+        }
+    }
+    // Cross-chunk staging against per-chunk decoding of the same
+    // 64-shot chunks, with the lane occupancy each achieves.
+    {
+        const std::string per = "decode_chunk64/bb72_p0.001";
+        const std::string pool = "decode_staged/bb72_p0.001";
+        if (reporter.has(per) && reporter.has(pool)) {
+            const double r = reporter.value(per, "shots_per_sec");
+            const double s = reporter.value(pool, "shots_per_sec");
+            if (r > 0.0) {
+                char buf[240];
+                std::snprintf(
+                    buf, sizeof buf,
+                    "%s\n    \"staging\": "
+                    "{\"staged_over_chunk64\": %.4g, "
+                    "\"staged_occupancy\": %.4g, "
+                    "\"chunk64_occupancy\": %.4g}",
+                    first_p ? "" : ",", s / r,
+                    reporter.value(pool, "wave_occupancy"),
+                    reporter.value(per, "wave_occupancy"));
+                out << buf;
+                first_p = false;
+            }
+        }
+    }
     out << "\n  }\n";
     out << "}\n";
     std::fprintf(stderr, "bench_decoder: wrote %s\n", path.c_str());
@@ -433,6 +616,55 @@ registerRows()
             wave_name.c_str(),
             [p](benchmark::State& state) {
                 BM_DecodeBatch(state, p, 0);
+            })
+            ->Unit(benchmark::kMillisecond);
+    }
+
+    // Every supported rung of the SIMD ladder, forced through the
+    // dispatch override at the operating point. Rows exist only for
+    // rungs this host can run, so CI gates must key off presence.
+    for (const DecoderBackend* b : decoderBackendRegistry()) {
+        if (b->kernels == nullptr || !b->supported())
+            continue;
+        const std::string name =
+            std::string("decode_wave_") + b->name + "/bb72_p0.001";
+        rowSpecs().push_back(
+            {name, std::string("wave_") + b->name, 1e-3});
+        benchmark::RegisterBenchmark(
+            name.c_str(),
+            [b](benchmark::State& state) {
+                BM_DecodeBatchForcedBackend(state, 1e-3, b);
+            })
+            ->Unit(benchmark::kMillisecond);
+        const std::string kernel_name =
+            std::string("wave_kernel_") + b->name + "/bb72_p0.001";
+        rowSpecs().push_back(
+            {kernel_name, std::string("kernel_") + b->name, 1e-3});
+        benchmark::RegisterBenchmark(
+            kernel_name.c_str(),
+            [b](benchmark::State& state) {
+                BM_WaveKernelForcedBackend(state, 1e-3, b);
+            })
+            ->Unit(benchmark::kMillisecond);
+    }
+
+    // Cross-chunk staging: 64-shot chunks decoded one at a time vs
+    // pooled kStagingGroup at a time.
+    {
+        const std::string per = "decode_chunk64/bb72_p0.001";
+        const std::string pool = "decode_staged/bb72_p0.001";
+        rowSpecs().push_back({per, "chunk64", 1e-3});
+        rowSpecs().push_back({pool, "staged", 1e-3});
+        benchmark::RegisterBenchmark(
+            per.c_str(),
+            [](benchmark::State& state) {
+                BM_DecodeChunk64(state, 1e-3);
+            })
+            ->Unit(benchmark::kMillisecond);
+        benchmark::RegisterBenchmark(
+            pool.c_str(),
+            [](benchmark::State& state) {
+                BM_DecodeStaged(state, 1e-3);
             })
             ->Unit(benchmark::kMillisecond);
     }

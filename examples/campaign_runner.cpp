@@ -161,12 +161,16 @@ main(int argc, char** argv)
             decoder.waveGroups += t.decoder.waveGroups;
             decoder.waveLaneSlots += t.decoder.waveLaneSlots;
             decoder.waveLanesFilled += t.decoder.waveLanesFilled;
+            decoder.stagedChunks += t.decoder.stagedChunks;
+            if (decoder.backend.empty())
+                decoder.backend = t.decoder.backend;
         }
         std::fprintf(stderr,
                      "[%s] %zu tasks, %zu shots, wall %.1fs, compile "
                      "cache %zu hit / %zu miss, dem cache %zu hit / "
                      "%zu miss, decoder trivial %.1f%% / memo %.1f%% "
-                     "/ mean BP iters %.1f / wave occupancy %.0f%%\n",
+                     "/ mean BP iters %.1f / wave occupancy %.0f%% "
+                     "[backend %s, staged chunks %zu]\n",
                      result.name.c_str(), result.tasks.size(),
                      result.totalShots(), result.wallSeconds,
                      result.cache.compileHits,
@@ -175,7 +179,10 @@ main(int argc, char** argv)
                      100.0 * decoder.trivialFraction(),
                      100.0 * decoder.memoHitRate(),
                      decoder.meanBpIterations(),
-                     100.0 * decoder.waveLaneOccupancy());
+                     100.0 * decoder.waveLaneOccupancy(),
+                     decoder.backend.empty() ? "checkpoint"
+                                             : decoder.backend.c_str(),
+                     decoder.stagedChunks);
     }
 
     const std::string json = campaignResultToJson(result);

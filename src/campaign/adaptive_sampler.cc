@@ -32,6 +32,34 @@ runChunk(const DetectorErrorModel& dem, const ChunkPlan& plan,
     return outcome;
 }
 
+ChunkOutcome
+runChunkGroup(const DetectorErrorModel& dem, const ChunkPlan* plans,
+              size_t count, BpOsdDecoder& decoder,
+              std::vector<ShotBatch>& batches)
+{
+    if (batches.size() < count)
+        batches.resize(count);
+    decoder.beginStaged();
+    for (size_t k = 0; k < count; ++k) {
+        Rng rng(plans[k].seed);
+        sampleDemBatch(dem, plans[k].shots, rng, batches[k]);
+        decoder.stageBatch(batches[k]);
+    }
+    decoder.flushStaged();
+
+    ChunkOutcome outcome;
+    const std::vector<uint64_t>& predicted = decoder.stagedPredictions();
+    for (size_t k = 0; k < count; ++k) {
+        const size_t base = decoder.stagedBatchOffset(k);
+        outcome.shots += plans[k].shots;
+        for (size_t s = 0; s < plans[k].shots; ++s) {
+            if (predicted[base + s] != batches[k].observables[s])
+                ++outcome.failures;
+        }
+    }
+    return outcome;
+}
+
 AdaptiveSampler::AdaptiveSampler(StoppingRule rule, uint64_t taskSeed)
     : rule_(rule), taskSeed_(taskSeed)
 {

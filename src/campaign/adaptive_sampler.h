@@ -56,6 +56,24 @@ ChunkOutcome runChunk(const DetectorErrorModel& dem, const ChunkPlan& plan,
                       BpOsdDecoder& decoder, ShotBatch& batch,
                       std::vector<uint64_t>& predicted);
 
+/**
+ * Sample `count` chunks and decode them as one staged group: every
+ * chunk is sampled from its own RNG stream exactly as runChunk would,
+ * but their syndromes pool through the decoder's staged interface
+ * (beginStaged / stageBatch / flushStaged) so the wave kernel sees
+ * full lane groups and the batched OSD full slabs even when single
+ * chunks are small. Predictions — and therefore the summed counts —
+ * are bit-identical to running the chunks one by one; only decoder
+ * grouping statistics (memoHits, waveGroups, occupancy) reflect the
+ * pooling. Callers must pass plans in ascending chunk-index order for
+ * those statistics to be schedule-independent. `batches` is a
+ * reusable per-worker buffer pool, grown to `count` entries.
+ */
+ChunkOutcome runChunkGroup(const DetectorErrorModel& dem,
+                           const ChunkPlan* plans, size_t count,
+                           BpOsdDecoder& decoder,
+                           std::vector<ShotBatch>& batches);
+
 /** Per-task accumulator and stopping-rule evaluator. */
 class AdaptiveSampler
 {

@@ -24,12 +24,11 @@ namespace cyclone {
 namespace {
 
 /** Per-worker sampling context: decoder state plus reusable packed
- *  shot buffers for the batch pipeline. */
+ *  shot buffers for the batch pipeline (one per staged chunk). */
 struct WorkerCtx
 {
     BpOsdDecoder decoder;
-    ShotBatch batch;
-    std::vector<uint64_t> predicted;
+    std::vector<ShotBatch> batches;
 
     WorkerCtx(const DetectorErrorModel& dem, const BpOptions& bp)
         : decoder(dem, bp)
@@ -301,6 +300,9 @@ CampaignEngine::run(const CampaignSpec& spec,
             r.decoder.waveLanesFilled += s.waveLanesFilled;
             r.decoder.osdBatchGroups += s.osdBatchGroups;
             r.decoder.osdSharedPivots += s.osdSharedPivots;
+            r.decoder.stagedChunks += s.stagedChunks;
+            if (r.decoder.backend.empty())
+                r.decoder.backend = s.backend;
         }
         if (onTaskDone)
             onTaskDone(r);
@@ -311,9 +313,22 @@ CampaignEngine::run(const CampaignSpec& spec,
         std::vector<ChunkPlan> wave = st.sampler->nextWave();
         if (wave.empty())
             return false;
-        st.outstanding = wave.size();
-        for (const ChunkPlan& plan : wave) {
-            pool_.submit([&events, &st, i, plan] {
+        // Cross-chunk syndrome staging: partition the wave into
+        // groups of `stagingChunks` consecutive plans and submit one
+        // decode job per group. Group boundaries depend only on the
+        // wave's chunk indices — never on worker count or completion
+        // order — so every decoder statistic stays deterministic.
+        const size_t group = std::max<size_t>(
+            size_t{1}, st.spec->stop.stagingChunks);
+        std::vector<std::vector<ChunkPlan>> jobs;
+        for (size_t g = 0; g < wave.size(); g += group)
+            jobs.emplace_back(
+                wave.begin() + static_cast<std::ptrdiff_t>(g),
+                wave.begin() + static_cast<std::ptrdiff_t>(
+                                   std::min(g + group, wave.size())));
+        st.outstanding = jobs.size();
+        for (std::vector<ChunkPlan>& job : jobs) {
+            pool_.submit([&events, &st, i, plans = std::move(job)] {
                 const auto c0 = std::chrono::steady_clock::now();
                 Event e;
                 e.task = i;
@@ -325,9 +340,10 @@ CampaignEngine::run(const CampaignSpec& spec,
                     if (!ctx)
                         ctx = std::make_unique<WorkerCtx>(*st.dem,
                                                           st.spec->bp);
-                    e.outcome =
-                        runChunk(*st.dem, plan, ctx->decoder,
-                                 ctx->batch, ctx->predicted);
+                    e.outcome = runChunkGroup(*st.dem, plans.data(),
+                                              plans.size(),
+                                              ctx->decoder,
+                                              ctx->batches);
                     e.kind = EventKind::ChunkDone;
                 } catch (const std::exception& ex) {
                     e.kind = EventKind::Failed;

@@ -192,7 +192,9 @@ campaignResultToJson(const CampaignResult& result)
             << ", \"wave_lanes_filled\": " << t.decoder.waveLanesFilled
             << ", \"osd_batch_groups\": " << t.decoder.osdBatchGroups
             << ", \"osd_shared_pivots\": " << t.decoder.osdSharedPivots
-            << ",\n                 \"trivial_fraction\": "
+            << ", \"staged_chunks\": " << t.decoder.stagedChunks
+            << ", \"backend\": \"" << jsonEscape(t.decoder.backend)
+            << "\",\n                 \"trivial_fraction\": "
             << num(t.decoder.trivialFraction())
             << ", \"memo_hit_rate\": " << num(t.decoder.memoHitRate())
             << ", \"mean_bp_iterations\": "
@@ -247,7 +249,7 @@ campaignResultToCsv(const CampaignResult& result)
            "failures,ler,wilson,per_round_ler,chunks,stopped_early,"
            "from_checkpoint,sample_seconds,trivial_fraction,"
            "memo_hit_rate,mean_bp_iterations,wave_lane_occupancy,"
-           "osd_batch_groups,osd_shared_pivots,"
+           "osd_batch_groups,osd_shared_pivots,staged_chunks,backend,"
            "util_gate,util_shuttle,"
            "util_junction,util_swap,parallel_fraction,trap_roadblocks,"
            "junction_roadblocks,roadblock_wait_us,error\n";
@@ -272,6 +274,8 @@ campaignResultToCsv(const CampaignResult& result)
             << num(t.decoder.waveLaneOccupancy()) << ','
             << t.decoder.osdBatchGroups << ','
             << t.decoder.osdSharedPivots << ','
+            << t.decoder.stagedChunks << ','
+            << csvField(t.decoder.backend) << ','
             << num(util(t.compileBreakdown.gateUs)) << ','
             << num(util(t.compileBreakdown.shuttleUs)) << ','
             << num(util(t.compileBreakdown.junctionUs)) << ','
@@ -307,11 +311,11 @@ saveCheckpoint(const CampaignResult& result, const std::string& path)
     for (const TaskResult& t : result.tasks) {
         if (!t.error.empty() || t.logicalErrorRate.trials == 0)
             continue;
-        char line[448];
+        char line[480];
         std::snprintf(line, sizeof line,
                       "task %016llx %zu %.17g %zu %zu %zu %zu %zu %d "
                       "%zu %zu %zu %zu %.6f %zu %zu %zu %zu %zu %zu "
-                      "%zu %zu\n",
+                      "%zu %zu %zu\n",
                       static_cast<unsigned long long>(t.contentHash),
                       t.rounds, t.roundLatencyUs, t.demDetectors,
                       t.demMechanisms, t.logicalErrorRate.trials,
@@ -324,7 +328,8 @@ saveCheckpoint(const CampaignResult& result, const std::string& path)
                       t.decoder.waveLaneSlots,
                       t.decoder.waveLanesFilled,
                       t.decoder.osdBatchGroups,
-                      t.decoder.osdSharedPivots);
+                      t.decoder.osdSharedPivots,
+                      t.decoder.stagedChunks);
         out << line;
     }
     return writeTextFile(path, out.str());
@@ -350,22 +355,39 @@ loadCheckpoint(const std::string& path, CampaignCheckpoint& out)
                failures = 0, chunks = 0, decodes = 0, converged = 0,
                osdInv = 0, osdFail = 0, trivial = 0, memoHits = 0,
                bpIters = 0, waveGroups = 0, waveSlots = 0,
-               waveFilled = 0, osdGroups = 0, osdShared = 0;
+               waveFilled = 0, osdGroups = 0, osdShared = 0,
+               stagedChunks = 0;
         double latency = 0.0, seconds = 0.0;
         int early = 0;
         const int got = std::sscanf(
             line.c_str(),
             "task %llx %zu %lg %zu %zu %zu %zu %zu %d %zu %zu %zu %zu "
-            "%lg %zu %zu %zu %zu %zu %zu %zu %zu",
+            "%lg %zu %zu %zu %zu %zu %zu %zu %zu %zu",
             &hash, &rounds, &latency, &detectors, &mechanisms, &shots,
             &failures, &chunks, &early, &decodes, &converged, &osdInv,
             &osdFail, &seconds, &trivial, &memoHits, &bpIters,
             &waveGroups, &waveSlots, &waveFilled, &osdGroups,
-            &osdShared);
+            &osdShared, &stagedChunks);
         // 14 fields = pre-batch-pipeline checkpoint (batch stats
         // default to zero); 17 = pre-wave-kernel; 20 = pre-batched-
-        // OSD; 22 = current format.
-        if (got != 14 && got != 17 && got != 20 && got != 22)
+        // OSD; 22 = pre-staging; 23 = current format. The dispatched
+        // backend name is deliberately not checkpointed: it describes
+        // the host that ran the shots, not the results.
+        if (got != 14 && got != 17 && got != 20 && got != 22 &&
+            got != 23)
+            return false;
+        // sscanf caps at 23 conversions, so a longer line (a future
+        // format) would otherwise be misread as the current one:
+        // reject any line whose token count exceeds what we parsed.
+        size_t tokens = 0;
+        bool inToken = false;
+        for (const char c : line) {
+            const bool ws = c == ' ' || c == '\t';
+            if (!ws && !inToken)
+                ++tokens;
+            inToken = !ws;
+        }
+        if (tokens != static_cast<size_t>(got) + 1)
             return false;
         TaskResult t;
         t.contentHash = hash;
@@ -397,6 +419,7 @@ loadCheckpoint(const std::string& path, CampaignCheckpoint& out)
         t.decoder.waveLanesFilled = waveFilled;
         t.decoder.osdBatchGroups = osdGroups;
         t.decoder.osdSharedPivots = osdShared;
+        t.decoder.stagedChunks = stagedChunks;
         t.sampleSeconds = seconds;
         t.fromCheckpoint = true;
         out.tasks[t.contentHash] = t;
@@ -513,6 +536,12 @@ parseCampaignSpec(const std::string& text)
                 t.stop.targetRelErr = std::stod(value);
             } else if (key == "min_failures") {
                 t.stop.minFailures = std::stoull(value);
+            } else if (key == "staging_chunks") {
+                if (value.front() == '-')
+                    specError(lineno, "staging_chunks must be >= 1");
+                t.stop.stagingChunks = std::stoull(value);
+                if (t.stop.stagingChunks == 0)
+                    specError(lineno, "staging_chunks must be >= 1");
             } else if (key == "seed") {
                 t.seed = std::stoull(value);
             } else if (key == "bp") {

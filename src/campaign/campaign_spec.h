@@ -53,6 +53,21 @@ struct StoppingRule
     size_t maxShots = 100000;
     double targetRelErr = 0.0;
     size_t minFailures = 8;
+
+    /**
+     * Chunks pooled per decode job (cross-chunk syndrome staging, see
+     * BpOsdDecoder::beginStaged): each worker samples `stagingChunks`
+     * consecutive chunks of a wave and decodes their pooled distinct
+     * syndromes together, which keeps the SIMD wave kernel's lanes
+     * and the batched OSD's slabs full when chunks are small. Groups
+     * partition the wave by ascending chunk index, so results stay
+     * bit-identical at any thread count — but a different value
+     * regroups the decoder's duplicate-syndrome memo, so memoHits
+     * (never any prediction) can change. A perf knob: deliberately
+     * excluded from the task content hash, like bp.waveLanes.
+     * 1 = stage nothing (one chunk per decode job, the default).
+     */
+    size_t stagingChunks = 1;
 };
 
 /** One experiment point of a campaign. */

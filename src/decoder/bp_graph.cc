@@ -36,6 +36,12 @@ BpGraph::BpGraph(const DetectorErrorModel& dem)
         maxCheckDegree = std::max(maxCheckDegree, check_degree[c]);
     }
 
+    checkOfSlot.resize(numEdges);
+    for (size_t c = 0; c < numChecks; ++c) {
+        for (size_t s = checkOffset[c]; s < checkOffset[c + 1]; ++s)
+            checkOfSlot[s] = static_cast<uint32_t>(c);
+    }
+
     // Fill the check-side CSR in var order, recording each var-side
     // edge's check-side slot as it lands.
     checkEdgeVar.resize(numEdges);

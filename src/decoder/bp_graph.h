@@ -59,6 +59,10 @@ struct BpGraph
     // checkOffset[c+1), each naming its variable.
     std::vector<size_t> checkOffset;
     std::vector<uint32_t> checkEdgeVar;
+    /** Inverse of checkOffset per slot: the check owning each
+     *  check-CSR edge. Lets a per-variable gather decode compressed
+     *  min-sum messages (which live per check) without a search. */
+    std::vector<uint32_t> checkOfSlot;
 };
 
 } // namespace cyclone

@@ -2,135 +2,76 @@
 
 #include <algorithm>
 #include <bit>
-#include <cmath>
 #include <cstdint>
 
 #include "common/logging.h"
 
-// The lane helpers pass/return wide generic vectors; they are
-// force-inlined into the target("avx2") kernels below, so the
-// baseline-ABI warning about vector returns is moot.
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC diagnostic ignored "-Wpsabi"
-#endif
-
-// Scoped ISA for the hot kernels only: the rest of the translation
-// unit (construction, accessors, dispatch) compiles for the baseline
-// target, so no symbol shared with other TUs can smuggle AVX2 code
-// into a binary that runs on a pre-AVX2 CPU. runtimeSupported()
-// guards every call into the attributed functions.
-#ifdef CYCLONE_WAVE_KERNEL_AVX2
-#define CYCLONE_WAVE_KERNEL __attribute__((target("avx2")))
-#else
-#define CYCLONE_WAVE_KERNEL
-#endif
-
 namespace cyclone {
-
-namespace {
-
-/**
- * Fixed-width lane vectors via the GCC/Clang vector extension: every
- * arithmetic operator is element-wise IEEE-754, and the ternary
- * operator on a comparison result is an element-wise select, so each
- * lane performs exactly the scalar decoder's float operations — the
- * extension only guarantees the compiler emits them as SIMD words.
- * The `aligned(4)` underalignment keeps lane rows loadable at any
- * float boundary.
- */
-template <size_t L>
-struct LaneTypes
-{
-    typedef float Vf __attribute__((
-        vector_size(L * sizeof(float)), aligned(4), may_alias));
-    typedef int32_t Vi __attribute__((
-        vector_size(L * sizeof(int32_t)), aligned(4), may_alias));
-};
-
-/**
- * __builtin_bit_cast behind always_inline: std::bit_cast is an
- * ordinary (baseline-target) function template, and an out-of-line
- * call from inside a target("avx2") kernel would cross an ABI
- * boundary with 32-byte vector arguments (real miscompilation at
- * -O0). Force-inlining keeps the cast in the caller's ISA context.
- */
-template <typename To, typename From>
-__attribute__((always_inline)) inline To
-laneBitCast(const From& from)
-{
-    static_assert(sizeof(To) == sizeof(From));
-    return __builtin_bit_cast(To, from);
-}
-
-template <size_t L>
-__attribute__((always_inline)) inline typename LaneTypes<L>::Vf
-splat(float value)
-{
-    typename LaneTypes<L>::Vf v = {};
-    return v + value;
-}
-
-template <size_t L>
-__attribute__((always_inline)) inline typename LaneTypes<L>::Vi
-splatInt(int32_t value)
-{
-    typename LaneTypes<L>::Vi v = {};
-    return v + value;
-}
-
-/** |x| per lane: clearing the sign bit is exactly std::fabs. */
-template <size_t L>
-__attribute__((always_inline)) inline typename LaneTypes<L>::Vf
-laneAbs(typename LaneTypes<L>::Vf x)
-{
-    typedef typename LaneTypes<L>::Vi Vi;
-    typedef typename LaneTypes<L>::Vf Vf;
-    return laneBitCast<Vf>(laneBitCast<Vi>(x) &
-                             splatInt<L>(0x7fffffff));
-}
-
-/** std::clamp(x, -c, c) per lane (identical select order). */
-template <size_t L>
-__attribute__((always_inline)) inline typename LaneTypes<L>::Vf
-laneClamp(typename LaneTypes<L>::Vf x, typename LaneTypes<L>::Vf c)
-{
-    const auto low = x < -c ? -c : x;
-    return c < low ? c : low;
-}
-
-} // namespace
 
 bool
 BpWaveDecoder::runtimeSupported()
 {
-#ifdef CYCLONE_WAVE_KERNEL_AVX2
-    return __builtin_cpu_supports("avx2");
-#else
-    return true;
-#endif
+    return selectDecoderBackend(0).lanes > 1;
 }
 
 size_t
 BpWaveDecoder::resolveLaneWidth(size_t requested)
 {
-    if (requested == 0)
-        return kDefaultLanes;
-    if (requested >= 16)
-        return 16;
-    if (requested >= 8)
-        return 8;
-    return 4;
+    return selectDecoderBackend(requested).lanes;
 }
 
 BpWaveDecoder::BpWaveDecoder(std::shared_ptr<const BpGraph> graph,
                              BpOptions options)
     : graph_(std::move(graph)), options_(options),
-      laneWidth_(resolveLaneWidth(options.waveLanes)),
       clamp_(static_cast<float>(options.clamp)),
       minSumScale_(static_cast<float>(options.minSumScale))
 {
+    const DecoderBackendChoice choice =
+        selectDecoderBackend(options_.waveLanes);
+    CYCLONE_ASSERT(choice.lanes > 1,
+                   "BpWaveDecoder constructed with no wave backend "
+                   "available (waveLanes " << options_.waveLanes
+                   << ") — check runtimeSupported() first");
+    backend_ = choice.backend;
+    laneWidth_ = choice.lanes;
+    kernels_ = backend_->kernels(laneWidth_);
+    initState();
+}
+
+BpWaveDecoder::BpWaveDecoder(std::shared_ptr<const BpGraph> graph,
+                             BpOptions options,
+                             const DecoderBackend& backend)
+    : graph_(std::move(graph)), options_(options), backend_(&backend),
+      clamp_(static_cast<float>(options.clamp)),
+      minSumScale_(static_cast<float>(options.minSumScale))
+{
+    CYCLONE_ASSERT(backend.supported(),
+                   "backend '" << backend.name
+                   << "' is not supported on this host");
+    laneWidth_ = backendLaneWidth(backend, options_.waveLanes);
+    CYCLONE_ASSERT(laneWidth_ > 1,
+                   "backend '" << backend.name
+                   << "' serves no lane width for waveLanes "
+                   << options_.waveLanes);
+    kernels_ = backend.kernels(laneWidth_);
+    initState();
+}
+
+void
+BpWaveDecoder::initState()
+{
     const size_t L = laneWidth_;
-    msg_.assign(graph_->numEdges * L, 0.0f);
+    if (options_.variant == BpOptions::Variant::MinSum &&
+        kernels_->minSumCompressed) {
+        // All-zero compressed state decodes every message to +0.0f —
+        // the same initial messages the full array starts from.
+        checkMin1_.assign(graph_->numChecks * L, 0.0f);
+        checkMin2_.assign(graph_->numChecks * L, 0.0f);
+        edgeSignBits_.assign(graph_->numEdges, 0);
+        edgeMinBits_.assign(graph_->numEdges, 0);
+    } else {
+        msg_.assign(graph_->numEdges * L, 0.0f);
+    }
     posterior_.assign(graph_->numVars * L, 0.0f);
     hardMask_.assign(graph_->numVars, 0);
     synMask_.assign(graph_->numChecks, 0);
@@ -140,206 +81,25 @@ BpWaveDecoder::BpWaveDecoder(std::shared_ptr<const BpGraph> graph,
     laneActive_.assign(L, 0);
 }
 
-template <size_t L>
-CYCLONE_WAVE_KERNEL void
-BpWaveDecoder::posteriorUpdateWave()
+WaveKernelCtx
+BpWaveDecoder::kernelCtx()
 {
-    // Unconditional across lanes: frozen lanes recompute from frozen
-    // messages, which reproduces their posterior and hard decision
-    // bit-for-bit (same floats, same order), so no blend is needed
-    // here — only the message writes in the check pass are masked.
-    typedef typename LaneTypes<L>::Vf Vf;
-    const BpGraph& g = *graph_;
-    const float* msg = msg_.data();
-    const float* prior = g.prior.data();
-    float* posterior = posterior_.data();
-    uint64_t* hard = hardMask_.data();
-    if (g.varEdgesAscendByCheck) {
-        // Scatter form: stream the lane-major message array once in
-        // check-CSR order and accumulate into the (much smaller,
-        // cache-resident) posterior rows. Because each variable's
-        // var-CSR edges ascend by check, the additions hit every
-        // variable in exactly the gather order — identical floats.
-        for (size_t v = 0; v < g.numVars; ++v)
-            *reinterpret_cast<Vf*>(posterior + v * L) =
-                splat<L>(prior[v]);
-        const uint32_t* edge_var = g.checkEdgeVar.data();
-        for (size_t s = 0; s < g.numEdges; ++s) {
-            Vf* p = reinterpret_cast<Vf*>(
-                posterior + size_t{edge_var[s]} * L);
-            *p += *reinterpret_cast<const Vf*>(msg + s * L);
-        }
-        for (size_t v = 0; v < g.numVars; ++v) {
-            const Vf total =
-                *reinterpret_cast<const Vf*>(posterior + v * L);
-            uint64_t mask = 0;
-            for (size_t l = 0; l < L; ++l)
-                mask |= uint64_t{total[l] < 0.0f} << l;
-            hard[v] = mask;
-        }
-        return;
-    }
-    const uint32_t* slots = g.checkSlotOfVarEdge.data();
-    for (size_t v = 0; v < g.numVars; ++v) {
-        Vf total = splat<L>(prior[v]);
-        for (size_t e = g.varOffset[v]; e < g.varOffset[v + 1]; ++e) {
-            total += *reinterpret_cast<const Vf*>(
-                msg + size_t{slots[e]} * L);
-        }
-        *reinterpret_cast<Vf*>(posterior + v * L) = total;
-        uint64_t mask = 0;
-        for (size_t l = 0; l < L; ++l)
-            mask |= uint64_t{total[l] < 0.0f} << l;
-        hard[v] = mask;
-    }
-}
-
-template <size_t L, bool MinSum, bool Masked>
-CYCLONE_WAVE_KERNEL void
-BpWaveDecoder::checkToVarUpdateWave()
-{
-    // Masked == false is the fast path while no real lane has frozen
-    // yet: message writes are plain streaming stores instead of
-    // read-blend-write (idle lanes past the group count may then
-    // evolve as zero-syndrome decodes, which is harmless — their
-    // state is never read). Once any lane converges, the masked
-    // variant keeps its messages frozen.
-    typedef typename LaneTypes<L>::Vf Vf;
-    typedef typename LaneTypes<L>::Vi Vi;
-    const BpGraph& g = *graph_;
-    float* msg = msg_.data();
-    const float* posterior = posterior_.data();
-    const float* syn_sign = synSign_.data();
-    float* scratch = msgScratch_.data();
-    float* tanh_scratch = tanhScratch_.data();
-    const Vf clamp = splat<L>(clamp_);
-    const Vf scale = splat<L>(minSumScale_);
-    const Vf zero = splat<L>(0.0f);
-    Vi act = {};
-    if constexpr (Masked) {
-        for (size_t l = 0; l < L; ++l)
-            act[l] = static_cast<int32_t>(laneActive_[l]);
-    }
-
-    for (size_t c = 0; c < g.numChecks; ++c) {
-        const size_t begin = g.checkOffset[c];
-        const size_t end = g.checkOffset[c + 1];
-
-        Vf sign_product =
-            *reinterpret_cast<const Vf*>(syn_sign + c * L);
-
-        if constexpr (MinSum) {
-            // Lane-wise two-smallest-magnitudes tracking (branchless
-            // image of the scalar decoder's if/else chain: the minima
-            // only move on strictly smaller magnitudes). The scalar
-            // argmin is replaced by a magnitude-equality select in the
-            // second pass — bit-identical, because when several edges
-            // tie for min1 the scalar decoder has min2 == min1, so
-            // both selects produce the same value on every edge. Signs
-            // travel as IEEE sign bits: flipping a float's sign bit is
-            // exactly the scalar code's multiplication by -1.
-            const Vi sign_bit = splatInt<L>(INT32_MIN);
-            Vf min1 = splat<L>(3.0e38f);
-            Vf min2 = min1;
-            Vi sp_bits =
-                laneBitCast<Vi>(sign_product) & sign_bit;
-            for (size_t s = begin; s < end; ++s) {
-                const Vf p = *reinterpret_cast<const Vf*>(
-                    posterior + size_t{g.checkEdgeVar[s]} * L);
-                const Vf old = *reinterpret_cast<const Vf*>(msg + s * L);
-                const Vf m = laneClamp<L>(p - old, clamp);
-                *reinterpret_cast<Vf*>(scratch + (s - begin) * L) = m;
-                const Vf mag = laneAbs<L>(m);
-                sp_bits ^= (m < zero) & sign_bit;
-                const auto lt1 = mag < min1;
-                min2 = lt1 ? min1 : (mag < min2 ? mag : min2);
-                min1 = lt1 ? mag : min1;
-            }
-            for (size_t s = begin; s < end; ++s) {
-                const Vf m = *reinterpret_cast<const Vf*>(
-                    scratch + (s - begin) * L);
-                Vf* out = reinterpret_cast<Vf*>(msg + s * L);
-                const Vf mag = laneAbs<L>(m);
-                // Scalar: sign * scale * mag with sign = +-1, which
-                // IEEE-exactly equals scale*mag with the sign bits
-                // XORed in.
-                const Vf base =
-                    scale * (mag == min1 ? min2 : min1);
-                const Vi flip =
-                    sp_bits ^ ((m < zero) & sign_bit);
-                const Vf val =
-                    laneBitCast<Vf>(laneBitCast<Vi>(base) ^ flip);
-                if constexpr (Masked)
-                    *out = act ? val : *out;
-                else
-                    *out = val;
-            }
-        } else {
-            // Product-sum two-pass tanh-product, lane-wise. The tanh
-            // and log stay scalar libm calls per lane (so their floats
-            // match the scalar decoder exactly); everything around
-            // them is lane vectors. Zeroed lanes still evaluate the
-            // (finite, discarded) log to stay branch-free.
-            Vf prod = splat<L>(1.0f);
-            Vi zero_count = splatInt<L>(0);
-            Vi zero_slot = splatInt<L>(static_cast<int32_t>(begin));
-            for (size_t s = begin; s < end; ++s) {
-                const Vf p = *reinterpret_cast<const Vf*>(
-                    posterior + size_t{g.checkEdgeVar[s]} * L);
-                const Vf old = *reinterpret_cast<const Vf*>(msg + s * L);
-                const Vf m = laneClamp<L>(p - old, clamp);
-                *reinterpret_cast<Vf*>(scratch + (s - begin) * L) = m;
-                sign_product = m < zero ? -sign_product : sign_product;
-                const Vf half_abs = laneAbs<L>(m) * 0.5f;
-                Vf t = {};
-                for (size_t l = 0; l < L; ++l)
-                    t[l] = std::tanh(half_abs[l]);
-                *reinterpret_cast<Vf*>(
-                    tanh_scratch + (s - begin) * L) = t;
-                const auto is_zero = t < splat<L>(1e-12f);
-                zero_count -= is_zero; // mask is -1 per true lane
-                zero_slot = is_zero
-                    ? splatInt<L>(static_cast<int32_t>(s))
-                    : zero_slot;
-                prod = is_zero ? prod : prod * t;
-            }
-            const Vi one = splatInt<L>(1);
-            for (size_t s = begin; s < end; ++s) {
-                const Vf m = *reinterpret_cast<const Vf*>(
-                    scratch + (s - begin) * L);
-                const Vf t = *reinterpret_cast<const Vf*>(
-                    tanh_scratch + (s - begin) * L);
-                Vf* out_row = reinterpret_cast<Vf*>(msg + s * L);
-                const Vi sv = splatInt<L>(static_cast<int32_t>(s));
-                const auto zeroed = (zero_count > one) |
-                    ((zero_count == one) & (sv != zero_slot));
-                // std::max(t, 1e-12f) == (1e-12f < t ? t : 1e-12f).
-                const Vf floor = splat<L>(1e-12f);
-                const Vf denom = floor < t ? t : floor;
-                const Vf divided = prod / denom;
-                Vf t_other =
-                    zero_count == splatInt<L>(0) ? divided : prod;
-                // One float ulp below 1: keeps the log finite
-                // (std::min select order).
-                const Vf limit = splat<L>(1.0f - 6.0e-8f);
-                t_other = limit < t_other ? limit : t_other;
-                const Vf ratio =
-                    (splat<L>(1.0f) + t_other) /
-                    (splat<L>(1.0f) - t_other);
-                Vf grown = {};
-                for (size_t l = 0; l < L; ++l)
-                    grown[l] = std::log(ratio[l]);
-                const Vf out = zeroed ? zero : grown;
-                const Vf sign = sign_product *
-                    (m < zero ? splat<L>(-1.0f) : splat<L>(1.0f));
-                const Vf val = laneClamp<L>(sign * out, clamp);
-                if constexpr (Masked)
-                    *out_row = act ? val : *out_row;
-                else
-                    *out_row = val;
-            }
-        }
-    }
+    WaveKernelCtx ctx;
+    ctx.graph = graph_.get();
+    ctx.msg = msg_.data();
+    ctx.checkMin1 = checkMin1_.data();
+    ctx.checkMin2 = checkMin2_.data();
+    ctx.edgeSignBits = edgeSignBits_.data();
+    ctx.edgeMinBits = edgeMinBits_.data();
+    ctx.posterior = posterior_.data();
+    ctx.hardMask = hardMask_.data();
+    ctx.synSign = synSign_.data();
+    ctx.msgScratch = msgScratch_.data();
+    ctx.tanhScratch = tanhScratch_.data();
+    ctx.laneActive = laneActive_.data();
+    ctx.clamp = clamp_;
+    ctx.minSumScale = minSumScale_;
+    return ctx;
 }
 
 uint64_t
@@ -360,24 +120,33 @@ BpWaveDecoder::verifyWave() const
     return ~mismatch;
 }
 
-template <size_t L>
 void
 BpWaveDecoder::runWave(size_t count)
 {
-    std::fill(msg_.begin(), msg_.end(), 0.0f);
+    const bool min_sum = options_.variant == BpOptions::Variant::MinSum;
+    if (min_sum && kernels_->minSumCompressed) {
+        std::fill(checkMin1_.begin(), checkMin1_.end(), 0.0f);
+        std::fill(checkMin2_.begin(), checkMin2_.end(), 0.0f);
+        std::fill(edgeSignBits_.begin(), edgeSignBits_.end(), 0u);
+        std::fill(edgeMinBits_.begin(), edgeMinBits_.end(), 0u);
+    } else {
+        std::fill(msg_.begin(), msg_.end(), 0.0f);
+    }
     std::fill(hardMask_.begin(), hardMask_.end(), 0);
     activeMask_ = count == 64 ? ~uint64_t{0}
                               : ((uint64_t{1} << count) - 1);
     const uint64_t initialActive = activeMask_;
     convergedMask_ = 0;
-    for (size_t l = 0; l < L; ++l) {
+    for (size_t l = 0; l < laneWidth_; ++l) {
         laneActive_[l] = l < count ? ~uint32_t{0} : 0;
         iterations_[l] = 0;
     }
 
-    const bool min_sum = options_.variant == BpOptions::Variant::MinSum;
+    const WaveKernelCtx ctx = kernelCtx();
+    const auto posterior_pass = min_sum ? kernels_->posteriorUpdateMinSum
+                                        : kernels_->posteriorUpdate;
     for (size_t iter = 0; iter < options_.maxIterations; ++iter) {
-        posteriorUpdateWave<L>();
+        posterior_pass(ctx);
         // The scalar decoder only re-verifies when a decision bit
         // moved; verifying every iteration is equivalent (an unmoved
         // decision re-verifies to the same answer) and here costs one
@@ -400,20 +169,20 @@ BpWaveDecoder::runWave(size_t count)
         const bool none_frozen = activeMask_ == initialActive;
         if (min_sum) {
             if (none_frozen)
-                checkToVarUpdateWave<L, true, false>();
+                kernels_->checkMinSum(ctx);
             else
-                checkToVarUpdateWave<L, true, true>();
+                kernels_->checkMinSumMasked(ctx);
         } else {
             if (none_frozen)
-                checkToVarUpdateWave<L, false, false>();
+                kernels_->checkProdSum(ctx);
             else
-                checkToVarUpdateWave<L, false, true>();
+                kernels_->checkProdSumMasked(ctx);
         }
     }
 
     // Lanes still active ran out of iterations: final posterior pass
     // and last-chance verification, exactly like the scalar epilogue.
-    posteriorUpdateWave<L>();
+    posterior_pass(ctx);
     const uint64_t verified = verifyWave() & activeMask_;
     uint64_t pending = activeMask_;
     while (pending != 0) {
@@ -451,17 +220,7 @@ BpWaveDecoder::decodeWave(const BitVec* const* syndromes, size_t count)
         }
         synMask_[c] = mask;
     }
-    switch (L) {
-    case 4:
-        runWave<4>(count);
-        break;
-    case 8:
-        runWave<8>(count);
-        break;
-    default:
-        runWave<16>(count);
-        break;
-    }
+    runWave(count);
 }
 
 void

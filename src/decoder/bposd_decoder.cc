@@ -46,13 +46,16 @@ BpOsdStats::waveLaneOccupancy() const
 BpOsdDecoder::BpOsdDecoder(const DetectorErrorModel& dem, BpOptions options)
     : dem_(dem), graph_(std::make_shared<const BpGraph>(dem)),
       options_(options),
-      // On a CPU that cannot run the (AVX2-targeted) wave kernels the
-      // batch path falls back to the scalar core — identical results,
-      // the wave is purely a throughput feature.
-      waveEnabled_(options.waveLanes != 1 &&
-                   BpWaveDecoder::runtimeSupported()),
-      bp_(graph_, options), osd_(dem)
-{}
+      // Dispatch once: on a CPU with no supported wave rung the choice
+      // degrades to the scalar backend (lanes == 1) and the batch path
+      // falls back to the scalar core — identical results, the wave is
+      // purely a throughput feature.
+      backendChoice_(selectDecoderBackend(options.waveLanes)),
+      waveEnabled_(backendChoice_.lanes > 1), bp_(graph_, options),
+      osd_(dem)
+{
+    stats_.backend = backendChoice_.backend->name;
+}
 
 uint64_t
 BpOsdDecoder::observablesOf(const BitVec& errors) const
@@ -226,27 +229,42 @@ BpOsdDecoder::decode(const BitVec& syndrome)
 }
 
 void
-BpOsdDecoder::decodeBatch(const ShotBatch& batch,
-                          std::vector<uint64_t>& predicted)
+BpOsdDecoder::beginStaged()
 {
+    CYCLONE_ASSERT(!stagedOpen_,
+                   "beginStaged() with a staged group already open");
+    stagedOpen_ = true;
+    stagedShots_ = 0;
+    stagedOffsets_.assign(1, 0);
+    // The memo is scoped to one staged group: a group's results must
+    // not depend on what a worker decoded before, so a fixed staging
+    // order gives the same counts at any thread count or chunk
+    // schedule.
+    memoEntries_.clear();
+    memoIndex_.clear();
+}
+
+void
+BpOsdDecoder::stageBatch(const ShotBatch& batch)
+{
+    CYCLONE_ASSERT(stagedOpen_,
+                   "stageBatch() without an open staged group");
     CYCLONE_ASSERT(batch.numDetectors == dem_.numDetectors,
                    "batch detector count mismatch: "
                    << batch.numDetectors << " vs "
                    << dem_.numDetectors);
-    predicted.assign(batch.numShots, 0);
-    // The memo is scoped to one batch: chunk results must not depend
-    // on what a worker decoded before, so a fixed seed gives the same
-    // counts at any thread count or chunk schedule.
-    memoEntries_.clear();
-    memoIndex_.clear();
+    if (stagedOffsets_.size() > 1)
+        ++stats_.stagedChunks;
+    const size_t base = stagedShots_;
 
     const size_t syndrome_words = batch.syndromeWords();
     if (syndromeScratch_.size() != batch.numDetectors)
         syndromeScratch_.resize(batch.numDetectors);
 
     // Pass 1: group. Shots with detection events are bucketed by
-    // distinct syndrome; each distinct syndrome is decoded exactly
-    // once in pass 2 and replayed onto all its shots in pass 3.
+    // distinct syndrome across the whole staged pool; each distinct
+    // syndrome is decoded exactly once by flushStaged() and replayed
+    // onto all its shots.
     for (size_t wave = 0; wave < batch.numWaves(); ++wave) {
         const uint64_t valid = batch.waveMask(wave);
         const uint64_t active = batch.activeMask(wave) & valid;
@@ -270,7 +288,8 @@ BpOsdDecoder::decodeBatch(const ShotBatch& batch,
             const size_t s =
                 static_cast<size_t>(std::countr_zero(pending));
             pending &= pending - 1;
-            const uint32_t shot = static_cast<uint32_t>(wave * 64 + s);
+            const uint32_t shot =
+                static_cast<uint32_t>(base + wave * 64 + s);
             syndromeScratch_.assignWords(
                 waveScratch_.data() + s * syndrome_words,
                 syndrome_words);
@@ -298,18 +317,34 @@ BpOsdDecoder::decodeBatch(const ShotBatch& batch,
         }
     }
 
-    // Pass 2: decode each distinct syndrome — lane groups through the
-    // wave kernel, or one at a time through the scalar core when the
-    // wave kernel is disabled (waveLanes == 1).
+    stagedShots_ = base + batch.numShots;
+    stagedOffsets_.push_back(stagedShots_);
+}
+
+void
+BpOsdDecoder::flushStaged()
+{
+    CYCLONE_ASSERT(stagedOpen_,
+                   "flushStaged() without an open staged group");
+    stagedOpen_ = false;
+    stagedPredicted_.assign(stagedShots_, 0);
+
+    // Pass 2: decode each distinct syndrome of the pool — lane groups
+    // through the wave kernel, or one at a time through the scalar
+    // core when the wave kernel is disabled (waveLanes == 1, or no
+    // supported backend).
     if (waveEnabled_ && wave_ == nullptr && !memoEntries_.empty())
-        wave_ = std::make_unique<BpWaveDecoder>(graph_, options_);
-    if (wave_ != nullptr) {
+        wave_ = std::make_unique<BpWaveDecoder>(
+            graph_, options_, *backendChoice_.backend);
+    if (waveEnabled_ && wave_ != nullptr) {
         // A lane group iterates until its slowest lane converges, so
         // group syndromes of similar weight together: weight tracks
         // BP difficulty, which keeps fast lanes from idling behind
         // one hard syndrome. Ordering cannot change any outcome —
         // lanes never interact — it only reduces frozen-lane waste.
-        // The stable sort keeps the grouping deterministic.
+        // The stable sort keeps the grouping deterministic, and with
+        // several chunks staged the pool fills whole L-wide groups
+        // where per-chunk decoding would have emitted ragged tails.
         laneOrder_.resize(memoEntries_.size());
         for (size_t i = 0; i < laneOrder_.size(); ++i)
             laneOrder_[i] = static_cast<uint32_t>(i);
@@ -357,9 +392,20 @@ BpOsdDecoder::decodeBatch(const ShotBatch& batch,
             if (j > 0)
                 ++stats_.memoHits;
             applyOutcomeStats(entry.outcome);
-            predicted[entry.shots[j]] = entry.outcome.observables;
+            stagedPredicted_[entry.shots[j]] =
+                entry.outcome.observables;
         }
     }
+}
+
+void
+BpOsdDecoder::decodeBatch(const ShotBatch& batch,
+                          std::vector<uint64_t>& predicted)
+{
+    beginStaged();
+    stageBatch(batch);
+    flushStaged();
+    predicted = stagedPredicted_;
 }
 
 } // namespace cyclone

@@ -14,26 +14,41 @@
  * BP entirely), a per-batch memo decodes each distinct syndrome once
  * and replays the result — and its statistics — for duplicates, and
  * the surviving distinct syndromes are decoded L at a time by the
- * lane-parallel wave kernel (bp_wave_decoder.h), whose per-lane
- * posteriors seed OSD exactly as the scalar core would — with
- * non-converged lanes collected across wave groups and solved by the
- * batched OSD stage (OsdDecoder::solveBatch) in slabs of up to 64
- * shots. Every fast path reproduces what per-shot decoding would
- * return bit-for-bit (BP is deterministic per syndrome, lanes never
- * interact, the batched OSD equals the scalar OSD exactly), so batch
- * and scalar decoding are bit-identical at any lane width.
+ * lane-parallel wave kernel (bp_wave_decoder.h) of whichever
+ * SIMD-ladder backend runtime dispatch selected (decoder_backend.h),
+ * whose per-lane posteriors seed OSD exactly as the scalar core would
+ * — with non-converged lanes collected across wave groups and solved
+ * by the batched OSD stage (OsdDecoder::solveBatch) in slabs of up to
+ * 64 shots.
+ *
+ * decodeBatch() is itself a thin wrapper over the staged interface
+ * (beginStaged / stageBatch / flushStaged), which lets a campaign
+ * worker pool the non-trivial distinct syndromes of several
+ * adaptive-sampler chunks before decoding: small tail chunks stop
+ * collapsing lane occupancy, and the batched OSD keeps receiving full
+ * slabs. Staging is safe because the decode of a distinct syndrome is
+ * a pure function of that syndrome — regrouping lanes can change
+ * neither any outcome nor any per-shot statistic — and deterministic
+ * because callers stage chunks in plan (chunk-index) order, never in
+ * completion order. Every fast path reproduces what per-shot decoding
+ * would return bit-for-bit (BP is deterministic per syndrome, lanes
+ * never interact, the batched OSD equals the scalar OSD exactly), so
+ * batch, staged and scalar decoding are bit-identical at any lane
+ * width on any backend.
  */
 
 #ifndef CYCLONE_DECODER_BPOSD_DECODER_H
 #define CYCLONE_DECODER_BPOSD_DECODER_H
 
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "decoder/bp_decoder.h"
 #include "decoder/bp_wave_decoder.h"
 #include "decoder/decoder.h"
+#include "decoder/decoder_backend.h"
 #include "decoder/osd.h"
 
 namespace cyclone {
@@ -81,6 +96,17 @@ struct BpOsdStats
      *  shots that shared its ordering prefix (rank x grouped shots). */
     size_t osdSharedPivots = 0;
 
+    /** Batches that joined a staged pool already holding at least one
+     *  earlier batch (plain decodeBatch contributes zero; a staged
+     *  group of G chunks contributes G - 1). Structural, like
+     *  waveGroups. */
+    size_t stagedChunks = 0;
+
+    /** SIMD-ladder backend the decoder dispatched to ("scalar",
+     *  "generic", "avx2", "avx512"; empty for results loaded from a
+     *  checkpoint, whose host backend is unknown). */
+    std::string backend;
+
     /** Fraction of decodes resolved by the zero-syndrome fast path. */
     double trivialFraction() const;
 
@@ -101,7 +127,9 @@ class BpOsdDecoder : public Decoder
     /**
      * @param dem detector error model; must outlive the decoder
      * @param options BP configuration (options.waveLanes selects the
-     *        batch path's lane width; 1 disables the wave kernel)
+     *        batch path's lane width; 1 disables the wave kernel).
+     *        The kernel backend is resolved here, once (see
+     *        selectDecoderBackend).
      */
     explicit BpOsdDecoder(const DetectorErrorModel& dem,
                           BpOptions options = {});
@@ -113,20 +141,63 @@ class BpOsdDecoder : public Decoder
      * Decode a packed batch: zero-syndrome fast path, per-batch
      * duplicate-syndrome memo, lane-parallel BP over the surviving
      * distinct syndromes. Bit-identical to calling decode() on every
-     * unpacked shot, at a fraction of the cost.
+     * unpacked shot, at a fraction of the cost. Equivalent to
+     * beginStaged(); stageBatch(batch); flushStaged().
      */
     void decodeBatch(const ShotBatch& batch,
                      std::vector<uint64_t>& predicted) override;
 
+    // ------------------------------------------------------------------
+    // Staged decoding: pool several batches' distinct syndromes into
+    // one lane pool before decoding. Callers must stage batches in a
+    // deterministic order (the campaign stages by ascending chunk
+    // index) — the memo, and therefore memoHits, is scoped to the
+    // staged group.
+    // ------------------------------------------------------------------
+
+    /** Open a staged group (resets the pool and the memo). */
+    void beginStaged();
+
+    /**
+     * Add one batch's shots to the open staged group. All batches of
+     * a group must share the DEM's detector count; the batch's packed
+     * words are copied, so the caller may reuse it — but observables
+     * comparison happens on the caller's side after flushStaged().
+     */
+    void stageBatch(const ShotBatch& batch);
+
+    /**
+     * Decode every staged distinct syndrome (full L-wide weight-
+     * sorted wave groups over the whole pool, batched OSD in 64-shot
+     * slabs) and replay outcomes onto every staged shot. Results are
+     * then readable via stagedPredictions()/stagedBatchOffset().
+     */
+    void flushStaged();
+
+    /** Flat predictions of the last flushed group, in staging order. */
+    const std::vector<uint64_t>&
+    stagedPredictions() const
+    {
+        return stagedPredicted_;
+    }
+
+    /** Offset of staged batch k's first shot in stagedPredictions(). */
+    size_t
+    stagedBatchOffset(size_t k) const
+    {
+        return stagedOffsets_[k];
+    }
+
     const BpOsdStats& stats() const { return stats_; }
 
     /** Lane width of the batched wave kernel (1 = disabled). */
-    size_t
-    waveLaneWidth() const
+    size_t waveLaneWidth() const { return backendChoice_.lanes; }
+
+    /** Name of the dispatched SIMD-ladder backend. */
+    const char*
+    backendName() const
     {
-        return waveEnabled_
-            ? BpWaveDecoder::resolveLaneWidth(options_.waveLanes)
-            : 1;
+        return backendChoice_.backend->name;
     }
 
   private:
@@ -139,13 +210,13 @@ class BpOsdDecoder : public Decoder
         bool osdFailed = false;
     };
 
-    /** One memoized distinct syndrome within the current batch. */
+    /** One memoized distinct syndrome within the staged group. */
     struct MemoEntry
     {
         BitVec syndrome;
         size_t weight = 0; ///< syndrome.popcount(), cached for sorting.
         DecodeOutcome outcome;
-        std::vector<uint32_t> shots; ///< Shots carrying this syndrome.
+        std::vector<uint32_t> shots; ///< Staged shot ids (pool-flat).
     };
 
     /** One non-converged wave lane waiting for the batched OSD. */
@@ -169,10 +240,11 @@ class BpOsdDecoder : public Decoder
     const DetectorErrorModel& dem_;
     std::shared_ptr<const BpGraph> graph_;
     BpOptions options_;
+    DecoderBackendChoice backendChoice_;
     bool waveEnabled_ = false;
     BpDecoder bp_;
-    /** Lazily built on the first decodeBatch (the wave state is
-     *  numEdges x L floats — per-shot-only users never pay for it). */
+    /** Lazily built on the first flush (the wave state is numEdges x
+     *  L floats — per-shot-only users never pay for it). */
     std::unique_ptr<BpWaveDecoder> wave_;
     OsdDecoder osd_;
     BpOsdStats stats_;
@@ -180,7 +252,11 @@ class BpOsdDecoder : public Decoder
     std::vector<float> posteriorScratch_;
     BitVec hardScratch_;
 
-    // decodeBatch scratch, reused across calls.
+    // Staged-pool state, reused across groups.
+    bool stagedOpen_ = false;
+    size_t stagedShots_ = 0;
+    std::vector<size_t> stagedOffsets_;
+    std::vector<uint64_t> stagedPredicted_;
     BitVec syndromeScratch_;
     std::vector<uint64_t> waveScratch_;
     std::vector<MemoEntry> memoEntries_;

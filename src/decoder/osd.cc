@@ -13,6 +13,19 @@ namespace {
 
 constexpr uint32_t kNoPivot = static_cast<uint32_t>(-1);
 
+/** Monotonic bit transform of a float LLR: float ordering maps to
+ *  unsigned ordering exactly (negative floats bit-complemented,
+ *  positives offset), and -0.0 is canonicalized to +0.0 so the
+ *  (llr, index) pair ties on index just like the scalar comparator. */
+uint32_t
+llrSortKey(float llr)
+{
+    uint32_t bits = std::bit_cast<uint32_t>(llr);
+    if (bits == 0x80000000u)
+        bits = 0;
+    return (bits & 0x80000000u) != 0 ? ~bits : bits | 0x80000000u;
+}
+
 } // namespace
 
 OsdDecoder::OsdDecoder(const DetectorErrorModel& dem, size_t order)
@@ -194,27 +207,83 @@ OsdDecoder::decode(const BitVec& syndrome,
 void
 OsdDecoder::sortReliability(const float* llr)
 {
-    // Sort (llr, index) ascending with a stable LSD radix sort on a
-    // monotonic bit transform of the float key. The transform maps
-    // float ordering to unsigned ordering exactly (negative floats
-    // bit-complemented, positives offset), -0.0 is canonicalized to
-    // +0.0 so the pair ties on index just like the comparator, and
-    // stability keeps equal keys in ascending-index input order — so
-    // this is bit-for-bit the scalar heap's pop order.
+    // Sort (llr, index) ascending on a monotonic bit transform of the
+    // float key (llrSortKey): the uint64 (key << 32 | index) order is
+    // exactly the (llr, index) comparator order of the scalar heap,
+    // and keys are unique (index embedded), so any exact sort of the
+    // keys yields bit-for-bit the scalar heap's pop order.
+    //
+    // The first call per decoder/batch radix-sorts everything. Later
+    // calls exploit that consecutive shots' posteriors agree on most
+    // mechanisms: diff the transformed keys against keyOfVar_ and,
+    // when few moved, sort just the changed entries and merge them
+    // into the previous order — dropping each changed var's stale
+    // entry on the way. A -0.0 <-> +0.0 flip transforms to the same
+    // key and is correctly treated as unchanged.
     const size_t n = dem_.mechanisms.size();
-    orderKeys_.resize(n);
-    orderAlt_.resize(n);
-    for (uint32_t v = 0; v < n; ++v) {
-        uint32_t bits = std::bit_cast<uint32_t>(llr[v]);
-        if (bits == 0x80000000u)
-            bits = 0;
-        const uint32_t key = (bits & 0x80000000u) != 0
-            ? ~bits
-            : bits | 0x80000000u;
-        orderKeys_[v] = (uint64_t(key) << 32) | v;
+    if (!sortedValid_ || keyOfVar_.size() != n) {
+        keyOfVar_.resize(n);
+        orderKeys_.resize(n);
+        orderAlt_.resize(n);
+        for (uint32_t v = 0; v < n; ++v) {
+            const uint32_t key = llrSortKey(llr[v]);
+            keyOfVar_[v] = key;
+            orderKeys_[v] = (uint64_t(key) << 32) | v;
+        }
+        radixSortKeys();
+        sortedValid_ = true;
+        return;
     }
 
-    // Three passes over the 32 key bits: 11 + 11 + 10.
+    changedKeys_.clear();
+    for (uint32_t v = 0; v < n; ++v) {
+        const uint32_t key = llrSortKey(llr[v]);
+        if (key != keyOfVar_[v]) {
+            keyOfVar_[v] = key;
+            changedKeys_.push_back((uint64_t(key) << 32) | v);
+        }
+    }
+    if (changedKeys_.empty())
+        return;
+    if (changedKeys_.size() > n / 2) {
+        // Majority moved: a fresh radix sort beats the merge.
+        for (uint32_t v = 0; v < n; ++v)
+            orderKeys_[v] = (uint64_t(keyOfVar_[v]) << 32) | v;
+        radixSortKeys();
+        return;
+    }
+
+    ++incrementalSorts_;
+    std::sort(changedKeys_.begin(), changedKeys_.end());
+    // One pass: merge the sorted changed entries with the previous
+    // order, skipping stale entries (an entry is stale iff its key no
+    // longer matches keyOfVar_ — only changed vars mismatch, and each
+    // contributes exactly one fresh entry from changedKeys_).
+    const uint64_t* changed = changedKeys_.data();
+    const size_t numChanged = changedKeys_.size();
+    size_t ci = 0;
+    size_t outIdx = 0;
+    for (size_t i = 0; i < n; ++i) {
+        const uint64_t e = orderKeys_[i];
+        const uint32_t v = static_cast<uint32_t>(e & 0xffffffffu);
+        if (static_cast<uint32_t>(e >> 32) != keyOfVar_[v])
+            continue; // Stale entry of a changed var.
+        while (ci < numChanged && changed[ci] < e)
+            orderAlt_[outIdx++] = changed[ci++];
+        orderAlt_[outIdx++] = e;
+    }
+    while (ci < numChanged)
+        orderAlt_[outIdx++] = changed[ci++];
+    CYCLONE_ASSERT(outIdx == n, "incremental sort lost entries: "
+                   << outIdx << " vs " << n);
+    orderKeys_.swap(orderAlt_);
+}
+
+void
+OsdDecoder::radixSortKeys()
+{
+    const size_t n = orderKeys_.size();
+    // Three stable LSD passes over the 32 key bits: 11 + 11 + 10.
     static constexpr int kShift[3] = {32, 43, 54};
     static constexpr uint32_t kMask[3] = {2047, 2047, 1023};
     uint32_t hist[3][2048];
@@ -649,6 +718,7 @@ OsdDecoder::solveBatch(const OsdShotRequest* shots, size_t count,
     out.flips.clear();
     out.flipOffsets.assign(count + 1, 0);
     out.stats = {};
+    incrementalSorts_ = 0;
     if (count == 0)
         return;
 
@@ -683,6 +753,7 @@ OsdDecoder::solveBatch(const OsdShotRequest* shots, size_t count,
         solveGroup(shots, groupMembers_.data(), groupMembers_.size(),
                    out);
     }
+    out.stats.incrementalSorts = incrementalSorts_;
 
     // Lay the staged per-shot flip lists out in shot order.
     size_t total = 0;

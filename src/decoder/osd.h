@@ -69,6 +69,10 @@ struct OsdBatchStats
     size_t groupedShots = 0;
     /** Pivot slots replayed from a leader (rank x grouped shots). */
     size_t sharedPivots = 0;
+    /** Reliability sorts served by the incremental re-rank path (a
+     *  changed-key merge into the previous shot's sorted order)
+     *  instead of a full radix sort. */
+    size_t incrementalSorts = 0;
 };
 
 /** Outcome of one solveBatch call; storage reusable across calls. */
@@ -135,6 +139,7 @@ class OsdDecoder
   private:
     size_t augWords() const;
     void sortReliability(const float* llr);
+    void radixSortKeys();
     void buildDualBasis();
     void runElimination(const float* llr);
     bool matchesOrdering(const float* llr);
@@ -177,9 +182,20 @@ class OsdDecoder
     /** Candidate order: (transformed LLR key << 32 | index), sorted
      *  ascending by a stable 3-pass LSD radix sort — exactly the
      *  (llr, index) comparator order of the scalar heap, at a
-     *  fraction of a comparison sort's cost. */
+     *  fraction of a comparison sort's cost. Consecutive shots of a
+     *  batch differ in few posteriors (BP perturbs the same graph),
+     *  so after the first full sort each sortReliability() call
+     *  re-ranks incrementally: transform every LLR, diff against
+     *  keyOfVar_, and when few keys moved merge just the changed
+     *  entries into the previous sorted order instead of resorting
+     *  all mechanisms. Keys embed the index, so the uint64 order is
+     *  total and the merge is exact — same permutation either way. */
     std::vector<uint64_t> orderKeys_;
-    std::vector<uint64_t> orderAlt_; ///< radix double buffer.
+    std::vector<uint64_t> orderAlt_; ///< radix / merge double buffer.
+    std::vector<uint32_t> keyOfVar_; ///< current transformed key per var.
+    std::vector<uint64_t> changedKeys_; ///< (new key << 32 | var) diffs.
+    bool sortedValid_ = false; ///< orderKeys_ matches keyOfVar_.
+    size_t incrementalSorts_ = 0; ///< per-solveBatch counter.
 
     /** Columns the current leader's elimination popped, in order. */
     std::vector<uint32_t> inspected_;

@@ -1,0 +1,584 @@
+/**
+ * @file
+ * Template bodies of the lane-parallel BP kernels, included by each
+ * ISA rung's translation unit (see wave_kernels.h). The includer must
+ * define CYCLONE_WAVE_KERNEL to the function-scoped target attribute
+ * of its rung (possibly empty) before including this file; everything
+ * here lands in an anonymous namespace, so each TU gets its own
+ * internal instantiations compiled under exactly one ISA.
+ *
+ * Every float operation below is the scalar decoder's operation, per
+ * lane, in the scalar order — the bit-exactness contract documented in
+ * bp_wave_decoder.h and enforced by tests/test_wave_decoder.cc.
+ */
+
+namespace cyclone {
+namespace {
+
+/**
+ * Fixed-width lane vectors via the GCC/Clang vector extension: every
+ * arithmetic operator is element-wise IEEE-754, and the ternary
+ * operator on a comparison result is an element-wise select, so each
+ * lane performs exactly the scalar decoder's float operations — the
+ * extension only guarantees the compiler emits them as SIMD words
+ * (ymm under target("avx2"), zmm + __mmask16 blends for the selects
+ * under target("avx512f,avx512bw")). The `aligned(4)` underalignment
+ * keeps lane rows loadable at any float boundary.
+ */
+template <size_t L>
+struct LaneTypes
+{
+    typedef float Vf __attribute__((
+        vector_size(L * sizeof(float)), aligned(4), may_alias));
+    typedef int32_t Vi __attribute__((
+        vector_size(L * sizeof(int32_t)), aligned(4), may_alias));
+};
+
+/**
+ * __builtin_bit_cast behind always_inline: std::bit_cast is an
+ * ordinary (baseline-target) function template, and an out-of-line
+ * call from inside a target-attributed kernel would cross an ABI
+ * boundary with wide vector arguments (real miscompilation at -O0).
+ * Force-inlining keeps the cast in the caller's ISA context. `from`
+ * is taken by value: deduction strips the typedefs' aligned(4)
+ * attribute, so a reference parameter would bind at the vector type's
+ * natural alignment — UB on the underaligned lane rows.
+ */
+template <typename To, typename From>
+CYCLONE_WAVE_KERNEL __attribute__((always_inline)) inline To
+laneBitCast(From from)
+{
+    static_assert(sizeof(To) == sizeof(From));
+    return __builtin_bit_cast(To, from);
+}
+
+template <size_t L>
+CYCLONE_WAVE_KERNEL __attribute__((always_inline)) inline typename LaneTypes<L>::Vf
+splat(float value)
+{
+    typename LaneTypes<L>::Vf v = {};
+    return v + value;
+}
+
+template <size_t L>
+CYCLONE_WAVE_KERNEL __attribute__((always_inline)) inline typename LaneTypes<L>::Vi
+splatInt(int32_t value)
+{
+    typename LaneTypes<L>::Vi v = {};
+    return v + value;
+}
+
+/** |x| per lane: clearing the sign bit is exactly std::fabs. */
+template <size_t L>
+CYCLONE_WAVE_KERNEL __attribute__((always_inline)) inline typename LaneTypes<L>::Vf
+laneAbs(typename LaneTypes<L>::Vf x)
+{
+    typedef typename LaneTypes<L>::Vi Vi;
+    typedef typename LaneTypes<L>::Vf Vf;
+    return laneBitCast<Vf>(laneBitCast<Vi>(x) &
+                             splatInt<L>(0x7fffffff));
+}
+
+/** std::clamp(x, -c, c) per lane (identical select order). */
+template <size_t L>
+CYCLONE_WAVE_KERNEL __attribute__((always_inline)) inline typename LaneTypes<L>::Vf
+laneClamp(typename LaneTypes<L>::Vf x, typename LaneTypes<L>::Vf c)
+{
+    const auto low = x < -c ? -c : x;
+    return c < low ? c : low;
+}
+
+/** Lane l's bit: the constant {1, 2, 4, ...} vector for testing and
+ *  packing the per-edge lane bitmasks (hoist out of the edge loops). */
+template <size_t L>
+CYCLONE_WAVE_KERNEL __attribute__((always_inline)) inline typename LaneTypes<L>::Vi
+laneBits()
+{
+    static_assert(L <= 32, "lane bitmasks are packed in uint32_t");
+    typename LaneTypes<L>::Vi v = {};
+    for (size_t l = 0; l < L; ++l)
+        v[l] = static_cast<int32_t>(uint32_t{1} << l);
+    return v;
+}
+
+/**
+ * Collect lane l's IEEE/two's-complement sign bit into bit l of a
+ * uint32 — the encode half of the compressed-message scheme and the
+ * hard-decision pack. Callers pass either a comparison result (-1 per
+ * true lane) or a word whose sign bit is the payload; both carry the
+ * predicate in the sign bit, so one primitive serves all packs. The
+ * portable loop compiles to a compare + per-lane selects + a log2(L)
+ * OR reduction (~20 instructions); rungs that predefine a pack macro
+ * collapse it to one move-mask (AVX: vmovmskps) or test-into-mask
+ * (AVX-512: vptestmd + kmov) instruction, which is what keeps the
+ * compressed check pass cheaper than the full-message store it
+ * replaced.
+ */
+template <size_t L>
+CYCLONE_WAVE_KERNEL __attribute__((always_inline)) inline uint32_t
+packSignBits(typename LaneTypes<L>::Vi v)
+{
+#if defined(CYCLONE_WAVE_PACK_AVX512)
+    if constexpr (L == 16) {
+        return static_cast<uint32_t>(_mm512_test_epi32_mask(
+            laneBitCast<__m512i>(v), _mm512_set1_epi32(INT32_MIN)));
+    }
+#elif defined(CYCLONE_WAVE_PACK_AVX)
+    if constexpr (L == 8) {
+        return static_cast<uint32_t>(
+            _mm256_movemask_ps(laneBitCast<__m256>(v)));
+    }
+    if constexpr (L == 4) {
+        return static_cast<uint32_t>(
+            _mm_movemask_ps(laneBitCast<__m128>(v)));
+    }
+#endif
+    uint32_t mask = 0;
+    for (size_t l = 0; l < L; ++l)
+        mask |= uint32_t{v[l] < 0} << l;
+    return mask;
+}
+
+/**
+ * Reconstruct one edge's outgoing min-sum message row from compressed
+ * state: a set bit in `mins` selects the check's second magnitude
+ * (both already scaled), a set bit in `signs` is XORed into the IEEE
+ * sign bit. Both are the exact floats the full-message kernel would
+ * have stored, so decode-on-read is bit-identical to the numEdges x L
+ * array it replaces. Lowers to broadcast + bit-test + masked blend /
+ * masked xor — no lane extraction.
+ */
+template <size_t L>
+CYCLONE_WAVE_KERNEL __attribute__((always_inline)) inline typename LaneTypes<L>::Vf
+decodeMsgRow(typename LaneTypes<L>::Vf min1,
+             typename LaneTypes<L>::Vf min2,
+             uint32_t signs, uint32_t mins,
+             typename LaneTypes<L>::Vi lane_bit,
+             typename LaneTypes<L>::Vi sign_bit)
+{
+    typedef typename LaneTypes<L>::Vf Vf;
+    typedef typename LaneTypes<L>::Vi Vi;
+    const Vi mm = splatInt<L>(static_cast<int32_t>(mins)) & lane_bit;
+    const Vf base = mm != 0 ? min2 : min1;
+    const Vi sm = splatInt<L>(static_cast<int32_t>(signs)) & lane_bit;
+    const Vi flip = (sm != 0) & sign_bit;
+    return laneBitCast<Vf>(laneBitCast<Vi>(base) ^ flip);
+}
+
+template <size_t L>
+CYCLONE_WAVE_KERNEL void
+posteriorUpdateWave(const WaveKernelCtx& ctx)
+{
+    // Unconditional across lanes: frozen lanes recompute from frozen
+    // messages, which reproduces their posterior and hard decision
+    // bit-for-bit (same floats, same order), so no blend is needed
+    // here — only the message writes in the check pass are masked.
+    typedef typename LaneTypes<L>::Vf Vf;
+    const BpGraph& g = *ctx.graph;
+    const float* msg = ctx.msg;
+    const float* prior = g.prior.data();
+    float* posterior = ctx.posterior;
+    uint64_t* hard = ctx.hardMask;
+    if (g.varEdgesAscendByCheck) {
+        // Scatter form: stream the lane-major message array once in
+        // check-CSR order and accumulate into the (much smaller,
+        // cache-resident) posterior rows. Because each variable's
+        // var-CSR edges ascend by check, the additions hit every
+        // variable in exactly the gather order — identical floats.
+        for (size_t v = 0; v < g.numVars; ++v)
+            *reinterpret_cast<Vf*>(posterior + v * L) =
+                splat<L>(prior[v]);
+        const uint32_t* edge_var = g.checkEdgeVar.data();
+        for (size_t s = 0; s < g.numEdges; ++s) {
+            Vf* p = reinterpret_cast<Vf*>(
+                posterior + size_t{edge_var[s]} * L);
+            *p += *reinterpret_cast<const Vf*>(msg + s * L);
+        }
+        for (size_t v = 0; v < g.numVars; ++v) {
+            const Vf total =
+                *reinterpret_cast<const Vf*>(posterior + v * L);
+            const typename LaneTypes<L>::Vi neg =
+                total < splat<L>(0.0f);
+            hard[v] = packSignBits<L>(neg);
+        }
+        return;
+    }
+    const uint32_t* slots = g.checkSlotOfVarEdge.data();
+    for (size_t v = 0; v < g.numVars; ++v) {
+        Vf total = splat<L>(prior[v]);
+        for (size_t e = g.varOffset[v]; e < g.varOffset[v + 1]; ++e) {
+            total += *reinterpret_cast<const Vf*>(
+                msg + size_t{slots[e]} * L);
+        }
+        *reinterpret_cast<Vf*>(posterior + v * L) = total;
+        const typename LaneTypes<L>::Vi neg = total < splat<L>(0.0f);
+        hard[v] = packSignBits<L>(neg);
+    }
+}
+
+/** Posterior/hard-decision pass of the compressed min-sum variant:
+ *  identical accumulation orders to posteriorUpdateWave, with each
+ *  message row decoded on read instead of loaded from the big array. */
+template <size_t L>
+CYCLONE_WAVE_KERNEL void
+posteriorUpdateMinSumWave(const WaveKernelCtx& ctx)
+{
+    typedef typename LaneTypes<L>::Vf Vf;
+    typedef typename LaneTypes<L>::Vi Vi;
+    const BpGraph& g = *ctx.graph;
+    const float* min1s = ctx.checkMin1;
+    const float* min2s = ctx.checkMin2;
+    const uint32_t* sign_bits = ctx.edgeSignBits;
+    const uint32_t* min_bits = ctx.edgeMinBits;
+    const float* prior = g.prior.data();
+    float* posterior = ctx.posterior;
+    uint64_t* hard = ctx.hardMask;
+    const Vi lane_bit = laneBits<L>();
+    const Vi sign_bit = splatInt<L>(INT32_MIN);
+    if (g.varEdgesAscendByCheck) {
+        for (size_t v = 0; v < g.numVars; ++v)
+            *reinterpret_cast<Vf*>(posterior + v * L) =
+                splat<L>(prior[v]);
+        const uint32_t* edge_var = g.checkEdgeVar.data();
+        for (size_t c = 0; c < g.numChecks; ++c) {
+            const Vf min1 =
+                *reinterpret_cast<const Vf*>(min1s + c * L);
+            const Vf min2 =
+                *reinterpret_cast<const Vf*>(min2s + c * L);
+            for (size_t s = g.checkOffset[c]; s < g.checkOffset[c + 1];
+                 ++s) {
+                Vf* p = reinterpret_cast<Vf*>(
+                    posterior + size_t{edge_var[s]} * L);
+                *p += decodeMsgRow<L>(min1, min2, sign_bits[s],
+                                      min_bits[s], lane_bit, sign_bit);
+            }
+        }
+        for (size_t v = 0; v < g.numVars; ++v) {
+            const Vf total =
+                *reinterpret_cast<const Vf*>(posterior + v * L);
+            const typename LaneTypes<L>::Vi neg =
+                total < splat<L>(0.0f);
+            hard[v] = packSignBits<L>(neg);
+        }
+        return;
+    }
+    const uint32_t* slots = g.checkSlotOfVarEdge.data();
+    const uint32_t* check_of = g.checkOfSlot.data();
+    for (size_t v = 0; v < g.numVars; ++v) {
+        Vf total = splat<L>(prior[v]);
+        for (size_t e = g.varOffset[v]; e < g.varOffset[v + 1]; ++e) {
+            const size_t s = slots[e];
+            const size_t c = check_of[s];
+            total += decodeMsgRow<L>(
+                *reinterpret_cast<const Vf*>(min1s + c * L),
+                *reinterpret_cast<const Vf*>(min2s + c * L),
+                sign_bits[s], min_bits[s], lane_bit, sign_bit);
+        }
+        *reinterpret_cast<Vf*>(posterior + v * L) = total;
+        const typename LaneTypes<L>::Vi neg = total < splat<L>(0.0f);
+        hard[v] = packSignBits<L>(neg);
+    }
+}
+
+/** Check pass of the compressed min-sum variant. Pass 1 decodes each
+ *  old message on read and tracks the two smallest magnitudes exactly
+ *  like the full kernel; pass 2 stores the scaled minima per check and
+ *  two lane-bit words per edge instead of the message floats.
+ *  Selecting between the two pre-scaled minima on decode reproduces
+ *  pass 2's scale x (mag == min1 ? min2 : min1) float exactly, and
+ *  the stored sign bit is exactly the sign the full kernel XORed into
+ *  that float. Frozen lanes keep their minima via the same per-lane
+ *  float blends as before; their packed bits freeze with plain scalar
+ *  mask arithmetic. */
+template <size_t L, bool Masked>
+CYCLONE_WAVE_KERNEL void
+checkMinSumWave(const WaveKernelCtx& ctx)
+{
+    typedef typename LaneTypes<L>::Vf Vf;
+    typedef typename LaneTypes<L>::Vi Vi;
+    const BpGraph& g = *ctx.graph;
+    const float* posterior = ctx.posterior;
+    const float* syn_sign = ctx.synSign;
+    float* scratch = ctx.msgScratch;
+    float* min1s = ctx.checkMin1;
+    float* min2s = ctx.checkMin2;
+    uint32_t* sign_bits_arr = ctx.edgeSignBits;
+    uint32_t* min_bits_arr = ctx.edgeMinBits;
+    const Vf clamp = splat<L>(ctx.clamp);
+    const Vf scale = splat<L>(ctx.minSumScale);
+    const Vf zero = splat<L>(0.0f);
+    const Vi sign_bit = splatInt<L>(INT32_MIN);
+    const Vi lane_bit = laneBits<L>();
+    Vi act = {};
+    uint32_t act_bits = 0;
+    if constexpr (Masked) {
+        for (size_t l = 0; l < L; ++l) {
+            act[l] = static_cast<int32_t>(ctx.laneActive[l]);
+            act_bits |= (ctx.laneActive[l] != 0 ? uint32_t{1} : 0) << l;
+        }
+    }
+
+    for (size_t c = 0; c < g.numChecks; ++c) {
+        const size_t begin = g.checkOffset[c];
+        const size_t end = g.checkOffset[c + 1];
+        const Vf old1 = *reinterpret_cast<const Vf*>(min1s + c * L);
+        const Vf old2 = *reinterpret_cast<const Vf*>(min2s + c * L);
+
+        const Vf sign_product =
+            *reinterpret_cast<const Vf*>(syn_sign + c * L);
+        Vi sp_bits = laneBitCast<Vi>(sign_product) & sign_bit;
+        Vf min1 = splat<L>(3.0e38f);
+        Vf min2 = min1;
+        for (size_t s = begin; s < end; ++s) {
+            const Vf old =
+                decodeMsgRow<L>(old1, old2, sign_bits_arr[s],
+                                min_bits_arr[s], lane_bit, sign_bit);
+            const Vf p = *reinterpret_cast<const Vf*>(
+                posterior + size_t{g.checkEdgeVar[s]} * L);
+            const Vf m = laneClamp<L>(p - old, clamp);
+            *reinterpret_cast<Vf*>(scratch + (s - begin) * L) = m;
+            const Vf mag = laneAbs<L>(m);
+            sp_bits ^= (m < zero) & sign_bit;
+            const auto lt1 = mag < min1;
+            min2 = lt1 ? min1 : (mag < min2 ? mag : min2);
+            min1 = lt1 ? mag : min1;
+        }
+        const Vf base1 = scale * min1;
+        const Vf base2 = scale * min2;
+        for (size_t s = begin; s < end; ++s) {
+            const Vf m = *reinterpret_cast<const Vf*>(
+                scratch + (s - begin) * L);
+            const Vf mag = laneAbs<L>(m);
+            // flip lanes are 0 or INT32_MIN, so the sign-bit pack IS
+            // "flip != 0"; the min1 predicate packs its -1/0 compare.
+            const Vi flip = sp_bits ^ ((m < zero) & sign_bit);
+            const Vi is_min1 = mag == min1;
+            const uint32_t signs = packSignBits<L>(flip);
+            const uint32_t mins = packSignBits<L>(is_min1);
+            if constexpr (Masked) {
+                sign_bits_arr[s] = (sign_bits_arr[s] & ~act_bits) |
+                    (signs & act_bits);
+                min_bits_arr[s] = (min_bits_arr[s] & ~act_bits) |
+                    (mins & act_bits);
+            } else {
+                sign_bits_arr[s] = signs;
+                min_bits_arr[s] = mins;
+            }
+        }
+        Vf* r1 = reinterpret_cast<Vf*>(min1s + c * L);
+        Vf* r2 = reinterpret_cast<Vf*>(min2s + c * L);
+        if constexpr (Masked) {
+            *r1 = act ? base1 : *r1;
+            *r2 = act ? base2 : *r2;
+        } else {
+            *r1 = base1;
+            *r2 = base2;
+        }
+    }
+}
+
+/**
+ * Full-message min-sum check pass: the lane-wise image of the scalar
+ * decoder's two-smallest-magnitudes tracking, storing every outgoing
+ * message float in the numEdges x L array. Rungs whose message array
+ * is small enough that decode-on-read costs more than the bandwidth
+ * compression saves select this pass instead of checkMinSumWave (see
+ * WaveKernelTable::minSumCompressed); both produce identical floats.
+ * The scalar argmin is replaced by a magnitude-equality select in the
+ * second pass — bit-identical, because when several edges tie for
+ * min1 the scalar decoder has min2 == min1, so both selects produce
+ * the same value on every edge. Signs travel as IEEE sign bits:
+ * flipping a float's sign bit is exactly the scalar code's
+ * multiplication by -1.
+ */
+template <size_t L, bool Masked>
+CYCLONE_WAVE_KERNEL void
+checkMinSumFullWave(const WaveKernelCtx& ctx)
+{
+    typedef typename LaneTypes<L>::Vf Vf;
+    typedef typename LaneTypes<L>::Vi Vi;
+    const BpGraph& g = *ctx.graph;
+    float* msg = ctx.msg;
+    const float* posterior = ctx.posterior;
+    const float* syn_sign = ctx.synSign;
+    float* scratch = ctx.msgScratch;
+    const Vf clamp = splat<L>(ctx.clamp);
+    const Vf scale = splat<L>(ctx.minSumScale);
+    const Vf zero = splat<L>(0.0f);
+    const Vi sign_bit = splatInt<L>(INT32_MIN);
+    Vi act = {};
+    if constexpr (Masked) {
+        for (size_t l = 0; l < L; ++l)
+            act[l] = static_cast<int32_t>(ctx.laneActive[l]);
+    }
+
+    for (size_t c = 0; c < g.numChecks; ++c) {
+        const size_t begin = g.checkOffset[c];
+        const size_t end = g.checkOffset[c + 1];
+        const Vf sign_product =
+            *reinterpret_cast<const Vf*>(syn_sign + c * L);
+        Vi sp_bits = laneBitCast<Vi>(sign_product) & sign_bit;
+        Vf min1 = splat<L>(3.0e38f);
+        Vf min2 = min1;
+        for (size_t s = begin; s < end; ++s) {
+            const Vf p = *reinterpret_cast<const Vf*>(
+                posterior + size_t{g.checkEdgeVar[s]} * L);
+            const Vf old = *reinterpret_cast<const Vf*>(msg + s * L);
+            const Vf m = laneClamp<L>(p - old, clamp);
+            *reinterpret_cast<Vf*>(scratch + (s - begin) * L) = m;
+            const Vf mag = laneAbs<L>(m);
+            sp_bits ^= (m < zero) & sign_bit;
+            const auto lt1 = mag < min1;
+            min2 = lt1 ? min1 : (mag < min2 ? mag : min2);
+            min1 = lt1 ? mag : min1;
+        }
+        for (size_t s = begin; s < end; ++s) {
+            const Vf m = *reinterpret_cast<const Vf*>(
+                scratch + (s - begin) * L);
+            Vf* out = reinterpret_cast<Vf*>(msg + s * L);
+            const Vf mag = laneAbs<L>(m);
+            // Scalar: sign * scale * mag with sign = +-1, which
+            // IEEE-exactly equals scale*mag with the sign bits
+            // XORed in.
+            const Vf base = scale * (mag == min1 ? min2 : min1);
+            const Vi flip = sp_bits ^ ((m < zero) & sign_bit);
+            const Vf val =
+                laneBitCast<Vf>(laneBitCast<Vi>(base) ^ flip);
+            if constexpr (Masked)
+                *out = act ? val : *out;
+            else
+                *out = val;
+        }
+    }
+}
+
+/** Check pass of the product-sum variant (two-pass tanh-product,
+ *  full-message storage — the tanh products don't compress like the
+ *  min-sum two-minima structure). */
+template <size_t L, bool Masked>
+CYCLONE_WAVE_KERNEL void
+checkToVarUpdateWave(const WaveKernelCtx& ctx)
+{
+    // Masked == false is the fast path while no real lane has frozen
+    // yet: message writes are plain streaming stores instead of
+    // read-blend-write (idle lanes past the group count may then
+    // evolve as zero-syndrome decodes, which is harmless — their
+    // state is never read). Once any lane converges, the masked
+    // variant keeps its messages frozen.
+    typedef typename LaneTypes<L>::Vf Vf;
+    typedef typename LaneTypes<L>::Vi Vi;
+    const BpGraph& g = *ctx.graph;
+    float* msg = ctx.msg;
+    const float* posterior = ctx.posterior;
+    const float* syn_sign = ctx.synSign;
+    float* scratch = ctx.msgScratch;
+    float* tanh_scratch = ctx.tanhScratch;
+    const Vf clamp = splat<L>(ctx.clamp);
+    const Vf zero = splat<L>(0.0f);
+    Vi act = {};
+    if constexpr (Masked) {
+        for (size_t l = 0; l < L; ++l)
+            act[l] = static_cast<int32_t>(ctx.laneActive[l]);
+    }
+
+    for (size_t c = 0; c < g.numChecks; ++c) {
+        const size_t begin = g.checkOffset[c];
+        const size_t end = g.checkOffset[c + 1];
+
+        Vf sign_product =
+            *reinterpret_cast<const Vf*>(syn_sign + c * L);
+
+        // Product-sum two-pass tanh-product, lane-wise. The tanh
+        // and log stay scalar libm calls per lane (so their floats
+        // match the scalar decoder exactly); everything around
+        // them is lane vectors. Zeroed lanes still evaluate the
+        // (finite, discarded) log to stay branch-free.
+        Vf prod = splat<L>(1.0f);
+        Vi zero_count = splatInt<L>(0);
+        Vi zero_slot = splatInt<L>(static_cast<int32_t>(begin));
+        for (size_t s = begin; s < end; ++s) {
+            const Vf p = *reinterpret_cast<const Vf*>(
+                posterior + size_t{g.checkEdgeVar[s]} * L);
+            const Vf old = *reinterpret_cast<const Vf*>(msg + s * L);
+            const Vf m = laneClamp<L>(p - old, clamp);
+            *reinterpret_cast<Vf*>(scratch + (s - begin) * L) = m;
+            sign_product = m < zero ? -sign_product : sign_product;
+            const Vf half_abs = laneAbs<L>(m) * 0.5f;
+            Vf t = {};
+            for (size_t l = 0; l < L; ++l)
+                t[l] = std::tanh(half_abs[l]);
+            *reinterpret_cast<Vf*>(
+                tanh_scratch + (s - begin) * L) = t;
+            const auto is_zero = t < splat<L>(1e-12f);
+            zero_count -= is_zero; // mask is -1 per true lane
+            zero_slot = is_zero
+                ? splatInt<L>(static_cast<int32_t>(s))
+                : zero_slot;
+            prod = is_zero ? prod : prod * t;
+        }
+        const Vi one = splatInt<L>(1);
+        for (size_t s = begin; s < end; ++s) {
+            const Vf m = *reinterpret_cast<const Vf*>(
+                scratch + (s - begin) * L);
+            const Vf t = *reinterpret_cast<const Vf*>(
+                tanh_scratch + (s - begin) * L);
+            Vf* out_row = reinterpret_cast<Vf*>(msg + s * L);
+            const Vi sv = splatInt<L>(static_cast<int32_t>(s));
+            const auto zeroed = (zero_count > one) |
+                ((zero_count == one) & (sv != zero_slot));
+            // std::max(t, 1e-12f) == (1e-12f < t ? t : 1e-12f).
+            const Vf floor = splat<L>(1e-12f);
+            const Vf denom = floor < t ? t : floor;
+            const Vf divided = prod / denom;
+            Vf t_other =
+                zero_count == splatInt<L>(0) ? divided : prod;
+            // One float ulp below 1: keeps the log finite
+            // (std::min select order).
+            const Vf limit = splat<L>(1.0f - 6.0e-8f);
+            t_other = limit < t_other ? limit : t_other;
+            const Vf ratio =
+                (splat<L>(1.0f) + t_other) /
+                (splat<L>(1.0f) - t_other);
+            Vf grown = {};
+            for (size_t l = 0; l < L; ++l)
+                grown[l] = std::log(ratio[l]);
+            const Vf out = zeroed ? zero : grown;
+            const Vf sign = sign_product *
+                (m < zero ? splat<L>(-1.0f) : splat<L>(1.0f));
+            const Vf val = laneClamp<L>(sign * out, clamp);
+            if constexpr (Masked)
+                *out_row = act ? val : *out_row;
+            else
+                *out_row = val;
+        }
+    }
+}
+
+/**
+ * Compressed is a per-rung tuning choice (WaveKernelTable::
+ * minSumCompressed): the full-message posterior pass doubles as the
+ * min-sum posterior pass on uncompressed rungs — it just sums message
+ * rows, whatever variant wrote them.
+ */
+template <size_t L, bool Compressed>
+const WaveKernelTable*
+laneKernelTable()
+{
+    static const WaveKernelTable table{
+        L,
+        Compressed,
+        &posteriorUpdateWave<L>,
+        &checkToVarUpdateWave<L, false>,
+        &checkToVarUpdateWave<L, true>,
+        Compressed ? &posteriorUpdateMinSumWave<L>
+                   : &posteriorUpdateWave<L>,
+        Compressed ? &checkMinSumWave<L, false>
+                   : &checkMinSumFullWave<L, false>,
+        Compressed ? &checkMinSumWave<L, true>
+                   : &checkMinSumFullWave<L, true>,
+    };
+    return &table;
+}
+
+} // namespace
+} // namespace cyclone

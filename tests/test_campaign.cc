@@ -117,6 +117,65 @@ TEST(Campaign, DeterministicAcrossThreadCounts)
     }
 }
 
+TEST(Campaign, StagedPoolingIsDeterministicAndBitExact)
+{
+    // Pooling several chunks into one staged decode group is a pure
+    // perf knob: staged groups are contiguous chunk-index slices of a
+    // wave, so the estimate and every decoder counter must match at
+    // any thread count — and the estimate must equal the unstaged
+    // run's exactly (staging never changes a prediction).
+    CampaignSpec unstaged;
+    unstaged.seed = 99;
+    unstaged.threads = 2;
+    for (double p : {0.01, 0.03, 0.08})
+        unstaged.tasks.push_back(surfaceTask(p, 600, 0.25));
+    for (TaskSpec& t : unstaged.tasks)
+        t.stop.chunksPerWave = 4;
+    const CampaignResult plain = runCampaign(unstaged);
+
+    CampaignSpec staged = unstaged;
+    for (TaskSpec& t : staged.tasks)
+        t.stop.stagingChunks = 2;
+    staged.threads = 1;
+    const CampaignResult one = runCampaign(staged);
+    staged.threads = 4;
+    const CampaignResult four = runCampaign(staged);
+
+    ASSERT_EQ(one.tasks.size(), plain.tasks.size());
+    for (size_t i = 0; i < one.tasks.size(); ++i) {
+        // Staged vs unstaged: identical physics.
+        EXPECT_EQ(one.tasks[i].logicalErrorRate.trials,
+                  plain.tasks[i].logicalErrorRate.trials)
+            << "task " << i;
+        EXPECT_EQ(one.tasks[i].logicalErrorRate.successes,
+                  plain.tasks[i].logicalErrorRate.successes)
+            << "task " << i;
+        EXPECT_EQ(plain.tasks[i].decoder.stagedChunks, 0u);
+        EXPECT_GT(one.tasks[i].decoder.stagedChunks, 0u);
+
+        // Staged at one thread vs staged at four: identical, down to
+        // the memo counters (groups are sliced by chunk index, never
+        // by worker).
+        EXPECT_EQ(one.tasks[i].logicalErrorRate.trials,
+                  four.tasks[i].logicalErrorRate.trials)
+            << "task " << i;
+        EXPECT_EQ(one.tasks[i].logicalErrorRate.successes,
+                  four.tasks[i].logicalErrorRate.successes)
+            << "task " << i;
+        EXPECT_EQ(one.tasks[i].decoder.decodes,
+                  four.tasks[i].decoder.decodes);
+        EXPECT_EQ(one.tasks[i].decoder.memoHits,
+                  four.tasks[i].decoder.memoHits);
+        EXPECT_EQ(one.tasks[i].decoder.bpIterations,
+                  four.tasks[i].decoder.bpIterations);
+        EXPECT_EQ(one.tasks[i].decoder.stagedChunks,
+                  four.tasks[i].decoder.stagedChunks);
+        EXPECT_EQ(one.tasks[i].decoder.backend,
+                  four.tasks[i].decoder.backend);
+        EXPECT_FALSE(one.tasks[i].decoder.backend.empty());
+    }
+}
+
 TEST(Campaign, EarlyStopHonorsRelativeErrorTarget)
 {
     const double target = 0.25;
@@ -221,6 +280,8 @@ TEST(Campaign, JsonAndCsvOutputs)
     EXPECT_NE(json.find("\"trivial_fraction\""), std::string::npos);
     EXPECT_NE(json.find("\"memo_hit_rate\""), std::string::npos);
     EXPECT_NE(json.find("\"mean_bp_iterations\""), std::string::npos);
+    EXPECT_NE(json.find("\"staged_chunks\""), std::string::npos);
+    EXPECT_NE(json.find("\"backend\": \""), std::string::npos);
     EXPECT_EQ(json.find("\"error\""), std::string::npos);
 
     const std::string csv = campaignResultToCsv(result);
@@ -229,6 +290,7 @@ TEST(Campaign, JsonAndCsvOutputs)
         lines += c == '\n';
     EXPECT_EQ(lines, 1u + result.tasks.size());
     EXPECT_NE(csv.find("point-a"), std::string::npos);
+    EXPECT_NE(csv.find("staged_chunks,backend,"), std::string::npos);
 }
 
 TEST(Campaign, CheckpointRoundtrip)
@@ -274,14 +336,27 @@ TEST(Campaign, CheckpointRoundtrip)
     EXPECT_TRUE(partial.tasks[0].fromCheckpoint);
     EXPECT_FALSE(partial.tasks[1].fromCheckpoint);
 
+    // The staging knob is a perf knob, not physics: changing it must
+    // not invalidate checkpointed results.
+    CampaignSpec restaged = spec;
+    for (TaskSpec& t : restaged.tasks)
+        t.stop.stagingChunks = 3;
+    const CampaignResult reused = runCampaign(restaged, &checkpoint);
+    EXPECT_TRUE(reused.tasks[0].fromCheckpoint);
+    EXPECT_TRUE(reused.tasks[1].fromCheckpoint);
+    // Backend names describe the host that ran the shots; results
+    // replayed from a checkpoint do not claim one.
+    EXPECT_TRUE(reused.tasks[0].decoder.backend.empty());
+
     std::remove(path.c_str());
 }
 
 /**
  * One parameterized matrix over every checkpoint format generation:
  * 14 fields (pre-batch-pipeline), 17 (pre-wave-kernel), 20
- * (pre-batched-OSD) and 22 (current). Fields absent from an old
- * format must load as zero; any other field count must be rejected.
+ * (pre-batched-OSD), 22 (pre-staging) and 23 (current). Fields absent
+ * from an old format must load as zero; any other field count must be
+ * rejected.
  */
 class CheckpointFormat : public ::testing::TestWithParam<int>
 {
@@ -290,8 +365,8 @@ class CheckpointFormat : public ::testing::TestWithParam<int>
 TEST_P(CheckpointFormat, LoadsEveryFormatGeneration)
 {
     const int fields = GetParam();
-    // The full 22-field line, split so each generation is a prefix.
-    const char* tokens[22] = {
+    // The full 23-field line, split so each generation is a prefix.
+    const char* tokens[23] = {
         "00000000deadbeef", // content hash
         "6",                // rounds
         "12.5",             // round latency us
@@ -314,10 +389,13 @@ TEST_P(CheckpointFormat, LoadsEveryFormatGeneration)
         "70",               // wave lanes filled
         "9",                // osd batch groups
         "1234",             // osd shared pivots
+        "5",                // staged chunks
     };
     std::string text = "cyclone-campaign-checkpoint v1\ntask";
+    // Counts beyond the current format (the rejection cases) append
+    // filler tokens past the known 23.
     for (int f = 0; f < fields; ++f)
-        text += std::string(" ") + tokens[f];
+        text += std::string(" ") + (f < 23 ? tokens[f] : "0");
     text += "\n";
 
     const std::string path = "test_checkpoint_format.tmp";
@@ -326,7 +404,8 @@ TEST_P(CheckpointFormat, LoadsEveryFormatGeneration)
     const bool loaded = loadCheckpoint(path, checkpoint);
     std::remove(path.c_str());
 
-    if (fields != 14 && fields != 17 && fields != 20 && fields != 22) {
+    if (fields != 14 && fields != 17 && fields != 20 && fields != 22 &&
+        fields != 23) {
         EXPECT_FALSE(loaded) << "fields=" << fields;
         return;
     }
@@ -360,12 +439,16 @@ TEST_P(CheckpointFormat, LoadsEveryFormatGeneration)
     const bool hasOsdBatch = fields >= 22;
     EXPECT_EQ(t.decoder.osdBatchGroups, hasOsdBatch ? 9u : 0u);
     EXPECT_EQ(t.decoder.osdSharedPivots, hasOsdBatch ? 1234u : 0u);
+    const bool hasStaging = fields >= 23;
+    EXPECT_EQ(t.decoder.stagedChunks, hasStaging ? 5u : 0u);
+    // The backend string is deliberately never checkpointed.
+    EXPECT_TRUE(t.decoder.backend.empty());
 }
 
 INSTANTIATE_TEST_SUITE_P(FormatGenerations, CheckpointFormat,
-                         ::testing::Values(14, 17, 20, 22,
+                         ::testing::Values(14, 17, 20, 22, 23,
                                            // rejected counts
-                                           13, 15, 21));
+                                           13, 15, 21, 24));
 
 TEST(Campaign, SpecParsingExpandsSweeps)
 {
@@ -381,6 +464,7 @@ arch = cyclone, baseline
 p = 1e-3, 2e-3, 4e-3
 max_shots = 50
 target_rel_err = 0.1
+staging_chunks = 4
 
 [task]
 code = surface3
@@ -400,12 +484,20 @@ p = 5e-3
     EXPECT_DOUBLE_EQ(spec.tasks[4].physicalError, 2e-3);
     EXPECT_EQ(spec.tasks[0].stop.maxShots, 50u);
     EXPECT_DOUBLE_EQ(spec.tasks[0].stop.targetRelErr, 0.1);
+    EXPECT_EQ(spec.tasks[0].stop.stagingChunks, 4u);
     const TaskSpec& explicitTask = spec.tasks[6];
     EXPECT_FALSE(explicitTask.compileLatency);
     EXPECT_DOUBLE_EQ(explicitTask.roundLatencyUs, 100.0);
     EXPECT_EQ(explicitTask.codeName, "surface3");
+    EXPECT_EQ(explicitTask.stop.stagingChunks, 1u);
 
     EXPECT_THROW(parseCampaignSpec("[task]\narch = warp\ncode = bb72\n"),
+                 std::runtime_error);
+    EXPECT_THROW(parseCampaignSpec(
+                     "[task]\ncode = bb72\nstaging_chunks = 0\n"),
+                 std::runtime_error);
+    EXPECT_THROW(parseCampaignSpec(
+                     "[task]\ncode = bb72\nstaging_chunks = -2\n"),
                  std::runtime_error);
     EXPECT_THROW(parseCampaignSpec("nonsense\n"), std::runtime_error);
     EXPECT_THROW(parseCampaignSpec(""), std::runtime_error);

@@ -26,12 +26,43 @@
 
 #include "common/rng.h"
 #include "decoder/bposd_decoder.h"
+#include "decoder/decoder_backend.h"
 #include "decoder/osd.h"
 #include "dem/dem.h"
 #include "dem/shot_batch.h"
 
 namespace cyclone {
 namespace {
+
+/** Set (or, with nullptr, unset) an env var for one scope. */
+class EnvGuard
+{
+  public:
+    EnvGuard(const char* name, const char* value) : name_(name)
+    {
+        const char* prev = std::getenv(name);
+        had_ = prev != nullptr;
+        if (had_)
+            old_ = prev;
+        if (value != nullptr)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+
+    ~EnvGuard()
+    {
+        if (had_)
+            ::setenv(name_.c_str(), old_.c_str(), 1);
+        else
+            ::unsetenv(name_.c_str());
+    }
+
+  private:
+    std::string name_;
+    std::string old_;
+    bool had_ = false;
+};
 
 size_t
 fuzzIterations()
@@ -187,6 +218,67 @@ TEST(DecoderFuzz, AllFourPathsBitExactOnRandomDems)
                 else
                     EXPECT_EQ(decoder.stats().memoHits, batchMemoHits)
                         << label << " path=" << path.name;
+            }
+
+            // Path 4 (x N): every supported SIMD-ladder rung, forced
+            // through the dispatch override, full pipeline. The rung
+            // must change nothing — not one bit, not one counter.
+            for (const DecoderBackend* b : decoderBackendRegistry()) {
+                if (b->kernels == nullptr || !b->supported())
+                    continue;
+                EnvGuard guard(kWaveBackendEnv, b->name);
+                BpOptions pathBp = bp;
+                pathBp.waveLanes = 0;
+                pathBp.osdBatch = true;
+                BpOsdDecoder decoder(dem, pathBp);
+                ASSERT_STREQ(decoder.backendName(), b->name) << label;
+                std::vector<uint64_t> got;
+                decoder.decodeBatch(batch, got);
+                for (size_t s = 0; s < shots; ++s)
+                    ASSERT_EQ(got[s], expected[s])
+                        << label << " backend=" << b->name
+                        << " s=" << s;
+                expectReplayedStatsEqual(
+                    decoder.stats(), want,
+                    label + " backend=" + b->name);
+                EXPECT_EQ(decoder.stats().memoHits, batchMemoHits)
+                    << label << " backend=" << b->name;
+            }
+
+            // Path 5: the staged pool — the same batch staged twice
+            // into one group must replay the exact outcome (and
+            // per-shot statistics) onto both copies.
+            {
+                BpOptions pathBp = bp;
+                pathBp.waveLanes = 0;
+                pathBp.osdBatch = true;
+                BpOsdDecoder staged(dem, pathBp);
+                staged.beginStaged();
+                staged.stageBatch(batch);
+                staged.stageBatch(batch);
+                staged.flushStaged();
+                for (size_t copy = 0; copy < 2; ++copy) {
+                    const size_t base = staged.stagedBatchOffset(copy);
+                    for (size_t s = 0; s < shots; ++s)
+                        ASSERT_EQ(
+                            staged.stagedPredictions()[base + s],
+                            expected[s])
+                            << label << " staged copy=" << copy
+                            << " s=" << s;
+                }
+                const BpOsdStats& st = staged.stats();
+                EXPECT_EQ(st.decodes, want.decodes * 2) << label;
+                EXPECT_EQ(st.bpConverged, want.bpConverged * 2)
+                    << label;
+                EXPECT_EQ(st.osdInvocations, want.osdInvocations * 2)
+                    << label;
+                EXPECT_EQ(st.osdFailures, want.osdFailures * 2)
+                    << label;
+                EXPECT_EQ(st.trivialShots, want.trivialShots * 2)
+                    << label;
+                EXPECT_EQ(st.bpIterations, want.bpIterations * 2)
+                    << label;
+                EXPECT_EQ(st.stagedChunks, 1u) << label;
             }
         }
     }
@@ -441,6 +533,9 @@ TEST(OsdBatch, ReliabilityTiesAtThePivotBoundary)
     OsdBatchResult result;
     batchOsd.solveBatch(requests, 2, result);
     EXPECT_EQ(result.stats.groups, 2u);
+    // The second leader differs from the first by one key, so its
+    // reliability order comes from the incremental re-rank path.
+    EXPECT_EQ(result.stats.incrementalSorts, 1u);
 
     OsdDecoder scalarOsd(dem);
     std::vector<uint8_t> errors;
@@ -456,6 +551,129 @@ TEST(OsdBatch, ReliabilityTiesAtThePivotBoundary)
             batchErrors[result.flips[f]] = 1;
         EXPECT_EQ(batchErrors, errors) << "s=" << s;
     }
+}
+
+TEST(OsdBatch, IncrementalReliabilitySortMatchesFreshDecoder)
+{
+    // A persistent decoder re-ranks only the posteriors whose sort key
+    // changed since the previous solve. Every step must produce the
+    // exact flips a fresh decoder (full radix sort) produces — across
+    // sign flips, signed-zero transitions, and duplicate LLRs — and
+    // the incremental counter must fire exactly when the diff path is
+    // taken.
+    const DetectorErrorModel dem = chainDem(14, 0.1);
+    const size_t n = dem.mechanisms.size();
+    ASSERT_GE(n, 10u);
+
+    std::vector<float> base(n);
+    for (size_t v = 0; v < n; ++v)
+        base[v] = 0.25f * static_cast<float>((v * 5) % 7) - 0.5f;
+    base[2] = 0.0f;
+    base[5] = -0.0f;   // same key as index 2's +0.0: tie broken by index
+    base[9] = base[3]; // duplicate LLR
+
+    std::vector<std::vector<float>> steps;
+    steps.push_back(base);
+    auto p1 = base;
+    p1[4] = -p1[4] - 0.125f; // one key moves
+    steps.push_back(p1);
+    auto p2 = p1;
+    p2[5] = 0.0f; // -0.0 -> +0.0: sort key is unchanged
+    steps.push_back(p2);
+    auto p3 = p2;
+    p3[7] = p3[3]; // a third copy of the duplicated LLR
+    steps.push_back(p3);
+    auto p4 = p3;
+    for (size_t v = 0; v < n; ++v)
+        p4[v] += 1.0f; // majority change: falls back to a full rebuild
+    steps.push_back(p4);
+
+    // full sort, incremental, empty diff, incremental, full rebuild
+    const size_t expectIncremental[] = {0, 1, 0, 1, 0};
+
+    BitVec syndrome(dem.numDetectors);
+    syndrome.set(3, true);
+    syndrome.set(8, true);
+
+    OsdDecoder persistent(dem);
+    for (size_t i = 0; i < steps.size(); ++i) {
+        OsdShotRequest request;
+        request.syndrome = &syndrome;
+        request.posteriorLlr = steps[i].data();
+
+        OsdBatchResult got;
+        persistent.solveBatch(&request, 1, got);
+        EXPECT_EQ(got.stats.incrementalSorts, expectIncremental[i])
+            << "step=" << i;
+
+        OsdDecoder fresh(dem);
+        OsdBatchResult want;
+        fresh.solveBatch(&request, 1, want);
+        ASSERT_EQ(got.ok, want.ok) << "step=" << i;
+        ASSERT_EQ(got.flipOffsets, want.flipOffsets) << "step=" << i;
+        ASSERT_EQ(got.flips, want.flips) << "step=" << i;
+        EXPECT_EQ(persistent.discoveredRank(), fresh.discoveredRank())
+            << "step=" << i;
+    }
+}
+
+TEST(OsdBatch, IncrementalSortSurvivesRandomPerturbationSequences)
+{
+    // Long random walks over a persistent decoder: each step perturbs
+    // a random subset of posteriors (including exact ties with other
+    // entries and sign flips through zero) and must stay bit-exact
+    // with a fresh full sort.
+    const DetectorErrorModel dem = chainDem(11, 0.1);
+    const size_t n = dem.mechanisms.size();
+    Rng rng(0x05eed5u);
+
+    std::vector<float> llr(n);
+    for (size_t v = 0; v < n; ++v)
+        llr[v] = 0.125f * static_cast<float>(rng.next() % 33) - 2.0f;
+
+    OsdDecoder persistent(dem);
+    size_t incrementalSeen = 0;
+    const size_t rounds = fuzzIterations();
+    for (size_t round = 0; round < rounds; ++round) {
+        const size_t touches = rng.next() % (n / 2);
+        for (size_t t = 0; t < touches; ++t) {
+            const size_t v = rng.next() % n;
+            switch (rng.next() % 4) {
+            case 0:
+                llr[v] = llr[rng.next() % n]; // exact tie
+                break;
+            case 1:
+                llr[v] = -llr[v]; // sign flip (and -0.0 <-> +0.0)
+                break;
+            case 2:
+                llr[v] = 0.125f * static_cast<float>(rng.next() % 33) -
+                         2.0f;
+                break;
+            default:
+                break; // rewrite with the identical value
+            }
+        }
+        BitVec syndrome(dem.numDetectors);
+        for (size_t d = 0; d < dem.numDetectors; ++d)
+            syndrome.set(d, (rng.next() & 1) != 0);
+
+        OsdShotRequest request;
+        request.syndrome = &syndrome;
+        request.posteriorLlr = llr.data();
+
+        OsdBatchResult got;
+        persistent.solveBatch(&request, 1, got);
+        incrementalSeen += got.stats.incrementalSorts;
+
+        OsdDecoder fresh(dem);
+        OsdBatchResult want;
+        fresh.solveBatch(&request, 1, want);
+        ASSERT_EQ(got.ok, want.ok) << "round=" << round;
+        ASSERT_EQ(got.flipOffsets, want.flipOffsets)
+            << "round=" << round;
+        ASSERT_EQ(got.flips, want.flips) << "round=" << round;
+    }
+    EXPECT_GT(incrementalSeen, 0u);
 }
 
 } // namespace

@@ -10,10 +10,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "campaign/adaptive_sampler.h"
 #include "circuit/memory_circuit.h"
 #include "common/rng.h"
 #include "decoder/bp_wave_decoder.h"
 #include "decoder/bposd_decoder.h"
+#include "decoder/decoder_backend.h"
 #include "dem/dem_builder.h"
 #include "dem/dem_sampler.h"
 #include "qec/classical_code.h"
@@ -96,11 +102,15 @@ scalarReference(BpDecoder& bp, const BitVec& syndrome)
 void
 expectWaveMatchesScalar(const DetectorErrorModel& dem, BpOptions options,
                         const std::vector<BitVec>& syndromes,
-                        const char* label)
+                        const char* label,
+                        const DecoderBackend* backend = nullptr)
 {
     auto graph = std::make_shared<const BpGraph>(dem);
     BpDecoder scalar(graph, options);
-    BpWaveDecoder wave(graph, options);
+    auto wavePtr = backend != nullptr
+        ? std::make_unique<BpWaveDecoder>(graph, options, *backend)
+        : std::make_unique<BpWaveDecoder>(graph, options);
+    BpWaveDecoder& wave = *wavePtr;
     const size_t L = wave.laneWidth();
 
     std::vector<float> lane_posterior;
@@ -144,17 +154,205 @@ sampledSyndromes(const DetectorErrorModel& dem, size_t shots,
     return std::move(sampled.syndromes);
 }
 
-TEST(WaveDecoder, ResolvesLaneWidths)
+/** Set (or, with nullptr, unset) an env var for one test's scope. */
+class EnvGuard
 {
-    EXPECT_EQ(BpWaveDecoder::resolveLaneWidth(0),
-              BpWaveDecoder::kDefaultLanes);
-    EXPECT_EQ(BpWaveDecoder::resolveLaneWidth(2), 4u);
-    EXPECT_EQ(BpWaveDecoder::resolveLaneWidth(4), 4u);
-    EXPECT_EQ(BpWaveDecoder::resolveLaneWidth(7), 4u);
-    EXPECT_EQ(BpWaveDecoder::resolveLaneWidth(8), 8u);
-    EXPECT_EQ(BpWaveDecoder::resolveLaneWidth(15), 8u);
-    EXPECT_EQ(BpWaveDecoder::resolveLaneWidth(16), 16u);
-    EXPECT_EQ(BpWaveDecoder::resolveLaneWidth(64), 16u);
+  public:
+    EnvGuard(const char* name, const char* value) : name_(name)
+    {
+        const char* prev = std::getenv(name);
+        had_ = prev != nullptr;
+        if (had_)
+            old_ = prev;
+        if (value != nullptr)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+
+    ~EnvGuard()
+    {
+        if (had_)
+            ::setenv(name_.c_str(), old_.c_str(), 1);
+        else
+            ::unsetenv(name_.c_str());
+    }
+
+  private:
+    std::string name_;
+    std::string old_;
+    bool had_ = false;
+};
+
+TEST(WaveDecoder, ResolvesLaneWidthsPerBackend)
+{
+    EnvGuard noOverride(kWaveBackendEnv, nullptr);
+
+    // A request of 1 always means "wave disabled", on every host.
+    EXPECT_EQ(BpWaveDecoder::resolveLaneWidth(1), 1u);
+    EXPECT_STREQ(selectDecoderBackend(1).backend->name, "scalar");
+
+    // The registry ends with the always-available scalar backend, and
+    // every wider rung precedes it.
+    const auto& registry = decoderBackendRegistry();
+    ASSERT_FALSE(registry.empty());
+    EXPECT_STREQ(registry.back()->name, "scalar");
+    EXPECT_EQ(registry.back()->kernels, nullptr);
+    EXPECT_TRUE(registry.back()->supported());
+
+    // resolveLaneWidth returns the widest rung at or below the
+    // request that some supported backend serves; requests below the
+    // narrowest kernel clamp up to it.
+    for (size_t req : {size_t{0}, size_t{2}, size_t{4}, size_t{7},
+                       size_t{8}, size_t{15}, size_t{16}, size_t{64}}) {
+        const DecoderBackendChoice choice = selectDecoderBackend(req);
+        EXPECT_EQ(BpWaveDecoder::resolveLaneWidth(req), choice.lanes);
+        if (choice.lanes > 1) {
+            EXPECT_EQ(choice.lanes,
+                      backendLaneWidth(*choice.backend, req));
+            if (req >= 4)
+                EXPECT_LE(choice.lanes, req);
+        }
+    }
+    EXPECT_LE(BpWaveDecoder::resolveLaneWidth(4),
+              BpWaveDecoder::resolveLaneWidth(8));
+    EXPECT_LE(BpWaveDecoder::resolveLaneWidth(8),
+              BpWaveDecoder::resolveLaneWidth(16));
+    // An explicit oversize request rounds down to the widest width
+    // any rung serves; auto (0) takes the dispatched rung's preferred
+    // width, which may be narrower (the generic rung prefers 8 but
+    // serves 16).
+    EXPECT_GE(BpWaveDecoder::resolveLaneWidth(64),
+              BpWaveDecoder::resolveLaneWidth(0));
+
+    const DecoderBackend* avx512 = findDecoderBackend("avx512");
+    const DecoderBackend* avx2 = findDecoderBackend("avx2");
+    const DecoderBackend* generic = findDecoderBackend("generic");
+    if (generic != nullptr) {
+        // Non-x86 build: the generic rung serves every width.
+        EXPECT_EQ(backendLaneWidth(*generic, 0), 8u);
+        EXPECT_EQ(backendLaneWidth(*generic, 16), 16u);
+        EXPECT_EQ(backendLaneWidth(*generic, 4), 4u);
+    }
+    if (avx2 != nullptr && avx2->supported()) {
+        // The AVX2 rung serves L=4 and L=8 but never L=16.
+        EXPECT_EQ(backendLaneWidth(*avx2, 4), 4u);
+        EXPECT_EQ(backendLaneWidth(*avx2, 0), 8u);
+        EXPECT_EQ(backendLaneWidth(*avx2, 16), 8u);
+        EXPECT_EQ(BpWaveDecoder::resolveLaneWidth(8), 8u);
+        EXPECT_STREQ(selectDecoderBackend(8).backend->name, "avx2");
+    }
+    if (avx512 != nullptr && avx512->supported()) {
+        // The AVX-512 rung serves exactly L=16 (one zmm per variable);
+        // narrower requests fall through to the AVX2 rung instead of
+        // running 16 generic-vector lanes.
+        EXPECT_EQ(backendLaneWidth(*avx512, 16), 16u);
+        EXPECT_EQ(backendLaneWidth(*avx512, 8), 0u);
+        EXPECT_EQ(BpWaveDecoder::resolveLaneWidth(0), 16u);
+        EXPECT_EQ(BpWaveDecoder::resolveLaneWidth(16), 16u);
+        EXPECT_STREQ(selectDecoderBackend(16).backend->name, "avx512");
+    } else if (avx2 != nullptr && avx2->supported()) {
+        // An AVX2-only host resolves a 16-lane request to 8.
+        EXPECT_EQ(BpWaveDecoder::resolveLaneWidth(16), 8u);
+    } else if (avx2 != nullptr) {
+        // Pre-AVX2 x86 host: only the scalar rung runs.
+        EXPECT_FALSE(BpWaveDecoder::runtimeSupported());
+        EXPECT_EQ(BpWaveDecoder::resolveLaneWidth(0), 1u);
+        EXPECT_STREQ(selectDecoderBackend(0).backend->name, "scalar");
+    }
+}
+
+TEST(WaveDecoder, EnvOverrideForcesDispatch)
+{
+    // Every supported backend can be forced by name through
+    // CYCLONE_WAVE_BACKEND, and bogus or impossible overrides fall
+    // back to auto dispatch instead of stranding the decode.
+    EnvGuard autoGuard(kWaveBackendEnv, nullptr);
+    const DecoderBackendChoice autoChoice = selectDecoderBackend(0);
+
+    for (const DecoderBackend* b : decoderBackendRegistry()) {
+        if (!b->supported())
+            continue;
+        EnvGuard guard(kWaveBackendEnv, b->name);
+        const DecoderBackendChoice forced = selectDecoderBackend(0);
+        EXPECT_STREQ(forced.backend->name, b->name) << b->name;
+        if (b->kernels == nullptr)
+            EXPECT_EQ(forced.lanes, 1u);
+        else
+            EXPECT_EQ(forced.lanes, backendLaneWidth(*b, 0));
+    }
+    {
+        EnvGuard guard(kWaveBackendEnv, "no-such-backend");
+        const DecoderBackendChoice choice = selectDecoderBackend(0);
+        EXPECT_STREQ(choice.backend->name, autoChoice.backend->name);
+        EXPECT_EQ(choice.lanes, autoChoice.lanes);
+    }
+    {
+        EnvGuard guard(kWaveBackendEnv, "auto");
+        const DecoderBackendChoice choice = selectDecoderBackend(0);
+        EXPECT_STREQ(choice.backend->name, autoChoice.backend->name);
+        EXPECT_EQ(choice.lanes, autoChoice.lanes);
+    }
+    const DecoderBackend* avx512 = findDecoderBackend("avx512");
+    const DecoderBackend* avx2 = findDecoderBackend("avx2");
+    if (avx512 != nullptr && avx512->supported() && avx2 != nullptr) {
+        // Forcing avx512 with a width it cannot serve falls back to
+        // auto dispatch (which lands on the avx2 rung for L=8).
+        EnvGuard guard(kWaveBackendEnv, "avx512");
+        const DecoderBackendChoice choice = selectDecoderBackend(8);
+        EXPECT_STREQ(choice.backend->name, "avx2");
+        EXPECT_EQ(choice.lanes, 8u);
+    }
+}
+
+TEST(WaveDecoder, ForcedScalarDisablesWavePath)
+{
+    EnvGuard guard(kWaveBackendEnv, "scalar");
+    EXPECT_FALSE(BpWaveDecoder::runtimeSupported());
+    EXPECT_EQ(BpWaveDecoder::resolveLaneWidth(0), 1u);
+
+    // A decoder constructed under the override uses the scalar batch
+    // core — identical predictions, no wave groups.
+    const auto dem = surface13Dem(0.01);
+    Rng rng(11);
+    ShotBatch batch;
+    sampleDemBatch(dem, 96, rng, batch);
+    BpOsdDecoder decoder(dem, BpOptions{});
+    EXPECT_EQ(decoder.waveLaneWidth(), 1u);
+    EXPECT_STREQ(decoder.backendName(), "scalar");
+    std::vector<uint64_t> got;
+    decoder.decodeBatch(batch, got);
+    EXPECT_EQ(decoder.stats().waveGroups, 0u);
+    EXPECT_EQ(decoder.stats().backend, "scalar");
+}
+
+TEST(WaveDecoder, BackendMatrixBitExactAgainstScalar)
+{
+    SKIP_WITHOUT_WAVE_SUPPORT();
+    // Every supported kernel backend, at every lane width it serves,
+    // must reproduce the scalar decoder bit-for-bit under both BP
+    // variants. On an AVX-512 host this covers avx2 L=4/8 and avx512
+    // L=16 in one run; narrower hosts cover what they can.
+    const auto dem = surface13Dem(0.01);
+    const auto syndromes = sampledSyndromes(dem, 48, 0xbead);
+    for (const DecoderBackend* b : decoderBackendRegistry()) {
+        if (b->kernels == nullptr || !b->supported())
+            continue;
+        for (size_t lanes : {size_t{4}, size_t{8}, size_t{16}}) {
+            if (b->kernels(lanes) == nullptr)
+                continue;
+            for (const auto variant : {BpOptions::Variant::MinSum,
+                                       BpOptions::Variant::ProductSum}) {
+                BpOptions options;
+                options.variant = variant;
+                options.waveLanes = lanes;
+                const std::string label = std::string(b->name) + "-L" +
+                    std::to_string(lanes);
+                expectWaveMatchesScalar(dem, options, syndromes,
+                                        label.c_str(), b);
+            }
+        }
+    }
 }
 
 TEST(WaveDecoder, BitExactAgainstScalarAcrossLaneWidthsAndVariants)
@@ -285,7 +483,12 @@ TEST(WaveDecoder, DecodeBatchBitIdenticalAcrossLaneWidths)
         for (size_t lanes : {1u, 4u, 8u, 16u}) {
             bp.waveLanes = lanes;
             BpOsdDecoder decoder(dem, bp);
-            EXPECT_EQ(decoder.waveLaneWidth(), lanes == 1 ? 1u : lanes);
+            // Dispatch resolves the request per host (an AVX2-only
+            // host resolves 16 to 8; this must track it exactly).
+            EXPECT_EQ(decoder.waveLaneWidth(),
+                      BpWaveDecoder::resolveLaneWidth(lanes));
+            EXPECT_STREQ(decoder.backendName(),
+                         selectDecoderBackend(lanes).backend->name);
             std::vector<uint64_t> got;
             decoder.decodeBatch(batch, got);
             ASSERT_EQ(got.size(), shots);
@@ -391,6 +594,138 @@ TEST(WaveDecoder, MemoInterplayReplaysWaveOutcomes)
     fresh.decodeBatch(batch, again);
     EXPECT_EQ(fresh.stats().memoHits, st.memoHits);
     EXPECT_EQ(fresh.stats().waveLanesFilled, st.waveLanesFilled);
+}
+
+TEST(WaveDecoder, StagedPoolBitIdenticalToPerBatchDecoding)
+{
+    // Cross-chunk syndrome staging regroups lanes but must change no
+    // prediction and no per-shot statistic: the decode of a distinct
+    // syndrome is a pure function of that syndrome. Only grouping
+    // counters (memoHits, waveGroups, occupancy, stagedChunks) may
+    // move. Runs on every host — the scalar fallback stages too.
+    const auto dem = surface13Dem(0.012);
+    const size_t kChunks = 5;
+    const size_t kShots = 48; // Small: ragged per-chunk tail groups.
+
+    std::vector<ShotBatch> batches(kChunks);
+    for (size_t k = 0; k < kChunks; ++k) {
+        Rng rng(0x1000 + k);
+        sampleDemBatch(dem, kShots, rng, batches[k]);
+    }
+
+    BpOptions bp;
+    bp.waveLanes = 16;
+
+    // Reference: each chunk through its own decodeBatch on a fresh
+    // decoder (memo scoped per chunk, like stagingChunks = 1).
+    std::vector<std::vector<uint64_t>> perChunk(kChunks);
+    BpOsdStats sum;
+    for (size_t k = 0; k < kChunks; ++k) {
+        BpOsdDecoder decoder(dem, bp);
+        decoder.decodeBatch(batches[k], perChunk[k]);
+        const BpOsdStats& s = decoder.stats();
+        sum.decodes += s.decodes;
+        sum.bpConverged += s.bpConverged;
+        sum.osdInvocations += s.osdInvocations;
+        sum.osdFailures += s.osdFailures;
+        sum.trivialShots += s.trivialShots;
+        sum.memoHits += s.memoHits;
+        sum.bpIterations += s.bpIterations;
+        sum.waveGroups += s.waveGroups;
+        sum.waveLaneSlots += s.waveLaneSlots;
+        sum.waveLanesFilled += s.waveLanesFilled;
+        EXPECT_EQ(s.stagedChunks, 0u); // Plain decodeBatch never stages.
+    }
+
+    // Staged: all chunks pooled into one group.
+    BpOsdDecoder staged(dem, bp);
+    staged.beginStaged();
+    for (size_t k = 0; k < kChunks; ++k)
+        staged.stageBatch(batches[k]);
+    staged.flushStaged();
+
+    for (size_t k = 0; k < kChunks; ++k) {
+        const size_t base = staged.stagedBatchOffset(k);
+        for (size_t s = 0; s < kShots; ++s)
+            ASSERT_EQ(staged.stagedPredictions()[base + s],
+                      perChunk[k][s])
+                << "chunk=" << k << " s=" << s;
+    }
+
+    const BpOsdStats& st = staged.stats();
+    // Per-shot statistics are exactly the per-chunk sums...
+    EXPECT_EQ(st.decodes, sum.decodes);
+    EXPECT_EQ(st.bpConverged, sum.bpConverged);
+    EXPECT_EQ(st.osdInvocations, sum.osdInvocations);
+    EXPECT_EQ(st.osdFailures, sum.osdFailures);
+    EXPECT_EQ(st.trivialShots, sum.trivialShots);
+    EXPECT_EQ(st.bpIterations, sum.bpIterations);
+    // ...while grouping counters reflect the pooling: duplicates now
+    // dedupe across chunks, and the pool packs at least as tightly.
+    EXPECT_GE(st.memoHits, sum.memoHits);
+    EXPECT_EQ(st.stagedChunks, kChunks - 1);
+    if (st.waveLaneSlots != 0) {
+        EXPECT_LE(st.waveGroups, sum.waveGroups);
+        const size_t distinct =
+            st.decodes - st.trivialShots - st.memoHits;
+        EXPECT_EQ(st.waveLanesFilled, distinct);
+        // Full pool, one ragged tail group at most.
+        EXPECT_LE(st.waveLaneSlots - st.waveLanesFilled,
+                  staged.waveLaneWidth() - 1);
+    }
+}
+
+TEST(WaveDecoder, RunChunkGroupMatchesPerChunkOutcomes)
+{
+    // The campaign's staged group job must count exactly what running
+    // each chunk alone counts, and reading chunks through the group
+    // must leave the sampler's totals unchanged.
+    const auto dem = surface13Dem(0.015);
+    BpOptions bp;
+    bp.waveLanes = 8;
+
+    std::vector<ChunkPlan> plans(4);
+    for (size_t k = 0; k < plans.size(); ++k) {
+        plans[k].index = k;
+        plans[k].shots = 40 + 8 * k;
+        plans[k].seed = chunkSeed(0xfeed, k);
+    }
+
+    size_t refShots = 0;
+    size_t refFailures = 0;
+    {
+        BpOsdDecoder decoder(dem, bp);
+        ShotBatch batch;
+        std::vector<uint64_t> predicted;
+        for (const ChunkPlan& plan : plans) {
+            const ChunkOutcome o =
+                runChunk(dem, plan, decoder, batch, predicted);
+            refShots += o.shots;
+            refFailures += o.failures;
+        }
+    }
+
+    BpOsdDecoder decoder(dem, bp);
+    std::vector<ShotBatch> batches;
+    const ChunkOutcome grouped = runChunkGroup(
+        dem, plans.data(), plans.size(), decoder, batches);
+    EXPECT_EQ(grouped.shots, refShots);
+    EXPECT_EQ(grouped.failures, refFailures);
+    EXPECT_EQ(decoder.stats().stagedChunks, plans.size() - 1);
+
+    // Degenerate group of one behaves exactly like runChunk.
+    BpOsdDecoder single(dem, bp);
+    std::vector<ShotBatch> oneBatch;
+    const ChunkOutcome lone =
+        runChunkGroup(dem, plans.data(), 1, single, oneBatch);
+    BpOsdDecoder refDecoder(dem, bp);
+    ShotBatch refBatch;
+    std::vector<uint64_t> refPredicted;
+    const ChunkOutcome ref =
+        runChunk(dem, plans[0], refDecoder, refBatch, refPredicted);
+    EXPECT_EQ(lone.shots, ref.shots);
+    EXPECT_EQ(lone.failures, ref.failures);
+    EXPECT_EQ(single.stats().stagedChunks, 0u);
 }
 
 } // namespace
