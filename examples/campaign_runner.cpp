@@ -1,8 +1,21 @@
 /**
  * @file
- * Campaign CLI: load a declarative spec, execute every task on one
- * shared work-stealing pool with adaptive shot allocation, and emit
+ * Campaign CLI: load a declarative spec, execute every task, and emit
  * the results as JSON (stdout or --json FILE) and optionally CSV.
+ *
+ * Three execution modes:
+ *
+ *  - In-process (default): every task runs on one local
+ *    work-stealing pool with adaptive shot allocation.
+ *  - Coordinator (--spool DIR, or `spool =` in the spec): the run is
+ *    sharded through a filesystem spool. The coordinator compiles
+ *    every artifact once into the spool's shared store, publishes
+ *    chunk-range shards, and merges worker records — bit-identical
+ *    to an in-process run. --workers N forks N local worker
+ *    processes alongside the coordinator; external workers on any
+ *    machine sharing the directory may join at any time.
+ *  - Worker (--worker --spool DIR): claim and execute shards until
+ *    the coordinator marks the spool DONE.
  *
  * With --checkpoint FILE the runner resumes completed tasks from a
  * previous interrupted run and re-saves the checkpoint after every
@@ -10,6 +23,8 @@
  *
  * Run: ./campaign_runner [spec-file] [--threads N] [--json FILE]
  *      [--csv FILE] [--checkpoint FILE] [--quiet]
+ *      [--spool DIR] [--workers N] [--lease SECONDS]
+ *      [--worker] [--worker-id NAME] [--worker-shards N]
  *
  * Without a spec file a built-in demo campaign runs the paper's
  * [[72,12,6]] BB code under Cyclone vs the baseline grid across three
@@ -19,7 +34,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "core/cyclone.h"
 
@@ -47,8 +68,23 @@ usage(const char* prog)
 {
     std::fprintf(stderr,
                  "usage: %s [spec-file] [--threads N] [--json FILE] "
-                 "[--csv FILE] [--checkpoint FILE] [--quiet]\n",
-                 prog);
+                 "[--csv FILE] [--checkpoint FILE] [--quiet]\n"
+                 "       [--spool DIR] [--workers N] [--lease SECONDS]"
+                 "\n"
+                 "       %s --worker --spool DIR [--threads N] "
+                 "[--worker-id NAME] [--worker-shards N]\n",
+                 prog, prog);
+}
+
+std::string
+readWholeFile(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot open campaign spec: " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
 }
 
 } // namespace
@@ -60,8 +96,16 @@ main(int argc, char** argv)
     std::string json_path;
     std::string csv_path;
     std::string checkpoint_path;
+    std::string spool_dir;
+    std::string worker_id;
     size_t threads_override = 0;
     bool has_threads_override = false;
+    size_t workers_override = 0;
+    bool has_workers_override = false;
+    double lease_override = 0.0;
+    size_t worker_shards = 0;
+    bool worker_mode = false;
+    bool die_after_claim = false;
     bool quiet = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -83,6 +127,24 @@ main(int argc, char** argv)
             csv_path = next();
         } else if (arg == "--checkpoint") {
             checkpoint_path = next();
+        } else if (arg == "--spool") {
+            spool_dir = next();
+        } else if (arg == "--workers") {
+            workers_override =
+                static_cast<size_t>(std::atoll(next()));
+            has_workers_override = true;
+        } else if (arg == "--lease") {
+            lease_override = std::atof(next());
+        } else if (arg == "--worker") {
+            worker_mode = true;
+        } else if (arg == "--worker-id") {
+            worker_id = next();
+        } else if (arg == "--worker-shards") {
+            worker_shards = static_cast<size_t>(std::atoll(next()));
+        } else if (arg == "--die-after-claim") {
+            // Undocumented test hook: claim one shard, then exit
+            // without completing it (exercises lease reclaim).
+            die_after_claim = true;
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -97,16 +159,61 @@ main(int argc, char** argv)
         }
     }
 
+    if (worker_mode) {
+        if (spool_dir.empty()) {
+            std::fprintf(stderr,
+                         "error: --worker needs --spool DIR\n");
+            return 2;
+        }
+        WorkerOptions opts;
+        opts.spool = spool_dir;
+        opts.threads = threads_override;
+        opts.workerId = worker_id;
+        opts.maxShards = worker_shards;
+        opts.dieAfterClaim = die_after_claim;
+        try {
+            const WorkerReport report = runSpoolWorker(opts);
+            if (!quiet)
+                std::fprintf(
+                    stderr,
+                    "[worker] %zu shards, %zu shots, compile "
+                    "store hits %zu / built %zu, dem store hits "
+                    "%zu / built %zu\n",
+                    report.shardsRun, report.shots,
+                    report.cache.compileStoreHits,
+                    report.cache.compileMisses -
+                        report.cache.compileStoreHits,
+                    report.cache.demStoreHits,
+                    report.cache.demMisses -
+                        report.cache.demStoreHits);
+        } catch (const std::exception& ex) {
+            std::fprintf(stderr, "worker error: %s\n", ex.what());
+            return 1;
+        }
+        return 0;
+    }
+
     CampaignSpec spec;
+    std::string spec_text;
     try {
-        spec = spec_path.empty() ? parseCampaignSpec(kDemoSpec)
-                                 : loadCampaignSpec(spec_path);
+        spec_text =
+            spec_path.empty() ? kDemoSpec : readWholeFile(spec_path);
+        spec = parseCampaignSpec(spec_text);
     } catch (const std::exception& ex) {
         std::fprintf(stderr, "error: %s\n", ex.what());
         return 1;
     }
+    // CLI overrides touch only campaign-level scheduling fields, so
+    // workers re-parsing the published spec text still resolve the
+    // same task identities and content hashes.
     if (has_threads_override)
         spec.threads = threads_override;
+    if (!spool_dir.empty())
+        spec.spool = spool_dir;
+    if (has_workers_override)
+        spec.workers = workers_override;
+    if (lease_override > 0.0)
+        spec.leaseSeconds = lease_override;
 
     CampaignCheckpoint checkpoint;
     const CampaignCheckpoint* resume = nullptr;
@@ -144,12 +251,47 @@ main(int argc, char** argv)
     };
 
     CampaignResult result;
+    std::vector<pid_t> children;
     try {
-        result = runCampaign(spec, resume, on_task_done);
+        if (!spec.spool.empty()) {
+            // Fork local workers BEFORE the coordinator runs: the
+            // coordinator is deliberately thread-free, so forking
+            // here is safe, and the children never return into the
+            // coordinator path.
+            for (size_t w = 0; w < spec.workers; ++w) {
+                const pid_t pid = ::fork();
+                if (pid == 0) {
+                    WorkerOptions opts;
+                    opts.spool = spec.spool;
+                    opts.threads = spec.threads;
+                    opts.workerId =
+                        "local" + std::to_string(w);
+                    int rc = 0;
+                    try {
+                        runSpoolWorker(opts);
+                    } catch (const std::exception& ex) {
+                        std::fprintf(stderr, "worker error: %s\n",
+                                     ex.what());
+                        rc = 1;
+                    }
+                    ::_exit(rc);
+                }
+                if (pid > 0)
+                    children.push_back(pid);
+            }
+            result = runDistributedCampaign(spec, spec_text, resume,
+                                            on_task_done);
+        } else {
+            result = runCampaign(spec, resume, on_task_done);
+        }
     } catch (const std::exception& ex) {
         std::fprintf(stderr, "error: %s\n", ex.what());
+        for (const pid_t pid : children)
+            ::waitpid(pid, nullptr, 0);
         return 1;
     }
+    for (const pid_t pid : children)
+        ::waitpid(pid, nullptr, 0);
 
     if (!quiet) {
         BpOsdStats decoder;
@@ -167,15 +309,19 @@ main(int argc, char** argv)
         }
         std::fprintf(stderr,
                      "[%s] %zu tasks, %zu shots, wall %.1fs, compile "
-                     "cache %zu hit / %zu miss, dem cache %zu hit / "
-                     "%zu miss, decoder trivial %.1f%% / memo %.1f%% "
+                     "cache %zu hit / %zu miss (%zu store, %zu B), "
+                     "dem cache %zu hit / %zu miss (%zu store, %zu "
+                     "B), decoder trivial %.1f%% / memo %.1f%% "
                      "/ mean BP iters %.1f / wave occupancy %.0f%% "
                      "[backend %s, staged chunks %zu]\n",
                      result.name.c_str(), result.tasks.size(),
                      result.totalShots(), result.wallSeconds,
                      result.cache.compileHits,
-                     result.cache.compileMisses, result.cache.demHits,
+                     result.cache.compileMisses,
+                     result.cache.compileStoreHits,
+                     result.cache.compileBytes, result.cache.demHits,
                      result.cache.demMisses,
+                     result.cache.demStoreHits, result.cache.demBytes,
                      100.0 * decoder.trivialFraction(),
                      100.0 * decoder.memoHitRate(),
                      decoder.meanBpIterations(),
@@ -183,6 +329,14 @@ main(int argc, char** argv)
                      decoder.backend.empty() ? "checkpoint"
                                              : decoder.backend.c_str(),
                      decoder.stagedChunks);
+        if (!spec.spool.empty())
+            std::fprintf(stderr,
+                         "[spool] %zu shards published, %zu merged, "
+                         "%zu reclaimed, %zu records reused\n",
+                         result.spool.shardsPublished,
+                         result.spool.shardsMerged,
+                         result.spool.shardsReclaimed,
+                         result.spool.recordsReused);
     }
 
     const std::string json = campaignResultToJson(result);

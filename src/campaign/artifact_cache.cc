@@ -1,19 +1,300 @@
 #include "campaign/artifact_cache.h"
 
+#include <cstdio>
+#include <cstring>
 #include <exception>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
 #include <utility>
 
+#include <unistd.h>
+
 namespace cyclone {
+
+namespace {
+
+// Binary artifact framing. All integers and doubles are stored in
+// native byte order; the endian word rejects blobs from a
+// foreign-endian host instead of silently misreading them.
+constexpr uint32_t kArtifactMagic = 0x43594152u; // "CYAR"
+constexpr uint32_t kArtifactEndian = 0x01020304u;
+constexpr uint32_t kCompileKind = 1;
+constexpr uint32_t kDemKind = 2;
+constexpr uint32_t kArtifactVersion = 1;
+
+struct ByteWriter
+{
+    std::string bytes;
+
+    void u32(uint32_t v) { raw(&v, sizeof v); }
+    void u64(uint64_t v) { raw(&v, sizeof v); }
+    void f64(double v) { raw(&v, sizeof v); }
+    void str(const std::string& s)
+    {
+        u64(s.size());
+        bytes.append(s);
+    }
+    void raw(const void* p, size_t n)
+    {
+        bytes.append(static_cast<const char*>(p), n);
+    }
+};
+
+struct ByteReader
+{
+    const std::string& bytes;
+    size_t pos = 0;
+
+    explicit ByteReader(const std::string& b) : bytes(b) {}
+
+    uint32_t u32() { return rawAs<uint32_t>(); }
+    uint64_t u64() { return rawAs<uint64_t>(); }
+    double f64() { return rawAs<double>(); }
+
+    std::string str()
+    {
+        const uint64_t n = u64();
+        if (n > bytes.size() - pos)
+            throw std::runtime_error("artifact blob truncated (string)");
+        std::string s = bytes.substr(pos, n);
+        pos += n;
+        return s;
+    }
+
+    template <typename T>
+    T rawAs()
+    {
+        T v;
+        if (sizeof v > bytes.size() - pos)
+            throw std::runtime_error("artifact blob truncated");
+        std::memcpy(&v, bytes.data() + pos, sizeof v);
+        pos += sizeof v;
+        return v;
+    }
+};
+
+void
+writeHeader(ByteWriter& w, uint32_t kind)
+{
+    w.u32(kArtifactMagic);
+    w.u32(kArtifactEndian);
+    w.u32(kArtifactVersion);
+    w.u32(kind);
+}
+
+void
+checkHeader(ByteReader& r, uint32_t kind)
+{
+    if (r.u32() != kArtifactMagic)
+        throw std::runtime_error("not a cyclone artifact blob");
+    if (r.u32() != kArtifactEndian)
+        throw std::runtime_error("artifact blob has foreign endianness");
+    if (r.u32() != kArtifactVersion)
+        throw std::runtime_error("unsupported artifact blob version");
+    if (r.u32() != kind)
+        throw std::runtime_error("artifact blob has the wrong kind");
+}
+
+std::string
+storePath(const std::string& dir, const char* kind, uint64_t key)
+{
+    char name[64];
+    std::snprintf(name, sizeof name, "%s-%016llx.bin", kind,
+                  static_cast<unsigned long long>(key));
+    return dir + "/" + name;
+}
+
+bool
+readWholeFile(const std::string& path, std::string& out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    if (!in.good() && !in.eof())
+        return false;
+    out = std::move(data);
+    return true;
+}
+
+bool
+writeFileAtomicBinary(const std::string& path, const std::string& data)
+{
+    // Unique tmp name: concurrent processes publishing the same key
+    // must not clobber each other's partial writes.
+    char suffix[32];
+    std::snprintf(suffix, sizeof suffix, ".tmp-%ld",
+                  static_cast<long>(::getpid()));
+    const std::string tmp = path + suffix;
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return false;
+        out.write(data.data(),
+                  static_cast<std::streamsize>(data.size()));
+        if (!out)
+            return false;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+serializeCompileResult(const CompileResult& result)
+{
+    ByteWriter w;
+    writeHeader(w, kCompileKind);
+    w.str(result.compilerName);
+    w.str(result.topologyName);
+    w.f64(result.execTimeUs);
+    w.f64(result.serialized.gateUs);
+    w.f64(result.serialized.shuttleUs);
+    w.f64(result.serialized.junctionUs);
+    w.f64(result.serialized.swapUs);
+    w.f64(result.serialized.measureUs);
+    w.f64(result.serialized.prepUs);
+    w.u64(result.numTraps);
+    w.u64(result.numJunctions);
+    w.u64(result.numAncilla);
+    w.u64(result.trapRoadblocks);
+    w.u64(result.junctionRoadblocks);
+    w.u64(result.rebalances);
+    w.u64(result.gateOps);
+    w.u64(result.shuttleOps);
+    w.u64(result.swapOps);
+    w.u32(result.schedule.numResources);
+    w.u32(result.schedule.numIons);
+    w.u64(result.schedule.ops.size());
+    for (const TimedOp& op : result.schedule.ops) {
+        w.u32(static_cast<uint32_t>(op.category));
+        w.u32(op.resource);
+        w.u32(op.ionA);
+        w.u32(op.ionB);
+        w.f64(op.startUs);
+        w.f64(op.durationUs);
+        w.f64(op.waitUs);
+        w.u32(op.counted ? 1u : 0u);
+    }
+    return std::move(w.bytes);
+}
+
+CompileResult
+deserializeCompileResult(const std::string& bytes)
+{
+    ByteReader r(bytes);
+    checkHeader(r, kCompileKind);
+    CompileResult result;
+    result.compilerName = r.str();
+    result.topologyName = r.str();
+    result.execTimeUs = r.f64();
+    result.serialized.gateUs = r.f64();
+    result.serialized.shuttleUs = r.f64();
+    result.serialized.junctionUs = r.f64();
+    result.serialized.swapUs = r.f64();
+    result.serialized.measureUs = r.f64();
+    result.serialized.prepUs = r.f64();
+    result.numTraps = r.u64();
+    result.numJunctions = r.u64();
+    result.numAncilla = r.u64();
+    result.trapRoadblocks = r.u64();
+    result.junctionRoadblocks = r.u64();
+    result.rebalances = r.u64();
+    result.gateOps = r.u64();
+    result.shuttleOps = r.u64();
+    result.swapOps = r.u64();
+    result.schedule.numResources = r.u32();
+    result.schedule.numIons = r.u32();
+    const uint64_t nOps = r.u64();
+    if (nOps > (bytes.size() - r.pos) / 8)
+        throw std::runtime_error("artifact blob truncated (ops)");
+    result.schedule.ops.reserve(nOps);
+    for (uint64_t i = 0; i < nOps; ++i) {
+        TimedOp op;
+        const uint32_t cat = r.u32();
+        if (cat >= kNumOpCategories)
+            throw std::runtime_error("artifact blob has a bad category");
+        op.category = static_cast<OpCategory>(cat);
+        op.resource = r.u32();
+        op.ionA = r.u32();
+        op.ionB = r.u32();
+        op.startUs = r.f64();
+        op.durationUs = r.f64();
+        op.waitUs = r.f64();
+        op.counted = r.u32() != 0;
+        result.schedule.ops.push_back(op);
+    }
+    return result;
+}
+
+std::string
+serializeDem(const DetectorErrorModel& dem)
+{
+    ByteWriter w;
+    writeHeader(w, kDemKind);
+    w.u64(dem.numDetectors);
+    w.u64(dem.numObservables);
+    w.u64(dem.mechanisms.size());
+    for (const DemMechanism& m : dem.mechanisms) {
+        w.f64(m.probability);
+        w.u64(m.observables);
+        w.u64(m.detectors.size());
+        w.raw(m.detectors.data(),
+              m.detectors.size() * sizeof(uint32_t));
+    }
+    return std::move(w.bytes);
+}
+
+DetectorErrorModel
+deserializeDem(const std::string& bytes)
+{
+    ByteReader r(bytes);
+    checkHeader(r, kDemKind);
+    DetectorErrorModel dem;
+    dem.numDetectors = r.u64();
+    dem.numObservables = r.u64();
+    const uint64_t nMech = r.u64();
+    if (nMech > (bytes.size() - r.pos) / 8)
+        throw std::runtime_error("artifact blob truncated (mechanisms)");
+    dem.mechanisms.reserve(nMech);
+    for (uint64_t i = 0; i < nMech; ++i) {
+        DemMechanism m;
+        m.probability = r.f64();
+        m.observables = r.u64();
+        const uint64_t nDet = r.u64();
+        if (nDet > (bytes.size() - r.pos) / sizeof(uint32_t))
+            throw std::runtime_error(
+                "artifact blob truncated (detectors)");
+        m.detectors.resize(nDet);
+        if (nDet > 0) {
+            std::memcpy(m.detectors.data(), bytes.data() + r.pos,
+                        nDet * sizeof(uint32_t));
+            r.pos += nDet * sizeof(uint32_t);
+        }
+        dem.mechanisms.push_back(std::move(m));
+    }
+    return dem;
+}
 
 template <typename T>
 std::shared_ptr<const T>
 ArtifactCache::getOrBuild(
     std::unordered_map<uint64_t, std::shared_ptr<Slot<T>>>& map,
-    uint64_t key, const std::function<T()>& build, size_t& hits,
-    size_t& misses)
+    uint64_t key, const std::function<T()>& build, const char* kind,
+    size_t& hits, size_t& misses, size_t& storeHits, size_t& bytes,
+    std::string (*serialize)(const T&),
+    T (*deserialize)(const std::string&))
 {
     std::shared_ptr<Slot<T>> slot;
     bool isBuilder = false;
+    std::string store;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         auto [it, inserted] = map.try_emplace(key);
@@ -25,6 +306,7 @@ ArtifactCache::getOrBuild(
             ++hits;
         }
         slot = it->second;
+        store = storeDir_;
     }
 
     if (!isBuilder) {
@@ -37,8 +319,32 @@ ArtifactCache::getOrBuild(
 
     std::shared_ptr<const T> value;
     std::exception_ptr error;
+    size_t valueBytes = 0;
+    bool fromStore = false;
     try {
-        value = std::make_shared<const T>(build());
+        // Store first: another process may already have published
+        // these bytes. A corrupt or foreign blob falls through to a
+        // local rebuild (which re-publishes over it).
+        if (!store.empty()) {
+            std::string blob;
+            if (readWholeFile(storePath(store, kind, key), blob)) {
+                try {
+                    value = std::make_shared<const T>(deserialize(blob));
+                    valueBytes = blob.size();
+                    fromStore = true;
+                } catch (const std::exception&) {
+                    value.reset();
+                }
+            }
+        }
+        if (!value) {
+            value = std::make_shared<const T>(build());
+            const std::string blob = serialize(*value);
+            valueBytes = blob.size();
+            if (!store.empty())
+                writeFileAtomicBinary(storePath(store, kind, key),
+                                      blob);
+        }
     } catch (...) {
         error = std::current_exception();
     }
@@ -49,6 +355,11 @@ ArtifactCache::getOrBuild(
         slot->value = value;
         slot->error = error;
         slot->ready = true;
+        if (!error) {
+            bytes += valueBytes;
+            if (fromStore)
+                ++storeHits;
+        }
         ready_.notify_all();
     }
     if (error)
@@ -60,16 +371,38 @@ std::shared_ptr<const CompileResult>
 ArtifactCache::getOrBuildCompile(uint64_t key,
                                  const std::function<CompileResult()>& build)
 {
-    return getOrBuild(compiles_, key, build, stats_.compileHits,
-                      stats_.compileMisses);
+    return getOrBuild(compiles_, key, build, "compile",
+                      stats_.compileHits, stats_.compileMisses,
+                      stats_.compileStoreHits, stats_.compileBytes,
+                      &serializeCompileResult,
+                      &deserializeCompileResult);
 }
 
 std::shared_ptr<const DetectorErrorModel>
 ArtifactCache::getOrBuildDem(uint64_t key,
                              const std::function<DetectorErrorModel()>& build)
 {
-    return getOrBuild(dems_, key, build, stats_.demHits,
-                      stats_.demMisses);
+    return getOrBuild(dems_, key, build, "dem", stats_.demHits,
+                      stats_.demMisses, stats_.demStoreHits,
+                      stats_.demBytes, &serializeDem, &deserializeDem);
+}
+
+void
+ArtifactCache::attachStore(const std::string& dir)
+{
+    if (!dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(dir, ec);
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    storeDir_ = dir;
+}
+
+std::string
+ArtifactCache::storeDir() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return storeDir_;
 }
 
 CacheStats

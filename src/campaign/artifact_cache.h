@@ -1,6 +1,7 @@
 /**
  * @file
- * Content-hash keyed cache of compiled artifacts shared across tasks.
+ * Content-hash keyed cache of compiled artifacts shared across tasks
+ * — and, optionally, across processes through an attached disk store.
  *
  * The two expensive non-sampling stages of an LER point are compiling
  * one syndrome round to a device (CompileResult) and folding the noisy
@@ -11,8 +12,23 @@
  * and dedupes concurrent builds, so one shared instance serves every
  * campaign on the pool.
  *
- * Accounting: a *miss* is a lookup that had to run the builder; a
- * *hit* reused a completed or in-flight build.
+ * With attachStore(dir) the cache additionally persists every artifact
+ * under its content hash as a binary file (atomic rename publish) and
+ * consults the directory before building. N coordinator/worker
+ * processes pointing at one store directory therefore compile each
+ * distinct (code, architecture) point once fleet-wide: whichever
+ * process resolves it first publishes the bytes, everyone else
+ * deserializes them. Serialization round-trips every double bit-
+ * exactly (including the TimedSchedule IR, whose content hash keys
+ * per-qubit idle DEMs), so a loaded artifact is indistinguishable from
+ * a locally built one.
+ *
+ * Accounting: a *miss* is a lookup that had to leave the in-memory
+ * map; a *store hit* is a miss satisfied by deserializing the store
+ * instead of running the builder; a *hit* reused a completed or
+ * in-flight in-memory build. Byte counters sum the serialized size of
+ * every artifact that entered this cache (built or loaded), giving
+ * campaign output a measure of artifact volume.
  */
 
 #ifndef CYCLONE_CAMPAIGN_ARTIFACT_CACHE_H
@@ -24,6 +40,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 
 #include "compiler/compile_result.h"
@@ -31,14 +48,40 @@
 
 namespace cyclone {
 
-/** Hit/miss counters for both cache layers. */
+/** Hit/miss/byte counters for both cache layers. */
 struct CacheStats
 {
     size_t compileHits = 0;
     size_t compileMisses = 0;
     size_t demHits = 0;
     size_t demMisses = 0;
+
+    /** Misses satisfied by deserializing the attached store. */
+    size_t compileStoreHits = 0;
+    size_t demStoreHits = 0;
+
+    /** Serialized bytes of artifacts built or loaded into this cache. */
+    size_t compileBytes = 0;
+    size_t demBytes = 0;
 };
+
+/**
+ * Serialize a CompileResult — summary fields plus the full
+ * TimedSchedule IR — to a self-describing binary blob. Doubles are
+ * stored bit-exactly; deserialization reproduces the original to the
+ * last bit (hashTimedSchedule of the round-trip matches).
+ */
+std::string serializeCompileResult(const CompileResult& result);
+
+/** Inverse of serializeCompileResult; throws std::runtime_error on a
+ *  malformed or foreign-endian blob. */
+CompileResult deserializeCompileResult(const std::string& bytes);
+
+/** Serialize a detector error model bit-exactly. */
+std::string serializeDem(const DetectorErrorModel& dem);
+
+/** Inverse of serializeDem; throws std::runtime_error on bad input. */
+DetectorErrorModel deserializeDem(const std::string& bytes);
 
 /** Thread-safe cache of CompileResults and DetectorErrorModels. */
 class ArtifactCache
@@ -58,13 +101,27 @@ class ArtifactCache
     getOrBuildDem(uint64_t key,
                   const std::function<DetectorErrorModel()>& build);
 
+    /**
+     * Attach a shared artifact store directory (created if missing).
+     * Subsequent misses first try to deserialize
+     * `dir/compile-<hash>.bin` / `dir/dem-<hash>.bin`; builds publish
+     * their bytes there via atomic rename, so concurrent processes
+     * never observe a partial file. A corrupt store file is treated
+     * as absent and rebuilt. Pass "" to detach.
+     */
+    void attachStore(const std::string& dir);
+
+    /** Attached store directory ("" when detached). */
+    std::string storeDir() const;
+
     /** Snapshot of the accounting counters. */
     CacheStats stats() const;
 
     /** Number of completed entries in both layers. */
     size_t entryCount() const;
 
-    /** Drop all entries and reset the counters. */
+    /** Drop all in-memory entries and reset the counters (the
+     *  attached store, if any, is left untouched). */
     void clear();
 
   private:
@@ -80,7 +137,10 @@ class ArtifactCache
     std::shared_ptr<const T>
     getOrBuild(std::unordered_map<uint64_t, std::shared_ptr<Slot<T>>>& map,
                uint64_t key, const std::function<T()>& build,
-               size_t& hits, size_t& misses);
+               const char* kind, size_t& hits, size_t& misses,
+               size_t& storeHits, size_t& bytes,
+               std::string (*serialize)(const T&),
+               T (*deserialize)(const std::string&));
 
     mutable std::mutex mutex_;
     std::condition_variable ready_;
@@ -89,6 +149,7 @@ class ArtifactCache
     std::unordered_map<uint64_t, std::shared_ptr<Slot<DetectorErrorModel>>>
         dems_;
     CacheStats stats_;
+    std::string storeDir_;
 };
 
 } // namespace cyclone

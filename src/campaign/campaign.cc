@@ -37,19 +37,7 @@ struct WorkerCtx
 
 struct TaskState
 {
-    const TaskSpec* spec = nullptr;
-    std::shared_ptr<const CssCode> code;
-    std::shared_ptr<const SyndromeSchedule> schedule;
-    uint64_t taskSeed = 0;
-    uint64_t codeHash = 0;
-    uint64_t scheduleHash = 0;
-    size_t rounds = 0;
-
-    // Written by the (single) resolve job, read by the coordinator
-    // after its Resolved event; the event queue orders the accesses.
-    std::shared_ptr<const DetectorErrorModel> dem;
-    std::shared_ptr<const CompileResult> compiled;
-    double latencyUs = 0.0;
+    ResolvedTask rt;
 
     std::optional<AdaptiveSampler> sampler;
     std::vector<std::unique_ptr<WorkerCtx>> workers;
@@ -106,11 +94,11 @@ struct EventQueue
 };
 
 uint64_t
-taskContentHash(const TaskState& st)
+taskContentHash(const ResolvedTask& rt)
 {
-    const TaskSpec& t = *st.spec;
+    const TaskSpec& t = *rt.spec;
     HashStream h;
-    h.absorb(st.codeHash).absorb(st.scheduleHash);
+    h.absorb(rt.codeHash).absorb(rt.scheduleHash);
     h.absorb(uint64_t{t.compileLatency ? 1u : 0u});
     if (t.compileLatency)
         h.absorb(std::string(architectureName(t.architecture)));
@@ -123,7 +111,7 @@ taskContentHash(const TaskState& st)
     for (const PauliTwirl& twirl : t.perQubitIdle)
         h.absorb(twirl.px).absorb(twirl.py).absorb(twirl.pz);
     h.absorb(t.latencyScale).absorb(t.physicalError);
-    h.absorb(uint64_t{st.rounds}).absorb(uint64_t{t.xBasis ? 1u : 0u});
+    h.absorb(uint64_t{rt.rounds}).absorb(uint64_t{t.xBasis ? 1u : 0u});
     h.absorb(uint64_t{static_cast<unsigned>(t.bp.variant)});
     h.absorb(uint64_t{t.bp.maxIterations});
     h.absorb(t.bp.minSumScale).absorb(t.bp.clamp);
@@ -132,7 +120,7 @@ taskContentHash(const TaskState& st)
     h.absorb(uint64_t{t.stop.maxShots});
     h.absorb(t.stop.targetRelErr);
     h.absorb(uint64_t{t.stop.minFailures});
-    h.absorb(st.taskSeed);
+    h.absorb(rt.taskSeed);
     return h.digest();
 }
 
@@ -167,6 +155,186 @@ CampaignResult::totalShots() const
     return total;
 }
 
+std::vector<ResolvedTask>
+resolveTaskIdentities(const CampaignSpec& spec)
+{
+    const size_t n = spec.tasks.size();
+    std::vector<ResolvedTask> resolved(n);
+    std::unordered_map<std::string, std::shared_ptr<const CssCode>>
+        codeByName;
+    std::unordered_map<const CssCode*,
+                       std::shared_ptr<const SyndromeSchedule>>
+        schedByCode;
+
+    for (size_t i = 0; i < n; ++i) {
+        const TaskSpec& t = spec.tasks[i];
+        ResolvedTask& rt = resolved[i];
+        rt.spec = &t;
+        if (t.code) {
+            rt.code = t.code;
+        } else {
+            if (t.codeName.empty())
+                throw std::invalid_argument(
+                    "TaskSpec needs codeName or an inline code");
+            auto it = codeByName.find(t.codeName);
+            if (it == codeByName.end())
+                it = codeByName
+                         .emplace(t.codeName,
+                                  std::make_shared<const CssCode>(
+                                      resolveCampaignCode(t.codeName)))
+                         .first;
+            rt.code = it->second;
+        }
+        if (t.schedule) {
+            rt.schedule = t.schedule;
+        } else {
+            auto it = schedByCode.find(rt.code.get());
+            if (it == schedByCode.end())
+                it = schedByCode
+                         .emplace(rt.code.get(),
+                                  std::make_shared<
+                                      const SyndromeSchedule>(
+                                      makeXThenZSchedule(*rt.code)))
+                         .first;
+            rt.schedule = it->second;
+        }
+        rt.rounds = t.rounds > 0
+            ? t.rounds
+            : (rt.code->nominalDistance() > 0
+                   ? rt.code->nominalDistance()
+                   : 3);
+        rt.codeHash = hashCode(*rt.code);
+        rt.scheduleHash = hashSchedule(*rt.schedule);
+        HashStream seedMix;
+        seedMix.absorb(spec.seed).absorb(uint64_t{i}).absorb(t.seed);
+        rt.taskSeed = seedMix.digest();
+        rt.contentHash = taskContentHash(rt);
+    }
+    return resolved;
+}
+
+void
+buildTaskArtifacts(ResolvedTask& rt, ArtifactCache& cache)
+{
+    const TaskSpec& t = *rt.spec;
+    double latency = t.roundLatencyUs;
+    if (t.compileLatency) {
+        HashStream ch;
+        ch.absorb(rt.codeHash)
+            .absorb(rt.scheduleHash)
+            .absorb(std::string(architectureName(t.architecture)))
+            .absorb(uint64_t{t.swap == SwapKind::IonSwap ? 1u : 0u})
+            .absorb(uint64_t{t.gridCapacity});
+        rt.compiled = cache.getOrBuildCompile(ch.digest(), [&] {
+            CodesignConfig config;
+            config.architecture = t.architecture;
+            config.ejf.swap = t.swap;
+            config.cyclone.swap = t.swap;
+            config.gridCapacity = t.gridCapacity;
+            return compileCodesign(*rt.code, *rt.schedule, config);
+        });
+        latency = rt.compiled->execTimeUs;
+    }
+    latency *= t.latencyScale;
+    rt.latencyUs = latency;
+
+    // Schedule-derived per-qubit idle twirls: explicit ones win;
+    // otherwise measure the compiled IR. Only PerQubitSchedule mode
+    // consumes them — the twirls are part of the DEM identity, so
+    // uniform-mode tasks must not carry unhashed ones into the
+    // circuit.
+    std::vector<PauliTwirl> perQubitIdle;
+    if (t.idleNoise == IdleNoiseMode::PerQubitSchedule) {
+        perQubitIdle = t.perQubitIdle;
+        if (perQubitIdle.empty()) {
+            if (!rt.compiled) {
+                throw std::invalid_argument(
+                    "per-qubit idle noise needs a compiled "
+                    "architecture (or explicit perQubitIdle twirls)");
+            }
+            perQubitIdle = perQubitIdleFromSchedule(
+                rt.compiled->schedule, rt.code->numQubits(),
+                t.physicalError, t.latencyScale);
+        }
+    }
+
+    HashStream dh;
+    dh.absorb(rt.codeHash)
+        .absorb(rt.scheduleHash)
+        .absorb(t.physicalError)
+        .absorb(latency)
+        .absorb(uint64_t{rt.rounds})
+        .absorb(uint64_t{t.xBasis ? 1u : 0u});
+    if (t.idleNoise == IdleNoiseMode::PerQubitSchedule) {
+        // The DEM now depends on the exact timeline, not just its
+        // makespan: key on the IR's content hash (or the explicit
+        // twirl values).
+        dh.absorb(uint64_t{1});
+        if (!t.perQubitIdle.empty()) {
+            for (const PauliTwirl& twirl : perQubitIdle)
+                dh.absorb(twirl.px)
+                    .absorb(twirl.py)
+                    .absorb(twirl.pz);
+        } else {
+            dh.absorb(hashTimedSchedule(rt.compiled->schedule));
+            dh.absorb(t.latencyScale);
+        }
+    }
+    rt.dem = cache.getOrBuildDem(dh.digest(), [&] {
+        MemoryCircuitOptions opts;
+        opts.rounds = rt.rounds;
+        opts.perQubitIdle = perQubitIdle;
+        opts.noise = latency > 0.0 && perQubitIdle.empty()
+            ? NoiseModel::withLatency(t.physicalError, latency)
+            : NoiseModel::uniform(t.physicalError);
+        const Circuit circuit = t.xBasis
+            ? buildXMemoryCircuit(*rt.code, *rt.schedule, opts)
+            : buildZMemoryCircuit(*rt.code, *rt.schedule, opts);
+        return buildDetectorErrorModel(circuit);
+    });
+}
+
+void
+fillResolvedMetadata(TaskResult& r, const ResolvedTask& rt)
+{
+    r.roundLatencyUs = rt.latencyUs;
+    if (rt.dem) {
+        r.demDetectors = rt.dem->numDetectors;
+        r.demMechanisms = rt.dem->mechanisms.size();
+    }
+    if (rt.compiled) {
+        r.compileMakespanUs = rt.compiled->execTimeUs;
+        r.compileBreakdown = rt.compiled->serialized;
+        r.compileParallelFraction = rt.compiled->parallelFraction();
+        r.trapRoadblocks = rt.compiled->trapRoadblocks;
+        r.junctionRoadblocks = rt.compiled->junctionRoadblocks;
+        r.roadblockWaits = rt.compiled->schedule.waitHistogram();
+    }
+}
+
+bool
+applyCheckpoint(TaskResult& r, const CampaignCheckpoint* resume)
+{
+    if (resume == nullptr)
+        return false;
+    auto it = resume->tasks.find(r.contentHash);
+    if (it == resume->tasks.end())
+        return false;
+    const TaskResult& saved = it->second;
+    r.logicalErrorRate = saved.logicalErrorRate;
+    r.wilson = saved.wilson;
+    r.perRoundErrorRate = saved.perRoundErrorRate;
+    r.roundLatencyUs = saved.roundLatencyUs;
+    r.demDetectors = saved.demDetectors;
+    r.demMechanisms = saved.demMechanisms;
+    r.decoder = saved.decoder;
+    r.chunks = saved.chunks;
+    r.stoppedEarly = saved.stoppedEarly;
+    r.sampleSeconds = saved.sampleSeconds;
+    r.fromCheckpoint = true;
+    return true;
+}
+
 CampaignEngine::CampaignEngine(ThreadPool& pool, ArtifactCache& cache)
     : pool_(pool), cache_(cache)
 {}
@@ -185,68 +353,27 @@ CampaignEngine::run(const CampaignSpec& spec,
     result.seed = spec.seed;
     result.tasks.resize(n);
 
-    std::vector<TaskState> states(n);
-    std::unordered_map<std::string, std::shared_ptr<const CssCode>>
-        codeByName;
-    std::unordered_map<const CssCode*,
-                       std::shared_ptr<const SyndromeSchedule>>
-        schedByCode;
-
     // Resolve codes, schedules, seeds and identities up front on the
     // coordinator: cheap, and bad specs fail before any job launches.
+    std::vector<ResolvedTask> resolved = resolveTaskIdentities(spec);
+    std::vector<TaskState> states(n);
     for (size_t i = 0; i < n; ++i) {
-        const TaskSpec& t = spec.tasks[i];
         TaskState& st = states[i];
-        st.spec = &t;
-        if (t.code) {
-            st.code = t.code;
-        } else {
-            if (t.codeName.empty())
-                throw std::invalid_argument(
-                    "TaskSpec needs codeName or an inline code");
-            auto it = codeByName.find(t.codeName);
-            if (it == codeByName.end())
-                it = codeByName
-                         .emplace(t.codeName,
-                                  std::make_shared<const CssCode>(
-                                      resolveCampaignCode(t.codeName)))
-                         .first;
-            st.code = it->second;
-        }
-        if (t.schedule) {
-            st.schedule = t.schedule;
-        } else {
-            auto it = schedByCode.find(st.code.get());
-            if (it == schedByCode.end())
-                it = schedByCode
-                         .emplace(st.code.get(),
-                                  std::make_shared<
-                                      const SyndromeSchedule>(
-                                      makeXThenZSchedule(*st.code)))
-                         .first;
-            st.schedule = it->second;
-        }
-        st.rounds = t.rounds > 0
-            ? t.rounds
-            : (st.code->nominalDistance() > 0 ? st.code->nominalDistance()
-                                              : 3);
-        st.codeHash = hashCode(*st.code);
-        st.scheduleHash = hashSchedule(*st.schedule);
-        HashStream seedMix;
-        seedMix.absorb(spec.seed).absorb(uint64_t{i}).absorb(t.seed);
-        st.taskSeed = seedMix.digest();
+        st.rt = std::move(resolved[i]);
         st.workers.resize(pool_.size());
 
+        const TaskSpec& t = spec.tasks[i];
         TaskResult& r = result.tasks[i];
         r.id = !t.id.empty() ? t.id : "task" + std::to_string(i);
-        r.codeName = !t.codeName.empty() ? t.codeName : st.code->name();
+        r.codeName =
+            !t.codeName.empty() ? t.codeName : st.rt.code->name();
         r.architecture = t.compileLatency
             ? architectureName(t.architecture)
             : "explicit";
         r.physicalError = t.physicalError;
-        r.rounds = st.rounds;
+        r.rounds = st.rt.rounds;
         r.xBasis = t.xBasis;
-        r.contentHash = taskContentHash(st);
+        r.contentHash = st.rt.contentHash;
     }
 
     EventQueue events;
@@ -263,19 +390,7 @@ CampaignEngine::run(const CampaignSpec& spec,
             r.chunks = st.sampler->chunksPlanned();
             r.stoppedEarly = st.sampler->stoppedEarly();
         }
-        r.roundLatencyUs = st.latencyUs;
-        if (st.dem) {
-            r.demDetectors = st.dem->numDetectors;
-            r.demMechanisms = st.dem->mechanisms.size();
-        }
-        if (st.compiled) {
-            r.compileMakespanUs = st.compiled->execTimeUs;
-            r.compileBreakdown = st.compiled->serialized;
-            r.compileParallelFraction = st.compiled->parallelFraction();
-            r.trapRoadblocks = st.compiled->trapRoadblocks;
-            r.junctionRoadblocks = st.compiled->junctionRoadblocks;
-            r.roadblockWaits = st.compiled->schedule.waitHistogram();
-        }
+        fillResolvedMetadata(r, st.rt);
         r.sampleSeconds = st.sampleSeconds;
         if (r.rounds > 0 && r.logicalErrorRate.trials > 0) {
             const double ler =
@@ -319,7 +434,7 @@ CampaignEngine::run(const CampaignSpec& spec,
         // wave's chunk indices — never on worker count or completion
         // order — so every decoder statistic stays deterministic.
         const size_t group = std::max<size_t>(
-            size_t{1}, st.spec->stop.stagingChunks);
+            size_t{1}, st.rt.spec->stop.stagingChunks);
         std::vector<std::vector<ChunkPlan>> jobs;
         for (size_t g = 0; g < wave.size(); g += group)
             jobs.emplace_back(
@@ -338,9 +453,9 @@ CampaignEngine::run(const CampaignSpec& spec,
                                                ? static_cast<size_t>(w)
                                                : 0];
                     if (!ctx)
-                        ctx = std::make_unique<WorkerCtx>(*st.dem,
-                                                          st.spec->bp);
-                    e.outcome = runChunkGroup(*st.dem, plans.data(),
+                        ctx = std::make_unique<WorkerCtx>(
+                            *st.rt.dem, st.rt.spec->bp);
+                    e.outcome = runChunkGroup(*st.rt.dem, plans.data(),
                                               plans.size(),
                                               ctx->decoder,
                                               ctx->batches);
@@ -362,27 +477,11 @@ CampaignEngine::run(const CampaignSpec& spec,
     // Checkpointed tasks are done before any job launches; the rest
     // get a resolve job (compile + DEM build through the shared cache).
     for (size_t i = 0; i < n; ++i) {
-        TaskResult& r = result.tasks[i];
-        if (resume != nullptr) {
-            auto it = resume->tasks.find(r.contentHash);
-            if (it != resume->tasks.end()) {
-                const TaskResult& saved = it->second;
-                r.logicalErrorRate = saved.logicalErrorRate;
-                r.wilson = saved.wilson;
-                r.perRoundErrorRate = saved.perRoundErrorRate;
-                r.roundLatencyUs = saved.roundLatencyUs;
-                r.demDetectors = saved.demDetectors;
-                r.demMechanisms = saved.demMechanisms;
-                r.decoder = saved.decoder;
-                r.chunks = saved.chunks;
-                r.stoppedEarly = saved.stoppedEarly;
-                r.sampleSeconds = saved.sampleSeconds;
-                r.fromCheckpoint = true;
-                states[i].finished = true;
-                if (onTaskDone)
-                    onTaskDone(r);
-                continue;
-            }
+        if (applyCheckpoint(result.tasks[i], resume)) {
+            states[i].finished = true;
+            if (onTaskDone)
+                onTaskDone(result.tasks[i]);
+            continue;
         }
         ++remaining;
     }
@@ -395,93 +494,7 @@ CampaignEngine::run(const CampaignSpec& spec,
             Event e;
             e.task = i;
             try {
-                const TaskSpec& t = *st.spec;
-                double latency = t.roundLatencyUs;
-                if (t.compileLatency) {
-                    HashStream ch;
-                    ch.absorb(st.codeHash)
-                        .absorb(st.scheduleHash)
-                        .absorb(std::string(
-                            architectureName(t.architecture)))
-                        .absorb(uint64_t{
-                            t.swap == SwapKind::IonSwap ? 1u : 0u})
-                        .absorb(uint64_t{t.gridCapacity});
-                    st.compiled = cache_.getOrBuildCompile(
-                        ch.digest(), [&] {
-                            CodesignConfig config;
-                            config.architecture = t.architecture;
-                            config.ejf.swap = t.swap;
-                            config.cyclone.swap = t.swap;
-                            config.gridCapacity = t.gridCapacity;
-                            return compileCodesign(*st.code,
-                                                   *st.schedule,
-                                                   config);
-                        });
-                    latency = st.compiled->execTimeUs;
-                }
-                latency *= t.latencyScale;
-                st.latencyUs = latency;
-
-                // Schedule-derived per-qubit idle twirls: explicit
-                // ones win; otherwise measure the compiled IR. Only
-                // PerQubitSchedule mode consumes them — the twirls
-                // are part of the DEM identity, so uniform-mode tasks
-                // must not carry unhashed ones into the circuit.
-                std::vector<PauliTwirl> perQubitIdle;
-                if (t.idleNoise == IdleNoiseMode::PerQubitSchedule) {
-                    perQubitIdle = t.perQubitIdle;
-                    if (perQubitIdle.empty()) {
-                        if (!st.compiled) {
-                            throw std::invalid_argument(
-                                "per-qubit idle noise needs a compiled "
-                                "architecture (or explicit perQubitIdle "
-                                "twirls)");
-                        }
-                        perQubitIdle = perQubitIdleFromSchedule(
-                            st.compiled->schedule, st.code->numQubits(),
-                            t.physicalError, t.latencyScale);
-                    }
-                }
-
-                HashStream dh;
-                dh.absorb(st.codeHash)
-                    .absorb(st.scheduleHash)
-                    .absorb(t.physicalError)
-                    .absorb(latency)
-                    .absorb(uint64_t{st.rounds})
-                    .absorb(uint64_t{t.xBasis ? 1u : 0u});
-                if (t.idleNoise == IdleNoiseMode::PerQubitSchedule) {
-                    // The DEM now depends on the exact timeline, not
-                    // just its makespan: key on the IR's content hash
-                    // (or the explicit twirl values).
-                    dh.absorb(uint64_t{1});
-                    if (!t.perQubitIdle.empty()) {
-                        for (const PauliTwirl& twirl : perQubitIdle)
-                            dh.absorb(twirl.px)
-                                .absorb(twirl.py)
-                                .absorb(twirl.pz);
-                    } else {
-                        dh.absorb(
-                            hashTimedSchedule(st.compiled->schedule));
-                        dh.absorb(t.latencyScale);
-                    }
-                }
-                st.dem = cache_.getOrBuildDem(dh.digest(), [&] {
-                    MemoryCircuitOptions opts;
-                    opts.rounds = st.rounds;
-                    opts.perQubitIdle = perQubitIdle;
-                    opts.noise =
-                        latency > 0.0 && perQubitIdle.empty()
-                        ? NoiseModel::withLatency(t.physicalError,
-                                                  latency)
-                        : NoiseModel::uniform(t.physicalError);
-                    const Circuit circuit = t.xBasis
-                        ? buildXMemoryCircuit(*st.code, *st.schedule,
-                                              opts)
-                        : buildZMemoryCircuit(*st.code, *st.schedule,
-                                              opts);
-                    return buildDetectorErrorModel(circuit);
-                });
+                buildTaskArtifacts(st.rt, cache_);
                 e.kind = EventKind::Resolved;
             } catch (const std::exception& ex) {
                 e.kind = EventKind::Failed;
@@ -502,7 +515,7 @@ CampaignEngine::run(const CampaignSpec& spec,
         switch (e.kind) {
           case EventKind::Resolved:
             st.resolved = true;
-            st.sampler.emplace(st.spec->stop, st.taskSeed);
+            st.sampler.emplace(st.rt.spec->stop, st.rt.taskSeed);
             if (!dispatchWave(e.task)) {
                 finalize(e.task);
                 --remaining;
@@ -545,6 +558,13 @@ CampaignEngine::run(const CampaignSpec& spec,
         after.compileMisses - before.compileMisses;
     result.cache.demHits = after.demHits - before.demHits;
     result.cache.demMisses = after.demMisses - before.demMisses;
+    result.cache.compileStoreHits =
+        after.compileStoreHits - before.compileStoreHits;
+    result.cache.demStoreHits =
+        after.demStoreHits - before.demStoreHits;
+    result.cache.compileBytes =
+        after.compileBytes - before.compileBytes;
+    result.cache.demBytes = after.demBytes - before.demBytes;
     result.wallSeconds = elapsedSeconds(t0);
     return result;
 }

@@ -84,6 +84,19 @@ struct CampaignCheckpoint
     std::unordered_map<uint64_t, TaskResult> tasks;
 };
 
+/** Spool activity of a distributed run (all zero in-process). */
+struct SpoolStats
+{
+    /** Shards written to the spool's open/ directory. */
+    size_t shardsPublished = 0;
+    /** Shard result records merged into task results. */
+    size_t shardsMerged = 0;
+    /** Expired leases returned to open/ (killed/stalled workers). */
+    size_t shardsReclaimed = 0;
+    /** Shards satisfied by records already in the spool (resume). */
+    size_t recordsReused = 0;
+};
+
 /** Outcome of a whole campaign. */
 struct CampaignResult
 {
@@ -94,11 +107,69 @@ struct CampaignResult
     /** Cache activity during this run (delta, not lifetime). */
     CacheStats cache;
 
+    /** Spool activity (distributed runs only). */
+    SpoolStats spool;
+
     double wallSeconds = 0.0;
 
     /** Total Monte-Carlo shots across tasks (checkpointed included). */
     size_t totalShots() const;
 };
+
+/**
+ * A task with its identity — and, after buildTaskArtifacts, its
+ * compiled artifacts — resolved. This is the unit both execution
+ * modes share: the in-process engine resolves tasks on its pool, the
+ * spool coordinator and every worker process resolve the same spec
+ * text through resolveTaskIdentities and arrive at the same content
+ * hashes, seeds and artifacts, which is what makes distributed
+ * results bit-identical to local ones. `spec` points into the
+ * CampaignSpec it was resolved from, which must stay alive.
+ */
+struct ResolvedTask
+{
+    const TaskSpec* spec = nullptr;
+    std::shared_ptr<const CssCode> code;
+    std::shared_ptr<const SyndromeSchedule> schedule;
+    size_t rounds = 0;
+    uint64_t codeHash = 0;
+    uint64_t scheduleHash = 0;
+    /** Mix of campaign seed, task index and the task's seed salt. */
+    uint64_t taskSeed = 0;
+    /** Checkpoint identity of the task. */
+    uint64_t contentHash = 0;
+
+    // Filled by buildTaskArtifacts.
+    std::shared_ptr<const CompileResult> compiled;
+    std::shared_ptr<const DetectorErrorModel> dem;
+    double latencyUs = 0.0;
+};
+
+/**
+ * Resolve codes, schedules, seeds and content hashes for every task
+ * of `spec` (cheap, deterministic, no artifact builds). Throws on
+ * unknown codes or structurally bad tasks, so bad specs fail before
+ * any work launches.
+ */
+std::vector<ResolvedTask> resolveTaskIdentities(const CampaignSpec& spec);
+
+/**
+ * Build (or fetch from `cache`) the task's compile result and
+ * detector error model, filling `task.compiled` / `task.dem` /
+ * `task.latencyUs`. Safe to call concurrently for different tasks;
+ * concurrent same-key builds dedupe inside the cache.
+ */
+void buildTaskArtifacts(ResolvedTask& task, ArtifactCache& cache);
+
+/** Copy DEM/compile-derived metadata of a built task into a result. */
+void fillResolvedMetadata(TaskResult& result, const ResolvedTask& task);
+
+/**
+ * If `resume` holds a completed task with `result.contentHash`, copy
+ * its saved fields into `result` (marking fromCheckpoint) and return
+ * true.
+ */
+bool applyCheckpoint(TaskResult& result, const CampaignCheckpoint* resume);
 
 /** Orchestrates campaigns over a shared pool and artifact cache. */
 class CampaignEngine

@@ -122,7 +122,8 @@ parseTaskArchitecture(const std::string& name, TaskSpec& task)
 }
 
 void
-expandBlock(const TaskBlock& block, CampaignSpec& spec)
+expandBlock(const TaskBlock& block, CampaignSpec& spec,
+            std::vector<size_t>& taskLines)
 {
     const bool multi = block.archs.size() * block.ps.size() > 1;
     for (const std::string& archName : block.archs) {
@@ -139,7 +140,34 @@ expandBlock(const TaskBlock& block, CampaignSpec& spec)
                 task.id += suffix;
             }
             spec.tasks.push_back(std::move(task));
+            taskLines.push_back(block.line);
         }
+    }
+}
+
+/**
+ * Reject duplicate effective task ids. Results, checkpoints and spool
+ * shards all key tasks by id or index; two tasks sharing an id would
+ * silently shadow each other in every report. Auto ids ("task<N>")
+ * participate too, so an explicit "task3" colliding with the third
+ * anonymous task is caught as well.
+ */
+void
+checkDuplicateTaskIds(const CampaignSpec& spec,
+                      const std::vector<size_t>& taskLines)
+{
+    std::unordered_map<std::string, size_t> seen;
+    for (size_t i = 0; i < spec.tasks.size(); ++i) {
+        const std::string id = !spec.tasks[i].id.empty()
+            ? spec.tasks[i].id
+            : "task" + std::to_string(i);
+        const auto [it, inserted] = seen.emplace(id, i);
+        if (!inserted)
+            specError(taskLines[i],
+                      "duplicate task id '" + id +
+                          "' (first defined by the [task] section at "
+                          "line " +
+                          std::to_string(taskLines[it->second]) + ")");
     }
 }
 
@@ -157,7 +185,18 @@ campaignResultToJson(const CampaignResult& result)
     out << "  \"cache\": {\"compile_hits\": " << result.cache.compileHits
         << ", \"compile_misses\": " << result.cache.compileMisses
         << ", \"dem_hits\": " << result.cache.demHits
-        << ", \"dem_misses\": " << result.cache.demMisses << "},\n";
+        << ", \"dem_misses\": " << result.cache.demMisses
+        << ",\n            \"compile_store_hits\": "
+        << result.cache.compileStoreHits
+        << ", \"dem_store_hits\": " << result.cache.demStoreHits
+        << ", \"compile_bytes\": " << result.cache.compileBytes
+        << ", \"dem_bytes\": " << result.cache.demBytes << "},\n";
+    out << "  \"spool\": {\"shards_published\": "
+        << result.spool.shardsPublished
+        << ", \"shards_merged\": " << result.spool.shardsMerged
+        << ", \"shards_reclaimed\": " << result.spool.shardsReclaimed
+        << ", \"records_reused\": " << result.spool.recordsReused
+        << "},\n";
     out << "  \"tasks\": [\n";
     for (size_t i = 0; i < result.tasks.size(); ++i) {
         const TaskResult& t = result.tasks[i];
@@ -469,7 +508,16 @@ parseCampaignSpec(const std::string& text)
                     spec.seed = std::stoull(value);
                 else if (key == "threads")
                     spec.threads = std::stoull(value);
-                else
+                else if (key == "spool")
+                    spec.spool = value;
+                else if (key == "workers")
+                    spec.workers = std::stoull(value);
+                else if (key == "lease_seconds") {
+                    spec.leaseSeconds = std::stod(value);
+                    if (!(spec.leaseSeconds > 0.0))
+                        specError(lineno,
+                                  "lease_seconds must be > 0");
+                } else
                     specError(lineno,
                               "unknown campaign key '" + key + "'");
                 continue;
@@ -542,6 +590,10 @@ parseCampaignSpec(const std::string& text)
                 t.stop.stagingChunks = std::stoull(value);
                 if (t.stop.stagingChunks == 0)
                     specError(lineno, "staging_chunks must be >= 1");
+            } else if (key == "shard_chunks") {
+                if (value.front() == '-')
+                    specError(lineno, "shard_chunks must be >= 0");
+                t.stop.shardChunks = std::stoull(value);
             } else if (key == "seed") {
                 t.seed = std::stoull(value);
             } else if (key == "bp") {
@@ -563,13 +615,15 @@ parseCampaignSpec(const std::string& text)
         }
     }
 
+    std::vector<size_t> taskLines;
     for (const TaskBlock& block : blocks) {
         if (block.base.codeName.empty())
             specError(block.line, "[task] section needs a code");
-        expandBlock(block, spec);
+        expandBlock(block, spec, taskLines);
     }
     if (spec.tasks.empty())
         throw std::runtime_error("campaign spec defines no tasks");
+    checkDuplicateTaskIds(spec, taskLines);
     return spec;
 }
 

@@ -68,6 +68,18 @@ struct StoppingRule
      * 1 = stage nothing (one chunk per decode job, the default).
      */
     size_t stagingChunks = 1;
+
+    /**
+     * Chunks per spool shard in distributed runs (see coordinator.h).
+     * The coordinator slices every wave into contiguous shards of
+     * this many chunks and publishes each as one claimable unit of
+     * work. Rounded up to a multiple of `stagingChunks` so worker-
+     * side staging groups coincide exactly with a single-process
+     * run's. Like stagingChunks, a pure scheduling knob: excluded
+     * from the task content hash, never changes any result.
+     * 0 = auto (about four shards per wave).
+     */
+    size_t shardChunks = 0;
 };
 
 /** One experiment point of a campaign. */
@@ -156,6 +168,31 @@ struct CampaignSpec
 
     /** Worker threads (0 = hardware concurrency). */
     size_t threads = 0;
+
+    /**
+     * Spool directory for distributed execution ("" = run in-process
+     * on the local pool). When set, campaign_runner coordinates
+     * through the spool instead of sampling locally; any shared
+     * directory (local disk, NFS) works — the claim protocol is
+     * rename-based and needs no sockets. See coordinator.h.
+     */
+    std::string spool;
+
+    /**
+     * Local worker processes the campaign_runner coordinator forks
+     * alongside itself (0 = none; external workers attach with
+     * `campaign_runner --worker --spool DIR`). Only meaningful with
+     * `spool` set. Results are bit-identical at any worker count.
+     */
+    size_t workers = 0;
+
+    /**
+     * Shard lease in seconds for distributed runs: a claimed shard
+     * whose worker stops heartbeating for this long is reclaimed and
+     * re-published, so a killed worker's shards are re-executed
+     * rather than lost.
+     */
+    double leaseSeconds = 30.0;
 
     std::vector<TaskSpec> tasks;
 };

@@ -1,0 +1,515 @@
+#include "campaign/coordinator.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include <unistd.h>
+
+#include "campaign/adaptive_sampler.h"
+#include "campaign/campaign_io.h"
+#include "campaign/content_hash.h"
+#include "campaign/thread_pool.h"
+
+namespace cyclone {
+
+namespace {
+
+constexpr const char* kWorkerStatsMagic = "cyclone-worker-stats v1";
+
+void
+sleepSeconds(double s)
+{
+    std::this_thread::sleep_for(std::chrono::duration<double>(s));
+}
+
+void
+addDecoderStats(BpOsdStats& into, const BpOsdStats& s)
+{
+    into.decodes += s.decodes;
+    into.bpConverged += s.bpConverged;
+    into.osdInvocations += s.osdInvocations;
+    into.osdFailures += s.osdFailures;
+    into.trivialShots += s.trivialShots;
+    into.memoHits += s.memoHits;
+    into.bpIterations += s.bpIterations;
+    into.waveGroups += s.waveGroups;
+    into.waveLaneSlots += s.waveLaneSlots;
+    into.waveLanesFilled += s.waveLanesFilled;
+    into.osdBatchGroups += s.osdBatchGroups;
+    into.osdSharedPivots += s.osdSharedPivots;
+    into.stagedChunks += s.stagedChunks;
+    if (into.backend.empty())
+        into.backend = s.backend;
+}
+
+/** Coordinator-side view of one task in flight. */
+struct CoordTask
+{
+    ResolvedTask rt;
+    std::optional<AdaptiveSampler> sampler;
+    /** Shard ids of the current wave still awaiting records. */
+    std::vector<std::string> outstanding;
+    size_t nextShard = 0;
+    bool finished = false;
+    double sampleSeconds = 0.0;
+};
+
+} // namespace
+
+size_t
+effectiveShardChunks(const StoppingRule& rule)
+{
+    const size_t staging = std::max<size_t>(1, rule.stagingChunks);
+    size_t chunks = rule.shardChunks;
+    if (chunks == 0) {
+        // Auto: about four claimable shards per wave, so a handful of
+        // workers can share even a single-task campaign's wave.
+        const size_t wave = std::max<size_t>(1, rule.chunksPerWave);
+        chunks = (wave + 3) / 4;
+    }
+    // Round up to a staging-group multiple: worker-side groups then
+    // coincide exactly with a single-process run's wave partition.
+    return ((chunks + staging - 1) / staging) * staging;
+}
+
+size_t
+chunkShotsAt(const StoppingRule& rule, size_t index)
+{
+    const size_t chunkShots =
+        rule.chunkShots > 0 ? rule.chunkShots : 256;
+    const size_t planned = index * chunkShots;
+    if (planned >= rule.maxShots)
+        return 0;
+    return std::min(chunkShots, rule.maxShots - planned);
+}
+
+CampaignResult
+runDistributedCampaign(const CampaignSpec& spec,
+                       const std::string& specText,
+                       const CampaignCheckpoint* resume,
+                       const CampaignEngine::TaskCallback& onTaskDone)
+{
+    if (spec.spool.empty())
+        throw std::invalid_argument(
+            "runDistributedCampaign needs spec.spool");
+
+    const auto t0 = std::chrono::steady_clock::now();
+    Spool spool(spec.spool);
+    SpoolManifest manifest;
+    manifest.name = spec.name;
+    manifest.seed = spec.seed;
+    manifest.leaseSeconds = spec.leaseSeconds;
+    spool.initialize(manifest, specText);
+
+    ArtifactCache cache;
+    cache.attachStore(spool.cacheDir());
+
+    const size_t n = spec.tasks.size();
+    CampaignResult result;
+    result.name = spec.name;
+    result.seed = spec.seed;
+    result.tasks.resize(n);
+
+    std::vector<ResolvedTask> resolved = resolveTaskIdentities(spec);
+    std::vector<CoordTask> states(n);
+    size_t remaining = 0;
+
+    for (size_t i = 0; i < n; ++i) {
+        CoordTask& st = states[i];
+        st.rt = std::move(resolved[i]);
+        const TaskSpec& t = spec.tasks[i];
+        TaskResult& r = result.tasks[i];
+        r.id = !t.id.empty() ? t.id : "task" + std::to_string(i);
+        r.codeName =
+            !t.codeName.empty() ? t.codeName : st.rt.code->name();
+        r.architecture = t.compileLatency
+            ? architectureName(t.architecture)
+            : "explicit";
+        r.physicalError = t.physicalError;
+        r.rounds = st.rt.rounds;
+        r.xBasis = t.xBasis;
+        r.contentHash = st.rt.contentHash;
+        if (applyCheckpoint(r, resume)) {
+            st.finished = true;
+            if (onTaskDone)
+                onTaskDone(r);
+            continue;
+        }
+        ++remaining;
+    }
+
+    // Resolve all artifacts up front, sequentially and thread-free
+    // (callers fork worker processes around this function; a live
+    // pool would make that unsafe). Every compile and DEM publishes
+    // to the spool store before any shard exists, so workers always
+    // store-hit and the fleet builds each distinct artifact once.
+    for (size_t i = 0; i < n; ++i) {
+        CoordTask& st = states[i];
+        if (st.finished)
+            continue;
+        try {
+            buildTaskArtifacts(st.rt, cache);
+            st.sampler.emplace(st.rt.spec->stop, st.rt.taskSeed);
+        } catch (const std::exception& ex) {
+            result.tasks[i].error = ex.what();
+        }
+    }
+
+    auto finalize = [&](size_t i) {
+        CoordTask& st = states[i];
+        TaskResult& r = result.tasks[i];
+        st.finished = true;
+        if (st.sampler) {
+            r.logicalErrorRate = st.sampler->estimate();
+            r.wilson = wilsonHalfWidth(st.sampler->failures(),
+                                       st.sampler->shots());
+            r.chunks = st.sampler->chunksPlanned();
+            r.stoppedEarly = st.sampler->stoppedEarly();
+        }
+        fillResolvedMetadata(r, st.rt);
+        r.sampleSeconds = st.sampleSeconds;
+        if (r.rounds > 0 && r.logicalErrorRate.trials > 0) {
+            const double ler =
+                std::min(r.logicalErrorRate.rate, 1.0 - 1e-12);
+            r.perRoundErrorRate = 1.0 -
+                std::pow(1.0 - ler,
+                         1.0 / static_cast<double>(r.rounds));
+        }
+        if (onTaskDone)
+            onTaskDone(r);
+    };
+
+    // Publish one wave as contiguous chunk-range shards. Returns
+    // false when the sampler has nothing left to plan.
+    auto publishWave = [&](size_t i) -> bool {
+        CoordTask& st = states[i];
+        const std::vector<ChunkPlan> wave = st.sampler->nextWave();
+        if (wave.empty())
+            return false;
+        const size_t step =
+            effectiveShardChunks(st.rt.spec->stop);
+        for (size_t g = 0; g < wave.size(); g += step) {
+            const size_t count = std::min(step, wave.size() - g);
+            ShardDescriptor d;
+            d.task = i;
+            d.shard = st.nextShard++;
+            d.firstChunk = wave[g].index;
+            d.numChunks = count;
+            d.chunkShots = st.rt.spec->stop.chunkShots > 0
+                ? st.rt.spec->stop.chunkShots
+                : 256;
+            d.contentHash = st.rt.contentHash;
+            d.taskSeed = st.rt.taskSeed;
+            const std::string id = shardId(d.task, d.shard);
+            if (spool.publishShard(d)) {
+                ++result.spool.shardsPublished;
+            } else if (spool.hasRecord(id)) {
+                // A previous coordinator run already collected this
+                // shard; the merge scan below absorbs it directly.
+                ++result.spool.recordsReused;
+            }
+            st.outstanding.push_back(id);
+        }
+        return true;
+    };
+
+    for (size_t i = 0; i < n; ++i) {
+        CoordTask& st = states[i];
+        if (st.finished)
+            continue;
+        if (!st.sampler || !publishWave(i)) {
+            finalize(i);
+            --remaining;
+        }
+    }
+
+    while (remaining > 0) {
+        bool progress = false;
+        for (size_t i = 0; i < n; ++i) {
+            CoordTask& st = states[i];
+            if (st.finished)
+                continue;
+            for (size_t k = 0; k < st.outstanding.size();) {
+                const std::string& id = st.outstanding[k];
+                if (!spool.hasRecord(id)) {
+                    ++k;
+                    continue;
+                }
+                const ShardRecord rec = spool.readRecord(id);
+                if (rec.contentHash != st.rt.contentHash)
+                    throw std::runtime_error(
+                        "spool record " + id +
+                        " does not match this campaign's task "
+                        "(content hash mismatch)");
+                st.sampler->absorb(
+                    ChunkOutcome{rec.shots, rec.failures});
+                st.sampleSeconds += rec.seconds;
+                addDecoderStats(result.tasks[i].decoder, rec.decoder);
+                ++result.spool.shardsMerged;
+                st.outstanding.erase(st.outstanding.begin() +
+                                     static_cast<std::ptrdiff_t>(k));
+                progress = true;
+            }
+            if (st.outstanding.empty()) {
+                if (st.sampler->done() || !publishWave(i)) {
+                    finalize(i);
+                    --remaining;
+                }
+                progress = true;
+            }
+        }
+
+        // Lease sweep: claims whose heartbeat went stale go back to
+        // open/ so surviving workers re-execute them. Records are
+        // deterministic, so a worker that was merely slow (not dead)
+        // racing its reclaimed twin is harmless.
+        for (const std::string& id : spool.claimedShards()) {
+            const double age = spool.claimAge(id);
+            if (age > spec.leaseSeconds && spool.reclaimShard(id))
+                ++result.spool.shardsReclaimed;
+        }
+
+        if (!progress)
+            sleepSeconds(0.02);
+    }
+
+    spool.markDone();
+
+    result.cache = cache.stats();
+    result.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+
+    WorkerReport coordStats;
+    coordStats.cache = result.cache;
+    spoolWriteAtomic(spec.spool + "/stats-coordinator.txt",
+                     formatWorkerStats(coordStats));
+    return result;
+}
+
+std::string
+formatWorkerStats(const WorkerReport& r)
+{
+    std::ostringstream out;
+    out << kWorkerStatsMagic << "\n"
+        << "shards " << r.shardsRun << "\n"
+        << "shots " << r.shots << "\n"
+        << "failures " << r.failures << "\n"
+        << "compile_hits " << r.cache.compileHits << "\n"
+        << "compile_misses " << r.cache.compileMisses << "\n"
+        << "compile_store_hits " << r.cache.compileStoreHits << "\n"
+        << "compile_bytes " << r.cache.compileBytes << "\n"
+        << "dem_hits " << r.cache.demHits << "\n"
+        << "dem_misses " << r.cache.demMisses << "\n"
+        << "dem_store_hits " << r.cache.demStoreHits << "\n"
+        << "dem_bytes " << r.cache.demBytes << "\n";
+    return out.str();
+}
+
+WorkerReport
+parseWorkerStats(const std::string& text)
+{
+    std::istringstream in(text);
+    std::string line;
+    if (!std::getline(in, line) || line != kWorkerStatsMagic)
+        throw std::runtime_error(
+            "not a worker stats file (bad magic line)");
+    WorkerReport r;
+    std::string key;
+    unsigned long long value = 0;
+    while (in >> key >> value) {
+        const size_t v = static_cast<size_t>(value);
+        if (key == "shards")
+            r.shardsRun = v;
+        else if (key == "shots")
+            r.shots = v;
+        else if (key == "failures")
+            r.failures = v;
+        else if (key == "compile_hits")
+            r.cache.compileHits = v;
+        else if (key == "compile_misses")
+            r.cache.compileMisses = v;
+        else if (key == "compile_store_hits")
+            r.cache.compileStoreHits = v;
+        else if (key == "compile_bytes")
+            r.cache.compileBytes = v;
+        else if (key == "dem_hits")
+            r.cache.demHits = v;
+        else if (key == "dem_misses")
+            r.cache.demMisses = v;
+        else if (key == "dem_store_hits")
+            r.cache.demStoreHits = v;
+        else if (key == "dem_bytes")
+            r.cache.demBytes = v;
+    }
+    return r;
+}
+
+WorkerReport
+runSpoolWorker(const WorkerOptions& opts)
+{
+    if (opts.spool.empty())
+        throw std::invalid_argument("runSpoolWorker needs a spool dir");
+
+    Spool spool(opts.spool);
+    while (!spool.initialized())
+        sleepSeconds(opts.pollSeconds);
+
+    const SpoolManifest manifest = spool.readManifest();
+    const CampaignSpec spec = parseCampaignSpec(spool.readSpecText());
+    std::vector<ResolvedTask> resolved = resolveTaskIdentities(spec);
+    std::vector<bool> built(resolved.size(), false);
+
+    ArtifactCache cache;
+    cache.attachStore(spool.cacheDir());
+    ThreadPool pool(opts.threads);
+
+    WorkerReport report;
+    bool dying = false;
+
+    // Per-pool-thread decode contexts, rebuilt per shard so every
+    // record's decoder counters cover exactly that shard's groups.
+    struct Ctx
+    {
+        BpOsdDecoder decoder;
+        std::vector<ShotBatch> batches;
+        Ctx(const DetectorErrorModel& dem, const BpOptions& bp)
+            : decoder(dem, bp)
+        {}
+    };
+
+    auto executeShard = [&](const std::string& id,
+                            const ShardDescriptor& d) {
+        ResolvedTask& rt = resolved[d.task];
+        const StoppingRule& rule = rt.spec->stop;
+        const size_t staging =
+            std::max<size_t>(1, rule.stagingChunks);
+
+        // Rebuild the shard's exact ChunkPlans from its chunk range:
+        // same shots formula and seed derivation the coordinator's
+        // sampler used when it planned the wave.
+        std::vector<ChunkPlan> plans(d.numChunks);
+        for (size_t k = 0; k < d.numChunks; ++k) {
+            plans[k].index = d.firstChunk + k;
+            plans[k].shots = chunkShotsAt(rule, plans[k].index);
+            plans[k].seed = chunkSeed(d.taskSeed, plans[k].index);
+        }
+
+        std::vector<std::unique_ptr<Ctx>> ctxs(pool.size());
+        std::mutex mutex;
+        ChunkOutcome total;
+        double seconds = 0.0;
+        std::exception_ptr error;
+        std::atomic<size_t> pending{0};
+
+        for (size_t g = 0; g < plans.size(); g += staging) {
+            const size_t count =
+                std::min(staging, plans.size() - g);
+            pending.fetch_add(1);
+            pool.submit([&, g, count] {
+                const auto c0 = std::chrono::steady_clock::now();
+                try {
+                    const int w = ThreadPool::workerIndex();
+                    auto& ctx =
+                        ctxs[w >= 0 ? static_cast<size_t>(w) : 0];
+                    if (!ctx)
+                        ctx = std::make_unique<Ctx>(*rt.dem,
+                                                    rt.spec->bp);
+                    const ChunkOutcome out = runChunkGroup(
+                        *rt.dem, plans.data() + g, count,
+                        ctx->decoder, ctx->batches);
+                    std::lock_guard<std::mutex> lock(mutex);
+                    total.shots += out.shots;
+                    total.failures += out.failures;
+                } catch (...) {
+                    std::lock_guard<std::mutex> lock(mutex);
+                    if (!error)
+                        error = std::current_exception();
+                }
+                std::lock_guard<std::mutex> lock(mutex);
+                seconds += std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - c0)
+                               .count();
+                pending.fetch_sub(1);
+            });
+        }
+
+        // Heartbeat the claim while the pool decodes, so a healthy
+        // worker's lease never expires mid-shard.
+        while (pending.load() > 0) {
+            spool.heartbeat(id);
+            sleepSeconds(
+                std::min(0.05, manifest.leaseSeconds / 8.0));
+        }
+        if (error)
+            std::rethrow_exception(error);
+
+        ShardRecord rec;
+        rec.task = d.task;
+        rec.shard = d.shard;
+        rec.contentHash = d.contentHash;
+        rec.shots = total.shots;
+        rec.failures = total.failures;
+        rec.seconds = seconds;
+        for (const auto& ctx : ctxs)
+            if (ctx)
+                addDecoderStats(rec.decoder, ctx->decoder.stats());
+        spool.completeShard(id, rec);
+
+        ++report.shardsRun;
+        report.shots += total.shots;
+        report.failures += total.failures;
+    };
+
+    while (!spool.done() && !dying) {
+        bool claimed = false;
+        for (const std::string& id : spool.openShards()) {
+            ShardDescriptor d;
+            if (!spool.claimShard(id, d))
+                continue;
+            claimed = true;
+            if (opts.dieAfterClaim) {
+                // Leave the claim dangling, as a killed worker would.
+                dying = true;
+                break;
+            }
+            if (d.task >= resolved.size() ||
+                resolved[d.task].contentHash != d.contentHash)
+                throw std::runtime_error(
+                    "shard " + id +
+                    " does not match the spool's campaign spec "
+                    "(content hash mismatch)");
+            if (!built[d.task]) {
+                buildTaskArtifacts(resolved[d.task], cache);
+                built[d.task] = true;
+            }
+            executeShard(id, d);
+            break; // rescan open/ for the freshest view
+        }
+        if (opts.maxShards > 0 && report.shardsRun >= opts.maxShards)
+            break;
+        if (!claimed)
+            sleepSeconds(opts.pollSeconds);
+    }
+
+    report.cache = cache.stats();
+    if (!opts.dieAfterClaim) {
+        const std::string workerId = !opts.workerId.empty()
+            ? opts.workerId
+            : "pid" + std::to_string(::getpid());
+        spoolWriteAtomic(opts.spool + "/stats-" + workerId + ".txt",
+                         formatWorkerStats(report));
+    }
+    return report;
+}
+
+} // namespace cyclone

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Distributed campaign execution: coordinator and worker loops over a
+ * filesystem spool.
+ *
+ * The coordinator owns the campaign: it resolves every task, builds
+ * (and publishes to the spool's shared artifact store) every compile
+ * result and DEM exactly once, then drives each task's AdaptiveSampler
+ * wave by wave — but instead of decoding locally it slices every wave
+ * into contiguous chunk-range shards, publishes them through the
+ * spool, and merges the result records workers post back. Stopping
+ * decisions happen at the same wave boundaries on the same cumulative
+ * counts as an in-process run, and chunk RNG streams depend only on
+ * (task seed, chunk index), so merged results are bit-identical to a
+ * single-process run at any worker count — including zero external
+ * workers plus N forked local ones.
+ *
+ * Workers are stateless: they re-parse the spool's spec text,
+ * re-resolve task identities (verifying content hashes against each
+ * claimed shard), pull artifacts from the shared store (the
+ * coordinator pre-published them, so workers never compile), execute
+ * the shard's chunks through the same staged decode pipeline on a
+ * local thread pool, and post a record. A worker that dies mid-shard
+ * simply stops heartbeating; the coordinator reclaims the shard after
+ * the lease expires and another worker re-executes it.
+ */
+
+#ifndef CYCLONE_CAMPAIGN_COORDINATOR_H
+#define CYCLONE_CAMPAIGN_COORDINATOR_H
+
+#include <cstddef>
+#include <string>
+
+#include "campaign/campaign.h"
+#include "campaign/campaign_spec.h"
+#include "campaign/spool.h"
+
+namespace cyclone {
+
+/**
+ * Effective chunks-per-shard for a stopping rule: `shardChunks`
+ * rounded up to a multiple of `stagingChunks` (so worker-side staging
+ * groups coincide exactly with a single-process run's), or about a
+ * quarter wave when 0 (auto).
+ */
+size_t effectiveShardChunks(const StoppingRule& rule);
+
+/**
+ * Shots of chunk `index` of a task under `rule` — the same value
+ * AdaptiveSampler::nextWave plans, recomputed standalone so workers
+ * can rebuild exact ChunkPlans from a shard's chunk range.
+ */
+size_t chunkShotsAt(const StoppingRule& rule, size_t index);
+
+/**
+ * Run `spec` as the coordinator of the spool at `spec.spool`.
+ * `specText` is the verbatim spec document, published into the spool
+ * for workers to re-parse; it must parse to `spec`. Blocks until all
+ * tasks complete (some worker must be draining the spool — see
+ * campaign_runner's forked local workers) and returns a result
+ * bit-identical to an in-process run of the same spec.
+ *
+ * @param resume checkpointed tasks to skip, as CampaignEngine::run
+ * @param onTaskDone per-task completion hook
+ */
+CampaignResult
+runDistributedCampaign(const CampaignSpec& spec,
+                       const std::string& specText,
+                       const CampaignCheckpoint* resume = nullptr,
+                       const CampaignEngine::TaskCallback& onTaskDone =
+                           nullptr);
+
+/** Configuration of one worker process/loop. */
+struct WorkerOptions
+{
+    /** Spool directory (required). */
+    std::string spool;
+    /** Local decode threads (0 = hardware concurrency). */
+    size_t threads = 0;
+    /** Label for the worker's stats file ("" = "pid<pid>"). */
+    std::string workerId;
+    /** Stop after this many shards (0 = run until spool DONE). */
+    size_t maxShards = 0;
+    /** Seconds between idle polls of open/. */
+    double pollSeconds = 0.05;
+    /**
+     * Test hook: exit the loop immediately after the first successful
+     * claim without completing the shard (simulates a worker killed
+     * mid-shard, for lease-reclaim tests).
+     */
+    bool dieAfterClaim = false;
+};
+
+/** What one worker loop did (also written to the spool as
+ *  stats-<workerId>.txt for cross-process accounting). */
+struct WorkerReport
+{
+    size_t shardsRun = 0;
+    size_t shots = 0;
+    size_t failures = 0;
+    /** This process's artifact-cache activity (store hits vs local
+     *  builds prove the fleet compiled each point exactly once). */
+    CacheStats cache;
+};
+
+/** Text round-trip of a worker stats file (stats-<id>.txt). */
+std::string formatWorkerStats(const WorkerReport& report);
+/** Throws std::runtime_error on malformed input. */
+WorkerReport parseWorkerStats(const std::string& text);
+
+/**
+ * Run the worker loop against `opts.spool` until the coordinator's
+ * DONE marker appears (or `maxShards` is reached). Waits for the
+ * spool to be initialized first, so workers may start before the
+ * coordinator. Throws std::runtime_error on a spec/shard content-hash
+ * mismatch (the spool holds a different campaign than the shard
+ * expects).
+ */
+WorkerReport runSpoolWorker(const WorkerOptions& opts);
+
+} // namespace cyclone
+
+#endif // CYCLONE_CAMPAIGN_COORDINATOR_H

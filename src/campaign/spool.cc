@@ -1,0 +1,518 @@
+#include "campaign/spool.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "campaign/content_hash.h"
+
+namespace cyclone {
+
+namespace {
+
+constexpr const char* kDescriptorMagic = "cyclone-shard v1";
+constexpr const char* kRecordMagic = "cyclone-shard-result v1";
+constexpr const char* kManifestMagic = "cyclone-spool v1";
+
+/** Decoder counters on a record line, in fixed order. */
+constexpr size_t kDecoderFields = 13;
+
+void
+makeDir(const std::string& path)
+{
+    if (::mkdir(path.c_str(), 0777) != 0 && errno != EEXIST)
+        throw std::runtime_error("cannot create directory: " + path +
+                                 " (" + std::strerror(errno) + ")");
+}
+
+std::vector<std::string>
+listDir(const std::string& path)
+{
+    std::vector<std::string> names;
+    DIR* d = ::opendir(path.c_str());
+    if (d == nullptr)
+        return names;
+    while (const dirent* entry = ::readdir(d)) {
+        const std::string name = entry->d_name;
+        if (name == "." || name == "..")
+            continue;
+        // Skip in-flight tmp files from concurrent atomic writers.
+        // spoolWriteAtomic dot-prefixes its temp names, but match
+        // anywhere so a stray suffix-style tmp can never be claimed
+        // and executed as if it were a published shard.
+        if (name.find(".tmp-") != std::string::npos ||
+            name.rfind(".", 0) == 0)
+            continue;
+        names.push_back(name);
+    }
+    ::closedir(d);
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+bool
+fileExists(const std::string& path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+std::vector<std::string>
+tokenize(const std::string& line)
+{
+    std::vector<std::string> tokens;
+    std::istringstream in(line);
+    std::string tok;
+    while (in >> tok)
+        tokens.push_back(tok);
+    return tokens;
+}
+
+uint64_t
+parseU64(const std::string& tok, const char* what)
+{
+    try {
+        return std::stoull(tok, nullptr, 10);
+    } catch (...) {
+        throw std::runtime_error(std::string("bad ") + what +
+                                 " field: " + tok);
+    }
+}
+
+uint64_t
+parseHex(const std::string& tok, const char* what)
+{
+    try {
+        return std::stoull(tok, nullptr, 16);
+    } catch (...) {
+        throw std::runtime_error(std::string("bad ") + what +
+                                 " field: " + tok);
+    }
+}
+
+double
+parseDouble(const std::string& tok, const char* what)
+{
+    try {
+        return std::stod(tok);
+    } catch (...) {
+        throw std::runtime_error(std::string("bad ") + what +
+                                 " field: " + tok);
+    }
+}
+
+std::string
+hex(uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+std::string
+dbl(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+/** First line must equal `magic`; returns the remaining lines. */
+std::vector<std::string>
+splitChecked(const std::string& text, const char* magic,
+             const char* what)
+{
+    std::vector<std::string> lines;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        lines.push_back(line);
+    }
+    if (lines.empty() || lines.front() != magic)
+        throw std::runtime_error(std::string("not a ") + what +
+                                 " file (bad magic line)");
+    lines.erase(lines.begin());
+    return lines;
+}
+
+} // namespace
+
+std::string
+shardId(size_t task, size_t shard)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "t%04zu-s%05zu", task, shard);
+    return buf;
+}
+
+std::string
+formatShardDescriptor(const ShardDescriptor& d)
+{
+    std::ostringstream out;
+    out << kDescriptorMagic << "\n"
+        << "shard " << d.task << " " << d.shard << " " << d.firstChunk
+        << " " << d.numChunks << " " << d.chunkShots << " "
+        << hex(d.contentHash) << " " << hex(d.taskSeed) << "\n";
+    return out.str();
+}
+
+ShardDescriptor
+parseShardDescriptor(const std::string& text)
+{
+    const auto lines =
+        splitChecked(text, kDescriptorMagic, "shard descriptor");
+    for (const std::string& line : lines) {
+        const auto tok = tokenize(line);
+        if (tok.empty())
+            continue;
+        if (tok[0] != "shard")
+            continue;
+        if (tok.size() != 8)
+            throw std::runtime_error(
+                "shard descriptor: expected 7 fields, got " +
+                std::to_string(tok.size() - 1));
+        ShardDescriptor d;
+        d.task = parseU64(tok[1], "task");
+        d.shard = parseU64(tok[2], "shard");
+        d.firstChunk = parseU64(tok[3], "firstChunk");
+        d.numChunks = parseU64(tok[4], "numChunks");
+        d.chunkShots = parseU64(tok[5], "chunkShots");
+        d.contentHash = parseHex(tok[6], "contentHash");
+        d.taskSeed = parseHex(tok[7], "taskSeed");
+        return d;
+    }
+    throw std::runtime_error("shard descriptor: missing shard line");
+}
+
+std::string
+formatShardRecord(const ShardRecord& r)
+{
+    std::ostringstream out;
+    out << kRecordMagic << "\n"
+        << "shard " << r.task << " " << r.shard << " "
+        << hex(r.contentHash) << " " << r.shots << " " << r.failures
+        << " " << dbl(r.seconds) << "\n";
+    const BpOsdStats& s = r.decoder;
+    out << "decoder " << s.decodes << " " << s.bpConverged << " "
+        << s.osdInvocations << " " << s.osdFailures << " "
+        << s.trivialShots << " " << s.memoHits << " " << s.bpIterations
+        << " " << s.waveGroups << " " << s.waveLaneSlots << " "
+        << s.waveLanesFilled << " " << s.osdBatchGroups << " "
+        << s.osdSharedPivots << " " << s.stagedChunks << "\n";
+    if (!s.backend.empty())
+        out << "backend " << s.backend << "\n";
+    return out.str();
+}
+
+ShardRecord
+parseShardRecord(const std::string& text)
+{
+    const auto lines =
+        splitChecked(text, kRecordMagic, "shard record");
+    ShardRecord r;
+    bool haveShard = false;
+    for (const std::string& line : lines) {
+        const auto tok = tokenize(line);
+        if (tok.empty())
+            continue;
+        if (tok[0] == "shard") {
+            if (tok.size() != 7)
+                throw std::runtime_error(
+                    "shard record: expected 6 shard fields, got " +
+                    std::to_string(tok.size() - 1));
+            r.task = parseU64(tok[1], "task");
+            r.shard = parseU64(tok[2], "shard");
+            r.contentHash = parseHex(tok[3], "contentHash");
+            r.shots = parseU64(tok[4], "shots");
+            r.failures = parseU64(tok[5], "failures");
+            r.seconds = parseDouble(tok[6], "seconds");
+            haveShard = true;
+        } else if (tok[0] == "decoder") {
+            // Field-counted like the checkpoint format: accept short
+            // (old) decoder lines zero-filled, reject long (future)
+            // ones so new counters force a deliberate version bump.
+            const size_t n = tok.size() - 1;
+            if (n < 4 || n > kDecoderFields)
+                throw std::runtime_error(
+                    "shard record: unsupported decoder field count " +
+                    std::to_string(n));
+            uint64_t v[kDecoderFields] = {};
+            for (size_t i = 0; i < n; ++i)
+                v[i] = parseU64(tok[i + 1], "decoder");
+            BpOsdStats& s = r.decoder;
+            s.decodes = v[0];
+            s.bpConverged = v[1];
+            s.osdInvocations = v[2];
+            s.osdFailures = v[3];
+            s.trivialShots = v[4];
+            s.memoHits = v[5];
+            s.bpIterations = v[6];
+            s.waveGroups = v[7];
+            s.waveLaneSlots = v[8];
+            s.waveLanesFilled = v[9];
+            s.osdBatchGroups = v[10];
+            s.osdSharedPivots = v[11];
+            s.stagedChunks = v[12];
+        } else if (tok[0] == "backend") {
+            if (tok.size() >= 2)
+                r.decoder.backend = tok[1];
+        }
+    }
+    if (!haveShard)
+        throw std::runtime_error("shard record: missing shard line");
+    return r;
+}
+
+std::string
+formatManifest(const SpoolManifest& m)
+{
+    std::ostringstream out;
+    out << kManifestMagic << "\n"
+        << "name " << m.name << "\n"
+        << "seed " << hex(m.seed) << "\n"
+        << "spec " << hex(m.specHash) << "\n"
+        << "lease " << dbl(m.leaseSeconds) << "\n";
+    return out.str();
+}
+
+SpoolManifest
+parseManifest(const std::string& text)
+{
+    const auto lines =
+        splitChecked(text, kManifestMagic, "spool manifest");
+    SpoolManifest m;
+    for (const std::string& line : lines) {
+        const auto tok = tokenize(line);
+        if (tok.empty())
+            continue;
+        if (tok[0] == "name") {
+            const size_t at = line.find(' ');
+            m.name = at == std::string::npos ? "" : line.substr(at + 1);
+        } else if (tok[0] == "seed" && tok.size() == 2) {
+            m.seed = parseHex(tok[1], "seed");
+        } else if (tok[0] == "spec" && tok.size() == 2) {
+            m.specHash = parseHex(tok[1], "spec");
+        } else if (tok[0] == "lease" && tok.size() == 2) {
+            m.leaseSeconds = parseDouble(tok[1], "lease");
+        }
+    }
+    return m;
+}
+
+void
+spoolWriteAtomic(const std::string& path, const std::string& text)
+{
+    // The temp name must be a DOT-PREFIXED basename in the same
+    // directory: directory scans (listDir) skip dotted tmp entries,
+    // so an in-flight publish can never be claimed before its final
+    // rename lands, and rename stays same-filesystem atomic.
+    char prefix[32];
+    std::snprintf(prefix, sizeof prefix, ".tmp-%ld-",
+                  static_cast<long>(::getpid()));
+    const size_t slash = path.find_last_of('/');
+    const std::string tmp = slash == std::string::npos
+        ? prefix + path
+        : path.substr(0, slash + 1) + prefix + path.substr(slash + 1);
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            throw std::runtime_error("cannot open for write: " + tmp);
+        out << text;
+        out.flush();
+        if (!out) {
+            std::remove(tmp.c_str());
+            throw std::runtime_error("write failed: " + tmp);
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw std::runtime_error("rename failed: " + tmp + " -> " +
+                                 path);
+    }
+}
+
+std::string
+spoolReadFile(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("cannot read: " + path);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+Spool::Spool(std::string dir) : dir_(std::move(dir)) {}
+
+void
+Spool::initialize(const SpoolManifest& manifest,
+                  const std::string& specText)
+{
+    makeDir(dir_);
+    makeDir(dir_ + "/open");
+    makeDir(dir_ + "/claimed");
+    makeDir(dir_ + "/done");
+    makeDir(dir_ + "/results");
+    makeDir(cacheDir());
+    SpoolManifest m = manifest;
+    m.specHash = HashStream().absorb(specText).digest();
+    if (initialized()) {
+        const SpoolManifest existing = readManifest();
+        if (existing.specHash != m.specHash)
+            throw std::runtime_error(
+                "spool " + dir_ +
+                " already holds a different campaign (spec hash " +
+                hex(existing.specHash) + " != " + hex(m.specHash) +
+                "); use a fresh directory");
+        return;
+    }
+    // Spec first, manifest last: initialized() implies both exist.
+    spoolWriteAtomic(dir_ + "/spec.ini", specText);
+    spoolWriteAtomic(dir_ + "/manifest.txt", formatManifest(m));
+}
+
+bool
+Spool::initialized() const
+{
+    return fileExists(dir_ + "/manifest.txt");
+}
+
+SpoolManifest
+Spool::readManifest() const
+{
+    return parseManifest(spoolReadFile(dir_ + "/manifest.txt"));
+}
+
+std::string
+Spool::readSpecText() const
+{
+    return spoolReadFile(dir_ + "/spec.ini");
+}
+
+std::string
+Spool::cacheDir() const
+{
+    return dir_ + "/cache";
+}
+
+bool
+Spool::publishShard(const ShardDescriptor& d)
+{
+    const std::string id = shardId(d.task, d.shard);
+    if (fileExists(dir_ + "/open/" + id) ||
+        fileExists(dir_ + "/claimed/" + id) ||
+        fileExists(dir_ + "/done/" + id) ||
+        fileExists(dir_ + "/results/" + id + ".rec"))
+        return false;
+    spoolWriteAtomic(dir_ + "/open/" + id, formatShardDescriptor(d));
+    return true;
+}
+
+bool
+Spool::claimShard(const std::string& id, ShardDescriptor& out)
+{
+    const std::string from = dir_ + "/open/" + id;
+    const std::string to = dir_ + "/claimed/" + id;
+    if (std::rename(from.c_str(), to.c_str()) != 0)
+        return false;
+    out = parseShardDescriptor(spoolReadFile(to));
+    return true;
+}
+
+std::vector<std::string>
+Spool::openShards() const
+{
+    return listDir(dir_ + "/open");
+}
+
+std::vector<std::string>
+Spool::claimedShards() const
+{
+    return listDir(dir_ + "/claimed");
+}
+
+void
+Spool::heartbeat(const std::string& id) const
+{
+    // Refresh both timestamps to "now"; cheap and race-free (a claim
+    // that was reclaimed meanwhile just makes this a no-op ENOENT).
+    ::utimensat(AT_FDCWD, (dir_ + "/claimed/" + id).c_str(), nullptr,
+                0);
+}
+
+double
+Spool::claimAge(const std::string& id) const
+{
+    struct stat st;
+    if (::stat((dir_ + "/claimed/" + id).c_str(), &st) != 0)
+        return -1.0;
+    struct timespec now;
+    ::clock_gettime(CLOCK_REALTIME, &now);
+    const double then = static_cast<double>(st.st_mtim.tv_sec) +
+        static_cast<double>(st.st_mtim.tv_nsec) * 1e-9;
+    const double current = static_cast<double>(now.tv_sec) +
+        static_cast<double>(now.tv_nsec) * 1e-9;
+    return current - then;
+}
+
+bool
+Spool::reclaimShard(const std::string& id)
+{
+    const std::string from = dir_ + "/claimed/" + id;
+    const std::string to = dir_ + "/open/" + id;
+    return std::rename(from.c_str(), to.c_str()) == 0;
+}
+
+void
+Spool::completeShard(const std::string& id, const ShardRecord& r)
+{
+    spoolWriteAtomic(dir_ + "/results/" + id + ".rec",
+                     formatShardRecord(r));
+    // Retire the descriptor. The claim may have been reclaimed to
+    // open/ meanwhile (slow heartbeat); move it to done/ from either
+    // place so nobody re-executes a shard that already has a record.
+    const std::string done = dir_ + "/done/" + id;
+    if (std::rename((dir_ + "/claimed/" + id).c_str(), done.c_str()) !=
+        0)
+        std::rename((dir_ + "/open/" + id).c_str(), done.c_str());
+}
+
+bool
+Spool::hasRecord(const std::string& id) const
+{
+    return fileExists(dir_ + "/results/" + id + ".rec");
+}
+
+ShardRecord
+Spool::readRecord(const std::string& id) const
+{
+    return parseShardRecord(
+        spoolReadFile(dir_ + "/results/" + id + ".rec"));
+}
+
+void
+Spool::markDone()
+{
+    spoolWriteAtomic(dir_ + "/DONE", "done\n");
+}
+
+bool
+Spool::done() const
+{
+    return fileExists(dir_ + "/DONE");
+}
+
+} // namespace cyclone

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Filesystem spool: the shared-directory work queue of distributed
+ * campaigns.
+ *
+ * A spool is one directory any number of processes can reach — local
+ * disk for N workers on one box, NFS for a fleet — holding the whole
+ * coordinator/worker protocol as files. No sockets, no daemon: every
+ * operation is a POSIX file primitive, and the only one that must be
+ * atomic is rename(2), which is atomic on every local filesystem and
+ * on NFS within one directory.
+ *
+ * Layout:
+ *
+ *     spool/
+ *       manifest.txt       campaign name, seed, spec hash, lease
+ *       spec.ini           verbatim campaign spec text
+ *       cache/             shared artifact store (see ArtifactCache)
+ *       open/<shard>       unclaimed shard descriptors
+ *       claimed/<shard>    claimed descriptors; mtime = lease heartbeat
+ *       done/<shard>       completed descriptors (tombstones)
+ *       results/<shard>.rec  shard result records (tmp+rename publish)
+ *       DONE               coordinator's end-of-campaign marker
+ *
+ * Claim protocol: a worker claims `open/X` by renaming it to
+ * `claimed/X`. Exactly one renamer wins; losers get ENOENT and move
+ * on. The worker touches `claimed/X` as a heartbeat while executing;
+ * the coordinator renames any claim whose mtime is older than the
+ * lease back to `open/` (reclaim), so shards of a killed worker are
+ * re-executed rather than lost. Records are deterministic functions
+ * of (spec, shard), so the rare double execution after a reclaim race
+ * produces identical bytes and is harmless — the coordinator absorbs
+ * each shard id exactly once.
+ *
+ * Shard ids are zero-padded ("t0003-s00017") so lexicographic
+ * directory order equals (task, shard-index) order and the
+ * coordinator's merge order is deterministic by construction.
+ */
+
+#ifndef CYCLONE_CAMPAIGN_SPOOL_H
+#define CYCLONE_CAMPAIGN_SPOOL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "decoder/bposd_decoder.h"
+
+namespace cyclone {
+
+/** One claimable unit of work: a contiguous chunk range of a task. */
+struct ShardDescriptor
+{
+    /** Index of the task in the (re-parsed) campaign spec. */
+    size_t task = 0;
+    /** Ordinal of this shard within the task (merge order). */
+    size_t shard = 0;
+    /** First chunk index (chunkSeed index) of the range. */
+    size_t firstChunk = 0;
+    /** Number of chunks in the range. */
+    size_t numChunks = 0;
+    /** Shots per chunk (copied so workers need no spec lookup). */
+    size_t chunkShots = 0;
+    /** Task content hash: workers verify their re-resolved spec. */
+    uint64_t contentHash = 0;
+    /** Effective task seed (chunkSeed base). */
+    uint64_t taskSeed = 0;
+};
+
+/** Result record of one executed shard. */
+struct ShardRecord
+{
+    size_t task = 0;
+    size_t shard = 0;
+    uint64_t contentHash = 0;
+    size_t shots = 0;
+    size_t failures = 0;
+    /** Worker seconds spent sampling+decoding this shard. */
+    double seconds = 0.0;
+    /** Decoder counters accumulated over the shard's chunks. */
+    BpOsdStats decoder;
+};
+
+/** Identity block published at spool creation (manifest.txt). */
+struct SpoolManifest
+{
+    std::string name;
+    uint64_t seed = 0;
+    /** Content hash of the verbatim spec text (spec.ini). */
+    uint64_t specHash = 0;
+    double leaseSeconds = 30.0;
+};
+
+/** Stable shard id, e.g. "t0003-s00017". */
+std::string shardId(size_t task, size_t shard);
+
+/** Text round-trip of a shard descriptor (one record per file). */
+std::string formatShardDescriptor(const ShardDescriptor& d);
+/** Throws std::runtime_error on malformed input. */
+ShardDescriptor parseShardDescriptor(const std::string& text);
+
+/**
+ * Text round-trip of a shard record. The decoder line is
+ * field-counted like the checkpoint format: loaders accept records
+ * with fewer decoder fields (zero-filling the rest) so old records
+ * stay readable, and reject records with more, so a new field is a
+ * deliberate format bump rather than silent truncation.
+ */
+std::string formatShardRecord(const ShardRecord& r);
+/** Throws std::runtime_error on malformed input. */
+ShardRecord parseShardRecord(const std::string& text);
+
+/** Text round-trip of the spool manifest. */
+std::string formatManifest(const SpoolManifest& m);
+/** Throws std::runtime_error on malformed input. */
+SpoolManifest parseManifest(const std::string& text);
+
+/**
+ * Handle to one spool directory. Construction only records the path;
+ * initialize() (coordinator) or open() semantics are provided by the
+ * member functions below. All operations are stateless wrappers over
+ * the filesystem, so any number of Spool objects in any number of
+ * processes may point at one directory.
+ */
+class Spool
+{
+  public:
+    explicit Spool(std::string dir);
+
+    const std::string& dir() const { return dir_; }
+
+    /**
+     * Create the directory skeleton and publish manifest + spec text.
+     * Idempotent for the same spec; throws std::runtime_error if the
+     * spool already holds a *different* campaign (mismatched spec
+     * hash), which guards against two coordinators sharing a path.
+     */
+    void initialize(const SpoolManifest& manifest,
+                    const std::string& specText);
+
+    /** True once manifest.txt exists (a coordinator initialized it). */
+    bool initialized() const;
+
+    /** Read manifest.txt; throws if absent or malformed. */
+    SpoolManifest readManifest() const;
+
+    /** Read the verbatim spec text; throws if absent. */
+    std::string readSpecText() const;
+
+    /** The shared artifact-store directory (spool/cache). */
+    std::string cacheDir() const;
+
+    /**
+     * Publish a shard: write its descriptor to open/<id> via
+     * tmp+rename. Skips (returns false) if the shard is already
+     * open, claimed, done, or has a result record — which makes
+     * republishing after a coordinator restart safe.
+     */
+    bool publishShard(const ShardDescriptor& d);
+
+    /**
+     * Try to claim the named shard (rename open/<id> -> claimed/<id>).
+     * Returns the descriptor on success; false return means another
+     * worker won or the shard vanished.
+     */
+    bool claimShard(const std::string& id, ShardDescriptor& out);
+
+    /** Ids currently in open/, in lexicographic (= merge) order. */
+    std::vector<std::string> openShards() const;
+
+    /** Ids currently in claimed/, in lexicographic order. */
+    std::vector<std::string> claimedShards() const;
+
+    /** Touch claimed/<id>'s mtime (worker heartbeat). */
+    void heartbeat(const std::string& id) const;
+
+    /**
+     * Age in seconds of claimed/<id>'s last heartbeat, or a negative
+     * value if the claim no longer exists.
+     */
+    double claimAge(const std::string& id) const;
+
+    /**
+     * Return an expired claim to open/ (coordinator reclaim).
+     * Returns false if the claim vanished first (the worker finished
+     * or another reclaim won).
+     */
+    bool reclaimShard(const std::string& id);
+
+    /**
+     * Publish a shard's result record and retire its claim:
+     * write results/<id>.rec (tmp+rename), then move claimed/<id> to
+     * done/<id>. Safe if the claim was reclaimed meanwhile — the
+     * record is deterministic, so whichever worker publishes first
+     * wins and the other's rename quietly loses.
+     */
+    void completeShard(const std::string& id, const ShardRecord& r);
+
+    /** True if results/<id>.rec exists. */
+    bool hasRecord(const std::string& id) const;
+
+    /** Load results/<id>.rec; throws if absent or malformed. */
+    ShardRecord readRecord(const std::string& id) const;
+
+    /** Write the DONE marker (coordinator, end of campaign). */
+    void markDone();
+
+    /** True once the DONE marker exists. */
+    bool done() const;
+
+  private:
+    std::string dir_;
+};
+
+/**
+ * Write `text` to `path` atomically: tmp file (suffixed with the pid
+ * so concurrent writers never collide) + rename. Throws
+ * std::runtime_error on I/O failure.
+ */
+void spoolWriteAtomic(const std::string& path, const std::string& text);
+
+/** Read a whole file; throws std::runtime_error if unreadable. */
+std::string spoolReadFile(const std::string& path);
+
+} // namespace cyclone
+
+#endif // CYCLONE_CAMPAIGN_SPOOL_H

@@ -283,6 +283,13 @@ TEST(Campaign, JsonAndCsvOutputs)
     EXPECT_NE(json.find("\"staged_chunks\""), std::string::npos);
     EXPECT_NE(json.find("\"backend\": \""), std::string::npos);
     EXPECT_EQ(json.find("\"error\""), std::string::npos);
+    // Cache byte/store accounting and spool stats are part of the
+    // document even for purely local runs (zeros, but present).
+    EXPECT_NE(json.find("\"compile_store_hits\""), std::string::npos);
+    EXPECT_NE(json.find("\"compile_bytes\""), std::string::npos);
+    EXPECT_NE(json.find("\"dem_bytes\""), std::string::npos);
+    EXPECT_NE(json.find("\"spool\": {\"shards_published\": 0"),
+              std::string::npos);
 
     const std::string csv = campaignResultToCsv(result);
     size_t lines = 0;
@@ -692,6 +699,108 @@ TEST(Campaign, BadSpecsThrowBeforeAnyWorkLaunches)
     EXPECT_THROW(runCampaign(spec), std::invalid_argument);
     spec.tasks[0].codeName = "not-a-code";
     EXPECT_THROW(runCampaign(spec), std::exception);
+}
+
+TEST(Campaign, SpecParsesSpoolAndShardKeys)
+{
+    const CampaignSpec spec = parseCampaignSpec(
+        "name = dist\n"
+        "spool = /tmp/my-spool\n"
+        "workers = 3\n"
+        "lease_seconds = 12.5\n"
+        "[task]\n"
+        "code = surface3\n"
+        "shard_chunks = 8\n");
+    EXPECT_EQ(spec.spool, "/tmp/my-spool");
+    EXPECT_EQ(spec.workers, 3u);
+    EXPECT_EQ(spec.leaseSeconds, 12.5);
+    ASSERT_EQ(spec.tasks.size(), 1u);
+    EXPECT_EQ(spec.tasks[0].stop.shardChunks, 8u);
+
+    EXPECT_THROW(parseCampaignSpec("name = x\nlease_seconds = 0\n"
+                                   "[task]\ncode = surface3\n"),
+                 std::runtime_error);
+}
+
+TEST(Campaign, ShardChunksIsAPerfKnobNotAnIdentity)
+{
+    // Like staging_chunks, shard_chunks only changes how distributed
+    // waves are sliced — never which results come out — so it must
+    // not perturb the task content hash that keys checkpoints.
+    CampaignSpec a;
+    a.tasks.push_back(surfaceTask(0.02, 100));
+    CampaignSpec b = a;
+    b.tasks[0].stop.shardChunks = 16;
+    const uint64_t ha = resolveTaskIdentities(a)[0].contentHash;
+    const uint64_t hb = resolveTaskIdentities(b)[0].contentHash;
+    EXPECT_EQ(ha, hb);
+}
+
+TEST(Campaign, SpecRejectsUnknownKeysWithLineNumbers)
+{
+    // New campaign/task keys must never be silently ignored: a typo'd
+    // "spool" or "shard_chunks" would otherwise quietly run the whole
+    // sweep in the wrong mode.
+    try {
+        parseCampaignSpec("name = x\nspoool = /tmp/z\n"
+                          "[task]\ncode = surface3\n");
+        FAIL() << "expected unknown-key error";
+    } catch (const std::runtime_error& ex) {
+        EXPECT_NE(std::string(ex.what()).find("line 2"),
+                  std::string::npos)
+            << ex.what();
+        EXPECT_NE(std::string(ex.what()).find("spoool"),
+                  std::string::npos)
+            << ex.what();
+    }
+    try {
+        parseCampaignSpec("name = x\n[task]\ncode = surface3\n"
+                          "shard_chunk = 4\n");
+        FAIL() << "expected unknown-key error";
+    } catch (const std::runtime_error& ex) {
+        EXPECT_NE(std::string(ex.what()).find("line 4"),
+                  std::string::npos)
+            << ex.what();
+    }
+}
+
+TEST(Campaign, SpecRejectsDuplicateTaskIds)
+{
+    // Two explicit duplicates: the error names the clashing id and
+    // both offending [task] lines.
+    try {
+        parseCampaignSpec("name = x\n"
+                          "[task]\n"
+                          "id = point\n"
+                          "code = surface3\n"
+                          "[task]\n"
+                          "id = point\n"
+                          "code = surface3\n");
+        FAIL() << "expected duplicate-id error";
+    } catch (const std::runtime_error& ex) {
+        const std::string what = ex.what();
+        EXPECT_NE(what.find("duplicate task id 'point'"),
+                  std::string::npos)
+            << what;
+        EXPECT_NE(what.find("line 5"), std::string::npos) << what;
+        EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    }
+
+    // An explicit id colliding with another task's auto id
+    // ("task<N>") is caught too.
+    EXPECT_THROW(parseCampaignSpec("name = x\n"
+                                   "[task]\n"
+                                   "code = surface3\n"
+                                   "[task]\n"
+                                   "id = task0\n"
+                                   "code = surface3\n"),
+                 std::runtime_error);
+
+    // Sweep-expanded ids stay distinct, so sweeps still parse.
+    const CampaignSpec ok = parseCampaignSpec(
+        "name = x\n[task]\nid = s\ncode = surface3\n"
+        "p = 1e-3, 2e-3\n");
+    EXPECT_EQ(ok.tasks.size(), 2u);
 }
 
 } // namespace

@@ -1,0 +1,707 @@
+/**
+ * @file
+ * Tests for distributed campaign execution: spool serde and claim
+ * protocol, shareable artifact serialization, coordinator/worker
+ * bit-identity against single-process runs, lease expiry and reclaim
+ * after a killed worker, and fleet-wide exactly-once compile
+ * accounting through the shared store.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "campaign/artifact_cache.h"
+#include "campaign/campaign.h"
+#include "campaign/campaign_io.h"
+#include "campaign/content_hash.h"
+#include "campaign/coordinator.h"
+#include "campaign/spool.h"
+#include "dem/dem.h"
+
+namespace cyclone {
+namespace {
+
+/** Fresh scratch directory under TMPDIR, removed on destruction. */
+struct ScratchDir
+{
+    std::string path;
+
+    explicit ScratchDir(const char* tag)
+    {
+        const char* base = std::getenv("TMPDIR");
+        path = std::string(base != nullptr ? base : "/tmp") +
+            "/cyclone-" + tag + "-" + std::to_string(::getpid());
+        std::string cmd = "rm -rf '" + path + "'";
+        std::system(cmd.c_str());
+    }
+
+    ~ScratchDir()
+    {
+        std::string cmd = "rm -rf '" + path + "'";
+        std::system(cmd.c_str());
+    }
+};
+
+/**
+ * A spec exercised both in-process and through a spool. Explicit
+ * latency (arch = none) keeps it compile-free; two p points on two
+ * codes give four tasks with distinct DEMs; staging_chunks = 2 with
+ * chunks_per_wave = 4 exercises shard/staging alignment; the second
+ * task's adaptive target stops early, exercising multi-wave merging.
+ */
+const char* kSpoolSpec = R"(name = spool-suite
+seed = 13
+
+[task]
+id = s3
+code = surface3
+arch = none
+p = 0.02, 0.05
+chunk_shots = 50
+chunks_per_wave = 4
+max_shots = 600
+staging_chunks = 2
+bp = minsum
+
+[task]
+id = s3adapt
+code = surface3
+arch = none
+p = 0.08
+chunk_shots = 64
+chunks_per_wave = 3
+max_shots = 5000
+target_rel_err = 0.3
+bp = minsum
+)";
+
+/** Fork `count` worker processes against `spool`. Children never
+ *  return: they run the worker loop and _exit. */
+std::vector<pid_t>
+forkWorkers(const std::string& spool, size_t count,
+            double startDelaySeconds = 0.0, bool dieAfterClaim = false)
+{
+    std::vector<pid_t> pids;
+    for (size_t w = 0; w < count; ++w) {
+        const pid_t pid = ::fork();
+        if (pid == 0) {
+            if (startDelaySeconds > 0.0)
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(startDelaySeconds));
+            WorkerOptions opts;
+            opts.spool = spool;
+            opts.threads = 2;
+            opts.workerId = "w" + std::to_string(::getpid());
+            opts.pollSeconds = 0.01;
+            opts.dieAfterClaim = dieAfterClaim;
+            int rc = 0;
+            try {
+                runSpoolWorker(opts);
+            } catch (...) {
+                rc = 1;
+            }
+            ::_exit(rc);
+        }
+        pids.push_back(pid);
+    }
+    return pids;
+}
+
+void
+reapWorkers(const std::vector<pid_t>& pids, bool expectClean = true)
+{
+    for (const pid_t pid : pids) {
+        int status = 0;
+        ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+        if (expectClean) {
+            EXPECT_TRUE(WIFEXITED(status));
+            EXPECT_EQ(WEXITSTATUS(status), 0);
+        }
+    }
+}
+
+void
+expectTasksIdentical(const CampaignResult& a, const CampaignResult& b)
+{
+    ASSERT_EQ(a.tasks.size(), b.tasks.size());
+    for (size_t i = 0; i < a.tasks.size(); ++i) {
+        const TaskResult& x = a.tasks[i];
+        const TaskResult& y = b.tasks[i];
+        EXPECT_EQ(x.id, y.id);
+        EXPECT_EQ(x.contentHash, y.contentHash);
+        EXPECT_EQ(x.logicalErrorRate.trials, y.logicalErrorRate.trials);
+        EXPECT_EQ(x.logicalErrorRate.successes,
+                  y.logicalErrorRate.successes);
+        EXPECT_EQ(x.logicalErrorRate.rate, y.logicalErrorRate.rate);
+        EXPECT_EQ(x.wilson, y.wilson);
+        EXPECT_EQ(x.perRoundErrorRate, y.perRoundErrorRate);
+        EXPECT_EQ(x.chunks, y.chunks);
+        EXPECT_EQ(x.stoppedEarly, y.stoppedEarly);
+        EXPECT_EQ(x.demDetectors, y.demDetectors);
+        EXPECT_EQ(x.demMechanisms, y.demMechanisms);
+        EXPECT_EQ(x.decoder.decodes, y.decoder.decodes);
+        EXPECT_EQ(x.decoder.bpConverged, y.decoder.bpConverged);
+        EXPECT_EQ(x.decoder.osdInvocations, y.decoder.osdInvocations);
+        EXPECT_EQ(x.decoder.osdFailures, y.decoder.osdFailures);
+        EXPECT_EQ(x.decoder.trivialShots, y.decoder.trivialShots);
+        EXPECT_EQ(x.decoder.memoHits, y.decoder.memoHits);
+        EXPECT_EQ(x.decoder.bpIterations, y.decoder.bpIterations);
+        EXPECT_EQ(x.decoder.waveGroups, y.decoder.waveGroups);
+        EXPECT_EQ(x.decoder.waveLaneSlots, y.decoder.waveLaneSlots);
+        EXPECT_EQ(x.decoder.waveLanesFilled,
+                  y.decoder.waveLanesFilled);
+        EXPECT_EQ(x.decoder.osdBatchGroups, y.decoder.osdBatchGroups);
+        EXPECT_EQ(x.decoder.osdSharedPivots,
+                  y.decoder.osdSharedPivots);
+        EXPECT_EQ(x.decoder.stagedChunks, y.decoder.stagedChunks);
+        EXPECT_EQ(x.error, y.error);
+    }
+}
+
+TEST(SpoolSerde, ShardDescriptorRoundTrip)
+{
+    ShardDescriptor d;
+    d.task = 3;
+    d.shard = 17;
+    d.firstChunk = 42;
+    d.numChunks = 6;
+    d.chunkShots = 128;
+    d.contentHash = 0xdeadbeefcafef00dull;
+    d.taskSeed = 0x0123456789abcdefull;
+    const ShardDescriptor r =
+        parseShardDescriptor(formatShardDescriptor(d));
+    EXPECT_EQ(r.task, d.task);
+    EXPECT_EQ(r.shard, d.shard);
+    EXPECT_EQ(r.firstChunk, d.firstChunk);
+    EXPECT_EQ(r.numChunks, d.numChunks);
+    EXPECT_EQ(r.chunkShots, d.chunkShots);
+    EXPECT_EQ(r.contentHash, d.contentHash);
+    EXPECT_EQ(r.taskSeed, d.taskSeed);
+    EXPECT_THROW(parseShardDescriptor("garbage"), std::runtime_error);
+    EXPECT_THROW(parseShardDescriptor("cyclone-shard v1\nshard 1 2\n"),
+                 std::runtime_error);
+}
+
+TEST(SpoolSerde, ShardRecordRoundTripAndBackCompat)
+{
+    ShardRecord r;
+    r.task = 2;
+    r.shard = 9;
+    r.contentHash = 0xfeedface12345678ull;
+    r.shots = 640;
+    r.failures = 13;
+    r.seconds = 0.6251397;
+    r.decoder.decodes = 640;
+    r.decoder.bpConverged = 600;
+    r.decoder.osdInvocations = 40;
+    r.decoder.osdFailures = 2;
+    r.decoder.trivialShots = 100;
+    r.decoder.memoHits = 50;
+    r.decoder.bpIterations = 9000;
+    r.decoder.waveGroups = 11;
+    r.decoder.waveLaneSlots = 88;
+    r.decoder.waveLanesFilled = 80;
+    r.decoder.osdBatchGroups = 5;
+    r.decoder.osdSharedPivots = 77;
+    r.decoder.stagedChunks = 10;
+    r.decoder.backend = "avx512";
+
+    const ShardRecord p = parseShardRecord(formatShardRecord(r));
+    EXPECT_EQ(p.task, r.task);
+    EXPECT_EQ(p.shard, r.shard);
+    EXPECT_EQ(p.contentHash, r.contentHash);
+    EXPECT_EQ(p.shots, r.shots);
+    EXPECT_EQ(p.failures, r.failures);
+    EXPECT_EQ(p.seconds, r.seconds);
+    EXPECT_EQ(p.decoder.decodes, r.decoder.decodes);
+    EXPECT_EQ(p.decoder.osdSharedPivots, r.decoder.osdSharedPivots);
+    EXPECT_EQ(p.decoder.stagedChunks, r.decoder.stagedChunks);
+    EXPECT_EQ(p.decoder.backend, "avx512");
+
+    // Back-compat: an old record with only the first four decoder
+    // counters loads with the rest zero-filled.
+    const std::string old =
+        "cyclone-shard-result v1\n"
+        "shard 1 2 00000000000000ff 100 5 1.5\n"
+        "decoder 100 90 10 1\n";
+    const ShardRecord q = parseShardRecord(old);
+    EXPECT_EQ(q.shots, 100u);
+    EXPECT_EQ(q.decoder.decodes, 100u);
+    EXPECT_EQ(q.decoder.osdFailures, 1u);
+    EXPECT_EQ(q.decoder.trivialShots, 0u);
+    EXPECT_EQ(q.decoder.stagedChunks, 0u);
+
+    // A future record with MORE decoder fields than we know must be
+    // rejected, never silently truncated.
+    const std::string future =
+        "cyclone-shard-result v1\n"
+        "shard 1 2 00000000000000ff 100 5 1.5\n"
+        "decoder 1 2 3 4 5 6 7 8 9 10 11 12 13 14\n";
+    EXPECT_THROW(parseShardRecord(future), std::runtime_error);
+
+    // Too few is malformed too (below the oldest known format).
+    const std::string tiny =
+        "cyclone-shard-result v1\n"
+        "shard 1 2 00000000000000ff 100 5 1.5\n"
+        "decoder 1 2\n";
+    EXPECT_THROW(parseShardRecord(tiny), std::runtime_error);
+}
+
+TEST(SpoolSerde, ManifestRoundTrip)
+{
+    SpoolManifest m;
+    m.name = "spool suite campaign";
+    m.seed = 0xabcdef;
+    m.specHash = 0x1122334455667788ull;
+    m.leaseSeconds = 2.5;
+    const SpoolManifest p = parseManifest(formatManifest(m));
+    EXPECT_EQ(p.name, m.name);
+    EXPECT_EQ(p.seed, m.seed);
+    EXPECT_EQ(p.specHash, m.specHash);
+    EXPECT_EQ(p.leaseSeconds, m.leaseSeconds);
+}
+
+TEST(SpoolSerde, WorkerStatsRoundTrip)
+{
+    WorkerReport r;
+    r.shardsRun = 7;
+    r.shots = 4200;
+    r.failures = 33;
+    r.cache.compileHits = 1;
+    r.cache.compileMisses = 2;
+    r.cache.compileStoreHits = 2;
+    r.cache.compileBytes = 12345;
+    r.cache.demHits = 3;
+    r.cache.demMisses = 4;
+    r.cache.demStoreHits = 4;
+    r.cache.demBytes = 6789;
+    const WorkerReport p = parseWorkerStats(formatWorkerStats(r));
+    EXPECT_EQ(p.shardsRun, r.shardsRun);
+    EXPECT_EQ(p.shots, r.shots);
+    EXPECT_EQ(p.failures, r.failures);
+    EXPECT_EQ(p.cache.compileMisses, r.cache.compileMisses);
+    EXPECT_EQ(p.cache.compileStoreHits, r.cache.compileStoreHits);
+    EXPECT_EQ(p.cache.demBytes, r.cache.demBytes);
+}
+
+TEST(SpoolSerde, ShardPlanningHelpers)
+{
+    StoppingRule rule;
+    rule.chunkShots = 100;
+    rule.chunksPerWave = 8;
+    rule.maxShots = 1050;
+    rule.stagingChunks = 3;
+    rule.shardChunks = 4;
+    // 4 rounded up to a multiple of staging (3) is 6.
+    EXPECT_EQ(effectiveShardChunks(rule), 6u);
+    rule.shardChunks = 0; // auto: ceil(8/4)=2 -> rounded to 3
+    EXPECT_EQ(effectiveShardChunks(rule), 3u);
+    rule.stagingChunks = 1;
+    EXPECT_EQ(effectiveShardChunks(rule), 2u);
+
+    // Chunk shots mirror AdaptiveSampler: full chunks until the
+    // budget, then a short tail, then zero.
+    EXPECT_EQ(chunkShotsAt(rule, 0), 100u);
+    EXPECT_EQ(chunkShotsAt(rule, 9), 100u);
+    EXPECT_EQ(chunkShotsAt(rule, 10), 50u);
+    EXPECT_EQ(chunkShotsAt(rule, 11), 0u);
+}
+
+TEST(SpoolProtocol, ClaimCompleteAndRecords)
+{
+    ScratchDir scratch("spool-proto");
+    Spool spool(scratch.path);
+    SpoolManifest m;
+    m.name = "proto";
+    m.seed = 1;
+    m.leaseSeconds = 30.0;
+    spool.initialize(m, "name = proto\n[task]\ncode = surface3\n");
+    EXPECT_TRUE(spool.initialized());
+    EXPECT_FALSE(spool.done());
+
+    // Re-initializing with the same spec is idempotent; a different
+    // spec is a hard error (two campaigns, one directory).
+    spool.initialize(m, "name = proto\n[task]\ncode = surface3\n");
+    EXPECT_THROW(spool.initialize(m, "name = other\n"),
+                 std::runtime_error);
+
+    ShardDescriptor d;
+    d.task = 0;
+    d.shard = 0;
+    d.firstChunk = 0;
+    d.numChunks = 4;
+    d.chunkShots = 100;
+    d.contentHash = 0x42;
+    d.taskSeed = 0x99;
+    EXPECT_TRUE(spool.publishShard(d));
+    EXPECT_FALSE(spool.publishShard(d)) << "already open";
+    ASSERT_EQ(spool.openShards().size(), 1u);
+    const std::string id = spool.openShards()[0];
+    EXPECT_EQ(id, shardId(0, 0));
+
+    ShardDescriptor claimed;
+    ASSERT_TRUE(spool.claimShard(id, claimed));
+    EXPECT_EQ(claimed.numChunks, 4u);
+    EXPECT_EQ(claimed.contentHash, 0x42u);
+    ShardDescriptor loser;
+    EXPECT_FALSE(spool.claimShard(id, loser)) << "second claim";
+    EXPECT_TRUE(spool.openShards().empty());
+    EXPECT_GE(spool.claimAge(id), 0.0);
+    spool.heartbeat(id);
+    EXPECT_LT(spool.claimAge(id), 5.0);
+
+    ShardRecord rec;
+    rec.task = 0;
+    rec.shard = 0;
+    rec.contentHash = 0x42;
+    rec.shots = 400;
+    rec.failures = 7;
+    EXPECT_FALSE(spool.hasRecord(id));
+    spool.completeShard(id, rec);
+    EXPECT_TRUE(spool.hasRecord(id));
+    EXPECT_TRUE(spool.claimedShards().empty());
+    EXPECT_FALSE(spool.publishShard(d)) << "already has a record";
+    const ShardRecord loaded = spool.readRecord(id);
+    EXPECT_EQ(loaded.shots, 400u);
+    EXPECT_EQ(loaded.failures, 7u);
+
+    // Reclaim path: publish, claim, reclaim -> open again.
+    d.shard = 1;
+    ASSERT_TRUE(spool.publishShard(d));
+    const std::string id2 = shardId(0, 1);
+    ASSERT_TRUE(spool.claimShard(id2, claimed));
+    EXPECT_TRUE(spool.reclaimShard(id2));
+    EXPECT_FALSE(spool.reclaimShard(id2)) << "second reclaim";
+    ASSERT_EQ(spool.openShards().size(), 1u);
+    EXPECT_EQ(spool.openShards()[0], id2);
+    EXPECT_LT(spool.claimAge(id2), 0.0) << "no longer claimed";
+
+    spool.markDone();
+    EXPECT_TRUE(spool.done());
+}
+
+TEST(ArtifactSerde, DemRoundTripIsBitExact)
+{
+    DetectorErrorModel dem;
+    dem.numDetectors = 5;
+    dem.numObservables = 2;
+    dem.mechanisms.push_back({0.001, {0, 3}, 0b01});
+    dem.mechanisms.push_back({0.25, {1}, 0});
+    dem.mechanisms.push_back({1e-9, {0, 1, 2, 3, 4}, 0b11});
+    const DetectorErrorModel r = deserializeDem(serializeDem(dem));
+    EXPECT_EQ(r.numDetectors, dem.numDetectors);
+    EXPECT_EQ(r.numObservables, dem.numObservables);
+    ASSERT_EQ(r.mechanisms.size(), dem.mechanisms.size());
+    for (size_t i = 0; i < dem.mechanisms.size(); ++i) {
+        EXPECT_EQ(r.mechanisms[i].probability,
+                  dem.mechanisms[i].probability);
+        EXPECT_EQ(r.mechanisms[i].detectors,
+                  dem.mechanisms[i].detectors);
+        EXPECT_EQ(r.mechanisms[i].observables,
+                  dem.mechanisms[i].observables);
+    }
+    EXPECT_THROW(deserializeDem("not a blob"), std::runtime_error);
+    EXPECT_THROW(deserializeDem(serializeDem(dem).substr(0, 20)),
+                 std::runtime_error);
+}
+
+TEST(ArtifactSerde, CompileResultRoundTripPreservesScheduleHash)
+{
+    CompileResult c;
+    c.compilerName = "test-compiler";
+    c.topologyName = "test-topology";
+    c.serialized.gateUs = 12.5;
+    c.serialized.shuttleUs = 3.25;
+    c.serialized.junctionUs = 0.125;
+    c.serialized.swapUs = 7.75;
+    c.serialized.measureUs = 80.0;
+    c.serialized.prepUs = 1.0;
+    c.numTraps = 9;
+    c.numJunctions = 4;
+    c.numAncilla = 12;
+    c.trapRoadblocks = 3;
+    c.junctionRoadblocks = 1;
+    c.rebalances = 2;
+    c.gateOps = 30;
+    c.shuttleOps = 20;
+    c.swapOps = 5;
+    c.schedule.numResources = 13;
+    c.schedule.numIons = 25;
+    c.schedule.ops.push_back({OpCategory::Gate, 2, 1, 7, 0.0,
+                              0.0314159265358979312, 0.0, true});
+    c.schedule.ops.push_back({OpCategory::Shuttle, kNoResource, 3,
+                              kNoIon, 1.0 / 3.0, 86.0, 0.5, false});
+    c.schedule.ops.push_back({OpCategory::Measure, 12, 24, kNoIon,
+                              99.25, 120.0, 1e-17, true});
+    c.deriveTimingFromSchedule();
+
+    const CompileResult r =
+        deserializeCompileResult(serializeCompileResult(c));
+    EXPECT_EQ(r.compilerName, c.compilerName);
+    EXPECT_EQ(r.topologyName, c.topologyName);
+    EXPECT_EQ(r.execTimeUs, c.execTimeUs);
+    EXPECT_EQ(r.serialized.gateUs, c.serialized.gateUs);
+    EXPECT_EQ(r.serialized.prepUs, c.serialized.prepUs);
+    EXPECT_EQ(r.numTraps, c.numTraps);
+    EXPECT_EQ(r.numAncilla, c.numAncilla);
+    EXPECT_EQ(r.trapRoadblocks, c.trapRoadblocks);
+    EXPECT_EQ(r.rebalances, c.rebalances);
+    EXPECT_EQ(r.gateOps, c.gateOps);
+    EXPECT_EQ(r.swapOps, c.swapOps);
+    ASSERT_EQ(r.schedule.ops.size(), c.schedule.ops.size());
+    EXPECT_EQ(r.schedule.ops[1].resource, kNoResource);
+    EXPECT_EQ(r.schedule.ops[1].counted, false);
+    EXPECT_EQ(r.schedule.ops[2].waitUs, 1e-17);
+    // The IR's content hash keys per-qubit idle DEMs: it must
+    // round-trip bit-exactly or store-loaded compiles would rebuild
+    // (or worse, mis-key) schedule-derived artifacts.
+    EXPECT_EQ(hashTimedSchedule(r.schedule),
+              hashTimedSchedule(c.schedule));
+    EXPECT_THROW(deserializeCompileResult("bogus"),
+                 std::runtime_error);
+}
+
+TEST(ArtifactStore, SecondCacheLoadsInsteadOfBuilding)
+{
+    ScratchDir scratch("artifact-store");
+    ::mkdir(scratch.path.c_str(), 0777);
+
+    DetectorErrorModel dem;
+    dem.numDetectors = 2;
+    dem.numObservables = 1;
+    dem.mechanisms.push_back({0.01, {0, 1}, 1});
+
+    int builds = 0;
+    auto build = [&] {
+        ++builds;
+        return dem;
+    };
+
+    ArtifactCache first;
+    first.attachStore(scratch.path);
+    EXPECT_EQ(first.storeDir(), scratch.path);
+    const auto a = first.getOrBuildDem(0x7777, build);
+    EXPECT_EQ(builds, 1);
+    EXPECT_EQ(first.stats().demMisses, 1u);
+    EXPECT_EQ(first.stats().demStoreHits, 0u);
+    EXPECT_GT(first.stats().demBytes, 0u);
+
+    // A different cache (as another process would have) must satisfy
+    // the miss from the store without running the builder.
+    ArtifactCache second;
+    second.attachStore(scratch.path);
+    const auto b = second.getOrBuildDem(0x7777, build);
+    EXPECT_EQ(builds, 1) << "store hit must not rebuild";
+    EXPECT_EQ(second.stats().demMisses, 1u);
+    EXPECT_EQ(second.stats().demStoreHits, 1u);
+    EXPECT_EQ(second.stats().demBytes, first.stats().demBytes);
+    EXPECT_EQ(b->mechanisms[0].probability,
+              a->mechanisms[0].probability);
+
+    // A corrupt store blob falls through to a rebuild.
+    const std::string blobPath = scratch.path + "/dem-" +
+        []() {
+            char buf[32];
+            std::snprintf(buf, sizeof buf, "%016llx",
+                          0x7777ull);
+            return std::string(buf);
+        }() +
+        ".bin";
+    spoolWriteAtomic(blobPath, "corrupted");
+    ArtifactCache third;
+    third.attachStore(scratch.path);
+    const auto c = third.getOrBuildDem(0x7777, build);
+    EXPECT_EQ(builds, 2) << "corrupt blob must rebuild";
+    EXPECT_EQ(third.stats().demStoreHits, 0u);
+    EXPECT_EQ(c->numDetectors, 2u);
+}
+
+CampaignResult
+runDistributed(const std::string& spoolDir, size_t workers)
+{
+    CampaignSpec spec = parseCampaignSpec(kSpoolSpec);
+    spec.spool = spoolDir;
+    spec.leaseSeconds = 30.0;
+    const std::vector<pid_t> pids = forkWorkers(spoolDir, workers);
+    CampaignResult result;
+    try {
+        result = runDistributedCampaign(spec, kSpoolSpec);
+    } catch (...) {
+        for (const pid_t pid : pids)
+            ::waitpid(pid, nullptr, 0);
+        throw;
+    }
+    for (const pid_t pid : pids) {
+        int status = 0;
+        EXPECT_EQ(::waitpid(pid, &status, 0), pid);
+        EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+    }
+    return result;
+}
+
+TEST(DistributedCampaign, TwoWorkersBitIdenticalToSingleProcess)
+{
+    CampaignSpec spec = parseCampaignSpec(kSpoolSpec);
+    spec.threads = 2;
+    const CampaignResult reference = runCampaign(spec);
+    for (const TaskResult& t : reference.tasks)
+        ASSERT_TRUE(t.error.empty()) << t.error;
+
+    ScratchDir scratch("spool-2w");
+    const CampaignResult dist = runDistributed(scratch.path, 2);
+    expectTasksIdentical(reference, dist);
+    EXPECT_GT(dist.spool.shardsPublished, 0u);
+    EXPECT_EQ(dist.spool.shardsMerged, dist.spool.shardsPublished);
+    EXPECT_EQ(dist.spool.recordsReused, 0u);
+}
+
+TEST(DistributedCampaign, FourWorkersBitIdenticalToSingleProcess)
+{
+    CampaignSpec spec = parseCampaignSpec(kSpoolSpec);
+    spec.threads = 4;
+    const CampaignResult reference = runCampaign(spec);
+
+    ScratchDir scratch("spool-4w");
+    const CampaignResult dist = runDistributed(scratch.path, 4);
+    expectTasksIdentical(reference, dist);
+}
+
+TEST(DistributedCampaign, LeaseExpiryReclaimsKilledWorkersShard)
+{
+    CampaignSpec spec = parseCampaignSpec(kSpoolSpec);
+    spec.threads = 2;
+    const CampaignResult reference = runCampaign(spec);
+
+    ScratchDir scratch("spool-lease");
+    CampaignSpec dspec = parseCampaignSpec(kSpoolSpec);
+    dspec.spool = scratch.path;
+    dspec.leaseSeconds = 0.5;
+
+    // Worker A claims the first shard it sees and dies without
+    // completing or heartbeating it. Worker B starts 2s later (after
+    // A's lease lapsed) and drains the whole spool.
+    const std::vector<pid_t> dying =
+        forkWorkers(scratch.path, 1, 0.0, /*dieAfterClaim=*/true);
+    const std::vector<pid_t> healthy =
+        forkWorkers(scratch.path, 1, 2.0);
+
+    CampaignResult dist;
+    try {
+        dist = runDistributedCampaign(dspec, kSpoolSpec);
+    } catch (...) {
+        for (const pid_t pid : dying)
+            ::waitpid(pid, nullptr, 0);
+        for (const pid_t pid : healthy)
+            ::waitpid(pid, nullptr, 0);
+        throw;
+    }
+    reapWorkers(dying);
+    reapWorkers(healthy);
+
+    EXPECT_GE(dist.spool.shardsReclaimed, 1u)
+        << "the dead worker's claim must have been reclaimed";
+    expectTasksIdentical(reference, dist);
+}
+
+TEST(DistributedCampaign, SharedCacheCompilesEachPointExactlyOnce)
+{
+    // A compiled campaign (arch = cyclone): one distinct compile and
+    // one distinct DEM per p, shared fleet-wide through the store.
+    const char* spec_text = R"(name = spool-compile
+seed = 21
+
+[task]
+code = surface3
+arch = cyclone
+p = 0.02, 0.04
+chunk_shots = 50
+chunks_per_wave = 2
+max_shots = 200
+bp = minsum
+)";
+    ScratchDir scratch("spool-once");
+    CampaignSpec spec = parseCampaignSpec(spec_text);
+    spec.spool = scratch.path;
+
+    const std::vector<pid_t> pids = forkWorkers(scratch.path, 2);
+    CampaignResult dist;
+    try {
+        dist = runDistributedCampaign(spec, spec_text);
+    } catch (...) {
+        for (const pid_t pid : pids)
+            ::waitpid(pid, nullptr, 0);
+        throw;
+    }
+    reapWorkers(pids);
+    for (const TaskResult& t : dist.tasks)
+        ASSERT_TRUE(t.error.empty()) << t.error;
+
+    // Sum builder runs (misses not satisfied by the store) across
+    // every process's stats file: the whole fleet must have compiled
+    // exactly one architecture and built exactly two DEMs.
+    size_t compileBuilds = 0;
+    size_t demBuilds = 0;
+    size_t statsFiles = 0;
+    {
+        std::string cmd =
+            "ls '" + scratch.path + "' | grep '^stats-'";
+        FILE* pipe = ::popen(cmd.c_str(), "r");
+        ASSERT_NE(pipe, nullptr);
+        char name[256];
+        while (std::fgets(name, sizeof name, pipe) != nullptr) {
+            std::string file(name);
+            while (!file.empty() &&
+                   (file.back() == '\n' || file.back() == '\r'))
+                file.pop_back();
+            const WorkerReport r = parseWorkerStats(
+                spoolReadFile(scratch.path + "/" + file));
+            compileBuilds +=
+                r.cache.compileMisses - r.cache.compileStoreHits;
+            demBuilds += r.cache.demMisses - r.cache.demStoreHits;
+            ++statsFiles;
+        }
+        ::pclose(pipe);
+    }
+    EXPECT_EQ(statsFiles, 3u) << "coordinator + two workers";
+    EXPECT_EQ(compileBuilds, 1u)
+        << "one distinct architecture compile fleet-wide";
+    EXPECT_EQ(demBuilds, 2u) << "one DEM per p fleet-wide";
+    EXPECT_EQ(dist.cache.compileMisses, 1u);
+    EXPECT_EQ(dist.cache.compileStoreHits, 0u);
+    EXPECT_GT(dist.cache.compileBytes, 0u);
+    EXPECT_GT(dist.cache.demBytes, 0u);
+}
+
+TEST(DistributedCampaign, SpoolResumeReusesRecords)
+{
+    // Run a campaign to completion, wipe the DONE marker, and rerun
+    // the coordinator with no workers: every shard it republishes is
+    // already satisfied by a record, so it must finish alone and
+    // report the reuse.
+    ScratchDir scratch("spool-resume");
+    const CampaignResult first = runDistributed(scratch.path, 2);
+
+    std::string cmd = "rm -f '" + scratch.path + "/DONE'";
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+
+    CampaignSpec spec = parseCampaignSpec(kSpoolSpec);
+    spec.spool = scratch.path;
+    const CampaignResult second =
+        runDistributedCampaign(spec, kSpoolSpec);
+    expectTasksIdentical(first, second);
+    EXPECT_EQ(second.spool.shardsPublished, 0u);
+    EXPECT_EQ(second.spool.recordsReused, second.spool.shardsMerged);
+}
+
+} // namespace
+} // namespace cyclone
