@@ -24,7 +24,18 @@
  * Run: ./campaign_runner [spec-file] [--threads N] [--json FILE]
  *      [--csv FILE] [--checkpoint FILE] [--quiet]
  *      [--spool DIR] [--workers N] [--lease SECONDS]
- *      [--worker] [--worker-id NAME] [--worker-shards N]
+ *      [--max-claim-reclaims N] [--retry-attempts N]
+ *      [--retry-base-ms MS] [--self-execute]
+ *      [--worker] [--worker-id NAME] [--worker-shards N] [--promote]
+ *
+ * Failover: `--coordinator-takeover --spool DIR` resumes a crashed
+ * coordinator's campaign. The spec is read back from the spool
+ * itself (no spec file needed), the stale coordinator lease is
+ * waited out and stolen, finalized tasks are restored from the merge
+ * journal, surviving records are re-merged, and any missing shards
+ * are re-executed in-process (self-execute is implied). Workers may
+ * keep running throughout; `--promote` makes a worker perform the
+ * same takeover automatically when the coordinator dies.
  *
  * Without a spec file a built-in demo campaign runs the paper's
  * [[72,12,6]] BB code under Cyclone vs the baseline grid across three
@@ -70,10 +81,14 @@ usage(const char* prog)
                  "usage: %s [spec-file] [--threads N] [--json FILE] "
                  "[--csv FILE] [--checkpoint FILE] [--quiet]\n"
                  "       [--spool DIR] [--workers N] [--lease SECONDS]"
-                 "\n"
+                 " [--max-claim-reclaims N]\n"
+                 "       [--retry-attempts N] [--retry-base-ms MS] "
+                 "[--self-execute]\n"
                  "       %s --worker --spool DIR [--threads N] "
-                 "[--worker-id NAME] [--worker-shards N]\n",
-                 prog, prog);
+                 "[--worker-id NAME] [--worker-shards N] [--promote]\n"
+                 "       %s --coordinator-takeover --spool DIR "
+                 "[spec-file] [--threads N] [--json FILE]\n",
+                 prog, prog, prog);
 }
 
 std::string
@@ -106,6 +121,13 @@ main(int argc, char** argv)
     size_t worker_shards = 0;
     bool worker_mode = false;
     bool die_after_claim = false;
+    bool promote = false;
+    bool takeover = false;
+    bool self_execute = false;
+    size_t max_claim_reclaims = 0;
+    bool has_max_claim_reclaims = false;
+    size_t retry_attempts = 0;
+    double retry_base_ms = -1.0;
     bool quiet = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -145,6 +167,20 @@ main(int argc, char** argv)
             // Undocumented test hook: claim one shard, then exit
             // without completing it (exercises lease reclaim).
             die_after_claim = true;
+        } else if (arg == "--promote") {
+            promote = true;
+        } else if (arg == "--coordinator-takeover") {
+            takeover = true;
+        } else if (arg == "--self-execute") {
+            self_execute = true;
+        } else if (arg == "--max-claim-reclaims") {
+            max_claim_reclaims =
+                static_cast<size_t>(std::atoll(next()));
+            has_max_claim_reclaims = true;
+        } else if (arg == "--retry-attempts") {
+            retry_attempts = static_cast<size_t>(std::atoll(next()));
+        } else if (arg == "--retry-base-ms") {
+            retry_base_ms = std::atof(next());
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -171,6 +207,7 @@ main(int argc, char** argv)
         opts.workerId = worker_id;
         opts.maxShards = worker_shards;
         opts.dieAfterClaim = die_after_claim;
+        opts.promote = promote;
         try {
             const WorkerReport report = runSpoolWorker(opts);
             if (!quiet)
@@ -193,11 +230,29 @@ main(int argc, char** argv)
         return 0;
     }
 
+    if (takeover && spool_dir.empty()) {
+        std::fprintf(stderr,
+                     "error: --coordinator-takeover needs --spool "
+                     "DIR\n");
+        return 2;
+    }
+
     CampaignSpec spec;
     std::string spec_text;
     try {
-        spec_text =
-            spec_path.empty() ? kDemoSpec : readWholeFile(spec_path);
+        if (takeover && spec_path.empty()) {
+            // Take over with nothing but the spool: the dead
+            // coordinator published the verbatim spec text there.
+            Spool spool(spool_dir);
+            if (!spool.initialized())
+                throw std::runtime_error(
+                    "no initialized spool to take over at " +
+                    spool_dir);
+            spec_text = spool.readSpecText();
+        } else {
+            spec_text = spec_path.empty() ? kDemoSpec
+                                          : readWholeFile(spec_path);
+        }
         spec = parseCampaignSpec(spec_text);
     } catch (const std::exception& ex) {
         std::fprintf(stderr, "error: %s\n", ex.what());
@@ -214,6 +269,19 @@ main(int argc, char** argv)
         spec.workers = workers_override;
     if (lease_override > 0.0)
         spec.leaseSeconds = lease_override;
+    if (has_max_claim_reclaims)
+        spec.maxClaimReclaims = max_claim_reclaims;
+    if (retry_attempts > 0)
+        spec.retryAttempts = retry_attempts;
+    if (retry_base_ms >= 0.0)
+        spec.retryBaseMs = retry_base_ms;
+    if (takeover) {
+        // A takeover must be able to finish alone: the workers that
+        // served the dead coordinator may be gone too.
+        self_execute = true;
+        spec.spool = spool_dir;
+        spec.workers = 0;
+    }
 
     CampaignCheckpoint checkpoint;
     const CampaignCheckpoint* resume = nullptr;
@@ -279,8 +347,11 @@ main(int argc, char** argv)
                 if (pid > 0)
                     children.push_back(pid);
             }
+            CoordinatorOptions copts;
+            copts.selfExecute = self_execute;
+            copts.threads = spec.threads;
             result = runDistributedCampaign(spec, spec_text, resume,
-                                            on_task_done);
+                                            on_task_done, copts);
         } else {
             result = runCampaign(spec, resume, on_task_done);
         }
@@ -329,14 +400,29 @@ main(int argc, char** argv)
                      decoder.backend.empty() ? "checkpoint"
                                              : decoder.backend.c_str(),
                      decoder.stagedChunks);
-        if (!spec.spool.empty())
+        if (!spec.spool.empty()) {
             std::fprintf(stderr,
                          "[spool] %zu shards published, %zu merged, "
-                         "%zu reclaimed, %zu records reused\n",
+                         "%zu reclaimed, %zu records reused, "
+                         "%zu journal restores\n",
                          result.spool.shardsPublished,
                          result.spool.shardsMerged,
                          result.spool.shardsReclaimed,
-                         result.spool.recordsReused);
+                         result.spool.recordsReused,
+                         result.spool.journalRestores);
+            std::fprintf(stderr,
+                         "[spool] health: %zu workers healthy, %zu "
+                         "degraded, %zu lost; %zu takeovers, %zu "
+                         "transient retries, %zu quarantined, %zu "
+                         "poisoned\n",
+                         result.spool.workersHealthy,
+                         result.spool.workersDegraded,
+                         result.spool.workersLost,
+                         result.spool.coordinatorTakeovers,
+                         result.spool.transientRetries,
+                         result.spool.recordsQuarantined,
+                         result.spool.shardsPoisoned);
+        }
     }
 
     const std::string json = campaignResultToJson(result);

@@ -11,18 +11,27 @@
 
 #include <unistd.h>
 
+#include "campaign/fault_plan.h"
+#include "common/crc32.h"
+
 namespace cyclone {
 
 namespace {
 
 // Binary artifact framing. All integers and doubles are stored in
 // native byte order; the endian word rejects blobs from a
-// foreign-endian host instead of silently misreading them.
+// foreign-endian host instead of silently misreading them. Version 2
+// added a CRC-32 of the payload to the header, so torn or bit-rotted
+// store blobs are detected (and quarantined) instead of deserialized
+// into garbage that happens to fit the field layout.
 constexpr uint32_t kArtifactMagic = 0x43594152u; // "CYAR"
 constexpr uint32_t kArtifactEndian = 0x01020304u;
 constexpr uint32_t kCompileKind = 1;
 constexpr uint32_t kDemKind = 2;
-constexpr uint32_t kArtifactVersion = 1;
+constexpr uint32_t kArtifactVersion = 2;
+
+/** Bytes of the fixed header: magic, endian, version, kind, crc. */
+constexpr size_t kArtifactHeaderBytes = 5 * sizeof(uint32_t);
 
 struct ByteWriter
 {
@@ -82,6 +91,18 @@ writeHeader(ByteWriter& w, uint32_t kind)
     w.u32(kArtifactEndian);
     w.u32(kArtifactVersion);
     w.u32(kind);
+    w.u32(0); // payload crc, patched by finishArtifact
+}
+
+/** Patch the header's payload-crc word once the body is complete. */
+std::string
+finishArtifact(ByteWriter&& w)
+{
+    const uint32_t crc =
+        crc32(w.bytes.data() + kArtifactHeaderBytes,
+              w.bytes.size() - kArtifactHeaderBytes);
+    std::memcpy(&w.bytes[4 * sizeof(uint32_t)], &crc, sizeof crc);
+    return std::move(w.bytes);
 }
 
 void
@@ -95,6 +116,12 @@ checkHeader(ByteReader& r, uint32_t kind)
         throw std::runtime_error("unsupported artifact blob version");
     if (r.u32() != kind)
         throw std::runtime_error("artifact blob has the wrong kind");
+    const uint32_t want = r.u32();
+    const uint32_t got = crc32(r.bytes.data() + r.pos,
+                               r.bytes.size() - r.pos);
+    if (want != got)
+        throw std::runtime_error(
+            "artifact blob payload checksum mismatch");
 }
 
 std::string
@@ -123,6 +150,9 @@ readWholeFile(const std::string& path, std::string& out)
 bool
 writeFileAtomicBinary(const std::string& path, const std::string& data)
 {
+    const FaultDecision f = faultPoint("cache.blob.commit");
+    if (f.transient)
+        return false; // publish skipped; the blob stays local-only
     // Unique tmp name: concurrent processes publishing the same key
     // must not clobber each other's partial writes.
     char suffix[32];
@@ -138,11 +168,45 @@ writeFileAtomicBinary(const std::string& path, const std::string& data)
         if (!out)
             return false;
     }
+    if (f.torn) {
+        // A non-atomic writer dying mid-write: truncated bytes on
+        // the final path. Readers catch this via the header crc.
+        const size_t n =
+            faultTornLength("cache.blob.commit", data.size());
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(data.data(), static_cast<std::streamsize>(n));
+        out.flush();
+        std::remove(tmp.c_str());
+        faultCrash("cache.blob.commit");
+    }
+    if (f.crashBefore)
+        faultCrash("cache.blob.commit");
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
         std::remove(tmp.c_str());
         return false;
     }
+    if (f.crashAfter)
+        faultCrash("cache.blob.commit");
     return true;
+}
+
+/**
+ * Move a corrupt store blob aside to <store>/quarantine/ so the
+ * rebuild that follows republishes fresh bytes instead of racing a
+ * file every reader knows is bad — and so operators can inspect what
+ * went wrong. Best effort: another process may quarantine first.
+ */
+void
+quarantineBlob(const std::string& store, const char* kind,
+               uint64_t key)
+{
+    const std::string path = storePath(store, kind, key);
+    const std::string dir = store + "/quarantine";
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    const size_t slash = path.find_last_of('/');
+    std::rename(path.c_str(),
+                (dir + "/" + path.substr(slash + 1)).c_str());
 }
 
 } // namespace
@@ -183,7 +247,7 @@ serializeCompileResult(const CompileResult& result)
         w.f64(op.waitUs);
         w.u32(op.counted ? 1u : 0u);
     }
-    return std::move(w.bytes);
+    return finishArtifact(std::move(w));
 }
 
 CompileResult
@@ -249,7 +313,7 @@ serializeDem(const DetectorErrorModel& dem)
         w.raw(m.detectors.data(),
               m.detectors.size() * sizeof(uint32_t));
     }
-    return std::move(w.bytes);
+    return finishArtifact(std::move(w));
 }
 
 DetectorErrorModel
@@ -321,10 +385,12 @@ ArtifactCache::getOrBuild(
     std::exception_ptr error;
     size_t valueBytes = 0;
     bool fromStore = false;
+    bool quarantined = false;
     try {
         // Store first: another process may already have published
-        // these bytes. A corrupt or foreign blob falls through to a
-        // local rebuild (which re-publishes over it).
+        // these bytes. A corrupt or foreign blob is quarantined and
+        // falls through to a local rebuild, which publishes fresh
+        // bytes under the original name.
         if (!store.empty()) {
             std::string blob;
             if (readWholeFile(storePath(store, kind, key), blob)) {
@@ -334,6 +400,8 @@ ArtifactCache::getOrBuild(
                     fromStore = true;
                 } catch (const std::exception&) {
                     value.reset();
+                    quarantineBlob(store, kind, key);
+                    quarantined = true;
                 }
             }
         }
@@ -360,6 +428,8 @@ ArtifactCache::getOrBuild(
             if (fromStore)
                 ++storeHits;
         }
+        if (quarantined)
+            ++stats_.quarantinedBlobs;
         ready_.notify_all();
     }
     if (error)

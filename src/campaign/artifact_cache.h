@@ -63,6 +63,11 @@ struct CacheStats
     /** Serialized bytes of artifacts built or loaded into this cache. */
     size_t compileBytes = 0;
     size_t demBytes = 0;
+
+    /** Store blobs that failed their checksum/framing and were moved
+     *  to <store>/quarantine/ before a local rebuild republished
+     *  fresh bytes. */
+    size_t quarantinedBlobs = 0;
 };
 
 /**
@@ -106,8 +111,12 @@ class ArtifactCache
      * Subsequent misses first try to deserialize
      * `dir/compile-<hash>.bin` / `dir/dem-<hash>.bin`; builds publish
      * their bytes there via atomic rename, so concurrent processes
-     * never observe a partial file. A corrupt store file is treated
-     * as absent and rebuilt. Pass "" to detach.
+     * never observe a partial file. Blobs carry a payload CRC-32 in
+     * their header; a blob that fails its checksum (or framing) is
+     * moved to `dir/quarantine/`, counted in
+     * CacheStats::quarantinedBlobs, and rebuilt — the rebuild
+     * republishes fresh bytes under the original name. Pass "" to
+     * detach.
      */
     void attachStore(const std::string& dir);
 

@@ -95,6 +95,20 @@ struct SpoolStats
     size_t shardsReclaimed = 0;
     /** Shards satisfied by records already in the spool (resume). */
     size_t recordsReused = 0;
+    /** Shards quarantined after repeated reclaims (poison shards). */
+    size_t shardsPoisoned = 0;
+    /** Corrupt spool files (records, journal) quarantined. */
+    size_t recordsQuarantined = 0;
+    /** Transient I/O failures absorbed by the retry policy. */
+    size_t transientRetries = 0;
+    /** 1 if this run stole a dead coordinator's lease (failover). */
+    size_t coordinatorTakeovers = 0;
+    /** Tasks restored from a dead coordinator's merge journal. */
+    size_t journalRestores = 0;
+    /** Worker health at the end of the run (from workers/ files). */
+    size_t workersHealthy = 0;
+    size_t workersDegraded = 0;
+    size_t workersLost = 0;
 };
 
 /** Outcome of a whole campaign. */

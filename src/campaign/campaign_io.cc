@@ -9,6 +9,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include <unistd.h>
+
 #include "common/stats.h"
 #include "compiler/architecture.h"
 
@@ -190,12 +192,27 @@ campaignResultToJson(const CampaignResult& result)
         << result.cache.compileStoreHits
         << ", \"dem_store_hits\": " << result.cache.demStoreHits
         << ", \"compile_bytes\": " << result.cache.compileBytes
-        << ", \"dem_bytes\": " << result.cache.demBytes << "},\n";
+        << ", \"dem_bytes\": " << result.cache.demBytes
+        << ", \"quarantined\": " << result.cache.quarantinedBlobs
+        << "},\n";
     out << "  \"spool\": {\"shards_published\": "
         << result.spool.shardsPublished
         << ", \"shards_merged\": " << result.spool.shardsMerged
         << ", \"shards_reclaimed\": " << result.spool.shardsReclaimed
         << ", \"records_reused\": " << result.spool.recordsReused
+        << ",\n            \"shards_poisoned\": "
+        << result.spool.shardsPoisoned
+        << ", \"records_quarantined\": "
+        << result.spool.recordsQuarantined
+        << ", \"transient_retries\": "
+        << result.spool.transientRetries
+        << ", \"coordinator_takeovers\": "
+        << result.spool.coordinatorTakeovers
+        << ", \"journal_restores\": " << result.spool.journalRestores
+        << ",\n            \"workers_healthy\": "
+        << result.spool.workersHealthy
+        << ", \"workers_degraded\": " << result.spool.workersDegraded
+        << ", \"workers_lost\": " << result.spool.workersLost
         << "},\n";
     out << "  \"tasks\": [\n";
     for (size_t i = 0; i < result.tasks.size(); ++i) {
@@ -330,7 +347,12 @@ campaignResultToCsv(const CampaignResult& result)
 bool
 writeTextFile(const std::string& path, const std::string& content)
 {
-    const std::string tmp = path + ".tmp";
+    // Pid-unique tmp name: concurrent writers of the same path (two
+    // coordinators racing a checkpoint during a failover window)
+    // never interleave into one tmp file, and the rename publishes
+    // whichever finished last, complete.
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
     {
         std::ofstream out(tmp, std::ios::trunc);
         if (!out)
@@ -517,7 +539,21 @@ parseCampaignSpec(const std::string& text)
                     if (!(spec.leaseSeconds > 0.0))
                         specError(lineno,
                                   "lease_seconds must be > 0");
-                } else
+                } else if (key == "max_claim_reclaims")
+                    spec.maxClaimReclaims = std::stoull(value);
+                else if (key == "retry_attempts") {
+                    spec.retryAttempts = std::stoull(value);
+                    if (spec.retryAttempts == 0)
+                        specError(lineno,
+                                  "retry_attempts must be >= 1");
+                } else if (key == "retry_base_ms") {
+                    spec.retryBaseMs = std::stod(value);
+                    if (spec.retryBaseMs < 0.0)
+                        specError(lineno,
+                                  "retry_base_ms must be >= 0");
+                } else if (key == "fault_plan")
+                    spec.faultPlan = value;
+                else
                     specError(lineno,
                               "unknown campaign key '" + key + "'");
                 continue;

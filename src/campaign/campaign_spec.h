@@ -194,6 +194,35 @@ struct CampaignSpec
      */
     double leaseSeconds = 30.0;
 
+    /**
+     * Poison-shard tolerance: a shard whose claim expires and is
+     * reclaimed this many times is assumed to kill whoever runs it
+     * (a poison shard). The coordinator quarantines it (spool
+     * quarantine/) and finalizes its task with an error instead of
+     * livelocking the fleet on it forever.
+     */
+    size_t maxClaimReclaims = 5;
+
+    /**
+     * Attempt budget for transient spool I/O failures (EIO, ENOSPC,
+     * EAGAIN, ...): each filesystem operation is tried up to this
+     * many times with jittered exponential backoff before the run
+     * fails with a typed error naming the path and operation.
+     */
+    size_t retryAttempts = 4;
+
+    /** Base delay of the retry backoff, milliseconds (doubles per
+     *  attempt, +-25% deterministic jitter, capped at 50x). */
+    double retryBaseMs = 5.0;
+
+    /**
+     * Deterministic fault-injection plan (see fault_plan.h for the
+     * grammar), applied by distributed coordinators and workers when
+     * the CYCLONE_FAULT_PLAN environment variable is not set. Test
+     * and chaos-CI hook; leave empty in production specs.
+     */
+    std::string faultPlan;
+
     std::vector<TaskSpec> tasks;
 };
 

@@ -4,25 +4,34 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
+#include <unordered_map>
 
+#include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include "campaign/adaptive_sampler.h"
 #include "campaign/campaign_io.h"
 #include "campaign/content_hash.h"
+#include "campaign/fault_plan.h"
 #include "campaign/thread_pool.h"
+#include "common/stats.h"
 
 namespace cyclone {
 
 namespace {
 
 constexpr const char* kWorkerStatsMagic = "cyclone-worker-stats v1";
+constexpr const char* kJournalMagic = "cyclone-coord-journal v1";
+constexpr const char* kHealthMagic = "cyclone-worker-health v1";
 
 void
 sleepSeconds(double s)
@@ -50,6 +59,27 @@ addDecoderStats(BpOsdStats& into, const BpOsdStats& s)
         into.backend = s.backend;
 }
 
+/** Install the spec's fault plan unless the environment already
+ *  provided one (the env var wins so CI can inject without editing
+ *  spec files). */
+void
+maybeInstallSpecFaultPlan(const CampaignSpec& spec)
+{
+    if (!spec.faultPlan.empty() &&
+        std::getenv("CYCLONE_FAULT_PLAN") == nullptr)
+        installFaultPlan(FaultPlan::parse(spec.faultPlan));
+}
+
+/** Build a retry policy from spec/manifest knobs. */
+RetryPolicy
+retryPolicyFrom(size_t attempts, double baseMs)
+{
+    RetryPolicy p;
+    p.maxAttempts = std::max<size_t>(1, attempts);
+    p.baseDelaySeconds = std::max(0.0, baseMs) / 1000.0;
+    return p;
+}
+
 /** Coordinator-side view of one task in flight. */
 struct CoordTask
 {
@@ -57,10 +87,124 @@ struct CoordTask
     std::optional<AdaptiveSampler> sampler;
     /** Shard ids of the current wave still awaiting records. */
     std::vector<std::string> outstanding;
+    /** Descriptors of published-but-unmerged shards, kept so a shard
+     *  whose record was quarantined can be republished even if every
+     *  on-disk copy of its descriptor is gone. */
+    std::unordered_map<std::string, ShardDescriptor> inflight;
     size_t nextShard = 0;
     bool finished = false;
     double sampleSeconds = 0.0;
 };
+
+/** Per-pool-thread decode contexts, rebuilt per shard so every
+ *  record's decoder counters cover exactly that shard's groups. */
+struct ShardCtx
+{
+    BpOsdDecoder decoder;
+    std::vector<ShotBatch> batches;
+    ShardCtx(const DetectorErrorModel& dem, const BpOptions& bp)
+        : decoder(dem, bp)
+    {}
+};
+
+/**
+ * Execute one claimed shard on `pool` and publish its record —
+ * the one shard-execution path, shared by worker loops and
+ * self-executing coordinators so both produce byte-identical
+ * records. Heartbeats the claim (and `extraHeartbeat`, e.g. the
+ * coordinator lease) while the pool decodes.
+ */
+ShardRecord
+executeShardChunks(Spool& spool, const std::string& id,
+                   const ShardDescriptor& d, const ResolvedTask& rt,
+                   ThreadPool& pool, double leaseSeconds,
+                   const std::function<void()>& extraHeartbeat)
+{
+    const StoppingRule& rule = rt.spec->stop;
+    const size_t staging = std::max<size_t>(1, rule.stagingChunks);
+
+    // Rebuild the shard's exact ChunkPlans from its chunk range:
+    // same shots formula and seed derivation the coordinator's
+    // sampler used when it planned the wave.
+    std::vector<ChunkPlan> plans(d.numChunks);
+    for (size_t k = 0; k < d.numChunks; ++k) {
+        plans[k].index = d.firstChunk + k;
+        plans[k].shots = chunkShotsAt(rule, plans[k].index);
+        plans[k].seed = chunkSeed(d.taskSeed, plans[k].index);
+    }
+
+    std::vector<std::unique_ptr<ShardCtx>> ctxs(pool.size());
+    std::mutex mutex;
+    ChunkOutcome total;
+    double seconds = 0.0;
+    std::exception_ptr error;
+    std::atomic<size_t> pending{0};
+
+    for (size_t g = 0; g < plans.size(); g += staging) {
+        const size_t count = std::min(staging, plans.size() - g);
+        pending.fetch_add(1);
+        pool.submit([&, g, count] {
+            const auto c0 = std::chrono::steady_clock::now();
+            try {
+                const int w = ThreadPool::workerIndex();
+                auto& ctx = ctxs[w >= 0 ? static_cast<size_t>(w) : 0];
+                if (!ctx)
+                    ctx = std::make_unique<ShardCtx>(*rt.dem,
+                                                     rt.spec->bp);
+                const ChunkOutcome out = runChunkGroup(
+                    *rt.dem, plans.data() + g, count, ctx->decoder,
+                    ctx->batches);
+                std::lock_guard<std::mutex> lock(mutex);
+                total.shots += out.shots;
+                total.failures += out.failures;
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mutex);
+                if (!error)
+                    error = std::current_exception();
+            }
+            std::lock_guard<std::mutex> lock(mutex);
+            seconds += std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - c0)
+                           .count();
+            pending.fetch_sub(1);
+        });
+    }
+
+    // Heartbeat the claim while the pool decodes, so a healthy
+    // worker's lease never expires mid-shard.
+    while (pending.load() > 0) {
+        spool.heartbeat(id);
+        if (extraHeartbeat)
+            extraHeartbeat();
+        sleepSeconds(std::min(0.05, leaseSeconds / 8.0));
+    }
+    if (error)
+        std::rethrow_exception(error);
+
+    ShardRecord rec;
+    rec.task = d.task;
+    rec.shard = d.shard;
+    rec.contentHash = d.contentHash;
+    rec.shots = total.shots;
+    rec.failures = total.failures;
+    rec.seconds = seconds;
+    for (const auto& ctx : ctxs)
+        if (ctx)
+            addDecoderStats(rec.decoder, ctx->decoder.stats());
+    spool.completeShard(id, rec);
+    return rec;
+}
+
+/** Task index encoded in a shard id ("t0007-s00012" -> 7), or
+ *  SIZE_MAX if the id is not of that shape. */
+size_t
+taskIndexOfShardId(const std::string& id)
+{
+    unsigned long task = 0;
+    if (std::sscanf(id.c_str(), "t%lu-", &task) != 1)
+        return static_cast<size_t>(-1);
+    return static_cast<size_t>(task);
+}
 
 } // namespace
 
@@ -91,32 +235,159 @@ chunkShotsAt(const StoppingRule& rule, size_t index)
     return std::min(chunkShots, rule.maxShots - planned);
 }
 
+std::string
+formatCoordJournal(const std::vector<JournalEntry>& entries)
+{
+    std::ostringstream out;
+    out << kJournalMagic << "\n";
+    char buf[64];
+    for (const JournalEntry& e : entries) {
+        std::snprintf(buf, sizeof buf, "%016llx",
+                      static_cast<unsigned long long>(e.contentHash));
+        out << "task " << e.task << " " << buf << " " << e.shots
+            << " " << e.failures << " " << e.chunks << " "
+            << (e.stoppedEarly ? 1 : 0) << " ";
+        std::snprintf(buf, sizeof buf, "%.17g", e.sampleSeconds);
+        out << buf << "\n";
+        const BpOsdStats& s = e.decoder;
+        out << "decoder " << s.decodes << " " << s.bpConverged << " "
+            << s.osdInvocations << " " << s.osdFailures << " "
+            << s.trivialShots << " " << s.memoHits << " "
+            << s.bpIterations << " " << s.waveGroups << " "
+            << s.waveLaneSlots << " " << s.waveLanesFilled << " "
+            << s.osdBatchGroups << " " << s.osdSharedPivots << " "
+            << s.stagedChunks << "\n";
+        if (!s.backend.empty())
+            out << "backend " << s.backend << "\n";
+        out << "end\n";
+    }
+    return withCrcLine(out.str());
+}
+
+std::vector<JournalEntry>
+parseCoordJournal(const std::string& text)
+{
+    const std::string payload =
+        checkCrcLine(text, "coordinator journal");
+    std::istringstream in(payload);
+    std::string line;
+    if (!std::getline(in, line) || line != kJournalMagic)
+        throw std::runtime_error(
+            "not a coordinator journal (bad magic line)");
+    std::vector<JournalEntry> entries;
+    std::optional<JournalEntry> current;
+    while (std::getline(in, line)) {
+        std::istringstream ls(line);
+        std::string key;
+        if (!(ls >> key))
+            continue;
+        if (key == "task") {
+            std::string hash;
+            unsigned long long task = 0, shots = 0, failures = 0,
+                               chunks = 0;
+            int early = 0;
+            double seconds = 0.0;
+            if (!(ls >> task >> hash >> shots >> failures >> chunks >>
+                  early >> seconds))
+                throw std::runtime_error(
+                    "coordinator journal: malformed task line");
+            current.emplace();
+            current->task = static_cast<size_t>(task);
+            current->contentHash =
+                std::stoull(hash, nullptr, 16);
+            current->shots = static_cast<size_t>(shots);
+            current->failures = static_cast<size_t>(failures);
+            current->chunks = static_cast<size_t>(chunks);
+            current->stoppedEarly = early != 0;
+            current->sampleSeconds = seconds;
+        } else if (key == "decoder" && current) {
+            uint64_t v[13] = {};
+            for (auto& x : v)
+                if (!(ls >> x))
+                    throw std::runtime_error(
+                        "coordinator journal: malformed decoder "
+                        "line");
+            BpOsdStats& s = current->decoder;
+            s.decodes = v[0];
+            s.bpConverged = v[1];
+            s.osdInvocations = v[2];
+            s.osdFailures = v[3];
+            s.trivialShots = v[4];
+            s.memoHits = v[5];
+            s.bpIterations = v[6];
+            s.waveGroups = v[7];
+            s.waveLaneSlots = v[8];
+            s.waveLanesFilled = v[9];
+            s.osdBatchGroups = v[10];
+            s.osdSharedPivots = v[11];
+            s.stagedChunks = v[12];
+        } else if (key == "backend" && current) {
+            std::string backend;
+            if (ls >> backend)
+                current->decoder.backend = backend;
+        } else if (key == "end" && current) {
+            entries.push_back(*current);
+            current.reset();
+        }
+    }
+    return entries;
+}
+
 CampaignResult
 runDistributedCampaign(const CampaignSpec& spec,
                        const std::string& specText,
                        const CampaignCheckpoint* resume,
-                       const CampaignEngine::TaskCallback& onTaskDone)
+                       const CampaignEngine::TaskCallback& onTaskDone,
+                       const CoordinatorOptions& options)
 {
     if (spec.spool.empty())
         throw std::invalid_argument(
             "runDistributedCampaign needs spec.spool");
 
+    maybeInstallSpecFaultPlan(spec);
+
     const auto t0 = std::chrono::steady_clock::now();
     Spool spool(spec.spool);
+    spool.setRetryPolicy(
+        retryPolicyFrom(spec.retryAttempts, spec.retryBaseMs));
     SpoolManifest manifest;
     manifest.name = spec.name;
     manifest.seed = spec.seed;
     manifest.leaseSeconds = spec.leaseSeconds;
+    manifest.retryAttempts = spec.retryAttempts;
+    manifest.retryBaseMs = spec.retryBaseMs;
     spool.initialize(manifest, specText);
-
-    ArtifactCache cache;
-    cache.attachStore(spool.cacheDir());
 
     const size_t n = spec.tasks.size();
     CampaignResult result;
     result.name = spec.name;
     result.seed = spec.seed;
     result.tasks.resize(n);
+
+    // Become THE coordinator: create the lease, or wait out a live
+    // one and steal it once stale. A fresh lease is heartbeated by
+    // its owner, so the steal only ever fires on a dead coordinator
+    // (monotonic age: a wall-clock step cannot fake staleness).
+    const std::string owner = !options.owner.empty()
+        ? options.owner
+        : "pid" + std::to_string(::getpid());
+    while (!spool.acquireCoordinatorLease(owner)) {
+        const double age = spool.coordinatorLeaseAge();
+        if (age < 0.0)
+            continue; // lease vanished; retry the acquire
+        if (age > spec.leaseSeconds) {
+            if (spool.stealCoordinatorLease(owner)) {
+                ++result.spool.coordinatorTakeovers;
+                break;
+            }
+            continue; // another stealer won; wait on its lease
+        }
+        sleepSeconds(std::min(0.05, spec.leaseSeconds / 8.0));
+    }
+    faultMilestone("coord.lease.acquired");
+
+    ArtifactCache cache;
+    cache.attachStore(spool.cacheDir());
 
     std::vector<ResolvedTask> resolved = resolveTaskIdentities(spec);
     std::vector<CoordTask> states(n);
@@ -146,6 +417,31 @@ runDistributedCampaign(const CampaignSpec& spec,
         ++remaining;
     }
 
+    // A dead predecessor's merge journal: tasks it already finalized
+    // restore below without re-merging a single record.
+    std::vector<JournalEntry> journal;
+    {
+        std::string text;
+        if (spool.readJournal(text)) {
+            try {
+                journal = parseCoordJournal(text);
+            } catch (const std::exception&) {
+                // Torn journal (the predecessor died mid-commit...
+                // of the commit): quarantine it and fall back to
+                // re-merging from records, which is merely slower.
+                spool.quarantineFile("journal.txt");
+                ++result.spool.recordsQuarantined;
+                journal.clear();
+            }
+        }
+    }
+    auto journalFor = [&](uint64_t hash) -> const JournalEntry* {
+        for (const JournalEntry& e : journal)
+            if (e.contentHash == hash)
+                return &e;
+        return nullptr;
+    };
+
     // Resolve all artifacts up front, sequentially and thread-free
     // (callers fork worker processes around this function; a live
     // pool would make that unsafe). Every compile and DEM publishes
@@ -155,6 +451,7 @@ runDistributedCampaign(const CampaignSpec& spec,
         CoordTask& st = states[i];
         if (st.finished)
             continue;
+        spool.heartbeatCoordinator();
         try {
             buildTaskArtifacts(st.rt, cache);
             st.sampler.emplace(st.rt.spec->stop, st.rt.taskSeed);
@@ -162,6 +459,31 @@ runDistributedCampaign(const CampaignSpec& spec,
             result.tasks[i].error = ex.what();
         }
     }
+    faultMilestone("coord.prebuilt");
+
+    // Rewrite the whole journal (tmp+rename, like shard records)
+    // after every finalize: the journal is always a consistent
+    // prefix of the finalized tasks, no matter where we die.
+    auto writeJournalNow = [&] {
+        std::vector<JournalEntry> entries;
+        for (size_t i = 0; i < n; ++i) {
+            const TaskResult& r = result.tasks[i];
+            if (!states[i].finished || r.fromCheckpoint ||
+                !r.error.empty())
+                continue;
+            JournalEntry e;
+            e.task = i;
+            e.contentHash = r.contentHash;
+            e.shots = r.logicalErrorRate.trials;
+            e.failures = r.logicalErrorRate.successes;
+            e.chunks = r.chunks;
+            e.stoppedEarly = r.stoppedEarly;
+            e.sampleSeconds = r.sampleSeconds;
+            e.decoder = r.decoder;
+            entries.push_back(std::move(e));
+        }
+        spool.writeJournal(formatCoordJournal(entries));
+    };
 
     auto finalize = [&](size_t i) {
         CoordTask& st = states[i];
@@ -183,6 +505,35 @@ runDistributedCampaign(const CampaignSpec& spec,
                 std::pow(1.0 - ler,
                          1.0 / static_cast<double>(r.rounds));
         }
+        if (onTaskDone)
+            onTaskDone(r);
+        writeJournalNow();
+        faultMilestone("coord.task.finalized");
+    };
+
+    // Restore a task a dead coordinator already finalized: same
+    // fields finalize() derives, from the journaled counts — the
+    // estimate/Wilson formulas are pure functions of (failures,
+    // shots), so the restored task is bit-identical.
+    auto restoreFromJournal = [&](size_t i, const JournalEntry& e) {
+        CoordTask& st = states[i];
+        TaskResult& r = result.tasks[i];
+        st.finished = true;
+        r.logicalErrorRate = estimateRate(e.failures, e.shots);
+        r.wilson = wilsonHalfWidth(e.failures, e.shots);
+        r.chunks = e.chunks;
+        r.stoppedEarly = e.stoppedEarly;
+        r.decoder = e.decoder;
+        fillResolvedMetadata(r, st.rt);
+        r.sampleSeconds = e.sampleSeconds;
+        if (r.rounds > 0 && r.logicalErrorRate.trials > 0) {
+            const double ler =
+                std::min(r.logicalErrorRate.rate, 1.0 - 1e-12);
+            r.perRoundErrorRate = 1.0 -
+                std::pow(1.0 - ler,
+                         1.0 / static_cast<double>(r.rounds));
+        }
+        ++result.spool.journalRestores;
         if (onTaskDone)
             onTaskDone(r);
     };
@@ -217,7 +568,9 @@ runDistributedCampaign(const CampaignSpec& spec,
                 ++result.spool.recordsReused;
             }
             st.outstanding.push_back(id);
+            st.inflight.emplace(id, d);
         }
+        faultMilestone("coord.wave.published");
         return true;
     };
 
@@ -225,25 +578,71 @@ runDistributedCampaign(const CampaignSpec& spec,
         CoordTask& st = states[i];
         if (st.finished)
             continue;
+        if (st.sampler) {
+            if (const JournalEntry* e = journalFor(st.rt.contentHash)) {
+                restoreFromJournal(i, *e);
+                --remaining;
+                continue;
+            }
+        }
         if (!st.sampler || !publishWave(i)) {
             finalize(i);
             --remaining;
         }
     }
 
+    // Finalize a task as poisoned: its shard keeps killing whoever
+    // claims it, so surface an error instead of livelocking the
+    // fleet re-publishing it forever.
+    auto poisonTask = [&](const std::string& id, size_t reclaims) {
+        const size_t i = taskIndexOfShardId(id);
+        if (i >= n || states[i].finished)
+            return;
+        TaskResult& r = result.tasks[i];
+        r.error = "poison shard " + id + ": claim reclaimed " +
+            std::to_string(reclaims) +
+            " times; shard quarantined";
+        finalize(i);
+        --remaining;
+    };
+
+    std::unique_ptr<ThreadPool> selfPool;
+
     while (remaining > 0) {
+        spool.heartbeatCoordinator();
         bool progress = false;
         for (size_t i = 0; i < n; ++i) {
             CoordTask& st = states[i];
             if (st.finished)
                 continue;
             for (size_t k = 0; k < st.outstanding.size();) {
-                const std::string& id = st.outstanding[k];
+                const std::string id = st.outstanding[k];
                 if (!spool.hasRecord(id)) {
                     ++k;
                     continue;
                 }
-                const ShardRecord rec = spool.readRecord(id);
+                ShardRecord rec;
+                try {
+                    rec = spool.readRecord(id);
+                } catch (const CorruptSpoolError&) {
+                    // Torn or rotted record: quarantine it and make
+                    // sure the shard is executable again — revive
+                    // its done/ tombstone, or republish from our
+                    // in-flight descriptor if every on-disk copy is
+                    // gone. (If the claim is still in claimed/, the
+                    // lease sweep below recycles it.)
+                    spool.quarantineRecord(id);
+                    ++result.spool.recordsQuarantined;
+                    if (!spool.reviveShard(id)) {
+                        const auto itD = st.inflight.find(id);
+                        if (itD != st.inflight.end() &&
+                            spool.publishShard(itD->second))
+                            ++result.spool.shardsPublished;
+                    }
+                    progress = true;
+                    ++k;
+                    continue;
+                }
                 if (rec.contentHash != st.rt.contentHash)
                     throw std::runtime_error(
                         "spool record " + id +
@@ -254,9 +653,11 @@ runDistributedCampaign(const CampaignSpec& spec,
                 st.sampleSeconds += rec.seconds;
                 addDecoderStats(result.tasks[i].decoder, rec.decoder);
                 ++result.spool.shardsMerged;
+                st.inflight.erase(id);
                 st.outstanding.erase(st.outstanding.begin() +
                                      static_cast<std::ptrdiff_t>(k));
                 progress = true;
+                faultMilestone("coord.record.merged");
             }
             if (st.outstanding.empty()) {
                 if (st.sampler->done() || !publishWave(i)) {
@@ -270,11 +671,57 @@ runDistributedCampaign(const CampaignSpec& spec,
         // Lease sweep: claims whose heartbeat went stale go back to
         // open/ so surviving workers re-execute them. Records are
         // deterministic, so a worker that was merely slow (not dead)
-        // racing its reclaimed twin is harmless.
+        // racing its reclaimed twin is harmless. The per-shard
+        // reclaim counter persists in the spool, so a shard that
+        // keeps killing workers is caught even across coordinator
+        // failovers.
         for (const std::string& id : spool.claimedShards()) {
             const double age = spool.claimAge(id);
-            if (age > spec.leaseSeconds && spool.reclaimShard(id))
+            if (age <= spec.leaseSeconds)
+                continue;
+            const size_t count = spool.bumpReclaimCount(id);
+            if (count > spec.maxClaimReclaims) {
+                if (spool.quarantineShard(id)) {
+                    ++result.spool.shardsPoisoned;
+                    poisonTask(id, count - 1);
+                    progress = true;
+                }
+            } else if (spool.reclaimShard(id)) {
                 ++result.spool.shardsReclaimed;
+            }
+        }
+
+        // Self-execution: with no dedicated workers (takeover,
+        // promotion, single-process operation) the coordinator
+        // claims an open shard itself whenever a pass made no
+        // progress, on a lazily created local pool.
+        if (options.selfExecute && !progress && remaining > 0) {
+            for (const std::string& id : spool.openShards()) {
+                ShardDescriptor d;
+                if (!spool.claimShard(id, d))
+                    continue;
+                if (d.task >= n || states[d.task].finished) {
+                    spool.retireClaim(id);
+                    continue;
+                }
+                if (!selfPool)
+                    selfPool =
+                        std::make_unique<ThreadPool>(options.threads);
+                try {
+                    executeShardChunks(
+                        spool, id, d, states[d.task].rt, *selfPool,
+                        spec.leaseSeconds,
+                        [&] { spool.heartbeatCoordinator(); });
+                } catch (const std::exception& ex) {
+                    TaskResult& r = result.tasks[d.task];
+                    if (r.error.empty())
+                        r.error = ex.what();
+                    finalize(d.task);
+                    --remaining;
+                }
+                progress = true;
+                break; // merge the fresh record before claiming more
+            }
         }
 
         if (!progress)
@@ -283,7 +730,39 @@ runDistributedCampaign(const CampaignSpec& spec,
 
     spool.markDone();
 
+    // Fold worker health files into the summary: done => healthy,
+    // degraded (transient retries) => degraded, a live-looking file
+    // that stopped updating => lost.
+    for (const std::string& name : spool.list("workers")) {
+        try {
+            const std::string text = spool.readFile("workers/" + name);
+            std::istringstream in(text);
+            std::string line;
+            std::string state = "healthy";
+            if (std::getline(in, line) && line == kHealthMagic) {
+                std::string key, value;
+                while (in >> key >> value)
+                    if (key == "state")
+                        state = value;
+            }
+            if (state == "done") {
+                ++result.spool.workersHealthy;
+            } else if (state == "degraded") {
+                ++result.spool.workersDegraded;
+            } else {
+                const double age = spool.mtimeAge("workers/" + name);
+                if (age > spec.leaseSeconds)
+                    ++result.spool.workersLost;
+                else
+                    ++result.spool.workersHealthy;
+            }
+        } catch (const std::exception&) {
+            ++result.spool.workersLost;
+        }
+    }
+
     result.cache = cache.stats();
+    result.spool.transientRetries = spool.transientRetries();
     result.wallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       t0)
@@ -291,8 +770,15 @@ runDistributedCampaign(const CampaignSpec& spec,
 
     WorkerReport coordStats;
     coordStats.cache = result.cache;
-    spoolWriteAtomic(spec.spool + "/stats-coordinator.txt",
-                     formatWorkerStats(coordStats));
+    coordStats.transientRetries = spool.transientRetries();
+    spool.writeFile("stats-coordinator.txt",
+                    formatWorkerStats(coordStats),
+                    "spool.stats.commit");
+    // Publish the merged result into the spool too, so a promoted
+    // worker's campaign (whose stdout nobody owns) is not lost.
+    spool.writeFile("result.json", campaignResultToJson(result),
+                    "spool.result.commit");
+    spool.releaseCoordinatorLease(owner);
     return result;
 }
 
@@ -304,6 +790,8 @@ formatWorkerStats(const WorkerReport& r)
         << "shards " << r.shardsRun << "\n"
         << "shots " << r.shots << "\n"
         << "failures " << r.failures << "\n"
+        << "retries " << r.transientRetries << "\n"
+        << "promotions " << r.promotions << "\n"
         << "compile_hits " << r.cache.compileHits << "\n"
         << "compile_misses " << r.cache.compileMisses << "\n"
         << "compile_store_hits " << r.cache.compileStoreHits << "\n"
@@ -311,7 +799,8 @@ formatWorkerStats(const WorkerReport& r)
         << "dem_hits " << r.cache.demHits << "\n"
         << "dem_misses " << r.cache.demMisses << "\n"
         << "dem_store_hits " << r.cache.demStoreHits << "\n"
-        << "dem_bytes " << r.cache.demBytes << "\n";
+        << "dem_bytes " << r.cache.demBytes << "\n"
+        << "quarantined " << r.cache.quarantinedBlobs << "\n";
     return out.str();
 }
 
@@ -334,6 +823,10 @@ parseWorkerStats(const std::string& text)
             r.shots = v;
         else if (key == "failures")
             r.failures = v;
+        else if (key == "retries")
+            r.transientRetries = v;
+        else if (key == "promotions")
+            r.promotions = v;
         else if (key == "compile_hits")
             r.cache.compileHits = v;
         else if (key == "compile_misses")
@@ -350,6 +843,8 @@ parseWorkerStats(const std::string& text)
             r.cache.demStoreHits = v;
         else if (key == "dem_bytes")
             r.cache.demBytes = v;
+        else if (key == "quarantined")
+            r.cache.quarantinedBlobs = v;
     }
     return r;
 }
@@ -365,7 +860,10 @@ runSpoolWorker(const WorkerOptions& opts)
         sleepSeconds(opts.pollSeconds);
 
     const SpoolManifest manifest = spool.readManifest();
+    spool.setRetryPolicy(retryPolicyFrom(manifest.retryAttempts,
+                                         manifest.retryBaseMs));
     const CampaignSpec spec = parseCampaignSpec(spool.readSpecText());
+    maybeInstallSpecFaultPlan(spec);
     std::vector<ResolvedTask> resolved = resolveTaskIdentities(spec);
     std::vector<bool> built(resolved.size(), false);
 
@@ -376,99 +874,35 @@ runSpoolWorker(const WorkerOptions& opts)
     WorkerReport report;
     bool dying = false;
 
-    // Per-pool-thread decode contexts, rebuilt per shard so every
-    // record's decoder counters cover exactly that shard's groups.
-    struct Ctx
-    {
-        BpOsdDecoder decoder;
-        std::vector<ShotBatch> batches;
-        Ctx(const DetectorErrorModel& dem, const BpOptions& bp)
-            : decoder(dem, bp)
-        {}
+    const std::string workerId = !opts.workerId.empty()
+        ? opts.workerId
+        : "pid" + std::to_string(::getpid());
+    const std::string healthFile = "workers/" + workerId;
+
+    auto writeHealth = [&](const char* state) {
+        std::ostringstream out;
+        out << kHealthMagic << "\n"
+            << "state " << state << "\n"
+            << "retries " << spool.transientRetries() << "\n"
+            << "shards " << report.shardsRun << "\n";
+        try {
+            spool.writeFile(healthFile, out.str(),
+                            "spool.health.commit");
+        } catch (const std::exception&) {
+            // Health is advisory; never kill a worker over it.
+        }
     };
+    writeHealth("healthy");
 
-    auto executeShard = [&](const std::string& id,
-                            const ShardDescriptor& d) {
-        ResolvedTask& rt = resolved[d.task];
-        const StoppingRule& rule = rt.spec->stop;
-        const size_t staging =
-            std::max<size_t>(1, rule.stagingChunks);
-
-        // Rebuild the shard's exact ChunkPlans from its chunk range:
-        // same shots formula and seed derivation the coordinator's
-        // sampler used when it planned the wave.
-        std::vector<ChunkPlan> plans(d.numChunks);
-        for (size_t k = 0; k < d.numChunks; ++k) {
-            plans[k].index = d.firstChunk + k;
-            plans[k].shots = chunkShotsAt(rule, plans[k].index);
-            plans[k].seed = chunkSeed(d.taskSeed, plans[k].index);
-        }
-
-        std::vector<std::unique_ptr<Ctx>> ctxs(pool.size());
-        std::mutex mutex;
-        ChunkOutcome total;
-        double seconds = 0.0;
-        std::exception_ptr error;
-        std::atomic<size_t> pending{0};
-
-        for (size_t g = 0; g < plans.size(); g += staging) {
-            const size_t count =
-                std::min(staging, plans.size() - g);
-            pending.fetch_add(1);
-            pool.submit([&, g, count] {
-                const auto c0 = std::chrono::steady_clock::now();
-                try {
-                    const int w = ThreadPool::workerIndex();
-                    auto& ctx =
-                        ctxs[w >= 0 ? static_cast<size_t>(w) : 0];
-                    if (!ctx)
-                        ctx = std::make_unique<Ctx>(*rt.dem,
-                                                    rt.spec->bp);
-                    const ChunkOutcome out = runChunkGroup(
-                        *rt.dem, plans.data() + g, count,
-                        ctx->decoder, ctx->batches);
-                    std::lock_guard<std::mutex> lock(mutex);
-                    total.shots += out.shots;
-                    total.failures += out.failures;
-                } catch (...) {
-                    std::lock_guard<std::mutex> lock(mutex);
-                    if (!error)
-                        error = std::current_exception();
-                }
-                std::lock_guard<std::mutex> lock(mutex);
-                seconds += std::chrono::duration<double>(
-                               std::chrono::steady_clock::now() - c0)
-                               .count();
-                pending.fetch_sub(1);
-            });
-        }
-
-        // Heartbeat the claim while the pool decodes, so a healthy
-        // worker's lease never expires mid-shard.
-        while (pending.load() > 0) {
-            spool.heartbeat(id);
-            sleepSeconds(
-                std::min(0.05, manifest.leaseSeconds / 8.0));
-        }
-        if (error)
-            std::rethrow_exception(error);
-
-        ShardRecord rec;
-        rec.task = d.task;
-        rec.shard = d.shard;
-        rec.contentHash = d.contentHash;
-        rec.shots = total.shots;
-        rec.failures = total.failures;
-        rec.seconds = seconds;
-        for (const auto& ctx : ctxs)
-            if (ctx)
-                addDecoderStats(rec.decoder, ctx->decoder.stats());
-        spool.completeShard(id, rec);
-
-        ++report.shardsRun;
-        report.shots += total.shots;
-        report.failures += total.failures;
+    // Promotion bookkeeping: how long the coordinator lease has
+    // looked dead (stale or absent) from this worker's seat.
+    const auto steadyNow = [] {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now()
+                       .time_since_epoch())
+            .count();
     };
+    double leaseAbsentSince = -1.0;
 
     while (!spool.done() && !dying) {
         bool claimed = false;
@@ -492,22 +926,68 @@ runSpoolWorker(const WorkerOptions& opts)
                 buildTaskArtifacts(resolved[d.task], cache);
                 built[d.task] = true;
             }
-            executeShard(id, d);
+            const ShardRecord rec =
+                executeShardChunks(spool, id, d, resolved[d.task],
+                                   pool, manifest.leaseSeconds,
+                                   nullptr);
+            ++report.shardsRun;
+            report.shots += rec.shots;
+            report.failures += rec.failures;
+            writeHealth(spool.transientRetries() > 0 ? "degraded"
+                                                     : "healthy");
             break; // rescan open/ for the freshest view
         }
         if (opts.maxShards > 0 && report.shardsRun >= opts.maxShards)
             break;
-        if (!claimed)
+        if (!claimed) {
+            // Keep the health file's mtime fresh while idle, so the
+            // coordinator can tell idle from dead.
+            ::utimensat(AT_FDCWD,
+                        (opts.spool + "/" + healthFile).c_str(),
+                        nullptr, 0);
+
+            // Promotion: nothing to claim, campaign unfinished, and
+            // the coordinator has looked dead for a full lease
+            // period — take over and finish the campaign ourselves.
+            bool coordinatorDead = false;
+            if (opts.promote) {
+                if (!spool.hasCoordinatorLease()) {
+                    const double now = steadyNow();
+                    if (leaseAbsentSince < 0.0)
+                        leaseAbsentSince = now;
+                    coordinatorDead = now - leaseAbsentSince >
+                        manifest.leaseSeconds;
+                } else {
+                    leaseAbsentSince = -1.0;
+                    coordinatorDead = spool.coordinatorLeaseAge() >
+                        manifest.leaseSeconds;
+                }
+            }
+            if (coordinatorDead) {
+                ++report.promotions;
+                CampaignSpec promoted = spec;
+                promoted.spool = opts.spool;
+                CoordinatorOptions copts;
+                copts.selfExecute = true;
+                copts.threads = opts.threads;
+                copts.owner = workerId;
+                runDistributedCampaign(promoted,
+                                       spool.readSpecText(), nullptr,
+                                       nullptr, copts);
+                continue; // the loop exits on the DONE marker
+            }
             sleepSeconds(opts.pollSeconds);
+        }
     }
 
     report.cache = cache.stats();
+    report.transientRetries = spool.transientRetries();
     if (!opts.dieAfterClaim) {
-        const std::string workerId = !opts.workerId.empty()
-            ? opts.workerId
-            : "pid" + std::to_string(::getpid());
-        spoolWriteAtomic(opts.spool + "/stats-" + workerId + ".txt",
-                         formatWorkerStats(report));
+        writeHealth(report.transientRetries > 0 ? "degraded"
+                                                : "done");
+        spool.writeFile("stats-" + workerId + ".txt",
+                        formatWorkerStats(report),
+                        "spool.stats.commit");
     }
     return report;
 }

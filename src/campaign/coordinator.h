@@ -23,6 +23,20 @@
  * local thread pool, and post a record. A worker that dies mid-shard
  * simply stops heartbeating; the coordinator reclaims the shard after
  * the lease expires and another worker re-executes it.
+ *
+ * Failover: the coordinator role itself is leased (spool
+ * coord.lease) and journaled (spool journal.txt, rewritten
+ * atomically after every task finalize). If the coordinator dies at
+ * ANY point — before the spool exists, mid-prebuild, mid-merge,
+ * between the last record and DONE — any process can take over:
+ * `campaign_runner --coordinator-takeover`, a fresh coordinator run
+ * of the same spec, or an idle worker with `promote` set. The
+ * takeover waits out the stale lease, steals it (a rename: exactly
+ * one winner), restores journaled tasks without re-merging, republishes
+ * missing shards (publish skips anything open/claimed/done/recorded),
+ * re-merges surviving records, and finalizes. Every step is
+ * idempotent, so the merged result is bit-identical to an
+ * uninterrupted run.
  */
 
 #ifndef CYCLONE_CAMPAIGN_COORDINATOR_H
@@ -30,6 +44,7 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 #include "campaign/campaign.h"
 #include "campaign/campaign_spec.h"
@@ -52,13 +67,56 @@ size_t effectiveShardChunks(const StoppingRule& rule);
  */
 size_t chunkShotsAt(const StoppingRule& rule, size_t index);
 
+/** One finalized task in the coordinator's merge journal. */
+struct JournalEntry
+{
+    size_t task = 0;
+    uint64_t contentHash = 0;
+    size_t shots = 0;
+    size_t failures = 0;
+    size_t chunks = 0;
+    bool stoppedEarly = false;
+    double sampleSeconds = 0.0;
+    BpOsdStats decoder;
+};
+
+/** Text round-trip of the coordinator merge journal (CRC-protected,
+ *  rewritten whole via tmp+rename after every finalize). */
+std::string formatCoordJournal(const std::vector<JournalEntry>& entries);
+/** Throws CorruptSpoolError on a bad checksum, std::runtime_error on
+ *  malformed fields. */
+std::vector<JournalEntry> parseCoordJournal(const std::string& text);
+
+/** Coordinator-role configuration. */
+struct CoordinatorOptions
+{
+    /**
+     * Let the coordinator claim and execute open shards itself when
+     * a merge pass makes no progress (lazy local thread pool). Off
+     * by default: the production topology forks dedicated workers
+     * around the (thread-free) coordinator, and benchmarks gate on
+     * that split. Takeover and promotion turn it on so a lone
+     * surviving process can always finish a campaign.
+     */
+    bool selfExecute = false;
+    /** Thread-pool size for self-executed shards (0 = hardware). */
+    size_t threads = 0;
+    /** Lease owner tag ("" = "pid<pid>"). */
+    std::string owner;
+};
+
 /**
  * Run `spec` as the coordinator of the spool at `spec.spool`.
  * `specText` is the verbatim spec document, published into the spool
  * for workers to re-parse; it must parse to `spec`. Blocks until all
  * tasks complete (some worker must be draining the spool — see
- * campaign_runner's forked local workers) and returns a result
- * bit-identical to an in-process run of the same spec.
+ * campaign_runner's forked local workers — unless
+ * `options.selfExecute` is set) and returns a result bit-identical
+ * to an in-process run of the same spec.
+ *
+ * If the spool already has a live coordinator, waits for its lease
+ * to go stale, then steals it — so pointing a second coordinator at
+ * a crashed one's spool performs a failover takeover.
  *
  * @param resume checkpointed tasks to skip, as CampaignEngine::run
  * @param onTaskDone per-task completion hook
@@ -68,7 +126,8 @@ runDistributedCampaign(const CampaignSpec& spec,
                        const std::string& specText,
                        const CampaignCheckpoint* resume = nullptr,
                        const CampaignEngine::TaskCallback& onTaskDone =
-                           nullptr);
+                           nullptr,
+                       const CoordinatorOptions& options = {});
 
 /** Configuration of one worker process/loop. */
 struct WorkerOptions
@@ -84,6 +143,14 @@ struct WorkerOptions
     /** Seconds between idle polls of open/. */
     double pollSeconds = 0.05;
     /**
+     * Promote this worker to coordinator if it is idle (nothing to
+     * claim, spool not DONE) and the coordinator lease has been
+     * stale for a full lease period — i.e. the coordinator died.
+     * The promoted worker re-parses the spec and finishes the
+     * campaign with selfExecute on.
+     */
+    bool promote = false;
+    /**
      * Test hook: exit the loop immediately after the first successful
      * claim without completing the shard (simulates a worker killed
      * mid-shard, for lease-reclaim tests).
@@ -98,6 +165,10 @@ struct WorkerReport
     size_t shardsRun = 0;
     size_t shots = 0;
     size_t failures = 0;
+    /** Transient I/O failures absorbed by the spool retry policy. */
+    size_t transientRetries = 0;
+    /** 1 if this worker promoted itself to coordinator. */
+    size_t promotions = 0;
     /** This process's artifact-cache activity (store hits vs local
      *  builds prove the fleet compiled each point exactly once). */
     CacheStats cache;
@@ -112,9 +183,11 @@ WorkerReport parseWorkerStats(const std::string& text);
  * Run the worker loop against `opts.spool` until the coordinator's
  * DONE marker appears (or `maxShards` is reached). Waits for the
  * spool to be initialized first, so workers may start before the
- * coordinator. Throws std::runtime_error on a spec/shard content-hash
- * mismatch (the spool holds a different campaign than the shard
- * expects).
+ * coordinator. Maintains a health file (spool workers/<id>:
+ * healthy/degraded/done, degraded once transient retries occur) that
+ * the coordinator folds into the final summary. Throws
+ * std::runtime_error on a spec/shard content-hash mismatch (the
+ * spool holds a different campaign than the shard expects).
  */
 WorkerReport runSpoolWorker(const WorkerOptions& opts);
 

@@ -15,17 +15,45 @@
 #include <unistd.h>
 
 #include "campaign/content_hash.h"
+#include "campaign/fault_plan.h"
+#include "common/crc32.h"
 
 namespace cyclone {
 
 namespace {
 
-constexpr const char* kDescriptorMagic = "cyclone-shard v1";
-constexpr const char* kRecordMagic = "cyclone-shard-result v1";
+constexpr const char* kDescriptorMagic = "cyclone-shard v2";
+constexpr const char* kRecordMagic = "cyclone-shard-result v2";
 constexpr const char* kManifestMagic = "cyclone-spool v1";
+constexpr const char* kLeaseFile = "coord.lease";
+constexpr const char* kJournalFile = "journal.txt";
 
 /** Decoder counters on a record line, in fixed order. */
 constexpr size_t kDecoderFields = 13;
+
+/** Errno values worth retrying: the transient I/O family (flaky
+ *  disks, NFS hiccups, brief out-of-space). */
+bool
+transientErrno(int err)
+{
+    return err == EIO || err == ENOSPC || err == EAGAIN ||
+           err == EINTR || err == ESTALE
+#ifdef EDQUOT
+           || err == EDQUOT
+#endif
+        ;
+}
+
+[[noreturn]] void
+throwIo(const std::string& message, int err)
+{
+    std::string full = message;
+    if (err != 0)
+        full += " (" + std::string(std::strerror(err)) + ")";
+    if (transientErrno(err))
+        throw TransientIoError(full);
+    throw std::runtime_error(full);
+}
 
 void
 makeDir(const std::string& path)
@@ -148,6 +176,15 @@ splitChecked(const std::string& text, const char* magic,
     return lines;
 }
 
+double
+monotonicSeconds()
+{
+    struct timespec ts;
+    ::clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
 } // namespace
 
 std::string
@@ -159,6 +196,50 @@ shardId(size_t task, size_t shard)
 }
 
 std::string
+withCrcLine(std::string text)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%08x", crc32(text));
+    text += "crc ";
+    text += buf;
+    text += "\n";
+    return text;
+}
+
+std::string
+checkCrcLine(const std::string& text, const char* what)
+{
+    size_t pos = text.rfind("\ncrc ");
+    if (pos != std::string::npos) {
+        pos += 1;
+    } else if (text.rfind("crc ", 0) == 0) {
+        pos = 0;
+    } else {
+        throw CorruptSpoolError(std::string(what) +
+                                ": missing crc line (truncated?)");
+    }
+    const auto tok = tokenize(text.substr(pos));
+    uint32_t want = 0;
+    bool parsed = tok.size() == 2;
+    if (parsed) {
+        try {
+            want = static_cast<uint32_t>(
+                std::stoul(tok[1], nullptr, 16));
+        } catch (...) {
+            parsed = false;
+        }
+    }
+    if (!parsed)
+        throw CorruptSpoolError(std::string(what) +
+                                ": malformed crc line");
+    const std::string payload = text.substr(0, pos);
+    if (crc32(payload) != want)
+        throw CorruptSpoolError(std::string(what) +
+                                ": checksum mismatch");
+    return payload;
+}
+
+std::string
 formatShardDescriptor(const ShardDescriptor& d)
 {
     std::ostringstream out;
@@ -166,14 +247,15 @@ formatShardDescriptor(const ShardDescriptor& d)
         << "shard " << d.task << " " << d.shard << " " << d.firstChunk
         << " " << d.numChunks << " " << d.chunkShots << " "
         << hex(d.contentHash) << " " << hex(d.taskSeed) << "\n";
-    return out.str();
+    return withCrcLine(out.str());
 }
 
 ShardDescriptor
 parseShardDescriptor(const std::string& text)
 {
+    const std::string payload = checkCrcLine(text, "shard descriptor");
     const auto lines =
-        splitChecked(text, kDescriptorMagic, "shard descriptor");
+        splitChecked(payload, kDescriptorMagic, "shard descriptor");
     for (const std::string& line : lines) {
         const auto tok = tokenize(line);
         if (tok.empty())
@@ -214,14 +296,15 @@ formatShardRecord(const ShardRecord& r)
         << s.osdSharedPivots << " " << s.stagedChunks << "\n";
     if (!s.backend.empty())
         out << "backend " << s.backend << "\n";
-    return out.str();
+    return withCrcLine(out.str());
 }
 
 ShardRecord
 parseShardRecord(const std::string& text)
 {
+    const std::string payload = checkCrcLine(text, "shard record");
     const auto lines =
-        splitChecked(text, kRecordMagic, "shard record");
+        splitChecked(payload, kRecordMagic, "shard record");
     ShardRecord r;
     bool haveShard = false;
     for (const std::string& line : lines) {
@@ -284,7 +367,9 @@ formatManifest(const SpoolManifest& m)
         << "name " << m.name << "\n"
         << "seed " << hex(m.seed) << "\n"
         << "spec " << hex(m.specHash) << "\n"
-        << "lease " << dbl(m.leaseSeconds) << "\n";
+        << "lease " << dbl(m.leaseSeconds) << "\n"
+        << "retry_attempts " << m.retryAttempts << "\n"
+        << "retry_base_ms " << dbl(m.retryBaseMs) << "\n";
     return out.str();
 }
 
@@ -307,14 +392,30 @@ parseManifest(const std::string& text)
             m.specHash = parseHex(tok[1], "spec");
         } else if (tok[0] == "lease" && tok.size() == 2) {
             m.leaseSeconds = parseDouble(tok[1], "lease");
+        } else if (tok[0] == "retry_attempts" && tok.size() == 2) {
+            m.retryAttempts = parseU64(tok[1], "retry_attempts");
+        } else if (tok[0] == "retry_base_ms" && tok.size() == 2) {
+            m.retryBaseMs = parseDouble(tok[1], "retry_base_ms");
         }
     }
     return m;
 }
 
 void
-spoolWriteAtomic(const std::string& path, const std::string& text)
+spoolWriteAtomic(const std::string& path, const std::string& text,
+                 const char* point)
 {
+    if (faultPoint("spool.io.write").transient)
+        throw TransientIoError("injected transient write fault: " +
+                               path);
+    FaultDecision f;
+    if (point != nullptr) {
+        f = faultPoint(point);
+        if (f.transient)
+            throw TransientIoError(
+                std::string("injected transient fault at ") + point +
+                ": " + path);
+    }
     // The temp name must be a DOT-PREFIXED basename in the same
     // directory: directory scans (listDir) skip dotted tmp entries,
     // so an in-flight publish can never be claimed before its final
@@ -329,27 +430,46 @@ spoolWriteAtomic(const std::string& path, const std::string& text)
     {
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
         if (!out)
-            throw std::runtime_error("cannot open for write: " + tmp);
+            throwIo("cannot open for write: " + tmp, errno);
         out << text;
         out.flush();
         if (!out) {
+            const int err = errno;
             std::remove(tmp.c_str());
-            throw std::runtime_error("write failed: " + tmp);
+            throwIo("write failed: " + tmp, err);
         }
     }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (f.torn) {
+        // Model a non-atomic writer dying mid-write: a truncated
+        // prefix of the payload lands on the FINAL path and the
+        // process is gone. Readers must detect this via the crc.
+        const size_t n = faultTornLength(point, text.size());
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(text.data(), static_cast<std::streamsize>(n));
+        out.flush();
         std::remove(tmp.c_str());
-        throw std::runtime_error("rename failed: " + tmp + " -> " +
-                                 path);
+        faultCrash(point);
     }
+    if (f.crashBefore)
+        faultCrash(point);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        const int err = errno;
+        std::remove(tmp.c_str());
+        throwIo("rename failed: " + tmp + " -> " + path, err);
+    }
+    if (f.crashAfter)
+        faultCrash(point);
 }
 
 std::string
-spoolReadFile(const std::string& path)
+spoolReadFile(const std::string& path, const char* point)
 {
+    if (point != nullptr && faultPoint(point).transient)
+        throw TransientIoError("injected transient read fault: " +
+                               path);
     std::ifstream in(path, std::ios::binary);
     if (!in)
-        throw std::runtime_error("cannot read: " + path);
+        throwIo("cannot read: " + path, errno);
     std::ostringstream out;
     out << in.rdbuf();
     return out.str();
@@ -366,6 +486,9 @@ Spool::initialize(const SpoolManifest& manifest,
     makeDir(dir_ + "/claimed");
     makeDir(dir_ + "/done");
     makeDir(dir_ + "/results");
+    makeDir(dir_ + "/reclaims");
+    makeDir(dir_ + "/quarantine");
+    makeDir(dir_ + "/workers");
     makeDir(cacheDir());
     SpoolManifest m = manifest;
     m.specHash = HashStream().absorb(specText).digest();
@@ -380,8 +503,9 @@ Spool::initialize(const SpoolManifest& manifest,
         return;
     }
     // Spec first, manifest last: initialized() implies both exist.
-    spoolWriteAtomic(dir_ + "/spec.ini", specText);
-    spoolWriteAtomic(dir_ + "/manifest.txt", formatManifest(m));
+    writeFile("spec.ini", specText, "spool.spec.commit");
+    writeFile("manifest.txt", formatManifest(m),
+              "spool.manifest.commit");
 }
 
 bool
@@ -393,13 +517,13 @@ Spool::initialized() const
 SpoolManifest
 Spool::readManifest() const
 {
-    return parseManifest(spoolReadFile(dir_ + "/manifest.txt"));
+    return parseManifest(readFile("manifest.txt"));
 }
 
 std::string
 Spool::readSpecText() const
 {
-    return spoolReadFile(dir_ + "/spec.ini");
+    return readFile("spec.ini");
 }
 
 std::string
@@ -417,7 +541,8 @@ Spool::publishShard(const ShardDescriptor& d)
         fileExists(dir_ + "/done/" + id) ||
         fileExists(dir_ + "/results/" + id + ".rec"))
         return false;
-    spoolWriteAtomic(dir_ + "/open/" + id, formatShardDescriptor(d));
+    writeFile("open/" + id, formatShardDescriptor(d),
+              "spool.descriptor.commit");
     return true;
 }
 
@@ -428,7 +553,18 @@ Spool::claimShard(const std::string& id, ShardDescriptor& out)
     const std::string to = dir_ + "/claimed/" + id;
     if (std::rename(from.c_str(), to.c_str()) != 0)
         return false;
-    out = parseShardDescriptor(spoolReadFile(to));
+    try {
+        out = parseShardDescriptor(withRetry(
+            "read", to, [&] { return spoolReadFile(to,
+                                                   "spool.io.read"); }));
+    } catch (const SpoolIoError&) {
+        throw;
+    } catch (const std::exception&) {
+        // Corrupt descriptor (torn publish): never execute it.
+        // Quarantine so the coordinator can republish cleanly.
+        quarantineShard(id);
+        return false;
+    }
     return true;
 }
 
@@ -447,6 +583,8 @@ Spool::claimedShards() const
 void
 Spool::heartbeat(const std::string& id) const
 {
+    if (faultPoint("spool.heartbeat").freeze)
+        return;
     // Refresh both timestamps to "now"; cheap and race-free (a claim
     // that was reclaimed meanwhile just makes this a no-op ENOENT).
     ::utimensat(AT_FDCWD, (dir_ + "/claimed/" + id).c_str(), nullptr,
@@ -454,18 +592,37 @@ Spool::heartbeat(const std::string& id) const
 }
 
 double
-Spool::claimAge(const std::string& id) const
+Spool::monotonicAge(const std::string& path) const
 {
     struct stat st;
-    if (::stat((dir_ + "/claimed/" + id).c_str(), &st) != 0)
+    if (::stat(path.c_str(), &st) != 0) {
+        std::lock_guard<std::mutex> lock(agesMutex_);
+        ages_.erase(path);
         return -1.0;
-    struct timespec now;
-    ::clock_gettime(CLOCK_REALTIME, &now);
-    const double then = static_cast<double>(st.st_mtim.tv_sec) +
-        static_cast<double>(st.st_mtim.tv_nsec) * 1e-9;
-    const double current = static_cast<double>(now.tv_sec) +
-        static_cast<double>(now.tv_nsec) * 1e-9;
-    return current - then;
+    }
+    const long long mtimeNs =
+        static_cast<long long>(st.st_mtim.tv_sec) * 1000000000ll +
+        static_cast<long long>(st.st_mtim.tv_nsec);
+    const double now = monotonicSeconds();
+    std::lock_guard<std::mutex> lock(agesMutex_);
+    const auto [it, inserted] = ages_.try_emplace(path);
+    AgeObservation& obs = it->second;
+    if (inserted || obs.mtimeNs != mtimeNs) {
+        // First sighting, or the heartbeat advanced: restart the
+        // local monotonic age from zero. Wall-clock steps change
+        // neither the stored mtime nor CLOCK_MONOTONIC, so they
+        // cannot expire (or immortalize) a lease.
+        obs.mtimeNs = mtimeNs;
+        obs.monoSeconds = now;
+        return 0.0;
+    }
+    return now - obs.monoSeconds;
+}
+
+double
+Spool::claimAge(const std::string& id) const
+{
+    return monotonicAge(dir_ + "/claimed/" + id);
 }
 
 bool
@@ -476,11 +633,89 @@ Spool::reclaimShard(const std::string& id)
     return std::rename(from.c_str(), to.c_str()) == 0;
 }
 
+size_t
+Spool::bumpReclaimCount(const std::string& id)
+{
+    makeDir(dir_ + "/reclaims");
+    const std::string path = dir_ + "/reclaims/" + id;
+    size_t count = reclaimCount(id) + 1;
+    try {
+        spoolWriteAtomic(path, std::to_string(count) + "\n");
+    } catch (const std::exception&) {
+        // Best effort: a lost counter update only delays poison
+        // detection by one reclaim.
+    }
+    return count;
+}
+
+size_t
+Spool::reclaimCount(const std::string& id) const
+{
+    const std::string path = dir_ + "/reclaims/" + id;
+    if (!fileExists(path))
+        return 0;
+    try {
+        return static_cast<size_t>(
+            std::stoull(spoolReadFile(path)));
+    } catch (const std::exception&) {
+        return 0;
+    }
+}
+
+bool
+Spool::quarantineShard(const std::string& id)
+{
+    makeDir(dir_ + "/quarantine");
+    const std::string q = dir_ + "/quarantine/" + id;
+    if (std::rename((dir_ + "/claimed/" + id).c_str(), q.c_str()) == 0)
+        return true;
+    return std::rename((dir_ + "/open/" + id).c_str(), q.c_str()) ==
+           0;
+}
+
+bool
+Spool::quarantineRecord(const std::string& id)
+{
+    return quarantineFile("results/" + id + ".rec");
+}
+
+bool
+Spool::quarantineFile(const std::string& relative)
+{
+    makeDir(dir_ + "/quarantine");
+    const size_t slash = relative.find_last_of('/');
+    const std::string base = slash == std::string::npos
+        ? relative
+        : relative.substr(slash + 1);
+    return std::rename((dir_ + "/" + relative).c_str(),
+                       (dir_ + "/quarantine/" + base).c_str()) == 0;
+}
+
+std::vector<std::string>
+Spool::quarantined() const
+{
+    return listDir(dir_ + "/quarantine");
+}
+
+bool
+Spool::reviveShard(const std::string& id)
+{
+    return std::rename((dir_ + "/done/" + id).c_str(),
+                       (dir_ + "/open/" + id).c_str()) == 0;
+}
+
+bool
+Spool::retireClaim(const std::string& id)
+{
+    return std::rename((dir_ + "/claimed/" + id).c_str(),
+                       (dir_ + "/done/" + id).c_str()) == 0;
+}
+
 void
 Spool::completeShard(const std::string& id, const ShardRecord& r)
 {
-    spoolWriteAtomic(dir_ + "/results/" + id + ".rec",
-                     formatShardRecord(r));
+    writeFile("results/" + id + ".rec", formatShardRecord(r),
+              "spool.record.commit");
     // Retire the descriptor. The claim may have been reclaimed to
     // open/ meanwhile (slow heartbeat); move it to done/ from either
     // place so nobody re-executes a shard that already has a record.
@@ -499,14 +734,146 @@ Spool::hasRecord(const std::string& id) const
 ShardRecord
 Spool::readRecord(const std::string& id) const
 {
-    return parseShardRecord(
-        spoolReadFile(dir_ + "/results/" + id + ".rec"));
+    const std::string text = readFile("results/" + id + ".rec");
+    try {
+        return parseShardRecord(text);
+    } catch (const CorruptSpoolError&) {
+        throw;
+    } catch (const std::exception& ex) {
+        throw CorruptSpoolError("record " + id + ": " + ex.what());
+    }
+}
+
+bool
+Spool::acquireCoordinatorLease(const std::string& owner)
+{
+    const std::string path = dir_ + "/" + kLeaseFile;
+    const int fd = ::open(path.c_str(),
+                          O_CREAT | O_EXCL | O_WRONLY | O_CLOEXEC,
+                          0666);
+    if (fd < 0)
+        return false;
+    const std::string text = "owner " + owner + "\n";
+    (void)!::write(fd, text.data(), text.size());
+    ::close(fd);
+    return true;
+}
+
+bool
+Spool::stealCoordinatorLease(const std::string& owner)
+{
+    static std::atomic<unsigned> counter{0};
+    char suffix[64];
+    std::snprintf(suffix, sizeof suffix, ".dead-%ld-%u",
+                  static_cast<long>(::getpid()),
+                  counter.fetch_add(1));
+    const std::string path = dir_ + "/" + kLeaseFile;
+    // Exactly one stealer wins this rename; losers see ENOENT and go
+    // back to waiting on the new owner's lease.
+    if (std::rename(path.c_str(), (path + suffix).c_str()) != 0)
+        return false;
+    return acquireCoordinatorLease(owner);
+}
+
+void
+Spool::heartbeatCoordinator() const
+{
+    if (faultPoint("coord.lease.heartbeat").freeze)
+        return;
+    ::utimensat(AT_FDCWD, (dir_ + "/" + kLeaseFile).c_str(), nullptr,
+                0);
+}
+
+double
+Spool::coordinatorLeaseAge() const
+{
+    return monotonicAge(dir_ + "/" + kLeaseFile);
+}
+
+bool
+Spool::hasCoordinatorLease() const
+{
+    return fileExists(dir_ + "/" + kLeaseFile);
+}
+
+void
+Spool::releaseCoordinatorLease(const std::string& owner)
+{
+    const std::string path = dir_ + "/" + kLeaseFile;
+    try {
+        const std::string text = spoolReadFile(path);
+        if (text.rfind("owner " + owner + "\n", 0) != 0)
+            return; // someone stole it; not ours to remove
+    } catch (const std::exception&) {
+        return;
+    }
+    ::unlink(path.c_str());
+}
+
+void
+Spool::writeJournal(const std::string& text)
+{
+    writeFile(kJournalFile, text, "spool.journal.commit");
+}
+
+bool
+Spool::readJournal(std::string& out) const
+{
+    if (!exists(kJournalFile))
+        return false;
+    out = readFile(kJournalFile);
+    return true;
+}
+
+void
+Spool::writeFile(const std::string& relative, const std::string& text,
+                 const char* point)
+{
+    const std::string path = dir_ + "/" + relative;
+    withRetry("write", path,
+              [&] { spoolWriteAtomic(path, text, point); });
+}
+
+std::string
+Spool::readFile(const std::string& relative) const
+{
+    const std::string path = dir_ + "/" + relative;
+    return withRetry("read", path, [&] {
+        return spoolReadFile(path, "spool.io.read");
+    });
+}
+
+bool
+Spool::exists(const std::string& relative) const
+{
+    return fileExists(dir_ + "/" + relative);
+}
+
+std::vector<std::string>
+Spool::list(const std::string& subdir) const
+{
+    return listDir(dir_ + "/" + subdir);
+}
+
+double
+Spool::mtimeAge(const std::string& relative) const
+{
+    struct stat st;
+    if (::stat((dir_ + "/" + relative).c_str(), &st) != 0)
+        return -1.0;
+    struct timespec now;
+    ::clock_gettime(CLOCK_REALTIME, &now);
+    const double then = static_cast<double>(st.st_mtim.tv_sec) +
+        static_cast<double>(st.st_mtim.tv_nsec) * 1e-9;
+    const double current = static_cast<double>(now.tv_sec) +
+        static_cast<double>(now.tv_nsec) * 1e-9;
+    return std::max(0.0, current - then);
 }
 
 void
 Spool::markDone()
 {
-    spoolWriteAtomic(dir_ + "/DONE", "done\n");
+    writeFile("DONE", "done\n", "spool.done.commit");
 }
 
 bool

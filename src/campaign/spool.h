@@ -13,24 +13,53 @@
  * Layout:
  *
  *     spool/
- *       manifest.txt       campaign name, seed, spec hash, lease
+ *       manifest.txt       campaign name, seed, spec hash, lease,
+ *                          retry knobs
  *       spec.ini           verbatim campaign spec text
  *       cache/             shared artifact store (see ArtifactCache)
  *       open/<shard>       unclaimed shard descriptors
  *       claimed/<shard>    claimed descriptors; mtime = lease heartbeat
  *       done/<shard>       completed descriptors (tombstones)
  *       results/<shard>.rec  shard result records (tmp+rename publish)
+ *       coord.lease        coordinator liveness lease (mtime heartbeat)
+ *       journal.txt        coordinator merge journal (finalized tasks)
+ *       reclaims/<shard>   per-shard reclaim counters (poison detection)
+ *       quarantine/        corrupt records/descriptors, poison shards
+ *       workers/<id>       worker health files (healthy/degraded/done)
+ *       result.json        merged campaign result (written at the end)
  *       DONE               coordinator's end-of-campaign marker
  *
  * Claim protocol: a worker claims `open/X` by renaming it to
  * `claimed/X`. Exactly one renamer wins; losers get ENOENT and move
  * on. The worker touches `claimed/X` as a heartbeat while executing;
- * the coordinator renames any claim whose mtime is older than the
- * lease back to `open/` (reclaim), so shards of a killed worker are
- * re-executed rather than lost. Records are deterministic functions
- * of (spec, shard), so the rare double execution after a reclaim race
+ * the coordinator renames any claim whose heartbeat went stale back
+ * to `open/` (reclaim), so shards of a killed worker are re-executed
+ * rather than lost. Records are deterministic functions of
+ * (spec, shard), so the rare double execution after a reclaim race
  * produces identical bytes and is harmless — the coordinator absorbs
  * each shard id exactly once.
+ *
+ * Coordinator failover: the coordinator holds `coord.lease`
+ * (created O_CREAT|O_EXCL, heartbeated by mtime) and journals every
+ * finalized task into `journal.txt` after each merge. If it dies, any
+ * process may steal the stale lease (a rename, so exactly one winner)
+ * and resume: records are idempotent, publishing skips existing
+ * shards, and journaled tasks restore without re-merging — the
+ * takeover run produces bit-identical results.
+ *
+ * Self-healing: shard records, descriptors and the journal carry a
+ * trailing CRC-32 line. A file that fails its checksum (torn write,
+ * bit rot) is moved to `quarantine/` and its shard re-published
+ * instead of poisoning the merge. A shard whose claim is reclaimed
+ * `max_claim_reclaims` times (it keeps killing workers) is itself
+ * quarantined and its task finalized with an error rather than
+ * livelocking the fleet.
+ *
+ * Lease ages are *monotonic-safe*: ages are measured as elapsed
+ * CLOCK_MONOTONIC time since this process last observed the file's
+ * mtime change, never as a realtime-minus-mtime difference, so an NTP
+ * wall-clock step can neither expire every live lease at once nor
+ * keep a dead one alive.
  *
  * Shard ids are zero-padded ("t0003-s00017") so lexicographic
  * directory order equals (task, shard-index) order and the
@@ -40,14 +69,26 @@
 #ifndef CYCLONE_CAMPAIGN_SPOOL_H
 #define CYCLONE_CAMPAIGN_SPOOL_H
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "campaign/retry_policy.h"
 #include "decoder/bposd_decoder.h"
 
 namespace cyclone {
+
+/** A spool file whose contents failed validation (bad checksum or
+ *  malformed text) — quarantine material, distinct from transient
+ *  I/O failures. */
+struct CorruptSpoolError : public std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
 
 /** One claimable unit of work: a contiguous chunk range of a task. */
 struct ShardDescriptor
@@ -90,25 +131,44 @@ struct SpoolManifest
     /** Content hash of the verbatim spec text (spec.ini). */
     uint64_t specHash = 0;
     double leaseSeconds = 30.0;
+    /** Transient-I/O retry knobs, shared with workers. */
+    size_t retryAttempts = 4;
+    double retryBaseMs = 5.0;
 };
 
 /** Stable shard id, e.g. "t0003-s00017". */
 std::string shardId(size_t task, size_t shard);
 
-/** Text round-trip of a shard descriptor (one record per file). */
+/**
+ * Append a trailing "crc xxxxxxxx" line (CRC-32 of everything before
+ * it) to a text document. checkCrcLine() verifies and strips it.
+ */
+std::string withCrcLine(std::string text);
+
+/**
+ * Verify and strip the trailing crc line of `text`, returning the
+ * payload. Throws CorruptSpoolError (tagged with `what`) if the line
+ * is absent, malformed, or does not match the payload.
+ */
+std::string checkCrcLine(const std::string& text, const char* what);
+
+/** Text round-trip of a shard descriptor (one record per file,
+ *  CRC-protected). */
 std::string formatShardDescriptor(const ShardDescriptor& d);
-/** Throws std::runtime_error on malformed input. */
+/** Throws CorruptSpoolError on a bad checksum, std::runtime_error on
+ *  malformed fields. */
 ShardDescriptor parseShardDescriptor(const std::string& text);
 
 /**
- * Text round-trip of a shard record. The decoder line is
- * field-counted like the checkpoint format: loaders accept records
- * with fewer decoder fields (zero-filling the rest) so old records
- * stay readable, and reject records with more, so a new field is a
- * deliberate format bump rather than silent truncation.
+ * Text round-trip of a shard record (CRC-protected). The decoder
+ * line is field-counted like the checkpoint format: loaders accept
+ * records with fewer decoder fields (zero-filling the rest) so old
+ * records stay readable, and reject records with more, so a new
+ * field is a deliberate format bump rather than silent truncation.
  */
 std::string formatShardRecord(const ShardRecord& r);
-/** Throws std::runtime_error on malformed input. */
+/** Throws CorruptSpoolError on a bad checksum, std::runtime_error on
+ *  malformed fields. */
 ShardRecord parseShardRecord(const std::string& text);
 
 /** Text round-trip of the spool manifest. */
@@ -119,9 +179,11 @@ SpoolManifest parseManifest(const std::string& text);
 /**
  * Handle to one spool directory. Construction only records the path;
  * initialize() (coordinator) or open() semantics are provided by the
- * member functions below. All operations are stateless wrappers over
- * the filesystem, so any number of Spool objects in any number of
- * processes may point at one directory.
+ * member functions below. All filesystem operations are stateless
+ * wrappers — any number of Spool objects in any number of processes
+ * may point at one directory — but each handle additionally keeps a
+ * local monotonic observation history for lease ages, so age queries
+ * should go through one handle per process.
  */
 class Spool
 {
@@ -129,6 +191,19 @@ class Spool
     explicit Spool(std::string dir);
 
     const std::string& dir() const { return dir_; }
+
+    /** Replace the transient-I/O retry policy (default: 4 attempts,
+     *  5 ms base delay). */
+    void setRetryPolicy(const RetryPolicy& policy) { retry_ = policy; }
+
+    /** The active retry policy. */
+    const RetryPolicy& retryPolicy() const { return retry_; }
+
+    /** Transient I/O failures retried by this handle so far. */
+    size_t transientRetries() const
+    {
+        return transientRetries_.load(std::memory_order_relaxed);
+    }
 
     /**
      * Create the directory skeleton and publish manifest + spec text.
@@ -162,7 +237,8 @@ class Spool
     /**
      * Try to claim the named shard (rename open/<id> -> claimed/<id>).
      * Returns the descriptor on success; false return means another
-     * worker won or the shard vanished.
+     * worker won, the shard vanished, or its descriptor was corrupt
+     * (in which case it is quarantined, not executed).
      */
     bool claimShard(const std::string& id, ShardDescriptor& out);
 
@@ -176,8 +252,11 @@ class Spool
     void heartbeat(const std::string& id) const;
 
     /**
-     * Age in seconds of claimed/<id>'s last heartbeat, or a negative
-     * value if the claim no longer exists.
+     * Seconds since this handle last observed claimed/<id>'s
+     * heartbeat advance, or a negative value if the claim no longer
+     * exists. Monotonic-safe: the first observation of a claim (or of
+     * a new heartbeat) reads as age 0 and ages by CLOCK_MONOTONIC
+     * from there, so a wall-clock step cannot expire a live lease.
      */
     double claimAge(const std::string& id) const;
 
@@ -187,6 +266,39 @@ class Spool
      * or another reclaim won).
      */
     bool reclaimShard(const std::string& id);
+
+    /**
+     * Bump and return the persistent reclaim counter of a shard
+     * (reclaims/<id>). Survives coordinator failover, so a poison
+     * shard is detected even across takeovers.
+     */
+    size_t bumpReclaimCount(const std::string& id);
+
+    /** Current reclaim count of a shard (0 if never reclaimed). */
+    size_t reclaimCount(const std::string& id) const;
+
+    /**
+     * Move a shard's descriptor (claimed/ first, then open/) to
+     * quarantine/. Returns false if neither exists.
+     */
+    bool quarantineShard(const std::string& id);
+
+    /** Move results/<id>.rec to quarantine/<id>.rec. */
+    bool quarantineRecord(const std::string& id);
+
+    /** Move an arbitrary spool-relative file to quarantine/. */
+    bool quarantineFile(const std::string& relative);
+
+    /** Names currently in quarantine/, sorted. */
+    std::vector<std::string> quarantined() const;
+
+    /** Move done/<id> back to open/ (re-execute a shard whose record
+     *  was quarantined). Returns false if done/<id> is absent. */
+    bool reviveShard(const std::string& id);
+
+    /** Move claimed/<id> to done/ without a record (retire a claim
+     *  whose task already finished). */
+    bool retireClaim(const std::string& id);
 
     /**
      * Publish a shard's result record and retire its claim:
@@ -200,8 +312,71 @@ class Spool
     /** True if results/<id>.rec exists. */
     bool hasRecord(const std::string& id) const;
 
-    /** Load results/<id>.rec; throws if absent or malformed. */
+    /** Load results/<id>.rec; throws CorruptSpoolError if its
+     *  checksum or format is bad, std::runtime_error if absent. */
     ShardRecord readRecord(const std::string& id) const;
+
+    // ---- coordinator lease -------------------------------------
+
+    /**
+     * Try to create coord.lease with O_CREAT|O_EXCL (exactly one
+     * winner across processes). Returns false if a lease exists.
+     */
+    bool acquireCoordinatorLease(const std::string& owner);
+
+    /**
+     * Steal a (presumed stale) lease: rename it to a unique dead
+     * name — exactly one stealer wins the rename — then acquire a
+     * fresh lease. Returns true only for the full winner.
+     */
+    bool stealCoordinatorLease(const std::string& owner);
+
+    /** Touch coord.lease's mtime (coordinator heartbeat). */
+    void heartbeatCoordinator() const;
+
+    /** Monotonic-safe age of the coordinator lease, or negative if
+     *  no lease exists. Same semantics as claimAge(). */
+    double coordinatorLeaseAge() const;
+
+    /** True if coord.lease exists. */
+    bool hasCoordinatorLease() const;
+
+    /** Remove coord.lease if this `owner` holds it. */
+    void releaseCoordinatorLease(const std::string& owner);
+
+    // ---- journal / generic files -------------------------------
+
+    /** Atomically replace journal.txt (pre-formatted text). */
+    void writeJournal(const std::string& text);
+
+    /** Read journal.txt into `out`; false if absent. */
+    bool readJournal(std::string& out) const;
+
+    /**
+     * Retry-wrapped atomic write of a spool-relative file
+     * (stats, worker health, result.json). `point` names the fault
+     * point for injection; may be null.
+     */
+    void writeFile(const std::string& relative, const std::string& text,
+                   const char* point = nullptr);
+
+    /** Retry-wrapped whole read of a spool-relative file. */
+    std::string readFile(const std::string& relative) const;
+
+    /** True if a spool-relative file exists. */
+    bool exists(const std::string& relative) const;
+
+    /** Sorted non-hidden names in a spool subdirectory. */
+    std::vector<std::string> list(const std::string& subdir) const;
+
+    /**
+     * Wall-clock age in seconds of a spool-relative file's mtime,
+     * clamped to >= 0 (negative only when the file is missing). Used
+     * for end-of-run health classification, where a monotonic
+     * observation history does not exist; lease decisions use
+     * claimAge()/coordinatorLeaseAge() instead.
+     */
+    double mtimeAge(const std::string& relative) const;
 
     /** Write the DONE marker (coordinator, end of campaign). */
     void markDone();
@@ -210,18 +385,54 @@ class Spool
     bool done() const;
 
   private:
+    /**
+     * Age of `path` since this handle last saw its mtime change,
+     * measured on CLOCK_MONOTONIC. First observation = 0; missing
+     * file = -1 (and the observation entry is dropped).
+     */
+    double monotonicAge(const std::string& path) const;
+
+    template <typename Fn>
+    auto withRetry(const char* op, const std::string& path,
+                   Fn&& fn) const -> decltype(fn())
+    {
+        return runWithRetry(
+            retry_, op, path, std::forward<Fn>(fn),
+            [this](size_t) {
+                transientRetries_.fetch_add(
+                    1, std::memory_order_relaxed);
+            });
+    }
+
     std::string dir_;
+    RetryPolicy retry_;
+    mutable std::atomic<size_t> transientRetries_{0};
+
+    struct AgeObservation
+    {
+        long long mtimeNs = 0;
+        double monoSeconds = 0.0;
+    };
+    mutable std::mutex agesMutex_;
+    mutable std::unordered_map<std::string, AgeObservation> ages_;
 };
 
 /**
  * Write `text` to `path` atomically: tmp file (suffixed with the pid
- * so concurrent writers never collide) + rename. Throws
- * std::runtime_error on I/O failure.
+ * so concurrent writers never collide) + rename. `point` names the
+ * fault-injection site guarding the commit (see fault_plan.h); null
+ * disables per-site injection (the generic "spool.io.write" transient
+ * point still applies). Throws TransientIoError on retryable errno
+ * values, std::runtime_error otherwise.
  */
-void spoolWriteAtomic(const std::string& path, const std::string& text);
+void spoolWriteAtomic(const std::string& path, const std::string& text,
+                      const char* point = nullptr);
 
-/** Read a whole file; throws std::runtime_error if unreadable. */
-std::string spoolReadFile(const std::string& path);
+/** Read a whole file; throws TransientIoError on retryable errno
+ *  values, std::runtime_error otherwise. `point` as above (generic
+ *  point: "spool.io.read"). */
+std::string spoolReadFile(const std::string& path,
+                          const char* point = nullptr);
 
 } // namespace cyclone
 

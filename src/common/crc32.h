@@ -1,0 +1,34 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte
+ * buffers. Used to checksum spool records, the coordinator journal,
+ * and artifact-store blobs so torn or bit-rotted files are detected
+ * and quarantined instead of silently merged.
+ */
+
+#ifndef CYCLONE_COMMON_CRC32_H
+#define CYCLONE_COMMON_CRC32_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace cyclone {
+
+/**
+ * CRC-32 of `n` bytes at `data`. Pass a previous return value as
+ * `seed` to continue a running checksum over split buffers; the
+ * default computes a standalone checksum ("123456789" -> 0xCBF43926).
+ */
+uint32_t crc32(const void* data, size_t n, uint32_t seed = 0);
+
+/** Convenience overload for strings. */
+inline uint32_t
+crc32(const std::string& s, uint32_t seed = 0)
+{
+    return crc32(s.data(), s.size(), seed);
+}
+
+} // namespace cyclone
+
+#endif // CYCLONE_COMMON_CRC32_H

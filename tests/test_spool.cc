@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include <fcntl.h>
 #include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -25,6 +26,7 @@
 #include "campaign/campaign_io.h"
 #include "campaign/content_hash.h"
 #include "campaign/coordinator.h"
+#include "campaign/fault_plan.h"
 #include "campaign/spool.h"
 #include "dem/dem.h"
 
@@ -228,12 +230,12 @@ TEST(SpoolSerde, ShardRecordRoundTripAndBackCompat)
     EXPECT_EQ(p.decoder.stagedChunks, r.decoder.stagedChunks);
     EXPECT_EQ(p.decoder.backend, "avx512");
 
-    // Back-compat: an old record with only the first four decoder
-    // counters loads with the rest zero-filled.
-    const std::string old =
-        "cyclone-shard-result v1\n"
+    // Back-compat *within* the checksummed envelope: a short decoder
+    // line (an older counter layout) loads with the rest zero-filled.
+    const std::string old = withCrcLine(
+        "cyclone-shard-result v2\n"
         "shard 1 2 00000000000000ff 100 5 1.5\n"
-        "decoder 100 90 10 1\n";
+        "decoder 100 90 10 1\n");
     const ShardRecord q = parseShardRecord(old);
     EXPECT_EQ(q.shots, 100u);
     EXPECT_EQ(q.decoder.decodes, 100u);
@@ -243,18 +245,41 @@ TEST(SpoolSerde, ShardRecordRoundTripAndBackCompat)
 
     // A future record with MORE decoder fields than we know must be
     // rejected, never silently truncated.
-    const std::string future =
-        "cyclone-shard-result v1\n"
+    const std::string future = withCrcLine(
+        "cyclone-shard-result v2\n"
         "shard 1 2 00000000000000ff 100 5 1.5\n"
-        "decoder 1 2 3 4 5 6 7 8 9 10 11 12 13 14\n";
+        "decoder 1 2 3 4 5 6 7 8 9 10 11 12 13 14\n");
     EXPECT_THROW(parseShardRecord(future), std::runtime_error);
 
     // Too few is malformed too (below the oldest known format).
-    const std::string tiny =
+    const std::string tiny = withCrcLine(
+        "cyclone-shard-result v2\n"
+        "shard 1 2 00000000000000ff 100 5 1.5\n"
+        "decoder 1 2\n");
+    EXPECT_THROW(parseShardRecord(tiny), std::runtime_error);
+
+    // An un-checksummed record (the pre-CRC v1 format, or a write
+    // torn inside the payload) is corrupt, not merely unversioned:
+    // torn-write detection hangs on the CRC line being mandatory.
+    const std::string v1 =
         "cyclone-shard-result v1\n"
         "shard 1 2 00000000000000ff 100 5 1.5\n"
-        "decoder 1 2\n";
-    EXPECT_THROW(parseShardRecord(tiny), std::runtime_error);
+        "decoder 100 90 10 1\n";
+    EXPECT_THROW(parseShardRecord(v1), CorruptSpoolError);
+
+    // Flipping one payload byte fails the checksum.
+    std::string flipped = formatShardRecord(r);
+    flipped[flipped.find("640")] = '9';
+    EXPECT_THROW(parseShardRecord(flipped), CorruptSpoolError);
+
+    // Truncation anywhere inside the payload fails the checksum (or
+    // removes it entirely); only trailing-newline loss can survive,
+    // and that leaves a complete, valid record.
+    const std::string whole = formatShardRecord(r);
+    for (size_t cut = 1; cut + 1 < whole.size(); cut += 7)
+        EXPECT_THROW(parseShardRecord(whole.substr(0, cut)),
+                     std::runtime_error)
+            << "cut at " << cut;
 }
 
 TEST(SpoolSerde, ManifestRoundTrip)
@@ -264,11 +289,15 @@ TEST(SpoolSerde, ManifestRoundTrip)
     m.seed = 0xabcdef;
     m.specHash = 0x1122334455667788ull;
     m.leaseSeconds = 2.5;
+    m.retryAttempts = 9;
+    m.retryBaseMs = 12.5;
     const SpoolManifest p = parseManifest(formatManifest(m));
     EXPECT_EQ(p.name, m.name);
     EXPECT_EQ(p.seed, m.seed);
     EXPECT_EQ(p.specHash, m.specHash);
     EXPECT_EQ(p.leaseSeconds, m.leaseSeconds);
+    EXPECT_EQ(p.retryAttempts, m.retryAttempts);
+    EXPECT_EQ(p.retryBaseMs, m.retryBaseMs);
 }
 
 TEST(SpoolSerde, WorkerStatsRoundTrip)
@@ -285,6 +314,9 @@ TEST(SpoolSerde, WorkerStatsRoundTrip)
     r.cache.demMisses = 4;
     r.cache.demStoreHits = 4;
     r.cache.demBytes = 6789;
+    r.cache.quarantinedBlobs = 2;
+    r.transientRetries = 5;
+    r.promotions = 1;
     const WorkerReport p = parseWorkerStats(formatWorkerStats(r));
     EXPECT_EQ(p.shardsRun, r.shardsRun);
     EXPECT_EQ(p.shots, r.shots);
@@ -292,6 +324,9 @@ TEST(SpoolSerde, WorkerStatsRoundTrip)
     EXPECT_EQ(p.cache.compileMisses, r.cache.compileMisses);
     EXPECT_EQ(p.cache.compileStoreHits, r.cache.compileStoreHits);
     EXPECT_EQ(p.cache.demBytes, r.cache.demBytes);
+    EXPECT_EQ(p.cache.quarantinedBlobs, r.cache.quarantinedBlobs);
+    EXPECT_EQ(p.transientRetries, r.transientRetries);
+    EXPECT_EQ(p.promotions, r.promotions);
 }
 
 TEST(SpoolSerde, ShardPlanningHelpers)
@@ -388,6 +423,213 @@ TEST(SpoolProtocol, ClaimCompleteAndRecords)
 
     spool.markDone();
     EXPECT_TRUE(spool.done());
+}
+
+TEST(SpoolProtocol, CoordinatorLeaseHasExactlyOneWinner)
+{
+    ScratchDir scratch("spool-lease-proto");
+    Spool spool(scratch.path);
+    SpoolManifest m;
+    m.name = "lease";
+    m.seed = 1;
+    spool.initialize(m, "name = lease\n");
+
+    EXPECT_FALSE(spool.hasCoordinatorLease());
+    EXPECT_LT(spool.coordinatorLeaseAge(), 0.0);
+    EXPECT_TRUE(spool.acquireCoordinatorLease("alice"));
+    EXPECT_TRUE(spool.hasCoordinatorLease());
+    EXPECT_FALSE(spool.acquireCoordinatorLease("bob"))
+        << "O_EXCL create must have exactly one winner";
+    EXPECT_GE(spool.coordinatorLeaseAge(), 0.0);
+
+    // Releasing someone else's lease is a no-op.
+    spool.releaseCoordinatorLease("bob");
+    EXPECT_TRUE(spool.hasCoordinatorLease());
+
+    // A steal replaces the (presumed dead) owner's lease.
+    EXPECT_TRUE(spool.stealCoordinatorLease("bob"));
+    EXPECT_TRUE(spool.hasCoordinatorLease());
+    spool.releaseCoordinatorLease("bob");
+    EXPECT_FALSE(spool.hasCoordinatorLease());
+    EXPECT_TRUE(spool.acquireCoordinatorLease("carol"));
+}
+
+TEST(SpoolProtocol, QuarantineReviveAndRetire)
+{
+    ScratchDir scratch("spool-quarantine");
+    Spool spool(scratch.path);
+    SpoolManifest m;
+    m.name = "quarantine";
+    m.seed = 1;
+    spool.initialize(m, "name = quarantine\n");
+
+    ShardDescriptor d;
+    d.task = 0;
+    d.shard = 0;
+    d.numChunks = 1;
+    d.chunkShots = 10;
+    d.contentHash = 0x1;
+    ASSERT_TRUE(spool.publishShard(d));
+    const std::string id = shardId(0, 0);
+
+    ShardDescriptor got;
+    ASSERT_TRUE(spool.claimShard(id, got));
+    ShardRecord rec;
+    rec.task = 0;
+    rec.shard = 0;
+    rec.contentHash = 0x1;
+    rec.shots = 10;
+    spool.completeShard(id, rec);
+
+    // Quarantining the record revives nothing by itself; the revive
+    // moves the done/ tombstone back to open/ so the shard can be
+    // claimed and re-executed.
+    ASSERT_TRUE(spool.hasRecord(id));
+    EXPECT_TRUE(spool.quarantineRecord(id));
+    EXPECT_FALSE(spool.hasRecord(id));
+    EXPECT_FALSE(spool.quarantineRecord(id)) << "already moved";
+    EXPECT_TRUE(spool.reviveShard(id));
+    EXPECT_FALSE(spool.reviveShard(id)) << "already revived";
+    ASSERT_EQ(spool.openShards().size(), 1u);
+
+    // Re-execute and retire without a record (task finished).
+    ASSERT_TRUE(spool.claimShard(id, got));
+    EXPECT_TRUE(spool.retireClaim(id));
+    EXPECT_TRUE(spool.openShards().empty());
+    EXPECT_TRUE(spool.claimedShards().empty());
+
+    // Quarantine the shard outright (claimed/ first, then open/).
+    EXPECT_TRUE(spool.reviveShard(id));
+    EXPECT_TRUE(spool.quarantineShard(id));
+    EXPECT_FALSE(spool.quarantineShard(id)) << "nothing left";
+    const std::vector<std::string> q = spool.quarantined();
+    ASSERT_EQ(q.size(), 2u) << "descriptor + record";
+}
+
+TEST(SpoolProtocol, ReclaimCountPersistsAcrossHandles)
+{
+    ScratchDir scratch("spool-reclaims");
+    Spool spool(scratch.path);
+    SpoolManifest m;
+    m.name = "reclaims";
+    m.seed = 1;
+    spool.initialize(m, "name = reclaims\n");
+
+    const std::string id = shardId(0, 7);
+    EXPECT_EQ(spool.reclaimCount(id), 0u);
+    EXPECT_EQ(spool.bumpReclaimCount(id), 1u);
+    EXPECT_EQ(spool.bumpReclaimCount(id), 2u);
+    EXPECT_EQ(spool.reclaimCount(id), 2u);
+
+    // A takeover coordinator (fresh handle) sees the same counter —
+    // poison shards survive coordinator failover.
+    Spool other(scratch.path);
+    EXPECT_EQ(other.reclaimCount(id), 2u);
+    EXPECT_EQ(other.bumpReclaimCount(id), 3u);
+}
+
+TEST(SpoolProtocol, ClaimAgeSurvivesWallClockStep)
+{
+    ScratchDir scratch("spool-monotonic");
+    Spool spool(scratch.path);
+    SpoolManifest m;
+    m.name = "monotonic";
+    m.seed = 1;
+    spool.initialize(m, "name = monotonic\n");
+
+    ShardDescriptor d;
+    d.task = 0;
+    d.shard = 0;
+    d.numChunks = 1;
+    d.chunkShots = 10;
+    d.contentHash = 0x1;
+    ASSERT_TRUE(spool.publishShard(d));
+    const std::string id = shardId(0, 0);
+    ShardDescriptor got;
+    ASSERT_TRUE(spool.claimShard(id, got));
+
+    EXPECT_GE(spool.claimAge(id), 0.0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    EXPECT_GE(spool.claimAge(id), 0.05);
+
+    // Simulate a wall-clock step: rewrite the claim's mtime one hour
+    // into the past, as an NTP correction (or a worker on a skewed
+    // clock heartbeating) would. A wall-clock implementation would
+    // read ~3600s and instantly expire the live lease; the monotonic
+    // observation scheme just sees "heartbeat changed" and restarts
+    // the age from zero.
+    const std::string claimPath = scratch.path + "/claimed/" + id;
+    struct timespec past[2];
+    ASSERT_EQ(::clock_gettime(CLOCK_REALTIME, &past[0]), 0);
+    past[0].tv_sec -= 3600;
+    past[1] = past[0];
+    ASSERT_EQ(::utimensat(AT_FDCWD, claimPath.c_str(), past, 0), 0);
+    EXPECT_LT(spool.claimAge(id), 1.0)
+        << "a clock step must not expire a live lease";
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    const double aged = spool.claimAge(id);
+    EXPECT_GE(aged, 0.05);
+    EXPECT_LT(aged, 1.0);
+
+    // Same for a step into the future (age must never go negative).
+    struct timespec future[2];
+    ASSERT_EQ(::clock_gettime(CLOCK_REALTIME, &future[0]), 0);
+    future[0].tv_sec += 3600;
+    future[1] = future[0];
+    ASSERT_EQ(::utimensat(AT_FDCWD, claimPath.c_str(), future, 0), 0);
+    EXPECT_GE(spool.claimAge(id), 0.0);
+    EXPECT_LT(spool.claimAge(id), 1.0);
+
+    // A vanished claim still reads negative.
+    ASSERT_TRUE(spool.reclaimShard(id));
+    EXPECT_LT(spool.claimAge(id), 0.0);
+}
+
+TEST(SpoolProtocol, JournalRoundTripThroughSpool)
+{
+    ScratchDir scratch("spool-journal");
+    Spool spool(scratch.path);
+    SpoolManifest m;
+    m.name = "journal";
+    m.seed = 1;
+    spool.initialize(m, "name = journal\n");
+
+    std::string out;
+    EXPECT_FALSE(spool.readJournal(out));
+
+    JournalEntry e;
+    e.task = 2;
+    e.contentHash = 0xabcdef0123456789ull;
+    e.shots = 1200;
+    e.failures = 17;
+    e.chunks = 24;
+    e.stoppedEarly = true;
+    e.sampleSeconds = 0.125;
+    e.decoder.decodes = 1200;
+    e.decoder.bpIterations = 31337;
+    e.decoder.backend = "avx512";
+    spool.writeJournal(formatCoordJournal({e}));
+
+    ASSERT_TRUE(spool.readJournal(out));
+    const std::vector<JournalEntry> back = parseCoordJournal(out);
+    ASSERT_EQ(back.size(), 1u);
+    EXPECT_EQ(back[0].task, e.task);
+    EXPECT_EQ(back[0].contentHash, e.contentHash);
+    EXPECT_EQ(back[0].shots, e.shots);
+    EXPECT_EQ(back[0].failures, e.failures);
+    EXPECT_EQ(back[0].chunks, e.chunks);
+    EXPECT_EQ(back[0].stoppedEarly, e.stoppedEarly);
+    EXPECT_EQ(back[0].sampleSeconds, e.sampleSeconds);
+    EXPECT_EQ(back[0].decoder.decodes, e.decoder.decodes);
+    EXPECT_EQ(back[0].decoder.bpIterations, e.decoder.bpIterations);
+    EXPECT_EQ(back[0].decoder.backend, "avx512");
+
+    // A corrupted journal fails its checksum.
+    std::string torn = formatCoordJournal({e});
+    torn[torn.size() / 2] ^= 1;
+    EXPECT_THROW(parseCoordJournal(torn), CorruptSpoolError);
+    EXPECT_THROW(parseCoordJournal(torn.substr(0, torn.size() - 9)),
+                 std::runtime_error);
 }
 
 TEST(ArtifactSerde, DemRoundTripIsBitExact)
@@ -611,6 +853,12 @@ TEST(DistributedCampaign, LeaseExpiryReclaimsKilledWorkersShard)
     EXPECT_GE(dist.spool.shardsReclaimed, 1u)
         << "the dead worker's claim must have been reclaimed";
     expectTasksIdentical(reference, dist);
+
+    // Health roll-up: the killed worker's file went stale mid-state,
+    // the survivor checked out cleanly.
+    EXPECT_GE(dist.spool.workersLost, 1u);
+    EXPECT_GE(dist.spool.workersHealthy, 1u);
+    EXPECT_EQ(dist.spool.shardsPoisoned, 0u);
 }
 
 TEST(DistributedCampaign, SharedCacheCompilesEachPointExactlyOnce)
@@ -684,14 +932,15 @@ bp = minsum
 
 TEST(DistributedCampaign, SpoolResumeReusesRecords)
 {
-    // Run a campaign to completion, wipe the DONE marker, and rerun
-    // the coordinator with no workers: every shard it republishes is
-    // already satisfied by a record, so it must finish alone and
-    // report the reuse.
+    // Run a campaign to completion, wipe the DONE marker AND the
+    // merge journal, and rerun the coordinator with no workers:
+    // every shard it republishes is already satisfied by a record,
+    // so it must finish alone and report the reuse.
     ScratchDir scratch("spool-resume");
     const CampaignResult first = runDistributed(scratch.path, 2);
 
-    std::string cmd = "rm -f '" + scratch.path + "/DONE'";
+    std::string cmd = "rm -f '" + scratch.path + "/DONE' '" +
+        scratch.path + "/journal.txt'";
     ASSERT_EQ(std::system(cmd.c_str()), 0);
 
     CampaignSpec spec = parseCampaignSpec(kSpoolSpec);
@@ -701,6 +950,142 @@ TEST(DistributedCampaign, SpoolResumeReusesRecords)
     expectTasksIdentical(first, second);
     EXPECT_EQ(second.spool.shardsPublished, 0u);
     EXPECT_EQ(second.spool.recordsReused, second.spool.shardsMerged);
+    EXPECT_EQ(second.spool.journalRestores, 0u);
+
+    // With the journal intact, a rerun restores every finalized task
+    // directly from it without touching a single record.
+    cmd = "rm -f '" + scratch.path + "/DONE'";
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+    const CampaignResult third =
+        runDistributedCampaign(spec, kSpoolSpec);
+    expectTasksIdentical(first, third);
+    EXPECT_EQ(third.spool.journalRestores, first.tasks.size());
+    EXPECT_EQ(third.spool.shardsMerged, 0u);
+    EXPECT_EQ(third.spool.shardsPublished, 0u);
+}
+
+TEST(DistributedCampaign, PoisonShardQuarantinedAndSurfaced)
+{
+    // One task, zero reclaim tolerance, one worker that dies holding
+    // its claim: the first lease expiry must quarantine the shard as
+    // poison and finalize the task with an error instead of
+    // republishing it forever.
+    const char* spec_text = R"(name = spool-poison
+seed = 5
+
+[task]
+id = poison
+code = surface3
+arch = none
+p = 0.05
+chunk_shots = 50
+chunks_per_wave = 4
+max_shots = 400
+bp = minsum
+)";
+    ScratchDir scratch("spool-poison");
+    CampaignSpec spec = parseCampaignSpec(spec_text);
+    spec.spool = scratch.path;
+    spec.leaseSeconds = 0.3;
+    spec.maxClaimReclaims = 0;
+
+    const std::vector<pid_t> dying =
+        forkWorkers(scratch.path, 1, 0.0, /*dieAfterClaim=*/true);
+    CampaignResult dist;
+    try {
+        dist = runDistributedCampaign(spec, spec_text);
+    } catch (...) {
+        for (const pid_t pid : dying)
+            ::waitpid(pid, nullptr, 0);
+        throw;
+    }
+    reapWorkers(dying);
+
+    EXPECT_EQ(dist.spool.shardsPoisoned, 1u);
+    ASSERT_EQ(dist.tasks.size(), 1u);
+    EXPECT_NE(dist.tasks[0].error.find("poison shard"),
+              std::string::npos)
+        << dist.tasks[0].error;
+
+    Spool spool(scratch.path);
+    EXPECT_TRUE(spool.done());
+    EXPECT_FALSE(spool.quarantined().empty());
+}
+
+TEST(DistributedCampaign, IdleWorkerPromotesOverDeadCoordinator)
+{
+    // The coordinator crashes at its first record merge (injected
+    // fault, installed only in the forked coordinator child). The
+    // lone promote-enabled worker drains the published wave, finds
+    // nothing left to claim, watches the coordinator lease go stale,
+    // promotes itself, and finishes the campaign — bit-identically.
+    CampaignSpec reference_spec = parseCampaignSpec(kSpoolSpec);
+    reference_spec.threads = 2;
+    const CampaignResult reference = runCampaign(reference_spec);
+
+    ScratchDir scratch("spool-promote");
+    const pid_t coord = ::fork();
+    if (coord == 0) {
+        installFaultPlan(
+            FaultPlan::parse("coord.record.merged:crash_before@1"));
+        CampaignSpec spec = parseCampaignSpec(kSpoolSpec);
+        spec.spool = scratch.path;
+        spec.leaseSeconds = 0.4;
+        int rc = 0;
+        try {
+            runDistributedCampaign(spec, kSpoolSpec);
+        } catch (...) {
+            rc = 3;
+        }
+        ::_exit(rc);
+    }
+    ASSERT_GT(coord, 0);
+
+    const pid_t worker = ::fork();
+    if (worker == 0) {
+        WorkerOptions opts;
+        opts.spool = scratch.path;
+        opts.threads = 2;
+        opts.workerId = "promoter";
+        opts.pollSeconds = 0.01;
+        opts.promote = true;
+        int rc = 0;
+        try {
+            runSpoolWorker(opts);
+        } catch (...) {
+            rc = 1;
+        }
+        ::_exit(rc);
+    }
+    ASSERT_GT(worker, 0);
+
+    int status = 0;
+    ASSERT_EQ(::waitpid(coord, &status, 0), coord);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), kFaultCrashExitCode)
+        << "the coordinator must die at the injected fault";
+    ASSERT_EQ(::waitpid(worker, &status, 0), worker);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+
+    Spool spool(scratch.path);
+    EXPECT_TRUE(spool.done())
+        << "the promoted worker must have finished the campaign";
+    const WorkerReport stats =
+        parseWorkerStats(spool.readFile("stats-promoter.txt"));
+    EXPECT_EQ(stats.promotions, 1u);
+    EXPECT_TRUE(spool.exists("result.json"));
+
+    // A post-hoc takeover of the finished spool restores everything
+    // from the promoted worker's journal, bit-identically.
+    CampaignSpec spec = parseCampaignSpec(kSpoolSpec);
+    spec.spool = scratch.path;
+    std::string cmd = "rm -f '" + scratch.path + "/DONE'";
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+    const CampaignResult merged =
+        runDistributedCampaign(spec, kSpoolSpec);
+    expectTasksIdentical(reference, merged);
+    EXPECT_EQ(merged.spool.journalRestores, reference.tasks.size());
 }
 
 } // namespace
