@@ -400,6 +400,31 @@ main(int argc, char** argv)
                      decoder.backend.empty() ? "checkpoint"
                                              : decoder.backend.c_str(),
                      decoder.stagedChunks);
+        StreamDecodeStats streaming;
+        size_t streamed_tasks = 0;
+        for (const TaskResult& t : result.tasks) {
+            if (!t.streamed)
+                continue;
+            ++streamed_tasks;
+            streaming.merge(t.stream);
+        }
+        if (streamed_tasks > 0) {
+            streaming.computePercentiles();
+            std::fprintf(stderr,
+                         "[streaming] %zu tasks, %zu windows, latency "
+                         "p50 %.1fus / p99 %.1fus / p999 %.1fus / max "
+                         "%.1fus, %zu deadline misses (%.2f%%), slab "
+                         "occupancy %.0f%%, flushes %zu full / %zu "
+                         "deadline / %zu final\n",
+                         streamed_tasks, streaming.windows,
+                         streaming.p50Us, streaming.p99Us,
+                         streaming.p999Us, streaming.latencyMaxUs,
+                         streaming.deadlineMisses,
+                         100.0 * streaming.deadlineMissFraction(),
+                         100.0 * streaming.slabOccupancy(),
+                         streaming.flushesFull, streaming.flushesDeadline,
+                         streaming.flushesFinal);
+        }
         if (!spec.spool.empty()) {
             std::fprintf(stderr,
                          "[spool] %zu shards published, %zu merged, "

@@ -1,8 +1,10 @@
 #include "campaign/adaptive_sampler.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "campaign/content_hash.h"
+#include "common/logging.h"
 
 namespace cyclone {
 
@@ -57,6 +59,71 @@ runChunkGroup(const DetectorErrorModel& dem, const ChunkPlan* plans,
                 ++outcome.failures;
         }
     }
+    return outcome;
+}
+
+ChunkOutcome
+runChunkGroupStreamed(const DetectorErrorModel& dem,
+                      const ChunkPlan* plans, size_t count,
+                      StreamDecoder& stream,
+                      std::vector<ShotBatch>& batches)
+{
+    if (batches.size() < count)
+        batches.resize(count);
+    size_t total = 0;
+    std::vector<size_t> base(count);
+    for (size_t k = 0; k < count; ++k) {
+        base[k] = total;
+        Rng rng(plans[k].seed);
+        sampleDemBatch(dem, plans[k].shots, rng, batches[k]);
+        total += plans[k].shots;
+    }
+
+    const size_t S = stream.streams();
+    const size_t R = stream.roundsPerWindow();
+    auto locate = [&](size_t flat) -> std::pair<size_t, size_t> {
+        size_t k = count - 1;
+        while (base[k] > flat)
+            --k;
+        return {k, flat - base[k]};
+    };
+
+    // Round-synchronous arrival: at absolute round tick t, stream s
+    // is on round t % R of its window t / R (flat shot
+    // (t / R) * S + s). Each stream's source syndrome is staged when
+    // its window opens, then sliced round by round.
+    std::vector<BitVec> sources(S);
+    const size_t windowsPerStream = (total + S - 1) / S;
+    for (size_t t = 0; t < windowsPerStream * R; ++t) {
+        const size_t w = t / R;
+        const size_t r = t % R;
+        for (size_t s = 0; s < S; ++s) {
+            const size_t flat = w * S + s;
+            if (flat >= total)
+                continue;
+            if (r == 0) {
+                const auto [k, shot] = locate(flat);
+                sources[s] = batches[k].syndromeOf(shot);
+            }
+            stream.pushRound(s, sources[s]);
+        }
+        stream.poll();
+    }
+    stream.finish();
+
+    ChunkOutcome outcome;
+    outcome.shots = total;
+    CYCLONE_ASSERT(stream.committed().size() == total,
+                   "streamed group committed "
+                       << stream.committed().size() << " of " << total
+                       << " windows");
+    for (const CommittedWindow& c : stream.committed()) {
+        const size_t flat = c.windowIndex * S + c.stream;
+        const auto [k, shot] = locate(flat);
+        if (c.prediction != batches[k].observables[shot])
+            ++outcome.failures;
+    }
+    stream.committed().clear();
     return outcome;
 }
 

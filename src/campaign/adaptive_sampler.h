@@ -22,6 +22,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "decoder/bposd_decoder.h"
+#include "decoder/stream_decoder.h"
 #include "dem/dem.h"
 #include "dem/dem_sampler.h"
 
@@ -73,6 +74,25 @@ ChunkOutcome runChunkGroup(const DetectorErrorModel& dem,
                            const ChunkPlan* plans, size_t count,
                            BpOsdDecoder& decoder,
                            std::vector<ShotBatch>& batches);
+
+/**
+ * Streaming-mode equivalent of runChunkGroup: sample the same chunks
+ * from the same RNG streams, then drive the shots through `stream` as
+ * concurrent per-round arrivals instead of offline batches. Shot
+ * `i` (flat across the group, in plan order) becomes window `i / S`
+ * of stream `i % S`; all streams advance round-synchronously, so the
+ * slab multiplexes ready windows from every stream in a fixed,
+ * thread-count-independent order. Because a distinct syndrome's
+ * decode is a pure function of that syndrome, the predictions — and
+ * therefore the returned counts — are bit-identical to runChunkGroup
+ * and runChunk; only grouping statistics and the streaming latency
+ * stats differ. `stream` must wrap a decoder built on `dem`; its
+ * committed() buffer is consumed and cleared.
+ */
+ChunkOutcome runChunkGroupStreamed(const DetectorErrorModel& dem,
+                                   const ChunkPlan* plans, size_t count,
+                                   StreamDecoder& stream,
+                                   std::vector<ShotBatch>& batches);
 
 /** Per-task accumulator and stopping-rule evaluator. */
 class AdaptiveSampler

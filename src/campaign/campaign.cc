@@ -1,5 +1,6 @@
 #include "campaign/campaign.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
@@ -24,16 +25,44 @@ namespace cyclone {
 namespace {
 
 /** Per-worker sampling context: decoder state plus reusable packed
- *  shot buffers for the batch pipeline (one per staged chunk). */
+ *  shot buffers for the batch pipeline (one per staged chunk), and —
+ *  for streaming tasks — the worker's streaming front-end wrapping
+ *  the same decoder. */
 struct WorkerCtx
 {
     BpOsdDecoder decoder;
     std::vector<ShotBatch> batches;
+    std::unique_ptr<StreamDecoder> stream;
 
     WorkerCtx(const DetectorErrorModel& dem, const BpOptions& bp)
         : decoder(dem, bp)
     {}
 };
+
+/**
+ * Map a task's StreamSpec onto StreamDecoderOptions. The deadline
+ * defaults to one window period — rounds x the task's (compiled or
+ * explicit) round latency, the time the hardware takes to produce
+ * the next window — so deadline misses mean "the decoder fell behind
+ * the machine". Requires built artifacts (rt.latencyUs).
+ */
+StreamDecoderOptions
+streamOptionsFor(const ResolvedTask& rt)
+{
+    const StreamSpec& ss = rt.spec->stream;
+    StreamDecoderOptions o;
+    o.streams = ss.streams > 0 ? ss.streams : 1;
+    o.roundsPerWindow = rt.rounds > 0 ? rt.rounds : 1;
+    o.policy = ss.deadlineFlush ? FlushPolicy::Deadline
+                                : FlushPolicy::FullWave;
+    o.deadlineUs = ss.deadlineUs > 0.0
+        ? ss.deadlineUs
+        : rt.latencyUs * static_cast<double>(o.roundsPerWindow);
+    o.flushAfterUs = ss.flushAfterUs;
+    o.capacityChunks =
+        std::max<size_t>(size_t{1}, rt.spec->stop.stagingChunks);
+    return o;
+}
 
 struct TaskState
 {
@@ -328,6 +357,8 @@ applyCheckpoint(TaskResult& r, const CampaignCheckpoint* resume)
     r.demDetectors = saved.demDetectors;
     r.demMechanisms = saved.demMechanisms;
     r.decoder = saved.decoder;
+    r.streamed = saved.streamed;
+    r.stream = saved.stream;
     r.chunks = saved.chunks;
     r.stoppedEarly = saved.stoppedEarly;
     r.sampleSeconds = saved.sampleSeconds;
@@ -418,7 +449,13 @@ CampaignEngine::run(const CampaignSpec& spec,
             r.decoder.stagedChunks += s.stagedChunks;
             if (r.decoder.backend.empty())
                 r.decoder.backend = s.backend;
+            if (ctx->stream) {
+                r.streamed = true;
+                r.stream.merge(ctx->stream->stats());
+            }
         }
+        if (r.streamed)
+            r.stream.computePercentiles();
         if (onTaskDone)
             onTaskDone(r);
     };
@@ -452,13 +489,23 @@ CampaignEngine::run(const CampaignSpec& spec,
                     auto& ctx = st.workers[w >= 0
                                                ? static_cast<size_t>(w)
                                                : 0];
-                    if (!ctx)
+                    if (!ctx) {
                         ctx = std::make_unique<WorkerCtx>(
                             *st.rt.dem, st.rt.spec->bp);
-                    e.outcome = runChunkGroup(*st.rt.dem, plans.data(),
-                                              plans.size(),
-                                              ctx->decoder,
-                                              ctx->batches);
+                        if (st.rt.spec->stream.enabled)
+                            ctx->stream =
+                                std::make_unique<StreamDecoder>(
+                                    ctx->decoder,
+                                    st.rt.dem->numDetectors,
+                                    streamOptionsFor(st.rt));
+                    }
+                    e.outcome = ctx->stream
+                        ? runChunkGroupStreamed(
+                              *st.rt.dem, plans.data(), plans.size(),
+                              *ctx->stream, ctx->batches)
+                        : runChunkGroup(*st.rt.dem, plans.data(),
+                                        plans.size(), ctx->decoder,
+                                        ctx->batches);
                     e.kind = EventKind::ChunkDone;
                 } catch (const std::exception& ex) {
                     e.kind = EventKind::Failed;

@@ -27,6 +27,7 @@
 #include "campaign/thread_pool.h"
 #include "common/stats.h"
 #include "decoder/bposd_decoder.h"
+#include "decoder/stream_decoder.h"
 
 namespace cyclone {
 
@@ -53,6 +54,13 @@ struct TaskResult
     size_t demDetectors = 0;
     size_t demMechanisms = 0;
     BpOsdStats decoder;
+
+    /** True when the task ran through the streaming decode service. */
+    bool streamed = false;
+    /** Streaming latency/occupancy telemetry (zero when !streamed).
+     *  Percentiles are finalized after merging worker histograms;
+     *  checkpoint-restored tasks carry them verbatim. */
+    StreamDecodeStats stream;
 
     /**
      * Compile-derived round profile, read from the TimedSchedule IR

@@ -99,6 +99,60 @@ specError(size_t line, const std::string& message)
                              std::to_string(line) + ": " + message);
 }
 
+/**
+ * Strict numeric field parsers. Every numeric spec key routes
+ * through these so a malformed value reports the offending line AND
+ * key ("staging_chunks = banana" names both), instead of a bare
+ * std::invalid_argument; trailing garbage ("12abc", which std::stoull
+ * happily truncates to 12) is rejected rather than silently accepted.
+ */
+unsigned long long
+parseSpecCount(size_t line, const std::string& key,
+               const std::string& value)
+{
+    // stoull accepts (and wraps) negative input; reject it up front.
+    if (!value.empty() && value.front() == '-')
+        specError(line, "key '" + key +
+                      "': expected a non-negative integer, got '" +
+                      value + "'");
+    try {
+        size_t pos = 0;
+        const unsigned long long v = std::stoull(value, &pos);
+        if (pos != value.size())
+            specError(line, "key '" + key +
+                          "': trailing characters in number '" +
+                          value + "'");
+        return v;
+    } catch (const std::invalid_argument&) {
+        specError(line,
+                  "key '" + key + "': invalid number '" + value + "'");
+    } catch (const std::out_of_range&) {
+        specError(line, "key '" + key + "': number out of range '" +
+                      value + "'");
+    }
+}
+
+double
+parseSpecReal(size_t line, const std::string& key,
+              const std::string& value)
+{
+    try {
+        size_t pos = 0;
+        const double v = std::stod(value, &pos);
+        if (pos != value.size())
+            specError(line, "key '" + key +
+                          "': trailing characters in number '" +
+                          value + "'");
+        return v;
+    } catch (const std::invalid_argument&) {
+        specError(line,
+                  "key '" + key + "': invalid number '" + value + "'");
+    } catch (const std::out_of_range&) {
+        specError(line, "key '" + key + "': number out of range '" +
+                      value + "'");
+    }
+}
+
 /** One [task] block before arch/p expansion. */
 struct TaskBlock
 {
@@ -257,6 +311,28 @@ campaignResultToJson(const CampaignResult& result)
             << num(t.decoder.meanBpIterations())
             << ", \"wave_lane_occupancy\": "
             << num(t.decoder.waveLaneOccupancy()) << "}";
+        if (t.streamed) {
+            const StreamDecodeStats& s = t.stream;
+            out << ",\n     \"streaming\": {\"windows\": " << s.windows
+                << ", \"rounds_pushed\": " << s.roundsPushed
+                << ", \"truncated_rounds\": " << s.truncatedRounds
+                << ", \"deadline_us\": " << num(s.deadlineUs)
+                << ", \"deadline_misses\": " << s.deadlineMisses
+                << ", \"miss_fraction\": "
+                << num(s.deadlineMissFraction())
+                << ",\n                   \"latency_p50_us\": "
+                << num(s.p50Us) << ", \"latency_p99_us\": "
+                << num(s.p99Us) << ", \"latency_p999_us\": "
+                << num(s.p999Us) << ", \"latency_mean_us\": "
+                << num(s.meanLatencyUs()) << ", \"latency_max_us\": "
+                << num(s.latencyMaxUs)
+                << ",\n                   \"slab_slots\": "
+                << s.slabSlots << ", \"slab_filled\": " << s.slabFilled
+                << ", \"slab_occupancy\": " << num(s.slabOccupancy())
+                << ", \"flushes_full\": " << s.flushesFull
+                << ", \"flushes_deadline\": " << s.flushesDeadline
+                << ", \"flushes_final\": " << s.flushesFinal << "}";
+        }
         if (t.compileMakespanUs > 0.0) {
             const double span = t.compileMakespanUs;
             const TimeBreakdown& b = t.compileBreakdown;
@@ -306,6 +382,8 @@ campaignResultToCsv(const CampaignResult& result)
            "from_checkpoint,sample_seconds,trivial_fraction,"
            "memo_hit_rate,mean_bp_iterations,wave_lane_occupancy,"
            "osd_batch_groups,osd_shared_pivots,staged_chunks,backend,"
+           "stream_windows,stream_p50_us,stream_p99_us,stream_p999_us,"
+           "stream_deadline_misses,stream_slab_occupancy,"
            "util_gate,util_shuttle,"
            "util_junction,util_swap,parallel_fraction,trap_roadblocks,"
            "junction_roadblocks,roadblock_wait_us,error\n";
@@ -332,6 +410,10 @@ campaignResultToCsv(const CampaignResult& result)
             << t.decoder.osdSharedPivots << ','
             << t.decoder.stagedChunks << ','
             << csvField(t.decoder.backend) << ','
+            << t.stream.windows << ',' << num(t.stream.p50Us) << ','
+            << num(t.stream.p99Us) << ',' << num(t.stream.p999Us)
+            << ',' << t.stream.deadlineMisses << ','
+            << num(t.stream.slabOccupancy()) << ','
             << num(util(t.compileBreakdown.gateUs)) << ','
             << num(util(t.compileBreakdown.shuttleUs)) << ','
             << num(util(t.compileBreakdown.junctionUs)) << ','
@@ -372,11 +454,12 @@ saveCheckpoint(const CampaignResult& result, const std::string& path)
     for (const TaskResult& t : result.tasks) {
         if (!t.error.empty() || t.logicalErrorRate.trials == 0)
             continue;
-        char line[480];
+        char line[640];
         std::snprintf(line, sizeof line,
                       "task %016llx %zu %.17g %zu %zu %zu %zu %zu %d "
                       "%zu %zu %zu %zu %.6f %zu %zu %zu %zu %zu %zu "
-                      "%zu %zu %zu\n",
+                      "%zu %zu %zu %d %zu %zu %.6f %.6f %.6f %.6f "
+                      "%.6f %zu %zu\n",
                       static_cast<unsigned long long>(t.contentHash),
                       t.rounds, t.roundLatencyUs, t.demDetectors,
                       t.demMechanisms, t.logicalErrorRate.trials,
@@ -390,7 +473,11 @@ saveCheckpoint(const CampaignResult& result, const std::string& path)
                       t.decoder.waveLanesFilled,
                       t.decoder.osdBatchGroups,
                       t.decoder.osdSharedPivots,
-                      t.decoder.stagedChunks);
+                      t.decoder.stagedChunks, t.streamed ? 1 : 0,
+                      t.stream.windows, t.stream.deadlineMisses,
+                      t.stream.latencySumUs, t.stream.latencyMaxUs,
+                      t.stream.p50Us, t.stream.p99Us, t.stream.p999Us,
+                      t.stream.slabSlots, t.stream.slabFilled);
         out << line;
     }
     return writeTextFile(path, out.str());
@@ -418,26 +505,35 @@ loadCheckpoint(const std::string& path, CampaignCheckpoint& out)
                bpIters = 0, waveGroups = 0, waveSlots = 0,
                waveFilled = 0, osdGroups = 0, osdShared = 0,
                stagedChunks = 0;
-        double latency = 0.0, seconds = 0.0;
-        int early = 0;
+        size_t streamWindows = 0, streamMisses = 0, slabSlots = 0,
+               slabFilled = 0;
+        double latency = 0.0, seconds = 0.0, streamSumUs = 0.0,
+               streamMaxUs = 0.0, p50 = 0.0, p99 = 0.0, p999 = 0.0;
+        int early = 0, streamed = 0;
         const int got = std::sscanf(
             line.c_str(),
             "task %llx %zu %lg %zu %zu %zu %zu %zu %d %zu %zu %zu %zu "
-            "%lg %zu %zu %zu %zu %zu %zu %zu %zu %zu",
+            "%lg %zu %zu %zu %zu %zu %zu %zu %zu %zu %d %zu %zu %lg "
+            "%lg %lg %lg %lg %zu %zu",
             &hash, &rounds, &latency, &detectors, &mechanisms, &shots,
             &failures, &chunks, &early, &decodes, &converged, &osdInv,
             &osdFail, &seconds, &trivial, &memoHits, &bpIters,
             &waveGroups, &waveSlots, &waveFilled, &osdGroups,
-            &osdShared, &stagedChunks);
+            &osdShared, &stagedChunks, &streamed, &streamWindows,
+            &streamMisses, &streamSumUs, &streamMaxUs, &p50, &p99,
+            &p999, &slabSlots, &slabFilled);
         // 14 fields = pre-batch-pipeline checkpoint (batch stats
         // default to zero); 17 = pre-wave-kernel; 20 = pre-batched-
-        // OSD; 22 = pre-staging; 23 = current format. The dispatched
-        // backend name is deliberately not checkpointed: it describes
-        // the host that ran the shots, not the results.
+        // OSD; 22 = pre-staging; 23 = pre-streaming; 33 = current
+        // format. The dispatched backend name is deliberately not
+        // checkpointed (it describes the host that ran the shots, not
+        // the results), and neither is the streaming latency
+        // histogram — only its summary scalars and percentiles ride
+        // along, restored verbatim.
         if (got != 14 && got != 17 && got != 20 && got != 22 &&
-            got != 23)
+            got != 23 && got != 33)
             return false;
-        // sscanf caps at 23 conversions, so a longer line (a future
+        // sscanf caps at 33 conversions, so a longer line (a future
         // format) would otherwise be misread as the current one:
         // reject any line whose token count exceeds what we parsed.
         size_t tokens = 0;
@@ -481,6 +577,16 @@ loadCheckpoint(const std::string& path, CampaignCheckpoint& out)
         t.decoder.osdBatchGroups = osdGroups;
         t.decoder.osdSharedPivots = osdShared;
         t.decoder.stagedChunks = stagedChunks;
+        t.streamed = streamed != 0;
+        t.stream.windows = streamWindows;
+        t.stream.deadlineMisses = streamMisses;
+        t.stream.latencySumUs = streamSumUs;
+        t.stream.latencyMaxUs = streamMaxUs;
+        t.stream.p50Us = p50;
+        t.stream.p99Us = p99;
+        t.stream.p999Us = p999;
+        t.stream.slabSlots = slabSlots;
+        t.stream.slabFilled = slabFilled;
         t.sampleSeconds = seconds;
         t.fromCheckpoint = true;
         out.tasks[t.contentHash] = t;
@@ -522,132 +628,146 @@ parseCampaignSpec(const std::string& text)
         if (key.empty() || value.empty())
             specError(lineno, "expected key = value");
 
-        try {
-            if (current == nullptr) {
-                if (key == "name")
-                    spec.name = value;
-                else if (key == "seed")
-                    spec.seed = std::stoull(value);
-                else if (key == "threads")
-                    spec.threads = std::stoull(value);
-                else if (key == "spool")
-                    spec.spool = value;
-                else if (key == "workers")
-                    spec.workers = std::stoull(value);
-                else if (key == "lease_seconds") {
-                    spec.leaseSeconds = std::stod(value);
-                    if (!(spec.leaseSeconds > 0.0))
-                        specError(lineno,
-                                  "lease_seconds must be > 0");
-                } else if (key == "max_claim_reclaims")
-                    spec.maxClaimReclaims = std::stoull(value);
-                else if (key == "retry_attempts") {
-                    spec.retryAttempts = std::stoull(value);
-                    if (spec.retryAttempts == 0)
-                        specError(lineno,
-                                  "retry_attempts must be >= 1");
-                } else if (key == "retry_base_ms") {
-                    spec.retryBaseMs = std::stod(value);
-                    if (spec.retryBaseMs < 0.0)
-                        specError(lineno,
-                                  "retry_base_ms must be >= 0");
-                } else if (key == "fault_plan")
-                    spec.faultPlan = value;
-                else
-                    specError(lineno,
-                              "unknown campaign key '" + key + "'");
-                continue;
-            }
-            TaskSpec& t = current->base;
-            if (key == "id") {
-                t.id = value;
-            } else if (key == "code") {
-                t.codeName = value;
-            } else if (key == "arch") {
-                current->archs = splitList(value);
-                if (current->archs.empty())
-                    specError(lineno, "empty arch list");
-            } else if (key == "p") {
-                current->ps.clear();
-                for (const std::string& item : splitList(value))
-                    current->ps.push_back(std::stod(item));
-                if (current->ps.empty())
-                    specError(lineno, "empty p list");
-            } else if (key == "rounds") {
-                t.rounds = std::stoull(value);
-            } else if (key == "basis") {
-                if (value == "z")
-                    t.xBasis = false;
-                else if (value == "x")
-                    t.xBasis = true;
-                else
-                    specError(lineno, "basis must be z or x");
-            } else if (key == "latency_us") {
-                t.roundLatencyUs = std::stod(value);
-            } else if (key == "latency_scale") {
-                t.latencyScale = std::stod(value);
-            } else if (key == "swap") {
-                if (value == "gate")
-                    t.swap = SwapKind::GateSwap;
-                else if (value == "ion")
-                    t.swap = SwapKind::IonSwap;
-                else
-                    specError(lineno, "swap must be gate or ion");
-            } else if (key == "grid-capacity" ||
-                       key == "grid_capacity") {
-                // stoull accepts (and wraps) negative input; reject it.
-                if (value.front() == '-')
-                    specError(lineno, "grid-capacity must be >= 1");
-                t.gridCapacity = std::stoull(value);
-                if (t.gridCapacity == 0)
-                    specError(lineno, "grid-capacity must be >= 1");
-            } else if (key == "idle_noise" || key == "idle-noise") {
-                if (value == "uniform")
-                    t.idleNoise = IdleNoiseMode::UniformLatency;
-                else if (value == "per-qubit" || value == "per_qubit" ||
-                         value == "schedule")
-                    t.idleNoise = IdleNoiseMode::PerQubitSchedule;
-                else
-                    specError(lineno,
-                              "idle_noise must be uniform or per-qubit");
-            } else if (key == "chunk_shots") {
-                t.stop.chunkShots = std::stoull(value);
-            } else if (key == "chunks_per_wave") {
-                t.stop.chunksPerWave = std::stoull(value);
-            } else if (key == "max_shots") {
-                t.stop.maxShots = std::stoull(value);
-            } else if (key == "target_rel_err") {
-                t.stop.targetRelErr = std::stod(value);
-            } else if (key == "min_failures") {
-                t.stop.minFailures = std::stoull(value);
-            } else if (key == "staging_chunks") {
-                if (value.front() == '-')
-                    specError(lineno, "staging_chunks must be >= 1");
-                t.stop.stagingChunks = std::stoull(value);
-                if (t.stop.stagingChunks == 0)
-                    specError(lineno, "staging_chunks must be >= 1");
-            } else if (key == "shard_chunks") {
-                if (value.front() == '-')
-                    specError(lineno, "shard_chunks must be >= 0");
-                t.stop.shardChunks = std::stoull(value);
-            } else if (key == "seed") {
-                t.seed = std::stoull(value);
-            } else if (key == "bp") {
-                if (value == "minsum")
-                    t.bp.variant = BpOptions::Variant::MinSum;
-                else if (value == "productsum")
-                    t.bp.variant = BpOptions::Variant::ProductSum;
-                else
-                    specError(lineno, "bp must be minsum or productsum");
-            } else if (key == "bp_iters") {
-                t.bp.maxIterations = std::stoull(value);
-            } else {
-                specError(lineno, "unknown task key '" + key + "'");
-            }
-        } catch (const std::invalid_argument&) {
-            specError(lineno, "bad number in '" + value + "'");
-        } catch (const std::out_of_range&) {
-            specError(lineno, "number out of range in '" + value + "'");
+        if (current == nullptr) {
+            if (key == "name")
+                spec.name = value;
+            else if (key == "seed")
+                spec.seed = parseSpecCount(lineno, key, value);
+            else if (key == "threads")
+                spec.threads = parseSpecCount(lineno, key, value);
+            else if (key == "spool")
+                spec.spool = value;
+            else if (key == "workers")
+                spec.workers = parseSpecCount(lineno, key, value);
+            else if (key == "lease_seconds") {
+                spec.leaseSeconds = parseSpecReal(lineno, key, value);
+                if (!(spec.leaseSeconds > 0.0))
+                    specError(lineno, "lease_seconds must be > 0");
+            } else if (key == "max_claim_reclaims")
+                spec.maxClaimReclaims =
+                    parseSpecCount(lineno, key, value);
+            else if (key == "retry_attempts") {
+                spec.retryAttempts = parseSpecCount(lineno, key, value);
+                if (spec.retryAttempts == 0)
+                    specError(lineno, "retry_attempts must be >= 1");
+            } else if (key == "retry_base_ms") {
+                spec.retryBaseMs = parseSpecReal(lineno, key, value);
+                if (spec.retryBaseMs < 0.0)
+                    specError(lineno, "retry_base_ms must be >= 0");
+            } else if (key == "fault_plan")
+                spec.faultPlan = value;
+            else
+                specError(lineno,
+                          "unknown campaign key '" + key + "'");
+            continue;
+        }
+        TaskSpec& t = current->base;
+        if (key == "id") {
+            t.id = value;
+        } else if (key == "code") {
+            t.codeName = value;
+        } else if (key == "arch") {
+            current->archs = splitList(value);
+            if (current->archs.empty())
+                specError(lineno, "empty arch list");
+        } else if (key == "p") {
+            current->ps.clear();
+            for (const std::string& item : splitList(value))
+                current->ps.push_back(
+                    parseSpecReal(lineno, key, item));
+            if (current->ps.empty())
+                specError(lineno, "empty p list");
+        } else if (key == "rounds") {
+            t.rounds = parseSpecCount(lineno, key, value);
+        } else if (key == "basis") {
+            if (value == "z")
+                t.xBasis = false;
+            else if (value == "x")
+                t.xBasis = true;
+            else
+                specError(lineno, "basis must be z or x");
+        } else if (key == "latency_us") {
+            t.roundLatencyUs = parseSpecReal(lineno, key, value);
+        } else if (key == "latency_scale") {
+            t.latencyScale = parseSpecReal(lineno, key, value);
+        } else if (key == "swap") {
+            if (value == "gate")
+                t.swap = SwapKind::GateSwap;
+            else if (value == "ion")
+                t.swap = SwapKind::IonSwap;
+            else
+                specError(lineno, "swap must be gate or ion");
+        } else if (key == "grid-capacity" || key == "grid_capacity") {
+            t.gridCapacity = parseSpecCount(lineno, key, value);
+            if (t.gridCapacity == 0)
+                specError(lineno, "grid-capacity must be >= 1");
+        } else if (key == "idle_noise" || key == "idle-noise") {
+            if (value == "uniform")
+                t.idleNoise = IdleNoiseMode::UniformLatency;
+            else if (value == "per-qubit" || value == "per_qubit" ||
+                     value == "schedule")
+                t.idleNoise = IdleNoiseMode::PerQubitSchedule;
+            else
+                specError(lineno,
+                          "idle_noise must be uniform or per-qubit");
+        } else if (key == "chunk_shots") {
+            t.stop.chunkShots = parseSpecCount(lineno, key, value);
+        } else if (key == "chunks_per_wave") {
+            t.stop.chunksPerWave = parseSpecCount(lineno, key, value);
+        } else if (key == "max_shots") {
+            t.stop.maxShots = parseSpecCount(lineno, key, value);
+        } else if (key == "target_rel_err") {
+            t.stop.targetRelErr = parseSpecReal(lineno, key, value);
+        } else if (key == "min_failures") {
+            t.stop.minFailures = parseSpecCount(lineno, key, value);
+        } else if (key == "staging_chunks") {
+            t.stop.stagingChunks = parseSpecCount(lineno, key, value);
+            if (t.stop.stagingChunks == 0)
+                specError(lineno, "staging_chunks must be >= 1");
+        } else if (key == "shard_chunks") {
+            t.stop.shardChunks = parseSpecCount(lineno, key, value);
+        } else if (key == "streaming") {
+            if (value == "on" || value == "true")
+                t.stream.enabled = true;
+            else if (value == "off" || value == "false")
+                t.stream.enabled = false;
+            else
+                specError(lineno, "streaming must be on or off");
+        } else if (key == "streams") {
+            t.stream.streams = parseSpecCount(lineno, key, value);
+            if (t.stream.streams == 0)
+                specError(lineno, "streams must be >= 1");
+        } else if (key == "stream_flush") {
+            if (value == "full-wave" || value == "full_wave" ||
+                value == "fullwave")
+                t.stream.deadlineFlush = false;
+            else if (value == "deadline")
+                t.stream.deadlineFlush = true;
+            else
+                specError(lineno,
+                          "stream_flush must be full-wave or deadline");
+        } else if (key == "stream_deadline_us") {
+            t.stream.deadlineUs = parseSpecReal(lineno, key, value);
+            if (t.stream.deadlineUs < 0.0)
+                specError(lineno, "stream_deadline_us must be >= 0");
+        } else if (key == "stream_flush_after_us") {
+            t.stream.flushAfterUs = parseSpecReal(lineno, key, value);
+            if (t.stream.flushAfterUs < 0.0)
+                specError(lineno,
+                          "stream_flush_after_us must be >= 0");
+        } else if (key == "seed") {
+            t.seed = parseSpecCount(lineno, key, value);
+        } else if (key == "bp") {
+            if (value == "minsum")
+                t.bp.variant = BpOptions::Variant::MinSum;
+            else if (value == "productsum")
+                t.bp.variant = BpOptions::Variant::ProductSum;
+            else
+                specError(lineno, "bp must be minsum or productsum");
+        } else if (key == "bp_iters") {
+            t.bp.maxIterations = parseSpecCount(lineno, key, value);
+        } else {
+            specError(lineno, "unknown task key '" + key + "'");
         }
     }
 

@@ -82,6 +82,40 @@ struct StoppingRule
     size_t shardChunks = 0;
 };
 
+/**
+ * Streaming-service options of one task (see decoder/stream_decoder.h).
+ *
+ * When enabled, the task's shots are driven through the streaming
+ * front-end as `streams` concurrent per-round syndrome arrivals
+ * instead of offline batches: windows commit once their final round
+ * lands and ready windows from all streams multiplex into shared
+ * decode slabs (capacity = 64 x stop.stagingChunks windows).
+ * Predictions — and therefore the LER — are bit-identical to offline
+ * decoding, so every field here is a serving knob excluded from the
+ * task content hash; what changes is the latency/occupancy telemetry
+ * reported in TaskResult::stream. Streaming tasks currently run
+ * in-process only (the spool coordinator rejects them).
+ */
+struct StreamSpec
+{
+    bool enabled = false;
+
+    /** Concurrent logical-qubit streams. */
+    size_t streams = 8;
+
+    /** false = flush on full slab only; true = also flush when the
+     *  oldest ready window has waited flushAfterUs. */
+    bool deadlineFlush = false;
+
+    /** Per-window ready->commit deadline in us for miss accounting.
+     *  0 = auto: rounds x the task's (compiled or explicit) round
+     *  latency — one window period. */
+    double deadlineUs = 0.0;
+
+    /** Deadline-policy flush timeout in us. 0 = deadline / 2. */
+    double flushAfterUs = 0.0;
+};
+
 /** One experiment point of a campaign. */
 struct TaskSpec
 {
@@ -151,6 +185,9 @@ struct TaskSpec
 
     /** Shot allocation rule. */
     StoppingRule stop;
+
+    /** Streaming decode service (off = offline batch decoding). */
+    StreamSpec stream;
 
     /**
      * Per-task seed salt. The effective task seed mixes the campaign

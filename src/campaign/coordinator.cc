@@ -343,6 +343,14 @@ runDistributedCampaign(const CampaignSpec& spec,
     if (spec.spool.empty())
         throw std::invalid_argument(
             "runDistributedCampaign needs spec.spool");
+    for (const TaskSpec& t : spec.tasks) {
+        if (t.stream.enabled)
+            throw std::invalid_argument(
+                "streaming tasks run in-process only: task '" + t.id +
+                "' sets streaming = on, which the spool coordinator "
+                "does not support (drop the spool, or disable "
+                "streaming)");
+    }
 
     maybeInstallSpecFaultPlan(spec);
 
@@ -691,6 +699,15 @@ runDistributedCampaign(const CampaignSpec& spec,
             }
         }
 
+        // Observe every worker health file each pass so its age is
+        // measured on CLOCK_MONOTONIC from the last mtime change we
+        // saw, exactly like shard claims. Without this history the
+        // end-of-run classification would fall back to wall-clock
+        // mtime arithmetic, and an NTP step during the campaign
+        // would report live workers as lost.
+        for (const std::string& name : spool.list("workers"))
+            spool.workerHealthAge(name);
+
         // Self-execution: with no dedicated workers (takeover,
         // promotion, single-process operation) the coordinator
         // claims an open shard itself whenever a pass made no
@@ -750,7 +767,7 @@ runDistributedCampaign(const CampaignSpec& spec,
             } else if (state == "degraded") {
                 ++result.spool.workersDegraded;
             } else {
-                const double age = spool.mtimeAge("workers/" + name);
+                const double age = spool.workerHealthAge(name);
                 if (age > spec.leaseSeconds)
                     ++result.spool.workersLost;
                 else

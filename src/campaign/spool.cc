@@ -856,18 +856,9 @@ Spool::list(const std::string& subdir) const
 }
 
 double
-Spool::mtimeAge(const std::string& relative) const
+Spool::workerHealthAge(const std::string& name) const
 {
-    struct stat st;
-    if (::stat((dir_ + "/" + relative).c_str(), &st) != 0)
-        return -1.0;
-    struct timespec now;
-    ::clock_gettime(CLOCK_REALTIME, &now);
-    const double then = static_cast<double>(st.st_mtim.tv_sec) +
-        static_cast<double>(st.st_mtim.tv_nsec) * 1e-9;
-    const double current = static_cast<double>(now.tv_sec) +
-        static_cast<double>(now.tv_nsec) * 1e-9;
-    return std::max(0.0, current - then);
+    return monotonicAge(dir_ + "/workers/" + name);
 }
 
 void

@@ -370,13 +370,15 @@ class Spool
     std::vector<std::string> list(const std::string& subdir) const;
 
     /**
-     * Wall-clock age in seconds of a spool-relative file's mtime,
-     * clamped to >= 0 (negative only when the file is missing). Used
-     * for end-of-run health classification, where a monotonic
-     * observation history does not exist; lease decisions use
-     * claimAge()/coordinatorLeaseAge() instead.
+     * Monotonic-safe age of workers/`name` (a worker's health
+     * heartbeat file), or negative if it is missing. Same observation
+     * semantics as claimAge(): the age counts CLOCK_MONOTONIC seconds
+     * since this handle last saw the file's mtime change, so an NTP
+     * step between heartbeats never misclassifies a live worker as
+     * degraded or lost. Call it each coordinator pass so the history
+     * accumulates; a first observation reads as age 0 (healthy).
      */
-    double mtimeAge(const std::string& relative) const;
+    double workerHealthAge(const std::string& name) const;
 
     /** Write the DONE marker (coordinator, end of campaign). */
     void markDone();

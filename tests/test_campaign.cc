@@ -361,9 +361,9 @@ TEST(Campaign, CheckpointRoundtrip)
 /**
  * One parameterized matrix over every checkpoint format generation:
  * 14 fields (pre-batch-pipeline), 17 (pre-wave-kernel), 20
- * (pre-batched-OSD), 22 (pre-staging) and 23 (current). Fields absent
- * from an old format must load as zero; any other field count must be
- * rejected.
+ * (pre-batched-OSD), 22 (pre-staging), 23 (pre-streaming) and 33
+ * (current). Fields absent from an old format must load as zero; any
+ * other field count must be rejected.
  */
 class CheckpointFormat : public ::testing::TestWithParam<int>
 {
@@ -372,8 +372,8 @@ class CheckpointFormat : public ::testing::TestWithParam<int>
 TEST_P(CheckpointFormat, LoadsEveryFormatGeneration)
 {
     const int fields = GetParam();
-    // The full 23-field line, split so each generation is a prefix.
-    const char* tokens[23] = {
+    // The full 33-field line, split so each generation is a prefix.
+    const char* tokens[33] = {
         "00000000deadbeef", // content hash
         "6",                // rounds
         "12.5",             // round latency us
@@ -397,12 +397,22 @@ TEST_P(CheckpointFormat, LoadsEveryFormatGeneration)
         "9",                // osd batch groups
         "1234",             // osd shared pivots
         "5",                // staged chunks
+        "1",                // streamed flag
+        "1000",             // stream windows
+        "3",                // stream deadline misses
+        "2500.5",           // stream latency sum us
+        "42.25",            // stream latency max us
+        "8.5",              // stream p50 us
+        "30.0",             // stream p99 us
+        "41.0",             // stream p999 us
+        "1024",             // stream slab slots
+        "1000",             // stream slab filled
     };
     std::string text = "cyclone-campaign-checkpoint v1\ntask";
     // Counts beyond the current format (the rejection cases) append
-    // filler tokens past the known 23.
+    // filler tokens past the known 33.
     for (int f = 0; f < fields; ++f)
-        text += std::string(" ") + (f < 23 ? tokens[f] : "0");
+        text += std::string(" ") + (f < 33 ? tokens[f] : "0");
     text += "\n";
 
     const std::string path = "test_checkpoint_format.tmp";
@@ -412,7 +422,7 @@ TEST_P(CheckpointFormat, LoadsEveryFormatGeneration)
     std::remove(path.c_str());
 
     if (fields != 14 && fields != 17 && fields != 20 && fields != 22 &&
-        fields != 23) {
+        fields != 23 && fields != 33) {
         EXPECT_FALSE(loaded) << "fields=" << fields;
         return;
     }
@@ -448,14 +458,29 @@ TEST_P(CheckpointFormat, LoadsEveryFormatGeneration)
     EXPECT_EQ(t.decoder.osdSharedPivots, hasOsdBatch ? 1234u : 0u);
     const bool hasStaging = fields >= 23;
     EXPECT_EQ(t.decoder.stagedChunks, hasStaging ? 5u : 0u);
+    const bool hasStreaming = fields >= 33;
+    EXPECT_EQ(t.streamed, hasStreaming);
+    EXPECT_EQ(t.stream.windows, hasStreaming ? 1000u : 0u);
+    EXPECT_EQ(t.stream.deadlineMisses, hasStreaming ? 3u : 0u);
+    EXPECT_DOUBLE_EQ(t.stream.latencySumUs,
+                     hasStreaming ? 2500.5 : 0.0);
+    EXPECT_DOUBLE_EQ(t.stream.latencyMaxUs,
+                     hasStreaming ? 42.25 : 0.0);
+    // Percentiles restore verbatim: the histogram behind them is not
+    // checkpointed.
+    EXPECT_DOUBLE_EQ(t.stream.p50Us, hasStreaming ? 8.5 : 0.0);
+    EXPECT_DOUBLE_EQ(t.stream.p99Us, hasStreaming ? 30.0 : 0.0);
+    EXPECT_DOUBLE_EQ(t.stream.p999Us, hasStreaming ? 41.0 : 0.0);
+    EXPECT_EQ(t.stream.slabSlots, hasStreaming ? 1024u : 0u);
+    EXPECT_EQ(t.stream.slabFilled, hasStreaming ? 1000u : 0u);
     // The backend string is deliberately never checkpointed.
     EXPECT_TRUE(t.decoder.backend.empty());
 }
 
 INSTANTIATE_TEST_SUITE_P(FormatGenerations, CheckpointFormat,
-                         ::testing::Values(14, 17, 20, 22, 23,
+                         ::testing::Values(14, 17, 20, 22, 23, 33,
                                            // rejected counts
-                                           13, 15, 21, 24));
+                                           13, 15, 21, 24, 32, 34));
 
 TEST(Campaign, SpecParsingExpandsSweeps)
 {
@@ -761,6 +786,254 @@ TEST(Campaign, SpecRejectsUnknownKeysWithLineNumbers)
         EXPECT_NE(std::string(ex.what()).find("line 4"),
                   std::string::npos)
             << ex.what();
+    }
+}
+
+TEST(Campaign, SpecParsesStreamingKeys)
+{
+    const CampaignSpec spec = parseCampaignSpec(
+        "name = serve\n"
+        "[task]\n"
+        "code = surface3\n"
+        "streaming = on\n"
+        "streams = 12\n"
+        "stream_flush = deadline\n"
+        "stream_deadline_us = 250\n"
+        "stream_flush_after_us = 80\n");
+    ASSERT_EQ(spec.tasks.size(), 1u);
+    const StreamSpec& s = spec.tasks[0].stream;
+    EXPECT_TRUE(s.enabled);
+    EXPECT_EQ(s.streams, 12u);
+    EXPECT_TRUE(s.deadlineFlush);
+    EXPECT_DOUBLE_EQ(s.deadlineUs, 250.0);
+    EXPECT_DOUBLE_EQ(s.flushAfterUs, 80.0);
+
+    // Defaults: off, full-wave, auto deadline.
+    const CampaignSpec plain =
+        parseCampaignSpec("name = x\n[task]\ncode = surface3\n");
+    EXPECT_FALSE(plain.tasks[0].stream.enabled);
+    EXPECT_FALSE(plain.tasks[0].stream.deadlineFlush);
+    EXPECT_DOUBLE_EQ(plain.tasks[0].stream.deadlineUs, 0.0);
+
+    EXPECT_THROW(parseCampaignSpec("name = x\n[task]\n"
+                                   "code = surface3\nstreaming = up\n"),
+                 std::runtime_error);
+    EXPECT_THROW(parseCampaignSpec("name = x\n[task]\n"
+                                   "code = surface3\nstreams = 0\n"),
+                 std::runtime_error);
+    EXPECT_THROW(parseCampaignSpec("name = x\n[task]\n"
+                                   "code = surface3\n"
+                                   "stream_flush = sometimes\n"),
+                 std::runtime_error);
+}
+
+TEST(Campaign, StreamingIsAServingKnobNotAnIdentity)
+{
+    // Streaming changes how shots are served, never what comes out:
+    // the content hash that keys checkpoints must ignore it.
+    CampaignSpec a;
+    a.tasks.push_back(surfaceTask(0.02, 100));
+    CampaignSpec b = a;
+    b.tasks[0].stream.enabled = true;
+    b.tasks[0].stream.streams = 16;
+    b.tasks[0].stream.deadlineFlush = true;
+    const uint64_t ha = resolveTaskIdentities(a)[0].contentHash;
+    const uint64_t hb = resolveTaskIdentities(b)[0].contentHash;
+    EXPECT_EQ(ha, hb);
+}
+
+TEST(Campaign, StreamedCampaignBitIdenticalToOffline)
+{
+    // The whole engine path: a streamed run must produce exactly the
+    // offline run's shot/failure counts at any stream count — the
+    // end-to-end form of the decoder-level bit-identity guarantee —
+    // while reporting streaming telemetry.
+    CampaignSpec offline;
+    offline.seed = 31;
+    offline.threads = 2;
+    offline.tasks.push_back(surfaceTask(0.03, 400));
+    offline.tasks.push_back(surfaceTask(0.06, 400, 0.25));
+    // A real round period, so the auto deadline (rounds x latency)
+    // is meaningful. Set in both specs: it feeds the idle-noise
+    // model, and the comparison needs identical physics.
+    for (TaskSpec& t : offline.tasks)
+        t.roundLatencyUs = 12.0;
+    const CampaignResult want = runCampaign(offline);
+
+    CampaignSpec streamed = offline;
+    for (TaskSpec& t : streamed.tasks) {
+        t.stream.enabled = true;
+        t.stream.streams = 5;
+        t.stop.stagingChunks = 2;
+    }
+    const CampaignResult got = runCampaign(streamed);
+
+    ASSERT_EQ(got.tasks.size(), want.tasks.size());
+    for (size_t i = 0; i < got.tasks.size(); ++i) {
+        EXPECT_TRUE(got.tasks[i].error.empty()) << got.tasks[i].error;
+        EXPECT_EQ(got.tasks[i].logicalErrorRate.trials,
+                  want.tasks[i].logicalErrorRate.trials)
+            << "task " << i;
+        EXPECT_EQ(got.tasks[i].logicalErrorRate.successes,
+                  want.tasks[i].logicalErrorRate.successes)
+            << "task " << i;
+        EXPECT_EQ(got.tasks[i].chunks, want.tasks[i].chunks);
+        EXPECT_EQ(got.tasks[i].stoppedEarly, want.tasks[i].stoppedEarly);
+
+        EXPECT_FALSE(want.tasks[i].streamed);
+        EXPECT_TRUE(got.tasks[i].streamed);
+        const StreamDecodeStats& s = got.tasks[i].stream;
+        EXPECT_EQ(s.windows, got.tasks[i].logicalErrorRate.trials);
+        EXPECT_GT(s.roundsPushed, s.windows);
+        EXPECT_GT(s.slabSlots, 0u);
+        EXPECT_GT(s.slabFilled, 0u);
+        EXPECT_GT(s.deadlineUs, 0.0)
+            << "deadline must default to the window period";
+        EXPECT_GT(s.p50Us, 0.0);
+        EXPECT_GE(s.p99Us, s.p50Us);
+        EXPECT_GE(s.p999Us, s.p99Us);
+        EXPECT_GE(s.latencyMaxUs, s.p999Us * 0.8);
+    }
+
+    // And streamed results are thread-count independent too.
+    streamed.threads = 4;
+    const CampaignResult wide = runCampaign(streamed);
+    for (size_t i = 0; i < wide.tasks.size(); ++i) {
+        EXPECT_EQ(wide.tasks[i].logicalErrorRate.successes,
+                  got.tasks[i].logicalErrorRate.successes);
+        EXPECT_EQ(wide.tasks[i].stream.windows,
+                  got.tasks[i].stream.windows);
+    }
+}
+
+TEST(Campaign, StreamedTaskSurvivesCheckpointRoundtrip)
+{
+    const std::string path = "test_campaign_stream_checkpoint.tmp";
+    CampaignSpec spec;
+    spec.seed = 77;
+    spec.threads = 2;
+    spec.tasks.push_back(surfaceTask(0.04, 300));
+    spec.tasks[0].stream.enabled = true;
+    spec.tasks[0].stream.streams = 4;
+
+    const CampaignResult first = runCampaign(spec);
+    ASSERT_TRUE(first.tasks[0].streamed);
+    ASSERT_TRUE(saveCheckpoint(first, path));
+
+    CampaignCheckpoint checkpoint;
+    ASSERT_TRUE(loadCheckpoint(path, checkpoint));
+    const CampaignResult resumed = runCampaign(spec, &checkpoint);
+    std::remove(path.c_str());
+
+    ASSERT_EQ(resumed.tasks.size(), 1u);
+    const TaskResult& t = resumed.tasks[0];
+    EXPECT_TRUE(t.fromCheckpoint);
+    EXPECT_TRUE(t.streamed);
+    EXPECT_EQ(t.stream.windows, first.tasks[0].stream.windows);
+    EXPECT_EQ(t.stream.deadlineMisses,
+              first.tasks[0].stream.deadlineMisses);
+    EXPECT_NEAR(t.stream.latencySumUs,
+                first.tasks[0].stream.latencySumUs,
+                1e-9 * first.tasks[0].stream.latencySumUs + 1e-4);
+    EXPECT_NEAR(t.stream.latencyMaxUs,
+                first.tasks[0].stream.latencyMaxUs, 1e-4);
+    EXPECT_NEAR(t.stream.p50Us, first.tasks[0].stream.p50Us, 1e-4);
+    EXPECT_NEAR(t.stream.p99Us, first.tasks[0].stream.p99Us, 1e-4);
+    EXPECT_EQ(t.stream.slabSlots, first.tasks[0].stream.slabSlots);
+    EXPECT_EQ(t.stream.slabFilled, first.tasks[0].stream.slabFilled);
+}
+
+TEST(Campaign, StreamingStatsReachJsonAndCsv)
+{
+    CampaignSpec spec;
+    spec.name = "stream-io";
+    spec.seed = 5;
+    spec.threads = 2;
+    spec.tasks.push_back(surfaceTask(0.05, 200));
+    spec.tasks[0].stream.enabled = true;
+    spec.tasks[0].stream.streams = 3;
+    const CampaignResult result = runCampaign(spec);
+
+    const std::string json = campaignResultToJson(result);
+    EXPECT_NE(json.find("\"streaming\": {\"windows\": 200"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"latency_p50_us\""), std::string::npos);
+    EXPECT_NE(json.find("\"latency_p99_us\""), std::string::npos);
+    EXPECT_NE(json.find("\"slab_occupancy\""), std::string::npos);
+    EXPECT_NE(json.find("\"deadline_misses\""), std::string::npos);
+    EXPECT_NE(json.find("\"flushes_full\""), std::string::npos);
+
+    const std::string csv = campaignResultToCsv(result);
+    EXPECT_NE(csv.find("stream_windows,stream_p50_us"),
+              std::string::npos);
+    EXPECT_NE(csv.find("stream_slab_occupancy"), std::string::npos);
+
+    // An offline task emits no streaming JSON object.
+    CampaignSpec plain = spec;
+    plain.tasks[0].stream.enabled = false;
+    const std::string plainJson =
+        campaignResultToJson(runCampaign(plain));
+    EXPECT_EQ(plainJson.find("\"streaming\""), std::string::npos);
+}
+
+TEST(Campaign, SpecNumericErrorsNameLineAndKey)
+{
+    // A malformed count must fail naming the offending line AND key —
+    // "bad number" alone sends spec authors grepping.
+    try {
+        parseCampaignSpec("name = x\n[task]\ncode = surface3\n"
+                          "staging_chunks = banana\n");
+        FAIL() << "expected numeric-diagnostic error";
+    } catch (const std::runtime_error& ex) {
+        const std::string what = ex.what();
+        EXPECT_NE(what.find("line 4"), std::string::npos) << what;
+        EXPECT_NE(what.find("staging_chunks"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("banana"), std::string::npos) << what;
+    }
+
+    // Trailing garbage must be rejected, not silently truncated —
+    // std::stoull would happily read "12abc" as 12.
+    try {
+        parseCampaignSpec("name = x\n[task]\ncode = surface3\n"
+                          "rounds = 12abc\n");
+        FAIL() << "expected trailing-garbage error";
+    } catch (const std::runtime_error& ex) {
+        const std::string what = ex.what();
+        EXPECT_NE(what.find("line 4"), std::string::npos) << what;
+        EXPECT_NE(what.find("rounds"), std::string::npos) << what;
+    }
+
+    // Negative counts (stoull would wrap them to huge values).
+    try {
+        parseCampaignSpec("name = x\nthreads = -2\n");
+        FAIL() << "expected negative-count error";
+    } catch (const std::runtime_error& ex) {
+        const std::string what = ex.what();
+        EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+        EXPECT_NE(what.find("threads"), std::string::npos) << what;
+    }
+
+    // Out-of-range reals keep the same diagnostic shape.
+    try {
+        parseCampaignSpec("name = x\n[task]\ncode = surface3\n"
+                          "latency_us = 1e999\n");
+        FAIL() << "expected out-of-range error";
+    } catch (const std::runtime_error& ex) {
+        const std::string what = ex.what();
+        EXPECT_NE(what.find("line 4"), std::string::npos) << what;
+        EXPECT_NE(what.find("latency_us"), std::string::npos) << what;
+    }
+
+    // Bad items inside a p-list get the list's line and key too.
+    try {
+        parseCampaignSpec("name = x\n[task]\ncode = surface3\n"
+                          "p = 1e-3, oops, 4e-3\n");
+        FAIL() << "expected p-list error";
+    } catch (const std::runtime_error& ex) {
+        const std::string what = ex.what();
+        EXPECT_NE(what.find("line 4"), std::string::npos) << what;
+        EXPECT_NE(what.find("oops"), std::string::npos) << what;
     }
 }
 

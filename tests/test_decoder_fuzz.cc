@@ -28,6 +28,7 @@
 #include "decoder/bposd_decoder.h"
 #include "decoder/decoder_backend.h"
 #include "decoder/osd.h"
+#include "decoder/stream_decoder.h"
 #include "dem/dem.h"
 #include "dem/shot_batch.h"
 
@@ -281,6 +282,79 @@ TEST(DecoderFuzz, AllFourPathsBitExactOnRandomDems)
                 EXPECT_EQ(st.stagedChunks, 1u) << label;
             }
         }
+    }
+}
+
+TEST(DecoderFuzz, StreamedWindowsBitExactOffline)
+{
+    // The streaming front-end regroups windows across streams and
+    // flush boundaries; every committed correction must equal the
+    // offline batch decode of the same syndrome, for random DEMs,
+    // stream counts, window round counts, ragged totals and both
+    // flush policies.
+    const size_t iters = fuzzIterations();
+    for (size_t iter = 0; iter < iters; ++iter) {
+        Rng rng(0x57e3a00ULL + iter);
+        const DetectorErrorModel dem = randomDem(rng);
+        const size_t shots = 1 + rng.below(300);
+        const ShotBatch batch = randomShots(dem, shots, rng);
+
+        BpOptions bp;
+        bp.maxIterations = 1 + rng.below(12);
+        BpOsdDecoder reference(dem, bp);
+        std::vector<uint64_t> expected;
+        reference.decodeBatch(batch, expected);
+
+        const size_t S = 1 + rng.below(16);
+        const size_t R = 1 + rng.below(5);
+        const bool deadline = rng.below(2) == 0;
+        const std::string label = "iter=" + std::to_string(iter) +
+            " shots=" + std::to_string(shots) +
+            " S=" + std::to_string(S) + " R=" + std::to_string(R) +
+            (deadline ? " deadline" : " full-wave");
+
+        double clockUs = 0.0;
+        BpOsdDecoder decoder(dem, bp);
+        StreamDecoderOptions options;
+        options.streams = S;
+        options.roundsPerWindow = R;
+        options.capacityChunks = 1 + rng.below(3);
+        options.policy = deadline ? FlushPolicy::Deadline
+                                  : FlushPolicy::FullWave;
+        options.deadlineUs = 50.0;
+        options.flushAfterUs = deadline ? 5.0 + rng.below(40) : 0.0;
+        options.nowUs = [&clockUs] { return clockUs; };
+        StreamDecoder stream(decoder, dem.numDetectors, options);
+
+        const size_t windows = (shots + S - 1) / S;
+        size_t committedSeen = 0;
+        for (size_t w = 0; w < windows; ++w) {
+            for (size_t r = 0; r < R; ++r) {
+                for (size_t s = 0; s < S; ++s) {
+                    const size_t flat = w * S + s;
+                    if (flat < shots)
+                        stream.pushRound(s, batch.syndromeOf(flat));
+                }
+                clockUs += 1.0 + rng.below(20);
+                stream.poll();
+            }
+        }
+        stream.finish();
+
+        ASSERT_EQ(stream.committed().size(), shots) << label;
+        std::vector<bool> seen(shots, false);
+        for (const CommittedWindow& c : stream.committed()) {
+            const size_t flat = c.windowIndex * S + c.stream;
+            ASSERT_LT(flat, shots) << label;
+            ASSERT_FALSE(seen[flat]) << label << " flat=" << flat;
+            seen[flat] = true;
+            ASSERT_EQ(c.prediction, expected[flat])
+                << label << " flat=" << flat;
+            ++committedSeen;
+        }
+        EXPECT_EQ(committedSeen, shots) << label;
+        EXPECT_EQ(stream.stats().windows, shots) << label;
+        EXPECT_EQ(stream.stats().roundsPushed, shots * R) << label;
     }
 }
 

@@ -585,6 +585,59 @@ TEST(SpoolProtocol, ClaimAgeSurvivesWallClockStep)
     EXPECT_LT(spool.claimAge(id), 0.0);
 }
 
+TEST(SpoolProtocol, WorkerHealthAgeSurvivesWallClockStep)
+{
+    // End-of-run health classification ("did this worker's heartbeat
+    // file stop updating?") must use the same monotonic observation
+    // history as shard claims. With wall-clock mtime arithmetic an
+    // NTP step during the campaign would misreport every live worker
+    // as lost.
+    ScratchDir scratch("spool-health-monotonic");
+    Spool spool(scratch.path);
+    SpoolManifest m;
+    m.name = "health";
+    m.seed = 1;
+    spool.initialize(m, "name = health\n");
+
+    EXPECT_LT(spool.workerHealthAge("w1"), 0.0)
+        << "missing health file must read negative";
+
+    spool.writeFile("workers/w1", "health-v1\nstate running\n");
+    EXPECT_GE(spool.workerHealthAge("w1"), 0.0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    EXPECT_GE(spool.workerHealthAge("w1"), 0.05);
+
+    // Wall-clock step one hour into the past: a wall-clock
+    // implementation reads ~3600s and classifies the worker as lost;
+    // the monotonic scheme sees "file changed" and restarts from 0.
+    const std::string healthPath = scratch.path + "/workers/w1";
+    struct timespec past[2];
+    ASSERT_EQ(::clock_gettime(CLOCK_REALTIME, &past[0]), 0);
+    past[0].tv_sec -= 3600;
+    past[1] = past[0];
+    ASSERT_EQ(::utimensat(AT_FDCWD, healthPath.c_str(), past, 0), 0);
+    EXPECT_LT(spool.workerHealthAge("w1"), 1.0)
+        << "a clock step must not mark a live worker lost";
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    const double aged = spool.workerHealthAge("w1");
+    EXPECT_GE(aged, 0.05);
+    EXPECT_LT(aged, 1.0);
+
+    // A step into the future must not produce negative ages either.
+    struct timespec future[2];
+    ASSERT_EQ(::clock_gettime(CLOCK_REALTIME, &future[0]), 0);
+    future[0].tv_sec += 3600;
+    future[1] = future[0];
+    ASSERT_EQ(::utimensat(AT_FDCWD, healthPath.c_str(), future, 0), 0);
+    EXPECT_GE(spool.workerHealthAge("w1"), 0.0);
+    EXPECT_LT(spool.workerHealthAge("w1"), 1.0);
+
+    // A fresh heartbeat (mtime change) restarts the age again.
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    spool.writeFile("workers/w1", "health-v1\nstate running\n");
+    EXPECT_LT(spool.workerHealthAge("w1"), 0.02);
+}
+
 TEST(SpoolProtocol, JournalRoundTripThroughSpool)
 {
     ScratchDir scratch("spool-journal");
@@ -962,6 +1015,28 @@ TEST(DistributedCampaign, SpoolResumeReusesRecords)
     EXPECT_EQ(third.spool.journalRestores, first.tasks.size());
     EXPECT_EQ(third.spool.shardsMerged, 0u);
     EXPECT_EQ(third.spool.shardsPublished, 0u);
+}
+
+TEST(DistributedCampaign, StreamingTasksAreRejectedUpFront)
+{
+    // The streaming decode service is in-process only for now: the
+    // coordinator must refuse a streaming spec with a clear error
+    // before creating any spool state, not silently drop the
+    // telemetry.
+    ScratchDir scratch("spool-streaming-reject");
+    CampaignSpec spec = parseCampaignSpec(kSpoolSpec);
+    spec.spool = scratch.path;
+    spec.tasks[0].stream.enabled = true;
+    spec.tasks[0].id = "served";
+    try {
+        runDistributedCampaign(spec, kSpoolSpec);
+        FAIL() << "expected streaming rejection";
+    } catch (const std::invalid_argument& ex) {
+        const std::string what = ex.what();
+        EXPECT_NE(what.find("streaming"), std::string::npos) << what;
+        EXPECT_NE(what.find("in-process"), std::string::npos) << what;
+        EXPECT_NE(what.find("served"), std::string::npos) << what;
+    }
 }
 
 TEST(DistributedCampaign, PoisonShardQuarantinedAndSurfaced)
